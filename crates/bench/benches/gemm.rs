@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the dense substrate: CPU GEMM variants and the
+//! WMMA fragment pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcg_gpusim::wmma::{mma_functional, FragmentA, FragmentAcc, FragmentB};
+use tcg_tensor::gemm::{gemm, gemm_naive, gemm_tf32};
+use tcg_tensor::init;
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = init::uniform(256, 256, -1.0, 1.0, 1);
+    let b = init::uniform(256, 256, -1.0, 1.0, 2);
+    let mut group = c.benchmark_group("gemm_256");
+    group.sample_size(10);
+    group.bench_function("blocked", |bch| bch.iter(|| black_box(gemm(&a, &b).unwrap())));
+    group.bench_function("naive", |bch| {
+        bch.iter(|| black_box(gemm_naive(&a, &b).unwrap()))
+    });
+    group.bench_function("tf32", |bch| {
+        bch.iter(|| black_box(gemm_tf32(&a, &b).unwrap()))
+    });
+    group.finish();
+
+    let ta = init::uniform(16, 8, -1.0, 1.0, 3);
+    let tb = init::uniform(8, 16, -1.0, 1.0, 4);
+    let mut fa = FragmentA::default();
+    let mut fb = FragmentB::default();
+    fa.load(ta.as_slice(), 8);
+    fb.load(tb.as_slice(), 16);
+    c.bench_function("wmma_mma_m16n16k8", |bch| {
+        bch.iter(|| {
+            let mut acc = FragmentAcc::default();
+            mma_functional(&mut acc, &fa, &fb);
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the SDDMM kernels and the fused sparse
+//! softmax.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcg_gpusim::{DeviceSpec, Launcher};
+use tcg_kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
+use tcg_kernels::softmax::sparse_row_softmax;
+
+fn bench_sddmm(c: &mut Criterion) {
+    let g = tcg_graph::gen::community(4096, 40_000, 16, 48, 1).expect("generator");
+    let x = tcg_tensor::init::uniform(g.num_nodes(), 32, -1.0, 1.0, 2);
+    let kernels: Vec<(&str, Box<dyn SddmmKernel>)> = vec![
+        ("cuda-core", Box::new(CudaCoreSddmm)),
+        ("tc-gnn", Box::new(TcgnnSddmm::new(&g))),
+    ];
+    let mut group = c.benchmark_group("sddmm_community4k_d32");
+    group.sample_size(10);
+    for (name, kernel) in &kernels {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut l = Launcher::new(DeviceSpec::rtx3090());
+                black_box(kernel.execute(&mut l, &g, &x, &x).expect("feasible"))
+            })
+        });
+    }
+    group.finish();
+
+    let vals: Vec<f32> = (0..g.num_edges()).map(|e| (e % 17) as f32 * 0.1).collect();
+    let mut group = c.benchmark_group("edge_softmax");
+    group.sample_size(10);
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            let mut l = Launcher::new(DeviceSpec::rtx3090());
+            black_box(sparse_row_softmax(&mut l, &g, &vals).expect("lengths match"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sddmm);
+criterion_main!(benches);

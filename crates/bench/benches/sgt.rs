@@ -1,0 +1,28 @@
+//! Criterion benchmarks of Sparse Graph Translation itself (the one-time
+//! preprocessing whose overhead Figure 7(b) studies) and its census.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcg_sgt::{census, translate, translate_parallel};
+
+fn bench_sgt(c: &mut Criterion) {
+    let sizes = [(4096usize, 40_000usize), (16_384, 160_000)];
+    let mut group = c.benchmark_group("sgt_translate");
+    group.sample_size(10);
+    for &(n, e) in &sizes {
+        let g = tcg_graph::gen::rmat_default(n, e, 1).expect("generator");
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| black_box(translate(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &g, |b, g| {
+            b.iter(|| black_box(translate_parallel(g, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("census", n), &g, |b, g| {
+            b.iter(|| black_box(census(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgt);
+criterion_main!(benches);

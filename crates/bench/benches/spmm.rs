@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the SpMM kernels (wall-clock of the
+//! functional simulator, not simulated GPU time — the table/figure binaries
+//! report the latter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcg_gpusim::{DeviceSpec, Launcher};
+use tcg_kernels::common::{SpmmKernel, SpmmProblem};
+use tcg_kernels::spmm::{
+    BlockedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm, TritonBlockSparseSpmm,
+    TsparseLikeSpmm,
+};
+
+fn bench_spmm(c: &mut Criterion) {
+    let g = tcg_graph::gen::rmat_default(4096, 40_000, 1).expect("generator");
+    let x = tcg_tensor::init::uniform(g.num_nodes(), 32, -1.0, 1.0, 2);
+    let prob = SpmmProblem::new(&g, None, &x).expect("dims");
+    let kernels: Vec<(&str, Box<dyn SpmmKernel>)> = vec![
+        ("cusparse-csr", Box::new(CusparseCsrSpmm)),
+        ("ge-spmm", Box::new(GeSpmm)),
+        ("scatter-gather", Box::new(ScatterGatherSpmm)),
+        ("tc-gnn", Box::new(TcgnnSpmm::new(&g))),
+        ("tsparse-like", Box::new(TsparseLikeSpmm::default())),
+        ("triton-blocksparse", Box::new(TritonBlockSparseSpmm)),
+        ("blocked-ell", Box::new(BlockedEllSpmm::default())),
+    ];
+    let mut group = c.benchmark_group("spmm_rmat4k_d32");
+    group.sample_size(10);
+    for (name, kernel) in &kernels {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &prob, |b, prob| {
+            b.iter(|| {
+                let mut l = Launcher::new(DeviceSpec::rtx3090());
+                black_box(kernel.execute(&mut l, prob).expect("feasible"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

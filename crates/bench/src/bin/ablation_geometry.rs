@@ -1,0 +1,58 @@
+//! SGT geometry ablation (beyond the paper): how the row-window height and
+//! block width trade off. The paper fixes `16×8` (the TF-32 MMA operand
+//! shape); other precisions would use other shapes (§4.1 notes half/int8
+//! alternatives), and this census shows what each choice would do to the
+//! number of TCU blocks and their density.
+
+use serde::Serialize;
+use tcg_bench::{load_dataset, print_table, save_json};
+use tcg_sgt::census::census_with;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    geometry: String,
+    blocks_without: u64,
+    blocks_with: u64,
+    reduction_pct: f64,
+}
+
+fn main() {
+    println!("# Ablation: SGT window/block geometry (TCU block census)\n");
+    let geometries = [(16usize, 8usize), (16, 16), (8, 8), (32, 8), (8, 16)];
+    let mut rows = Vec::new();
+    for name in ["Cora", "DD", "soc-BlogCatalog"] {
+        let spec = tcg_graph::datasets::spec_by_name(name).expect("known dataset");
+        let ds = load_dataset(spec);
+        for &(h, w) in &geometries {
+            let c = census_with(&ds.graph, h, w);
+            rows.push(Row {
+                dataset: name.to_string(),
+                geometry: format!("{h}x{w}"),
+                blocks_without: c.blocks_without_sgt,
+                blocks_with: c.blocks_with_sgt,
+                reduction_pct: c.reduction_pct(),
+            });
+        }
+        eprintln!("  [ablation_geometry] {name} done");
+    }
+    print_table(
+        &["Dataset", "Window x Block", "Blocks w/o SGT", "Blocks w/ SGT", "Reduction"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.geometry.clone(),
+                    r.blocks_without.to_string(),
+                    r.blocks_with.to_string(),
+                    format!("{:.1}%", r.reduction_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\nTaller windows condense more aggressively (more rows share neighbors)");
+    println!("but each tile covers more rows of output; wider blocks reduce block");
+    println!("count linearly while diluting per-block density.");
+    save_json("ablation_geometry", &rows);
+}

@@ -1,0 +1,51 @@
+//! Figure 6(a) — end-to-end training speedup of TC-GNN over DGL, for GCN
+//! and AGNN across all 14 Table 4 datasets. Paper: 1.70× overall average
+//! (GCN: 2.23× Type I, 1.38× Type II, 1.59× Type III; AGNN: 1.93×, 1.70×,
+//! 1.51×).
+
+use tcg_bench::{mean, print_table, run_fig6, save_json};
+
+fn main() {
+    println!("# Figure 6(a): TC-GNN end-to-end training speedup over DGL\n");
+    let rows = run_fig6(false);
+    print_table(
+        &[
+            "Dataset", "Type", "GCN DGL (ms)", "GCN TC-GNN (ms)", "GCN speedup",
+            "AGNN DGL (ms)", "AGNN TC-GNN (ms)", "AGNN speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.class.clone(),
+                    format!("{:.3}", r.gcn_epoch_ms[0]),
+                    format!("{:.3}", r.gcn_epoch_ms[2]),
+                    format!("{:.2}x", r.gcn_speedup(0)),
+                    format!("{:.3}", r.agnn_epoch_ms[0]),
+                    format!("{:.3}", r.agnn_epoch_ms[2]),
+                    format!("{:.2}x", r.agnn_speedup(0)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for class in ["I", "II", "III"] {
+        let gcn = mean(
+            rows.iter()
+                .filter(|r| r.class == class)
+                .map(|r| r.gcn_speedup(0)),
+        );
+        let agnn = mean(
+            rows.iter()
+                .filter(|r| r.class == class)
+                .map(|r| r.agnn_speedup(0)),
+        );
+        println!("Type {class}: GCN avg {gcn:.2}x, AGNN avg {agnn:.2}x");
+    }
+    let overall = mean(
+        rows.iter()
+            .flat_map(|r| [r.gcn_speedup(0), r.agnn_speedup(0)]),
+    );
+    println!("\nOverall average speedup over DGL: {overall:.2}x (paper: 1.70x)");
+    save_json("fig6a", &rows);
+}

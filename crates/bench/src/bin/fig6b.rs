@@ -1,0 +1,42 @@
+//! Figure 6(b) — end-to-end training speedup of TC-GNN over PyG, for GCN
+//! and AGNN. Paper: 1.76× average on GCN, 2.82× on AGNN.
+
+use tcg_bench::{mean, print_table, run_fig6, save_json, try_load_fig6};
+
+fn main() {
+    println!("# Figure 6(b): TC-GNN end-to-end training speedup over PyG\n");
+    // The sweep measures all three backends at once; reuse fig6a's saved
+    // rows when available (delete results/fig6a.json to force a re-run).
+    let rows = match try_load_fig6() {
+        Some(rows) if rows.len() >= 3 => {
+            eprintln!("  [reusing results/fig6a.json]");
+            rows
+        }
+        _ => run_fig6(false),
+    };
+    print_table(
+        &[
+            "Dataset", "Type", "GCN PyG (ms)", "GCN TC-GNN (ms)", "GCN speedup",
+            "AGNN PyG (ms)", "AGNN TC-GNN (ms)", "AGNN speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.class.clone(),
+                    format!("{:.3}", r.gcn_epoch_ms[1]),
+                    format!("{:.3}", r.gcn_epoch_ms[2]),
+                    format!("{:.2}x", r.gcn_speedup(1)),
+                    format!("{:.3}", r.agnn_epoch_ms[1]),
+                    format!("{:.3}", r.agnn_epoch_ms[2]),
+                    format!("{:.2}x", r.agnn_speedup(1)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let gcn = mean(rows.iter().map(|r| r.gcn_speedup(1)));
+    let agnn = mean(rows.iter().map(|r| r.agnn_speedup(1)));
+    println!("\nAverage over PyG — GCN: {gcn:.2}x (paper 1.76x), AGNN: {agnn:.2}x (paper 2.82x)");
+    save_json("fig6b", &rows);
+}

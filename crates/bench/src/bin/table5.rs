@@ -1,0 +1,66 @@
+//! Table 5 — SpMM kernel time: TC-GNN vs tSparse vs Triton block-sparse,
+//! on the five Type III datasets. Paper: TC-GNN 3.60× over tSparse and
+//! 5.42× over Triton on average.
+
+use serde::Serialize;
+use tcg_bench::{device, load_dataset, mean, print_table, save_json};
+use tcg_gpusim::Launcher;
+use tcg_kernels::common::{SpmmKernel, SpmmProblem};
+use tcg_kernels::spmm::{TcgnnSpmm, TritonBlockSparseSpmm, TsparseLikeSpmm};
+use tcg_tensor::init;
+
+/// SpMM embedding dimension.
+const DIM: usize = 16;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    tsparse_ms: f64,
+    triton_ms: f64,
+    tcgnn_ms: f64,
+}
+
+fn main() {
+    println!("# Table 5: SpMM kernel comparison on Type III graphs (D = {DIM})\n");
+    let mut rows = Vec::new();
+    for spec in tcg_graph::datasets::type3_specs() {
+        let ds = load_dataset(spec);
+        let g = &ds.graph;
+        let x = init::uniform(g.num_nodes(), DIM, -1.0, 1.0, 9);
+        let prob = SpmmProblem::new(g, None, &x).expect("dims");
+        let run = |k: &dyn SpmmKernel| {
+            let mut l = Launcher::new(device());
+            k.execute(&mut l, &prob).expect("feasible").1.time_ms
+        };
+        let tsparse_ms = run(&TsparseLikeSpmm::default());
+        let triton_ms = run(&TritonBlockSparseSpmm);
+        let tcgnn_ms = run(&TcgnnSpmm::new(g));
+        eprintln!("  [table5] {} done", spec.name);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            tsparse_ms,
+            triton_ms,
+            tcgnn_ms,
+        });
+    }
+    print_table(
+        &["Dataset", "tSparse (ms)", "Triton (ms)", "TC-GNN (ms)", "vs tSparse", "vs Triton"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    format!("{:.4}", r.tsparse_ms),
+                    format!("{:.4}", r.triton_ms),
+                    format!("{:.4}", r.tcgnn_ms),
+                    format!("{:.2}x", r.tsparse_ms / r.tcgnn_ms),
+                    format!("{:.2}x", r.triton_ms / r.tcgnn_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let vs_ts = mean(rows.iter().map(|r| r.tsparse_ms / r.tcgnn_ms));
+    let vs_tr = mean(rows.iter().map(|r| r.triton_ms / r.tcgnn_ms));
+    println!("\nAverage: {vs_ts:.2}x over tSparse (paper 3.60x), {vs_tr:.2}x over Triton (paper 5.42x)");
+    save_json("table5", &rows);
+}

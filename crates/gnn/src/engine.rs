@@ -1,0 +1,681 @@
+//! The aggregation engine: one graph, one backend, simulated costs.
+
+use tcg_gpusim::cost::stream_pass_report;
+use tcg_gpusim::{DeviceSpec, Launcher};
+use tcg_graph::CsrGraph;
+use tcg_kernels::common::{KernelError, SpmmKernel, SpmmProblem};
+use tcg_kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
+use tcg_kernels::softmax::sparse_row_softmax;
+use tcg_kernels::spmm::{CusparseCsrSpmm, ScatterGatherSpmm, TcgnnSpmm};
+use tcg_tensor::DenseMatrix;
+
+/// Which framework's aggregation path the engine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Deep Graph Library: cuSPARSE-class kernels + framework passes.
+    DglLike,
+    /// PyTorch-Geometric: torch-scatter + materialized edge intermediates.
+    PygLike,
+    /// TC-GNN: SGT-translated tensor-core kernels.
+    TcGnn,
+}
+
+impl Backend {
+    /// Display name matching the paper's labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::DglLike => "DGL",
+            Backend::PygLike => "PyG",
+            Backend::TcGnn => "TC-GNN",
+        }
+    }
+
+    /// All three backends, in the order the figures list them.
+    pub fn all() -> [Backend; 3] {
+        [Backend::DglLike, Backend::PygLike, Backend::TcGnn]
+    }
+}
+
+/// Simulated milliseconds attributed to pipeline phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cost {
+    /// Sparse aggregation work: SpMM, SDDMM, softmax, normalization passes.
+    pub aggregation_ms: f64,
+    /// Dense update work: the `X·W` GEMMs.
+    pub update_ms: f64,
+    /// Everything else: activations, loss, optimizer.
+    pub other_ms: f64,
+}
+
+impl Cost {
+    /// Total across phases.
+    pub fn total_ms(&self) -> f64 {
+        self.aggregation_ms + self.update_ms + self.other_ms
+    }
+
+    /// A cost that is pure aggregation.
+    pub fn agg(ms: f64) -> Cost {
+        Cost {
+            aggregation_ms: ms,
+            ..Default::default()
+        }
+    }
+
+    /// A cost that is pure dense update.
+    pub fn update(ms: f64) -> Cost {
+        Cost {
+            update_ms: ms,
+            ..Default::default()
+        }
+    }
+
+    /// A cost that is neither aggregation nor update.
+    pub fn other(ms: f64) -> Cost {
+        Cost {
+            other_ms: ms,
+            ..Default::default()
+        }
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            aggregation_ms: self.aggregation_ms + rhs.aggregation_ms,
+            update_ms: self.update_ms + rhs.update_ms,
+            other_ms: self.other_ms + rhs.other_ms,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+/// Host-side dispatch cost per sparse graph operation for DGL/PyG, in ms.
+///
+/// At Type I graph sizes every kernel is microseconds, so end-to-end time
+/// is dominated by the framework: Python dispatch, DGL/PyG graph-object
+/// handling and kernel-argument marshalling — tens of microseconds per op
+/// (GNNAdvisor, OSDI'21, measures exactly this overhead for DGL). TC-GNN's
+/// fused C++ extension pays a smaller constant.
+pub const FRAMEWORK_DISPATCH_MS: f64 = 0.015;
+/// Host-side dispatch cost per TC-GNN extension call, in ms.
+pub const EXTENSION_DISPATCH_MS: f64 = 0.005;
+/// Host-side dispatch cost per dense (cuBLAS / elementwise) op, in ms.
+pub const DENSE_DISPATCH_MS: f64 = 0.005;
+
+/// A graph bound to a backend: owns the simulated device state, the
+/// backend's kernels, and the per-graph preprocessing (SGT translation for
+/// TC-GNN, symmetric-normalization values, transpose permutation).
+pub struct Engine {
+    backend: Backend,
+    launcher: Launcher,
+    csr: CsrGraph,
+    /// Edge permutation realizing `Aᵀ` value alignment.
+    t_perm: Vec<u32>,
+    /// Per-edge `1/sqrt(d_u d_v)` (GCN symmetric normalization).
+    gcn_norm: Vec<f32>,
+    /// Per-edge `1/d_src` (GraphSAGE mean normalization).
+    mean_norm: Vec<f32>,
+    /// `mean_norm` realigned to the transposed edge order.
+    mean_norm_t: Vec<f32>,
+    /// Per-node `1/sqrt(d)` for the pre/post scaling path.
+    inv_sqrt_deg: Vec<f32>,
+    spmm: Box<dyn SpmmKernel>,
+    sddmm: Box<dyn SddmmKernel>,
+    /// The SGT translation (TC-GNN backend only; enables the fused path).
+    translated: Option<tcg_sgt::TranslatedGraph>,
+    /// One-time preprocessing cost (SGT for TC-GNN), modeled host ms.
+    preprocessing_ms: f64,
+    /// Most recent per-kernel report (for profiling tables).
+    pub last_spmm_report: Option<tcg_gpusim::KernelReport>,
+}
+
+impl Engine {
+    /// Binds `csr` (must be symmetric — GNN graphs are) to a backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not symmetric; undirected GNN datasets always
+    /// are, and backward passes rely on `Aᵀ = A` topologically.
+    pub fn new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Self {
+        assert!(csr.is_symmetric(), "engine requires a symmetric graph");
+        let launcher = Launcher::new(device);
+        let t_perm = csr.transpose_permutation();
+        let gcn_norm = csr.gcn_norm_edge_values();
+        let mut mean_norm = Vec::with_capacity(csr.num_edges());
+        for v in 0..csr.num_nodes() {
+            let inv = 1.0 / csr.degree(v).max(1) as f32;
+            mean_norm.extend(std::iter::repeat_n(inv, csr.degree(v)));
+        }
+        let mean_norm_t: Vec<f32> = t_perm.iter().map(|&i| mean_norm[i as usize]).collect();
+        let inv_sqrt_deg: Vec<f32> = (0..csr.num_nodes())
+            .map(|v| 1.0 / (csr.degree(v).max(1) as f32).sqrt())
+            .collect();
+        let mut translated = None;
+        let (spmm, sddmm, preprocessing_ms): (Box<dyn SpmmKernel>, Box<dyn SddmmKernel>, f64) =
+            match backend {
+                Backend::DglLike => (Box::new(CusparseCsrSpmm), Box::new(CudaCoreSddmm), 0.0),
+                Backend::PygLike => (Box::new(ScatterGatherSpmm), Box::new(CudaCoreSddmm), 0.0),
+                Backend::TcGnn => {
+                    let t = tcg_sgt::translate(&csr);
+                    let sgt_ms = tcg_sgt::overhead::model_ms(&csr);
+                    translated = Some(t.clone());
+                    (
+                        Box::new(TcgnnSpmm::from_translated(t.clone())),
+                        Box::new(TcgnnSddmm::from_translated(t)),
+                        sgt_ms,
+                    )
+                }
+            };
+        Engine {
+            backend,
+            launcher,
+            csr,
+            t_perm,
+            gcn_norm,
+            mean_norm,
+            mean_norm_t,
+            inv_sqrt_deg,
+            spmm,
+            sddmm,
+            translated,
+            preprocessing_ms,
+            last_spmm_report: None,
+        }
+    }
+
+    /// The backend this engine models.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The bound graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// One-time preprocessing cost in modeled milliseconds (SGT for the
+    /// TC-GNN backend, zero otherwise) — Figure 7(b)'s numerator.
+    pub fn preprocessing_ms(&self) -> f64 {
+        self.preprocessing_ms
+    }
+
+    fn device(&self) -> DeviceSpec {
+        self.launcher.device().clone()
+    }
+
+    /// Cost of a streaming elementwise pass.
+    fn pass_ms(&self, read_bytes: u64, write_bytes: u64) -> f64 {
+        stream_pass_report(self.launcher.device(), read_bytes, write_bytes).time_ms
+    }
+
+    /// Host dispatch cost of `n` sparse graph operations on this backend.
+    fn sparse_dispatch_ms(&self, n: u32) -> f64 {
+        let per_op = match self.backend {
+            Backend::TcGnn => EXTENSION_DISPATCH_MS,
+            _ => FRAMEWORK_DISPATCH_MS,
+        };
+        per_op * f64::from(n)
+    }
+
+    /// Neighbor aggregation `out = (F ⊙ A)·X` on the backend's kernel.
+    pub fn spmm(
+        &mut self,
+        x: &DenseMatrix,
+        values: Option<&[f32]>,
+    ) -> Result<(DenseMatrix, f64), KernelError> {
+        let prob = SpmmProblem::new(&self.csr, values, x)?;
+        let (out, report) = self.spmm.execute(&mut self.launcher, &prob)?;
+        let ms = report.time_ms + self.sparse_dispatch_ms(1);
+        self.last_spmm_report = Some(report);
+        Ok((out, ms))
+    }
+
+    /// Transposed aggregation `out = (Fᵀ ⊙ Aᵀ)·X` (backward passes).
+    ///
+    /// Topologically `Aᵀ = A` (symmetric graph); values are realigned via
+    /// the transpose permutation, which costs one gather pass over the edge
+    /// array in every framework.
+    pub fn spmm_t(
+        &mut self,
+        x: &DenseMatrix,
+        values: Option<&[f32]>,
+    ) -> Result<(DenseMatrix, f64), KernelError> {
+        match values {
+            None => self.spmm(x, None),
+            Some(v) => {
+                if v.len() != self.csr.num_edges() {
+                    return Err(KernelError::DimMismatch {
+                        what: "edge value count vs edges",
+                        expected: self.csr.num_edges(),
+                        actual: v.len(),
+                    });
+                }
+                let vt: Vec<f32> = self.t_perm.iter().map(|&i| v[i as usize]).collect();
+                let perm_ms = self.pass_ms(
+                    (self.csr.num_edges() * 8) as u64,
+                    (self.csr.num_edges() * 4) as u64,
+                ) + self.sparse_dispatch_ms(1);
+                let (out, ms) = self.spmm(x, Some(&vt))?;
+                Ok((out, ms + perm_ms))
+            }
+        }
+    }
+
+    /// Edge-feature computation `f[e] = xa[src]·xb[dst]` on the backend's
+    /// SDDMM. The PyG path additionally materializes the gathered
+    /// `E×D` endpoint features, which its scatter formulation requires.
+    pub fn sddmm(
+        &mut self,
+        xa: &DenseMatrix,
+        xb: &DenseMatrix,
+    ) -> Result<(Vec<f32>, f64), KernelError> {
+        let (vals, report) = self
+            .sddmm
+            .execute(&mut self.launcher, &self.csr, xa, xb)?;
+        let mut ms = report.time_ms + self.sparse_dispatch_ms(1);
+        if self.backend == Backend::PygLike {
+            let ed_bytes = (self.csr.num_edges() * xa.cols() * 4) as u64;
+            // Gather x_i, gather x_j (write E×D each), then mul+reduce pass.
+            ms += self.pass_ms(ed_bytes, ed_bytes) * 2.0
+                + self.pass_ms(2 * ed_bytes, ed_bytes / 4)
+                + self.sparse_dispatch_ms(3);
+        }
+        Ok((vals, ms))
+    }
+
+    /// Row-wise softmax over edge values.
+    ///
+    /// DGL's `edge_softmax` launches three kernels (segment max, exp + segment
+    /// sum, divide); PyG's scatter softmax behaves the same; TC-GNN fuses the
+    /// passes into the single kernel implemented in `tcg-kernels`.
+    pub fn edge_softmax(&mut self, values: &[f32]) -> Result<(Vec<f32>, f64), KernelError> {
+        let (out, report) = sparse_row_softmax(&mut self.launcher, &self.csr, values)?;
+        let mut ms = report.time_ms + self.sparse_dispatch_ms(1);
+        if self.backend != Backend::TcGnn {
+            // Two extra kernel round-trips over the edge array, each its own
+            // framework op (DGL's segment max / exp-sum / divide pipeline).
+            let e_bytes = (self.csr.num_edges() * 4) as u64;
+            ms += 2.0 * self.pass_ms(e_bytes, e_bytes) + self.sparse_dispatch_ms(2);
+        }
+        Ok((out, ms))
+    }
+
+    /// Backward of row-wise softmax: `de = p ⊙ (dp − rowsum(dp ⊙ p))`.
+    /// Same cost structure in every framework (two passes over edges).
+    pub fn edge_softmax_backward(&mut self, p: &[f32], dp: &[f32]) -> (Vec<f32>, f64) {
+        assert_eq!(p.len(), dp.len());
+        let mut de = vec![0.0f32; p.len()];
+        for v in 0..self.csr.num_nodes() {
+            let lo = self.csr.node_pointer()[v];
+            let hi = self.csr.node_pointer()[v + 1];
+            let dot: f32 = (lo..hi).map(|e| p[e] * dp[e]).sum();
+            for e in lo..hi {
+                de[e] = p[e] * (dp[e] - dot);
+            }
+        }
+        let e_bytes = (self.csr.num_edges() * 4) as u64;
+        let ms = self.pass_ms(2 * e_bytes, e_bytes) * 2.0 + self.sparse_dispatch_ms(2);
+        (de, ms)
+    }
+
+    /// Whether this backend can run the fused attention pipeline.
+    pub fn supports_fused_attention(&self) -> bool {
+        self.translated.is_some()
+    }
+
+    /// Fused attention pipeline (TC-GNN backend only): SDDMM logits from
+    /// `xa`, `β` scaling, row softmax, and the weighted SpMM over `xv` — a
+    /// single kernel launch (see `tcg_kernels::fused`). Returns
+    /// `(Y, cos, P, ms)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has no translation
+    /// ([`Engine::supports_fused_attention`] is false).
+    pub fn fused_attention(
+        &mut self,
+        xa: &DenseMatrix,
+        xv: &DenseMatrix,
+        beta: f32,
+    ) -> Result<(DenseMatrix, Vec<f32>, Vec<f32>, f64), KernelError> {
+        let t = self
+            .translated
+            .clone()
+            .expect("fused attention requires the TC-GNN backend");
+        let out =
+            tcg_kernels::fused::fused_attention(&mut self.launcher, &self.csr, &t, xa, xv, beta)?;
+        let ms = out.report.time_ms + self.sparse_dispatch_ms(1);
+        Ok((out.y, out.cos, out.p, ms))
+    }
+
+    /// GCN-normalized aggregation `D^{-1/2} A D^{-1/2} · X`.
+    ///
+    /// DGL/PyG scale node features before and after the unweighted SpMM
+    /// (two extra kernels per call, as `dgl.GraphConv(norm="both")` does);
+    /// TC-GNN folds the normalization into the translated kernel's edge
+    /// values.
+    pub fn gcn_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+        match self.backend {
+            Backend::TcGnn => {
+                let norm = self.gcn_norm.clone();
+                self.spmm(x, Some(&norm))
+            }
+            _ => {
+                let nd_bytes = (x.len() * 4) as u64;
+                let mut scaled = x.clone();
+                for v in 0..scaled.rows() {
+                    let s = self.inv_sqrt_deg[v];
+                    for val in scaled.row_mut(v) {
+                        *val *= s;
+                    }
+                }
+                let pre_ms = self.pass_ms(nd_bytes, nd_bytes);
+                let (mut out, spmm_ms) = self.spmm(&scaled, None)?;
+                for v in 0..out.rows() {
+                    let s = self.inv_sqrt_deg[v];
+                    for val in out.row_mut(v) {
+                        *val *= s;
+                    }
+                }
+                let post_ms = self.pass_ms(nd_bytes, nd_bytes);
+                Ok((out, pre_ms + spmm_ms + post_ms + self.sparse_dispatch_ms(2)))
+            }
+        }
+    }
+
+    /// Mean-normalized aggregation `D^{-1} A · X` (GraphSAGE's mean
+    /// aggregator). DGL/PyG run the unweighted SpMM plus a per-node scaling
+    /// kernel; TC-GNN folds `1/d` into the translated kernel's edge values.
+    pub fn mean_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+        match self.backend {
+            Backend::TcGnn => {
+                let norm = self.mean_norm.clone();
+                self.spmm(x, Some(&norm))
+            }
+            _ => {
+                let (mut out, spmm_ms) = self.spmm(x, None)?;
+                for v in 0..out.rows() {
+                    let inv = 1.0 / self.csr.degree(v).max(1) as f32;
+                    for val in out.row_mut(v) {
+                        *val *= inv;
+                    }
+                }
+                let nd_bytes = (x.len() * 4) as u64;
+                let post_ms = self.pass_ms(nd_bytes, nd_bytes) + self.sparse_dispatch_ms(1);
+                Ok((out, spmm_ms + post_ms))
+            }
+        }
+    }
+
+    /// Transposed mean aggregation `(D^{-1} A)ᵀ · X` (GraphSAGE backward).
+    pub fn mean_aggregate_t(
+        &mut self,
+        x: &DenseMatrix,
+    ) -> Result<(DenseMatrix, f64), KernelError> {
+        // `Aᵀ = A` topologically; the transposed normalization values are
+        // precomputed, so no runtime permutation pass is needed.
+        let norm_t = self.mean_norm_t.clone();
+        self.spmm(x, Some(&norm_t))
+    }
+
+    /// Unweighted sum aggregation `A · X` (GIN's aggregator).
+    pub fn sum_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+        self.spmm(x, None)
+    }
+
+    /// Dense update GEMM `X·W` (cuBLAS TF-32 class in every framework).
+    pub fn linear(&mut self, x: &DenseMatrix, w: &DenseMatrix) -> (DenseMatrix, f64) {
+        let out = tcg_tensor::gemm::gemm(x, w).expect("linear shapes validated by layers");
+        let report = tcg_gpusim::cost::dense_gemm_report(
+            &self.device(),
+            x.rows(),
+            x.cols(),
+            w.cols(),
+            true,
+        );
+        (out, report.time_ms + DENSE_DISPATCH_MS)
+    }
+
+    /// Dense GEMM `Xᵀ·Y` (weight gradients).
+    pub fn linear_at_b(&mut self, x: &DenseMatrix, y: &DenseMatrix) -> (DenseMatrix, f64) {
+        let out = tcg_tensor::gemm::gemm_at_b(x, y).expect("shapes validated by layers");
+        let report = tcg_gpusim::cost::dense_gemm_report(
+            &self.device(),
+            x.cols(),
+            x.rows(),
+            y.cols(),
+            true,
+        );
+        (out, report.time_ms + DENSE_DISPATCH_MS)
+    }
+
+    /// Dense GEMM `X·Wᵀ` (input gradients).
+    pub fn linear_a_bt(&mut self, x: &DenseMatrix, w: &DenseMatrix) -> (DenseMatrix, f64) {
+        let out = tcg_tensor::gemm::gemm_a_bt(x, w).expect("shapes validated by layers");
+        let report = tcg_gpusim::cost::dense_gemm_report(
+            &self.device(),
+            x.rows(),
+            x.cols(),
+            w.rows(),
+            true,
+        );
+        (out, report.time_ms + DENSE_DISPATCH_MS)
+    }
+
+    /// Cost of a generic elementwise kernel over `elems` f32 values with
+    /// `reads` input and `writes` output streams (activation, scaling,
+    /// optimizer step...). Functional work is done by the caller.
+    pub fn elementwise_ms(&mut self, elems: usize, reads: u32, writes: u32) -> f64 {
+        self.pass_ms(
+            (elems * 4 * reads as usize) as u64,
+            (elems * 4 * writes as usize) as u64,
+        ) + DENSE_DISPATCH_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+    use tcg_kernels::common::{reference_sddmm, reference_spmm};
+    use tcg_tensor::init;
+
+    fn engine(backend: Backend) -> Engine {
+        let g = gen::community(400, 3000, 16, 24, 1).unwrap();
+        Engine::new(backend, g, DeviceSpec::rtx3090())
+    }
+
+    #[test]
+    fn all_backends_agree_on_spmm() {
+        let x = init::uniform(400, 16, -1.0, 1.0, 2);
+        let mut outs = Vec::new();
+        for b in Backend::all() {
+            let mut e = engine(b);
+            let (out, ms) = e.spmm(&x, None).unwrap();
+            assert!(ms > 0.0);
+            outs.push(out);
+        }
+        let e = engine(Backend::DglLike);
+        let prob = SpmmProblem::new(e.graph(), None, &x).unwrap();
+        let reference = reference_spmm(&prob);
+        for out in &outs {
+            assert!(out.max_abs_diff(&reference).unwrap() < 0.05);
+        }
+    }
+
+    #[test]
+    fn spmm_t_equals_explicit_transpose() {
+        let mut e = engine(Backend::TcGnn);
+        let x = init::uniform(400, 8, -1.0, 1.0, 3);
+        let vals: Vec<f32> = (0..e.graph().num_edges())
+            .map(|i| 0.1 + (i % 9) as f32 * 0.2)
+            .collect();
+        let (out_t, _) = e.spmm_t(&x, Some(&vals)).unwrap();
+        // Reference: transpose graph + values explicitly.
+        let (gt, vt) = e.graph().transpose_with_values(&vals);
+        let prob = SpmmProblem::new(&gt, Some(&vt), &x).unwrap();
+        let reference = reference_spmm(&prob);
+        assert!(out_t.max_abs_diff(&reference).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn gcn_aggregate_backends_agree_and_are_normalized() {
+        let x = init::uniform(400, 16, -1.0, 1.0, 4);
+        let mut base: Option<DenseMatrix> = None;
+        for b in Backend::all() {
+            let mut e = engine(b);
+            let (out, ms) = e.gcn_aggregate(&x).unwrap();
+            assert!(ms > 0.0);
+            if let Some(prev) = &base {
+                assert!(out.max_abs_diff(prev).unwrap() < 0.05, "backend {b:?}");
+            } else {
+                base = Some(out);
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_matches_reference_all_backends() {
+        let xa = init::uniform(400, 12, -1.0, 1.0, 5);
+        let xb = init::uniform(400, 12, -1.0, 1.0, 6);
+        for b in Backend::all() {
+            let mut e = engine(b);
+            let (vals, _) = e.sddmm(&xa, &xb).unwrap();
+            let reference = reference_sddmm(e.graph(), &xa, &xb);
+            for (a, r) in vals.iter().zip(&reference) {
+                assert!((a - r).abs() < 0.05, "backend {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pyg_sddmm_costs_more_than_dgl() {
+        let xa = init::uniform(400, 32, -1.0, 1.0, 7);
+        let mut dgl = engine(Backend::DglLike);
+        let mut pyg = engine(Backend::PygLike);
+        let (_, ms_dgl) = dgl.sddmm(&xa, &xa).unwrap();
+        let (_, ms_pyg) = pyg.sddmm(&xa, &xa).unwrap();
+        assert!(ms_pyg > ms_dgl, "pyg {ms_pyg} dgl {ms_dgl}");
+    }
+
+    #[test]
+    fn edge_softmax_rows_normalized_and_tcgnn_cheaper() {
+        let vals: Vec<f32> = (0..engine(Backend::DglLike).graph().num_edges())
+            .map(|i| (i % 5) as f32)
+            .collect();
+        let mut dgl = engine(Backend::DglLike);
+        let mut tc = engine(Backend::TcGnn);
+        let (s1, ms_dgl) = dgl.edge_softmax(&vals).unwrap();
+        let (s2, ms_tc) = tc.edge_softmax(&vals).unwrap();
+        assert_eq!(s1, s2);
+        assert!(ms_tc < ms_dgl);
+        let g = dgl.graph();
+        for v in 0..g.num_nodes() {
+            let (lo, hi) = (g.node_pointer()[v], g.node_pointer()[v + 1]);
+            if hi > lo {
+                let sum: f32 = s1[lo..hi].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_backward_rows_sum_to_zero_against_uniform() {
+        // For p from softmax, Σ_row de = Σ p(dp − Σp·dp) = Σp·dp − Σp·dp = 0.
+        let mut e = engine(Backend::TcGnn);
+        let raw: Vec<f32> = (0..e.graph().num_edges()).map(|i| (i % 7) as f32 * 0.3).collect();
+        let (p, _) = e.edge_softmax(&raw).unwrap();
+        let dp: Vec<f32> = (0..p.len()).map(|i| (i % 3) as f32 - 1.0).collect();
+        let (de, ms) = e.edge_softmax_backward(&p, &dp);
+        assert!(ms > 0.0);
+        let g = e.graph();
+        for v in 0..g.num_nodes() {
+            let (lo, hi) = (g.node_pointer()[v], g.node_pointer()[v + 1]);
+            let s: f32 = de[lo..hi].iter().sum();
+            assert!(s.abs() < 1e-4, "row {v} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn linear_matches_gemm_and_costs() {
+        let mut e = engine(Backend::TcGnn);
+        let x = init::uniform(400, 8, -1.0, 1.0, 8);
+        let w = init::uniform(8, 4, -1.0, 1.0, 9);
+        let (y, ms) = e.linear(&x, &w);
+        assert!(ms > 0.0);
+        let reference = tcg_tensor::gemm::gemm(&x, &w).unwrap();
+        assert_eq!(y, reference);
+        // Gradient GEMMs shapes.
+        let (dw, _) = e.linear_at_b(&x, &y);
+        assert_eq!(dw.shape(), (8, 4));
+        let (dx, _) = e.linear_a_bt(&y, &w);
+        assert_eq!(dx.shape(), (400, 8));
+    }
+
+    #[test]
+    fn tcgnn_has_preprocessing_cost_others_do_not() {
+        assert!(engine(Backend::TcGnn).preprocessing_ms() > 0.0);
+        assert_eq!(engine(Backend::DglLike).preprocessing_ms(), 0.0);
+        assert_eq!(engine(Backend::PygLike).preprocessing_ms(), 0.0);
+    }
+
+    #[test]
+    fn mean_aggregate_is_row_average() {
+        let x = init::uniform(400, 8, -1.0, 1.0, 11);
+        let mut base: Option<DenseMatrix> = None;
+        for b in Backend::all() {
+            let mut e = engine(b);
+            let (out, ms) = e.mean_aggregate(&x).unwrap();
+            assert!(ms > 0.0);
+            // Row v must be the mean of its neighbors' rows.
+            let g = e.graph().clone();
+            for v in (0..g.num_nodes()).step_by(37) {
+                let ns = g.neighbors(v);
+                if ns.is_empty() {
+                    continue;
+                }
+                for j in 0..8 {
+                    let mean: f32 =
+                        ns.iter().map(|&u| x.get(u as usize, j)).sum::<f32>() / ns.len() as f32;
+                    assert!((out.get(v, j) - mean).abs() < 1e-2, "{b:?} node {v}");
+                }
+            }
+            if let Some(prev) = &base {
+                assert!(out.max_abs_diff(prev).unwrap() < 0.02);
+            } else {
+                base = Some(out);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_aggregate_t_matches_explicit_transpose() {
+        let mut e = engine(Backend::TcGnn);
+        let x = init::uniform(400, 6, -1.0, 1.0, 12);
+        let (got, _) = e.mean_aggregate_t(&x).unwrap();
+        // Build (D^{-1} A)ᵀ explicitly.
+        let g = e.graph().clone();
+        let mut vals = Vec::with_capacity(g.num_edges());
+        for v in 0..g.num_nodes() {
+            let inv = 1.0 / g.degree(v).max(1) as f32;
+            vals.extend(std::iter::repeat_n(inv, g.degree(v)));
+        }
+        let (gt, vt) = g.transpose_with_values(&vals);
+        let prob = SpmmProblem::new(&gt, Some(&vt), &x).unwrap();
+        let expect = reference_spmm(&prob);
+        assert!(got.max_abs_diff(&expect).unwrap() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric_graph() {
+        let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
+        let _ = Engine::new(Backend::DglLike, g, DeviceSpec::rtx3090());
+    }
+}

@@ -1,0 +1,13 @@
+//! GNN layers with hand-derived backward passes.
+
+pub mod agnn;
+pub mod gcn;
+pub mod gin;
+pub mod linear;
+pub mod sage;
+
+pub use agnn::AgnnLayer;
+pub use gcn::GcnLayer;
+pub use gin::GinLayer;
+pub use linear::Linear;
+pub use sage::SageLayer;

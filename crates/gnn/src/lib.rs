@@ -1,0 +1,33 @@
+//! End-to-end GNN framework over the simulated GPU — the paper's
+//! "framework level".
+//!
+//! The paper integrates TC-GNN into PyTorch and compares end-to-end
+//! *training* against DGL and PyTorch-Geometric (its Figure 6). This crate
+//! plays the PyTorch role: [`engine::Engine`] binds a graph to one of three
+//! aggregation backends —
+//!
+//! - [`engine::Backend::DglLike`]: cuSPARSE-class CSR SpMM / per-edge SDDMM
+//!   plus DGL's framework behaviour (runtime degree-normalization passes,
+//!   three-kernel edge softmax);
+//! - [`engine::Backend::PygLike`]: torch-scatter aggregation (edge-parallel
+//!   atomics) plus PyG's materialization of per-edge feature intermediates;
+//! - [`engine::Backend::TcGnn`]: the paper's kernels over a one-time SGT
+//!   translation, normalization folded into edge values, fused edge softmax.
+//!
+//! On top of the engine sit [`layers`] (GCN and AGNN with hand-derived
+//! backward passes, verified against finite differences in the tests),
+//! [`loss`], [`optim::Adam`], and [`trainer`] which runs full training
+//! loops and attributes simulated GPU milliseconds to the aggregation /
+//! update / other phases — the split behind the paper's Table 1 and the
+//! end-to-end numbers behind Figure 6.
+
+pub mod engine;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod trainer;
+
+pub use engine::{Backend, Cost, Engine};
+pub use model::{AgnnModel, GcnModel, GinModel, SageModel};
+pub use trainer::{train_agnn, train_gcn, train_gin, train_sage, TrainConfig, TrainResult};

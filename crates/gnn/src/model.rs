@@ -1,0 +1,460 @@
+//! The paper's two benchmark models — GCN (2 layers, 16 hidden) and AGNN
+//! (4 propagation layers, 32 hidden) — plus the GraphSAGE and GIN models
+//! §6's "benefit a broad range of GNNs" argument covers.
+
+use tcg_tensor::{ops, DenseMatrix};
+
+use crate::engine::{Cost, Engine};
+use crate::layers::agnn::{AgnnCache, AgnnGrads, AgnnLayer};
+use crate::layers::gcn::{GcnCache, GcnGrads, GcnLayer};
+use crate::layers::gin::{GinCache, GinGrads, GinLayer};
+use crate::layers::linear::{Linear, LinearCache, LinearGrads};
+use crate::layers::sage::{SageCache, SageGrads, SageLayer};
+use crate::optim::Adam;
+
+/// Graph Convolutional Network: `GCN(in→hidden) → ReLU → GCN(hidden→out)`.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    /// First graph convolution.
+    pub l1: GcnLayer,
+    /// Second graph convolution (classifier head).
+    pub l2: GcnLayer,
+}
+
+/// Forward state of [`GcnModel`].
+pub struct GcnModelCache {
+    c1: GcnCache,
+    h1: DenseMatrix,
+    c2: GcnCache,
+}
+
+/// Gradients of [`GcnModel`].
+pub struct GcnModelGrads {
+    g1: GcnGrads,
+    g2: GcnGrads,
+}
+
+impl GcnModel {
+    /// Builds the paper's GCN configuration for a dataset shape.
+    pub fn new(in_dim: usize, hidden: usize, num_classes: usize, seed: u64) -> Self {
+        GcnModel {
+            l1: GcnLayer::new(in_dim, hidden, seed),
+            l2: GcnLayer::new(hidden, num_classes, seed ^ 0x9e37),
+        }
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GcnModelCache, Cost) {
+        let (z1, c1, cost1) = self.l1.forward(eng, x);
+        let h1 = ops::relu(&z1);
+        let relu_ms = eng.elementwise_ms(h1.len(), 1, 1);
+        let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        (
+            logits,
+            GcnModelCache {
+                c1,
+                h1: z1, // pre-activation saved for the ReLU mask
+                c2,
+            },
+            cost1 + cost2 + Cost::other(relu_ms),
+        )
+    }
+
+    /// Backward pass from logits gradient.
+    pub fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &GcnModelCache,
+        dlogits: &DenseMatrix,
+    ) -> (GcnModelGrads, Cost) {
+        let (dh1, g2, cost2) = self.l2.backward(eng, &cache.c2, dlogits, true);
+        let dh1 = dh1.expect("hidden layer needs dx");
+        let dz1 = ops::relu_backward(&cache.h1, &dh1).expect("same shape");
+        let relu_ms = eng.elementwise_ms(dz1.len(), 2, 1);
+        // Input layer: no dX needed (features are not trained).
+        let (_, g1, cost1) = self.l1.backward(eng, &cache.c1, &dz1, false);
+        (GcnModelGrads { g1, g2 }, cost1 + cost2 + Cost::other(relu_ms))
+    }
+
+    /// Applies one Adam step; returns the optimizer's simulated cost.
+    pub fn apply_grads(&mut self, eng: &mut Engine, adam: &mut Adam, grads: &GcnModelGrads) -> Cost {
+        let n_params: usize =
+            self.l1.w.len() + self.l1.b.len() + self.l2.w.len() + self.l2.b.len();
+        adam.step(&mut [
+            (self.l1.w.as_mut_slice(), grads.g1.dw.as_slice()),
+            (self.l1.b.as_mut_slice(), &grads.g1.db),
+            (self.l2.w.as_mut_slice(), grads.g2.dw.as_slice()),
+            (self.l2.b.as_mut_slice(), &grads.g2.db),
+        ]);
+        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+    }
+}
+
+/// AGNN: `Linear(in→hidden) → ReLU → k × propagation → Linear(hidden→out)`.
+#[derive(Debug, Clone)]
+pub struct AgnnModel {
+    /// Input embedding layer.
+    pub lin_in: Linear,
+    /// Attention propagation layers.
+    pub props: Vec<AgnnLayer>,
+    /// Classifier head.
+    pub lin_out: Linear,
+}
+
+/// Forward state of [`AgnnModel`].
+pub struct AgnnModelCache {
+    cin: LinearCache,
+    z0: DenseMatrix,
+    prop_caches: Vec<AgnnCache>,
+    cout: LinearCache,
+}
+
+/// Gradients of [`AgnnModel`].
+pub struct AgnnModelGrads {
+    gin: LinearGrads,
+    gprops: Vec<AgnnGrads>,
+    gout: LinearGrads,
+}
+
+impl AgnnModel {
+    /// Builds the paper's AGNN configuration (`layers` propagation layers).
+    pub fn new(in_dim: usize, hidden: usize, num_classes: usize, layers: usize, seed: u64) -> Self {
+        AgnnModel {
+            lin_in: Linear::new(in_dim, hidden, seed),
+            props: (0..layers).map(|_| AgnnLayer::new()).collect(),
+            lin_out: Linear::new(hidden, num_classes, seed ^ 0x51ab),
+        }
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(
+        &self,
+        eng: &mut Engine,
+        x: &DenseMatrix,
+    ) -> (DenseMatrix, AgnnModelCache, Cost) {
+        let (z0, cin, mut cost) = self.lin_in.forward(eng, x);
+        let mut h = ops::relu(&z0);
+        cost += Cost::other(eng.elementwise_ms(h.len(), 1, 1));
+        let mut prop_caches = Vec::with_capacity(self.props.len());
+        for prop in &self.props {
+            let (h_next, cache, c) = prop.forward(eng, &h);
+            prop_caches.push(cache);
+            cost += c;
+            h = h_next;
+        }
+        let (logits, cout, c) = self.lin_out.forward(eng, &h);
+        cost += c;
+        (
+            logits,
+            AgnnModelCache {
+                cin,
+                z0,
+                prop_caches,
+                cout,
+            },
+            cost,
+        )
+    }
+
+    /// Backward pass from logits gradient.
+    pub fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &AgnnModelCache,
+        dlogits: &DenseMatrix,
+    ) -> (AgnnModelGrads, Cost) {
+        let (dh, gout, mut cost) = self.lin_out.backward(eng, &cache.cout, dlogits, true);
+        let mut dh = dh.expect("hidden layer needs dx");
+        let mut gprops = vec![AgnnGrads { dbeta: 0.0 }; self.props.len()];
+        for (i, prop) in self.props.iter().enumerate().rev() {
+            let (dx, g, c) = prop.backward(eng, &cache.prop_caches[i], &dh);
+            gprops[i] = g;
+            cost += c;
+            dh = dx;
+        }
+        let dz0 = ops::relu_backward(&cache.z0, &dh).expect("same shape");
+        cost += Cost::other(eng.elementwise_ms(dz0.len(), 2, 1));
+        // Input layer: features are not trained, skip dX.
+        let (_, gin, c) = self.lin_in.backward(eng, &cache.cin, &dz0, false);
+        cost += c;
+        (AgnnModelGrads { gin, gprops, gout }, cost)
+    }
+
+    /// Applies one Adam step; returns the optimizer's simulated cost.
+    pub fn apply_grads(
+        &mut self,
+        eng: &mut Engine,
+        adam: &mut Adam,
+        grads: &AgnnModelGrads,
+    ) -> Cost {
+        let mut betas: Vec<f32> = self.props.iter().map(|p| p.beta).collect();
+        let dbetas: Vec<f32> = grads.gprops.iter().map(|g| g.dbeta).collect();
+        let n_params = self.lin_in.w.len()
+            + self.lin_in.b.len()
+            + self.lin_out.w.len()
+            + self.lin_out.b.len()
+            + betas.len();
+        adam.step(&mut [
+            (self.lin_in.w.as_mut_slice(), grads.gin.dw.as_slice()),
+            (self.lin_in.b.as_mut_slice(), &grads.gin.db),
+            (self.lin_out.w.as_mut_slice(), grads.gout.dw.as_slice()),
+            (self.lin_out.b.as_mut_slice(), &grads.gout.db),
+            (&mut betas, &dbetas),
+        ]);
+        for (p, b) in self.props.iter_mut().zip(betas) {
+            p.beta = b;
+        }
+        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+    }
+}
+
+/// GraphSAGE: `SAGE(in→hidden) → ReLU → SAGE(hidden→out)`.
+#[derive(Debug, Clone)]
+pub struct SageModel {
+    /// First SAGE layer.
+    pub l1: SageLayer,
+    /// Classifier SAGE layer.
+    pub l2: SageLayer,
+}
+
+/// Forward state of [`SageModel`].
+pub struct SageModelCache {
+    c1: SageCache,
+    z1: DenseMatrix,
+    c2: SageCache,
+}
+
+/// Gradients of [`SageModel`].
+pub struct SageModelGrads {
+    g1: SageGrads,
+    g2: SageGrads,
+}
+
+impl SageModel {
+    /// Builds a 2-layer GraphSAGE.
+    pub fn new(in_dim: usize, hidden: usize, num_classes: usize, seed: u64) -> Self {
+        SageModel {
+            l1: SageLayer::new(in_dim, hidden, seed),
+            l2: SageLayer::new(hidden, num_classes, seed ^ 0x5a6e),
+        }
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(
+        &self,
+        eng: &mut Engine,
+        x: &DenseMatrix,
+    ) -> (DenseMatrix, SageModelCache, Cost) {
+        let (z1, c1, cost1) = self.l1.forward(eng, x);
+        let h1 = ops::relu(&z1);
+        let relu_ms = eng.elementwise_ms(h1.len(), 1, 1);
+        let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        (
+            logits,
+            SageModelCache { c1, z1, c2 },
+            cost1 + cost2 + Cost::other(relu_ms),
+        )
+    }
+
+    /// Backward pass from logits gradient.
+    pub fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &SageModelCache,
+        dlogits: &DenseMatrix,
+    ) -> (SageModelGrads, Cost) {
+        let (dh1, g2, cost2) = self.l2.backward(eng, &cache.c2, dlogits, true);
+        let dh1 = dh1.expect("hidden layer needs dx");
+        let dz1 = ops::relu_backward(&cache.z1, &dh1).expect("same shape");
+        let relu_ms = eng.elementwise_ms(dz1.len(), 2, 1);
+        let (_, g1, cost1) = self.l1.backward(eng, &cache.c1, &dz1, false);
+        (SageModelGrads { g1, g2 }, cost1 + cost2 + Cost::other(relu_ms))
+    }
+
+    /// Applies one Adam step; returns the optimizer's simulated cost.
+    pub fn apply_grads(
+        &mut self,
+        eng: &mut Engine,
+        adam: &mut Adam,
+        grads: &SageModelGrads,
+    ) -> Cost {
+        let n_params = self.l1.w_self.len() * 2
+            + self.l1.b.len()
+            + self.l2.w_self.len() * 2
+            + self.l2.b.len();
+        adam.step(&mut [
+            (self.l1.w_self.as_mut_slice(), grads.g1.dw_self.as_slice()),
+            (self.l1.w_neigh.as_mut_slice(), grads.g1.dw_neigh.as_slice()),
+            (self.l1.b.as_mut_slice(), &grads.g1.db),
+            (self.l2.w_self.as_mut_slice(), grads.g2.dw_self.as_slice()),
+            (self.l2.w_neigh.as_mut_slice(), grads.g2.dw_neigh.as_slice()),
+            (self.l2.b.as_mut_slice(), &grads.g2.db),
+        ]);
+        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+    }
+}
+
+/// GIN: `GIN(in→hidden) → GIN(hidden→out)` (each layer carries its own MLP
+/// with a ReLU inside, so no extra activation between layers).
+#[derive(Debug, Clone)]
+pub struct GinModel {
+    /// First GIN layer.
+    pub l1: GinLayer,
+    /// Classifier GIN layer.
+    pub l2: GinLayer,
+}
+
+/// Forward state of [`GinModel`].
+pub struct GinModelCache {
+    c1: GinCache,
+    c2: GinCache,
+}
+
+/// Gradients of [`GinModel`].
+pub struct GinModelGrads {
+    g1: GinGrads,
+    g2: GinGrads,
+}
+
+impl GinModel {
+    /// Builds a 2-layer GIN with MLP hidden width = `hidden`.
+    pub fn new(in_dim: usize, hidden: usize, num_classes: usize, seed: u64) -> Self {
+        GinModel {
+            l1: GinLayer::new(in_dim, hidden, hidden, seed),
+            l2: GinLayer::new(hidden, hidden, num_classes, seed ^ 0x6169),
+        }
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GinModelCache, Cost) {
+        let (h1, c1, cost1) = self.l1.forward(eng, x);
+        let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        (logits, GinModelCache { c1, c2 }, cost1 + cost2)
+    }
+
+    /// Backward pass from logits gradient.
+    pub fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &GinModelCache,
+        dlogits: &DenseMatrix,
+    ) -> (GinModelGrads, Cost) {
+        let (dh1, g2, cost2) = self.l2.backward(eng, &cache.c2, dlogits, true);
+        let dh1 = dh1.expect("hidden layer needs dx");
+        let (_, g1, cost1) = self.l1.backward(eng, &cache.c1, &dh1, false);
+        (GinModelGrads { g1, g2 }, cost1 + cost2)
+    }
+
+    /// Applies one Adam step; returns the optimizer's simulated cost.
+    pub fn apply_grads(&mut self, eng: &mut Engine, adam: &mut Adam, grads: &GinModelGrads) -> Cost {
+        let mut eps = [self.l1.eps, self.l2.eps];
+        let deps = [grads.g1.deps, grads.g2.deps];
+        let n_params = self.l1.w1.len()
+            + self.l1.w2.len()
+            + self.l2.w1.len()
+            + self.l2.w2.len()
+            + self.l1.b1.len()
+            + self.l1.b2.len()
+            + self.l2.b1.len()
+            + self.l2.b2.len()
+            + 2;
+        adam.step(&mut [
+            (self.l1.w1.as_mut_slice(), grads.g1.dw1.as_slice()),
+            (self.l1.b1.as_mut_slice(), &grads.g1.db1),
+            (self.l1.w2.as_mut_slice(), grads.g1.dw2.as_slice()),
+            (self.l1.b2.as_mut_slice(), &grads.g1.db2),
+            (self.l2.w1.as_mut_slice(), grads.g2.dw1.as_slice()),
+            (self.l2.b1.as_mut_slice(), &grads.g2.db1),
+            (self.l2.w2.as_mut_slice(), grads.g2.dw2.as_slice()),
+            (self.l2.b2.as_mut_slice(), &grads.g2.db2),
+            (&mut eps, &deps),
+        ]);
+        self.l1.eps = eps[0];
+        self.l2.eps = eps[1];
+        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Backend;
+    use tcg_gpusim::DeviceSpec;
+    use tcg_graph::gen;
+    use tcg_tensor::init;
+
+    fn engine() -> Engine {
+        let g = gen::erdos_renyi(60, 400, 1).unwrap();
+        Engine::new(Backend::TcGnn, g, DeviceSpec::rtx3090())
+    }
+
+    #[test]
+    fn gcn_model_shapes() {
+        let mut eng = engine();
+        let model = GcnModel::new(10, 16, 4, 1);
+        let x = init::uniform(60, 10, -1.0, 1.0, 2);
+        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        assert_eq!(logits.shape(), (60, 4));
+        assert!(cost.aggregation_ms > 0.0 && cost.update_ms > 0.0);
+        let dl = init::uniform(60, 4, -0.1, 0.1, 3);
+        let (grads, bcost) = model.backward(&mut eng, &cache, &dl);
+        assert_eq!(grads.g1.dw.shape(), (10, 16));
+        assert_eq!(grads.g2.dw.shape(), (16, 4));
+        assert!(bcost.aggregation_ms > 0.0);
+    }
+
+    #[test]
+    fn agnn_model_shapes() {
+        let mut eng = engine();
+        let model = AgnnModel::new(8, 32, 5, 4, 1);
+        let x = init::uniform(60, 8, -1.0, 1.0, 2);
+        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        assert_eq!(logits.shape(), (60, 5));
+        assert!(cost.aggregation_ms > 0.0);
+        let dl = init::uniform(60, 5, -0.1, 0.1, 3);
+        let (grads, _) = model.backward(&mut eng, &cache, &dl);
+        assert_eq!(grads.gprops.len(), 4);
+        assert_eq!(grads.gin.dw.shape(), (8, 32));
+        assert_eq!(grads.gout.dw.shape(), (32, 5));
+    }
+
+    #[test]
+    fn sage_model_shapes() {
+        let mut eng = engine();
+        let model = SageModel::new(9, 12, 5, 1);
+        let x = init::uniform(60, 9, -1.0, 1.0, 2);
+        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        assert_eq!(logits.shape(), (60, 5));
+        assert!(cost.aggregation_ms > 0.0);
+        let (grads, _) = model.backward(&mut eng, &cache, &logits);
+        assert_eq!(grads.g1.dw_self.shape(), (9, 12));
+        assert_eq!(grads.g2.dw_neigh.shape(), (12, 5));
+    }
+
+    #[test]
+    fn gin_model_shapes() {
+        let mut eng = engine();
+        let model = GinModel::new(7, 10, 4, 1);
+        let x = init::uniform(60, 7, -1.0, 1.0, 2);
+        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        assert_eq!(logits.shape(), (60, 4));
+        assert!(cost.aggregation_ms > 0.0);
+        let (grads, _) = model.backward(&mut eng, &cache, &logits);
+        assert_eq!(grads.g1.dw1.shape(), (7, 10));
+        assert_eq!(grads.g2.dw2.shape(), (10, 4));
+    }
+
+    #[test]
+    fn apply_grads_changes_parameters() {
+        let mut eng = engine();
+        let mut model = GcnModel::new(6, 8, 3, 4);
+        let x = init::uniform(60, 6, -1.0, 1.0, 5);
+        let (logits, cache, _) = model.forward(&mut eng, &x);
+        let (grads, _) = model.backward(&mut eng, &cache, &logits);
+        let before = model.l1.w.clone();
+        let mut adam = Adam::new(0.01);
+        let cost = model.apply_grads(&mut eng, &mut adam, &grads);
+        assert!(cost.other_ms > 0.0);
+        assert_ne!(model.l1.w, before);
+    }
+}

@@ -1,0 +1,152 @@
+//! Optimizers: Adam (the paper's training setup uses Adam, as the original
+//! GCN/AGNN papers do) and plain SGD for tests.
+
+/// Adam optimizer over a fixed set of parameter tensors.
+///
+/// Parameters are registered implicitly by position: every call to
+/// [`Adam::step`] must pass the same tensors in the same order. Moment
+/// buffers are allocated lazily on first use.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Standard Adam with `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// One optimization step over `(param, grad)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter's length changed between steps or a gradient
+    /// length mismatches its parameter.
+    pub fn step(&mut self, pairs: &mut [(&mut [f32], &[f32])]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        while self.m.len() < pairs.len() {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        for (idx, (param, grad)) in pairs.iter_mut().enumerate() {
+            assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            if m.is_empty() {
+                m.resize(param.len(), 0.0);
+                v.resize(param.len(), 0.0);
+            }
+            assert_eq!(m.len(), param.len(), "parameter shape changed");
+            for i in 0..param.len() {
+                let g = grad[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mh = m[i] / b1t;
+                let vh = v[i] / b2t;
+                param[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD, used by tests as a simple reference.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// One descent step over `(param, grad)` pairs.
+    pub fn step(&self, pairs: &mut [(&mut [f32], &[f32])]) {
+        for (param, grad) in pairs.iter_mut() {
+            assert_eq!(param.len(), grad.len());
+            for i in 0..param.len() {
+                param[i] -= self.lr * grad[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x) = Σ (x_i - target_i)², grad = 2(x - target).
+    fn quad_grad(x: &[f32], target: &[f32]) -> Vec<f32> {
+        x.iter().zip(target).map(|(a, b)| 2.0 * (a - b)).collect()
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = vec![0.0f32; 3];
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quad_grad(&x, &target);
+            opt.step(&mut [(&mut x, &g)]);
+        }
+        for (a, b) in x.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let target = [1.0f32, 2.0];
+        let mut x = vec![-5.0f32; 2];
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = quad_grad(&x, &target);
+            opt.step(&mut [(&mut x, &g)]);
+        }
+        for (a, b) in x.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn adam_handles_multiple_tensors() {
+        let mut a = vec![0.0f32; 2];
+        let mut b = vec![0.0f32; 4];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..600 {
+            let ga = quad_grad(&a, &[1.0, 1.0]);
+            let gb = quad_grad(&b, &[-1.0, -1.0, -1.0, -1.0]);
+            opt.step(&mut [(&mut a, &ga), (&mut b, &gb)]);
+        }
+        assert!(a.iter().all(|v| (v - 1.0).abs() < 5e-2));
+        assert!(b.iter().all(|v| (v + 1.0).abs() < 5e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_grad_panics() {
+        let mut x = vec![0.0f32; 3];
+        let g = vec![0.0f32; 2];
+        Adam::new(0.1).step(&mut [(&mut x, &g)]);
+    }
+}

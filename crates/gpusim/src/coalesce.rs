@@ -1,0 +1,78 @@
+//! Warp-level memory coalescing.
+//!
+//! A warp issues one memory instruction with up to 32 lane addresses; the
+//! hardware merges them into the minimal set of 32-byte sectors. Consecutive
+//! 4-byte lane accesses coalesce 8:1; fully scattered accesses degrade to one
+//! sector per lane — the "highly irregular memory access" the paper blames
+//! for cuSPARSE SpMM's poor memory performance (§3.1).
+
+use crate::cache::SECTOR_BYTES;
+
+/// Groups lane byte-addresses into unique 32-byte sector base addresses.
+///
+/// Returns sorted, deduplicated sector bases. The number of returned sectors
+/// is the number of memory transactions this warp instruction costs.
+pub fn coalesce(addresses: &[u64]) -> Vec<u64> {
+    let mut sectors: Vec<u64> = addresses
+        .iter()
+        .map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES)
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors
+}
+
+/// Sector bases for a dense run of `count` elements of `elem_bytes` starting
+/// at `base` — the fast path for unit-stride warp accesses, avoiding the
+/// per-lane vector.
+pub fn coalesce_contiguous(base: u64, count: usize, elem_bytes: usize) -> Vec<u64> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let end = base + (count * elem_bytes) as u64;
+    let first = (base / SECTOR_BYTES) * SECTOR_BYTES;
+    (first..end).step_by(SECTOR_BYTES as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_coalesces_8_to_1() {
+        // 32 lanes × f32 at consecutive addresses = 128 B = 4 sectors.
+        let addrs: Vec<u64> = (0..32).map(|i| 1024 + i * 4).collect();
+        assert_eq!(coalesce(&addrs).len(), 4);
+    }
+
+    #[test]
+    fn scattered_access_one_sector_per_lane() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+        assert_eq!(coalesce(&addrs).len(), 32);
+    }
+
+    #[test]
+    fn duplicate_lane_addresses_merge() {
+        let addrs = vec![100u64; 32];
+        assert_eq!(coalesce(&addrs).len(), 1);
+    }
+
+    #[test]
+    fn misaligned_run_spills_into_extra_sector() {
+        // 32 f32 starting at byte 16: spans 16..144 → sectors 0,32,64,96,128.
+        let addrs: Vec<u64> = (0..32).map(|i| 16 + i * 4).collect();
+        assert_eq!(coalesce(&addrs).len(), 5);
+    }
+
+    #[test]
+    fn contiguous_matches_general_path() {
+        for &(base, count) in &[(0u64, 32usize), (16, 32), (100, 7), (0, 0)] {
+            let addrs: Vec<u64> = (0..count).map(|i| base + (i * 4) as u64).collect();
+            assert_eq!(
+                coalesce_contiguous(base, count, 4),
+                coalesce(&addrs),
+                "base {base} count {count}"
+            );
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Cycle-level warp-scheduler simulation (cross-check for the cost model).
+//!
+//! The launch harness prices kernels with an analytic roofline + exposed-
+//! latency model. This module provides the ground truth that model
+//! approximates: a small cycle-by-cycle simulation of one SM — warps issue
+//! abstract instructions through a fixed number of schedulers, loads occupy
+//! MSHR slots for their latency, dependent instructions stall their warp,
+//! and barriers rendezvous all warps. It is far too slow to run real
+//! kernels at dataset scale, but on synthetic warp programs it verifies
+//! the cost model's central behaviours: latency hiding as occupancy grows,
+//! saturation at the issue and MSHR limits, and serial-chain exposure at
+//! low occupancy. Tests at the bottom pin those behaviours, and
+//! [`validate_against_analytic`] compares the two models on a configurable
+//! streaming workload.
+
+use crate::device::DeviceSpec;
+
+/// One abstract warp instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// An arithmetic instruction: issues in one cycle, result ready after
+    /// `latency` cycles; the *next dependent* instruction waits for it.
+    Compute {
+        /// Pipeline depth until the result is usable.
+        latency: u32,
+    },
+    /// A memory load that misses to the given level. Occupies an MSHR slot
+    /// until it completes.
+    Load {
+        /// Round-trip latency in cycles.
+        latency: u32,
+        /// Whether the next instruction depends on the loaded value.
+        dependent: bool,
+    },
+    /// Block-wide barrier: the warp waits until every warp reaches it.
+    Barrier,
+}
+
+/// A warp's program plus its execution cursor.
+#[derive(Debug, Clone, Default)]
+struct WarpState {
+    program: Vec<Instr>,
+    pc: usize,
+    /// Cycle at which this warp may issue its next instruction.
+    ready_at: u64,
+    /// Waiting at a barrier.
+    at_barrier: bool,
+}
+
+/// A single-SM cycle-level simulator.
+#[derive(Debug)]
+pub struct CycleSim {
+    schedulers: u32,
+    mshr_capacity: u32,
+    mlp_per_warp: u32,
+    warps: Vec<WarpState>,
+}
+
+impl CycleSim {
+    /// Creates a simulator for `num_warps` resident warps on one SM of
+    /// `device`.
+    pub fn new(device: &DeviceSpec, num_warps: usize) -> Self {
+        CycleSim {
+            schedulers: device.schedulers_per_sm,
+            mshr_capacity: device.max_outstanding_per_sm,
+            mlp_per_warp: device.mlp_per_warp,
+            warps: vec![WarpState::default(); num_warps],
+        }
+    }
+
+    /// Appends an instruction to warp `w`'s program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn push(&mut self, w: usize, instr: Instr) {
+        self.warps[w].program.push(instr);
+    }
+
+    /// Appends the same program to every warp.
+    pub fn push_all(&mut self, program: &[Instr]) {
+        for w in &mut self.warps {
+            w.program.extend_from_slice(program);
+        }
+    }
+
+    /// Runs to completion, returning the cycle count.
+    ///
+    /// Scheduling is greedy round-robin: each cycle, up to `schedulers`
+    /// ready warps issue one instruction each. A `Load` additionally needs
+    /// a free MSHR slot; `dependent` loads block their warp until the data
+    /// returns, independent ones only until issue (fire-and-forget with the
+    /// MSHR still held).
+    pub fn run(&mut self) -> u64 {
+        let mut cycle: u64 = 0;
+        // (completion_cycle, issuing_warp) of in-flight loads.
+        let mut mshrs: Vec<(u64, usize)> = Vec::new();
+        let mut outstanding = vec![0u32; self.warps.len()];
+        let mut rr_start = 0usize;
+        let n = self.warps.len();
+        if n == 0 {
+            return 0;
+        }
+        loop {
+            // Retire completed loads.
+            mshrs.retain(|&(c, w)| {
+                if c <= cycle {
+                    outstanding[w] -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // Barrier release: if every unfinished warp is at the barrier,
+            // release them all.
+            let unfinished = self
+                .warps
+                .iter()
+                .filter(|w| w.pc < w.program.len())
+                .count();
+            if unfinished == 0 {
+                // Drain: in-flight loads and pipeline latencies must land.
+                let drain = mshrs
+                    .iter()
+                    .map(|&(c, _)| c)
+                    .chain(self.warps.iter().map(|w| w.ready_at))
+                    .max()
+                    .unwrap_or(cycle);
+                return cycle.max(drain);
+            }
+            let at_barrier = self.warps.iter().filter(|w| w.at_barrier).count();
+            if at_barrier == unfinished && at_barrier > 0 {
+                for w in &mut self.warps {
+                    if w.at_barrier {
+                        w.at_barrier = false;
+                        w.pc += 1;
+                    }
+                }
+            }
+
+            // Issue phase.
+            let mut issued = 0u32;
+            for k in 0..n {
+                if issued >= self.schedulers {
+                    break;
+                }
+                let wi = (rr_start + k) % n;
+                let warp = &mut self.warps[wi];
+                if warp.pc >= warp.program.len() || warp.at_barrier || warp.ready_at > cycle {
+                    continue;
+                }
+                match warp.program[warp.pc] {
+                    Instr::Compute { latency } => {
+                        warp.ready_at = cycle + u64::from(latency.max(1));
+                        warp.pc += 1;
+                        issued += 1;
+                    }
+                    Instr::Load { latency, dependent } => {
+                        if mshrs.len() as u32 >= self.mshr_capacity
+                            || outstanding[wi] >= self.mlp_per_warp
+                        {
+                            continue; // structural stall, try next warp
+                        }
+                        mshrs.push((cycle + u64::from(latency.max(1)), wi));
+                        outstanding[wi] += 1;
+                        if dependent {
+                            warp.ready_at = cycle + u64::from(latency.max(1));
+                        } else {
+                            warp.ready_at = cycle + 1;
+                        }
+                        warp.pc += 1;
+                        issued += 1;
+                    }
+                    Instr::Barrier => {
+                        warp.at_barrier = true;
+                        issued += 1;
+                    }
+                }
+            }
+            rr_start = (rr_start + 1) % n;
+            cycle += 1;
+
+            // Safety valve against malformed programs.
+            debug_assert!(cycle < 1_000_000_000, "cyclesim runaway");
+        }
+    }
+}
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone, Copy)]
+pub struct Validation {
+    /// Cycles from the cycle-level simulation.
+    pub simulated_cycles: u64,
+    /// Cycles the analytic exposed-latency model predicts for the same
+    /// workload on one SM.
+    pub analytic_cycles: f64,
+    /// `simulated / analytic`.
+    pub ratio: f64,
+}
+
+/// Compares the two models on a streaming workload: `num_warps` warps each
+/// issuing `loads_per_warp` dependent DRAM loads interleaved with one
+/// compute instruction.
+pub fn validate_against_analytic(
+    device: &DeviceSpec,
+    num_warps: usize,
+    loads_per_warp: usize,
+) -> Validation {
+    let mut sim = CycleSim::new(device, num_warps);
+    let lat = device.dram_latency_cycles;
+    let program: Vec<Instr> = (0..loads_per_warp)
+        .flat_map(|_| {
+            [
+                Instr::Load {
+                    latency: lat,
+                    dependent: false,
+                },
+                Instr::Compute { latency: 4 },
+            ]
+        })
+        .collect();
+    sim.push_all(&program);
+    let simulated_cycles = sim.run();
+
+    // Analytic: total latency / in-flight capacity, floored by issue.
+    let total_latency = (num_warps * loads_per_warp) as f64 * f64::from(lat);
+    let in_flight = (num_warps as f64 * f64::from(device.mlp_per_warp))
+        .min(f64::from(device.max_outstanding_per_sm));
+    let latency_cycles = total_latency / in_flight;
+    let issue_cycles =
+        (num_warps * loads_per_warp * 2) as f64 / f64::from(device.schedulers_per_sm);
+    let analytic_cycles = latency_cycles.max(issue_cycles);
+
+    Validation {
+        simulated_cycles,
+        analytic_cycles,
+        ratio: simulated_cycles as f64 / analytic_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::rtx3090()
+    }
+
+    #[test]
+    fn empty_program_takes_no_cycles() {
+        let mut sim = CycleSim::new(&dev(), 4);
+        assert_eq!(sim.run(), 0);
+        let mut none = CycleSim::new(&dev(), 0);
+        assert_eq!(none.run(), 0);
+    }
+
+    #[test]
+    fn serial_dependent_chain_exposes_full_latency() {
+        // One warp, 10 dependent loads: ~10 × latency cycles.
+        let mut sim = CycleSim::new(&dev(), 1);
+        for _ in 0..10 {
+            sim.push(
+                0,
+                Instr::Load {
+                    latency: 450,
+                    dependent: true,
+                },
+            );
+        }
+        let cycles = sim.run();
+        assert!(
+            (4500..4700).contains(&cycles),
+            "expected ~4500, got {cycles}"
+        );
+    }
+
+    #[test]
+    fn more_warps_hide_latency() {
+        let run_with = |warps: usize| {
+            let mut sim = CycleSim::new(&dev(), warps);
+            sim.push_all(&[
+                Instr::Load {
+                    latency: 450,
+                    dependent: true,
+                };
+                8
+            ]);
+            sim.run()
+        };
+        let one = run_with(1);
+        let many = run_with(16);
+        // 16 warps do 16× the work; perfect overlap would keep the time
+        // flat. Demand at least 8× better per-work efficiency.
+        assert!(
+            (many as f64) < (one as f64) * 16.0 / 8.0,
+            "one warp: {one}, sixteen warps: {many}"
+        );
+    }
+
+    #[test]
+    fn issue_throughput_bounds_compute() {
+        // 48 warps × 100 one-cycle computes on 4 schedulers ⇒ ≥ 1200 cycles.
+        let mut sim = CycleSim::new(&dev(), 48);
+        sim.push_all(&[Instr::Compute { latency: 1 }; 100]);
+        let cycles = sim.run();
+        assert!(cycles >= 1200, "issue-bound floor violated: {cycles}");
+        assert!(cycles < 1500, "too far above the floor: {cycles}");
+    }
+
+    #[test]
+    fn mshr_limit_throttles_independent_loads() {
+        // A device with tiny MSHR capacity serializes waves of loads.
+        let mut small = dev();
+        small.max_outstanding_per_sm = 4;
+        let mut sim = CycleSim::new(&small, 8);
+        sim.push_all(&[
+            Instr::Load {
+                latency: 100,
+                dependent: false,
+            };
+            4
+        ]);
+        let throttled = sim.run();
+        let mut sim2 = CycleSim::new(&dev(), 8);
+        sim2.push_all(&[
+            Instr::Load {
+                latency: 100,
+                dependent: false,
+            };
+            4
+        ]);
+        let free = sim2.run();
+        assert!(
+            throttled > 2 * free,
+            "4-slot MSHR {throttled} vs 128-slot {free}"
+        );
+    }
+
+    #[test]
+    fn barrier_rendezvous() {
+        // Warp 0 does a long load before the barrier; warp 1 must wait for
+        // it before running its post-barrier compute.
+        let mut sim = CycleSim::new(&dev(), 2);
+        sim.push(
+            0,
+            Instr::Load {
+                latency: 400,
+                dependent: true,
+            },
+        );
+        sim.push(0, Instr::Barrier);
+        sim.push(1, Instr::Barrier);
+        sim.push(1, Instr::Compute { latency: 1 });
+        let cycles = sim.run();
+        assert!(cycles >= 400, "barrier must wait for the slow warp: {cycles}");
+    }
+
+    #[test]
+    fn analytic_model_tracks_cyclesim_within_2x() {
+        // The roofline+exposed-latency model should land within a small
+        // factor of the ground truth across occupancy levels.
+        for warps in [2usize, 8, 32, 48] {
+            let v = validate_against_analytic(&dev(), warps, 32);
+            assert!(
+                v.ratio > 0.4 && v.ratio < 2.5,
+                "warps = {warps}: sim {} vs analytic {:.0} (ratio {:.2})",
+                v.simulated_cycles,
+                v.analytic_cycles,
+                v.ratio
+            );
+        }
+    }
+}

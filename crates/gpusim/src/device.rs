@@ -1,0 +1,191 @@
+//! GPU device specifications used to calibrate the cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a GPU, in the units the cost model consumes.
+///
+/// Defaults come from vendor whitepapers. The reproduction's headline device
+/// is [`DeviceSpec::rtx3090`] (the paper's evaluation platform); an
+/// [`DeviceSpec::a100`] profile is included for the cross-device ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, for report labels.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// FP32 CUDA-core lanes per SM (FMA capable: 2 FLOP/lane/cycle).
+    pub fp32_lanes_per_sm: u32,
+    /// Tensor cores per SM.
+    pub tcu_per_sm: u32,
+    /// TF-32 FLOPs per tensor core per cycle (multiply+add counted as 2).
+    pub tcu_flops_per_cycle: u32,
+    /// Warp schedulers per SM (instruction issue slots per cycle).
+    pub schedulers_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// L2 bandwidth in GB/s (roughly 3× DRAM on Ampere).
+    pub l2_bandwidth_gbps: f64,
+    /// L1/texture cache capacity per SM in bytes.
+    pub l1_bytes_per_sm: usize,
+    /// L2 cache capacity in bytes (device-wide).
+    pub l2_bytes: usize,
+    /// Shared-memory capacity per SM in bytes (max carve-out).
+    pub shared_mem_per_sm: usize,
+    /// Register file size per SM (32-bit registers).
+    pub registers_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// DRAM access latency in cycles.
+    pub dram_latency_cycles: u32,
+    /// L2 hit latency in cycles.
+    pub l2_latency_cycles: u32,
+    /// L1 hit latency in cycles.
+    pub l1_latency_cycles: u32,
+    /// Memory requests a warp can keep in flight (MLP per warp).
+    pub mlp_per_warp: u32,
+    /// Outstanding memory transactions one SM can sustain toward L2/DRAM
+    /// (LSU/MSHR queue depth) — caps device-wide memory parallelism.
+    pub max_outstanding_per_sm: u32,
+}
+
+impl DeviceSpec {
+    /// GeForce RTX 3090 (GA102) — the paper's evaluation GPU.
+    pub fn rtx3090() -> Self {
+        DeviceSpec {
+            name: "NVIDIA GeForce RTX 3090 (simulated)".into(),
+            num_sms: 82,
+            fp32_lanes_per_sm: 128,
+            tcu_per_sm: 4,
+            // GA102 TF-32 dense: 35.6 TFLOPS at 1.695 GHz over 82 SMs × 4
+            // TCUs ⇒ 35.6e12 / (1.695e9 × 82 × 4) ≈ 64 FLOP/TCU/cycle.
+            tcu_flops_per_cycle: 64,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.695,
+            dram_bandwidth_gbps: 936.0,
+            l2_bandwidth_gbps: 2800.0,
+            l1_bytes_per_sm: 128 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            shared_mem_per_sm: 100 * 1024,
+            registers_per_sm: 65_536,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            dram_latency_cycles: 450,
+            l2_latency_cycles: 220,
+            l1_latency_cycles: 30,
+            mlp_per_warp: 8,
+            max_outstanding_per_sm: 128,
+        }
+    }
+
+    /// NVIDIA A100 (GA100) profile for the cross-device ablation.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA A100-SXM4-40GB (simulated)".into(),
+            num_sms: 108,
+            fp32_lanes_per_sm: 64,
+            tcu_per_sm: 4,
+            // A100 TF-32 dense: 156 TFLOPS at 1.41 GHz over 108 SMs × 4 TCUs
+            // ⇒ ≈ 256 FLOP per TCU per cycle.
+            tcu_flops_per_cycle: 256,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.41,
+            dram_bandwidth_gbps: 1555.0,
+            l2_bandwidth_gbps: 4800.0,
+            l1_bytes_per_sm: 192 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            shared_mem_per_sm: 164 * 1024,
+            registers_per_sm: 65_536,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            dram_latency_cycles: 500,
+            l2_latency_cycles: 200,
+            l1_latency_cycles: 30,
+            mlp_per_warp: 8,
+            max_outstanding_per_sm: 192,
+        }
+    }
+
+    /// Peak FP32 throughput on CUDA cores, FLOPs per cycle, device-wide.
+    pub fn fp32_flops_per_cycle(&self) -> f64 {
+        // FMA counts as 2 FLOPs per lane per cycle.
+        (self.num_sms * self.fp32_lanes_per_sm) as f64 * 2.0
+    }
+
+    /// Peak TCU throughput, FLOPs per cycle, device-wide.
+    pub fn tcu_flops_per_cycle_total(&self) -> f64 {
+        (self.num_sms * self.tcu_per_sm * self.tcu_flops_per_cycle) as f64
+    }
+
+    /// Peak FP32 TFLOPS on CUDA cores (sanity anchor: 35.6 on the 3090).
+    pub fn fp32_tflops(&self) -> f64 {
+        self.fp32_flops_per_cycle() * self.clock_ghz / 1000.0
+    }
+
+    /// Peak TF-32 TCU TFLOPS (sanity anchor: 35.6 dense on the 3090).
+    pub fn tcu_tflops(&self) -> f64 {
+        self.tcu_flops_per_cycle_total() * self.clock_ghz / 1000.0
+    }
+
+    /// DRAM bytes deliverable per core clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_gbps / self.clock_ghz
+    }
+
+    /// L2 bytes deliverable per core clock cycle.
+    pub fn l2_bytes_per_cycle(&self) -> f64 {
+        self.l2_bandwidth_gbps / self.clock_ghz
+    }
+
+    /// Converts device cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_matches_datasheet_tflops() {
+        let d = DeviceSpec::rtx3090();
+        // GA102 whitepaper: 35.6 TFLOPS FP32, 35.6 TFLOPS TF-32 dense.
+        assert!((d.fp32_tflops() - 35.6).abs() < 0.5, "{}", d.fp32_tflops());
+        assert!((d.tcu_tflops() - 35.6).abs() < 0.5, "{}", d.tcu_tflops());
+    }
+
+    #[test]
+    fn a100_matches_datasheet_tflops() {
+        let d = DeviceSpec::a100();
+        // A100: 19.5 TFLOPS FP32, 156 TFLOPS TF-32 dense.
+        assert!((d.fp32_tflops() - 19.5).abs() < 0.5, "{}", d.fp32_tflops());
+        assert!((d.tcu_tflops() - 156.0).abs() < 2.0, "{}", d.tcu_tflops());
+    }
+
+    #[test]
+    fn bandwidth_per_cycle_is_consistent() {
+        let d = DeviceSpec::rtx3090();
+        // 936 GB/s at 1.695 GHz ⇒ ~552 B per cycle.
+        assert!((d.dram_bytes_per_cycle() - 552.2).abs() < 1.0);
+        assert!(d.l2_bytes_per_cycle() > d.dram_bytes_per_cycle());
+    }
+
+    #[test]
+    fn cycles_to_ms_roundtrip() {
+        let d = DeviceSpec::rtx3090();
+        let ms = d.cycles_to_ms(1.695e6);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,600 @@
+//! Kernel launch harness: blocks, warp-level cost charging, address space.
+//!
+//! Kernels are Rust closures invoked once per thread block with a
+//! [`BlockCtx`]. The closure performs the kernel's real computation on
+//! ordinary slices while charging every warp-level action to the context:
+//! global loads/stores run through the coalescer and the L1/L2 simulators,
+//! arithmetic charges the right pipe, shared-memory traffic and instruction
+//! issue are counted. [`Launcher::launch`] then feeds the totals to
+//! [`crate::cost::analyze`].
+//!
+//! Data buffers live in the kernel's own Rust memory; the launcher only
+//! assigns them *synthetic device addresses* via [`AddressSpace`] so the
+//! cache simulation sees a realistic address stream.
+
+use crate::cache::{Cache, Probe, SECTOR_BYTES};
+use crate::coalesce;
+use crate::cost;
+use crate::device::DeviceSpec;
+use crate::stats::{KernelReport, KernelStats};
+
+/// Launch configuration of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Threads per block.
+    pub block_size: u32,
+    /// Shared memory bytes per block (static + dynamic).
+    pub shared_mem_bytes: usize,
+    /// Estimated registers per thread (occupancy input; 32 is a typical
+    /// compiled sparse-kernel footprint).
+    pub regs_per_thread: u32,
+}
+
+impl GridConfig {
+    /// A config with the given block size, no shared memory, 32 registers.
+    pub fn with_block_size(block_size: u32) -> Self {
+        GridConfig {
+            block_size,
+            shared_mem_bytes: 0,
+            regs_per_thread: 32,
+        }
+    }
+}
+
+/// A logical device allocation: a synthetic base address plus a length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    base: u64,
+    len_bytes: u64,
+}
+
+impl Buffer {
+    /// Device address of `elem_index` assuming `elem_bytes` elements.
+    #[inline]
+    pub fn addr(&self, elem_index: usize, elem_bytes: usize) -> u64 {
+        let off = (elem_index * elem_bytes) as u64;
+        debug_assert!(off < self.len_bytes || self.len_bytes == 0);
+        self.base + off
+    }
+
+    /// Device address of f32 element `i`.
+    #[inline]
+    pub fn f32_addr(&self, i: usize) -> u64 {
+        self.addr(i, 4)
+    }
+
+    /// Base device address.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Allocation size in bytes.
+    #[inline]
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+}
+
+/// Bump allocator for synthetic device addresses (256-byte aligned, like
+/// `cudaMalloc`).
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace { next: 256 }
+    }
+
+    /// Allocates `bytes`, returning the buffer handle.
+    pub fn alloc(&mut self, bytes: usize) -> Buffer {
+        let base = self.next;
+        let aligned = (bytes as u64).div_ceil(256) * 256;
+        self.next += aligned.max(256);
+        Buffer {
+            base,
+            len_bytes: bytes as u64,
+        }
+    }
+
+    /// Allocates space for `n` f32 values.
+    pub fn alloc_f32(&mut self, n: usize) -> Buffer {
+        self.alloc(n * 4)
+    }
+}
+
+/// Per-block execution context handed to kernel closures.
+pub struct BlockCtx<'a> {
+    /// The device being simulated.
+    pub device: &'a DeviceSpec,
+    /// This block's index.
+    pub block_id: u64,
+    /// Launch configuration.
+    pub config: GridConfig,
+    stats: &'a mut KernelStats,
+    l1: &'a mut Cache,
+    l2: &'a mut Cache,
+    scratch: Vec<u64>,
+}
+
+impl<'a> BlockCtx<'a> {
+    fn probe(&mut self, sector: u64) {
+        match self.l1.access(sector) {
+            Probe::Hit => self.stats.l1_hits += 1,
+            Probe::Miss => {
+                self.stats.l1_misses += 1;
+                match self.l2.access(sector) {
+                    Probe::Hit => self.stats.l2_hits += 1,
+                    Probe::Miss => {
+                        self.stats.l2_misses += 1;
+                        self.stats.dram_read_bytes += SECTOR_BYTES;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One warp-wide global load with arbitrary lane addresses.
+    pub fn ld_global_warp(&mut self, addrs: &[u64]) {
+        self.stats.warp_instructions += 1;
+        self.stats.int_ops += addrs.len() as u64; // address arithmetic
+        self.scratch.clear();
+        self.scratch
+            .extend(addrs.iter().map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES));
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        self.stats.gl_load_transactions += self.scratch.len() as u64;
+        let n = self.scratch.len();
+        for i in 0..n {
+            let s = self.scratch[i];
+            self.probe(s);
+        }
+    }
+
+    /// Global load of `count` contiguous elements of `elem_bytes` starting at
+    /// `base`, performed by however many warps it takes (unit stride — the
+    /// coalesced fast path).
+    pub fn ld_global_contiguous(&mut self, base: u64, count: usize, elem_bytes: usize) {
+        if count == 0 {
+            return;
+        }
+        let lanes = self.device.warp_size as usize;
+        let warps = (count * elem_bytes).div_ceil(lanes * 4).max(1);
+        self.stats.warp_instructions += warps as u64;
+        self.stats.int_ops += count as u64;
+        for sector in coalesce::coalesce_contiguous(base, count, elem_bytes) {
+            self.stats.gl_load_transactions += 1;
+            self.probe(sector);
+        }
+    }
+
+    /// Gathers `elems_per_row` consecutive elements from each of the given
+    /// row base addresses — the access pattern of fetching dense-matrix rows
+    /// for a set of (possibly scattered) neighbor ids.
+    ///
+    /// Instruction count is `ceil(rows × elems_per_row / 32)` (lanes are
+    /// packed across rows); each row's span is probed sector by sector, so
+    /// scattered rows cost one-plus transactions each while adjacent rows
+    /// merge naturally.
+    pub fn ld_global_gather_rows(&mut self, bases: &[u64], elems_per_row: usize, elem_bytes: usize) {
+        if bases.is_empty() || elems_per_row == 0 {
+            return;
+        }
+        let total = bases.len() * elems_per_row;
+        self.stats.warp_instructions += (total as u64).div_ceil(32);
+        self.stats.int_ops += total as u64;
+        for &base in bases {
+            for sector in coalesce::coalesce_contiguous(base, elems_per_row, elem_bytes) {
+                self.stats.gl_load_transactions += 1;
+                self.probe(sector);
+            }
+        }
+    }
+
+    /// Scatters `elems_per_row` consecutive elements to each row base — the
+    /// store-side mirror of [`BlockCtx::ld_global_gather_rows`].
+    pub fn st_global_gather_rows(&mut self, bases: &[u64], elems_per_row: usize, elem_bytes: usize) {
+        if bases.is_empty() || elems_per_row == 0 {
+            return;
+        }
+        let total = bases.len() * elems_per_row;
+        self.stats.warp_instructions += (total as u64).div_ceil(32);
+        self.stats.int_ops += total as u64;
+        for &base in bases {
+            let n = coalesce::coalesce_contiguous(base, elems_per_row, elem_bytes).len() as u64;
+            self.stats.gl_store_transactions += n;
+            self.stats.dram_write_bytes += n * SECTOR_BYTES;
+        }
+    }
+
+    /// One scalar global load (a single thread reading e.g. a row pointer).
+    pub fn ld_global_scalar(&mut self, addr: u64) {
+        self.stats.warp_instructions += 1;
+        self.stats.int_ops += 1;
+        self.stats.gl_load_transactions += 1;
+        let sector = (addr / SECTOR_BYTES) * SECTOR_BYTES;
+        self.probe(sector);
+    }
+
+    /// One warp-wide global store with arbitrary lane addresses.
+    pub fn st_global_warp(&mut self, addrs: &[u64]) {
+        self.stats.warp_instructions += 1;
+        self.stats.int_ops += addrs.len() as u64;
+        self.scratch.clear();
+        self.scratch
+            .extend(addrs.iter().map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES));
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let n = self.scratch.len() as u64;
+        self.stats.gl_store_transactions += n;
+        self.stats.dram_write_bytes += n * SECTOR_BYTES;
+    }
+
+    /// Contiguous global store of `count` elements of `elem_bytes`.
+    pub fn st_global_contiguous(&mut self, base: u64, count: usize, elem_bytes: usize) {
+        if count == 0 {
+            return;
+        }
+        let lanes = self.device.warp_size as usize;
+        let warps = (count * elem_bytes).div_ceil(lanes * 4).max(1);
+        self.stats.warp_instructions += warps as u64;
+        self.stats.int_ops += count as u64;
+        let sectors = coalesce::coalesce_contiguous(base, count, elem_bytes).len() as u64;
+        self.stats.gl_store_transactions += sectors;
+        self.stats.dram_write_bytes += sectors * SECTOR_BYTES;
+    }
+
+    /// Atomic adds from one warp; duplicate target addresses serialize.
+    pub fn atomic_add_global(&mut self, addrs: &[u64]) {
+        self.stats.int_ops += addrs.len() as u64;
+        self.stats.atomic_ops += addrs.len() as u64;
+        // Lanes hitting the same address replay serially.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(addrs);
+        self.scratch.sort_unstable();
+        let mut max_run = 1u64;
+        let mut run = 1u64;
+        for w in self.scratch.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        self.stats.warp_instructions += max_run;
+        // Atomics read-modify-write through L2.
+        self.scratch
+            .iter_mut()
+            .for_each(|a| *a = (*a / SECTOR_BYTES) * SECTOR_BYTES);
+        self.scratch.dedup();
+        let n = self.scratch.len() as u64;
+        self.stats.gl_store_transactions += n;
+        self.stats.dram_write_bytes += n * SECTOR_BYTES;
+    }
+
+    /// `n` warp-wide shared-memory transactions (load or store).
+    pub fn shared_access(&mut self, n: u64) {
+        self.stats.warp_instructions += n;
+        self.stats.shared_transactions += n;
+    }
+
+    /// One warp-wide FMA (`lanes` active lanes, 2 FLOPs each).
+    pub fn fma_warp(&mut self, lanes: u32) {
+        self.stats.warp_instructions += 1;
+        self.stats.fp32_flops += 2 * lanes as u64;
+    }
+
+    /// `n` warp-wide FMA instructions at full width.
+    pub fn fma_warps(&mut self, n: u64) {
+        self.stats.warp_instructions += n;
+        self.stats.fp32_flops += 2 * 32 * n;
+    }
+
+    /// One warp-wide non-FMA FP32 op (add/mul/exp approximations count 1).
+    pub fn fp32_warp(&mut self, lanes: u32) {
+        self.stats.warp_instructions += 1;
+        self.stats.fp32_flops += lanes as u64;
+    }
+
+    /// `n` warp-wide non-FMA FP32 instructions at full width (bulk form for
+    /// per-edge shuffle/reduction charging).
+    pub fn fp32_warps(&mut self, n: u64) {
+        self.stats.warp_instructions += n;
+        self.stats.fp32_flops += 32 * n;
+    }
+
+    /// One warp-wide integer/address op.
+    pub fn int_warp(&mut self, lanes: u32) {
+        self.stats.warp_instructions += 1;
+        self.stats.int_ops += lanes as u64;
+    }
+
+    /// A tensor-core MMA instruction of the given FLOP count.
+    pub fn tcu_mma(&mut self, flops: u64) {
+        self.stats.warp_instructions += 1;
+        self.stats.tcu_mma_instructions += 1;
+        self.stats.tcu_flops += flops;
+    }
+
+    /// Block-wide barrier.
+    pub fn syncthreads(&mut self) {
+        self.stats.warp_instructions +=
+            u64::from(self.config.block_size.div_ceil(self.device.warp_size));
+    }
+}
+
+/// Owns the persistent memory-system state and launches kernels.
+pub struct Launcher {
+    device: DeviceSpec,
+    l2: Cache,
+    l1: Cache,
+    address_space: AddressSpace,
+}
+
+impl Launcher {
+    /// Creates a launcher for `device` with cold caches.
+    pub fn new(device: DeviceSpec) -> Self {
+        let l2 = Cache::l2(device.l2_bytes);
+        let l1 = Cache::l1(device.l1_bytes_per_sm);
+        Launcher {
+            device,
+            l2,
+            l1,
+            address_space: AddressSpace::new(),
+        }
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Allocates a synthetic device buffer of `bytes`.
+    pub fn alloc(&mut self, bytes: usize) -> Buffer {
+        self.address_space.alloc(bytes)
+    }
+
+    /// Allocates a synthetic device buffer of `n` f32 values.
+    pub fn alloc_f32(&mut self, n: usize) -> Buffer {
+        self.address_space.alloc_f32(n)
+    }
+
+    /// Runs `body` once per block and returns the accumulated counters.
+    ///
+    /// The L1 is flushed at block boundaries (a block starts on a cold SM);
+    /// the L2 persists across blocks *and* across launches, modeling
+    /// cross-kernel reuse of inputs.
+    pub fn launch<F>(&mut self, cfg: GridConfig, num_blocks: u64, mut body: F) -> KernelStats
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        let mut stats = KernelStats {
+            num_blocks,
+            block_size: cfg.block_size,
+            shared_mem_per_block: cfg.shared_mem_bytes,
+            regs_per_thread: cfg.regs_per_thread,
+            ..Default::default()
+        };
+        for block_id in 0..num_blocks {
+            self.l1.flush();
+            let mut ctx = BlockCtx {
+                device: &self.device,
+                block_id,
+                config: cfg,
+                stats: &mut stats,
+                l1: &mut self.l1,
+                l2: &mut self.l2,
+                scratch: Vec::with_capacity(64),
+            };
+            body(&mut ctx);
+        }
+        stats
+    }
+
+    /// Convenience: launch then analyze.
+    pub fn launch_analyzed<F>(
+        &mut self,
+        cfg: GridConfig,
+        num_blocks: u64,
+        body: F,
+    ) -> KernelReport
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        let stats = self.launch(cfg, num_blocks, body);
+        cost::analyze(&self.device, &stats)
+    }
+
+    /// Drops all cached state (e.g. between unrelated experiments).
+    pub fn reset_caches(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launcher() -> Launcher {
+        Launcher::new(DeviceSpec::rtx3090())
+    }
+
+    #[test]
+    fn address_space_is_disjoint_and_aligned() {
+        let mut a = AddressSpace::new();
+        let b1 = a.alloc(100);
+        let b2 = a.alloc_f32(10);
+        assert_eq!(b1.base() % 256, 0);
+        assert_eq!(b2.base() % 256, 0);
+        assert!(b2.base() >= b1.base() + 100);
+        assert_eq!(b2.len_bytes(), 40);
+        assert_eq!(b2.f32_addr(3), b2.base() + 12);
+    }
+
+    #[test]
+    fn launch_counts_blocks_and_instructions() {
+        let mut l = launcher();
+        let stats = l.launch(GridConfig::with_block_size(128), 10, |ctx| {
+            ctx.fma_warp(32);
+            ctx.syncthreads();
+        });
+        assert_eq!(stats.num_blocks, 10);
+        assert_eq!(stats.fp32_flops, 10 * 64);
+        // Each block: 1 fma + 4 warps of barrier.
+        assert_eq!(stats.warp_instructions, 10 * (1 + 4));
+    }
+
+    #[test]
+    fn repeated_loads_hit_l1_within_block() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(1024);
+        let addrs: Vec<u64> = (0..32).map(|i| buf.f32_addr(i)).collect();
+        let stats = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_warp(&addrs);
+            ctx.ld_global_warp(&addrs);
+        });
+        assert_eq!(stats.gl_load_transactions, 8);
+        assert_eq!(stats.l1_misses, 4);
+        assert_eq!(stats.l1_hits, 4);
+    }
+
+    #[test]
+    fn l1_does_not_survive_block_boundary_but_l2_does() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(1024);
+        let addrs: Vec<u64> = (0..32).map(|i| buf.f32_addr(i)).collect();
+        let stats = l.launch(GridConfig::with_block_size(32), 2, |ctx| {
+            ctx.ld_global_warp(&addrs);
+        });
+        // Block 0: 4 L1 misses → 4 L2 misses. Block 1: 4 L1 misses → 4 L2 hits.
+        assert_eq!(stats.l1_hits, 0);
+        assert_eq!(stats.l1_misses, 8);
+        assert_eq!(stats.l2_hits, 4);
+        assert_eq!(stats.l2_misses, 4);
+        assert_eq!(stats.dram_read_bytes, 4 * 32);
+    }
+
+    #[test]
+    fn l2_persists_across_launches() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(64);
+        let addrs: Vec<u64> = (0..32).map(|i| buf.f32_addr(i)).collect();
+        let s1 = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_warp(&addrs)
+        });
+        assert_eq!(s1.l2_misses, 4);
+        let s2 = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_warp(&addrs)
+        });
+        assert_eq!(s2.l2_misses, 0);
+        assert_eq!(s2.l2_hits, 4);
+        l.reset_caches();
+        let s3 = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_warp(&addrs)
+        });
+        assert_eq!(s3.l2_misses, 4);
+    }
+
+    #[test]
+    fn contiguous_load_matches_warp_loads() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(256);
+        let s_contig = l.launch(GridConfig::with_block_size(256), 1, |ctx| {
+            ctx.ld_global_contiguous(buf.base(), 256, 4);
+        });
+        l.reset_caches();
+        let s_warp = l.launch(GridConfig::with_block_size(256), 1, |ctx| {
+            for w in 0..8 {
+                let addrs: Vec<u64> = (0..32).map(|i| buf.f32_addr(w * 32 + i)).collect();
+                ctx.ld_global_warp(&addrs);
+            }
+        });
+        assert_eq!(s_contig.gl_load_transactions, s_warp.gl_load_transactions);
+        assert_eq!(s_contig.warp_instructions, s_warp.warp_instructions);
+    }
+
+    #[test]
+    fn scattered_stores_cost_more_transactions() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(100_000);
+        let dense: Vec<u64> = (0..32).map(|i| buf.f32_addr(i)).collect();
+        let sparse: Vec<u64> = (0..32).map(|i| buf.f32_addr(i * 1000)).collect();
+        let s = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.st_global_warp(&dense);
+            ctx.st_global_warp(&sparse);
+        });
+        assert_eq!(s.gl_store_transactions, 4 + 32);
+    }
+
+    #[test]
+    fn atomic_conflicts_serialize() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(1024);
+        let conflict: Vec<u64> = vec![buf.f32_addr(0); 32];
+        let spread: Vec<u64> = (0..32).map(|i| buf.f32_addr(i)).collect();
+        let s_conflict = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.atomic_add_global(&conflict)
+        });
+        l.reset_caches();
+        let s_spread = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.atomic_add_global(&spread)
+        });
+        assert!(s_conflict.warp_instructions > s_spread.warp_instructions);
+        assert_eq!(s_conflict.atomic_ops, 32);
+    }
+
+    #[test]
+    fn gather_rows_cost_reflects_scatter() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(1_000_000);
+        // 8 adjacent rows of 16 f32 vs 8 rows scattered 4 KB apart.
+        let adjacent: Vec<u64> = (0..8).map(|r| buf.f32_addr(r * 16)).collect();
+        let scattered: Vec<u64> = (0..8).map(|r| buf.f32_addr(r * 1024)).collect();
+        let s_adj = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_gather_rows(&adjacent, 16, 4);
+        });
+        l.reset_caches();
+        let s_sc = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_gather_rows(&scattered, 16, 4);
+        });
+        // Same instructions (4 warps of 128 lanes), same transactions here
+        // (each 64 B row = 2 sectors either way), but misses differ if rows
+        // were to share sectors; at minimum the call must count loads.
+        assert_eq!(s_adj.warp_instructions, s_sc.warp_instructions);
+        assert_eq!(s_adj.gl_load_transactions, 16);
+        assert_eq!(s_sc.gl_load_transactions, 16);
+        // Store mirror.
+        let s_st = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.st_global_gather_rows(&scattered, 16, 4);
+        });
+        assert_eq!(s_st.gl_store_transactions, 16);
+    }
+
+    #[test]
+    fn scalar_load_counts_one_transaction() {
+        let mut l = launcher();
+        let buf = l.alloc_f32(16);
+        let s = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            ctx.ld_global_scalar(buf.f32_addr(0));
+            ctx.ld_global_scalar(buf.f32_addr(1)); // same sector: L1 hit
+        });
+        assert_eq!(s.gl_load_transactions, 2);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.l1_misses, 1);
+    }
+
+    #[test]
+    fn launch_analyzed_produces_report() {
+        let mut l = launcher();
+        let r = l.launch_analyzed(GridConfig::with_block_size(128), 82 * 6, |ctx| {
+            ctx.fma_warps(100);
+        });
+        assert!(r.time_ms > 0.0);
+        assert!(r.occupancy > 0.0);
+    }
+}

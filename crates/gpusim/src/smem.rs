@@ -1,0 +1,86 @@
+//! Shared-memory staging buffer.
+//!
+//! A thin typed wrapper over the per-block scratch space CUDA calls
+//! `__shared__`. The kernels stage sparse tiles and gathered dense rows here
+//! exactly like the paper's Listings 2/3 (`sparse_A`, `sparse_AToX_index`,
+//! `dense_X`). Traffic is charged by the kernels through
+//! [`crate::launch::BlockCtx::shared_access`]; this type only provides
+//! storage, bounds checking and the byte size used for occupancy.
+
+/// A per-block shared-memory region of `f32` plus a `u32` index region.
+#[derive(Debug, Clone)]
+pub struct SharedMem {
+    f32_data: Vec<f32>,
+    u32_data: Vec<u32>,
+}
+
+impl SharedMem {
+    /// Allocates a region with `f32_len` floats and `u32_len` indices.
+    pub fn new(f32_len: usize, u32_len: usize) -> Self {
+        SharedMem {
+            f32_data: vec![0.0; f32_len],
+            u32_data: vec![0; u32_len],
+        }
+    }
+
+    /// Total byte footprint (what occupancy sees).
+    pub fn size_bytes(&self) -> usize {
+        self.f32_data.len() * 4 + self.u32_data.len() * 4
+    }
+
+    /// The float region.
+    pub fn f32s(&self) -> &[f32] {
+        &self.f32_data
+    }
+
+    /// Mutable float region.
+    pub fn f32s_mut(&mut self) -> &mut [f32] {
+        &mut self.f32_data
+    }
+
+    /// The index region.
+    pub fn u32s(&self) -> &[u32] {
+        &self.u32_data
+    }
+
+    /// Mutable index region.
+    pub fn u32s_mut(&mut self) -> &mut [u32] {
+        &mut self.u32_data
+    }
+
+    /// Zeroes the float region (tile re-initialization between TC blocks).
+    pub fn clear_f32(&mut self) {
+        self.f32_data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Fills the index region with a sentinel (the paper uses
+    /// `numNodes + 1` as the "empty column" marker).
+    pub fn fill_u32(&mut self, sentinel: u32) {
+        self.u32_data.iter_mut().for_each(|v| *v = sentinel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_views() {
+        let mut s = SharedMem::new(128, 16);
+        assert_eq!(s.size_bytes(), 128 * 4 + 16 * 4);
+        s.f32s_mut()[5] = 2.5;
+        s.u32s_mut()[3] = 7;
+        assert_eq!(s.f32s()[5], 2.5);
+        assert_eq!(s.u32s()[3], 7);
+    }
+
+    #[test]
+    fn clear_and_sentinel() {
+        let mut s = SharedMem::new(4, 4);
+        s.f32s_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        s.clear_f32();
+        assert!(s.f32s().iter().all(|&v| v == 0.0));
+        s.fill_u32(99);
+        assert!(s.u32s().iter().all(|&v| v == 99));
+    }
+}

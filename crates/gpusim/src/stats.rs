@@ -1,0 +1,210 @@
+//! Kernel resource counters and the derived performance report.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw resource counts accumulated while a kernel executes.
+///
+/// These are the quantities an `nsight`-style profiler reports on real
+/// hardware; [`crate::cost::analyze`] turns them into simulated time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Thread blocks launched.
+    pub num_blocks: u64,
+    /// Threads per block.
+    pub block_size: u32,
+    /// Shared memory bytes per block.
+    pub shared_mem_per_block: usize,
+    /// Estimated registers per thread (occupancy input).
+    pub regs_per_thread: u32,
+
+    /// Warp-level instructions issued (every load/store/alu/mma counts one).
+    pub warp_instructions: u64,
+    /// FP32 FLOPs executed on CUDA cores (FMA = 2).
+    pub fp32_flops: u64,
+    /// Integer/address ALU operations (warp-wide ops × 32 lanes).
+    pub int_ops: u64,
+    /// Tensor-core MMA instructions.
+    pub tcu_mma_instructions: u64,
+    /// FLOPs executed on tensor cores.
+    pub tcu_flops: u64,
+    /// Atomic read-modify-write operations (lane granularity).
+    pub atomic_ops: u64,
+
+    /// Global load transactions (post-coalescing 32 B sectors).
+    pub gl_load_transactions: u64,
+    /// Global store transactions (post-coalescing 32 B sectors).
+    pub gl_store_transactions: u64,
+    /// L1 hits / misses among load transactions.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits among L1 misses.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM fetches).
+    pub l2_misses: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written toward DRAM (stores are modeled write-through to L2
+    /// with DRAM writeback).
+    pub dram_write_bytes: u64,
+    /// Shared-memory transactions (warp-wide accesses).
+    pub shared_transactions: u64,
+}
+
+impl KernelStats {
+    /// Merges another kernel's counters into `self` (sequential composition:
+    /// block/launch shape keeps the first kernel's values, resource counts
+    /// add).
+    pub fn merge(&mut self, other: &KernelStats) {
+        if self.num_blocks == 0 {
+            self.num_blocks = other.num_blocks;
+            self.block_size = other.block_size;
+            self.shared_mem_per_block = other.shared_mem_per_block;
+            self.regs_per_thread = other.regs_per_thread;
+        }
+        self.warp_instructions += other.warp_instructions;
+        self.fp32_flops += other.fp32_flops;
+        self.int_ops += other.int_ops;
+        self.tcu_mma_instructions += other.tcu_mma_instructions;
+        self.tcu_flops += other.tcu_flops;
+        self.atomic_ops += other.atomic_ops;
+        self.gl_load_transactions += other.gl_load_transactions;
+        self.gl_store_transactions += other.gl_store_transactions;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.shared_transactions += other.shared_transactions;
+    }
+
+    /// L1 hit rate over load transactions, in `[0, 1]`.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total FLOPs across both pipes.
+    pub fn total_flops(&self) -> u64 {
+        self.fp32_flops + self.tcu_flops
+    }
+
+    /// The paper's *computation intensity*: FLOPs per byte of memory
+    /// actually moved (Table 3's "CI" column, measured).
+    pub fn compute_intensity(&self) -> f64 {
+        let bytes = self.dram_bytes();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.total_flops() as f64 / bytes as f64
+        }
+    }
+}
+
+/// Simulated performance report for one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Simulated execution time in milliseconds.
+    pub time_ms: f64,
+    /// Simulated device cycles.
+    pub cycles: f64,
+    /// Achieved occupancy in `[0, 1]` (resident warps / max warps).
+    pub occupancy: f64,
+    /// L1 hit rate in `[0, 1]`.
+    pub l1_hit_rate: f64,
+    /// Which resource bound the kernel ("cuda-core", "tensor-core",
+    /// "dram-bandwidth", "memory-latency", "issue", "shared-memory").
+    pub bound_by: String,
+    /// Cycle cost of each pipe, for ablation tables.
+    pub pipe_cycles: PipeCycles,
+    /// The raw counters the report was derived from.
+    pub stats: KernelStats,
+}
+
+/// Per-pipe cycle totals before taking the roofline max.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipeCycles {
+    /// CUDA-core FP32+INT pipe.
+    pub cuda_core: f64,
+    /// Tensor-core pipe.
+    pub tensor_core: f64,
+    /// DRAM bandwidth.
+    pub dram_bandwidth: f64,
+    /// L2 bandwidth.
+    pub l2_bandwidth: f64,
+    /// Exposed memory latency after occupancy-based hiding.
+    pub memory_latency: f64,
+    /// Instruction issue.
+    pub issue: f64,
+    /// Shared-memory throughput.
+    pub shared: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelStats {
+            num_blocks: 4,
+            block_size: 128,
+            fp32_flops: 100,
+            l1_hits: 3,
+            l1_misses: 1,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            num_blocks: 8,
+            block_size: 256,
+            fp32_flops: 50,
+            l1_hits: 1,
+            l1_misses: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.fp32_flops, 150);
+        assert_eq!(a.num_blocks, 4, "launch shape keeps first kernel's value");
+        assert_eq!(a.l1_hits, 4);
+        assert!((a.l1_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_shape() {
+        let mut empty = KernelStats::default();
+        let b = KernelStats {
+            num_blocks: 8,
+            block_size: 256,
+            ..Default::default()
+        };
+        empty.merge(&b);
+        assert_eq!(empty.num_blocks, 8);
+        assert_eq!(empty.block_size, 256);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = KernelStats {
+            fp32_flops: 1000,
+            tcu_flops: 3000,
+            dram_read_bytes: 400,
+            dram_write_bytes: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.total_flops(), 4000);
+        assert_eq!(s.dram_bytes(), 500);
+        assert!((s.compute_intensity() - 8.0).abs() < 1e-12);
+        assert_eq!(KernelStats::default().compute_intensity(), 0.0);
+        assert_eq!(KernelStats::default().l1_hit_rate(), 0.0);
+    }
+}

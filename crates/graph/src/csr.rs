@@ -1,0 +1,418 @@
+//! Compressed Sparse Row graph — the paper's `nodePointer` / `edgeList`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, NodeId, Result};
+
+/// A graph in CSR format.
+///
+/// `node_pointer` has `num_nodes + 1` entries; the neighbors of node `v`
+/// are `edge_list[node_pointer[v] .. node_pointer[v + 1]]`, sorted
+/// ascending with no duplicates. This is the exact structure the paper's
+/// Algorithm 1 consumes (`nodePointer`, `edgeList`) and every kernel in
+/// `tcg-kernels` reads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    node_pointer: Vec<usize>,
+    edge_list: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw arrays, validating all invariants.
+    ///
+    /// Invariants checked:
+    /// - `node_pointer.len() == num_nodes + 1`, starts at 0, monotone
+    ///   non-decreasing, ends at `edge_list.len()`;
+    /// - every neighbor id is `< num_nodes`;
+    /// - each row is strictly ascending (sorted, duplicate-free).
+    pub fn from_raw(
+        num_nodes: usize,
+        node_pointer: Vec<usize>,
+        edge_list: Vec<NodeId>,
+    ) -> Result<Self> {
+        if node_pointer.len() != num_nodes + 1 {
+            return Err(GraphError::MalformedNodePointer {
+                reason: format!(
+                    "length {} != num_nodes + 1 = {}",
+                    node_pointer.len(),
+                    num_nodes + 1
+                ),
+            });
+        }
+        if node_pointer.first() != Some(&0) {
+            return Err(GraphError::MalformedNodePointer {
+                reason: "first entry must be 0".into(),
+            });
+        }
+        if *node_pointer.last().expect("non-empty") != edge_list.len() {
+            return Err(GraphError::MalformedNodePointer {
+                reason: format!(
+                    "last entry {} != edge count {}",
+                    node_pointer.last().unwrap(),
+                    edge_list.len()
+                ),
+            });
+        }
+        for w in node_pointer.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::MalformedNodePointer {
+                    reason: "non-monotone".into(),
+                });
+            }
+        }
+        let g = CsrGraph {
+            num_nodes,
+            node_pointer,
+            edge_list,
+        };
+        for v in 0..num_nodes {
+            let row = g.neighbors(v);
+            for &u in row {
+                if u as usize >= num_nodes {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: u,
+                        num_nodes,
+                    });
+                }
+            }
+            for w in row.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(if w[1] == w[0] {
+                        GraphError::DuplicateEdge {
+                            src: v as NodeId,
+                            dst: w[0],
+                        }
+                    } else {
+                        GraphError::UnsortedRow { row: v }
+                    });
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Builds CSR from a `(src, dst)` list already sorted by `(src, dst)`
+    /// with duplicates removed (what [`crate::CooGraph::into_csr`] provides).
+    pub fn from_sorted_coo(num_nodes: usize, src: &[NodeId], dst: &[NodeId]) -> Result<Self> {
+        let mut node_pointer = vec![0usize; num_nodes + 1];
+        for &s in src {
+            if s as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: s,
+                    num_nodes,
+                });
+            }
+            node_pointer[s as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            node_pointer[i + 1] += node_pointer[i];
+        }
+        Self::from_raw(num_nodes, node_pointer, dst.to_vec())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges (non-zeros of the adjacency matrix).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// The row pointer array (`nodePointer` in the paper).
+    #[inline]
+    pub fn node_pointer(&self) -> &[usize] {
+        &self.node_pointer
+    }
+
+    /// The concatenated neighbor lists (`edgeList` in the paper).
+    #[inline]
+    pub fn edge_list(&self) -> &[NodeId] {
+        &self.edge_list
+    }
+
+    /// Neighbors of node `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[NodeId] {
+        &self.edge_list[self.node_pointer[v]..self.node_pointer[v + 1]]
+    }
+
+    /// Out-degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.node_pointer[v + 1] - self.node_pointer[v]
+    }
+
+    /// Yields `(src, dst)` for every edge, row by row.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .map(move |&u| (v as NodeId, u))
+        })
+    }
+
+    /// Returns the transposed graph (reverse of every edge).
+    ///
+    /// Needed for backward passes: if aggregation uses `A`, its gradient
+    /// uses `Aᵀ`. For symmetrized graphs this is equal to `self`.
+    pub fn transpose(&self) -> CsrGraph {
+        let mut counts = vec![0usize; self.num_nodes + 1];
+        for &d in &self.edge_list {
+            counts[d as usize + 1] += 1;
+        }
+        for i in 0..self.num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let node_pointer = counts.clone();
+        let mut cursor = counts;
+        let mut edge_list = vec![0 as NodeId; self.edge_list.len()];
+        for v in 0..self.num_nodes {
+            for &u in self.neighbors(v) {
+                edge_list[cursor[u as usize]] = v as NodeId;
+                cursor[u as usize] += 1;
+            }
+        }
+        // Rows come out sorted because we scan sources in ascending order.
+        CsrGraph {
+            num_nodes: self.num_nodes,
+            node_pointer,
+            edge_list,
+        }
+    }
+
+    /// Transposes the graph together with a per-edge value array, returning
+    /// the transposed graph and the values realigned to its edge order.
+    ///
+    /// Needed by backward passes over *weighted* aggregation (AGNN's
+    /// attention matrix is not symmetric even on a symmetric graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_edges()`.
+    pub fn transpose_with_values(&self, values: &[f32]) -> (CsrGraph, Vec<f32>) {
+        assert_eq!(values.len(), self.num_edges());
+        let mut counts = vec![0usize; self.num_nodes + 1];
+        for &d in &self.edge_list {
+            counts[d as usize + 1] += 1;
+        }
+        for i in 0..self.num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let node_pointer = counts.clone();
+        let mut cursor = counts;
+        let mut edge_list = vec![0 as NodeId; self.edge_list.len()];
+        let mut out_vals = vec![0.0f32; values.len()];
+        let mut e = 0usize;
+        for v in 0..self.num_nodes {
+            for &u in self.neighbors(v) {
+                let slot = cursor[u as usize];
+                edge_list[slot] = v as NodeId;
+                out_vals[slot] = values[e];
+                cursor[u as usize] += 1;
+                e += 1;
+            }
+        }
+        (
+            CsrGraph {
+                num_nodes: self.num_nodes,
+                node_pointer,
+                edge_list,
+            },
+            out_vals,
+        )
+    }
+
+    /// Edge permutation realizing the transpose: `perm[i]` is the index in
+    /// `self`'s edge order of the `i`-th edge of `self.transpose()`.
+    ///
+    /// Lets per-epoch edge values be realigned for `Aᵀ` aggregation with a
+    /// single gather (`vals_t[i] = vals[perm[i]]`) instead of rebuilding the
+    /// transposed graph each time.
+    pub fn transpose_permutation(&self) -> Vec<u32> {
+        let mut counts = vec![0usize; self.num_nodes + 1];
+        for &d in &self.edge_list {
+            counts[d as usize + 1] += 1;
+        }
+        for i in 0..self.num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts;
+        let mut perm = vec![0u32; self.edge_list.len()];
+        let mut e = 0usize;
+        for v in 0..self.num_nodes {
+            for &u in self.neighbors(v) {
+                perm[cursor[u as usize]] = e as u32;
+                cursor[u as usize] += 1;
+                e += 1;
+            }
+        }
+        perm
+    }
+
+    /// True if the edge set is symmetric (`(u,v)` present iff `(v,u)`).
+    pub fn is_symmetric(&self) -> bool {
+        let t = self.transpose();
+        self.node_pointer == t.node_pointer && self.edge_list == t.edge_list
+    }
+
+    /// Checks whether edge `(v, u)` exists (binary search on the row).
+    pub fn has_edge(&self, v: usize, u: NodeId) -> bool {
+        self.neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// GCN symmetric normalization values `1 / sqrt(d_src * d_dst)` per edge,
+    /// aligned with `edge_list` order (`D^{-1/2} A D^{-1/2}`).
+    ///
+    /// Degrees of isolated endpoints are clamped to 1 so values stay finite.
+    pub fn gcn_norm_edge_values(&self) -> Vec<f32> {
+        let deg: Vec<f32> = (0..self.num_nodes)
+            .map(|v| self.degree(v).max(1) as f32)
+            .collect();
+        let mut vals = Vec::with_capacity(self.num_edges());
+        for v in 0..self.num_nodes {
+            let dv = deg[v];
+            for &u in self.neighbors(v) {
+                vals.push(1.0 / (dv * deg[u as usize]).sqrt());
+            }
+        }
+        vals
+    }
+
+    /// Bytes used by the CSR arrays (for the Table 3 memory-consumption
+    /// column).
+    pub fn memory_bytes(&self) -> usize {
+        self.node_pointer.len() * std::mem::size_of::<usize>()
+            + self.edge_list.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Bytes a dense `N×N` f32 adjacency of this graph would take (Table 2).
+    pub fn dense_adjacency_bytes(&self) -> u128 {
+        (self.num_nodes as u128) * (self.num_nodes as u128) * 4
+    }
+
+    /// The paper's "effective computation" metric: `nnz / N²` (Table 2).
+    pub fn effective_compute_ratio(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / (self.num_nodes as f64 * self.num_nodes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrGraph {
+        // 0 -> 1,2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0
+        CsrGraph::from_raw(4, vec![0, 2, 3, 3, 4], vec![1, 2, 2, 0]).unwrap()
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        // Wrong pointer length.
+        assert!(CsrGraph::from_raw(2, vec![0, 1], vec![0]).is_err());
+        // First not zero.
+        assert!(CsrGraph::from_raw(1, vec![1, 1], vec![]).is_err());
+        // Last != edge count.
+        assert!(CsrGraph::from_raw(1, vec![0, 2], vec![0]).is_err());
+        // Non-monotone.
+        assert!(CsrGraph::from_raw(2, vec![0, 1, 0], vec![0]).is_err());
+        // Out-of-range neighbor.
+        assert!(matches!(
+            CsrGraph::from_raw(2, vec![0, 1, 1], vec![5]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        // Unsorted row.
+        assert!(matches!(
+            CsrGraph::from_raw(3, vec![0, 2, 2, 2], vec![2, 1]),
+            Err(GraphError::UnsortedRow { .. })
+        ));
+        // Duplicate edge.
+        assert!(matches!(
+            CsrGraph::from_raw(3, vec![0, 2, 2, 2], vec![1, 1]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = small();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn iter_edges_complete() {
+        let g = small();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let g = small();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(0), &[3]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.transpose(), g);
+        assert_eq!(t.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn transpose_with_values_realignment() {
+        let g = small();
+        let vals = vec![10.0, 20.0, 30.0, 40.0]; // (0,1)=10 (0,2)=20 (1,2)=30 (3,0)=40
+        let (t, tv) = g.transpose_with_values(&vals);
+        assert_eq!(t, g.transpose());
+        // t edges row 0: [3] val 40; row 1: [0] val 10; row 2: [0,1] vals 20,30.
+        assert_eq!(tv, vec![40.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn transpose_permutation_matches_transpose_with_values() {
+        let g = small();
+        let vals = vec![10.0, 20.0, 30.0, 40.0];
+        let (_, tv) = g.transpose_with_values(&vals);
+        let perm = g.transpose_permutation();
+        let via_perm: Vec<f32> = perm.iter().map(|&i| vals[i as usize]).collect();
+        assert_eq!(tv, via_perm);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let g = small();
+        assert!(!g.is_symmetric());
+        let sym =
+            CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn gcn_norm_values() {
+        // Symmetric path 0-1-2.
+        let g = CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        let vals = g.gcn_norm_edge_values();
+        // Edge (0,1): 1/sqrt(1*2); edge (1,0): 1/sqrt(2*1); (1,2): 1/sqrt(2*1); (2,1): 1/sqrt(1*2).
+        let e = 1.0 / (2.0f32).sqrt();
+        for v in vals {
+            assert!((v - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn metric_helpers() {
+        let g = small();
+        assert_eq!(g.dense_adjacency_bytes(), 4 * 4 * 4);
+        assert!((g.effective_compute_ratio() - 4.0 / 16.0).abs() < 1e-12);
+        assert!(g.memory_bytes() > 0);
+    }
+}

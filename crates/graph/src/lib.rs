@@ -1,0 +1,33 @@
+//! Graph containers and dataset generation for the TC-GNN reproduction.
+//!
+//! The paper evaluates on 14 real-world graphs (its Table 4) spanning three
+//! structural classes: small citation-style graphs with high-dimensional
+//! features (Type I), collections of disjoint small dense subgraphs from the
+//! graph-kernel benchmarks (Type II), and large irregular power-law graphs
+//! (Type III). Those datasets are not redistributable here, so
+//! [`datasets`] provides *synthetic stand-ins* matched on node count, edge
+//! count, feature dimension, class count and — the property TC-GNN's Sparse
+//! Graph Translation actually exploits — neighbor-sharing structure per type.
+//!
+//! The [`CsrGraph`] layout (`node_pointer` + `edge_list`) mirrors exactly the
+//! `nodePointer`/`edgeList` arrays of the paper's Algorithm 1.
+
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use coo::CooGraph;
+pub use csr::CsrGraph;
+pub use datasets::{Dataset, DatasetSpec, GraphClass};
+pub use error::GraphError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Node identifier type: `u32` covers the largest paper dataset
+/// (YeastH, 3.14 M nodes) with headroom.
+pub type NodeId = u32;

@@ -1,0 +1,234 @@
+//! Shared problem types, CPU references and the kernel trait.
+
+use std::fmt;
+
+use tcg_gpusim::{KernelReport, Launcher};
+use tcg_graph::CsrGraph;
+use tcg_tensor::DenseMatrix;
+
+/// One neighbor-aggregation problem instance: `X̂ = (F ⊙ A) · X`.
+///
+/// `edge_values` (the paper's **F**, aligned with `csr.edge_list()` order)
+/// is `None` for plain adjacency aggregation (GCN-style with external
+/// normalization) and `Some` for weighted aggregation (AGNN attention).
+#[derive(Clone, Copy)]
+pub struct SpmmProblem<'a> {
+    /// Adjacency in CSR.
+    pub csr: &'a CsrGraph,
+    /// Optional per-edge multipliers aligned with `csr.edge_list()`.
+    pub edge_values: Option<&'a [f32]>,
+    /// Dense node matrix `N × D`.
+    pub x: &'a DenseMatrix,
+}
+
+impl<'a> SpmmProblem<'a> {
+    /// Creates a problem, validating dimensions.
+    pub fn new(
+        csr: &'a CsrGraph,
+        edge_values: Option<&'a [f32]>,
+        x: &'a DenseMatrix,
+    ) -> Result<Self, KernelError> {
+        if x.rows() != csr.num_nodes() {
+            return Err(KernelError::DimMismatch {
+                what: "x rows vs graph nodes",
+                expected: csr.num_nodes(),
+                actual: x.rows(),
+            });
+        }
+        if let Some(v) = edge_values {
+            if v.len() != csr.num_edges() {
+                return Err(KernelError::DimMismatch {
+                    what: "edge value count vs edges",
+                    expected: csr.num_edges(),
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(SpmmProblem {
+            csr,
+            edge_values,
+            x,
+        })
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The multiplier of edge `e` (1.0 when unweighted).
+    #[inline]
+    pub fn value(&self, e: usize) -> f32 {
+        self.edge_values.map_or(1.0, |v| v[e])
+    }
+}
+
+/// Errors from kernel setup or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Operand dimensions disagree.
+    DimMismatch {
+        /// What was compared.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// The kernel's working set exceeds device memory (dense-GEMM baseline
+    /// on large graphs — the Table 2 failure mode).
+    MemoryExceeded {
+        /// Bytes the kernel would need.
+        required_bytes: u128,
+        /// Device capacity used for the check.
+        capacity_bytes: u128,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::DimMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "dimension mismatch ({what}): expected {expected}, got {actual}"),
+            KernelError::MemoryExceeded {
+                required_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "working set of {required_bytes} bytes exceeds device capacity {capacity_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A neighbor-aggregation kernel: takes the problem, returns the aggregated
+/// matrix and the simulated performance report.
+pub trait SpmmKernel {
+    /// Kernel name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Executes the kernel on the simulated device.
+    fn execute(
+        &self,
+        launcher: &mut Launcher,
+        prob: &SpmmProblem<'_>,
+    ) -> Result<(DenseMatrix, KernelReport), KernelError>;
+}
+
+/// CPU reference SpMM: `out[v] = Σ_{u ∈ N(v)} w(v,u) · x[u]`, f64-accumulated.
+pub fn reference_spmm(prob: &SpmmProblem<'_>) -> DenseMatrix {
+    let n = prob.csr.num_nodes();
+    let d = prob.dim();
+    let mut out = DenseMatrix::zeros(n, d);
+    let mut acc = vec![0.0f64; d];
+    for v in 0..n {
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        let lo = prob.csr.node_pointer()[v];
+        for (i, &u) in prob.csr.neighbors(v).iter().enumerate() {
+            let w = prob.value(lo + i) as f64;
+            let row = prob.x.row(u as usize);
+            for (a, &xv) in acc.iter_mut().zip(row) {
+                *a += w * xv as f64;
+            }
+        }
+        for (o, &a) in out.row_mut(v).iter_mut().zip(acc.iter()) {
+            *o = a as f32;
+        }
+    }
+    out
+}
+
+/// CPU reference SDDMM: `f[e] = x[src(e)] · x_b[dst(e)]` for every edge,
+/// f64-accumulated, in `edge_list` order.
+pub fn reference_sddmm(csr: &CsrGraph, xa: &DenseMatrix, xb: &DenseMatrix) -> Vec<f32> {
+    let mut out = Vec::with_capacity(csr.num_edges());
+    for v in 0..csr.num_nodes() {
+        let arow = xa.row(v);
+        for &u in csr.neighbors(v) {
+            let brow = xb.row(u as usize);
+            let s: f64 = arow
+                .iter()
+                .zip(brow)
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum();
+            out.push(s as f32);
+        }
+    }
+    out
+}
+
+/// Tolerance for comparing a TF-32 kernel against the f64 reference, scaled
+/// by reduction length and value magnitude.
+pub fn kernel_tolerance(max_degree: usize, dim: usize, magnitude: f32) -> f32 {
+    let k = max_degree.max(dim).max(1);
+    tcg_tensor::tf32::tf32_rel_tolerance(k) * magnitude.max(1.0) * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+    use tcg_tensor::init;
+
+    #[test]
+    fn problem_validates_dims() {
+        let g = gen::erdos_renyi(50, 300, 1).unwrap();
+        let x_ok = DenseMatrix::zeros(50, 8);
+        let x_bad = DenseMatrix::zeros(49, 8);
+        assert!(SpmmProblem::new(&g, None, &x_ok).is_ok());
+        assert!(SpmmProblem::new(&g, None, &x_bad).is_err());
+        let vals = vec![1.0; g.num_edges() + 1];
+        assert!(SpmmProblem::new(&g, Some(&vals), &x_ok).is_err());
+    }
+
+    #[test]
+    fn reference_spmm_identity_weights() {
+        // Path graph 0-1-2; X = identity-ish rows.
+        let g = CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        let x = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0]).unwrap();
+        let prob = SpmmProblem::new(&g, None, &x).unwrap();
+        let out = reference_spmm(&prob);
+        // Row 0 = x[1]; row 1 = x[0] + x[2]; row 2 = x[1].
+        assert_eq!(out.row(0), &[0.0, 1.0]);
+        assert_eq!(out.row(1), &[3.0, 2.0]);
+        assert_eq!(out.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn reference_spmm_respects_edge_values() {
+        let g = CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).unwrap();
+        let x = DenseMatrix::from_vec(2, 1, vec![3.0, 5.0]).unwrap();
+        let vals = vec![2.0, 10.0];
+        let prob = SpmmProblem::new(&g, Some(&vals), &x).unwrap();
+        let out = reference_spmm(&prob);
+        assert_eq!(out.get(0, 0), 10.0); // 2 * x[1]
+        assert_eq!(out.get(1, 0), 30.0); // 10 * x[0]
+    }
+
+    #[test]
+    fn reference_sddmm_simple_dots() {
+        let g = CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).unwrap();
+        let x = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let f = reference_sddmm(&g, &x, &x);
+        // Edge (0,1): 1*3+2*4 = 11; edge (1,0): same by symmetry.
+        assert_eq!(f, vec![11.0, 11.0]);
+    }
+
+    #[test]
+    fn sddmm_matches_dense_masked_product() {
+        let g = gen::erdos_renyi(40, 300, 2).unwrap();
+        let x = init::uniform(40, 12, -1.0, 1.0, 3);
+        let f = reference_sddmm(&g, &x, &x);
+        let full = tcg_tensor::gemm::gemm_a_bt(&x, &x).unwrap();
+        let mut i = 0usize;
+        for (s, d) in g.iter_edges() {
+            assert!((f[i] - full.get(s as usize, d as usize)).abs() < 1e-4);
+            i += 1;
+        }
+    }
+}

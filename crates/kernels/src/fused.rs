@@ -1,0 +1,377 @@
+//! Fused attention pipeline: SDDMM → row softmax → weighted SpMM in one
+//! kernel launch.
+//!
+//! An extension beyond the paper (its §5 pipelines the three stages as
+//! separate kernels). The fusion is possible because SGT's row windows make
+//! each thread block the owner of *all* edges of its 16 rows: the block can
+//! compute the window's attention logits with the SDDMM tile loop, softmax
+//! them entirely in shared memory (each row's edges are block-local), and
+//! immediately run the weighted SpMM accumulation — no `edgeValList`
+//! round-trips through global memory and two fewer kernel launches per
+//! layer. Exactly the AGNN forward pipeline
+//! `P = softmax(β·cos(x̂, x̂)); Y = P·X`.
+
+use tcg_gpusim::wmma::{
+    mma_sync, FragmentA, FragmentAcc, FragmentB, FRAG_A_SMEM_TRANSACTIONS,
+    FRAG_B_SMEM_TRANSACTIONS, WMMA_K, WMMA_N,
+};
+use tcg_gpusim::{GridConfig, KernelReport, Launcher};
+use tcg_graph::CsrGraph;
+use tcg_sgt::{TranslatedGraph, TC_BLK_H, TC_BLK_W};
+use tcg_tensor::DenseMatrix;
+
+use crate::common::KernelError;
+
+/// Output of the fused attention kernel.
+pub struct FusedAttentionOutput {
+    /// Aggregated node features `Y = P·Xv`.
+    pub y: DenseMatrix,
+    /// Raw cosine logits per edge (needed by the backward pass).
+    pub cos: Vec<f32>,
+    /// Softmaxed attention values per edge.
+    pub p: Vec<f32>,
+    /// Simulated performance report (one launch).
+    pub report: KernelReport,
+}
+
+/// Runs the fused pipeline: logits from `xa·xaᵀ` (SDDMM over edges), scale
+/// by `beta`, row softmax, then `Y = P·xv` — one simulated kernel.
+///
+/// `xa` supplies the attention operands (AGNN passes the L2-normalized
+/// features), `xv` the aggregated values (AGNN passes the raw features).
+pub fn fused_attention(
+    launcher: &mut Launcher,
+    csr: &CsrGraph,
+    t: &TranslatedGraph,
+    xa: &DenseMatrix,
+    xv: &DenseMatrix,
+    beta: f32,
+) -> Result<FusedAttentionOutput, KernelError> {
+    if t.edge_to_col.len() != csr.num_edges() {
+        return Err(KernelError::DimMismatch {
+            what: "translation edge count vs graph",
+            expected: csr.num_edges(),
+            actual: t.edge_to_col.len(),
+        });
+    }
+    if xa.rows() != csr.num_nodes() || xv.rows() != csr.num_nodes() {
+        return Err(KernelError::DimMismatch {
+            what: "feature rows vs graph nodes",
+            expected: csr.num_nodes(),
+            actual: xa.rows().min(xv.rows()),
+        });
+    }
+    let n = csr.num_nodes();
+    let da = xa.cols();
+    let dv = xv.cols();
+    let slabs = dv.div_ceil(WMMA_N);
+    let dim_iterations = da.div_ceil(WMMA_K);
+    let mut y = DenseMatrix::zeros(n, dv);
+    let mut cos = vec![0.0f32; csr.num_edges()];
+    let mut p = vec![0.0f32; csr.num_edges()];
+
+    let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
+    let buf_pack = launcher.alloc(csr.num_edges());
+    let buf_atox = launcher.alloc(t.block_atox.len() * 4 + 4);
+    let buf_porig = launcher.alloc(csr.num_edges() * 4);
+    let buf_xa = launcher.alloc_f32(xa.len());
+    let buf_xv = launcher.alloc_f32(xv.len());
+    let buf_out = launcher.alloc_f32(y.len());
+    let buf_cos = launcher.alloc_f32(csr.num_edges());
+    let buf_p = launcher.alloc_f32(csr.num_edges());
+
+    // Shared memory: the SDDMM staging of Listing 3 plus a window-local
+    // edge-value buffer (the fusion's working set) and the SpMM dense_X.
+    let warps = slabs.clamp(4, 8);
+    let max_win_edges = (0..t.num_row_windows)
+        .map(|w| {
+            let (lo, hi) = t.window_edge_range(csr, w);
+            hi - lo
+        })
+        .max()
+        .unwrap_or(0);
+    let smem_bytes = (TC_BLK_H * TC_BLK_H + TC_BLK_H) * 4
+        + 2 * (TC_BLK_H * WMMA_K) * 4
+        + max_win_edges.min(4096) * 4
+        + warps * TC_BLK_W * WMMA_N * 4;
+    let cfg = GridConfig {
+        block_size: (warps * 32) as u32,
+        shared_mem_bytes: smem_bytes,
+        regs_per_thread: 96,
+    };
+
+    let mut a_tile = vec![0.0f32; TC_BLK_H * WMMA_K];
+    let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
+    let mut spmm_a = vec![0.0f32; TC_BLK_H * TC_BLK_W];
+    let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
+
+    let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
+        let w = ctx.block_id as usize;
+        let num_spmm_blocks = t.win_partition[w] as usize;
+        if num_spmm_blocks == 0 {
+            return;
+        }
+        let row_lo = w * TC_BLK_H;
+        let row_hi = (row_lo + TC_BLK_H).min(n);
+        ctx.ld_global_scalar(buf_ptr.addr(row_lo, 8));
+        ctx.ld_global_scalar(buf_ptr.addr(row_hi, 8));
+        let b_lo = t.win_block_start[w];
+        let b_hi = t.win_block_start[w + 1];
+
+        // --- Stage 1: SDDMM over the window's edges (16-wide frames). ----
+        let num_sddmm_blocks = (num_spmm_blocks * t.blk_w).div_ceil(TC_BLK_H);
+        for i in 0..num_sddmm_blocks {
+            let cb_lo = b_lo + 2 * i;
+            let cb_hi = (cb_lo + 2).min(b_hi);
+            let c_lo = t.block_ptr[cb_lo];
+            let c_hi = t.block_ptr[cb_hi];
+            ctx.ld_global_contiguous(buf_pack.addr(c_lo, 1), c_hi - c_lo, 1);
+            ctx.ld_global_contiguous(buf_porig.addr(c_lo, 4), c_hi - c_lo, 4);
+            ctx.ld_global_contiguous(
+                buf_atox.addr(t.block_atox_ptr[cb_lo], 4),
+                t.block_atox_ptr[cb_hi] - t.block_atox_ptr[cb_lo],
+                4,
+            );
+            let mut acc = FragmentAcc::default();
+            for di in 0..dim_iterations {
+                let dim0 = di * WMMA_K;
+                let kw = (da - dim0).min(WMMA_K);
+                let x_bases: Vec<u64> = (row_lo..row_hi)
+                    .map(|r| buf_xa.f32_addr(r * da + dim0))
+                    .collect();
+                ctx.ld_global_gather_rows(&x_bases, kw, 4);
+                a_tile.iter_mut().for_each(|v| *v = 0.0);
+                for (ri, r) in (row_lo..row_hi).enumerate() {
+                    let xr = xa.row(r);
+                    for k in 0..kw {
+                        a_tile[ri * WMMA_K + k] = xr[dim0 + k];
+                    }
+                }
+                b_tile.iter_mut().for_each(|v| *v = 0.0);
+                let mut y_bases: Vec<u64> = Vec::with_capacity(TC_BLK_H);
+                for (half, cb) in (cb_lo..cb_hi).enumerate() {
+                    for (c8, &nid) in t.block_atox(cb).iter().enumerate() {
+                        if nid == u32::MAX {
+                            continue;
+                        }
+                        y_bases.push(buf_xa.f32_addr(nid as usize * da + dim0));
+                        let yr = xa.row(nid as usize);
+                        let c = c8 + half * t.blk_w;
+                        for k in 0..kw {
+                            b_tile[k * WMMA_N + c] = yr[dim0 + k];
+                        }
+                    }
+                }
+                ctx.ld_global_gather_rows(&y_bases, kw, 4);
+                ctx.shared_access(FRAG_A_SMEM_TRANSACTIONS + FRAG_B_SMEM_TRANSACTIONS + 8);
+                let mut fa = FragmentA::default();
+                let mut fb = FragmentB::default();
+                fa.load(&a_tile, WMMA_K);
+                fb.load(&b_tile, WMMA_N);
+                mma_sync(&mut acc, &fa, &fb, ctx);
+            }
+            // Scatter logits into the window-local shared buffer (stays in
+            // shared memory — the fusion's point; charged as shared traffic).
+            for (half, cb) in (cb_lo..cb_hi).enumerate() {
+                let (h_lo, h_hi) = t.block_chunk(cb);
+                for pos in h_lo..h_hi {
+                    let (r, c8) = t.unpack(t.perm_pack[pos]);
+                    let c = c8 + half * t.blk_w;
+                    cos[t.perm_orig[pos] as usize] = acc.get(r, c);
+                }
+            }
+            ctx.shared_access(((c_hi - c_lo) as u64).div_ceil(32).max(1));
+        }
+
+        // --- Stage 2: row softmax, entirely in shared memory. ------------
+        for r in row_lo..row_hi {
+            let lo = csr.node_pointer()[r];
+            let hi = csr.node_pointer()[r + 1];
+            if hi == lo {
+                continue;
+            }
+            let m = cos[lo..hi]
+                .iter()
+                .map(|c| beta * c)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for e in lo..hi {
+                p[e] = (beta * cos[e] - m).exp();
+                sum += p[e];
+            }
+            for e in lo..hi {
+                p[e] /= sum;
+            }
+        }
+        // max/exp-sum/divide passes over the window's edges.
+        let (e_lo, e_hi) = t.window_edge_range(csr, w);
+        ctx.shared_access((((e_hi - e_lo) as u64) * 3).div_ceil(32).max(1));
+        ctx.fp32_warps((((e_hi - e_lo) * 3) as u64).div_ceil(32).max(1));
+        // The attention values are also persisted for the backward pass.
+        ctx.st_global_contiguous(buf_p.f32_addr(e_lo), e_hi - e_lo, 4);
+        ctx.st_global_contiguous(buf_cos.f32_addr(e_lo), e_hi - e_lo, 4);
+
+        // --- Stage 3: weighted SpMM over the same translation. -----------
+        for acc in accs.iter_mut() {
+            acc.zero();
+        }
+        for i in 0..num_spmm_blocks {
+            let b = b_lo + i;
+            let (c_lo, c_hi) = t.block_chunk(b);
+            // pack/atox are already block-resident from stage 1 (L1 hits).
+            ctx.ld_global_contiguous(buf_pack.addr(c_lo, 1), c_hi - c_lo, 1);
+            let atox = t.block_atox(b);
+            spmm_a.iter_mut().for_each(|v| *v = 0.0);
+            for pos in c_lo..c_hi {
+                let (r, c) = t.unpack(t.perm_pack[pos]);
+                spmm_a[r * TC_BLK_W + c] = p[t.perm_orig[pos] as usize];
+            }
+            ctx.shared_access(((TC_BLK_H * TC_BLK_W) as u64).div_ceil(32) + 1);
+            for (s, acc) in accs.iter_mut().enumerate() {
+                let dim0 = s * WMMA_N;
+                let width = (dv - dim0).min(WMMA_N);
+                let bases: Vec<u64> = atox
+                    .iter()
+                    .filter(|&&u| u != u32::MAX)
+                    .map(|&u| buf_xv.f32_addr(u as usize * dv + dim0))
+                    .collect();
+                ctx.ld_global_gather_rows(&bases, width, 4);
+                ctx.shared_access(((TC_BLK_W * WMMA_N) as u64).div_ceil(32));
+                b_tile.iter_mut().for_each(|v| *v = 0.0);
+                for (k, &u) in atox.iter().enumerate() {
+                    if u == u32::MAX {
+                        continue;
+                    }
+                    let xrow = xv.row(u as usize);
+                    for c in 0..width {
+                        b_tile[k * WMMA_N + c] = xrow[dim0 + c];
+                    }
+                }
+                let mut fa = FragmentA::default();
+                let mut fb = FragmentB::default();
+                fa.load(&spmm_a, TC_BLK_W);
+                fb.load(&b_tile, WMMA_N);
+                ctx.shared_access(FRAG_A_SMEM_TRANSACTIONS + FRAG_B_SMEM_TRANSACTIONS);
+                mma_sync(acc, &fa, &fb, ctx);
+            }
+        }
+        ctx.syncthreads();
+        for (s, acc) in accs.iter().enumerate() {
+            let dim0 = s * WMMA_N;
+            let width = (dv - dim0).min(WMMA_N);
+            let bases: Vec<u64> = (row_lo..row_hi)
+                .map(|r| buf_out.f32_addr(r * dv + dim0))
+                .collect();
+            ctx.st_global_gather_rows(&bases, width, 4);
+            for (ri, r) in (row_lo..row_hi).enumerate() {
+                let orow = y.row_mut(r);
+                for c in 0..width {
+                    orow[dim0 + c] = acc.get(ri, c);
+                }
+            }
+        }
+    });
+    let report = tcg_gpusim::cost::analyze(launcher.device(), &stats);
+    Ok(FusedAttentionOutput { y, cos, p, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{reference_sddmm, reference_spmm, SpmmProblem};
+    use tcg_graph::gen;
+    use tcg_tensor::init;
+
+    fn check(g: &CsrGraph, da: usize, dv: usize, beta: f32) -> FusedAttentionOutput {
+        let t = tcg_sgt::translate(g);
+        let xa = init::uniform(g.num_nodes(), da, -1.0, 1.0, 3);
+        let xv = init::uniform(g.num_nodes(), dv, -1.0, 1.0, 4);
+        let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let out = fused_attention(&mut l, g, &t, &xa, &xv, beta).unwrap();
+
+        // Reference: unfused pipeline in f64-backed steps.
+        let cos_ref = reference_sddmm(g, &xa, &xa);
+        for (a, b) in out.cos.iter().zip(&cos_ref) {
+            assert!((a - b).abs() < 0.05, "cos {a} vs {b}");
+        }
+        let mut p_ref = vec![0.0f32; g.num_edges()];
+        for v in 0..g.num_nodes() {
+            let (lo, hi) = (g.node_pointer()[v], g.node_pointer()[v + 1]);
+            if hi == lo {
+                continue;
+            }
+            let m = cos_ref[lo..hi]
+                .iter()
+                .map(|c| beta * c)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for e in lo..hi {
+                p_ref[e] = (beta * cos_ref[e] - m).exp();
+                sum += p_ref[e];
+            }
+            for e in lo..hi {
+                p_ref[e] /= sum;
+            }
+        }
+        for (a, b) in out.p.iter().zip(&p_ref) {
+            assert!((a - b).abs() < 0.03, "p {a} vs {b}");
+        }
+        let prob = SpmmProblem::new(g, Some(&p_ref), &xv).unwrap();
+        let y_ref = reference_spmm(&prob);
+        assert!(out.y.max_abs_diff(&y_ref).unwrap() < 0.05);
+        out
+    }
+
+    #[test]
+    fn fused_matches_unfused_pipeline() {
+        let g = gen::citation(300, 2400, 1).unwrap();
+        let out = check(&g, 16, 32, 0.8);
+        assert!(out.report.stats.tcu_mma_instructions > 0);
+    }
+
+    #[test]
+    fn fused_handles_ragged_dims() {
+        let g = gen::erdos_renyi(150, 1200, 2).unwrap();
+        check(&g, 13, 20, 1.5);
+    }
+
+    #[test]
+    fn fused_is_one_launch_and_cheaper_than_three() {
+        let g = gen::community(4096, 40_000, 16, 48, 5).unwrap();
+        let t = tcg_sgt::translate(&g);
+        let xa = init::uniform(g.num_nodes(), 32, -1.0, 1.0, 6);
+        let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let fused = fused_attention(&mut l, &g, &t, &xa, &xa, 1.0).unwrap();
+
+        // Unfused: SDDMM + softmax + SpMM as separate launches.
+        use crate::sddmm::{SddmmKernel, TcgnnSddmm};
+        use crate::softmax::sparse_row_softmax;
+        use crate::spmm::TcgnnSpmm;
+        use crate::common::SpmmKernel;
+        let mut l2 = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let (cosv, r1) = TcgnnSddmm::from_translated(t.clone())
+            .execute(&mut l2, &g, &xa, &xa)
+            .unwrap();
+        let (pv, r2) = sparse_row_softmax(&mut l2, &g, &cosv).unwrap();
+        let prob = SpmmProblem::new(&g, Some(&pv), &xa).unwrap();
+        let (_, r3) = TcgnnSpmm::from_translated(t)
+            .execute(&mut l2, &prob)
+            .unwrap();
+        let unfused_ms = r1.time_ms + r2.time_ms + r3.time_ms;
+        assert!(
+            fused.report.time_ms < unfused_ms,
+            "fused {} ms vs unfused {} ms",
+            fused.report.time_ms,
+            unfused_ms
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let g = gen::erdos_renyi(100, 800, 7).unwrap();
+        let t = tcg_sgt::translate(&g);
+        let xa = init::uniform(99, 8, -1.0, 1.0, 8);
+        let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        assert!(fused_attention(&mut l, &g, &t, &xa, &xa, 1.0).is_err());
+    }
+}

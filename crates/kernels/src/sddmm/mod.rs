@@ -1,0 +1,32 @@
+//! Edge-feature computation (SDDMM) kernels.
+
+pub mod cuda_core;
+pub mod tcgnn;
+
+pub use cuda_core::CudaCoreSddmm;
+pub use tcgnn::TcgnnSddmm;
+
+use tcg_gpusim::{KernelReport, Launcher};
+use tcg_graph::CsrGraph;
+use tcg_tensor::DenseMatrix;
+
+use crate::common::KernelError;
+
+/// An SDDMM kernel: computes `f[e] = xa[src(e)] · xb[dst(e)]` for every
+/// edge (the paper's Equation 3 without the optional post-scaling; with
+/// `xa == xb` this is exactly `X·Xᵀ ⊙ A`), returning values in `edge_list`
+/// order plus the simulated report. The two-operand form is what backward
+/// passes need (`dP = (dY · Xᵀ) ⊙ A`).
+pub trait SddmmKernel {
+    /// Kernel name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Executes the kernel on the simulated device.
+    fn execute(
+        &self,
+        launcher: &mut Launcher,
+        csr: &CsrGraph,
+        xa: &DenseMatrix,
+        xb: &DenseMatrix,
+    ) -> Result<(Vec<f32>, KernelReport), KernelError>;
+}

@@ -1,0 +1,22 @@
+//! Neighbor-aggregation (SpMM) kernels.
+
+pub mod bspmm;
+pub mod cusparse;
+pub mod dense;
+pub mod gespmm;
+pub mod scatter;
+pub mod tcgnn;
+pub mod tcgnn_half;
+pub(crate) mod tiling;
+pub mod triton;
+pub mod tsparse;
+
+pub use bspmm::{BlockedEllSpmm, CondensedEllSpmm};
+pub use cusparse::CusparseCsrSpmm;
+pub use dense::DenseGemmSpmm;
+pub use gespmm::GeSpmm;
+pub use scatter::ScatterGatherSpmm;
+pub use tcgnn::TcgnnSpmm;
+pub use tcgnn_half::TcgnnSpmmHalf;
+pub use triton::TritonBlockSparseSpmm;
+pub use tsparse::TsparseLikeSpmm;

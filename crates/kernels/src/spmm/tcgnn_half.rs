@@ -1,0 +1,234 @@
+//! TC-GNN SpMM in half precision — the `m16n16k16` geometry §4.1 says the
+//! design supports when the computation precision changes.
+//!
+//! The SGT translation runs with 16-wide blocks (`win_size × blk_w =
+//! 16×16`, still one packed byte per non-zero); each condensed block then
+//! needs a *single* FP16 MMA per 16-dim output slab instead of TF-32's two,
+//! and half as many blocks exist per window. The trade: binary16's narrow
+//! range (inputs beyond ±65504 saturate) and coarser values below 2⁻²⁴.
+
+use tcg_gpusim::wmma::FragmentAcc;
+use tcg_gpusim::wmma_half::{mma_sync_half, HalfFragmentA, HalfFragmentB, HALF_K, HALF_N};
+use tcg_gpusim::{GridConfig, KernelReport, Launcher};
+use tcg_graph::CsrGraph;
+use tcg_sgt::{translate_with, TranslatedGraph, TC_BLK_H};
+use tcg_tensor::DenseMatrix;
+
+use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+
+/// Half-precision TC-GNN SpMM over a 16×16 translation.
+#[derive(Debug, Clone)]
+pub struct TcgnnSpmmHalf {
+    translated: TranslatedGraph,
+}
+
+impl TcgnnSpmmHalf {
+    /// Builds the kernel by running SGT with the FP16 block geometry.
+    pub fn new(csr: &CsrGraph) -> Self {
+        TcgnnSpmmHalf {
+            translated: translate_with(csr, TC_BLK_H, HALF_K),
+        }
+    }
+
+    /// The 16×16 translation this kernel runs over.
+    pub fn translated(&self) -> &TranslatedGraph {
+        &self.translated
+    }
+}
+
+impl SpmmKernel for TcgnnSpmmHalf {
+    fn name(&self) -> &'static str {
+        "tc-gnn-fp16"
+    }
+
+    fn execute(
+        &self,
+        launcher: &mut Launcher,
+        prob: &SpmmProblem<'_>,
+    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+        let csr = prob.csr;
+        let t = &self.translated;
+        if t.edge_to_col.len() != csr.num_edges() {
+            return Err(KernelError::DimMismatch {
+                what: "translation edge count vs graph",
+                expected: csr.num_edges(),
+                actual: t.edge_to_col.len(),
+            });
+        }
+        let n = csr.num_nodes();
+        let d = prob.dim();
+        let slabs = d.div_ceil(HALF_N);
+        let mut out = DenseMatrix::zeros(n, d);
+
+        let buf_pack = launcher.alloc(csr.num_edges());
+        let buf_atox = launcher.alloc(t.block_atox.len() * 4 + 4);
+        let buf_porig = launcher.alloc(csr.num_edges() * 4);
+        let buf_vals = launcher.alloc(csr.num_edges() * 4);
+        let buf_x = launcher.alloc_f32(prob.x.len());
+        let buf_out = launcher.alloc_f32(out.len());
+
+        let warps = slabs.clamp(4, 8);
+        // FP16 tiles are stored as 2-byte values in shared memory: half the
+        // staging footprint of the TF-32 kernel.
+        let smem_bytes = TC_BLK_H * HALF_K * 2 + HALF_K * 4 + warps * HALF_K * HALF_N * 2;
+        let cfg = GridConfig {
+            block_size: (warps * 32) as u32,
+            shared_mem_bytes: smem_bytes,
+            regs_per_thread: 64,
+        };
+
+        let mut a_tile = vec![0.0f32; TC_BLK_H * HALF_K];
+        let mut b_tile = vec![0.0f32; HALF_K * HALF_N];
+        let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
+        let mut addr_scratch: Vec<u64> = Vec::with_capacity(64);
+
+        let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
+            let w = ctx.block_id as usize;
+            let num_blocks = t.win_partition[w] as usize;
+            if num_blocks == 0 {
+                return;
+            }
+            let row_lo = w * TC_BLK_H;
+            let row_hi = (row_lo + TC_BLK_H).min(n);
+            for acc in accs.iter_mut() {
+                acc.zero();
+            }
+            for i in 0..num_blocks {
+                let b = t.win_block_start[w] + i;
+                let (c_lo, c_hi) = t.block_chunk(b);
+                ctx.ld_global_contiguous(buf_pack.addr(c_lo, 1), c_hi - c_lo, 1);
+                let atox = t.block_atox(b);
+                ctx.ld_global_contiguous(buf_atox.addr(t.block_atox_ptr[b], 4), atox.len(), 4);
+                if prob.edge_values.is_some() {
+                    ctx.ld_global_contiguous(buf_porig.addr(c_lo, 4), c_hi - c_lo, 4);
+                    addr_scratch.clear();
+                    addr_scratch.extend(
+                        t.perm_orig[c_lo..c_hi]
+                            .iter()
+                            .map(|&e| buf_vals.f32_addr(e as usize)),
+                    );
+                    for chunk in addr_scratch.chunks(32) {
+                        ctx.ld_global_warp(chunk);
+                    }
+                }
+                a_tile.iter_mut().for_each(|v| *v = 0.0);
+                for pos in c_lo..c_hi {
+                    let (r, c) = t.unpack(t.perm_pack[pos]);
+                    a_tile[r * HALF_K + c] = prob.value(t.perm_orig[pos] as usize);
+                }
+                // FP16 staging: half the shared traffic of f32 tiles.
+                ctx.shared_access(((TC_BLK_H * HALF_K) as u64 * 2).div_ceil(128).max(1));
+
+                for (s, acc) in accs.iter_mut().enumerate() {
+                    let dim0 = s * HALF_N;
+                    let width = (d - dim0).min(HALF_N);
+                    let bases: Vec<u64> = atox
+                        .iter()
+                        .filter(|&&u| u != u32::MAX)
+                        .map(|&u| buf_x.f32_addr(u as usize * d + dim0))
+                        .collect();
+                    ctx.ld_global_gather_rows(&bases, width, 4);
+                    ctx.shared_access(((HALF_K * HALF_N) as u64 * 2).div_ceil(128).max(1));
+                    b_tile.iter_mut().for_each(|v| *v = 0.0);
+                    for (k, &u) in atox.iter().enumerate() {
+                        if u == u32::MAX {
+                            continue;
+                        }
+                        let xrow = prob.x.row(u as usize);
+                        for c in 0..width {
+                            b_tile[k * HALF_N + c] = xrow[dim0 + c];
+                        }
+                    }
+                    let mut fa = HalfFragmentA::default();
+                    let mut fb = HalfFragmentB::default();
+                    fa.load(&a_tile, HALF_K);
+                    fb.load(&b_tile, HALF_N);
+                    ctx.shared_access(8);
+                    mma_sync_half(acc, &fa, &fb, ctx);
+                }
+            }
+            ctx.syncthreads();
+            for (s, acc) in accs.iter().enumerate() {
+                let dim0 = s * HALF_N;
+                let width = (d - dim0).min(HALF_N);
+                let bases: Vec<u64> = (row_lo..row_hi)
+                    .map(|r| buf_out.f32_addr(r * d + dim0))
+                    .collect();
+                ctx.st_global_gather_rows(&bases, width, 4);
+                for (ri, r) in (row_lo..row_hi).enumerate() {
+                    let orow = out.row_mut(r);
+                    for c in 0..width {
+                        orow[dim0 + c] = acc.get(ri, c);
+                    }
+                }
+            }
+        });
+        let report = tcg_gpusim::cost::analyze(launcher.device(), &stats);
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{reference_spmm, SpmmKernel};
+    use crate::spmm::tcgnn::TcgnnSpmm;
+    use tcg_graph::gen;
+    use tcg_tensor::f16::f16_rel_tolerance;
+    use tcg_tensor::init;
+
+    #[test]
+    fn matches_reference_within_f16() {
+        let g = gen::rmat_default(512, 5000, 31).unwrap();
+        let x = init::uniform(512, 24, -1.0, 1.0, 32);
+        let prob = SpmmProblem::new(&g, None, &x).unwrap();
+        let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let (out, report) = TcgnnSpmmHalf::new(&g).execute(&mut l, &prob).unwrap();
+        let reference = reference_spmm(&prob);
+        let tol = f16_rel_tolerance(64) * 16.0;
+        assert!(out.max_abs_diff(&reference).unwrap() < tol);
+        assert!(report.stats.tcu_mma_instructions > 0);
+    }
+
+    #[test]
+    fn weighted_matches_reference() {
+        let g = gen::citation(300, 2400, 33).unwrap();
+        let x = init::uniform(300, 32, -1.0, 1.0, 34);
+        let vals: Vec<f32> = (0..g.num_edges()).map(|e| 0.25 * ((e % 8) as f32)).collect();
+        let prob = SpmmProblem::new(&g, Some(&vals), &x).unwrap();
+        let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let (out, _) = TcgnnSpmmHalf::new(&g).execute(&mut l, &prob).unwrap();
+        assert!(out.max_abs_diff(&reference_spmm(&prob)).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn issues_fewer_mmas_than_tf32_kernel() {
+        let g = gen::rmat_default(2048, 20_000, 35).unwrap();
+        let x = init::uniform(2048, 32, -1.0, 1.0, 36);
+        let prob = SpmmProblem::new(&g, None, &x).unwrap();
+        let mut l1 = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let (_, r_half) = TcgnnSpmmHalf::new(&g).execute(&mut l1, &prob).unwrap();
+        let mut l2 = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let (_, r_tf32) = TcgnnSpmm::new(&g).execute(&mut l2, &prob).unwrap();
+        // 16-wide condensed blocks ⇒ roughly half the block count and one
+        // MMA per slab instead of one per (block, slab) pair at width 8.
+        assert!(
+            r_half.stats.tcu_mma_instructions < r_tf32.stats.tcu_mma_instructions,
+            "fp16 {} vs tf32 {}",
+            r_half.stats.tcu_mma_instructions,
+            r_tf32.stats.tcu_mma_instructions
+        );
+    }
+
+    #[test]
+    fn large_magnitudes_saturate() {
+        // Values beyond the f16 range produce infinities — the documented
+        // trade of the FP16 geometry.
+        let g = gen::erdos_renyi(64, 400, 37).unwrap();
+        let x = tcg_tensor::DenseMatrix::filled(64, 8, 1.0e6);
+        let prob = SpmmProblem::new(&g, None, &x).unwrap();
+        let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
+        let (out, _) = TcgnnSpmmHalf::new(&g).execute(&mut l, &prob).unwrap();
+        assert!(out.as_slice().iter().any(|v| v.is_infinite()));
+    }
+}

@@ -1,0 +1,153 @@
+//! TCU block census: how many tiles must be traversed with vs without SGT.
+//!
+//! This is the quantity behind the paper's Figure 7(a): across all row
+//! windows, the number of `TC_BLK_H × blk_w` tiles containing at least one
+//! non-zero. Without SGT a window's non-zeros are scattered over the raw
+//! column space; with SGT they occupy `ceil(unique / blk_w)` consecutive
+//! tiles. The paper reports an average reduction of **67.47%**, lower on
+//! Type II graphs whose columns are already clustered.
+
+use serde::{Deserialize, Serialize};
+use tcg_graph::CsrGraph;
+
+use crate::translate::translate_with;
+use crate::{TC_BLK_H, TC_BLK_W};
+
+/// Result of a block census for one geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockCensus {
+    /// Tile height used (16).
+    pub blk_h: usize,
+    /// Tile width used (8 for SpMM operands, 16 for SDDMM outputs).
+    pub blk_w: usize,
+    /// Non-empty tiles when sliding over the *raw* adjacency.
+    pub blocks_without_sgt: u64,
+    /// Tiles after condensation.
+    pub blocks_with_sgt: u64,
+}
+
+impl BlockCensus {
+    /// Percentage of tiles eliminated by SGT.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.blocks_without_sgt == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.blocks_with_sgt as f64 / self.blocks_without_sgt as f64)
+    }
+}
+
+/// Counts non-empty tiles with and without SGT for the given geometry.
+pub fn census_with(csr: &CsrGraph, blk_h: usize, blk_w: usize) -> BlockCensus {
+    let n = csr.num_nodes();
+    let mut without = 0u64;
+    let mut col_blocks: Vec<u32> = Vec::new();
+    for w0 in (0..n).step_by(blk_h) {
+        let w1 = (w0 + blk_h).min(n);
+        col_blocks.clear();
+        for v in w0..w1 {
+            col_blocks.extend(csr.neighbors(v).iter().map(|&u| u / blk_w as u32));
+        }
+        col_blocks.sort_unstable();
+        col_blocks.dedup();
+        without += col_blocks.len() as u64;
+    }
+    let t = translate_with(csr, blk_h, blk_w);
+    BlockCensus {
+        blk_h,
+        blk_w,
+        blocks_without_sgt: without,
+        blocks_with_sgt: t.total_tc_blocks(),
+    }
+}
+
+/// The SpMM census with the paper's TF-32 geometry (`16×8`).
+pub fn census(csr: &CsrGraph) -> BlockCensus {
+    census_with(csr, TC_BLK_H, TC_BLK_W)
+}
+
+/// The SDDMM census (`16×16` output tiles, §6.3).
+pub fn census_sddmm(csr: &CsrGraph) -> BlockCensus {
+    census_with(csr, TC_BLK_H, TC_BLK_H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+
+    #[test]
+    fn sgt_never_increases_blocks() {
+        for seed in 0..5 {
+            let g = gen::rmat_default(2048, 20_000, seed).unwrap();
+            let c = census(&g);
+            assert!(
+                c.blocks_with_sgt <= c.blocks_without_sgt,
+                "seed {seed}: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scattered_graph_big_reduction() {
+        // ER columns are uniformly scattered: most raw tiles hold one edge.
+        let g = gen::erdos_renyi(4096, 30_000, 1).unwrap();
+        let c = census(&g);
+        assert!(
+            c.reduction_pct() > 50.0,
+            "expected strong reduction on scattered graph, got {:.1}%",
+            c.reduction_pct()
+        );
+    }
+
+    #[test]
+    fn clustered_graph_smaller_reduction() {
+        // Type II-style: components of ≤ 24 nodes already give dense tiles.
+        let comm = gen::community(4096, 30_000, 16, 24, 2).unwrap();
+        let er = gen::erdos_renyi(4096, 30_000, 2).unwrap();
+        let r_comm = census(&comm).reduction_pct();
+        let r_er = census(&er).reduction_pct();
+        assert!(
+            r_comm < r_er,
+            "Type II reduction {r_comm:.1}% should be below ER {r_er:.1}%"
+        );
+    }
+
+    #[test]
+    fn exact_census_on_hand_graph() {
+        // One 16-row window; neighbors {0, 100, 200} from row 0.
+        let g = CsrGraph::from_raw(
+            256,
+            {
+                let mut p = vec![0usize; 257];
+                p.iter_mut().skip(1).for_each(|x| *x = 3);
+                p
+            },
+            vec![0, 100, 200],
+        )
+        .unwrap();
+        let c = census(&g);
+        // Window 0 (rows 0..16): raw col-blocks {0, 12, 25} → 3 tiles;
+        // SGT: 3 unique → 1 tile. Other windows empty.
+        assert_eq!(c.blocks_without_sgt, 3);
+        assert_eq!(c.blocks_with_sgt, 1);
+        assert!((c.reduction_pct() - 66.666).abs() < 0.1);
+    }
+
+    #[test]
+    fn sddmm_census_uses_wider_tiles() {
+        let g = gen::rmat_default(2048, 20_000, 3).unwrap();
+        let spmm = census(&g);
+        let sddmm = census_sddmm(&g);
+        assert_eq!(sddmm.blk_w, 16);
+        assert!(sddmm.blocks_without_sgt <= spmm.blocks_without_sgt);
+        assert!(sddmm.blocks_with_sgt <= spmm.blocks_with_sgt);
+    }
+
+    #[test]
+    fn empty_graph_census() {
+        let g = CsrGraph::from_raw(0, vec![0], vec![]).unwrap();
+        let c = census(&g);
+        assert_eq!(c.blocks_without_sgt, 0);
+        assert_eq!(c.reduction_pct(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! SGT preprocessing-cost accounting (Figure 7(b)).
+//!
+//! The paper reports SGT's one-time cost at an average **4.43%** of
+//! end-to-end training time. Comparing our *measured host wall-clock* for
+//! SGT against *simulated GPU milliseconds* for training would mix two
+//! clocks, so this module provides both:
+//!
+//! - [`measure_ms`]: actual wall-clock of running the translation here;
+//! - [`model_ms`]: a calibrated cost model of SGT on the paper's platform
+//!   (sort-dominated: `O(E log W)` with a per-edge constant fitted to a
+//!   multi-core Xeon feeding an RTX 3090 training loop), used by the
+//!   Figure 7(b) reproduction so numerator and denominator live on the same
+//!   simulated clock.
+
+use std::time::Instant;
+
+use tcg_graph::CsrGraph;
+
+use crate::translate::{translate, TranslatedGraph};
+
+/// Per-edge processing cost of SGT on the modeled host, in nanoseconds.
+///
+/// Dominated by the per-window sort + dedup + binary-search mapping. The
+/// translation parallelizes embarrassingly over row windows (the paper
+/// notes this; `translate_parallel` implements it), so the modeled constant
+/// reflects the paper's 8-core Xeon 4110 running all cores: ~7 ns of
+/// amortized work per edge.
+pub const HOST_NS_PER_EDGE: f64 = 7.0;
+
+/// Fixed per-window cost (loop + allocation amortization), nanoseconds.
+pub const HOST_NS_PER_WINDOW: f64 = 20.0;
+
+/// Modeled one-time SGT cost in milliseconds on the reference platform.
+pub fn model_ms(csr: &CsrGraph) -> f64 {
+    let e = csr.num_edges() as f64;
+    let w = csr.num_nodes().div_ceil(crate::TC_BLK_H) as f64;
+    // log factor of the window-local sort; windows hold E/W edges on average.
+    let avg = (e / w.max(1.0)).max(2.0);
+    (e * HOST_NS_PER_EDGE * avg.log2().max(1.0) / 4.0 + w * HOST_NS_PER_WINDOW) / 1e6
+}
+
+/// Runs the translation, returning it with measured wall-clock milliseconds.
+pub fn measure_ms(csr: &CsrGraph) -> (TranslatedGraph, f64) {
+    let start = Instant::now();
+    let t = translate(csr);
+    (t, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Overhead percentage of a one-time cost against a recurring training run:
+/// `100 · sgt / (sgt + epochs · epoch_cost)` — the Figure 7(b) quantity.
+pub fn overhead_pct(sgt_ms: f64, epoch_ms: f64, epochs: u32) -> f64 {
+    let total = sgt_ms + epoch_ms * f64::from(epochs);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    100.0 * sgt_ms / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+
+    #[test]
+    fn model_scales_with_edges() {
+        let small = gen::erdos_renyi(1000, 5_000, 1).unwrap();
+        let large = gen::erdos_renyi(1000, 50_000, 1).unwrap();
+        assert!(model_ms(&large) > 5.0 * model_ms(&small));
+        assert!(model_ms(&small) > 0.0);
+    }
+
+    #[test]
+    fn measure_returns_translation_and_positive_time() {
+        let g = gen::rmat_default(4096, 40_000, 2).unwrap();
+        let (t, ms) = measure_ms(&g);
+        assert_eq!(t.edge_to_col.len(), g.num_edges());
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn overhead_amortizes_with_epochs() {
+        let one = overhead_pct(10.0, 5.0, 1);
+        let many = overhead_pct(10.0, 5.0, 200);
+        assert!(one > 60.0);
+        assert!(many < 2.0);
+        assert!(overhead_pct(0.0, 0.0, 0) == 0.0);
+    }
+}

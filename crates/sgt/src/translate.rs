@@ -1,0 +1,562 @@
+//! The translation itself: Algorithm 1, sequential and parallel.
+
+use serde::{Deserialize, Serialize};
+use tcg_graph::{CsrGraph, NodeId};
+
+use crate::{TC_BLK_H, TC_BLK_W};
+
+/// The output of Sparse Graph Translation over a CSR graph.
+///
+/// Core fields follow the paper's Algorithm 1: `win_partition[w]` is the
+/// number of `TC_BLK_H × TC_BLK_W` TCU blocks in row window `w`;
+/// `edge_to_col[e]` is the condensed column index (window-local) of edge
+/// `e`; `edge_to_row[e]` is the source row of edge `e`.
+///
+/// The `perm_*` arrays implement Algorithm 2's `GetChunk`: within each
+/// window, edges are re-ordered by condensed column so that every TC block
+/// owns a *contiguous chunk* (`block_ptr`) — the kernels stream exactly
+/// their chunk instead of filtering the whole window per block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslatedGraph {
+    /// Row-window height used (16 for TF-32).
+    pub win_size: usize,
+    /// TCU operand tile width used (8 for TF-32).
+    pub blk_w: usize,
+    /// Number of row windows (`ceil(num_nodes / win_size)`).
+    pub num_row_windows: usize,
+    /// TC blocks per row window: `ceil(unique_neighbors / blk_w)`.
+    pub win_partition: Vec<u32>,
+    /// Condensed column per edge, indexed by global edge id.
+    pub edge_to_col: Vec<u32>,
+    /// Source row per edge, indexed by global edge id.
+    pub edge_to_row: Vec<NodeId>,
+    /// Distinct neighbor count per row window (`eArrClean.size`).
+    pub win_unique: Vec<u32>,
+    /// Prefix sums of `win_partition`: window `w`'s blocks are the global
+    /// block ids `[win_block_start[w], win_block_start[w + 1])`.
+    pub win_block_start: Vec<usize>,
+    /// Edge-chunk offsets per global block id (length `total_blocks + 1`):
+    /// block `b` owns sorted positions `[block_ptr[b], block_ptr[b + 1])`.
+    pub block_ptr: Vec<usize>,
+    /// Original edge id at each sorted position.
+    pub perm_orig: Vec<u32>,
+    /// Packed tile coordinate at each sorted position:
+    /// `row_in_window * blk_w + col_in_block`, one byte per edge (valid
+    /// because `win_size × blk_w ≤ 256`). Kernels stream this instead of
+    /// separate row/column arrays — 1 B of metadata per non-zero.
+    pub perm_pack: Vec<u8>,
+    /// Per-block `sparse_AToX_index` storage: the unique neighbor ids of
+    /// block `b`, in condensed-column order, at
+    /// `block_atox[block_atox_ptr[b] .. block_atox_ptr[b + 1]]`.
+    pub block_atox: Vec<NodeId>,
+    /// Offsets into [`TranslatedGraph::block_atox`] (length
+    /// `total_blocks + 1`).
+    pub block_atox_ptr: Vec<usize>,
+}
+
+impl TranslatedGraph {
+    /// Total TCU blocks across all windows (SpMM mode, operand tiles).
+    pub fn total_tc_blocks(&self) -> u64 {
+        self.win_partition.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Total TCU blocks when the translated graph drives SDDMM, where the
+    /// sparse tile is the `16×16` *output* and two SpMM-width block columns
+    /// fuse into one (paper Listing 3 line 9:
+    /// `(blockPartition[bid]·BLK_W + BLK_H − 1) / BLK_H`).
+    pub fn total_sddmm_blocks(&self) -> u64 {
+        self.win_partition
+            .iter()
+            .map(|&b| ((b as u64 * TC_BLK_W as u64) + TC_BLK_H as u64 - 1) / TC_BLK_H as u64)
+            .sum()
+    }
+
+    /// Edge index range `[start, end)` of row window `w` in the CSR arrays.
+    pub fn window_edge_range(&self, csr: &CsrGraph, w: usize) -> (usize, usize) {
+        let lo = w * self.win_size;
+        let hi = ((w + 1) * self.win_size).min(csr.num_nodes());
+        (csr.node_pointer()[lo], csr.node_pointer()[hi])
+    }
+
+    /// The sorted-position range of global block `b` (Algorithm 2's
+    /// `GetChunk`).
+    #[inline]
+    pub fn block_chunk(&self, b: usize) -> (usize, usize) {
+        (self.block_ptr[b], self.block_ptr[b + 1])
+    }
+
+    /// The unique neighbor ids (condensed-column order) of global block `b`
+    /// — the `sparse_AToX_index` contents.
+    #[inline]
+    pub fn block_atox(&self, b: usize) -> &[NodeId] {
+        &self.block_atox[self.block_atox_ptr[b]..self.block_atox_ptr[b + 1]]
+    }
+
+    /// Decodes a packed coordinate to `(row_in_window, col_in_block)`.
+    #[inline]
+    pub fn unpack(&self, pack: u8) -> (usize, usize) {
+        (pack as usize / self.blk_w, pack as usize % self.blk_w)
+    }
+
+    /// Memory footprint of the translation metadata in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.win_partition.len() * 4
+            + self.win_unique.len() * 4
+            + self.edge_to_col.len() * 4
+            + self.edge_to_row.len() * 4
+            + self.win_block_start.len() * 8
+            + self.block_ptr.len() * 8
+            + self.perm_orig.len() * 4
+            + self.perm_pack.len()
+            + self.block_atox.len() * 4
+            + self.block_atox_ptr.len() * 8
+    }
+}
+
+/// Per-window translation result, assembled into the global arrays after
+/// all windows are processed (keeps the parallel path trivially safe).
+struct WindowOut {
+    unique: u32,
+    blocks: u32,
+    /// `(col, row, orig_edge, nid)` sorted by `col` (stable in edge order).
+    sorted: Vec<(u32, NodeId, u32, NodeId)>,
+}
+
+fn translate_window(
+    csr: &CsrGraph,
+    w: usize,
+    win_size: usize,
+    blk_w: usize,
+    edge_to_col: &mut [u32],
+    edge_to_row: &mut [NodeId],
+    edge_base: usize,
+) -> WindowOut {
+    let node_pointer = csr.node_pointer();
+    let edge_list = csr.edge_list();
+    let n = csr.num_nodes();
+    let row_lo = w * win_size;
+    let row_hi = ((w + 1) * win_size).min(n);
+    let win_start = node_pointer[row_lo];
+    let win_end = node_pointer[row_hi];
+
+    // Sort + deduplicate the neighbor ids of this window (Algorithm 1
+    // lines 5-6: `Sort`, `Deduplication`).
+    let mut uniq: Vec<NodeId> = edge_list[win_start..win_end].to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+
+    // Edges-to-column mapping (lines 8-10): the condensed column of an edge
+    // is the rank of its neighbor among the window's distinct neighbors.
+    let mut sorted: Vec<(u32, NodeId, u32, NodeId)> = Vec::with_capacity(win_end - win_start);
+    for r in row_lo..row_hi {
+        for e in node_pointer[r]..node_pointer[r + 1] {
+            let nid = edge_list[e];
+            let col = uniq
+                .binary_search(&nid)
+                .expect("neighbor is in the window's deduplicated set") as u32;
+            edge_to_col[e - edge_base] = col;
+            edge_to_row[e - edge_base] = r as NodeId;
+            sorted.push((col, r as NodeId, e as u32, nid));
+        }
+    }
+    // Column-major chunking for Algorithm 2's GetChunk.
+    sorted.sort_by_key(|t| t.0);
+
+    WindowOut {
+        unique: uniq.len() as u32,
+        blocks: uniq.len().div_ceil(blk_w) as u32,
+        sorted,
+    }
+}
+
+fn assemble(
+    csr: &CsrGraph,
+    win_size: usize,
+    blk_w: usize,
+    outs: Vec<WindowOut>,
+    edge_to_col: Vec<u32>,
+    edge_to_row: Vec<NodeId>,
+) -> TranslatedGraph {
+    let num_row_windows = outs.len();
+    let num_edges = csr.num_edges();
+    let mut win_partition = Vec::with_capacity(num_row_windows);
+    let mut win_unique = Vec::with_capacity(num_row_windows);
+    let mut win_block_start = Vec::with_capacity(num_row_windows + 1);
+    win_block_start.push(0usize);
+    for o in &outs {
+        win_partition.push(o.blocks);
+        win_unique.push(o.unique);
+        win_block_start.push(win_block_start.last().unwrap() + o.blocks as usize);
+    }
+    let total_blocks = *win_block_start.last().unwrap();
+
+    let mut block_ptr = Vec::with_capacity(total_blocks + 1);
+    block_ptr.push(0usize);
+    let mut perm_orig = Vec::with_capacity(num_edges);
+    let mut perm_pack = Vec::with_capacity(num_edges);
+    let mut block_atox: Vec<NodeId> = Vec::new();
+    let mut block_atox_ptr = Vec::with_capacity(total_blocks + 1);
+    block_atox_ptr.push(0usize);
+    for (w, o) in outs.iter().enumerate() {
+        let row_base = (w * win_size) as u32;
+        let mut cursor = 0usize;
+        for b in 0..o.blocks as usize {
+            let col_lo = (b * blk_w) as u32;
+            let col_hi = col_lo + blk_w as u32;
+            while cursor < o.sorted.len() && o.sorted[cursor].0 < col_hi {
+                let (col, row, orig, nid) = o.sorted[cursor];
+                let r_in_win = (row - row_base) as usize;
+                let c_in_blk = (col - col_lo) as usize;
+                perm_pack.push((r_in_win * blk_w + c_in_blk) as u8);
+                perm_orig.push(orig);
+                // AToX: first occurrence of each condensed column.
+                let local = block_atox_ptr.last().unwrap() + c_in_blk;
+                if block_atox.len() <= local {
+                    block_atox.resize(local + 1, NodeId::MAX);
+                }
+                block_atox[local] = nid;
+                cursor += 1;
+            }
+            // Columns inside a block are dense (condensation), so the block
+            // owns exactly `min(blk_w, unique - col_lo)` AToX slots.
+            let slots = (o.unique as usize).saturating_sub(b * blk_w).min(blk_w);
+            let base = *block_atox_ptr.last().unwrap();
+            if block_atox.len() < base + slots {
+                block_atox.resize(base + slots, NodeId::MAX);
+            }
+            block_atox_ptr.push(base + slots);
+            block_ptr.push(perm_pack.len());
+        }
+        debug_assert_eq!(cursor, o.sorted.len());
+    }
+
+    TranslatedGraph {
+        win_size,
+        blk_w,
+        num_row_windows,
+        win_partition,
+        edge_to_col,
+        edge_to_row,
+        win_unique,
+        win_block_start,
+        block_ptr,
+        perm_orig,
+        perm_pack,
+        block_atox,
+        block_atox_ptr,
+    }
+}
+
+/// Runs SGT with custom window geometry.
+///
+/// # Panics
+///
+/// Panics if `win_size * blk_w > 256` (the packed-coordinate byte would
+/// overflow).
+pub fn translate_with(csr: &CsrGraph, win_size: usize, blk_w: usize) -> TranslatedGraph {
+    assert!(win_size > 0 && blk_w > 0);
+    assert!(win_size * blk_w <= 256, "packed coordinate must fit one byte");
+    let n = csr.num_nodes();
+    let num_row_windows = n.div_ceil(win_size);
+    let mut edge_to_col = vec![0u32; csr.num_edges()];
+    let mut edge_to_row = vec![0 as NodeId; csr.num_edges()];
+    let outs: Vec<WindowOut> = (0..num_row_windows)
+        .map(|w| translate_window(csr, w, win_size, blk_w, &mut edge_to_col, &mut edge_to_row, 0))
+        .collect();
+    assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row)
+}
+
+/// Runs SGT with the paper's TF-32 geometry (`16 × 8`).
+pub fn translate(csr: &CsrGraph) -> TranslatedGraph {
+    translate_with(csr, TC_BLK_H, TC_BLK_W)
+}
+
+/// Parallel SGT: row windows are independent (the paper notes SGT "can be
+/// easily parallelized"), so windows are split across `threads` crossbeam
+/// scoped threads, each producing its windows' results; assembly of the
+/// global arrays is a cheap serial pass.
+pub fn translate_parallel(csr: &CsrGraph, threads: usize) -> TranslatedGraph {
+    let threads = threads.max(1);
+    let n = csr.num_nodes();
+    let win_size = TC_BLK_H;
+    let blk_w = TC_BLK_W;
+    let num_row_windows = n.div_ceil(win_size);
+    if threads == 1 || num_row_windows < 2 * threads {
+        return translate(csr);
+    }
+    let mut edge_to_col = vec![0u32; csr.num_edges()];
+    let mut edge_to_row = vec![0 as NodeId; csr.num_edges()];
+
+    let per = num_row_windows.div_ceil(threads);
+    let node_pointer = csr.node_pointer();
+
+    // Split the per-edge outputs into disjoint window-aligned slices.
+    let mut ec_rest: &mut [u32] = &mut edge_to_col;
+    let mut er_rest: &mut [NodeId] = &mut edge_to_row;
+    let mut jobs = Vec::new();
+    let mut w0 = 0usize;
+    while w0 < num_row_windows {
+        let w1 = (w0 + per).min(num_row_windows);
+        let e0 = node_pointer[w0 * win_size];
+        let e1 = node_pointer[(w1 * win_size).min(n)];
+        let (ec, rest) = ec_rest.split_at_mut(e1 - e0);
+        ec_rest = rest;
+        let (er, rest) = er_rest.split_at_mut(e1 - e0);
+        er_rest = rest;
+        jobs.push((w0, w1, e0, ec, er));
+        w0 = w1;
+    }
+
+    let mut chunk_outs: Vec<(usize, Vec<WindowOut>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(w_lo, w_hi, e_base, ec, er)| {
+                scope.spawn(move |_| {
+                    let outs: Vec<WindowOut> = (w_lo..w_hi)
+                        .map(|w| translate_window(csr, w, win_size, blk_w, ec, er, e_base))
+                        .collect();
+                    (w_lo, outs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sgt worker panicked"))
+            .collect()
+    })
+    .expect("sgt scope failed");
+
+    chunk_outs.sort_by_key(|(w_lo, _)| *w_lo);
+    let outs: Vec<WindowOut> = chunk_outs.into_iter().flat_map(|(_, o)| o).collect();
+    assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+
+    /// The paper's Figure 4 example, adapted: an 8-node graph, window = 4.
+    fn figure4_like() -> CsrGraph {
+        // Rows 0..4 reference scattered columns {1, 5, 6}, {5}, {1, 6}, {6}.
+        CsrGraph::from_raw(
+            8,
+            vec![0, 3, 4, 6, 7, 7, 7, 7, 7],
+            vec![1, 5, 6, 5, 1, 6, 6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn condenses_columns_by_rank() {
+        let g = figure4_like();
+        let t = translate_with(&g, 4, 2);
+        // Window 0: distinct neighbors {1, 5, 6} → cols {0, 1, 2}.
+        assert_eq!(t.win_unique[0], 3);
+        assert_eq!(t.win_partition[0], 2); // ceil(3/2)
+        assert_eq!(t.edge_to_col[0..7], [0, 1, 2, 1, 0, 2, 2]);
+        assert_eq!(t.edge_to_row.to_vec(), vec![0, 0, 0, 1, 2, 2, 3]);
+        // Window 1 is empty.
+        assert_eq!(t.win_unique[1], 0);
+        assert_eq!(t.win_partition[1], 0);
+    }
+
+    #[test]
+    fn chunks_partition_edges_by_column_frame() {
+        let g = figure4_like();
+        let t = translate_with(&g, 4, 2);
+        // Block 0 of window 0 owns cols {0, 1}: edges with col 0 or 1.
+        let (lo, hi) = t.block_chunk(0);
+        assert!(t.perm_pack[lo..hi].iter().all(|&p| t.unpack(p).1 < 2));
+        // Block 1 owns col 2, which is local column 0 of that block.
+        let (lo2, hi2) = t.block_chunk(1);
+        assert_eq!(lo2, hi);
+        assert!(t.perm_pack[lo2..hi2].iter().all(|&p| t.unpack(p).1 == 0));
+        assert_eq!(hi2, 7, "all 7 edges chunked");
+        // AToX of block 0 is {1, 5}; of block 1 is {6}.
+        assert_eq!(t.block_atox(0), &[1, 5]);
+        assert_eq!(t.block_atox(1), &[6]);
+    }
+
+    #[test]
+    fn perm_is_a_permutation_consistent_with_maps() {
+        let g = gen::rmat_default(2048, 20_000, 2).unwrap();
+        let t = translate(&g);
+        let mut seen = vec![false; g.num_edges()];
+        for b in 0..t.total_tc_blocks() as usize {
+            let w = t
+                .win_block_start
+                .partition_point(|&s| s <= b)
+                .saturating_sub(1);
+            let local_b = b - t.win_block_start[w];
+            let atox = t.block_atox(b);
+            let (lo, hi) = t.block_chunk(b);
+            for pos in lo..hi {
+                let e = t.perm_orig[pos] as usize;
+                assert!(!seen[e]);
+                seen[e] = true;
+                let (r, c) = t.unpack(t.perm_pack[pos]);
+                assert_eq!(
+                    (w * t.win_size + r) as u32,
+                    t.edge_to_row[e],
+                    "row reconstruction"
+                );
+                assert_eq!(
+                    (local_b * t.blk_w + c) as u32,
+                    t.edge_to_col[e],
+                    "column reconstruction"
+                );
+                assert_eq!(atox[c], g.edge_list()[e], "AToX maps column to id");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn block_chunks_tile_the_window_ranges() {
+        let g = gen::citation(1000, 8000, 3).unwrap();
+        let t = translate(&g);
+        assert_eq!(*t.block_ptr.last().unwrap(), g.num_edges());
+        for w in 0..t.num_row_windows {
+            let (e_lo, e_hi) = t.window_edge_range(&g, w);
+            let b_lo = t.win_block_start[w];
+            let b_hi = t.win_block_start[w + 1];
+            if b_lo == b_hi {
+                continue;
+            }
+            assert_eq!(t.block_ptr[b_lo], e_lo, "window {w} chunk start");
+            assert_eq!(t.block_ptr[b_hi], e_hi, "window {w} chunk end");
+            for b in b_lo..b_hi {
+                let (lo, hi) = t.block_chunk(b);
+                let frame = (b - b_lo) * t.blk_w;
+                for pos in lo..hi {
+                    let e = t.perm_orig[pos] as usize;
+                    let c = t.edge_to_col[e] as usize;
+                    assert!(c >= frame && c < frame + t.blk_w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_neighbor_same_column_within_window() {
+        let g = gen::erdos_renyi(300, 3000, 1).unwrap();
+        let t = translate(&g);
+        for w in 0..t.num_row_windows {
+            let (lo, hi) = t.window_edge_range(&g, w);
+            let mut col_of = std::collections::HashMap::new();
+            for e in lo..hi {
+                let nid = g.edge_list()[e];
+                let col = t.edge_to_col[e];
+                assert!((col as usize) < t.win_unique[w] as usize);
+                if let Some(&prev) = col_of.get(&nid) {
+                    assert_eq!(prev, col, "neighbor {nid} got two columns");
+                } else {
+                    col_of.insert(nid, col);
+                }
+            }
+            // Columns are exactly 0..unique.
+            let mut cols: Vec<u32> = col_of.values().copied().collect();
+            cols.sort_unstable();
+            let expect: Vec<u32> = (0..t.win_unique[w]).collect();
+            assert_eq!(cols, expect);
+        }
+    }
+
+    #[test]
+    fn column_order_preserves_neighbor_order() {
+        let g = gen::rmat_default(512, 4000, 2).unwrap();
+        let t = translate(&g);
+        for w in 0..t.num_row_windows {
+            let (lo, hi) = t.window_edge_range(&g, w);
+            for e1 in lo..hi {
+                for e2 in lo..hi {
+                    let (n1, n2) = (g.edge_list()[e1], g.edge_list()[e2]);
+                    if n1 < n2 {
+                        assert!(t.edge_to_col[e1] < t.edge_to_col[e2]);
+                    }
+                }
+                if hi - lo > 64 {
+                    break; // keep quadratic check bounded
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_matches_unique_count() {
+        let g = gen::citation(1000, 8000, 3).unwrap();
+        let t = translate(&g);
+        for w in 0..t.num_row_windows {
+            assert_eq!(
+                t.win_partition[w],
+                (t.win_unique[w] as usize).div_ceil(TC_BLK_W) as u32
+            );
+        }
+        assert_eq!(
+            t.total_tc_blocks() as usize,
+            *t.win_block_start.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn edge_to_row_matches_csr() {
+        let g = gen::erdos_renyi(200, 2000, 4).unwrap();
+        let t = translate(&g);
+        let mut e = 0usize;
+        for v in 0..g.num_nodes() {
+            for _ in g.neighbors(v) {
+                assert_eq!(t.edge_to_row[e] as usize, v);
+                e += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_block_fusion() {
+        let g = figure4_like();
+        let t16 = translate(&g);
+        assert!(t16.total_sddmm_blocks() <= t16.total_tc_blocks().max(1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gen::rmat_default(4096, 60_000, 5).unwrap();
+        let seq = translate(&g);
+        for threads in [2, 3, 4, 7] {
+            let par = translate_parallel(&g, threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_on_tiny_graphs() {
+        let g = gen::erdos_renyi(40, 200, 6).unwrap();
+        assert_eq!(translate(&g), translate_parallel(&g, 8));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_raw(0, vec![0], vec![]).unwrap();
+        let t = translate(&g);
+        assert_eq!(t.num_row_windows, 0);
+        assert_eq!(t.total_tc_blocks(), 0);
+        assert_eq!(t.block_ptr, vec![0]);
+    }
+
+    #[test]
+    fn isolated_nodes_only() {
+        let g = CsrGraph::from_raw(40, vec![0; 41], vec![]).unwrap();
+        let t = translate(&g);
+        assert_eq!(t.num_row_windows, 3);
+        assert!(t.win_partition.iter().all(|&b| b == 0));
+        assert!(t.perm_orig.is_empty());
+    }
+
+    #[test]
+    fn metadata_size_accounts_all_arrays() {
+        let g = gen::erdos_renyi(1000, 10_000, 7).unwrap();
+        let t = translate(&g);
+        assert!(t.memory_bytes() > g.num_edges() * 8);
+    }
+}

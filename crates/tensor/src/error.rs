@@ -1,0 +1,54 @@
+//! Error types for dense tensor operations.
+
+use std::fmt;
+
+/// Errors produced by dense matrix construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The requested shape does not match the provided buffer length.
+    ShapeMismatch {
+        /// Rows × cols the caller asked for.
+        expected: usize,
+        /// Length of the buffer actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible dimensions for the requested operation.
+    DimMismatch {
+        /// Human-readable operation name (e.g. `"gemm"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    OutOfBounds {
+        /// The offending (row, col) pair.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "shape mismatch: expected buffer of length {expected}, got {actual}"
+            ),
+            TensorError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

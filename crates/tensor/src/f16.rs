@@ -1,0 +1,183 @@
+//! IEEE binary16 (half precision) emulation.
+//!
+//! The paper's §4.1 notes that other MMA shapes apply when the computation
+//! precision changes (half, int8). This module provides bit-exact f32↔f16
+//! conversion (round-to-nearest-even, with proper handling of subnormals,
+//! overflow to infinity, and NaN) so the simulator can model the
+//! `m16n16k16` half-precision tensor-core geometry next to TF-32.
+
+/// Converts an `f32` to the nearest `f16`, returned as raw bits.
+///
+/// Round-to-nearest-even, like the hardware conversion instructions.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: preserve NaN-ness with a quiet-bit payload.
+        return if mant != 0 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+
+    // Unbiased exponent; f16 bias is 15, f32 bias is 127.
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        // Overflow → infinity.
+        return sign | 0x7c00;
+    }
+    if e <= 0 {
+        // Subnormal (or zero): shift the implicit-1 mantissa right.
+        if e < -10 {
+            return sign; // underflow to zero
+        }
+        let full = mant | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let half_mant = full >> shift;
+        // Round to nearest even on the dropped bits.
+        let dropped = full & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = if dropped > halfway || (dropped == halfway && (half_mant & 1) == 1) {
+            half_mant + 1
+        } else {
+            half_mant
+        };
+        return sign | rounded as u16;
+    }
+
+    // Normal: keep 10 mantissa bits with round-to-nearest-even.
+    let half_mant = mant >> 13;
+    let dropped = mant & 0x1fff;
+    let mut out = sign | ((e as u16) << 10) | half_mant as u16;
+    if dropped > 0x1000 || (dropped == 0x1000 && (half_mant & 1) == 1) {
+        out = out.wrapping_add(1); // may carry into the exponent: correct
+    }
+    out
+}
+
+/// Converts raw `f16` bits back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x03ff);
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalize.
+            let mut e = -1i32;
+            let mut m = m;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e += 1;
+            }
+            let exp32 = (127 - 15 - e) as u32;
+            sign | (exp32 << 23) | ((m & 0x03ff) << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => {
+            let exp32 = (i32::from(e) - 15 + 127) as u32;
+            sign | (exp32 << 23) | (m << 13)
+        }
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` to half precision and back — what a tensor core does to
+/// FP16 MMA inputs.
+#[inline]
+pub fn round_to_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Relative tolerance for comparing an FP16 computation against an f64
+/// reference over a `k`-long reduction.
+pub fn f16_rel_tolerance(k: usize) -> f32 {
+    2.0_f32.powi(-10) * (k.max(1) as f32).sqrt() * 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.25, 65504.0] {
+            assert_eq!(round_to_f16(v), v, "{v} is exact in f16");
+        }
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert_eq!(round_to_f16(70000.0), f32::INFINITY);
+        assert_eq!(round_to_f16(-70000.0), f32::NEG_INFINITY);
+        // Largest finite f16 is 65504; just above the rounding midpoint
+        // (65520) must overflow.
+        assert_eq!(round_to_f16(65521.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn nan_and_inf_preserved() {
+        assert!(round_to_f16(f32::NAN).is_nan());
+        assert_eq!(round_to_f16(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        // Smallest positive f16 subnormal is 2^-24.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(round_to_f16(tiny), tiny);
+        // Below half of it: flush to zero.
+        assert_eq!(round_to_f16(2.0_f32.powi(-26)), 0.0);
+        // Largest subnormal.
+        let sub = f16_bits_to_f32(0x03ff);
+        assert_eq!(round_to_f16(sub), sub);
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        let mut x = 0.001_f32;
+        while x < 60000.0 {
+            let r = round_to_f16(x);
+            assert!(
+                (r - x).abs() <= x.abs() * 2.0_f32.powi(-11) + 2.0_f32.powi(-24),
+                "|{r} - {x}| too large"
+            );
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn round_half_to_even() {
+        // 2048 + 1 = 2049 is exactly between f16 neighbours 2048 and 2050:
+        // must round to the even mantissa (2048).
+        assert_eq!(round_to_f16(2049.0), 2048.0);
+        assert_eq!(round_to_f16(2051.0), 2052.0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut x = 3.3333_f32;
+        for _ in 0..50 {
+            let once = round_to_f16(x);
+            assert_eq!(round_to_f16(once), once);
+            x *= -1.21;
+        }
+    }
+
+    #[test]
+    fn coarser_than_tf32() {
+        // f16 has the same 10 mantissa bits as TF-32 but far less range;
+        // within range they quantize identically on normals.
+        let x = 1.2345678_f32;
+        assert_eq!(round_to_f16(x), crate::tf32::round_to_tf32(x));
+        // Out of f16 range, TF-32 still represents it.
+        let big = 1.0e6_f32;
+        assert_eq!(round_to_f16(big), f32::INFINITY);
+        assert!(crate::tf32::round_to_tf32(big).is_finite());
+    }
+}

@@ -1,0 +1,261 @@
+//! CPU GEMM: reference and blocked implementations, plus a TF-32 variant.
+//!
+//! Two use cases: (1) the dense *Update* phase of GNN layers (`X · W`), where
+//! a cache-blocked implementation keeps large-dataset training tolerable, and
+//! (2) f64 reference results for validating the simulated WMMA pipeline.
+
+use crate::{DenseMatrix, Result, TensorError};
+
+/// Cache-block edge for [`gemm`]; chosen so three `BLOCK×BLOCK` f32 panels
+/// fit comfortably in L1/L2 on commodity CPUs.
+const BLOCK: usize = 64;
+
+fn check_dims(op: &'static str, a: &DenseMatrix, b: &DenseMatrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::DimMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Naive triple-loop GEMM, `C = A · B`, kept as the obviously-correct
+/// reference for property tests.
+pub fn gemm_naive(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_dims("gemm_naive", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.get(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Cache-blocked GEMM, `C = A · B`.
+///
+/// Identical result to [`gemm_naive`] up to floating-point association order.
+pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_dims("gemm", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    let (asl, bsl) = (a.as_slice(), b.as_slice());
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let av = asl[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let boff = p * n;
+                        let coff = i * n;
+                        let cdat = c.as_mut_slice();
+                        for j in j0..j1 {
+                            cdat[coff + j] += av * bsl[boff + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// GEMM with TF-32 input rounding and FP32 accumulation, matching the
+/// numerics of the simulated tensor-core path without its tiling machinery.
+pub fn gemm_tf32(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_dims("gemm_tf32", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = crate::tf32::round_to_tf32(a.get(i, p));
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += av * crate::tf32::round_to_tf32(brow[j]);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// f64-accumulated GEMM used as the high-precision oracle in tests.
+pub fn gemm_f64_reference(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_dims("gemm_f64_reference", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut acc = vec![0.0_f64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.get(i, p) as f64;
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for j in 0..n {
+                acc[i * n + j] += av * brow[j] as f64;
+            }
+        }
+    }
+    DenseMatrix::from_vec(m, n, acc.into_iter().map(|v| v as f32).collect())
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+pub fn gemm_at_b(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.rows() != b.rows() {
+        return Err(TensorError::DimMismatch {
+            op: "gemm_at_b",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    for p in 0..k {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for i in 0..m {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+pub fn gemm_a_bt(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::DimMismatch {
+            op: "gemm_a_bt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut s = 0.0_f32;
+            for p in 0..k {
+                s += arow[p] * brow[p];
+            }
+            crow[j] = s;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> DenseMatrix {
+        init::uniform(r, c, -1.0, 1.0, seed)
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = rand_mat(37, 53, 1);
+        let b = rand_mat(53, 29, 2);
+        let c1 = gemm_naive(&a, &b).unwrap();
+        let c2 = gemm(&a, &b).unwrap();
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matches_f64_reference() {
+        let a = rand_mat(16, 16, 3);
+        let b = rand_mat(16, 16, 4);
+        let c = gemm(&a, &b).unwrap();
+        let r = gemm_f64_reference(&a, &b).unwrap();
+        assert!(c.max_abs_diff(&r).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn tf32_close_to_fp32() {
+        let a = rand_mat(24, 40, 5);
+        let b = rand_mat(40, 17, 6);
+        let c = gemm(&a, &b).unwrap();
+        let t = gemm_tf32(&a, &b).unwrap();
+        let tol = crate::tf32::tf32_rel_tolerance(40) * 40.0;
+        assert!(c.max_abs_diff(&t).unwrap() < tol);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rand_mat(9, 9, 7);
+        let i = DenseMatrix::identity(9);
+        let c = gemm(&a, &i).unwrap();
+        assert!(c.max_abs_diff(&a).unwrap() < 1e-6);
+        let c2 = gemm(&i, &a).unwrap();
+        assert!(c2.max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = rand_mat(13, 7, 8);
+        let b = rand_mat(13, 11, 9);
+        let c1 = gemm_at_b(&a, &b).unwrap();
+        let c2 = gemm(&a.transpose(), &b).unwrap();
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-4);
+
+        let x = rand_mat(6, 19, 10);
+        let y = rand_mat(8, 19, 11);
+        let d1 = gemm_a_bt(&x, &y).unwrap();
+        let d2 = gemm(&x, &y.transpose()).unwrap();
+        assert!(d1.max_abs_diff(&d2).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(gemm(&a, &b).is_err());
+        assert!(gemm_naive(&a, &b).is_err());
+        assert!(gemm_tf32(&a, &b).is_err());
+        assert!(gemm_at_b(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        let a = DenseMatrix::zeros(0, 5);
+        let b = DenseMatrix::zeros(5, 3);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 3));
+    }
+}

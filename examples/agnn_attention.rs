@@ -1,0 +1,48 @@
+//! Attention GNN (AGNN) training — the SDDMM-heavy workload: edge
+//! attention from cosine similarities, row softmax, weighted aggregation.
+//!
+//! ```bash
+//! cargo run --release --example agnn_attention
+//! ```
+
+use tc_gnn::gnn::{train_agnn, Backend, Engine, TrainConfig};
+use tc_gnn::gpusim::DeviceSpec;
+use tc_gnn::graph::datasets::{DatasetSpec, GraphClass};
+
+fn main() {
+    // A blog-catalog-like graph: dense, irregular, attention-friendly.
+    let spec = DatasetSpec {
+        name: "mini-blog",
+        class: GraphClass::TypeIII,
+        num_nodes: 8_000,
+        num_edges: 180_000,
+        feat_dim: 128,
+        num_classes: 12,
+    };
+    let ds = spec.materialize(7).expect("synthetic dataset");
+    println!(
+        "dataset: {} nodes, {} edges, avg degree {:.1}\n",
+        ds.num_nodes(),
+        ds.num_edges(),
+        ds.num_edges() as f64 / ds.num_nodes() as f64
+    );
+
+    let cfg = TrainConfig::agnn_paper().with_epochs(10);
+    for backend in Backend::all() {
+        let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+        let r = train_agnn(&mut eng, &ds, cfg);
+        let c = r.avg_epoch_cost();
+        println!(
+            "{:8}  epoch {:.3} ms | sparse attention pipeline {:.3} ms ({:.0}%) | final acc {:.1}%",
+            r.backend,
+            r.avg_epoch_ms(),
+            c.aggregation_ms,
+            100.0 * r.aggregation_fraction(),
+            100.0 * r.final_accuracy(),
+        );
+    }
+
+    println!("\nThe attention pipeline per layer: SDDMM (cosine logits) -> edge");
+    println!("softmax -> value-weighted SpMM; TC-GNN runs the first and last on");
+    println!("tensor cores over one shared SGT translation.");
+}

@@ -1,0 +1,87 @@
+//! Every SpMM kernel in the repository on one graph — the paper's Table 3 /
+//! Table 5 landscape in one run.
+//!
+//! ```bash
+//! cargo run --release --example kernel_comparison
+//! ```
+
+use tc_gnn::gpusim::{DeviceSpec, Launcher};
+use tc_gnn::kernels::common::{SpmmKernel, SpmmProblem};
+use tc_gnn::kernels::spmm::{
+    BlockedEllSpmm, CusparseCsrSpmm, DenseGemmSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm,
+    TritonBlockSparseSpmm, TsparseLikeSpmm,
+};
+
+fn main() {
+    let g = tc_gnn::graph::gen::rmat_default(8_192, 120_000, 3).expect("generator");
+    let d = 16usize;
+    let x = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, 4);
+    let prob = SpmmProblem::new(&g, None, &x).expect("dims match");
+    println!(
+        "SpMM on R-MAT: |V| = {}, |E| = {}, D = {d}  (simulated RTX 3090)\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let kernels: Vec<(&str, Box<dyn SpmmKernel>)> = vec![
+        ("cuSPARSE CSR (scalar)", Box::new(CusparseCsrSpmm)),
+        ("GE-SpMM (tuned CUDA core)", Box::new(GeSpmm)),
+        ("torch-scatter (PyG)", Box::new(ScatterGatherSpmm)),
+        ("dense GEMM (CUDA core)", Box::new(DenseGemmSpmm::default())),
+        ("dense GEMM (TCU)", Box::new(DenseGemmSpmm::tcu())),
+        ("Blocked-ELL bSpMM (TCU)", Box::new(BlockedEllSpmm::default())),
+        ("tSparse-like (hybrid TCU)", Box::new(TsparseLikeSpmm::default())),
+        ("Triton block-sparse (TCU)", Box::new(TritonBlockSparseSpmm)),
+        ("TC-GNN (SGT + TCU)", Box::new(TcgnnSpmm::new(&g))),
+    ];
+
+    let mut reference: Option<tc_gnn::tensor::DenseMatrix> = None;
+    let mut tc_time = 0.0;
+    let mut results = Vec::new();
+    for (name, kernel) in &kernels {
+        let mut launcher = Launcher::new(DeviceSpec::rtx3090());
+        match kernel.execute(&mut launcher, &prob) {
+            Ok((out, report)) => {
+                if let Some(r) = &reference {
+                    assert!(
+                        out.max_abs_diff(r).expect("same shape") < 0.05,
+                        "{name} disagrees with the first kernel"
+                    );
+                } else {
+                    reference = Some(out);
+                }
+                if *name == "TC-GNN (SGT + TCU)" {
+                    tc_time = report.time_ms;
+                }
+                results.push((name.to_string(), Some(report)));
+            }
+            Err(e) => results.push((format!("{name} [{e}]"), None)),
+        }
+    }
+
+    println!(
+        "{:30} {:>10} {:>18} {:>8} {:>9}",
+        "kernel", "sim ms", "bound by", "occ", "L1 hit"
+    );
+    for (name, report) in &results {
+        match report {
+            Some(r) => println!(
+                "{:30} {:>10.4} {:>18} {:>7.0}% {:>8.0}%",
+                name,
+                r.time_ms,
+                r.bound_by,
+                100.0 * r.occupancy,
+                100.0 * r.l1_hit_rate
+            ),
+            None => println!("{name:30} {:>10}", "n/a"),
+        }
+    }
+    if tc_time > 0.0 {
+        println!("\nspeedups over TC-GNN's {tc_time:.4} ms:");
+        for (name, report) in &results {
+            if let Some(r) = report {
+                println!("  {:30} {:.2}x", name, r.time_ms / tc_time);
+            }
+        }
+    }
+}

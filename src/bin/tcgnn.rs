@@ -1,0 +1,257 @@
+//! `tcgnn` — command-line front end for the TC-GNN reproduction.
+//!
+//! ```text
+//! tcgnn datasets                          list the Table 4 registry
+//! tcgnn census    <GRAPH>                 SGT block census (Fig. 7a view)
+//! tcgnn translate <GRAPH>                 run SGT, print translation stats
+//! tcgnn spmm      <GRAPH> [--dim D]       compare all SpMM kernels
+//! tcgnn train     <DATASET> [--model M] [--backend B] [--epochs N]
+//! ```
+//!
+//! `<GRAPH>` is a dataset name from the registry (optionally with
+//! `/scale`, e.g. `Pubmed/4`), a `.json` CSR snapshot, a `.mtx`
+//! MatrixMarket file, or a SNAP-style edge-list text file.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tc_gnn::gnn::{train_agnn, train_gcn, train_gin, train_sage, Backend, Engine, TrainConfig};
+use tc_gnn::gpusim::{DeviceSpec, Launcher};
+use tc_gnn::graph::datasets::{spec_by_name, TABLE4};
+use tc_gnn::graph::{io, CsrGraph};
+use tc_gnn::kernels::common::{SpmmKernel, SpmmProblem};
+use tc_gnn::kernels::spmm::{
+    CondensedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm,
+    TritonBlockSparseSpmm, TsparseLikeSpmm,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tcgnn <command> [args]\n\
+         commands:\n\
+           datasets                         list the paper's dataset registry\n\
+           census    <GRAPH>                TCU block census with/without SGT\n\
+           translate <GRAPH>                run SGT and print translation stats\n\
+           spmm      <GRAPH> [--dim D]      run every SpMM kernel on the graph\n\
+           train     <DATASET> [--model gcn|sage|gin|agnn]\n\
+                     [--backend dgl|pyg|tcgnn] [--epochs N]\n\
+         GRAPH: registry name (optionally name/scale), .json, .mtx, or edge-list path"
+    );
+    ExitCode::FAILURE
+}
+
+/// Resolves a graph argument: registry name (with optional `/scale`) or a
+/// file path by extension.
+fn load_graph(arg: &str) -> Result<CsrGraph, String> {
+    let path = Path::new(arg);
+    if path.exists() {
+        let by_ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        return match by_ext {
+            "json" => io::load_csr(path).map_err(|e| e.to_string()),
+            "mtx" => io::load_matrix_market(path).map_err(|e| e.to_string()),
+            _ => io::load_edge_list(path, true).map_err(|e| e.to_string()),
+        };
+    }
+    let (name, scale) = match arg.split_once('/') {
+        Some((n, s)) => (
+            n,
+            s.parse::<usize>().map_err(|_| format!("bad scale: {s}"))?,
+        ),
+        None => (arg, 1),
+    };
+    let spec = spec_by_name(name).map_err(|e| e.to_string())?;
+    Ok(spec
+        .scaled(scale)
+        .materialize(42)
+        .map_err(|e| e.to_string())?
+        .graph)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_datasets() -> ExitCode {
+    println!("{:16} {:>5} {:>9} {:>9} {:>6} {:>8}", "name", "type", "nodes", "edges", "dim", "classes");
+    for s in TABLE4.iter() {
+        println!(
+            "{:16} {:>5} {:>9} {:>9} {:>6} {:>8}",
+            s.name, s.class.to_string(), s.num_nodes, s.num_edges, s.feat_dim, s.num_classes
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_census(graph: &CsrGraph) -> ExitCode {
+    let c = tc_gnn::sgt::census(graph);
+    let cs = tc_gnn::sgt::census::census_sddmm(graph);
+    println!("nodes: {}  edges: {}", graph.num_nodes(), graph.num_edges());
+    println!(
+        "SpMM  (16x8):  {} blocks without SGT, {} with ({:.1}% reduction)",
+        c.blocks_without_sgt,
+        c.blocks_with_sgt,
+        c.reduction_pct()
+    );
+    println!(
+        "SDDMM (16x16): {} blocks without SGT, {} with ({:.1}% reduction)",
+        cs.blocks_without_sgt,
+        cs.blocks_with_sgt,
+        cs.reduction_pct()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_translate(graph: &CsrGraph) -> ExitCode {
+    let (t, wall_ms) = tc_gnn::sgt::overhead::measure_ms(graph);
+    println!("row windows:   {}", t.num_row_windows);
+    println!("TCU blocks:    {}", t.total_tc_blocks());
+    println!("SDDMM blocks:  {}", t.total_sddmm_blocks());
+    println!("metadata:      {} KiB", t.memory_bytes() / 1024);
+    println!("wall clock:    {wall_ms:.2} ms (this host)");
+    println!(
+        "modeled:       {:.2} ms (reference host)",
+        tc_gnn::sgt::overhead::model_ms(graph)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_spmm(graph: &CsrGraph, dim: usize) -> ExitCode {
+    let x = tc_gnn::tensor::init::uniform(graph.num_nodes(), dim, -1.0, 1.0, 7);
+    let prob = match SpmmProblem::new(graph, None, &x) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernels: Vec<(&str, Box<dyn SpmmKernel>)> = vec![
+        ("cusparse-csr", Box::new(CusparseCsrSpmm)),
+        ("ge-spmm", Box::new(GeSpmm)),
+        ("scatter (PyG)", Box::new(ScatterGatherSpmm)),
+        ("blocked-ell", Box::new(CondensedEllSpmm::new(graph))),
+        ("tsparse-like", Box::new(TsparseLikeSpmm::default())),
+        ("triton-like", Box::new(TritonBlockSparseSpmm)),
+        ("tc-gnn", Box::new(TcgnnSpmm::new(graph))),
+    ];
+    println!("{:16} {:>10} {:>18} {:>6} {:>7}", "kernel", "sim ms", "bound by", "occ", "L1 hit");
+    for (name, k) in kernels {
+        let mut l = Launcher::new(DeviceSpec::rtx3090());
+        match k.execute(&mut l, &prob) {
+            Ok((_, r)) => println!(
+                "{:16} {:>10.4} {:>18} {:>5.0}% {:>6.0}%",
+                name, r.time_ms, r.bound_by, 100.0 * r.occupancy, 100.0 * r.l1_hit_rate
+            ),
+            Err(e) => println!("{name:16} failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let Some(name_arg) = args.first() else {
+        return usage();
+    };
+    let (name, scale) = match name_arg.split_once('/') {
+        Some((n, s)) => (n, s.parse::<usize>().unwrap_or(1)),
+        None => (name_arg.as_str(), 1),
+    };
+    let spec = match spec_by_name(name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e} (train needs a registry dataset for features/labels)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ds = spec.scaled(scale).materialize(42).expect("synthetic dataset");
+    let model = flag_value(args, "--model").unwrap_or_else(|| "gcn".into());
+    let backend = match flag_value(args, "--backend").as_deref() {
+        None | Some("tcgnn") => Backend::TcGnn,
+        Some("dgl") => Backend::DglLike,
+        Some("pyg") => Backend::PygLike,
+        Some(other) => {
+            eprintln!("unknown backend: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let epochs: u32 = flag_value(args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let cfg = if model == "agnn" {
+        TrainConfig::agnn_paper()
+    } else {
+        TrainConfig::gcn_paper()
+    }
+    .with_epochs(epochs);
+
+    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let result = match model.as_str() {
+        "gcn" => train_gcn(&mut eng, &ds, cfg),
+        "sage" => train_sage(&mut eng, &ds, cfg),
+        "gin" => train_gin(&mut eng, &ds, cfg),
+        "agnn" => train_agnn(&mut eng, &ds, cfg),
+        other => {
+            eprintln!("unknown model: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} on {} ({} backend), {} epochs",
+        model, spec.name, result.backend, epochs
+    );
+    for (i, e) in result.epochs.iter().enumerate() {
+        println!(
+            "  epoch {:>3}: loss {:.4}  train-acc {:.1}%  sim {:.3} ms",
+            i + 1,
+            e.loss,
+            100.0 * e.train_accuracy,
+            e.cost.total_ms()
+        );
+    }
+    let c = result.avg_epoch_cost();
+    println!(
+        "avg epoch {:.3} ms (aggregation {:.3}, update {:.3}, other {:.3}); SGT {:.3} ms one-time",
+        result.avg_epoch_ms(),
+        c.aggregation_ms,
+        c.update_ms,
+        c.other_ms,
+        result.preprocessing_ms
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "datasets" => cmd_datasets(),
+        "census" | "translate" | "spmm" => {
+            let Some(graph_arg) = args.get(1) else {
+                return usage();
+            };
+            let graph = match load_graph(graph_arg) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("error loading {graph_arg}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "census" => cmd_census(&graph),
+                "translate" => cmd_translate(&graph),
+                _ => {
+                    let dim = flag_value(&args, "--dim")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(16);
+                    cmd_spmm(&graph, dim)
+                }
+            }
+        }
+        "train" => cmd_train(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,7 @@
+//! TC-GNN facade crate: re-exports the whole workspace behind one name.
+pub use tcg_gnn as gnn;
+pub use tcg_gpusim as gpusim;
+pub use tcg_graph as graph;
+pub use tcg_kernels as kernels;
+pub use tcg_sgt as sgt;
+pub use tcg_tensor as tensor;

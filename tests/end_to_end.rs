@@ -1,0 +1,108 @@
+//! Cross-crate integration: dataset → SGT → kernels → GNN training.
+
+use tc_gnn::gnn::{train_agnn, train_gcn, Backend, Engine, TrainConfig};
+use tc_gnn::gpusim::DeviceSpec;
+use tc_gnn::graph::datasets::spec_by_name;
+
+fn cora_small() -> tc_gnn::graph::Dataset {
+    spec_by_name("Cora")
+        .expect("registry")
+        .scaled(4)
+        .materialize(2024)
+        .expect("synthetic dataset")
+}
+
+#[test]
+fn gcn_converges_on_synthetic_cora() {
+    let ds = cora_small();
+    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let cfg = TrainConfig {
+        hidden: 16,
+        layers: 2,
+        epochs: 40,
+        lr: 0.02,
+        seed: 3,
+    };
+    let r = train_gcn(&mut eng, &ds, cfg);
+    assert!(r.loss_drop() > 0.3, "loss must fall: {}", r.loss_drop());
+    let chance = 1.0 / ds.spec.num_classes as f64;
+    assert!(
+        r.final_accuracy() > 2.0 * chance,
+        "accuracy {} must beat chance {}",
+        r.final_accuracy(),
+        chance
+    );
+}
+
+#[test]
+fn agnn_converges_on_synthetic_cora() {
+    let ds = cora_small();
+    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let cfg = TrainConfig {
+        hidden: 16,
+        layers: 2,
+        epochs: 30,
+        lr: 0.02,
+        seed: 4,
+    };
+    let r = train_agnn(&mut eng, &ds, cfg);
+    assert!(r.loss_drop() > 0.15, "loss must fall: {}", r.loss_drop());
+    assert!(r.final_accuracy() > 1.5 / ds.spec.num_classes as f64);
+}
+
+#[test]
+fn backends_train_to_equivalent_losses() {
+    // The backends differ only in *how* aggregation runs (plus TF-32
+    // rounding on the TCU path); training trajectories must agree closely.
+    let ds = cora_small();
+    let cfg = TrainConfig {
+        hidden: 8,
+        layers: 2,
+        epochs: 12,
+        lr: 0.02,
+        seed: 5,
+    };
+    let losses: Vec<f64> = Backend::all()
+        .iter()
+        .map(|&b| {
+            let mut eng = Engine::new(b, ds.graph.clone(), DeviceSpec::rtx3090());
+            train_gcn(&mut eng, &ds, cfg).epochs.last().expect("ran").loss
+        })
+        .collect();
+    for l in &losses[1..] {
+        assert!(
+            (l - losses[0]).abs() < 0.05,
+            "backend losses diverged: {losses:?}"
+        );
+    }
+}
+
+#[test]
+fn tcgnn_outperforms_both_frameworks_end_to_end() {
+    // The headline Figure 6 direction on a Type I dataset.
+    let ds = cora_small();
+    let cfg = TrainConfig::gcn_paper().with_epochs(2);
+    let run = |b| {
+        let mut eng = Engine::new(b, ds.graph.clone(), DeviceSpec::rtx3090());
+        train_gcn(&mut eng, &ds, cfg).avg_epoch_ms()
+    };
+    let dgl = run(Backend::DglLike);
+    let pyg = run(Backend::PygLike);
+    let tc = run(Backend::TcGnn);
+    assert!(tc < dgl, "TC-GNN {tc} ms vs DGL {dgl} ms");
+    assert!(tc < pyg, "TC-GNN {tc} ms vs PyG {pyg} ms");
+}
+
+#[test]
+fn sgt_overhead_amortizes_over_training() {
+    // Figure 7(b): one-time SGT is a small fraction of a long run.
+    let ds = cora_small();
+    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
+    let epoch_ms = r.avg_epoch_ms();
+    let pct = tc_gnn::sgt::overhead::overhead_pct(r.preprocessing_ms, epoch_ms, 200);
+    assert!(
+        pct < 20.0,
+        "SGT should amortize over 200 epochs: {pct:.1}%"
+    );
+}

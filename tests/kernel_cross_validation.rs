@@ -1,0 +1,143 @@
+//! Property-based cross-validation: every kernel must equal the CPU
+//! reference on randomized graphs, features and edge weights.
+
+use proptest::prelude::*;
+use tc_gnn::gpusim::{DeviceSpec, Launcher};
+use tc_gnn::kernels::common::{reference_sddmm, reference_spmm, SpmmKernel, SpmmProblem};
+use tc_gnn::kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
+use tc_gnn::kernels::spmm::{
+    BlockedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm,
+    TritonBlockSparseSpmm, TsparseLikeSpmm,
+};
+use tc_gnn::tensor::DenseMatrix;
+
+/// Random-graph strategy: structure family × size × density × dim.
+fn graph_strategy() -> impl Strategy<Value = (tc_gnn::graph::CsrGraph, usize, u64)> {
+    (0usize..4, 24usize..180, 2usize..10, 1usize..40, 0u64..1000).prop_map(
+        |(family, n, avg_deg, d, seed)| {
+            let e = n * avg_deg;
+            let g = match family {
+                0 => tc_gnn::graph::gen::erdos_renyi(n, e, seed),
+                1 => tc_gnn::graph::gen::rmat_default(n.next_power_of_two(), e, seed),
+                2 => tc_gnn::graph::gen::citation(n, e, seed),
+                _ => tc_gnn::graph::gen::community(n.max(32), e, 4, 12, seed),
+            }
+            .expect("generator succeeds");
+            (g, d, seed)
+        },
+    )
+}
+
+fn spmm_kernels(g: &tc_gnn::graph::CsrGraph) -> Vec<(&'static str, Box<dyn SpmmKernel>)> {
+    vec![
+        ("cusparse", Box::new(CusparseCsrSpmm)),
+        ("ge-spmm", Box::new(GeSpmm)),
+        ("scatter", Box::new(ScatterGatherSpmm)),
+        ("tcgnn", Box::new(TcgnnSpmm::new(g))),
+        ("tsparse", Box::new(TsparseLikeSpmm::default())),
+        ("triton", Box::new(TritonBlockSparseSpmm)),
+        ("blocked-ell", Box::new(BlockedEllSpmm::default())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_spmm_kernels_match_reference((g, d, seed) in graph_strategy()) {
+        let x = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, seed);
+        let prob = SpmmProblem::new(&g, None, &x).expect("dims");
+        let reference = reference_spmm(&prob);
+        for (name, kernel) in spmm_kernels(&g) {
+            let mut l = Launcher::new(DeviceSpec::rtx3090());
+            let (out, report) = kernel.execute(&mut l, &prob).expect("feasible at this size");
+            let diff = out.max_abs_diff(&reference).expect("same shape");
+            prop_assert!(diff < 0.05, "{name}: max diff {diff}");
+            prop_assert!(report.time_ms > 0.0, "{name}: zero time");
+        }
+    }
+
+    #[test]
+    fn weighted_spmm_kernels_match_reference((g, d, seed) in graph_strategy()) {
+        let x = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, seed);
+        let vals: Vec<f32> = (0..g.num_edges()).map(|e| ((e * 37 + 11) % 23) as f32 * 0.1 - 0.5).collect();
+        let prob = SpmmProblem::new(&g, Some(&vals), &x).expect("dims");
+        let reference = reference_spmm(&prob);
+        for (name, kernel) in spmm_kernels(&g) {
+            let mut l = Launcher::new(DeviceSpec::rtx3090());
+            let (out, _) = kernel.execute(&mut l, &prob).expect("feasible at this size");
+            let diff = out.max_abs_diff(&reference).expect("same shape");
+            prop_assert!(diff < 0.05, "{name} weighted: max diff {diff}");
+        }
+    }
+
+    #[test]
+    fn sddmm_kernels_match_reference((g, d, seed) in graph_strategy()) {
+        let xa = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, seed);
+        let xb = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, seed ^ 7);
+        let reference = reference_sddmm(&g, &xa, &xb);
+        let kernels: Vec<(&str, Box<dyn SddmmKernel>)> = vec![
+            ("cuda-core", Box::new(CudaCoreSddmm)),
+            ("tcgnn", Box::new(TcgnnSddmm::new(&g))),
+        ];
+        for (name, kernel) in kernels {
+            let mut l = Launcher::new(DeviceSpec::rtx3090());
+            let (vals, _) = kernel.execute(&mut l, &g, &xa, &xb).expect("dims ok");
+            for (i, (a, r)) in vals.iter().zip(&reference).enumerate() {
+                prop_assert!((a - r).abs() < 0.05, "{name} edge {i}: {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sgt_preserves_aggregation_semantics((g, d, seed) in graph_strategy()) {
+        // The paper's correctness claim: SGT "can always yield the correct
+        // results as the original sparse algorithm".
+        let x = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, seed);
+        let translated = tc_gnn::sgt::translate(&g);
+        let kernel = TcgnnSpmm::from_translated(translated);
+        let prob = SpmmProblem::new(&g, None, &x).expect("dims");
+        let mut l = Launcher::new(DeviceSpec::rtx3090());
+        let (out, _) = kernel.execute(&mut l, &prob).expect("runs");
+        let diff = out.max_abs_diff(&reference_spmm(&prob)).expect("same shape");
+        prop_assert!(diff < 0.05);
+    }
+}
+
+#[test]
+fn kernels_handle_star_graph() {
+    // One hub connected to everyone: maximal divergence + dense window.
+    let n = 200u32;
+    let mut coo = tc_gnn::graph::CooGraph::new(n as usize);
+    for v in 1..n {
+        coo.push_edge(0, v);
+    }
+    coo.symmetrize();
+    let g = coo.into_csr().expect("valid");
+    let x = tc_gnn::tensor::init::uniform(n as usize, 12, -1.0, 1.0, 9);
+    let prob = SpmmProblem::new(&g, None, &x).expect("dims");
+    let reference = reference_spmm(&prob);
+    for (name, kernel) in spmm_kernels(&g) {
+        let mut l = Launcher::new(DeviceSpec::rtx3090());
+        let (out, _) = kernel.execute(&mut l, &prob).expect("feasible");
+        assert!(
+            out.max_abs_diff(&reference).expect("shape") < 0.05,
+            "{name} fails on star graph"
+        );
+    }
+}
+
+#[test]
+fn kernels_handle_zero_features() {
+    let g = tc_gnn::graph::gen::erdos_renyi(100, 800, 1).expect("generator");
+    let x = DenseMatrix::zeros(100, 8);
+    let prob = SpmmProblem::new(&g, None, &x).expect("dims");
+    for (name, kernel) in spmm_kernels(&g) {
+        let mut l = Launcher::new(DeviceSpec::rtx3090());
+        let (out, _) = kernel.execute(&mut l, &prob).expect("feasible");
+        assert!(
+            out.as_slice().iter().all(|&v| v == 0.0),
+            "{name}: zero input must give zero output"
+        );
+    }
+}

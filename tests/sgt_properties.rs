@@ -1,0 +1,91 @@
+//! Property tests of the Sparse Graph Translation invariants.
+
+use proptest::prelude::*;
+use tc_gnn::sgt::{census, translate, translate_parallel, TC_BLK_H, TC_BLK_W};
+
+fn graph_strategy() -> impl Strategy<Value = tc_gnn::graph::CsrGraph> {
+    (16usize..400, 1usize..12, 0u64..10_000, 0usize..3).prop_map(|(n, deg, seed, family)| {
+        let e = n * deg;
+        match family {
+            0 => tc_gnn::graph::gen::erdos_renyi(n, e, seed),
+            1 => tc_gnn::graph::gen::rmat_default(n.next_power_of_two(), e, seed),
+            _ => tc_gnn::graph::gen::community(n.max(32), e, 4, 16, seed),
+        }
+        .expect("generator succeeds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn translation_is_a_window_local_column_renaming(g in graph_strategy()) {
+        let t = translate(&g);
+        // Every edge appears once in the permutation; coordinates decode
+        // back to the original (row, neighbor) pair.
+        let mut seen = vec![false; g.num_edges()];
+        for w in 0..t.num_row_windows {
+            for b in t.win_block_start[w]..t.win_block_start[w + 1] {
+                let atox = t.block_atox(b);
+                let (lo, hi) = t.block_chunk(b);
+                for pos in lo..hi {
+                    let e = t.perm_orig[pos] as usize;
+                    prop_assert!(!seen[e]);
+                    seen[e] = true;
+                    let (r, c) = t.unpack(t.perm_pack[pos]);
+                    prop_assert_eq!(t.edge_to_row[e] as usize, w * TC_BLK_H + r);
+                    prop_assert_eq!(atox[c], g.edge_list()[e]);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn block_count_is_exactly_ceil_unique_over_width(g in graph_strategy()) {
+        let t = translate(&g);
+        for w in 0..t.num_row_windows {
+            prop_assert_eq!(
+                t.win_partition[w] as usize,
+                (t.win_unique[w] as usize).div_ceil(TC_BLK_W)
+            );
+        }
+    }
+
+    #[test]
+    fn all_blocks_but_last_per_window_are_column_full(g in graph_strategy()) {
+        // Condensation means every block except a window's last has all 8
+        // columns populated — the density improvement of Figure 4.
+        let t = translate(&g);
+        for w in 0..t.num_row_windows {
+            let b_lo = t.win_block_start[w];
+            let b_hi = t.win_block_start[w + 1];
+            for b in b_lo..b_hi {
+                let expected = if b + 1 == b_hi {
+                    let rem = t.win_unique[w] as usize % TC_BLK_W;
+                    if rem == 0 { TC_BLK_W } else { rem }
+                } else {
+                    TC_BLK_W
+                };
+                prop_assert_eq!(t.block_atox(b).len(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn census_reduction_is_nonnegative(g in graph_strategy()) {
+        let c = census(&g);
+        prop_assert!(c.blocks_with_sgt <= c.blocks_without_sgt);
+        prop_assert!(c.reduction_pct() >= 0.0);
+        // With-SGT block count must equal the translation's.
+        let t = translate(&g);
+        prop_assert_eq!(c.blocks_with_sgt, t.total_tc_blocks());
+    }
+
+    #[test]
+    fn parallel_translation_is_deterministic(g in graph_strategy()) {
+        let a = translate(&g);
+        let b = translate_parallel(&g, 3);
+        prop_assert_eq!(a, b);
+    }
+}

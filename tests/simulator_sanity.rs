@@ -1,0 +1,115 @@
+//! Sanity laws the simulated performance model must obey: scaling trends,
+//! determinism, device sensitivity. These pin down the *shape* of the cost
+//! model that the figure reproductions rely on.
+
+use tc_gnn::gpusim::{DeviceSpec, KernelReport, Launcher};
+use tc_gnn::kernels::common::{SpmmKernel, SpmmProblem};
+use tc_gnn::kernels::spmm::{CusparseCsrSpmm, TcgnnSpmm};
+
+fn run_tcgnn(g: &tc_gnn::graph::CsrGraph, d: usize, device: DeviceSpec) -> KernelReport {
+    let x = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, 5);
+    let prob = SpmmProblem::new(g, None, &x).expect("dims");
+    let mut l = Launcher::new(device);
+    TcgnnSpmm::new(g).execute(&mut l, &prob).expect("runs").1
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let g = tc_gnn::graph::gen::rmat_default(2048, 20_000, 1).expect("generator");
+    let a = run_tcgnn(&g, 32, DeviceSpec::rtx3090());
+    let b = run_tcgnn(&g, 32, DeviceSpec::rtx3090());
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.time_ms, b.time_ms);
+}
+
+#[test]
+fn more_edges_cost_more() {
+    let small = tc_gnn::graph::gen::erdos_renyi(4096, 30_000, 2).expect("generator");
+    let large = tc_gnn::graph::gen::erdos_renyi(4096, 120_000, 2).expect("generator");
+    let t_small = run_tcgnn(&small, 32, DeviceSpec::rtx3090());
+    let t_large = run_tcgnn(&large, 32, DeviceSpec::rtx3090());
+    assert!(
+        t_large.time_ms > 1.5 * t_small.time_ms,
+        "4x edges: {} vs {}",
+        t_large.time_ms,
+        t_small.time_ms
+    );
+    // DRAM bytes grow sublinearly here (X fits L2), but the transaction
+    // stream must scale with the edge count.
+    assert!(
+        t_large.stats.gl_load_transactions > 2 * t_small.stats.gl_load_transactions
+    );
+}
+
+#[test]
+fn wider_embeddings_cost_more() {
+    let g = tc_gnn::graph::gen::rmat_default(8192, 80_000, 3).expect("generator");
+    let narrow = run_tcgnn(&g, 16, DeviceSpec::rtx3090());
+    let wide = run_tcgnn(&g, 128, DeviceSpec::rtx3090());
+    assert!(wide.time_ms > 2.0 * narrow.time_ms);
+    assert!(wide.stats.tcu_flops > 4 * narrow.stats.tcu_flops);
+}
+
+#[test]
+fn a100_is_not_slower_than_3090() {
+    let g = tc_gnn::graph::gen::rmat_default(16_384, 160_000, 4).expect("generator");
+    let on_3090 = run_tcgnn(&g, 64, DeviceSpec::rtx3090());
+    let on_a100 = run_tcgnn(&g, 64, DeviceSpec::a100());
+    assert!(
+        on_a100.time_ms <= on_3090.time_ms * 1.05,
+        "A100 {} ms vs 3090 {} ms",
+        on_a100.time_ms,
+        on_3090.time_ms
+    );
+}
+
+#[test]
+fn simulated_times_are_physically_plausible() {
+    // Lower bound: DRAM traffic over peak bandwidth. Upper bound: generous
+    // constant over the same (latency-bound kernels sit well above 1).
+    let g = tc_gnn::graph::gen::rmat_default(16_384, 160_000, 6).expect("generator");
+    for d in [16usize, 64] {
+        let r = run_tcgnn(&g, d, DeviceSpec::rtx3090());
+        let bw_floor_ms = r.stats.dram_bytes() as f64 / 936e6;
+        assert!(
+            r.time_ms >= bw_floor_ms,
+            "cannot beat the bandwidth roofline: {} < {}",
+            r.time_ms,
+            bw_floor_ms
+        );
+        assert!(
+            r.time_ms < 1000.0 * bw_floor_ms.max(1e-4),
+            "implausibly slow: {} ms",
+            r.time_ms
+        );
+    }
+}
+
+#[test]
+fn cost_conservation_between_cache_levels() {
+    // Every load transaction is an L1 hit or an L1 miss; every L1 miss is
+    // an L2 hit or an L2 miss; DRAM reads equal L2 misses × 32 B.
+    let g = tc_gnn::graph::gen::citation(8192, 70_000, 7).expect("generator");
+    let x = tc_gnn::tensor::init::uniform(g.num_nodes(), 32, -1.0, 1.0, 8);
+    let prob = SpmmProblem::new(&g, None, &x).expect("dims");
+    for kernel in [
+        Box::new(CusparseCsrSpmm) as Box<dyn SpmmKernel>,
+        Box::new(TcgnnSpmm::new(&g)),
+    ] {
+        let mut l = Launcher::new(DeviceSpec::rtx3090());
+        let (_, r) = kernel.execute(&mut l, &prob).expect("runs");
+        let s = &r.stats;
+        assert_eq!(s.l1_hits + s.l1_misses, s.gl_load_transactions);
+        assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses);
+        assert_eq!(s.dram_read_bytes, s.l2_misses * 32);
+    }
+}
+
+#[test]
+fn occupancy_and_hit_rate_are_fractions() {
+    let g = tc_gnn::graph::gen::community(4096, 40_000, 8, 24, 9).expect("generator");
+    let r = run_tcgnn(&g, 48, DeviceSpec::rtx3090());
+    assert!((0.0..=1.0).contains(&r.occupancy));
+    assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+    assert!(!r.bound_by.is_empty());
+}

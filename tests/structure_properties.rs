@@ -1,0 +1,137 @@
+//! Property tests over the data-structure substrate: graph containers,
+//! generators, dense algebra.
+
+use proptest::prelude::*;
+use tc_gnn::graph::CooGraph;
+use tc_gnn::tensor::gemm::{gemm, gemm_naive};
+use tc_gnn::tensor::DenseMatrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn coo_to_csr_preserves_edge_set(
+        n in 2usize..100,
+        edges in prop::collection::vec((0u32..100, 0u32..100), 0..400)
+    ) {
+        let mut coo = CooGraph::new(n);
+        let mut expect: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in edges {
+            let (a, b) = (a % n as u32, b % n as u32);
+            coo.push_edge(a, b);
+            expect.push((a, b));
+        }
+        expect.sort_unstable();
+        expect.dedup();
+        let csr = coo.into_csr().expect("valid");
+        let got: Vec<(u32, u32)> = csr.iter_edges().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(
+        n in 2usize..80,
+        edges in prop::collection::vec((0u32..80, 0u32..80), 0..300)
+    ) {
+        let mut coo = CooGraph::new(n);
+        for (a, b) in edges {
+            coo.push_edge(a % n as u32, b % n as u32);
+        }
+        let csr = coo.into_csr().expect("valid");
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_permutation_is_bijective(
+        n in 2usize..80,
+        edges in prop::collection::vec((0u32..80, 0u32..80), 1..300)
+    ) {
+        let mut coo = CooGraph::new(n);
+        for (a, b) in edges {
+            coo.push_edge(a % n as u32, b % n as u32);
+        }
+        let csr = coo.into_csr().expect("valid");
+        let perm = csr.transpose_permutation();
+        let mut seen = vec![false; csr.num_edges()];
+        for &p in &perm {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gcn_norm_values_are_positive_and_bounded(
+        n in 2usize..80,
+        edges in prop::collection::vec((0u32..80, 0u32..80), 1..300)
+    ) {
+        let mut coo = CooGraph::new(n);
+        for (a, b) in edges {
+            coo.push_edge(a % n as u32, b % n as u32);
+        }
+        coo.symmetrize();
+        let csr = coo.into_csr().expect("valid");
+        for v in csr.gcn_norm_edge_values() {
+            prop_assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+    ) {
+        let a = tc_gnn::tensor::init::uniform(m, k, -2.0, 2.0, seed);
+        let b = tc_gnn::tensor::init::uniform(k, n, -2.0, 2.0, seed ^ 1);
+        let c1 = gemm(&a, &b).expect("dims");
+        let c2 = gemm_naive(&a, &b).expect("dims");
+        prop_assert!(c1.max_abs_diff(&c2).expect("shape") < 1e-3);
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(
+        m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in 0u64..1000
+    ) {
+        let a = tc_gnn::tensor::init::uniform(m, k, -1.0, 1.0, seed);
+        let b1 = tc_gnn::tensor::init::uniform(k, n, -1.0, 1.0, seed ^ 2);
+        let b2 = tc_gnn::tensor::init::uniform(k, n, -1.0, 1.0, seed ^ 3);
+        let mut b_sum = b1.clone();
+        b_sum.add_assign(&b2).expect("shape");
+        let lhs = gemm(&a, &b_sum).expect("dims");
+        let mut rhs = gemm(&a, &b1).expect("dims");
+        rhs.add_assign(&gemm(&a, &b2).expect("dims")).expect("shape");
+        prop_assert!(lhs.max_abs_diff(&rhs).expect("shape") < 1e-3);
+    }
+
+    #[test]
+    fn tile_padded_never_reads_out_of_bounds(
+        rows in 1usize..20, cols in 1usize..20,
+        r0 in 0usize..30, c0 in 0usize..30,
+        h in 1usize..8, w in 1usize..8
+    ) {
+        let m = DenseMatrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
+        let t = m.tile_padded(r0, c0, h, w);
+        prop_assert_eq!(t.shape(), (h, w));
+        for r in 0..h {
+            for c in 0..w {
+                let expect = if r0 + r < rows && c0 + c < cols {
+                    ((r0 + r) * cols + (c0 + c)) as f32
+                } else {
+                    0.0
+                };
+                prop_assert_eq!(t.get(r, c), expect);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_table4_spec_materializes() {
+    // Smoke: the full registry, at a steep scale divisor, produces valid
+    // datasets of every structural class.
+    for spec in tc_gnn::graph::datasets::TABLE4.iter() {
+        let ds = spec.scaled(64).materialize(3).expect("materializes");
+        assert!(ds.graph.is_symmetric(), "{}", spec.name);
+        assert_eq!(ds.features.rows(), ds.num_nodes());
+        assert!(ds.labels.iter().all(|&l| (l as usize) < spec.num_classes));
+    }
+}
