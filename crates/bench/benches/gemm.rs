@@ -12,7 +12,9 @@ fn bench_gemm(c: &mut Criterion) {
     let b = init::uniform(256, 256, -1.0, 1.0, 2);
     let mut group = c.benchmark_group("gemm_256");
     group.sample_size(10);
-    group.bench_function("blocked", |bch| bch.iter(|| black_box(gemm(&a, &b).unwrap())));
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| black_box(gemm(&a, &b).unwrap()))
+    });
     group.bench_function("naive", |bch| {
         bch.iter(|| black_box(gemm_naive(&a, &b).unwrap()))
     });

@@ -1,0 +1,48 @@
+//! Overhead of the tracing layer: the same two-epoch GCN run with no
+//! profiler attached (the default), and with one recording every launch.
+//! The disabled path is a single `Option` check per launch — no
+//! allocation — so the two times should be statistically indistinguishable
+//! at this scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcg_gnn::{train_gcn, Backend, Engine, TrainConfig};
+use tcg_gpusim::DeviceSpec;
+use tcg_graph::datasets::{DatasetSpec, GraphClass};
+
+fn bench_profile_overhead(c: &mut Criterion) {
+    let ds = DatasetSpec {
+        name: "bench-profile",
+        class: GraphClass::TypeI,
+        num_nodes: 2000,
+        num_edges: 16000,
+        feat_dim: 64,
+        num_classes: 7,
+    }
+    .materialize(3)
+    .expect("synthetic dataset");
+    let cfg = TrainConfig::gcn_paper().with_epochs(2);
+
+    let mut group = c.benchmark_group("profile_overhead");
+    group.sample_size(10);
+    for profiled in [false, true] {
+        let label = if profiled { "enabled" } else { "disabled" };
+        group.bench_with_input(
+            BenchmarkId::new("gcn_2epoch", label),
+            &profiled,
+            |b, &profiled| {
+                b.iter(|| {
+                    let mut eng =
+                        Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+                    if profiled {
+                        eng.attach_profiler(tcg_profile::shared("TC-GNN"));
+                    }
+                    train_gcn(&mut eng, &ds, cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_overhead);
+criterion_main!(benches);

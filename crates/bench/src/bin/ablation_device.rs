@@ -37,7 +37,12 @@ fn main() {
                 .expect("feasible");
             rows.push(Row {
                 dataset: name.to_string(),
-                device: if device.num_sms == 82 { "RTX 3090" } else { "A100" }.into(),
+                device: if device.num_sms == 82 {
+                    "RTX 3090"
+                } else {
+                    "A100"
+                }
+                .into(),
                 cusparse_ms: r_cu.time_ms,
                 tcgnn_ms: r_tc.time_ms,
                 speedup: r_cu.time_ms / r_tc.time_ms,
@@ -46,7 +51,13 @@ fn main() {
         eprintln!("  [ablation_device] {name} done");
     }
     print_table(
-        &["Dataset", "Device", "cuSPARSE (ms)", "TC-GNN (ms)", "Speedup"],
+        &[
+            "Dataset",
+            "Device",
+            "cuSPARSE (ms)",
+            "TC-GNN (ms)",
+            "Speedup",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -37,7 +37,13 @@ fn main() {
         eprintln!("  [ablation_geometry] {name} done");
     }
     print_table(
-        &["Dataset", "Window x Block", "Blocks w/o SGT", "Blocks w/ SGT", "Reduction"],
+        &[
+            "Dataset",
+            "Window x Block",
+            "Blocks w/o SGT",
+            "Blocks w/ SGT",
+            "Reduction",
+        ],
         &rows
             .iter()
             .map(|r| {

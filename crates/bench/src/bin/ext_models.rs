@@ -54,7 +54,15 @@ fn main() {
         eprintln!("  [ext_models] {name} done");
     }
     print_table(
-        &["Dataset", "Model", "DGL (ms)", "PyG (ms)", "TC-GNN (ms)", "vs DGL", "vs PyG"],
+        &[
+            "Dataset",
+            "Model",
+            "DGL (ms)",
+            "PyG (ms)",
+            "TC-GNN (ms)",
+            "vs DGL",
+            "vs PyG",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -10,8 +10,14 @@ fn main() {
     let rows = run_fig6(false);
     print_table(
         &[
-            "Dataset", "Type", "GCN DGL (ms)", "GCN TC-GNN (ms)", "GCN speedup",
-            "AGNN DGL (ms)", "AGNN TC-GNN (ms)", "AGNN speedup",
+            "Dataset",
+            "Type",
+            "GCN DGL (ms)",
+            "GCN TC-GNN (ms)",
+            "GCN speedup",
+            "AGNN DGL (ms)",
+            "AGNN TC-GNN (ms)",
+            "AGNN speedup",
         ],
         &rows
             .iter()

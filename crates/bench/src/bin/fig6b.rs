@@ -16,8 +16,14 @@ fn main() {
     };
     print_table(
         &[
-            "Dataset", "Type", "GCN PyG (ms)", "GCN TC-GNN (ms)", "GCN speedup",
-            "AGNN PyG (ms)", "AGNN TC-GNN (ms)", "AGNN speedup",
+            "Dataset",
+            "Type",
+            "GCN PyG (ms)",
+            "GCN TC-GNN (ms)",
+            "GCN speedup",
+            "AGNN PyG (ms)",
+            "AGNN TC-GNN (ms)",
+            "AGNN speedup",
         ],
         &rows
             .iter()

@@ -62,7 +62,15 @@ fn main() {
     }
 
     print_table(
-        &["Dataset", "Type", "bSpMM (ms)", "TC-GNN (ms)", "Speedup", "Pad ratio", "Raw-ELL (GB)"],
+        &[
+            "Dataset",
+            "Type",
+            "bSpMM (ms)",
+            "TC-GNN (ms)",
+            "Speedup",
+            "Pad ratio",
+            "Raw-ELL (GB)",
+        ],
         &rows
             .iter()
             .map(|r| {

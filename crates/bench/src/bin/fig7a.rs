@@ -3,7 +3,9 @@
 //! lower on Type II (whose columns are already clustered).
 
 use serde::Serialize;
-use tcg_bench::{load_dataset, mean, print_table, save_json};
+use tcg_bench::{
+    artifact_slug, load_dataset, mean, print_table, save_json, save_profile_artifacts,
+};
 use tcg_sgt::census::{census, census_sddmm};
 
 #[derive(Serialize)]
@@ -18,11 +20,21 @@ struct Row {
 
 fn main() {
     println!("# Figure 7(a): SGT effectiveness — TCU block census\n");
+    // This experiment is pure host work (no simulated kernels), so the
+    // optional profile is a host-track timeline of wall-clock census spans.
+    let profiler = tcg_profile::profiling_requested().then(|| tcg_profile::shared("host"));
     let mut rows = Vec::new();
     for spec in tcg_graph::datasets::TABLE4.iter() {
         let ds = load_dataset(spec);
+        let t0 = std::time::Instant::now();
         let c = census(&ds.graph);
         let cs = census_sddmm(&ds.graph);
+        if let Some(p) = &profiler {
+            p.write().expect("profiler lock").record_host(
+                &format!("census[{}]", artifact_slug(spec.name)),
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
         rows.push(Row {
             dataset: spec.name.to_string(),
             class: spec.class.to_string(),
@@ -34,7 +46,14 @@ fn main() {
         eprintln!("  [fig7a] {} done", spec.name);
     }
     print_table(
-        &["Dataset", "Type", "Blocks w/o SGT", "Blocks w/ SGT", "SpMM reduction", "SDDMM reduction"],
+        &[
+            "Dataset",
+            "Type",
+            "Blocks w/o SGT",
+            "Blocks w/ SGT",
+            "SpMM reduction",
+            "SDDMM reduction",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -60,4 +79,7 @@ fn main() {
     let overall = mean(rows.iter().map(|r| r.spmm_reduction_pct));
     println!("\nOverall average reduction: {overall:.1}% (paper: 67.47%, lower on Type II)");
     save_json("fig7a", &rows);
+    if let Some(p) = &profiler {
+        save_profile_artifacts(p, "fig7a");
+    }
 }

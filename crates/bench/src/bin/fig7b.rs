@@ -3,7 +3,10 @@
 //! because the translation is computed once and reused every epoch.
 
 use serde::Serialize;
-use tcg_bench::{device, load_dataset, mean, print_table, save_json};
+use tcg_bench::{
+    artifact_slug, device, load_dataset, maybe_profiler, mean, print_table, save_json,
+    save_profile_artifacts,
+};
 use tcg_gnn::{train_gcn, Backend, Engine, TrainConfig};
 use tcg_sgt::overhead::{measure_ms, overhead_pct};
 
@@ -30,9 +33,16 @@ fn main() {
         // simulated GPU milliseconds — see DESIGN.md §2).
         let (_t, wall_ms) = measure_ms(&ds.graph);
         let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), device());
+        let profiler = maybe_profiler(Backend::TcGnn);
+        if let Some(p) = &profiler {
+            eng.attach_profiler(p.clone());
+        }
         let sgt_ms = eng.preprocessing_ms();
         let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
         let epoch_ms = r.avg_epoch_ms();
+        if let Some(p) = &profiler {
+            save_profile_artifacts(p, &format!("fig7b-{}", artifact_slug(spec.name)));
+        }
         rows.push(Row {
             dataset: spec.name.to_string(),
             class: spec.class.to_string(),
@@ -44,7 +54,14 @@ fn main() {
         eprintln!("  [fig7b] {} done", spec.name);
     }
     print_table(
-        &["Dataset", "Type", "SGT model (ms)", "SGT wall (ms)", "Epoch (ms)", "Overhead (%)"],
+        &[
+            "Dataset",
+            "Type",
+            "SGT model (ms)",
+            "SGT wall (ms)",
+            "Epoch (ms)",
+            "Overhead (%)",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -3,10 +3,11 @@
 //! Figure 7 caption mentions).
 
 use serde::Serialize;
-use tcg_bench::{device, load_dataset, print_table, save_json};
+use tcg_bench::{device, load_dataset, print_table, save_json, save_profile_artifacts};
 use tcg_gpusim::Launcher;
 use tcg_kernels::common::{SpmmKernel, SpmmProblem};
 use tcg_kernels::spmm::TcgnnSpmm;
+use tcg_profile::Phase;
 use tcg_tensor::init;
 
 /// Wide embedding so the dimension split across warps matters.
@@ -22,6 +23,7 @@ struct Row {
 
 fn main() {
     println!("# Figure 7(c): warps-per-block sweep of the TC-GNN SpMM kernel (D = {DIM})\n");
+    let profiler = tcg_profile::profiling_requested().then(|| tcg_profile::shared("TC-GNN"));
     let mut rows = Vec::new();
     for name in ["Pubmed", "artist", "soc-BlogCatalog"] {
         let spec = tcg_graph::datasets::spec_by_name(name).expect("known dataset");
@@ -31,10 +33,17 @@ fn main() {
         let prob = SpmmProblem::new(g, None, &x).expect("dims");
         let translated = tcg_sgt::translate(g);
         for warps in [1usize, 2, 4, 8] {
-            let kernel =
-                TcgnnSpmm::from_translated(translated.clone()).with_warps_per_block(warps);
+            let kernel = TcgnnSpmm::from_translated(translated.clone()).with_warps_per_block(warps);
             let mut l = Launcher::new(device());
             let (_, r) = kernel.execute(&mut l, &prob).expect("feasible");
+            if let Some(p) = &profiler {
+                p.write().expect("profiler lock").record_kernel(
+                    &format!("spmm[{name} w={warps}]"),
+                    Phase::Aggregation,
+                    r.time_ms,
+                    &r,
+                );
+            }
             rows.push(Row {
                 dataset: name.to_string(),
                 warps,
@@ -61,4 +70,7 @@ fn main() {
     println!("\nExpected shape: too few warps starve staging parallelism; too many");
     println!("shrink per-warp work and occupancy gains flatten — a sweet spot in the middle.");
     save_json("fig7c", &rows);
+    if let Some(p) = &profiler {
+        save_profile_artifacts(p, "fig7c");
+    }
 }

@@ -49,7 +49,13 @@ fn main() {
     }
 
     print_table(
-        &["Dataset", "Aggr. (%)", "Update (%)", "Cache (%)", "Occ. (%)"],
+        &[
+            "Dataset",
+            "Aggr. (%)",
+            "Update (%)",
+            "Cache (%)",
+            "Occ. (%)",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -38,7 +38,13 @@ fn main() {
         });
     }
     print_table(
-        &["Dataset", "# Nodes", "# Edges", "Memory (GB)", "Eff. Comp (%)"],
+        &[
+            "Dataset",
+            "# Nodes",
+            "# Edges",
+            "Memory (GB)",
+            "Eff. Comp (%)",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -52,8 +58,14 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    println!("\nPaper: OVCAR-8H 14302.48 GB / 0.36%, Yeast 11760.02 GB / 0.32%, DD 448.70 GB / 0.03%.");
-    println!("(Memory matches the paper exactly; the paper's Eff.Comp column is inconsistent with its");
-    println!(" own nnz/N^2 definition — the values above apply the definition as printed in the text.)");
+    println!(
+        "\nPaper: OVCAR-8H 14302.48 GB / 0.36%, Yeast 11760.02 GB / 0.32%, DD 448.70 GB / 0.03%."
+    );
+    println!(
+        "(Memory matches the paper exactly; the paper's Eff.Comp column is inconsistent with its"
+    );
+    println!(
+        " own nnz/N^2 definition — the values above apply the definition as printed in the text.)"
+    );
     save_json("table2", &rows);
 }

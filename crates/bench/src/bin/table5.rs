@@ -44,7 +44,14 @@ fn main() {
         });
     }
     print_table(
-        &["Dataset", "tSparse (ms)", "Triton (ms)", "TC-GNN (ms)", "vs tSparse", "vs Triton"],
+        &[
+            "Dataset",
+            "tSparse (ms)",
+            "Triton (ms)",
+            "TC-GNN (ms)",
+            "vs tSparse",
+            "vs Triton",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -61,6 +68,8 @@ fn main() {
     );
     let vs_ts = mean(rows.iter().map(|r| r.tsparse_ms / r.tcgnn_ms));
     let vs_tr = mean(rows.iter().map(|r| r.triton_ms / r.tcgnn_ms));
-    println!("\nAverage: {vs_ts:.2}x over tSparse (paper 3.60x), {vs_tr:.2}x over Triton (paper 5.42x)");
+    println!(
+        "\nAverage: {vs_ts:.2}x over tSparse (paper 3.60x), {vs_tr:.2}x over Triton (paper 5.42x)"
+    );
     save_json("table5", &rows);
 }

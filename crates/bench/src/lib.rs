@@ -24,6 +24,7 @@ use tcg_gnn::{train_agnn, train_gcn, Backend, Engine, TrainConfig, TrainResult};
 use tcg_gpusim::DeviceSpec;
 use tcg_graph::datasets::{DatasetSpec, GraphClass, TABLE4};
 use tcg_graph::Dataset;
+use tcg_profile::SharedProfiler;
 
 /// Default divisor applied to Type II / Type III dataset sizes.
 pub const DEFAULT_SCALE: usize = 8;
@@ -113,7 +114,11 @@ pub fn run_fig6(quick: bool) -> Vec<Fig6Row> {
         let mut agnn = [0.0; 3];
         for (i, b) in Backend::all().iter().enumerate() {
             let mut eng = Engine::new(*b, ds.graph.clone(), device());
-            let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(E2E_EPOCHS));
+            let r = train_gcn(
+                &mut eng,
+                &ds,
+                TrainConfig::gcn_paper().with_epochs(E2E_EPOCHS),
+            );
             gcn[i] = r.avg_epoch_ms();
             let mut eng = Engine::new(*b, ds.graph.clone(), device());
             let r = train_agnn(
@@ -209,6 +214,45 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
         }
         Err(e) => eprintln!("  [warn: could not write {}: {e}]", path.display()),
     }
+}
+
+/// A fresh [`SharedProfiler`] labeled for `backend` when the user asked
+/// for profiling via `TCG_PROFILE` (any value except `""`/`"0"`/`"false"`);
+/// `None` otherwise, in which case nothing is recorded anywhere.
+pub fn maybe_profiler(backend: Backend) -> Option<SharedProfiler> {
+    if tcg_profile::profiling_requested() {
+        Some(tcg_profile::shared(backend.name()))
+    } else {
+        None
+    }
+}
+
+/// Writes the profiler's trace/metrics/kernel-table artifacts under
+/// `results/` as `<prefix>.trace.json`, `<prefix>.metrics.json`,
+/// `<prefix>.kernels.txt`.
+pub fn save_profile_artifacts(profiler: &SharedProfiler, prefix: &str) {
+    let p = profiler.read().expect("profiler lock");
+    match tcg_profile::write_artifacts(&p, std::path::Path::new("results"), prefix) {
+        Ok(a) => eprintln!(
+            "  [profile: {} + metrics + kernel table]",
+            a.trace_path.display()
+        ),
+        Err(e) => eprintln!("  [warn: could not write profile artifacts for {prefix}: {e}]"),
+    }
+}
+
+/// Lowercase alphanumeric-and-dash version of a dataset name, for use in
+/// artifact file names.
+pub fn artifact_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// Convenience: a GCN training run on one backend.

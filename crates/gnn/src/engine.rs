@@ -7,6 +7,7 @@ use tcg_kernels::common::{KernelError, SpmmKernel, SpmmProblem};
 use tcg_kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
 use tcg_kernels::softmax::sparse_row_softmax;
 use tcg_kernels::spmm::{CusparseCsrSpmm, ScatterGatherSpmm, TcgnnSpmm};
+use tcg_profile::{Phase, SharedProfiler};
 use tcg_tensor::DenseMatrix;
 
 /// Which framework's aggregation path the engine models.
@@ -131,8 +132,15 @@ pub struct Engine {
     translated: Option<tcg_sgt::TranslatedGraph>,
     /// One-time preprocessing cost (SGT for TC-GNN), modeled host ms.
     preprocessing_ms: f64,
-    /// Most recent per-kernel report (for profiling tables).
+    /// Most recent SpMM kernel report (for profiling tables).
     pub last_spmm_report: Option<tcg_gpusim::KernelReport>,
+    /// Most recent SDDMM kernel report.
+    pub last_sddmm_report: Option<tcg_gpusim::KernelReport>,
+    /// Most recent fused-attention kernel report (TC-GNN backend only).
+    pub last_fused_report: Option<tcg_gpusim::KernelReport>,
+    /// Attached tracer; `None` (the default) records nothing and allocates
+    /// nothing per launch.
+    profiler: Option<SharedProfiler>,
 }
 
 impl Engine {
@@ -186,6 +194,47 @@ impl Engine {
             translated,
             preprocessing_ms,
             last_spmm_report: None,
+            last_sddmm_report: None,
+            last_fused_report: None,
+            profiler: None,
+        }
+    }
+
+    /// Attaches a profiler; every subsequent simulated launch records one
+    /// event whose duration is exactly the milliseconds charged to the
+    /// caller's [`Cost`]. The one-time preprocessing already paid by
+    /// [`Engine::new`] is recorded immediately as a host span.
+    pub fn attach_profiler(&mut self, profiler: SharedProfiler) {
+        if self.preprocessing_ms > 0.0 {
+            profiler
+                .write()
+                .expect("profiler lock")
+                .record_host("sgt_preprocess", self.preprocessing_ms);
+        }
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&SharedProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Records a kernel event carrying `report`'s counters; no-op (and no
+    /// allocation) when no profiler is attached.
+    fn prof_kernel(&self, name: &str, phase: Phase, ms: f64, report: &tcg_gpusim::KernelReport) {
+        if let Some(p) = &self.profiler {
+            p.write()
+                .expect("profiler lock")
+                .record_kernel(name, phase, ms, report);
+        }
+    }
+
+    /// Records a counter-less span; no-op when no profiler is attached.
+    fn prof_span(&self, name: &str, phase: Phase, ms: f64) {
+        if let Some(p) = &self.profiler {
+            p.write()
+                .expect("profiler lock")
+                .record_span(name, phase, ms);
         }
     }
 
@@ -232,6 +281,7 @@ impl Engine {
         let prob = SpmmProblem::new(&self.csr, values, x)?;
         let (out, report) = self.spmm.execute(&mut self.launcher, &prob)?;
         let ms = report.time_ms + self.sparse_dispatch_ms(1);
+        self.prof_kernel("spmm", Phase::Aggregation, ms, &report);
         self.last_spmm_report = Some(report);
         Ok((out, ms))
     }
@@ -261,6 +311,7 @@ impl Engine {
                     (self.csr.num_edges() * 8) as u64,
                     (self.csr.num_edges() * 4) as u64,
                 ) + self.sparse_dispatch_ms(1);
+                self.prof_span("edge_permute", Phase::Aggregation, perm_ms);
                 let (out, ms) = self.spmm(x, Some(&vt))?;
                 Ok((out, ms + perm_ms))
             }
@@ -275,16 +326,18 @@ impl Engine {
         xa: &DenseMatrix,
         xb: &DenseMatrix,
     ) -> Result<(Vec<f32>, f64), KernelError> {
-        let (vals, report) = self
-            .sddmm
-            .execute(&mut self.launcher, &self.csr, xa, xb)?;
+        let (vals, report) = self.sddmm.execute(&mut self.launcher, &self.csr, xa, xb)?;
         let mut ms = report.time_ms + self.sparse_dispatch_ms(1);
+        self.prof_kernel("sddmm", Phase::Aggregation, ms, &report);
+        self.last_sddmm_report = Some(report);
         if self.backend == Backend::PygLike {
             let ed_bytes = (self.csr.num_edges() * xa.cols() * 4) as u64;
             // Gather x_i, gather x_j (write E×D each), then mul+reduce pass.
-            ms += self.pass_ms(ed_bytes, ed_bytes) * 2.0
+            let extra_ms = self.pass_ms(ed_bytes, ed_bytes) * 2.0
                 + self.pass_ms(2 * ed_bytes, ed_bytes / 4)
                 + self.sparse_dispatch_ms(3);
+            self.prof_span("sddmm_materialize", Phase::Aggregation, extra_ms);
+            ms += extra_ms;
         }
         Ok((vals, ms))
     }
@@ -297,11 +350,14 @@ impl Engine {
     pub fn edge_softmax(&mut self, values: &[f32]) -> Result<(Vec<f32>, f64), KernelError> {
         let (out, report) = sparse_row_softmax(&mut self.launcher, &self.csr, values)?;
         let mut ms = report.time_ms + self.sparse_dispatch_ms(1);
+        self.prof_kernel("edge_softmax", Phase::Aggregation, ms, &report);
         if self.backend != Backend::TcGnn {
             // Two extra kernel round-trips over the edge array, each its own
             // framework op (DGL's segment max / exp-sum / divide pipeline).
             let e_bytes = (self.csr.num_edges() * 4) as u64;
-            ms += 2.0 * self.pass_ms(e_bytes, e_bytes) + self.sparse_dispatch_ms(2);
+            let extra_ms = 2.0 * self.pass_ms(e_bytes, e_bytes) + self.sparse_dispatch_ms(2);
+            self.prof_span("edge_softmax_passes", Phase::Aggregation, extra_ms);
+            ms += extra_ms;
         }
         Ok((out, ms))
     }
@@ -321,6 +377,7 @@ impl Engine {
         }
         let e_bytes = (self.csr.num_edges() * 4) as u64;
         let ms = self.pass_ms(2 * e_bytes, e_bytes) * 2.0 + self.sparse_dispatch_ms(2);
+        self.prof_span("edge_softmax_backward", Phase::Aggregation, ms);
         (de, ms)
     }
 
@@ -351,6 +408,8 @@ impl Engine {
         let out =
             tcg_kernels::fused::fused_attention(&mut self.launcher, &self.csr, &t, xa, xv, beta)?;
         let ms = out.report.time_ms + self.sparse_dispatch_ms(1);
+        self.prof_kernel("fused_attention", Phase::Aggregation, ms, &out.report);
+        self.last_fused_report = Some(out.report);
         Ok((out.y, out.cos, out.p, ms))
     }
 
@@ -375,7 +434,14 @@ impl Engine {
                         *val *= s;
                     }
                 }
+                // The `dispatch(2)` covering both scaling ops is split one
+                // per event; `per_op * 2.0 == per_op + per_op` exactly.
                 let pre_ms = self.pass_ms(nd_bytes, nd_bytes);
+                self.prof_span(
+                    "gcn_norm_pre",
+                    Phase::Aggregation,
+                    pre_ms + self.sparse_dispatch_ms(1),
+                );
                 let (mut out, spmm_ms) = self.spmm(&scaled, None)?;
                 for v in 0..out.rows() {
                     let s = self.inv_sqrt_deg[v];
@@ -384,6 +450,11 @@ impl Engine {
                     }
                 }
                 let post_ms = self.pass_ms(nd_bytes, nd_bytes);
+                self.prof_span(
+                    "gcn_norm_post",
+                    Phase::Aggregation,
+                    post_ms + self.sparse_dispatch_ms(1),
+                );
                 Ok((out, pre_ms + spmm_ms + post_ms + self.sparse_dispatch_ms(2)))
             }
         }
@@ -408,16 +479,14 @@ impl Engine {
                 }
                 let nd_bytes = (x.len() * 4) as u64;
                 let post_ms = self.pass_ms(nd_bytes, nd_bytes) + self.sparse_dispatch_ms(1);
+                self.prof_span("mean_norm_scale", Phase::Aggregation, post_ms);
                 Ok((out, spmm_ms + post_ms))
             }
         }
     }
 
     /// Transposed mean aggregation `(D^{-1} A)ᵀ · X` (GraphSAGE backward).
-    pub fn mean_aggregate_t(
-        &mut self,
-        x: &DenseMatrix,
-    ) -> Result<(DenseMatrix, f64), KernelError> {
+    pub fn mean_aggregate_t(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
         // `Aᵀ = A` topologically; the transposed normalization values are
         // precomputed, so no runtime permutation pass is needed.
         let norm_t = self.mean_norm_t.clone();
@@ -432,50 +501,63 @@ impl Engine {
     /// Dense update GEMM `X·W` (cuBLAS TF-32 class in every framework).
     pub fn linear(&mut self, x: &DenseMatrix, w: &DenseMatrix) -> (DenseMatrix, f64) {
         let out = tcg_tensor::gemm::gemm(x, w).expect("linear shapes validated by layers");
-        let report = tcg_gpusim::cost::dense_gemm_report(
-            &self.device(),
-            x.rows(),
-            x.cols(),
-            w.cols(),
-            true,
-        );
-        (out, report.time_ms + DENSE_DISPATCH_MS)
+        let report =
+            tcg_gpusim::cost::dense_gemm_report(&self.device(), x.rows(), x.cols(), w.cols(), true);
+        let ms = report.time_ms + DENSE_DISPATCH_MS;
+        self.prof_kernel("gemm_xw", Phase::Update, ms, &report);
+        (out, ms)
     }
 
     /// Dense GEMM `Xᵀ·Y` (weight gradients).
     pub fn linear_at_b(&mut self, x: &DenseMatrix, y: &DenseMatrix) -> (DenseMatrix, f64) {
         let out = tcg_tensor::gemm::gemm_at_b(x, y).expect("shapes validated by layers");
-        let report = tcg_gpusim::cost::dense_gemm_report(
-            &self.device(),
-            x.cols(),
-            x.rows(),
-            y.cols(),
-            true,
-        );
-        (out, report.time_ms + DENSE_DISPATCH_MS)
+        let report =
+            tcg_gpusim::cost::dense_gemm_report(&self.device(), x.cols(), x.rows(), y.cols(), true);
+        let ms = report.time_ms + DENSE_DISPATCH_MS;
+        self.prof_kernel("gemm_xt_y", Phase::Update, ms, &report);
+        (out, ms)
     }
 
     /// Dense GEMM `X·Wᵀ` (input gradients).
     pub fn linear_a_bt(&mut self, x: &DenseMatrix, w: &DenseMatrix) -> (DenseMatrix, f64) {
         let out = tcg_tensor::gemm::gemm_a_bt(x, w).expect("shapes validated by layers");
-        let report = tcg_gpusim::cost::dense_gemm_report(
-            &self.device(),
-            x.rows(),
-            x.cols(),
-            w.rows(),
-            true,
-        );
-        (out, report.time_ms + DENSE_DISPATCH_MS)
+        let report =
+            tcg_gpusim::cost::dense_gemm_report(&self.device(), x.rows(), x.cols(), w.rows(), true);
+        let ms = report.time_ms + DENSE_DISPATCH_MS;
+        self.prof_kernel("gemm_x_wt", Phase::Update, ms, &report);
+        (out, ms)
     }
 
     /// Cost of a generic elementwise kernel over `elems` f32 values with
     /// `reads` input and `writes` output streams (activation, scaling,
-    /// optimizer step...). Functional work is done by the caller.
+    /// optimizer step...). Functional work is done by the caller. Recorded
+    /// in the trace as an `other`-phase `"elementwise"` span; callers whose
+    /// cost belongs elsewhere use [`Engine::elementwise_tagged_ms`].
     pub fn elementwise_ms(&mut self, elems: usize, reads: u32, writes: u32) -> f64 {
-        self.pass_ms(
+        self.elementwise_tagged_ms("elementwise", Phase::Other, elems, reads, writes)
+    }
+
+    /// [`Engine::elementwise_ms`] with an explicit trace name and phase,
+    /// for elementwise work that is part of aggregation (e.g. AGNN's `β`
+    /// scaling) or deserves its own timeline label (loss, optimizer).
+    ///
+    /// The phase must match how the caller charges the returned
+    /// milliseconds to [`Cost`], or per-phase event sums drift from the
+    /// cost model.
+    pub fn elementwise_tagged_ms(
+        &mut self,
+        name: &str,
+        phase: Phase,
+        elems: usize,
+        reads: u32,
+        writes: u32,
+    ) -> f64 {
+        let ms = self.pass_ms(
             (elems * 4 * reads as usize) as u64,
             (elems * 4 * writes as usize) as u64,
-        ) + DENSE_DISPATCH_MS
+        ) + DENSE_DISPATCH_MS;
+        self.prof_span(name, phase, ms);
+        ms
     }
 }
 
@@ -589,7 +671,9 @@ mod tests {
     fn softmax_backward_rows_sum_to_zero_against_uniform() {
         // For p from softmax, Σ_row de = Σ p(dp − Σp·dp) = Σp·dp − Σp·dp = 0.
         let mut e = engine(Backend::TcGnn);
-        let raw: Vec<f32> = (0..e.graph().num_edges()).map(|i| (i % 7) as f32 * 0.3).collect();
+        let raw: Vec<f32> = (0..e.graph().num_edges())
+            .map(|i| (i % 7) as f32 * 0.3)
+            .collect();
         let (p, _) = e.edge_softmax(&raw).unwrap();
         let dp: Vec<f32> = (0..p.len()).map(|i| (i % 3) as f32 - 1.0).collect();
         let (de, ms) = e.edge_softmax_backward(&p, &dp);

@@ -5,6 +5,7 @@
 //! the paper's Equation 3) and value-weighted SpMM — the workload behind
 //! the paper's AGNN columns in Figure 6.
 
+use tcg_profile::Phase;
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
@@ -60,7 +61,15 @@ impl AgnnLayer {
             let (cos, sddmm_ms) = eng.sddmm(&x_hat, &x_hat).expect("dims agree");
             cost += Cost::agg(sddmm_ms);
             let s: Vec<f32> = cos.iter().map(|c| self.beta * c).collect();
-            cost += Cost::agg(eng.elementwise_ms(s.len(), 1, 1));
+            // The β scaling is part of the attention pipeline, so it is
+            // charged (and traced) as aggregation, not generic elementwise.
+            cost += Cost::agg(eng.elementwise_tagged_ms(
+                "attn_beta_scale",
+                Phase::Aggregation,
+                s.len(),
+                1,
+                1,
+            ));
             let (p, softmax_ms) = eng.edge_softmax(&s).expect("value count matches edges");
             cost += Cost::agg(softmax_ms);
             let (y, spmm_ms) = eng.spmm(x, Some(&p)).expect("dims agree");
@@ -105,7 +114,13 @@ impl AgnnLayer {
         // dβ and dcos.
         let dbeta: f32 = de.iter().zip(&cache.cos).map(|(d, c)| d * c).sum();
         let dcos: Vec<f32> = de.iter().map(|d| self.beta * d).collect();
-        cost += Cost::agg(eng.elementwise_ms(de.len(), 2, 1));
+        cost += Cost::agg(eng.elementwise_tagged_ms(
+            "attn_dbeta_dcos",
+            Phase::Aggregation,
+            de.len(),
+            2,
+            1,
+        ));
 
         // cos[e=(v,u)] = x̂_v · x̂_u ⇒ dx̂_v += Σ_u dcos·x̂_u (SpMM) and
         // dx̂_u += Σ_v dcos·x̂_v (transposed SpMM).
@@ -203,13 +218,21 @@ mod tests {
 
         let loss = |l: &AgnnLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
             let (yy, _, _) = l.forward(e, xx);
-            yy.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 2.0
+            yy.as_slice()
+                .iter()
+                .map(|v| (*v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let eps = 1e-2_f32;
 
         // dβ.
-        let lp = AgnnLayer { beta: layer.beta + eps };
-        let lm = AgnnLayer { beta: layer.beta - eps };
+        let lp = AgnnLayer {
+            beta: layer.beta + eps,
+        };
+        let lm = AgnnLayer {
+            beta: layer.beta - eps,
+        };
         let fd = (loss(&lp, &x, &mut eng) - loss(&lm, &x, &mut eng)) / (2.0 * eps as f64);
         assert!(
             (fd - grads.dbeta as f64).abs() < 0.05 * (1.0 + fd.abs()),
@@ -223,8 +246,8 @@ mod tests {
             xp.set(v, j, xp.get(v, j) + eps);
             let mut xm = x.clone();
             xm.set(v, j, xm.get(v, j) - eps);
-            let fd = (loss(&layer, &xp, &mut eng) - loss(&layer, &xm, &mut eng))
-                / (2.0 * eps as f64);
+            let fd =
+                (loss(&layer, &xp, &mut eng) - loss(&layer, &xm, &mut eng)) / (2.0 * eps as f64);
             let an = dx.get(v, j) as f64;
             assert!(
                 (fd - an).abs() < 0.08 * (1.0 + an.abs().max(fd.abs())),

@@ -228,7 +228,11 @@ mod tests {
         let dx = dx.unwrap();
         let loss = |l: &GcnLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
             let (yy, _, _) = l.forward(e, xx);
-            yy.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 2.0
+            yy.as_slice()
+                .iter()
+                .map(|v| (*v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let eps = 1e-3_f32;
         for &(i, j) in &[(0usize, 0usize), (2, 1), (1, 2)] {
@@ -260,7 +264,10 @@ mod tests {
         xm.set(7, 2, xm.get(7, 2) - eps);
         let fd = (loss(layer, &xp, eng) - loss(layer, &xm, eng)) / (2.0 * eps as f64);
         let an = dx.get(7, 2) as f64;
-        assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx: fd {fd} vs {an}");
+        assert!(
+            (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+            "dx: fd {fd} vs {an}"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! trainable `ε` and a two-layer MLP update. GIN is the other model the
 //! paper's §2.1 names as using pure adjacency aggregation.
 
+use tcg_profile::Phase;
 use tcg_tensor::{init, ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
@@ -70,7 +71,13 @@ impl GinLayer {
         let (mut z1, ms1) = eng.linear(&h, &self.w1);
         ops::add_bias_inplace(&mut z1, &self.b1).expect("bias length");
         let a1 = ops::relu(&z1);
-        cost += Cost::update(ms1) + Cost::other(eng.elementwise_ms(z1.len(), 1, 1) * 2.0);
+        // Bias add and ReLU are two separate launches; recording them as
+        // two events keeps the trace exact (`a + a == a * 2.0` in IEEE).
+        cost += Cost::update(ms1)
+            + Cost::other(
+                eng.elementwise_tagged_ms("bias_add", Phase::Other, z1.len(), 1, 1)
+                    + eng.elementwise_tagged_ms("relu", Phase::Other, z1.len(), 1, 1),
+            );
         let (mut y, ms2) = eng.linear(&a1, &self.w2);
         ops::add_bias_inplace(&mut y, &self.b2).expect("bias length");
         cost += Cost::update(ms2) + Cost::other(eng.elementwise_ms(y.len(), 1, 1));
@@ -102,8 +109,12 @@ impl GinLayer {
         let (dw1, ms3) = eng.linear_at_b(&cache.h, &dz1);
         let db1 = ops::column_sums(&dz1);
         let (dh, ms4) = eng.linear_a_bt(&dz1, &self.w1);
+        // ReLU backward + bias-gradient reduction: two launches, two events.
         let mut cost = Cost::update(ms1 + ms2 + ms3 + ms4)
-            + Cost::other(eng.elementwise_ms(dz1.len(), 2, 1) * 2.0);
+            + Cost::other(
+                eng.elementwise_tagged_ms("relu_backward", Phase::Other, dz1.len(), 2, 1)
+                    + eng.elementwise_tagged_ms("bias_grad", Phase::Other, dz1.len(), 2, 1),
+            );
 
         // dε = Σ dh ⊙ x.
         let deps: f32 = dh
@@ -192,7 +203,11 @@ mod tests {
         let dx = dx.unwrap();
         let loss = |l: &GinLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
             let (yy, _, _) = l.forward(e, xx);
-            yy.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 2.0
+            yy.as_slice()
+                .iter()
+                .map(|v| (*v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let eps = 1e-3_f32;
 
@@ -235,6 +250,9 @@ mod tests {
         xm.set(11, 2, xm.get(11, 2) - eps);
         let fd = (loss(&layer, &xp, &mut eng) - loss(&layer, &xm, &mut eng)) / (2.0 * eps as f64);
         let an = dx.get(11, 2) as f64;
-        assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx: fd {fd} vs {an}");
+        assert!(
+            (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+            "dx: fd {fd} vs {an}"
+        );
     }
 }

@@ -113,7 +113,11 @@ mod tests {
 
         let loss = |l: &Linear, xx: &DenseMatrix, e: &mut Engine| -> f64 {
             let (yy, _, _) = l.forward(e, xx);
-            yy.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 2.0
+            yy.as_slice()
+                .iter()
+                .map(|v| (*v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let eps = 1e-3_f32;
         // Check dW at a few entries.
@@ -124,7 +128,10 @@ mod tests {
             lm.w.set(i, j, lm.w.get(i, j) - eps);
             let fd = (loss(&lp, &x, &mut eng) - loss(&lm, &x, &mut eng)) / (2.0 * eps as f64);
             let an = grads.dw.get(i, j) as f64;
-            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dW[{i},{j}]: fd {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "dW[{i},{j}]: fd {fd} vs {an}"
+            );
         }
         // Check db.
         for j in 0..2 {
@@ -134,7 +141,10 @@ mod tests {
             lm.b[j] -= eps;
             let fd = (loss(&lp, &x, &mut eng) - loss(&lm, &x, &mut eng)) / (2.0 * eps as f64);
             let an = grads.db[j] as f64;
-            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "db[{j}]: fd {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "db[{j}]: fd {fd} vs {an}"
+            );
         }
         // Check dx at one entry.
         let mut xp = x.clone();
@@ -143,6 +153,9 @@ mod tests {
         xm.set(5, 1, xm.get(5, 1) - eps);
         let fd = (loss(&layer, &xp, &mut eng) - loss(&layer, &xm, &mut eng)) / (2.0 * eps as f64);
         let an = dx.get(5, 1) as f64;
-        assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx: fd {fd} vs {an}");
+        assert!(
+            (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+            "dx: fd {fd} vs {an}"
+        );
     }
 }

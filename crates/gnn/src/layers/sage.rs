@@ -59,10 +59,7 @@ impl SageLayer {
         let ew_ms = eng.elementwise_ms(y.len(), 2, 1);
         (
             y,
-            SageCache {
-                x: x.clone(),
-                mean,
-            },
+            SageCache { x: x.clone(), mean },
             Cost::agg(agg_ms) + Cost::update(ms1 + ms2) + Cost::other(ew_ms),
         )
     }
@@ -157,7 +154,11 @@ mod tests {
         let dx = dx.unwrap();
         let loss = |l: &SageLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
             let (yy, _, _) = l.forward(e, xx);
-            yy.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 2.0
+            yy.as_slice()
+                .iter()
+                .map(|v| (*v as f64).powi(2))
+                .sum::<f64>()
+                / 2.0
         };
         let eps = 1e-3_f32;
         for &(i, j) in &[(0usize, 0usize), (3, 2), (1, 1)] {
@@ -189,6 +190,9 @@ mod tests {
         xm.set(9, 1, xm.get(9, 1) - eps);
         let fd = (loss(&layer, &xp, &mut eng) - loss(&layer, &xm, &mut eng)) / (2.0 * eps as f64);
         let an = dx.get(9, 1) as f64;
-        assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx: fd {fd} vs {an}");
+        assert!(
+            (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+            "dx: fd {fd} vs {an}"
+        );
     }
 }

@@ -18,11 +18,7 @@ pub struct LossOutput {
 /// `mask[v]` selects the nodes contributing to the loss (the training
 /// split); gradient rows of unmasked nodes are zero. Returns zero loss and
 /// accuracy for an empty mask.
-pub fn masked_cross_entropy(
-    logits: &DenseMatrix,
-    labels: &[u32],
-    mask: &[bool],
-) -> LossOutput {
+pub fn masked_cross_entropy(logits: &DenseMatrix, labels: &[u32], mask: &[bool]) -> LossOutput {
     assert_eq!(logits.rows(), labels.len());
     assert_eq!(logits.rows(), mask.len());
     let k = logits.cols();

@@ -2,6 +2,7 @@
 //! (4 propagation layers, 32 hidden) — plus the GraphSAGE and GIN models
 //! §6's "benefit a broad range of GNNs" argument covers.
 
+use tcg_profile::Phase;
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
@@ -11,6 +12,14 @@ use crate::layers::gin::{GinCache, GinGrads, GinLayer};
 use crate::layers::linear::{Linear, LinearCache, LinearGrads};
 use crate::layers::sage::{SageCache, SageGrads, SageLayer};
 use crate::optim::Adam;
+
+/// Tags subsequent profiler events with a model-layer index (no-op when
+/// the engine has no profiler attached).
+fn prof_set_layer(eng: &Engine, layer: Option<u32>) {
+    if let Some(p) = eng.profiler() {
+        p.write().expect("profiler lock").set_layer(layer);
+    }
+}
 
 /// Graph Convolutional Network: `GCN(in→hidden) → ReLU → GCN(hidden→out)`.
 #[derive(Debug, Clone)]
@@ -45,10 +54,13 @@ impl GcnModel {
 
     /// Forward pass to logits.
     pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GcnModelCache, Cost) {
+        prof_set_layer(eng, Some(0));
         let (z1, c1, cost1) = self.l1.forward(eng, x);
         let h1 = ops::relu(&z1);
-        let relu_ms = eng.elementwise_ms(h1.len(), 1, 1);
+        let relu_ms = eng.elementwise_tagged_ms("relu", Phase::Other, h1.len(), 1, 1);
+        prof_set_layer(eng, Some(1));
         let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        prof_set_layer(eng, None);
         (
             logits,
             GcnModelCache {
@@ -67,26 +79,36 @@ impl GcnModel {
         cache: &GcnModelCache,
         dlogits: &DenseMatrix,
     ) -> (GcnModelGrads, Cost) {
+        prof_set_layer(eng, Some(1));
         let (dh1, g2, cost2) = self.l2.backward(eng, &cache.c2, dlogits, true);
         let dh1 = dh1.expect("hidden layer needs dx");
         let dz1 = ops::relu_backward(&cache.h1, &dh1).expect("same shape");
-        let relu_ms = eng.elementwise_ms(dz1.len(), 2, 1);
+        let relu_ms = eng.elementwise_tagged_ms("relu_backward", Phase::Other, dz1.len(), 2, 1);
+        prof_set_layer(eng, Some(0));
         // Input layer: no dX needed (features are not trained).
         let (_, g1, cost1) = self.l1.backward(eng, &cache.c1, &dz1, false);
-        (GcnModelGrads { g1, g2 }, cost1 + cost2 + Cost::other(relu_ms))
+        prof_set_layer(eng, None);
+        (
+            GcnModelGrads { g1, g2 },
+            cost1 + cost2 + Cost::other(relu_ms),
+        )
     }
 
     /// Applies one Adam step; returns the optimizer's simulated cost.
-    pub fn apply_grads(&mut self, eng: &mut Engine, adam: &mut Adam, grads: &GcnModelGrads) -> Cost {
-        let n_params: usize =
-            self.l1.w.len() + self.l1.b.len() + self.l2.w.len() + self.l2.b.len();
+    pub fn apply_grads(
+        &mut self,
+        eng: &mut Engine,
+        adam: &mut Adam,
+        grads: &GcnModelGrads,
+    ) -> Cost {
+        let n_params: usize = self.l1.w.len() + self.l1.b.len() + self.l2.w.len() + self.l2.b.len();
         adam.step(&mut [
             (self.l1.w.as_mut_slice(), grads.g1.dw.as_slice()),
             (self.l1.b.as_mut_slice(), &grads.g1.db),
             (self.l2.w.as_mut_slice(), grads.g2.dw.as_slice()),
             (self.l2.b.as_mut_slice(), &grads.g2.db),
         ]);
-        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+        Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
     }
 }
 
@@ -132,17 +154,21 @@ impl AgnnModel {
         eng: &mut Engine,
         x: &DenseMatrix,
     ) -> (DenseMatrix, AgnnModelCache, Cost) {
+        prof_set_layer(eng, Some(0));
         let (z0, cin, mut cost) = self.lin_in.forward(eng, x);
         let mut h = ops::relu(&z0);
-        cost += Cost::other(eng.elementwise_ms(h.len(), 1, 1));
+        cost += Cost::other(eng.elementwise_tagged_ms("relu", Phase::Other, h.len(), 1, 1));
         let mut prop_caches = Vec::with_capacity(self.props.len());
-        for prop in &self.props {
+        for (i, prop) in self.props.iter().enumerate() {
+            prof_set_layer(eng, Some(i as u32 + 1));
             let (h_next, cache, c) = prop.forward(eng, &h);
             prop_caches.push(cache);
             cost += c;
             h = h_next;
         }
+        prof_set_layer(eng, Some(self.props.len() as u32 + 1));
         let (logits, cout, c) = self.lin_out.forward(eng, &h);
+        prof_set_layer(eng, None);
         cost += c;
         (
             logits,
@@ -163,19 +189,24 @@ impl AgnnModel {
         cache: &AgnnModelCache,
         dlogits: &DenseMatrix,
     ) -> (AgnnModelGrads, Cost) {
+        prof_set_layer(eng, Some(self.props.len() as u32 + 1));
         let (dh, gout, mut cost) = self.lin_out.backward(eng, &cache.cout, dlogits, true);
         let mut dh = dh.expect("hidden layer needs dx");
         let mut gprops = vec![AgnnGrads { dbeta: 0.0 }; self.props.len()];
         for (i, prop) in self.props.iter().enumerate().rev() {
+            prof_set_layer(eng, Some(i as u32 + 1));
             let (dx, g, c) = prop.backward(eng, &cache.prop_caches[i], &dh);
             gprops[i] = g;
             cost += c;
             dh = dx;
         }
+        prof_set_layer(eng, Some(0));
         let dz0 = ops::relu_backward(&cache.z0, &dh).expect("same shape");
-        cost += Cost::other(eng.elementwise_ms(dz0.len(), 2, 1));
+        cost +=
+            Cost::other(eng.elementwise_tagged_ms("relu_backward", Phase::Other, dz0.len(), 2, 1));
         // Input layer: features are not trained, skip dX.
         let (_, gin, c) = self.lin_in.backward(eng, &cache.cin, &dz0, false);
+        prof_set_layer(eng, None);
         cost += c;
         (AgnnModelGrads { gin, gprops, gout }, cost)
     }
@@ -204,7 +235,7 @@ impl AgnnModel {
         for (p, b) in self.props.iter_mut().zip(betas) {
             p.beta = b;
         }
-        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+        Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
     }
 }
 
@@ -245,10 +276,13 @@ impl SageModel {
         eng: &mut Engine,
         x: &DenseMatrix,
     ) -> (DenseMatrix, SageModelCache, Cost) {
+        prof_set_layer(eng, Some(0));
         let (z1, c1, cost1) = self.l1.forward(eng, x);
         let h1 = ops::relu(&z1);
-        let relu_ms = eng.elementwise_ms(h1.len(), 1, 1);
+        let relu_ms = eng.elementwise_tagged_ms("relu", Phase::Other, h1.len(), 1, 1);
+        prof_set_layer(eng, Some(1));
         let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        prof_set_layer(eng, None);
         (
             logits,
             SageModelCache { c1, z1, c2 },
@@ -263,12 +297,18 @@ impl SageModel {
         cache: &SageModelCache,
         dlogits: &DenseMatrix,
     ) -> (SageModelGrads, Cost) {
+        prof_set_layer(eng, Some(1));
         let (dh1, g2, cost2) = self.l2.backward(eng, &cache.c2, dlogits, true);
         let dh1 = dh1.expect("hidden layer needs dx");
         let dz1 = ops::relu_backward(&cache.z1, &dh1).expect("same shape");
-        let relu_ms = eng.elementwise_ms(dz1.len(), 2, 1);
+        let relu_ms = eng.elementwise_tagged_ms("relu_backward", Phase::Other, dz1.len(), 2, 1);
+        prof_set_layer(eng, Some(0));
         let (_, g1, cost1) = self.l1.backward(eng, &cache.c1, &dz1, false);
-        (SageModelGrads { g1, g2 }, cost1 + cost2 + Cost::other(relu_ms))
+        prof_set_layer(eng, None);
+        (
+            SageModelGrads { g1, g2 },
+            cost1 + cost2 + Cost::other(relu_ms),
+        )
     }
 
     /// Applies one Adam step; returns the optimizer's simulated cost.
@@ -278,10 +318,8 @@ impl SageModel {
         adam: &mut Adam,
         grads: &SageModelGrads,
     ) -> Cost {
-        let n_params = self.l1.w_self.len() * 2
-            + self.l1.b.len()
-            + self.l2.w_self.len() * 2
-            + self.l2.b.len();
+        let n_params =
+            self.l1.w_self.len() * 2 + self.l1.b.len() + self.l2.w_self.len() * 2 + self.l2.b.len();
         adam.step(&mut [
             (self.l1.w_self.as_mut_slice(), grads.g1.dw_self.as_slice()),
             (self.l1.w_neigh.as_mut_slice(), grads.g1.dw_neigh.as_slice()),
@@ -290,7 +328,7 @@ impl SageModel {
             (self.l2.w_neigh.as_mut_slice(), grads.g2.dw_neigh.as_slice()),
             (self.l2.b.as_mut_slice(), &grads.g2.db),
         ]);
-        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+        Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
     }
 }
 
@@ -327,8 +365,11 @@ impl GinModel {
 
     /// Forward pass to logits.
     pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GinModelCache, Cost) {
+        prof_set_layer(eng, Some(0));
         let (h1, c1, cost1) = self.l1.forward(eng, x);
+        prof_set_layer(eng, Some(1));
         let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        prof_set_layer(eng, None);
         (logits, GinModelCache { c1, c2 }, cost1 + cost2)
     }
 
@@ -339,14 +380,22 @@ impl GinModel {
         cache: &GinModelCache,
         dlogits: &DenseMatrix,
     ) -> (GinModelGrads, Cost) {
+        prof_set_layer(eng, Some(1));
         let (dh1, g2, cost2) = self.l2.backward(eng, &cache.c2, dlogits, true);
         let dh1 = dh1.expect("hidden layer needs dx");
+        prof_set_layer(eng, Some(0));
         let (_, g1, cost1) = self.l1.backward(eng, &cache.c1, &dh1, false);
+        prof_set_layer(eng, None);
         (GinModelGrads { g1, g2 }, cost1 + cost2)
     }
 
     /// Applies one Adam step; returns the optimizer's simulated cost.
-    pub fn apply_grads(&mut self, eng: &mut Engine, adam: &mut Adam, grads: &GinModelGrads) -> Cost {
+    pub fn apply_grads(
+        &mut self,
+        eng: &mut Engine,
+        adam: &mut Adam,
+        grads: &GinModelGrads,
+    ) -> Cost {
         let mut eps = [self.l1.eps, self.l2.eps];
         let deps = [grads.g1.deps, grads.g2.deps];
         let n_params = self.l1.w1.len()
@@ -371,7 +420,7 @@ impl GinModel {
         ]);
         self.l1.eps = eps[0];
         self.l2.eps = eps[1];
-        Cost::other(eng.elementwise_ms(n_params, 3, 3))
+        Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
     }
 }
 

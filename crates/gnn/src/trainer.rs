@@ -2,11 +2,28 @@
 //! measurement harness behind the paper's Table 1 and Figure 6.
 
 use tcg_graph::Dataset;
+use tcg_profile::Phase;
 
 use crate::engine::{Cost, Engine};
 use crate::loss::masked_cross_entropy;
 use crate::model::{AgnnModel, GcnModel, GinModel, SageModel};
 use crate::optim::Adam;
+
+/// Opens epoch `epoch` on the engine's profiler, if one is attached, so
+/// every event the epoch records carries its index.
+fn prof_begin_epoch(eng: &Engine, epoch: u32) {
+    if let Some(p) = eng.profiler() {
+        p.write().expect("profiler lock").begin_epoch(epoch);
+    }
+}
+
+/// Closes the current profiler epoch, folding its events into a rollup
+/// that cross-checks against the pushed [`EpochStats`].
+fn prof_finish_epoch(eng: &Engine) {
+    if let Some(p) = eng.profiler() {
+        p.write().expect("profiler lock").finish_epoch();
+    }
+}
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -97,12 +114,7 @@ impl TrainResult {
 
     /// Total simulated time including preprocessing.
     pub fn total_ms(&self) -> f64 {
-        self.preprocessing_ms
-            + self
-                .epochs
-                .iter()
-                .map(|e| e.cost.total_ms())
-                .sum::<f64>()
+        self.preprocessing_ms + self.epochs.iter().map(|e| e.cost.total_ms()).sum::<f64>()
     }
 
     /// Fraction of epoch time spent in sparse aggregation (Table 1's
@@ -132,20 +144,17 @@ impl TrainResult {
 
 /// Trains the paper's 2-layer GCN on `ds` using `eng`'s backend.
 pub fn train_gcn(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResult {
-    let mut model = GcnModel::new(
-        ds.spec.feat_dim,
-        cfg.hidden,
-        ds.spec.num_classes,
-        cfg.seed,
-    );
+    let mut model = GcnModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
     let mut adam = Adam::new(cfg.lr);
     let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        prof_begin_epoch(eng, epoch);
         let (logits, cache, fwd) = model.forward(eng, &ds.features);
         let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_ms(logits.len(), 2, 1);
+        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
         let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
         let opt = model.apply_grads(eng, &mut adam, &grads);
+        prof_finish_epoch(eng);
         epochs.push(EpochStats {
             loss: lo.loss,
             train_accuracy: lo.accuracy,
@@ -170,12 +179,14 @@ pub fn train_agnn(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResu
     );
     let mut adam = Adam::new(cfg.lr);
     let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        prof_begin_epoch(eng, epoch);
         let (logits, cache, fwd) = model.forward(eng, &ds.features);
         let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_ms(logits.len(), 2, 1);
+        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
         let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
         let opt = model.apply_grads(eng, &mut adam, &grads);
+        prof_finish_epoch(eng);
         epochs.push(EpochStats {
             loss: lo.loss,
             train_accuracy: lo.accuracy,
@@ -194,12 +205,14 @@ pub fn train_sage(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResu
     let mut model = SageModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
     let mut adam = Adam::new(cfg.lr);
     let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        prof_begin_epoch(eng, epoch);
         let (logits, cache, fwd) = model.forward(eng, &ds.features);
         let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_ms(logits.len(), 2, 1);
+        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
         let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
         let opt = model.apply_grads(eng, &mut adam, &grads);
+        prof_finish_epoch(eng);
         epochs.push(EpochStats {
             loss: lo.loss,
             train_accuracy: lo.accuracy,
@@ -218,12 +231,14 @@ pub fn train_gin(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResul
     let mut model = GinModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
     let mut adam = Adam::new(cfg.lr);
     let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        prof_begin_epoch(eng, epoch);
         let (logits, cache, fwd) = model.forward(eng, &ds.features);
         let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_ms(logits.len(), 2, 1);
+        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
         let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
         let opt = model.apply_grads(eng, &mut adam, &grads);
+        prof_finish_epoch(eng);
         epochs.push(EpochStats {
             loss: lo.loss,
             train_accuracy: lo.accuracy,
@@ -269,7 +284,11 @@ mod tests {
             seed: 1,
         };
         let result = train_gcn(&mut eng, &ds, cfg);
-        assert!(result.loss_drop() > 0.1, "loss should fall: {:?}", result.loss_drop());
+        assert!(
+            result.loss_drop() > 0.1,
+            "loss should fall: {:?}",
+            result.loss_drop()
+        );
         assert!(
             result.final_accuracy() > 1.5 / 4.0,
             "accuracy above chance: {}",
@@ -291,7 +310,11 @@ mod tests {
             seed: 2,
         };
         let result = train_agnn(&mut eng, &ds, cfg);
-        assert!(result.loss_drop() > 0.05, "loss drop {}", result.loss_drop());
+        assert!(
+            result.loss_drop() > 0.05,
+            "loss drop {}",
+            result.loss_drop()
+        );
         assert!(result.final_accuracy() > 1.2 / 4.0);
     }
 
@@ -350,7 +373,11 @@ mod tests {
         };
         let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
         let sage = train_sage(&mut eng, &ds, cfg);
-        assert!(sage.loss_drop() > 0.1, "sage loss drop {}", sage.loss_drop());
+        assert!(
+            sage.loss_drop() > 0.1,
+            "sage loss drop {}",
+            sage.loss_drop()
+        );
         assert!(sage.final_accuracy() > 1.5 / 4.0);
         let mut eng = Engine::new(Backend::DglLike, ds.graph.clone(), DeviceSpec::rtx3090());
         let gin = train_gin(&mut eng, &ds, cfg);

@@ -40,13 +40,10 @@ pub fn analyze(device: &DeviceSpec, stats: &KernelStats) -> KernelReport {
     let lane_cycles = stats.fp32_flops as f64 / 2.0 + stats.int_ops as f64;
     let cuda_core = lane_cycles / (device.fp32_lanes_per_sm as f64 * parallel_sms);
 
-    let tensor_core =
-        stats.tcu_flops as f64 / (device.tcu_flops_per_cycle as f64
-            * device.tcu_per_sm as f64
-            * parallel_sms);
+    let tensor_core = stats.tcu_flops as f64
+        / (device.tcu_flops_per_cycle as f64 * device.tcu_per_sm as f64 * parallel_sms);
 
-    let issue = stats.warp_instructions as f64
-        / (device.schedulers_per_sm as f64 * parallel_sms);
+    let issue = stats.warp_instructions as f64 / (device.schedulers_per_sm as f64 * parallel_sms);
 
     // Shared memory: one warp-wide transaction per SM per cycle.
     let shared = stats.shared_transactions as f64 / parallel_sms;
@@ -66,8 +63,7 @@ pub fn analyze(device: &DeviceSpec, stats: &KernelStats) -> KernelReport {
     let total_latency = stats.l2_hits as f64 * device.l2_latency_cycles as f64
         + stats.l2_misses as f64 * device.dram_latency_cycles as f64
         + stats.atomic_ops as f64 * device.l2_latency_cycles as f64;
-    let resident_warps =
-        (occ.achieved * device.max_warps_per_sm as f64 * parallel_sms).max(1.0);
+    let resident_warps = (occ.achieved * device.max_warps_per_sm as f64 * parallel_sms).max(1.0);
     let in_flight = (resident_warps * device.mlp_per_warp as f64)
         .min(parallel_sms * device.max_outstanding_per_sm as f64)
         .max(1.0);
@@ -95,15 +91,16 @@ pub fn analyze(device: &DeviceSpec, stats: &KernelStats) -> KernelReport {
         ("issue", pipes.issue),
         ("shared-memory", pipes.shared),
     ];
-    let (bound_by, max_cycles) = candidates
-        .iter()
-        .fold(("launch-overhead", 0.0_f64), |acc, &(n, c)| {
-            if c > acc.1 {
-                (n, c)
-            } else {
-                acc
-            }
-        });
+    let (bound_by, max_cycles) =
+        candidates
+            .iter()
+            .fold(("launch-overhead", 0.0_f64), |acc, &(n, c)| {
+                if c > acc.1 {
+                    (n, c)
+                } else {
+                    acc
+                }
+            });
 
     let cycles = max_cycles + LAUNCH_OVERHEAD_CYCLES;
     KernelReport {

@@ -114,11 +114,7 @@ impl CycleSim {
 
             // Barrier release: if every unfinished warp is at the barrier,
             // release them all.
-            let unfinished = self
-                .warps
-                .iter()
-                .filter(|w| w.pc < w.program.len())
-                .count();
+            let unfinished = self.warps.iter().filter(|w| w.pc < w.program.len()).count();
             if unfinished == 0 {
                 // Drain: in-flight loads and pipeline latencies must land.
                 let drain = mshrs
@@ -279,13 +275,12 @@ mod tests {
     fn more_warps_hide_latency() {
         let run_with = |warps: usize| {
             let mut sim = CycleSim::new(&dev(), warps);
-            sim.push_all(&[
-                Instr::Load {
+            sim.push_all(
+                &[Instr::Load {
                     latency: 450,
                     dependent: true,
-                };
-                8
-            ]);
+                }; 8],
+            );
             sim.run()
         };
         let one = run_with(1);
@@ -314,22 +309,20 @@ mod tests {
         let mut small = dev();
         small.max_outstanding_per_sm = 4;
         let mut sim = CycleSim::new(&small, 8);
-        sim.push_all(&[
-            Instr::Load {
+        sim.push_all(
+            &[Instr::Load {
                 latency: 100,
                 dependent: false,
-            };
-            4
-        ]);
+            }; 4],
+        );
         let throttled = sim.run();
         let mut sim2 = CycleSim::new(&dev(), 8);
-        sim2.push_all(&[
-            Instr::Load {
+        sim2.push_all(
+            &[Instr::Load {
                 latency: 100,
                 dependent: false,
-            };
-            4
-        ]);
+            }; 4],
+        );
         let free = sim2.run();
         assert!(
             throttled > 2 * free,
@@ -353,7 +346,10 @@ mod tests {
         sim.push(1, Instr::Barrier);
         sim.push(1, Instr::Compute { latency: 1 });
         let cycles = sim.run();
-        assert!(cycles >= 400, "barrier must wait for the slow warp: {cycles}");
+        assert!(
+            cycles >= 400,
+            "barrier must wait for the slow warp: {cycles}"
+        );
     }
 
     #[test]

@@ -179,7 +179,12 @@ impl<'a> BlockCtx<'a> {
     /// packed across rows); each row's span is probed sector by sector, so
     /// scattered rows cost one-plus transactions each while adjacent rows
     /// merge naturally.
-    pub fn ld_global_gather_rows(&mut self, bases: &[u64], elems_per_row: usize, elem_bytes: usize) {
+    pub fn ld_global_gather_rows(
+        &mut self,
+        bases: &[u64],
+        elems_per_row: usize,
+        elem_bytes: usize,
+    ) {
         if bases.is_empty() || elems_per_row == 0 {
             return;
         }
@@ -196,7 +201,12 @@ impl<'a> BlockCtx<'a> {
 
     /// Scatters `elems_per_row` consecutive elements to each row base — the
     /// store-side mirror of [`BlockCtx::ld_global_gather_rows`].
-    pub fn st_global_gather_rows(&mut self, bases: &[u64], elems_per_row: usize, elem_bytes: usize) {
+    pub fn st_global_gather_rows(
+        &mut self,
+        bases: &[u64],
+        elems_per_row: usize,
+        elem_bytes: usize,
+    ) {
         if bases.is_empty() || elems_per_row == 0 {
             return;
         }
@@ -396,12 +406,7 @@ impl Launcher {
     }
 
     /// Convenience: launch then analyze.
-    pub fn launch_analyzed<F>(
-        &mut self,
-        cfg: GridConfig,
-        num_blocks: u64,
-        body: F,
-    ) -> KernelReport
+    pub fn launch_analyzed<F>(&mut self, cfg: GridConfig, num_blocks: u64, body: F) -> KernelReport
     where
         F: FnMut(&mut BlockCtx<'_>),
     {

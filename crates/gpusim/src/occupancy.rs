@@ -53,18 +53,16 @@ pub fn occupancy(
     let warps_per_block = block_size.div_ceil(device.warp_size);
 
     let by_slots = device.max_blocks_per_sm;
-    let by_threads = (device.max_warps_per_sm / warps_per_block).max(0);
-    let by_smem = if smem_per_block == 0 {
-        u32::MAX
-    } else {
-        (device.shared_mem_per_sm / smem_per_block) as u32
-    };
+    let by_threads = device.max_warps_per_sm / warps_per_block;
+    let by_smem = device
+        .shared_mem_per_sm
+        .checked_div(smem_per_block)
+        .map_or(u32::MAX, |b| b as u32);
     let regs_per_block = regs_per_thread.max(16) * block_size;
-    let by_regs = if regs_per_block == 0 {
-        u32::MAX
-    } else {
-        device.registers_per_sm / regs_per_block
-    };
+    let by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
 
     let mut blocks_per_sm = by_slots.min(by_threads).min(by_smem).min(by_regs);
     let mut limiter = if blocks_per_sm == by_threads {
@@ -90,10 +88,9 @@ pub fn occupancy(
     let warps_per_sm = blocks_per_sm * warps_per_block;
     let theoretical = f64::from(warps_per_sm) / f64::from(device.max_warps_per_sm);
     let resident = avg_blocks_per_sm_from_grid.min(blocks_per_sm as f64);
-    let achieved = (resident * f64::from(warps_per_block)
-        / f64::from(device.max_warps_per_sm))
-    .clamp(0.0, 1.0)
-    .max(1e-4);
+    let achieved = (resident * f64::from(warps_per_block) / f64::from(device.max_warps_per_sm))
+        .clamp(0.0, 1.0)
+        .max(1e-4);
 
     Occupancy {
         blocks_per_sm,

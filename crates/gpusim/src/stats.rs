@@ -52,9 +52,20 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    /// Merges another kernel's counters into `self` (sequential composition:
-    /// block/launch shape keeps the first kernel's values, resource counts
-    /// add).
+    /// Merges another kernel's counters into `self` (sequential composition
+    /// of launches into one aggregate record).
+    ///
+    /// Resource counts (FLOPs, transactions, bytes, ...) are extensive and
+    /// simply add. The launch-shape fields (`num_blocks`, `block_size`,
+    /// `shared_mem_per_block`, `regs_per_thread`) are *not* additive —
+    /// summing `block_size` across launches would describe no real kernel —
+    /// so the merge keeps the **first non-empty** launch's shape: if `self`
+    /// has never been launched (`num_blocks == 0`), it adopts `other`'s
+    /// shape; otherwise `other`'s shape is discarded, even when it differs.
+    /// Consequently shape-derived quantities (e.g. occupancy inputs) of a
+    /// merged record describe only the first launch, and merging is
+    /// order-sensitive in those fields while the additive counters remain
+    /// order-independent.
     pub fn merge(&mut self, other: &KernelStats) {
         if self.num_blocks == 0 {
             self.num_blocks = other.num_blocks;
@@ -190,6 +201,55 @@ mod tests {
         empty.merge(&b);
         assert_eq!(empty.num_blocks, 8);
         assert_eq!(empty.block_size, 256);
+    }
+
+    #[test]
+    fn merge_with_different_grid_shapes_keeps_first_adds_counts() {
+        // Regression: merging kernels launched with different grid shapes
+        // must keep the first launch's shape verbatim (no averaging, no
+        // adoption of the second) while every extensive counter still adds.
+        let first = KernelStats {
+            num_blocks: 16,
+            block_size: 128,
+            shared_mem_per_block: 4096,
+            regs_per_thread: 40,
+            warp_instructions: 1000,
+            tcu_mma_instructions: 64,
+            dram_read_bytes: 2048,
+            shared_transactions: 500,
+            ..Default::default()
+        };
+        let second = KernelStats {
+            num_blocks: 64,
+            block_size: 512,
+            shared_mem_per_block: 16384,
+            regs_per_thread: 80,
+            warp_instructions: 3000,
+            tcu_mma_instructions: 128,
+            dram_read_bytes: 8192,
+            shared_transactions: 1500,
+            ..Default::default()
+        };
+        let mut ab = first.clone();
+        ab.merge(&second);
+        assert_eq!(ab.num_blocks, 16);
+        assert_eq!(ab.block_size, 128);
+        assert_eq!(ab.shared_mem_per_block, 4096);
+        assert_eq!(ab.regs_per_thread, 40);
+        assert_eq!(ab.warp_instructions, 4000);
+        assert_eq!(ab.tcu_mma_instructions, 192);
+        assert_eq!(ab.dram_read_bytes, 10240);
+        assert_eq!(ab.shared_transactions, 2000);
+        // Reversed order: shape fields are order-sensitive by design...
+        let mut ba = second.clone();
+        ba.merge(&first);
+        assert_eq!(ba.num_blocks, 64);
+        assert_eq!(ba.block_size, 512);
+        // ...but the additive counters commute.
+        assert_eq!(ba.warp_instructions, ab.warp_instructions);
+        assert_eq!(ba.tcu_mma_instructions, ab.tcu_mma_instructions);
+        assert_eq!(ba.dram_read_bytes, ab.dram_read_bytes);
+        assert_eq!(ba.shared_transactions, ab.shared_transactions);
     }
 
     #[test]

@@ -142,7 +142,10 @@ mod tests {
         let tol = f16_rel_tolerance(HALF_K) * 8.0;
         for r in 0..HALF_M {
             for c in 0..HALF_N {
-                assert!((acc.get(r, c) - reference.get(r, c)).abs() < tol, "({r},{c})");
+                assert!(
+                    (acc.get(r, c) - reference.get(r, c)).abs() < tol,
+                    "({r},{c})"
+                );
             }
         }
     }
@@ -180,7 +183,10 @@ mod tests {
         let big = tcg_tensor::DenseMatrix::filled(16, 16, 1.0e6);
         let mut fa = HalfFragmentA::default();
         fa.load(big.as_slice(), 16);
-        assert!(fa.data()[0].is_infinite(), "FP16 overflows where TF-32 does not");
+        assert!(
+            fa.data()[0].is_infinite(),
+            "FP16 overflows where TF-32 does not"
+        );
     }
 
     #[test]

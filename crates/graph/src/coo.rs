@@ -41,10 +41,7 @@ impl CooGraph {
         }
         for &v in src.iter().chain(dst.iter()) {
             if v as usize >= num_nodes {
-                return Err(GraphError::NodeOutOfRange {
-                    node: v,
-                    num_nodes,
-                });
+                return Err(GraphError::NodeOutOfRange { node: v, num_nodes });
             }
         }
         Ok(CooGraph {

@@ -70,10 +70,7 @@ impl CsrGraph {
             let row = g.neighbors(v);
             for &u in row {
                 if u as usize >= num_nodes {
-                    return Err(GraphError::NodeOutOfRange {
-                        node: u,
-                        num_nodes,
-                    });
+                    return Err(GraphError::NodeOutOfRange { node: u, num_nodes });
                 }
             }
             for w in row.windows(2) {
@@ -98,10 +95,7 @@ impl CsrGraph {
         let mut node_pointer = vec![0usize; num_nodes + 1];
         for &s in src {
             if s as usize >= num_nodes {
-                return Err(GraphError::NodeOutOfRange {
-                    node: s,
-                    num_nodes,
-                });
+                return Err(GraphError::NodeOutOfRange { node: s, num_nodes });
             }
             node_pointer[s as usize + 1] += 1;
         }
@@ -149,11 +143,8 @@ impl CsrGraph {
 
     /// Yields `(src, dst)` for every edge, row by row.
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.num_nodes).flat_map(move |v| {
-            self.neighbors(v)
-                .iter()
-                .map(move |&u| (v as NodeId, u))
-        })
+        (0..self.num_nodes)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v as NodeId, u)))
     }
 
     /// Returns the transposed graph (reverse of every edge).
@@ -391,8 +382,7 @@ mod tests {
     fn symmetry_detection() {
         let g = small();
         assert!(!g.is_symmetric());
-        let sym =
-            CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        let sym = CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
         assert!(sym.is_symmetric());
     }
 

@@ -78,20 +78,118 @@ pub struct Dataset {
 
 /// All 14 rows of the paper's Table 4.
 pub const TABLE4: [DatasetSpec; 14] = [
-    DatasetSpec { name: "Citeseer", class: GraphClass::TypeI, num_nodes: 3_327, num_edges: 9_464, feat_dim: 3_703, num_classes: 6 },
-    DatasetSpec { name: "Cora", class: GraphClass::TypeI, num_nodes: 2_708, num_edges: 10_858, feat_dim: 1_433, num_classes: 7 },
-    DatasetSpec { name: "Pubmed", class: GraphClass::TypeI, num_nodes: 19_717, num_edges: 88_676, feat_dim: 500, num_classes: 3 },
-    DatasetSpec { name: "PPI", class: GraphClass::TypeI, num_nodes: 56_944, num_edges: 818_716, feat_dim: 50, num_classes: 121 },
-    DatasetSpec { name: "PROTEINS_full", class: GraphClass::TypeII, num_nodes: 43_471, num_edges: 162_088, feat_dim: 29, num_classes: 2 },
-    DatasetSpec { name: "OVCAR-8H", class: GraphClass::TypeII, num_nodes: 1_890_931, num_edges: 3_946_402, feat_dim: 66, num_classes: 2 },
-    DatasetSpec { name: "Yeast", class: GraphClass::TypeII, num_nodes: 1_714_644, num_edges: 3_636_546, feat_dim: 74, num_classes: 2 },
-    DatasetSpec { name: "DD", class: GraphClass::TypeII, num_nodes: 334_925, num_edges: 1_686_092, feat_dim: 89, num_classes: 2 },
-    DatasetSpec { name: "YeastH", class: GraphClass::TypeII, num_nodes: 3_139_988, num_edges: 6_487_230, feat_dim: 75, num_classes: 2 },
-    DatasetSpec { name: "amazon0505", class: GraphClass::TypeIII, num_nodes: 410_236, num_edges: 4_878_875, feat_dim: 96, num_classes: 22 },
-    DatasetSpec { name: "artist", class: GraphClass::TypeIII, num_nodes: 50_515, num_edges: 1_638_396, feat_dim: 100, num_classes: 12 },
-    DatasetSpec { name: "com-amazon", class: GraphClass::TypeIII, num_nodes: 334_863, num_edges: 1_851_744, feat_dim: 96, num_classes: 22 },
-    DatasetSpec { name: "soc-BlogCatalog", class: GraphClass::TypeIII, num_nodes: 88_784, num_edges: 2_093_195, feat_dim: 128, num_classes: 39 },
-    DatasetSpec { name: "amazon0601", class: GraphClass::TypeIII, num_nodes: 403_394, num_edges: 3_387_388, feat_dim: 96, num_classes: 22 },
+    DatasetSpec {
+        name: "Citeseer",
+        class: GraphClass::TypeI,
+        num_nodes: 3_327,
+        num_edges: 9_464,
+        feat_dim: 3_703,
+        num_classes: 6,
+    },
+    DatasetSpec {
+        name: "Cora",
+        class: GraphClass::TypeI,
+        num_nodes: 2_708,
+        num_edges: 10_858,
+        feat_dim: 1_433,
+        num_classes: 7,
+    },
+    DatasetSpec {
+        name: "Pubmed",
+        class: GraphClass::TypeI,
+        num_nodes: 19_717,
+        num_edges: 88_676,
+        feat_dim: 500,
+        num_classes: 3,
+    },
+    DatasetSpec {
+        name: "PPI",
+        class: GraphClass::TypeI,
+        num_nodes: 56_944,
+        num_edges: 818_716,
+        feat_dim: 50,
+        num_classes: 121,
+    },
+    DatasetSpec {
+        name: "PROTEINS_full",
+        class: GraphClass::TypeII,
+        num_nodes: 43_471,
+        num_edges: 162_088,
+        feat_dim: 29,
+        num_classes: 2,
+    },
+    DatasetSpec {
+        name: "OVCAR-8H",
+        class: GraphClass::TypeII,
+        num_nodes: 1_890_931,
+        num_edges: 3_946_402,
+        feat_dim: 66,
+        num_classes: 2,
+    },
+    DatasetSpec {
+        name: "Yeast",
+        class: GraphClass::TypeII,
+        num_nodes: 1_714_644,
+        num_edges: 3_636_546,
+        feat_dim: 74,
+        num_classes: 2,
+    },
+    DatasetSpec {
+        name: "DD",
+        class: GraphClass::TypeII,
+        num_nodes: 334_925,
+        num_edges: 1_686_092,
+        feat_dim: 89,
+        num_classes: 2,
+    },
+    DatasetSpec {
+        name: "YeastH",
+        class: GraphClass::TypeII,
+        num_nodes: 3_139_988,
+        num_edges: 6_487_230,
+        feat_dim: 75,
+        num_classes: 2,
+    },
+    DatasetSpec {
+        name: "amazon0505",
+        class: GraphClass::TypeIII,
+        num_nodes: 410_236,
+        num_edges: 4_878_875,
+        feat_dim: 96,
+        num_classes: 22,
+    },
+    DatasetSpec {
+        name: "artist",
+        class: GraphClass::TypeIII,
+        num_nodes: 50_515,
+        num_edges: 1_638_396,
+        feat_dim: 100,
+        num_classes: 12,
+    },
+    DatasetSpec {
+        name: "com-amazon",
+        class: GraphClass::TypeIII,
+        num_nodes: 334_863,
+        num_edges: 1_851_744,
+        feat_dim: 96,
+        num_classes: 22,
+    },
+    DatasetSpec {
+        name: "soc-BlogCatalog",
+        class: GraphClass::TypeIII,
+        num_nodes: 88_784,
+        num_edges: 2_093_195,
+        feat_dim: 128,
+        num_classes: 39,
+    },
+    DatasetSpec {
+        name: "amazon0601",
+        class: GraphClass::TypeIII,
+        num_nodes: 403_394,
+        num_edges: 3_387_388,
+        feat_dim: 96,
+        num_classes: 22,
+    },
 ];
 
 /// Looks a spec up by its paper name (case-insensitive).
@@ -178,9 +276,7 @@ impl DatasetSpec {
                 let starts = gen::community_partition(n, lo, hi, seed);
                 for c in 0..starts.len() - 1 {
                     let lab = (c % k) as u32;
-                    for v in starts[c]..starts[c + 1] {
-                        labels[v] = lab;
-                    }
+                    labels[starts[c]..starts[c + 1]].fill(lab);
                 }
             }
             _ => {
@@ -207,8 +303,8 @@ impl DatasetSpec {
             }
         }
         let mut features = DenseMatrix::zeros(n, d);
-        for v in 0..n {
-            let cen = centroids.row(labels[v] as usize).to_vec();
+        for (v, &lab) in labels.iter().enumerate() {
+            let cen = centroids.row(lab as usize).to_vec();
             let row = features.row_mut(v);
             for (j, f) in row.iter_mut().enumerate() {
                 *f = 0.6 * cen[j] + rng.random_range(-0.5..0.5);

@@ -54,9 +54,10 @@ pub fn load_edge_list(path: &Path, symmetrize: bool) -> Result<CsrGraph> {
         }
         let mut it = t.split_whitespace();
         let parse = |tok: Option<&str>| -> Result<u64> {
-            tok.and_then(|s| s.parse::<u64>().ok()).ok_or_else(|| GraphError::Io {
-                message: format!("malformed edge at line {}", lineno + 1),
-            })
+            tok.and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| GraphError::Io {
+                    message: format!("malformed edge at line {}", lineno + 1),
+                })
         };
         let a = parse(it.next())?;
         let b = parse(it.next())?;
@@ -70,7 +71,11 @@ pub fn load_edge_list(path: &Path, symmetrize: bool) -> Result<CsrGraph> {
             pairs.push((a as NodeId, b as NodeId));
         }
     }
-    let n = if pairs.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if pairs.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut coo = CooGraph::new(n);
     for (a, b) in pairs {
         coo.push_edge(a, b);
@@ -85,7 +90,12 @@ pub fn load_edge_list(path: &Path, symmetrize: bool) -> Result<CsrGraph> {
 pub fn save_edge_list(graph: &CsrGraph, path: &Path) -> Result<()> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
-    writeln!(w, "# Nodes: {} Edges: {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# Nodes: {} Edges: {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (s, d) in graph.iter_edges() {
         writeln!(w, "{s}\t{d}")?;
     }
@@ -269,8 +279,11 @@ mod tests {
         let path = tmp("bad.mtx");
         std::fs::write(&path, "not a header\n3 3 1\n1 2\n").unwrap();
         assert!(load_matrix_market(&path).is_err());
-        std::fs::write(&path, "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n9 9\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n9 9\n",
+        )
+        .unwrap();
         assert!(load_matrix_market(&path).is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -105,7 +105,11 @@ mod tests {
         assert_eq!(s.max_degree, 4);
         assert!((s.avg_degree - 4.0).abs() < 1e-9);
         assert_eq!(s.isolated_nodes, 0);
-        assert!(s.degree_gini < 0.05, "ring is regular: gini {}", s.degree_gini);
+        assert!(
+            s.degree_gini < 0.05,
+            "ring is regular: gini {}",
+            s.degree_gini
+        );
     }
 
     #[test]

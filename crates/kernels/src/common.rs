@@ -92,7 +92,10 @@ impl fmt::Display for KernelError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "dimension mismatch ({what}): expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "dimension mismatch ({what}): expected {expected}, got {actual}"
+            ),
             KernelError::MemoryExceeded {
                 required_bytes,
                 capacity_bytes,

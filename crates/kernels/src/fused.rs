@@ -199,8 +199,8 @@ pub fn fused_attention(
                 p[e] = (beta * cos[e] - m).exp();
                 sum += p[e];
             }
-            for e in lo..hi {
-                p[e] /= sum;
+            for pe in &mut p[lo..hi] {
+                *pe /= sum;
             }
         }
         // max/exp-sum/divide passes over the window's edges.
@@ -344,10 +344,10 @@ mod tests {
         let fused = fused_attention(&mut l, &g, &t, &xa, &xa, 1.0).unwrap();
 
         // Unfused: SDDMM + softmax + SpMM as separate launches.
+        use crate::common::SpmmKernel;
         use crate::sddmm::{SddmmKernel, TcgnnSddmm};
         use crate::softmax::sparse_row_softmax;
         use crate::spmm::TcgnnSpmm;
-        use crate::common::SpmmKernel;
         let mut l2 = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         let (cosv, r1) = TcgnnSddmm::from_translated(t.clone())
             .execute(&mut l2, &g, &xa, &xa)

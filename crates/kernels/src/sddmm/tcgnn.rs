@@ -113,8 +113,7 @@ impl SddmmKernel for TcgnnSddmm {
         let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
             let w = ctx.block_id as usize;
             // Listing 3 line 9: SDDMM block count from the SpMM partition.
-            let num_tc_blocks =
-                (t.win_partition[w] as usize * t.blk_w).div_ceil(SDDMM_W);
+            let num_tc_blocks = (t.win_partition[w] as usize * t.blk_w).div_ceil(SDDMM_W);
             if num_tc_blocks == 0 {
                 return;
             }

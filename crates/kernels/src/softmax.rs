@@ -84,7 +84,9 @@ mod tests {
     #[test]
     fn rows_sum_to_one() {
         let g = gen::rmat_default(300, 2500, 1).unwrap();
-        let vals: Vec<f32> = (0..g.num_edges()).map(|e| (e % 13) as f32 * 0.3 - 1.0).collect();
+        let vals: Vec<f32> = (0..g.num_edges())
+            .map(|e| (e % 13) as f32 * 0.3 - 1.0)
+            .collect();
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         let (soft, report) = sparse_row_softmax(&mut l, &g, &vals).unwrap();
         for v in 0..g.num_nodes() {
@@ -111,7 +113,10 @@ mod tests {
             if hi == lo {
                 continue;
             }
-            let m = vals[lo..hi].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let m = vals[lo..hi]
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
             let denom: f32 = vals[lo..hi].iter().map(|&x| (x - m).exp()).sum();
             for e in lo..hi {
                 let expect = (vals[e] - m).exp() / denom;

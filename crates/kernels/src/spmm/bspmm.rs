@@ -296,11 +296,7 @@ impl SpmmKernel for CondensedEllSpmm {
                     ctx.shared_access((blk_elems as u64).div_ceil(32));
                     // X gather for this block's (condensed) columns.
                     let atox = t.block_atox(b);
-                    ctx.ld_global_contiguous(
-                        buf_atox.addr(t.block_atox_ptr[b], 4),
-                        atox.len(),
-                        4,
-                    );
+                    ctx.ld_global_contiguous(buf_atox.addr(t.block_atox_ptr[b], 4), atox.len(), 4);
                     let bases: Vec<u64> = atox
                         .iter()
                         .filter(|&&u| u != u32::MAX)
@@ -397,8 +393,14 @@ mod tests {
         let t_tc = run(&TcgnnSpmm::new(&g));
         let t_cond = run(&CondensedEllSpmm::new(&g));
         let t_raw = run(&BlockedEllSpmm::default());
-        assert!(t_cond > t_tc, "padding + dense storage must cost: {t_cond} vs {t_tc}");
-        assert!(t_cond < t_raw, "condensation must tame ELL: {t_cond} vs {t_raw}");
+        assert!(
+            t_cond > t_tc,
+            "padding + dense storage must cost: {t_cond} vs {t_tc}"
+        );
+        assert!(
+            t_cond < t_raw,
+            "condensation must tame ELL: {t_cond} vs {t_raw}"
+        );
     }
 
     #[test]

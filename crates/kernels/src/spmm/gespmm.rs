@@ -83,7 +83,11 @@ impl SpmmKernel for GeSpmm {
                     );
                     ctx.ld_global_gather_rows(&row_bases, d, 4);
                     // Warp merging halves per-row FMA instruction overhead.
-                    ctx.fma_warps((((hi - lo) * d) as u64).div_ceil((32 * MERGE) as u64).max(1));
+                    ctx.fma_warps(
+                        (((hi - lo) * d) as u64)
+                            .div_ceil((32 * MERGE) as u64)
+                            .max(1),
+                    );
 
                     let orow = out.row_mut(v);
                     for (i, &u) in csr.neighbors(v).iter().enumerate() {

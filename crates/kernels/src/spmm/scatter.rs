@@ -72,11 +72,7 @@ impl SpmmKernel for ScatterGatherSpmm {
             }
             // Gather source rows.
             gather_bases.clear();
-            gather_bases.extend(
-                src[e0..e1]
-                    .iter()
-                    .map(|&u| buf_x.f32_addr(u as usize * d)),
-            );
+            gather_bases.extend(src[e0..e1].iter().map(|&u| buf_x.f32_addr(u as usize * d)));
             ctx.ld_global_gather_rows(&gather_bases, d, 4);
 
             // Scatter with atomics: warps cover (edge, dim) lanes; lanes
@@ -87,8 +83,8 @@ impl SpmmKernel for ScatterGatherSpmm {
             while e < e1 {
                 let e_hi = (e + edges_per_warp).min(e1);
                 atomic_addrs.clear();
-                for ee in e..e_hi {
-                    let base = dst[ee] as usize * d;
+                for &dv in &dst[e..e_hi] {
+                    let base = dv as usize * d;
                     for dim in 0..lanes_per_edge {
                         atomic_addrs.push(buf_out.f32_addr(base + dim));
                     }

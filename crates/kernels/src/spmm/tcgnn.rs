@@ -149,11 +149,7 @@ impl SpmmKernel for TcgnnSpmm {
                 ctx.ld_global_contiguous(buf_pack.addr(c_lo, 1), chunk, 1);
                 // sparse_AToX_index: one id per condensed column.
                 let atox_ids = t.block_atox(b);
-                ctx.ld_global_contiguous(
-                    buf_atox.addr(t.block_atox_ptr[b], 4),
-                    atox_ids.len(),
-                    4,
-                );
+                ctx.ld_global_contiguous(buf_atox.addr(t.block_atox_ptr[b], 4), atox_ids.len(), 4);
                 if prob.edge_values.is_some() {
                     // Values live in original edge order: indirect gather.
                     ctx.ld_global_contiguous(buf_porig.addr(c_lo, 4), chunk, 4);
@@ -276,7 +272,10 @@ mod tests {
         let x = init::uniform(512, 16, -1.0, 1.0, 2);
         let (out, report, reference) = run(&g, &x, None);
         assert!(out.max_abs_diff(&reference).unwrap() < kernel_tolerance(64, 16, 4.0));
-        assert!(report.stats.tcu_mma_instructions > 0, "must use tensor cores");
+        assert!(
+            report.stats.tcu_mma_instructions > 0,
+            "must use tensor cores"
+        );
     }
 
     #[test]

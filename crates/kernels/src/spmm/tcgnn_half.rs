@@ -194,7 +194,9 @@ mod tests {
     fn weighted_matches_reference() {
         let g = gen::citation(300, 2400, 33).unwrap();
         let x = init::uniform(300, 32, -1.0, 1.0, 34);
-        let vals: Vec<f32> = (0..g.num_edges()).map(|e| 0.25 * ((e % 8) as f32)).collect();
+        let vals: Vec<f32> = (0..g.num_edges())
+            .map(|e| 0.25 * ((e % 8) as f32))
+            .collect();
         let prob = SpmmProblem::new(&g, Some(&vals), &x).unwrap();
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         let (out, _) = TcgnnSpmmHalf::new(&g).execute(&mut l, &prob).unwrap();

@@ -1,0 +1,112 @@
+//! The span/event vocabulary of the tracing layer.
+
+use serde::{Deserialize, Serialize};
+use tcg_gpusim::KernelStats;
+
+/// Pipeline phase an event's cost belongs to.
+///
+/// The first three variants mirror the fields of `tcg_gnn::Cost`
+/// (aggregation / update / other) so that per-phase event sums reconcile
+/// exactly with the cost model; [`Phase::Host`] covers CPU-side work (SGT
+/// preprocessing) that is *not* part of any epoch's GPU cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Sparse aggregation: SpMM, SDDMM, softmax, normalization passes.
+    Aggregation,
+    /// Dense update: the `X·W` GEMM family.
+    Update,
+    /// Everything else on the GPU: activations, loss, optimizer.
+    Other,
+    /// Host-side work outside the simulated GPU stream.
+    Host,
+}
+
+impl Phase {
+    /// Stable lowercase label used in metric keys and export files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Aggregation => "aggregation",
+            Phase::Update => "update",
+            Phase::Other => "other",
+            Phase::Host => "host",
+        }
+    }
+
+    /// All phases, in track order for the timeline export.
+    pub fn all() -> [Phase; 4] {
+        [Phase::Aggregation, Phase::Update, Phase::Other, Phase::Host]
+    }
+
+    /// Timeline track id (Chrome-trace `tid`), 1-based.
+    pub fn track(&self) -> u64 {
+        match self {
+            Phase::Aggregation => 1,
+            Phase::Update => 2,
+            Phase::Other => 3,
+            Phase::Host => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded cost contribution: a kernel launch, a framework pass, or a
+/// host-side span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelEvent {
+    /// Kernel or span name (`"spmm"`, `"edge_softmax_passes"`, ...).
+    pub name: String,
+    /// Pipeline phase the duration is charged to.
+    pub phase: Phase,
+    /// Model layer index active when the event was recorded, if any.
+    pub layer: Option<u32>,
+    /// Training epoch active when the event was recorded, if any.
+    pub epoch: Option<u32>,
+    /// Backend label (`"DGL"`, `"PyG"`, `"TC-GNN"`).
+    pub backend: String,
+    /// Simulated duration in milliseconds.
+    pub time_ms: f64,
+    /// Resource counters, when the event came from a simulated kernel
+    /// launch; framework passes and host spans carry default (zero) stats.
+    pub stats: KernelStats,
+}
+
+impl KernelEvent {
+    /// The registry key this event aggregates under: `phase/name`.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.phase.label(), self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_tracks_are_distinct() {
+        let labels: Vec<&str> = Phase::all().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+        let tracks: Vec<u64> = Phase::all().iter().map(|p| p.track()).collect();
+        assert_eq!(tracks, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn event_key_is_phase_scoped() {
+        let e = KernelEvent {
+            name: "spmm".into(),
+            phase: Phase::Aggregation,
+            layer: None,
+            epoch: None,
+            backend: "TC-GNN".into(),
+            time_ms: 0.5,
+            stats: KernelStats::default(),
+        };
+        assert_eq!(e.key(), "aggregation/spmm");
+    }
+}

@@ -1,0 +1,416 @@
+//! Exporters: Perfetto/Chrome-trace timeline, JSON metrics dump, and the
+//! ASCII nsight-style kernel table.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use crate::event::Phase;
+use crate::profiler::Profiler;
+use crate::registry::{
+    MetricsRegistry, COUNTER_ATOMICS, COUNTER_DRAM_READ, COUNTER_DRAM_WRITE, COUNTER_FP32_FLOPS,
+    COUNTER_GL_LOAD_TXN, COUNTER_GL_STORE_TXN, COUNTER_LAUNCHES, COUNTER_SHARED_TXN,
+    COUNTER_TCU_FLOPS, COUNTER_TCU_MMA,
+};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+/// Renders the run as Chrome-trace JSON (the format
+/// <https://ui.perfetto.dev> and `chrome://tracing` open directly).
+///
+/// The simulated GPU executes a single serial stream, so events are laid
+/// out back-to-back on a global clock: each event starts where the
+/// previous one ended, drawn on its phase's track (`tid` 1–4). Timestamps
+/// and durations are microseconds of *simulated* time. Output is
+/// deterministic: field order is fixed and no wall-clock values appear.
+pub fn chrome_trace_json(profiler: &Profiler) -> String {
+    let mut trace_events: Vec<Value> = Vec::with_capacity(profiler.events().len() + 5);
+    trace_events.push(obj(vec![
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", Value::UInt(1)),
+        ("args", obj(vec![("name", s("simulated-gpu"))])),
+    ]));
+    for phase in Phase::all() {
+        trace_events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(phase.track() as u128)),
+            ("args", obj(vec![("name", s(phase.label()))])),
+        ]));
+    }
+    let mut cursor_us = 0.0f64;
+    for e in profiler.events() {
+        let dur_us = e.time_ms * 1000.0;
+        let mut args = vec![("backend", s(&e.backend))];
+        if let Some(epoch) = e.epoch {
+            args.push(("epoch", Value::UInt(epoch as u128)));
+        }
+        if let Some(layer) = e.layer {
+            args.push(("layer", Value::UInt(layer as u128)));
+        }
+        if e.stats.dram_bytes() > 0 {
+            args.push(("dram_bytes", Value::UInt(e.stats.dram_bytes() as u128)));
+        }
+        if e.stats.shared_transactions > 0 {
+            args.push((
+                "shared_transactions",
+                Value::UInt(e.stats.shared_transactions as u128),
+            ));
+        }
+        if e.stats.tcu_mma_instructions > 0 {
+            args.push((
+                "tcu_mma_instructions",
+                Value::UInt(e.stats.tcu_mma_instructions as u128),
+            ));
+        }
+        trace_events.push(obj(vec![
+            ("name", s(&e.name)),
+            ("cat", s(e.phase.label())),
+            ("ph", s("X")),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(e.phase.track() as u128)),
+            ("ts", Value::Float(cursor_us)),
+            ("dur", Value::Float(dur_us)),
+            ("args", obj(args)),
+        ]));
+        cursor_us += dur_us;
+    }
+    let root = obj(vec![
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![
+                ("source", s("tc-gnn simulated GPU")),
+                ("backend", s(profiler.backend())),
+            ]),
+        ),
+        ("traceEvents", Value::Array(trace_events)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("value tree serializes")
+}
+
+fn registry_value(registry: &MetricsRegistry) -> Value {
+    let mut counters: Vec<(String, Value)> = Vec::new();
+    let mut current: Option<(String, Vec<(String, Value)>)> = None;
+    for (key, name, value) in registry.iter_counters() {
+        match &mut current {
+            Some((k, fields)) if k == key => {
+                fields.push((name.to_string(), Value::UInt(value as u128)))
+            }
+            _ => {
+                if let Some((k, fields)) = current.take() {
+                    counters.push((k, Value::Object(fields)));
+                }
+                current = Some((
+                    key.to_string(),
+                    vec![(name.to_string(), Value::UInt(value as u128))],
+                ));
+            }
+        }
+    }
+    if let Some((k, fields)) = current.take() {
+        counters.push((k, Value::Object(fields)));
+    }
+    let mut latencies: Vec<(String, Value)> = Vec::new();
+    for key in registry.keys() {
+        let h = registry
+            .histogram(key)
+            .expect("keys() yields histogram keys");
+        latencies.push((
+            key.to_string(),
+            obj(vec![
+                ("count", Value::UInt(h.count() as u128)),
+                ("sum_ms", Value::Float(h.sum())),
+                ("mean_ms", Value::Float(h.mean())),
+                ("min_ms", Value::Float(h.min())),
+                ("max_ms", Value::Float(h.max())),
+                ("p50_ms", Value::Float(h.p50())),
+                ("p95_ms", Value::Float(h.p95())),
+                ("p99_ms", Value::Float(h.p99())),
+            ]),
+        ));
+    }
+    obj(vec![
+        ("counters", Value::Object(counters)),
+        ("latency_ms", Value::Object(latencies)),
+    ])
+}
+
+/// Renders the metrics registry + epoch rollups as a JSON document for
+/// `results/`. Deterministic for a deterministic run (sorted keys, no
+/// wall-clock fields).
+pub fn metrics_json(profiler: &Profiler) -> String {
+    let epochs: Vec<Value> = profiler
+        .rollups()
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("epoch", Value::UInt(r.epoch as u128)),
+                ("events", Value::UInt(r.events as u128)),
+                ("aggregation_ms", Value::Float(r.aggregation_ms)),
+                ("update_ms", Value::Float(r.update_ms)),
+                ("other_ms", Value::Float(r.other_ms)),
+                ("total_ms", Value::Float(r.total_ms())),
+            ])
+        })
+        .collect();
+    let phases: Vec<(String, Value)> = Phase::all()
+        .iter()
+        .map(|p| {
+            (
+                p.label().to_string(),
+                Value::Float(profiler.phase_total_ms(*p)),
+            )
+        })
+        .collect();
+    let root = obj(vec![
+        ("backend", s(profiler.backend())),
+        ("events", Value::UInt(profiler.events().len() as u128)),
+        ("phase_total_ms", Value::Object(phases)),
+        ("epochs", Value::Array(epochs)),
+        ("metrics", registry_value(profiler.registry())),
+    ]);
+    serde_json::to_string_pretty(&root).expect("value tree serializes")
+}
+
+fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 10_000 {
+        format!("{:.1}K", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders the per-kernel counter table, in the spirit of
+/// `nsight-compute`'s summary output: one row per `phase/kernel` with
+/// launch count, time statistics, and the memory-hierarchy / tensor-core
+/// counters the paper's Figure 7 and Table 3 discuss.
+pub fn nsight_table(profiler: &Profiler) -> String {
+    let reg = profiler.registry();
+    let headers = [
+        "Kernel", "Launches", "Total ms", "Mean ms", "p50 ms", "p95 ms", "p99 ms", "DRAM rd",
+        "DRAM wr", "Shm txn", "TCU MMA", "FP32 op", "Atomics",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for key in reg.keys() {
+        let h = reg.histogram(key).expect("keys() yields histogram keys");
+        rows.push(vec![
+            key.to_string(),
+            reg.counter(key, COUNTER_LAUNCHES).to_string(),
+            format!("{:.4}", h.sum()),
+            format!("{:.5}", h.mean()),
+            format!("{:.5}", h.p50()),
+            format!("{:.5}", h.p95()),
+            format!("{:.5}", h.p99()),
+            fmt_count(reg.counter(key, COUNTER_DRAM_READ)),
+            fmt_count(reg.counter(key, COUNTER_DRAM_WRITE)),
+            fmt_count(reg.counter(key, COUNTER_SHARED_TXN)),
+            fmt_count(reg.counter(key, COUNTER_TCU_MMA)),
+            fmt_count(reg.counter(key, COUNTER_FP32_FLOPS) + reg.counter(key, COUNTER_TCU_FLOPS)),
+            fmt_count(reg.counter(key, COUNTER_ATOMICS)),
+        ]);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Per-kernel counters — backend {} ({} events; loads+stores also tracked as {} / {})\n",
+        profiler.backend(),
+        profiler.events().len(),
+        COUNTER_GL_LOAD_TXN,
+        COUNTER_GL_STORE_TXN,
+    ));
+    let render = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("{:<w$}", cell, w = widths[0]));
+            } else {
+                out.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+    render(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (headers.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        render(row, &mut out);
+    }
+    out
+}
+
+/// Paths written by [`write_artifacts`].
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The Chrome-trace/Perfetto timeline (`<prefix>.trace.json`).
+    pub trace_path: PathBuf,
+    /// The metrics dump (`<prefix>.metrics.json`).
+    pub metrics_path: PathBuf,
+    /// The ASCII kernel table (`<prefix>.kernels.txt`).
+    pub table_path: PathBuf,
+}
+
+/// Writes all three export formats under `dir` with file names
+/// `<prefix>.trace.json`, `<prefix>.metrics.json`, `<prefix>.kernels.txt`,
+/// creating `dir` if needed.
+pub fn write_artifacts(profiler: &Profiler, dir: &Path, prefix: &str) -> io::Result<Artifacts> {
+    std::fs::create_dir_all(dir)?;
+    let artifacts = Artifacts {
+        trace_path: dir.join(format!("{prefix}.trace.json")),
+        metrics_path: dir.join(format!("{prefix}.metrics.json")),
+        table_path: dir.join(format!("{prefix}.kernels.txt")),
+    };
+    std::fs::write(&artifacts.trace_path, chrome_trace_json(profiler))?;
+    std::fs::write(&artifacts.metrics_path, metrics_json(profiler))?;
+    std::fs::write(&artifacts.table_path, nsight_table(profiler))?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_gpusim::{KernelReport, KernelStats};
+
+    fn sample_profiler() -> Profiler {
+        let mut p = Profiler::new("TC-GNN");
+        p.begin_epoch(0);
+        p.set_layer(Some(0));
+        p.record_kernel(
+            "spmm",
+            Phase::Aggregation,
+            0.5,
+            &KernelReport {
+                time_ms: 0.45,
+                cycles: 1000.0,
+                occupancy: 0.9,
+                l1_hit_rate: 0.8,
+                bound_by: "tensor-core".into(),
+                pipe_cycles: Default::default(),
+                stats: KernelStats {
+                    dram_read_bytes: 4096,
+                    dram_write_bytes: 1024,
+                    shared_transactions: 77,
+                    tcu_mma_instructions: 12,
+                    ..Default::default()
+                },
+            },
+        );
+        p.record_span("gemm_xw", Phase::Update, 0.25);
+        p.finish_epoch();
+        p.record_host("sgt_preprocess", 3.0);
+        p
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_serial_timestamps() {
+        let p = sample_profiler();
+        let json = chrome_trace_json(&p);
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process + 4 thread metadata + 3 duration events.
+        assert_eq!(events.len(), 8);
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        // Back-to-back on the global clock: ts[i+1] = ts[i] + dur[i].
+        let ts = |e: &Value| e.get("ts").unwrap().as_f64().unwrap();
+        let dur = |e: &Value| e.get("dur").unwrap().as_f64().unwrap();
+        assert_eq!(ts(xs[0]), 0.0);
+        assert_eq!(ts(xs[1]), ts(xs[0]) + dur(xs[0]));
+        assert_eq!(ts(xs[2]), ts(xs[1]) + dur(xs[1]));
+        // Durations are µs of simulated ms.
+        assert_eq!(dur(xs[0]), 500.0);
+        // Counter args survive on the kernel event.
+        assert_eq!(
+            xs[0].get("args").unwrap().get("dram_bytes").unwrap(),
+            &Value::UInt(5120)
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_profiler();
+        let b = sample_profiler();
+        assert_eq!(chrome_trace_json(&a), chrome_trace_json(&b));
+        assert_eq!(metrics_json(&a), metrics_json(&b));
+        assert_eq!(nsight_table(&a), nsight_table(&b));
+    }
+
+    #[test]
+    fn metrics_json_contains_quantiles_and_rollups() {
+        let p = sample_profiler();
+        let v: Value = serde_json::from_str(&metrics_json(&p)).expect("valid JSON");
+        assert_eq!(v.get("backend").unwrap().as_str(), Some("TC-GNN"));
+        let lat = v
+            .get("metrics")
+            .unwrap()
+            .get("latency_ms")
+            .unwrap()
+            .get("aggregation/spmm")
+            .unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(lat.get("p95_ms").unwrap().as_f64(), Some(0.5));
+        let epochs = v.get("epochs").unwrap().as_array().unwrap();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].get("aggregation_ms").unwrap().as_f64(), Some(0.5));
+        // Host work appears in phase totals but not in the epoch rollup.
+        assert_eq!(
+            v.get("phase_total_ms")
+                .unwrap()
+                .get("host")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn nsight_table_lists_every_kernel_with_counters() {
+        let p = sample_profiler();
+        let table = nsight_table(&p);
+        assert!(table.contains("aggregation/spmm"));
+        assert!(table.contains("update/gemm_xw"));
+        assert!(table.contains("host/sgt_preprocess"));
+        assert!(table.contains("DRAM rd"));
+        assert!(table.contains("4096"));
+        assert!(table.contains("77")); // shared transactions
+        assert!(table.contains("12")); // TCU MMAs
+    }
+
+    #[test]
+    fn write_artifacts_creates_all_three_files() {
+        let p = sample_profiler();
+        let dir = std::env::temp_dir().join("tcg-profile-test-artifacts");
+        let arts = write_artifacts(&p, &dir, "unit").expect("writable temp dir");
+        for path in [&arts.trace_path, &arts.metrics_path, &arts.table_path] {
+            assert!(path.exists(), "{} missing", path.display());
+            assert!(std::fs::metadata(path).unwrap().len() > 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,260 @@
+//! Streaming log-bucketed histogram for latency quantiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Buckets per decade. 16 sub-decade buckets bound the relative quantile
+/// error at `10^(1/16) − 1 ≈ 15%`, plenty for a profiler readout.
+const BUCKETS_PER_DECADE: usize = 16;
+/// Smallest representable value: 1 ns (in ms). Values below land in
+/// bucket 0.
+const MIN_VALUE: f64 = 1e-6;
+/// Decades covered: 1 ns .. 1000 s.
+const DECADES: usize = 12;
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// A fixed-size streaming histogram over positive values (milliseconds).
+///
+/// Values are binned logarithmically, so quantile estimates have bounded
+/// *relative* error regardless of scale; memory is constant and
+/// [`merge`](StreamingHistogram::merge) is exact (bucket-wise addition).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    /// Bucket occupancy counts.
+    counts: Vec<u64>,
+    /// Total recorded values.
+    count: u64,
+    /// Exact running sum (for the mean).
+    sum: f64,
+    /// Exact minimum.
+    min: f64,
+    /// Exact maximum.
+    max: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        StreamingHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= MIN_VALUE {
+            return 0;
+        }
+        let idx = ((value / MIN_VALUE).log10() * BUCKETS_PER_DECADE as f64) as usize;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of a bucket, used as the quantile estimate.
+    fn bucket_value(index: usize) -> f64 {
+        MIN_VALUE * 10f64.powf((index as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Records one value. Non-finite or negative values are clamped into
+    /// the bottom bucket rather than rejected (a profiler should never
+    /// panic the program it observes).
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`; exact min/max at the endpoints.
+    ///
+    /// Mid-range estimates carry the bucket's ~15% relative error.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        // Rank of the q-th value (1-based, nearest-rank definition).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the geometric estimate by the exact extrema so
+                // single-bucket histograms report exact values.
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into `self` (bucket-wise; exact).
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_exact_at_every_quantile() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.125);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.125, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_stream_are_within_bucket_error() {
+        let mut h = StreamingHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 .. 1.0 ms
+        }
+        let rel = |est: f64, exact: f64| (est - exact).abs() / exact;
+        assert!(rel(h.p50(), 0.5) < 0.16, "p50 = {}", h.p50());
+        assert!(rel(h.p95(), 0.95) < 0.16, "p95 = {}", h.p95());
+        assert!(rel(h.p99(), 0.99) < 0.16, "p99 = {}", h.p99());
+        assert_eq!(h.min(), 0.001);
+        assert_eq!(h.max(), 1.0);
+        assert!((h.mean() - 0.5005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = StreamingHistogram::new();
+        for i in 0..500 {
+            h.record(10f64.powf((i % 50) as f64 / 10.0 - 3.0));
+        }
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            assert!(q >= prev, "quantile not monotone at {i}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut whole = StreamingHistogram::new();
+        for i in 0..200 {
+            let v = 0.001 * (1 + i % 37) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        // Sum is exact per-histogram but summation *order* differs between
+        // the merged pair and the interleaved stream.
+        assert!((a.sum() - whole.sum()).abs() < 1e-12 * whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn pathological_inputs_are_absorbed() {
+        let mut h = StreamingHistogram::new();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        h.record(f64::INFINITY);
+        h.record(1e30); // beyond the top bucket
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(0.5).is_finite());
+    }
+}

@@ -1,0 +1,57 @@
+//! `tcg-profile` — structured tracing and metrics for the simulated GPU.
+//!
+//! The execution model in `tcg-gpusim` already produces an nsight-grade
+//! [`KernelReport`](tcg_gpusim::KernelReport) for every kernel launch;
+//! until now those reports were summed into per-phase totals and dropped.
+//! This crate keeps them: a [`Profiler`] records one [`KernelEvent`] per
+//! cost contribution (kernel launches, framework passes, host-side work
+//! such as SGT preprocessing), aggregates them into a
+//! [`MetricsRegistry`] of monotonic counters and streaming latency
+//! histograms, and exports
+//!
+//! - a Chrome-trace / Perfetto JSON timeline of the *simulated* GPU stream
+//!   (open it at <https://ui.perfetto.dev>), one track per pipeline phase,
+//! - a JSON metrics dump (counters + p50/p95/p99 per kernel), and
+//! - an ASCII per-kernel table in the spirit of `nsight-compute` output
+//!   (launches, time, DRAM bytes, shared-memory transactions, TCU MMAs).
+//!
+//! # Invariant: events partition the cost model
+//!
+//! Every simulated millisecond that enters a
+//! `tcg_gnn::Cost` is recorded as **exactly one** event whose
+//! [`Phase`] matches the `Cost` field it lands in. Summing the durations
+//! of all [`Phase::Aggregation`] events therefore reproduces a training
+//! run's aggregation cost to the last floating-point bit — the property
+//! the integration tests in the root crate assert.
+//!
+//! # Overhead
+//!
+//! Profiling is opt-in per [`Engine`](../tcg_gnn/struct.Engine.html) via an
+//! `Option<SharedProfiler>`: when no profiler is attached the hot path is a
+//! single `Option` discriminant check — no allocation, no locking.
+
+mod event;
+mod export;
+mod histogram;
+mod profiler;
+mod registry;
+
+pub use event::{KernelEvent, Phase};
+pub use export::{chrome_trace_json, metrics_json, nsight_table, write_artifacts, Artifacts};
+pub use histogram::StreamingHistogram;
+pub use profiler::{shared, EpochRollup, Profiler, SharedProfiler};
+pub use registry::MetricsRegistry;
+
+/// Name of the environment variable the experiment binaries consult to
+/// decide whether to attach a profiler (`TCG_PROFILE=1` enables it).
+pub const PROFILE_ENV_VAR: &str = "TCG_PROFILE";
+
+/// Whether profiling was requested via [`PROFILE_ENV_VAR`].
+///
+/// Any value other than `0`, the empty string, or `false` enables it.
+pub fn profiling_requested() -> bool {
+    match std::env::var(PROFILE_ENV_VAR) {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "false"),
+        Err(_) => false,
+    }
+}

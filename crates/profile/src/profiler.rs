@@ -1,0 +1,243 @@
+//! The recorder: collects events, maintains the registry, tracks
+//! epoch/layer context, and rolls epochs up.
+
+use std::sync::{Arc, RwLock};
+
+use tcg_gpusim::{KernelReport, KernelStats};
+
+use crate::event::{KernelEvent, Phase};
+use crate::registry::MetricsRegistry;
+
+/// Per-epoch rollup of recorded GPU events, cross-checkable against the
+/// trainer's `EpochStats.cost`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRollup {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Events recorded during the epoch.
+    pub events: usize,
+    /// Summed [`Phase::Aggregation`] event durations.
+    pub aggregation_ms: f64,
+    /// Summed [`Phase::Update`] event durations.
+    pub update_ms: f64,
+    /// Summed [`Phase::Other`] event durations.
+    pub other_ms: f64,
+}
+
+impl EpochRollup {
+    /// Total GPU milliseconds in the epoch.
+    pub fn total_ms(&self) -> f64 {
+        self.aggregation_ms + self.update_ms + self.other_ms
+    }
+}
+
+/// A profiler shared between the engine (recording) and the harness
+/// (context tagging + export).
+///
+/// The `RwLock` makes attachment to an `Engine` and later inspection from
+/// the same thread ergonomic; contention is nil in this single-stream
+/// simulator.
+pub type SharedProfiler = Arc<RwLock<Profiler>>;
+
+/// Creates a [`SharedProfiler`] for a backend label.
+pub fn shared(backend: &str) -> SharedProfiler {
+    Arc::new(RwLock::new(Profiler::new(backend)))
+}
+
+/// Event recorder + metrics registry for one simulated run.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    backend: String,
+    epoch: Option<u32>,
+    layer: Option<u32>,
+    events: Vec<KernelEvent>,
+    registry: MetricsRegistry,
+    rollups: Vec<EpochRollup>,
+    /// Index into `events` where the current epoch began.
+    epoch_start: usize,
+}
+
+impl Profiler {
+    /// A profiler tagging events with `backend`.
+    pub fn new(backend: &str) -> Self {
+        Profiler {
+            backend: backend.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// The backend label events are tagged with.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Starts epoch `epoch`: subsequent events are tagged with it.
+    pub fn begin_epoch(&mut self, epoch: u32) {
+        self.epoch = Some(epoch);
+        self.layer = None;
+        self.epoch_start = self.events.len();
+    }
+
+    /// Ends the current epoch, producing (and retaining) its rollup.
+    /// No-op returning `None` when no epoch is open.
+    pub fn finish_epoch(&mut self) -> Option<EpochRollup> {
+        let epoch = self.epoch.take()?;
+        let mut rollup = EpochRollup {
+            epoch,
+            events: 0,
+            aggregation_ms: 0.0,
+            update_ms: 0.0,
+            other_ms: 0.0,
+        };
+        for e in &self.events[self.epoch_start..] {
+            rollup.events += 1;
+            match e.phase {
+                Phase::Aggregation => rollup.aggregation_ms += e.time_ms,
+                Phase::Update => rollup.update_ms += e.time_ms,
+                Phase::Other => rollup.other_ms += e.time_ms,
+                Phase::Host => {}
+            }
+        }
+        self.layer = None;
+        self.epoch_start = self.events.len();
+        self.rollups.push(rollup);
+        Some(rollup)
+    }
+
+    /// Sets (or clears) the model-layer tag for subsequent events.
+    pub fn set_layer(&mut self, layer: Option<u32>) {
+        self.layer = layer;
+    }
+
+    /// Records a simulated kernel launch. `time_ms` is the full cost
+    /// charged for the launch (kernel time plus dispatch overhead), which
+    /// can exceed `report.time_ms`.
+    pub fn record_kernel(&mut self, name: &str, phase: Phase, time_ms: f64, report: &KernelReport) {
+        self.push(KernelEvent {
+            name: name.to_string(),
+            phase,
+            layer: self.layer,
+            epoch: self.epoch,
+            backend: self.backend.clone(),
+            time_ms,
+            stats: report.stats.clone(),
+        });
+    }
+
+    /// Records a framework pass or other span with no kernel counters.
+    pub fn record_span(&mut self, name: &str, phase: Phase, time_ms: f64) {
+        self.push(KernelEvent {
+            name: name.to_string(),
+            phase,
+            layer: self.layer,
+            epoch: self.epoch,
+            backend: self.backend.clone(),
+            time_ms,
+            stats: KernelStats::default(),
+        });
+    }
+
+    /// Records host-side work (outside the simulated GPU stream).
+    pub fn record_host(&mut self, name: &str, time_ms: f64) {
+        self.record_span(name, Phase::Host, time_ms);
+    }
+
+    fn push(&mut self, event: KernelEvent) {
+        self.registry.absorb(&event);
+        self.events.push(event);
+    }
+
+    /// All recorded events, in record order.
+    pub fn events(&self) -> &[KernelEvent] {
+        &self.events
+    }
+
+    /// The aggregated counters + histograms.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Completed epoch rollups, in epoch order.
+    pub fn rollups(&self) -> &[EpochRollup] {
+        &self.rollups
+    }
+
+    /// Sum of event durations in one phase, across the whole run.
+    pub fn phase_total_ms(&self, phase: Phase) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.phase == phase)
+            .map(|e| e.time_ms)
+            // `fold`, not `sum`: f64's `Sum` identity is -0.0, which would
+            // leak a "-0.0" into the JSON export for empty phases.
+            .fold(0.0, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ms: f64) -> KernelReport {
+        KernelReport {
+            time_ms: ms,
+            cycles: 0.0,
+            occupancy: 0.5,
+            l1_hit_rate: 0.5,
+            bound_by: "dram-bandwidth".into(),
+            pipe_cycles: Default::default(),
+            stats: KernelStats {
+                dram_read_bytes: 64,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn context_tags_apply_to_subsequent_events() {
+        let mut p = Profiler::new("TC-GNN");
+        p.begin_epoch(3);
+        p.set_layer(Some(1));
+        p.record_kernel("spmm", Phase::Aggregation, 0.5, &report(0.4));
+        p.set_layer(None);
+        p.record_span("loss", Phase::Other, 0.1);
+        let e = &p.events()[0];
+        assert_eq!(e.epoch, Some(3));
+        assert_eq!(e.layer, Some(1));
+        assert_eq!(e.backend, "TC-GNN");
+        assert_eq!(e.time_ms, 0.5);
+        assert_eq!(e.stats.dram_read_bytes, 64);
+        assert_eq!(p.events()[1].layer, None);
+    }
+
+    #[test]
+    fn epoch_rollup_partitions_phases() {
+        let mut p = Profiler::new("DGL");
+        p.begin_epoch(0);
+        p.record_span("spmm", Phase::Aggregation, 1.0);
+        p.record_span("gemm_xw", Phase::Update, 2.0);
+        p.record_span("relu", Phase::Other, 0.5);
+        p.record_host("sgt_preprocess", 9.0); // host: excluded from rollup
+        let r = p.finish_epoch().unwrap();
+        assert_eq!(r.epoch, 0);
+        assert_eq!(r.events, 4);
+        assert_eq!(r.aggregation_ms, 1.0);
+        assert_eq!(r.update_ms, 2.0);
+        assert_eq!(r.other_ms, 0.5);
+        assert_eq!(r.total_ms(), 3.5);
+        // Second epoch starts fresh.
+        p.begin_epoch(1);
+        p.record_span("spmm", Phase::Aggregation, 4.0);
+        let r = p.finish_epoch().unwrap();
+        assert_eq!(r.aggregation_ms, 4.0);
+        assert_eq!(p.rollups().len(), 2);
+        // And the run-wide phase total spans both epochs.
+        assert_eq!(p.phase_total_ms(Phase::Aggregation), 5.0);
+    }
+
+    #[test]
+    fn finish_without_begin_is_a_noop() {
+        let mut p = Profiler::new("PyG");
+        assert!(p.finish_epoch().is_none());
+    }
+}

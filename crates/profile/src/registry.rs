@@ -1,0 +1,183 @@
+//! The metrics registry: monotonic counters + latency histograms keyed by
+//! `phase/kernel`.
+
+use std::collections::BTreeMap;
+
+use crate::event::KernelEvent;
+use crate::histogram::StreamingHistogram;
+
+/// Counter names tracked per kernel key.
+pub(crate) const COUNTER_LAUNCHES: &str = "launches";
+pub(crate) const COUNTER_DRAM_READ: &str = "dram_read_bytes";
+pub(crate) const COUNTER_DRAM_WRITE: &str = "dram_write_bytes";
+pub(crate) const COUNTER_SHARED_TXN: &str = "shared_transactions";
+pub(crate) const COUNTER_TCU_MMA: &str = "tcu_mma_instructions";
+pub(crate) const COUNTER_FP32_FLOPS: &str = "fp32_flops";
+pub(crate) const COUNTER_TCU_FLOPS: &str = "tcu_flops";
+pub(crate) const COUNTER_ATOMICS: &str = "atomic_ops";
+pub(crate) const COUNTER_GL_LOAD_TXN: &str = "gl_load_transactions";
+pub(crate) const COUNTER_GL_STORE_TXN: &str = "gl_store_transactions";
+
+/// Aggregated view over recorded events: monotonic counters and one
+/// latency histogram per kernel key (`phase/name`).
+///
+/// `BTreeMap` keeps iteration — and therefore every export — in a
+/// deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    /// `kernel-key → counter-name → value`.
+    counters: BTreeMap<String, BTreeMap<&'static str, u64>>,
+    /// `kernel-key → time_ms histogram`.
+    histograms: BTreeMap<String, StreamingHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to a counter under `key`.
+    pub fn incr(&mut self, key: &str, counter: &'static str, by: u64) {
+        if by == 0 && counter != COUNTER_LAUNCHES {
+            return; // keep dumps small: zero-valued counters are implicit
+        }
+        *self
+            .counters
+            .entry(key.to_string())
+            .or_default()
+            .entry(counter)
+            .or_insert(0) += by;
+    }
+
+    /// Records a latency observation under `key`.
+    pub fn observe_ms(&mut self, key: &str, time_ms: f64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .record(time_ms);
+    }
+
+    /// Folds one event into the counters + histograms.
+    pub fn absorb(&mut self, event: &KernelEvent) {
+        let key = event.key();
+        self.incr(&key, COUNTER_LAUNCHES, 1);
+        let s = &event.stats;
+        self.incr(&key, COUNTER_DRAM_READ, s.dram_read_bytes);
+        self.incr(&key, COUNTER_DRAM_WRITE, s.dram_write_bytes);
+        self.incr(&key, COUNTER_SHARED_TXN, s.shared_transactions);
+        self.incr(&key, COUNTER_TCU_MMA, s.tcu_mma_instructions);
+        self.incr(&key, COUNTER_FP32_FLOPS, s.fp32_flops);
+        self.incr(&key, COUNTER_TCU_FLOPS, s.tcu_flops);
+        self.incr(&key, COUNTER_ATOMICS, s.atomic_ops);
+        self.incr(&key, COUNTER_GL_LOAD_TXN, s.gl_load_transactions);
+        self.incr(&key, COUNTER_GL_STORE_TXN, s.gl_store_transactions);
+        self.observe_ms(&key, event.time_ms);
+    }
+
+    /// A counter's value (0 when never incremented).
+    pub fn counter(&self, key: &str, counter: &str) -> u64 {
+        self.counters
+            .get(key)
+            .and_then(|c| c.get(counter))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The histogram under `key`, if any value was observed.
+    pub fn histogram(&self, key: &str) -> Option<&StreamingHistogram> {
+        self.histograms.get(key)
+    }
+
+    /// All kernel keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Iterates `(key, counter-name, value)` in deterministic order.
+    pub fn iter_counters(&self) -> impl Iterator<Item = (&str, &'static str, u64)> {
+        self.counters.iter().flat_map(|(key, counters)| {
+            counters
+                .iter()
+                .map(move |(name, value)| (key.as_str(), *name, *value))
+        })
+    }
+
+    /// Merges another registry (counters add, histograms merge) — e.g. to
+    /// combine per-backend profilers into one report.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, counters) in &other.counters {
+            let mine = self.counters.entry(key.clone()).or_default();
+            for (name, value) in counters {
+                *mine.entry(name).or_insert(0) += value;
+            }
+        }
+        for (key, hist) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use tcg_gpusim::KernelStats;
+
+    fn event(name: &str, ms: f64, dram: u64) -> KernelEvent {
+        KernelEvent {
+            name: name.into(),
+            phase: Phase::Aggregation,
+            layer: None,
+            epoch: None,
+            backend: "TC-GNN".into(),
+            time_ms: ms,
+            stats: KernelStats {
+                dram_read_bytes: dram,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_counters_and_latency() {
+        let mut r = MetricsRegistry::new();
+        r.absorb(&event("spmm", 0.25, 1000));
+        r.absorb(&event("spmm", 0.75, 500));
+        assert_eq!(r.counter("aggregation/spmm", COUNTER_LAUNCHES), 2);
+        assert_eq!(r.counter("aggregation/spmm", COUNTER_DRAM_READ), 1500);
+        let h = r.histogram("aggregation/spmm").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1.0);
+    }
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.counter("nope", COUNTER_LAUNCHES), 0);
+        assert!(r.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.absorb(&event("spmm", 0.1, 10));
+        b.absorb(&event("spmm", 0.2, 20));
+        b.absorb(&event("sddmm", 0.3, 30));
+        a.merge(&b);
+        assert_eq!(a.counter("aggregation/spmm", COUNTER_LAUNCHES), 2);
+        assert_eq!(a.counter("aggregation/spmm", COUNTER_DRAM_READ), 30);
+        assert_eq!(a.counter("aggregation/sddmm", COUNTER_LAUNCHES), 1);
+        assert_eq!(a.histogram("aggregation/spmm").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.absorb(&event("zeta", 0.1, 0));
+        r.absorb(&event("alpha", 0.1, 0));
+        let keys: Vec<&str> = r.keys().collect();
+        assert_eq!(keys, vec!["aggregation/alpha", "aggregation/zeta"]);
+    }
+}

@@ -67,7 +67,7 @@ impl TranslatedGraph {
     pub fn total_sddmm_blocks(&self) -> u64 {
         self.win_partition
             .iter()
-            .map(|&b| ((b as u64 * TC_BLK_W as u64) + TC_BLK_H as u64 - 1) / TC_BLK_H as u64)
+            .map(|&b| (b as u64 * TC_BLK_W as u64).div_ceil(TC_BLK_H as u64))
             .sum()
     }
 
@@ -151,9 +151,9 @@ fn translate_window(
     for r in row_lo..row_hi {
         for e in node_pointer[r]..node_pointer[r + 1] {
             let nid = edge_list[e];
-            let col = uniq
-                .binary_search(&nid)
-                .expect("neighbor is in the window's deduplicated set") as u32;
+            let col =
+                uniq.binary_search(&nid)
+                    .expect("neighbor is in the window's deduplicated set") as u32;
             edge_to_col[e - edge_base] = col;
             edge_to_row[e - edge_base] = r as NodeId;
             sorted.push((col, r as NodeId, e as u32, nid));
@@ -255,13 +255,26 @@ fn assemble(
 /// overflow).
 pub fn translate_with(csr: &CsrGraph, win_size: usize, blk_w: usize) -> TranslatedGraph {
     assert!(win_size > 0 && blk_w > 0);
-    assert!(win_size * blk_w <= 256, "packed coordinate must fit one byte");
+    assert!(
+        win_size * blk_w <= 256,
+        "packed coordinate must fit one byte"
+    );
     let n = csr.num_nodes();
     let num_row_windows = n.div_ceil(win_size);
     let mut edge_to_col = vec![0u32; csr.num_edges()];
     let mut edge_to_row = vec![0 as NodeId; csr.num_edges()];
     let outs: Vec<WindowOut> = (0..num_row_windows)
-        .map(|w| translate_window(csr, w, win_size, blk_w, &mut edge_to_col, &mut edge_to_row, 0))
+        .map(|w| {
+            translate_window(
+                csr,
+                w,
+                win_size,
+                blk_w,
+                &mut edge_to_col,
+                &mut edge_to_row,
+                0,
+            )
+        })
         .collect();
     assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row)
 }
@@ -272,9 +285,9 @@ pub fn translate(csr: &CsrGraph) -> TranslatedGraph {
 }
 
 /// Parallel SGT: row windows are independent (the paper notes SGT "can be
-/// easily parallelized"), so windows are split across `threads` crossbeam
-/// scoped threads, each producing its windows' results; assembly of the
-/// global arrays is a cheap serial pass.
+/// easily parallelized"), so windows are split across `threads` scoped
+/// threads, each producing its windows' results; assembly of the global
+/// arrays is a cheap serial pass.
 pub fn translate_parallel(csr: &CsrGraph, threads: usize) -> TranslatedGraph {
     let threads = threads.max(1);
     let n = csr.num_nodes();
@@ -307,11 +320,11 @@ pub fn translate_parallel(csr: &CsrGraph, threads: usize) -> TranslatedGraph {
         w0 = w1;
     }
 
-    let mut chunk_outs: Vec<(usize, Vec<WindowOut>)> = crossbeam::thread::scope(|scope| {
+    let mut chunk_outs: Vec<(usize, Vec<WindowOut>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|(w_lo, w_hi, e_base, ec, er)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let outs: Vec<WindowOut> = (w_lo..w_hi)
                         .map(|w| translate_window(csr, w, win_size, blk_w, ec, er, e_base))
                         .collect();
@@ -323,8 +336,7 @@ pub fn translate_parallel(csr: &CsrGraph, threads: usize) -> TranslatedGraph {
             .into_iter()
             .map(|h| h.join().expect("sgt worker panicked"))
             .collect()
-    })
-    .expect("sgt scope failed");
+    });
 
     chunk_outs.sort_by_key(|(w_lo, _)| *w_lo);
     let outs: Vec<WindowOut> = chunk_outs.into_iter().flat_map(|(_, o)| o).collect();

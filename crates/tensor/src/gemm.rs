@@ -138,8 +138,7 @@ pub fn gemm_at_b(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     for p in 0..k {
         let arow = a.row(p);
         let brow = b.row(p);
-        for i in 0..m {
-            let av = arow[i];
+        for (i, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
             }
@@ -167,13 +166,13 @@ pub fn gemm_a_bt(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     for i in 0..m {
         let arow = a.row(i);
         let crow = c.row_mut(i);
-        for j in 0..n {
+        for (j, cj) in crow.iter_mut().enumerate().take(n) {
             let brow = b.row(j);
             let mut s = 0.0_f32;
             for p in 0..k {
                 s += arow[p] * brow[p];
             }
-            crow[j] = s;
+            *cj = s;
         }
     }
     Ok(c)

@@ -247,7 +247,11 @@ impl DenseMatrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Maximum absolute element-wise difference against `other`.

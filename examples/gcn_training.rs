@@ -31,7 +31,11 @@ fn main() {
         let c = r.avg_epoch_cost();
         println!(
             "{:8}  epoch {:.3} ms (aggregation {:.3}, update {:.3}, other {:.3})",
-            r.backend, r.avg_epoch_ms(), c.aggregation_ms, c.update_ms, c.other_ms
+            r.backend,
+            r.avg_epoch_ms(),
+            c.aggregation_ms,
+            c.update_ms,
+            c.other_ms
         );
         println!(
             "          loss {:.3} -> {:.3}, train accuracy {:.1}%, speedup over DGL {:.2}x",

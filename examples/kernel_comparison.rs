@@ -29,8 +29,14 @@ fn main() {
         ("torch-scatter (PyG)", Box::new(ScatterGatherSpmm)),
         ("dense GEMM (CUDA core)", Box::new(DenseGemmSpmm::default())),
         ("dense GEMM (TCU)", Box::new(DenseGemmSpmm::tcu())),
-        ("Blocked-ELL bSpMM (TCU)", Box::new(BlockedEllSpmm::default())),
-        ("tSparse-like (hybrid TCU)", Box::new(TsparseLikeSpmm::default())),
+        (
+            "Blocked-ELL bSpMM (TCU)",
+            Box::new(BlockedEllSpmm::default()),
+        ),
+        (
+            "tSparse-like (hybrid TCU)",
+            Box::new(TsparseLikeSpmm::default()),
+        ),
         ("Triton block-sparse (TCU)", Box::new(TritonBlockSparseSpmm)),
         ("TC-GNN (SGT + TCU)", Box::new(TcgnnSpmm::new(&g))),
     ];

@@ -30,8 +30,10 @@ fn main() {
         ),
     ];
 
-    println!("{:28} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
-        "graph", "edges", "gini", "sharing", "blocks-", "blocks+", "reduction");
+    println!(
+        "{:28} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "graph", "edges", "gini", "sharing", "blocks-", "blocks+", "reduction"
+    );
     for (name, g) in &graphs {
         let s = graph_stats(g);
         let c = census(g);
@@ -66,5 +68,8 @@ fn main() {
         .map(|(&b, &u)| u as f64 / (b as f64 * 8.0))
         .sum::<f64>()
         / t.win_partition.iter().filter(|&&b| b > 0).count().max(1) as f64;
-    println!("  avg block column occupancy after SGT: {:.0}%", 100.0 * dense);
+    println!(
+        "  avg block column occupancy after SGT: {:.0}%",
+        100.0 * dense
+    );
 }

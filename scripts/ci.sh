@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate: build, tier-1 tests, full workspace tests, formatting, lints.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the full-workspace test pass (tier-1 only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release --workspace"
+cargo build --release --workspace
+
+step "tier-1 tests (root package)"
+cargo test --release -q
+
+if [[ $quick -eq 0 ]]; then
+    step "workspace tests"
+    cargo test --workspace -q
+fi
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+step "CI PASSED"

@@ -1,0 +1,366 @@
+//! Offline shim of `serde`: a self-describing value tree plus
+//! [`Serialize`]/[`Deserialize`] traits over it.
+//!
+//! The real serde is a zero-copy visitor framework; this shim routes
+//! everything through an owned [`Value`] instead, which is dramatically
+//! simpler and more than fast enough for the result files and fixtures this
+//! workspace (de)serializes. The trait names, import paths and derive-macro
+//! spellings match upstream so call sites compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+///
+/// Objects preserve insertion order (like `serde_json`'s default `Map`), so
+/// serialization of derived structs is deterministic and follows field
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (covers every unsigned width up to `u128`).
+    UInt(u128),
+    /// Signed integer.
+    Int(i128),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived impls: extract and deserialize an object field.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => {
+            T::from_value(inner).map_err(|e| DeError::custom(format!("field `{name}`: {}", e.msg)))
+        }
+        None => match v {
+            Value::Object(_) => Err(DeError::custom(format!("missing field `{name}`"))),
+            _ => Err(DeError::custom(format!(
+                "expected object while reading field `{name}`"
+            ))),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u128) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::custom("unsigned integer out of range")),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    _ => Err(DeError::custom("expected unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::UInt(u) => i128::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| DeError::custom("integer out of range")),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(DeError::custom("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, i128, isize);
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+/// Exists so structs holding dataset-table literals (`name: &'static str`)
+/// can derive `Deserialize`; actually deserializing one leaks the string,
+/// which is acceptable for the handful of table rows this is used for.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        let v: Vec<u32> = Vec::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let a: [f64; 3] = Deserialize::from_value(&[1.0f64, 2.0, 3.0].to_value()).unwrap();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+        let none: Option<u8> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(field::<u64>(&obj, "a").unwrap(), 1);
+        let err = field::<u64>(&obj, "b").unwrap_err();
+        assert!(err.msg.contains("missing field"));
+        let err = field::<u64>(&Value::Null, "b").unwrap_err();
+        assert!(err.msg.contains("expected object"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — they are also unavailable
+//! offline) covering exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields (no generics),
+//! - enums whose variants are all unit variants.
+//!
+//! Anything else produces a compile error naming this file, so a future
+//! derive on an unsupported shape fails loudly rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    /// Named struct fields in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize` (the shim trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &item.body {
+        Body::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (the shim trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match &item.body {
+        Body::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!(\"serde_derive shim: {msg}\");")
+        .parse()
+        .expect("compile_error literal")
+}
+
+/// Parses the deriving item down to its name and field/variant names.
+fn parse_item(ts: TokenStream) -> Result<Item, String> {
+    let mut iter = ts.into_iter().peekable();
+    let mut is_enum = false;
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (`#` followed by a bracket group).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    is_enum = s == "enum";
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                        _ => return Err("expected item name".into()),
+                    }
+                    break;
+                }
+                // `pub` or other visibility tokens: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("only structs and enums are supported")?;
+    // The next brace group is the body. Generic parameters would appear
+    // before it as `<...>` punct sequences; reject them explicitly.
+    let mut body_stream = None;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err(format!("`{name}`: generic items are not supported"));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body_stream = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("`{name}`: tuple structs are not supported"));
+            }
+            _ => {}
+        }
+    }
+    let body_stream =
+        body_stream.ok_or_else(|| format!("`{name}`: expected a brace-delimited body"))?;
+    let body = if is_enum {
+        Body::Enum(parse_enum_variants(body_stream, &name)?)
+    } else {
+        Body::Struct(parse_struct_fields(body_stream))
+    };
+    Ok(Item { name, body })
+}
+
+/// Collects named-field identifiers: an ident directly followed by `:` while
+/// not inside a type position. Type tokens after the `:` are skipped until a
+/// comma at zero angle-bracket depth.
+fn parse_struct_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    let mut in_type = false;
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.next() {
+        if in_type {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => in_type = false,
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next(); // attribute body
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    continue; // a following `(crate)` group falls through below
+                }
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == ':' {
+                        let _ = iter.next();
+                        fields.push(s);
+                        in_type = true;
+                        angle_depth = 0;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Collects unit-variant identifiers; any variant payload is an error.
+fn parse_enum_variants(ts: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    return Err(format!(
+                        "`{enum_name}::{id}`: only unit enum variants are supported"
+                    ));
+                }
+                variants.push(id.to_string());
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}

@@ -21,8 +21,8 @@ use tc_gnn::graph::datasets::{spec_by_name, TABLE4};
 use tc_gnn::graph::{io, CsrGraph};
 use tc_gnn::kernels::common::{SpmmKernel, SpmmProblem};
 use tc_gnn::kernels::spmm::{
-    CondensedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm,
-    TritonBlockSparseSpmm, TsparseLikeSpmm,
+    CondensedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm, TritonBlockSparseSpmm,
+    TsparseLikeSpmm,
 };
 
 fn usage() -> ExitCode {
@@ -75,11 +75,19 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn cmd_datasets() -> ExitCode {
-    println!("{:16} {:>5} {:>9} {:>9} {:>6} {:>8}", "name", "type", "nodes", "edges", "dim", "classes");
+    println!(
+        "{:16} {:>5} {:>9} {:>9} {:>6} {:>8}",
+        "name", "type", "nodes", "edges", "dim", "classes"
+    );
     for s in TABLE4.iter() {
         println!(
             "{:16} {:>5} {:>9} {:>9} {:>6} {:>8}",
-            s.name, s.class.to_string(), s.num_nodes, s.num_edges, s.feat_dim, s.num_classes
+            s.name,
+            s.class.to_string(),
+            s.num_nodes,
+            s.num_edges,
+            s.feat_dim,
+            s.num_classes
         );
     }
     ExitCode::SUCCESS
@@ -136,13 +144,20 @@ fn cmd_spmm(graph: &CsrGraph, dim: usize) -> ExitCode {
         ("triton-like", Box::new(TritonBlockSparseSpmm)),
         ("tc-gnn", Box::new(TcgnnSpmm::new(graph))),
     ];
-    println!("{:16} {:>10} {:>18} {:>6} {:>7}", "kernel", "sim ms", "bound by", "occ", "L1 hit");
+    println!(
+        "{:16} {:>10} {:>18} {:>6} {:>7}",
+        "kernel", "sim ms", "bound by", "occ", "L1 hit"
+    );
     for (name, k) in kernels {
         let mut l = Launcher::new(DeviceSpec::rtx3090());
         match k.execute(&mut l, &prob) {
             Ok((_, r)) => println!(
                 "{:16} {:>10.4} {:>18} {:>5.0}% {:>6.0}%",
-                name, r.time_ms, r.bound_by, 100.0 * r.occupancy, 100.0 * r.l1_hit_rate
+                name,
+                r.time_ms,
+                r.bound_by,
+                100.0 * r.occupancy,
+                100.0 * r.l1_hit_rate
             ),
             Err(e) => println!("{name:16} failed: {e}"),
         }
@@ -165,7 +180,10 @@ fn cmd_train(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let ds = spec.scaled(scale).materialize(42).expect("synthetic dataset");
+    let ds = spec
+        .scaled(scale)
+        .materialize(42)
+        .expect("synthetic dataset");
     let model = flag_value(args, "--model").unwrap_or_else(|| "gcn".into());
     let backend = match flag_value(args, "--backend").as_deref() {
         None | Some("tcgnn") => Backend::TcGnn,

@@ -66,7 +66,11 @@ fn backends_train_to_equivalent_losses() {
         .iter()
         .map(|&b| {
             let mut eng = Engine::new(b, ds.graph.clone(), DeviceSpec::rtx3090());
-            train_gcn(&mut eng, &ds, cfg).epochs.last().expect("ran").loss
+            train_gcn(&mut eng, &ds, cfg)
+                .epochs
+                .last()
+                .expect("ran")
+                .loss
         })
         .collect();
     for l in &losses[1..] {
@@ -101,8 +105,5 @@ fn sgt_overhead_amortizes_over_training() {
     let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
     let epoch_ms = r.avg_epoch_ms();
     let pct = tc_gnn::sgt::overhead::overhead_pct(r.preprocessing_ms, epoch_ms, 200);
-    assert!(
-        pct < 20.0,
-        "SGT should amortize over 200 epochs: {pct:.1}%"
-    );
+    assert!(pct < 20.0, "SGT should amortize over 200 epochs: {pct:.1}%");
 }

@@ -6,8 +6,8 @@ use tc_gnn::gpusim::{DeviceSpec, Launcher};
 use tc_gnn::kernels::common::{reference_sddmm, reference_spmm, SpmmKernel, SpmmProblem};
 use tc_gnn::kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
 use tc_gnn::kernels::spmm::{
-    BlockedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm,
-    TritonBlockSparseSpmm, TsparseLikeSpmm,
+    BlockedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm, TritonBlockSparseSpmm,
+    TsparseLikeSpmm,
 };
 use tc_gnn::tensor::DenseMatrix;
 

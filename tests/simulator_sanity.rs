@@ -36,9 +36,7 @@ fn more_edges_cost_more() {
     );
     // DRAM bytes grow sublinearly here (X fits L2), but the transaction
     // stream must scale with the edge count.
-    assert!(
-        t_large.stats.gl_load_transactions > 2 * t_small.stats.gl_load_transactions
-    );
+    assert!(t_large.stats.gl_load_transactions > 2 * t_small.stats.gl_load_transactions);
 }
 
 #[test]
