@@ -1,0 +1,579 @@
+//! Deterministic fault injection for the simulated GPU stack.
+//!
+//! Real deployments of hybrid sparse kernels must tolerate transient device
+//! faults: launches fail, allocations spuriously run out, tensor-core
+//! accumulators pick up ECC-uncorrectable bit flips. This crate provides the
+//! three pieces the rest of the workspace threads through:
+//!
+//! - [`TcgError`], the unified error taxonomy. It subsumes the graph layer's
+//!   [`GraphError`] and the kernel layer's dimension/capacity errors, and
+//!   adds variants for every injectable device fault, so a fallible call
+//!   anywhere in the stack reports *one* typed error instead of panicking.
+//! - [`FaultPlan`], a seeded, counter-based RNG plus per-site probabilities.
+//!   The launcher consults it at each injection point ([`FaultSite`]); the
+//!   same seed and workload always yields the same fault schedule, which is
+//!   what makes chaos tests and `FaultReport` comparisons byte-exact.
+//! - [`FaultReport`], the per-engine accounting of injected / retried /
+//!   degraded counts surfaced through `TrainResult`.
+//!
+//! Nothing here depends on the simulator; `gpusim` depends on this crate,
+//! not the other way round.
+
+use serde::{Deserialize, Serialize};
+use tcg_graph::GraphError;
+
+/// A point in the simulated GPU where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// The kernel launch itself fails (driver-level transient).
+    KernelLaunch,
+    /// The launch is reported as exceeding the SM's shared-memory carve-out.
+    SmemOvercommit,
+    /// A device allocation (tile staging buffer) reports out-of-memory.
+    DeviceOom,
+    /// An ECC-uncorrectable bit flip lands in a WMMA accumulator fragment
+    /// and surfaces as NaN in the kernel output.
+    EccBitFlip,
+}
+
+impl FaultSite {
+    /// All sites, in the order used by `FaultPlan`'s counters.
+    pub fn all() -> [FaultSite; 4] {
+        [
+            FaultSite::KernelLaunch,
+            FaultSite::SmemOvercommit,
+            FaultSite::DeviceOom,
+            FaultSite::EccBitFlip,
+        ]
+    }
+
+    /// Stable lowercase label used in profile events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSite::KernelLaunch => "launch_fail",
+            FaultSite::SmemOvercommit => "smem_overcommit",
+            FaultSite::DeviceOom => "device_oom",
+            FaultSite::EccBitFlip => "ecc_bit_flip",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            FaultSite::KernelLaunch => 0,
+            FaultSite::SmemOvercommit => 1,
+            FaultSite::DeviceOom => 2,
+            FaultSite::EccBitFlip => 3,
+        }
+    }
+}
+
+/// The unified error taxonomy of the stack.
+///
+/// Variants split into three families:
+///
+/// - **wrapped lower layers**: [`TcgError::Graph`];
+/// - **caller mistakes** (not recoverable by retry or fallback):
+///   [`TcgError::DimMismatch`], [`TcgError::MemoryExceeded`],
+///   [`TcgError::CorruptMeta`], [`TcgError::InvalidInput`];
+/// - **device faults** (injected or genuine; candidates for retry and
+///   TCU→CUDA-core degradation): [`TcgError::LaunchFailed`],
+///   [`TcgError::SmemOvercommit`], [`TcgError::DeviceOom`],
+///   [`TcgError::EccCorruption`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TcgError {
+    /// A graph-layer error (I/O, malformed CSR, unknown dataset).
+    Graph(GraphError),
+    /// Operand dimensions disagree.
+    DimMismatch {
+        /// Which quantity mismatched.
+        what: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        actual: usize,
+    },
+    /// A kernel's working set exceeds modeled device capacity.
+    MemoryExceeded {
+        /// Bytes the kernel needs resident.
+        required_bytes: u128,
+        /// Bytes the device offers.
+        capacity_bytes: u128,
+    },
+    /// SGT translation metadata failed validation against its source graph.
+    CorruptMeta {
+        /// Which invariant failed.
+        what: &'static str,
+        /// Human-readable specifics (indices, extents).
+        detail: String,
+    },
+    /// An API precondition was violated (e.g. an asymmetric graph handed to
+    /// an aggregation engine).
+    InvalidInput {
+        /// Which precondition failed.
+        what: &'static str,
+        /// Human-readable specifics.
+        detail: String,
+    },
+    /// A kernel launch failed (transient; retry may succeed).
+    LaunchFailed {
+        /// Kernel name, for reports and traces.
+        kernel: &'static str,
+    },
+    /// A launch requested more shared memory than the SM can carve out.
+    SmemOvercommit {
+        /// Shared-memory bytes requested per block.
+        requested_bytes: usize,
+        /// The device's per-SM limit.
+        limit_bytes: usize,
+    },
+    /// A device allocation failed (transient; retry may succeed).
+    DeviceOom {
+        /// Bytes requested.
+        requested_bytes: usize,
+    },
+    /// ECC-uncorrectable corruption was detected in a kernel's output.
+    EccCorruption {
+        /// Kernel name whose output is poisoned.
+        kernel: &'static str,
+        /// Number of corrupted accumulator fragments.
+        faults: u64,
+    },
+}
+
+impl TcgError {
+    /// Whether a bounded retry of the same operation can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TcgError::LaunchFailed { .. } | TcgError::DeviceOom { .. }
+        )
+    }
+
+    /// The injection site this error corresponds to, when it is a device
+    /// fault. `None` for caller mistakes, which no retry or fallback fixes.
+    pub fn site(&self) -> Option<FaultSite> {
+        match self {
+            TcgError::LaunchFailed { .. } => Some(FaultSite::KernelLaunch),
+            TcgError::SmemOvercommit { .. } => Some(FaultSite::SmemOvercommit),
+            TcgError::DeviceOom { .. } => Some(FaultSite::DeviceOom),
+            TcgError::EccCorruption { .. } => Some(FaultSite::EccBitFlip),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a device fault, i.e. a candidate for graceful
+    /// degradation to the CUDA-core path.
+    pub fn is_device_fault(&self) -> bool {
+        self.site().is_some()
+    }
+}
+
+impl std::fmt::Display for TcgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcgError::Graph(e) => write!(f, "graph error: {e}"),
+            TcgError::DimMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch on {what}: expected {expected}, got {actual}"
+            ),
+            TcgError::MemoryExceeded {
+                required_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "working set of {required_bytes} B exceeds device capacity {capacity_bytes} B"
+            ),
+            TcgError::CorruptMeta { what, detail } => {
+                write!(f, "corrupt SGT metadata ({what}): {detail}")
+            }
+            TcgError::InvalidInput { what, detail } => {
+                write!(f, "invalid input ({what}): {detail}")
+            }
+            TcgError::LaunchFailed { kernel } => {
+                write!(f, "kernel launch failed: {kernel}")
+            }
+            TcgError::SmemOvercommit {
+                requested_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "shared memory overcommit: requested {requested_bytes} B, SM limit {limit_bytes} B"
+            ),
+            TcgError::DeviceOom { requested_bytes } => {
+                write!(f, "device out of memory allocating {requested_bytes} B")
+            }
+            TcgError::EccCorruption { kernel, faults } => {
+                write!(
+                    f,
+                    "ECC corruption in {kernel} output ({faults} fragment(s))"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TcgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TcgError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TcgError {
+    fn from(e: GraphError) -> Self {
+        TcgError::Graph(e)
+    }
+}
+
+/// Per-site fault probabilities, each in `[0, 1]` per consultation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a kernel launch fails.
+    pub launch_rate: f64,
+    /// Probability a launch is reported as shared-memory overcommitted.
+    pub smem_rate: f64,
+    /// Probability a device allocation reports OOM.
+    pub oom_rate: f64,
+    /// Probability a launch arms an ECC bit flip in a WMMA accumulator.
+    pub ecc_rate: f64,
+}
+
+impl FaultConfig {
+    /// All sites disabled.
+    pub fn none() -> Self {
+        FaultConfig {
+            launch_rate: 0.0,
+            smem_rate: 0.0,
+            oom_rate: 0.0,
+            ecc_rate: 0.0,
+        }
+    }
+
+    /// The same rate at every site.
+    pub fn uniform(rate: f64) -> Self {
+        FaultConfig {
+            launch_rate: rate,
+            smem_rate: rate,
+            oom_rate: rate,
+            ecc_rate: rate,
+        }
+    }
+
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::KernelLaunch => self.launch_rate,
+            FaultSite::SmemOvercommit => self.smem_rate,
+            FaultSite::DeviceOom => self.oom_rate,
+            FaultSite::EccBitFlip => self.ecc_rate,
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Seed used when `TCG_FAULT_SEED` is not set.
+pub const DEFAULT_FAULT_SEED: u64 = 42;
+
+/// A deterministic fault schedule: seeded counter-based RNG plus per-site
+/// probabilities and injection accounting.
+///
+/// Each consultation ([`FaultPlan::roll`]) for a site with a non-zero rate
+/// consumes exactly one RNG draw; sites with a zero rate consume none, and a
+/// suppressed plan consumes none. Because the simulator is single-stream,
+/// the sequence of consultations — and therefore the fault schedule — is a
+/// pure function of the seed, the config, and the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    config: FaultConfig,
+    draws: u64,
+    injected: [u64; 4],
+    suppressed: bool,
+}
+
+impl FaultPlan {
+    /// A plan rolling with `config`'s rates under `seed`.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultPlan {
+            seed,
+            config,
+            draws: 0,
+            injected: [0; 4],
+            suppressed: false,
+        }
+    }
+
+    /// Builds a plan from `TCG_FAULT_SEED` / `TCG_FAULT_RATE`.
+    ///
+    /// Returns `None` unless `TCG_FAULT_RATE` is set to a positive
+    /// probability, which is applied uniformly to all sites. The seed
+    /// defaults to [`DEFAULT_FAULT_SEED`].
+    pub fn from_env() -> Option<Self> {
+        let rate: f64 = std::env::var("TCG_FAULT_RATE").ok()?.trim().parse().ok()?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return None;
+        }
+        let seed = std::env::var("TCG_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(DEFAULT_FAULT_SEED);
+        Some(FaultPlan::new(seed, FaultConfig::uniform(rate.min(1.0))))
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-site rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Counter-based SplitMix64: draw `i` is a pure function of `(seed, i)`.
+    fn next_draw(&mut self) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(self.draws.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.draws += 1;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Consults the plan at `site`. Returns `true` when a fault should be
+    /// injected, and (for all sites except [`FaultSite::EccBitFlip`], whose
+    /// injection only counts if a tensor-core op actually consumes it)
+    /// records the injection.
+    pub fn roll(&mut self, site: FaultSite) -> bool {
+        if self.suppressed {
+            return false;
+        }
+        let rate = self.config.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let draw = self.next_draw();
+        // Top 53 bits → a uniform f64 in [0, 1).
+        let hit = ((draw >> 11) as f64) / ((1u64 << 53) as f64) < rate;
+        if hit && site != FaultSite::EccBitFlip {
+            self.injected[site.index()] += 1;
+        }
+        hit
+    }
+
+    /// Records `n` ECC flips actually consumed by tensor-core ops. Armed
+    /// flips that no WMMA op consumed (e.g. a CUDA-core kernel) are not
+    /// injections and must not be recorded.
+    pub fn note_ecc_consumed(&mut self, n: u64) {
+        self.injected[FaultSite::EccBitFlip.index()] += n;
+    }
+
+    /// Suppresses (or re-enables) injection. While suppressed, rolls return
+    /// `false` without consuming RNG draws — the fallback/replay path runs
+    /// fault-free without perturbing the schedule.
+    pub fn set_suppressed(&mut self, on: bool) {
+        self.suppressed = on;
+    }
+
+    /// Whether injection is currently suppressed.
+    pub fn is_suppressed(&self) -> bool {
+        self.suppressed
+    }
+
+    /// Number of faults injected at `site` so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()]
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// RNG draws consumed so far (a determinism fingerprint).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+/// Per-engine fault accounting: what was injected, what was retried, what
+/// fell back to the CUDA-core path. `Serialize` + `PartialEq` so chaos tests
+/// can require byte-identical reports across repeated runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Injected kernel-launch failures.
+    pub launch_failures: u64,
+    /// Injected shared-memory overcommits.
+    pub smem_overcommits: u64,
+    /// Injected device-OOM allocations.
+    pub device_ooms: u64,
+    /// ECC bit flips consumed by tensor-core ops.
+    pub ecc_flips: u64,
+    /// Retry attempts made for transient faults.
+    pub retried: u64,
+    /// Operations that degraded to the CUDA-core fallback path.
+    pub degraded: u64,
+}
+
+impl FaultReport {
+    /// Total injected faults across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.launch_failures + self.smem_overcommits + self.device_ooms + self.ecc_flips
+    }
+
+    /// Builds the injected half of a report from a plan's counters.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        FaultReport {
+            launch_failures: plan.injected(FaultSite::KernelLaunch),
+            smem_overcommits: plan.injected(FaultSite::SmemOvercommit),
+            device_ooms: plan.injected(FaultSite::DeviceOom),
+            ecc_flips: plan.injected(FaultSite::EccBitFlip),
+            retried: 0,
+            degraded: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::new(7, FaultConfig::uniform(0.3));
+        let mut b = FaultPlan::new(7, FaultConfig::uniform(0.3));
+        let sa: Vec<bool> = (0..200).map(|_| a.roll(FaultSite::KernelLaunch)).collect();
+        let sb: Vec<bool> = (0..200).map(|_| b.roll(FaultSite::KernelLaunch)).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(
+            a.injected(FaultSite::KernelLaunch),
+            b.injected(FaultSite::KernelLaunch)
+        );
+        assert!(a.total_injected() > 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::new(1, FaultConfig::uniform(0.5));
+        let mut b = FaultPlan::new(2, FaultConfig::uniform(0.5));
+        let sa: Vec<bool> = (0..64).map(|_| a.roll(FaultSite::DeviceOom)).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.roll(FaultSite::DeviceOom)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let mut p = FaultPlan::new(99, FaultConfig::uniform(0.25));
+        let hits = (0..10_000)
+            .filter(|_| p.roll(FaultSite::KernelLaunch))
+            .count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn zero_rate_sites_consume_no_draws() {
+        let mut p = FaultPlan::new(3, FaultConfig::none());
+        for _ in 0..100 {
+            assert!(!p.roll(FaultSite::SmemOvercommit));
+        }
+        assert_eq!(p.draws(), 0);
+        assert_eq!(p.total_injected(), 0);
+    }
+
+    #[test]
+    fn suppression_skips_rolls_entirely() {
+        let cfg = FaultConfig::uniform(1.0);
+        let mut p = FaultPlan::new(11, cfg);
+        assert!(p.roll(FaultSite::KernelLaunch));
+        p.set_suppressed(true);
+        assert!(!p.roll(FaultSite::KernelLaunch));
+        assert_eq!(p.draws(), 1, "suppressed rolls must not consume draws");
+        p.set_suppressed(false);
+        assert!(p.roll(FaultSite::KernelLaunch));
+        assert_eq!(p.injected(FaultSite::KernelLaunch), 2);
+    }
+
+    #[test]
+    fn ecc_rolls_count_only_on_consumption() {
+        let mut p = FaultPlan::new(5, FaultConfig::uniform(1.0));
+        assert!(p.roll(FaultSite::EccBitFlip));
+        assert_eq!(p.injected(FaultSite::EccBitFlip), 0);
+        p.note_ecc_consumed(1);
+        assert_eq!(p.injected(FaultSite::EccBitFlip), 1);
+    }
+
+    #[test]
+    fn error_taxonomy_classification() {
+        let launch = TcgError::LaunchFailed { kernel: "spmm" };
+        let oom = TcgError::DeviceOom {
+            requested_bytes: 1024,
+        };
+        let smem = TcgError::SmemOvercommit {
+            requested_bytes: 1 << 20,
+            limit_bytes: 100 << 10,
+        };
+        let ecc = TcgError::EccCorruption {
+            kernel: "spmm",
+            faults: 1,
+        };
+        let dim = TcgError::DimMismatch {
+            what: "edge values",
+            expected: 10,
+            actual: 9,
+        };
+        assert!(launch.is_transient() && oom.is_transient());
+        assert!(!smem.is_transient() && !ecc.is_transient() && !dim.is_transient());
+        assert_eq!(launch.site(), Some(FaultSite::KernelLaunch));
+        assert_eq!(smem.site(), Some(FaultSite::SmemOvercommit));
+        assert_eq!(oom.site(), Some(FaultSite::DeviceOom));
+        assert_eq!(ecc.site(), Some(FaultSite::EccBitFlip));
+        assert_eq!(dim.site(), None);
+        assert!(!dim.is_device_fault());
+        let ge: TcgError = GraphError::UnknownDataset { name: "x".into() }.into();
+        assert!(matches!(ge, TcgError::Graph(_)));
+        assert!(ge.source_is_graph());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TcgError::CorruptMeta {
+            what: "edge_to_col",
+            detail: "edge 7 maps to column 99 of 8".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("edge_to_col") && s.contains("edge 7"));
+    }
+
+    #[test]
+    fn report_totals_and_from_plan() {
+        let mut p = FaultPlan::new(13, FaultConfig::uniform(1.0));
+        p.roll(FaultSite::KernelLaunch);
+        p.roll(FaultSite::DeviceOom);
+        p.roll(FaultSite::EccBitFlip);
+        p.note_ecc_consumed(1);
+        let r = FaultReport::from_plan(&p);
+        assert_eq!(r.launch_failures, 1);
+        assert_eq!(r.device_ooms, 1);
+        assert_eq!(r.ecc_flips, 1);
+        assert_eq!(r.total_injected(), 3);
+    }
+}
+
+#[cfg(test)]
+impl TcgError {
+    fn source_is_graph(&self) -> bool {
+        use std::error::Error;
+        self.source().is_some()
+    }
+}

@@ -1,9 +1,10 @@
 //! The aggregation engine: one graph, one backend, simulated costs.
 
+use tcg_fault::{FaultPlan, FaultReport, TcgError};
 use tcg_gpusim::cost::stream_pass_report;
 use tcg_gpusim::{DeviceSpec, Launcher};
 use tcg_graph::CsrGraph;
-use tcg_kernels::common::{KernelError, SpmmKernel, SpmmProblem};
+use tcg_kernels::common::{SpmmKernel, SpmmProblem};
 use tcg_kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
 use tcg_kernels::softmax::sparse_row_softmax;
 use tcg_kernels::spmm::{CusparseCsrSpmm, ScatterGatherSpmm, TcgnnSpmm};
@@ -109,6 +110,36 @@ pub const EXTENSION_DISPATCH_MS: f64 = 0.005;
 /// Host-side dispatch cost per dense (cuBLAS / elementwise) op, in ms.
 pub const DENSE_DISPATCH_MS: f64 = 0.005;
 
+/// How the engine responds to injected (or detected) device faults.
+///
+/// Transient faults — failed launches and staging-buffer OOM — are retried
+/// up to `max_retries` times with linear backoff charged as a `retry_backoff`
+/// span. A fault that survives its retries, plus every persistent fault,
+/// degrades the op: the same computation reruns on the CUDA-core fallback
+/// kernel (`CusparseCsrSpmm` / `CudaCoreSddmm`) with injection suppressed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retry budget per op for transient faults.
+    pub max_retries: u32,
+    /// Simulated backoff before retry `k` is `k * backoff_ms`.
+    pub backoff_ms: f64,
+    /// Whether to scan kernel reports for consumed ECC bit flips and
+    /// degrade the op (discarding the poisoned output). With the scan off,
+    /// NaN-poisoned results propagate to the caller — the trainer's
+    /// checkpoint/rollback guard is then the only line of defense.
+    pub ecc_scan: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_ms: 0.05,
+            ecc_scan: true,
+        }
+    }
+}
+
 /// A graph bound to a backend: owns the simulated device state, the
 /// backend's kernels, and the per-graph preprocessing (SGT translation for
 /// TC-GNN, symmetric-normalization values, transpose permutation).
@@ -141,6 +172,15 @@ pub struct Engine {
     /// Attached tracer; `None` (the default) records nothing and allocates
     /// nothing per launch.
     profiler: Option<SharedProfiler>,
+    /// Fault response configuration.
+    recovery: RecoveryPolicy,
+    /// When set, every op takes the CUDA-core fallback path directly (the
+    /// trainer's rollback-replay mode); injection stays suppressed.
+    forced_fallback: bool,
+    /// Transient-fault retries performed.
+    retried: u64,
+    /// Ops degraded to the fallback kernel.
+    degraded: u64,
 }
 
 impl Engine {
@@ -149,9 +189,24 @@ impl Engine {
     /// # Panics
     ///
     /// Panics if the graph is not symmetric; undirected GNN datasets always
-    /// are, and backward passes rely on `Aᵀ = A` topologically.
+    /// are, and backward passes rely on `Aᵀ = A` topologically. Fallible
+    /// callers use [`Engine::try_new`].
     pub fn new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Self {
-        assert!(csr.is_symmetric(), "engine requires a symmetric graph");
+        Self::try_new(backend, csr, device).expect("engine requires a symmetric graph")
+    }
+
+    /// [`Engine::new`] with errors instead of panics: a non-symmetric graph
+    /// is [`TcgError::InvalidInput`], and for the TC-GNN backend the SGT
+    /// translation is validated against the CSR before any kernel can
+    /// consume it (corruption surfaces as [`TcgError::CorruptMeta`] here
+    /// rather than as garbage aggregation output later).
+    pub fn try_new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
+        if !csr.is_symmetric() {
+            return Err(TcgError::InvalidInput {
+                what: "engine graph",
+                detail: "adjacency must be symmetric (undirected)".into(),
+            });
+        }
         let launcher = Launcher::new(device);
         let t_perm = csr.transpose_permutation();
         let gcn_norm = csr.gcn_norm_edge_values();
@@ -171,6 +226,7 @@ impl Engine {
                 Backend::PygLike => (Box::new(ScatterGatherSpmm), Box::new(CudaCoreSddmm), 0.0),
                 Backend::TcGnn => {
                     let t = tcg_sgt::translate(&csr);
+                    t.validate(&csr)?;
                     let sgt_ms = tcg_sgt::overhead::model_ms(&csr);
                     translated = Some(t.clone());
                     (
@@ -180,7 +236,7 @@ impl Engine {
                     )
                 }
             };
-        Engine {
+        Ok(Engine {
             backend,
             launcher,
             csr,
@@ -197,7 +253,11 @@ impl Engine {
             last_sddmm_report: None,
             last_fused_report: None,
             profiler: None,
-        }
+            recovery: RecoveryPolicy::default(),
+            forced_fallback: false,
+            retried: 0,
+            degraded: 0,
+        })
     }
 
     /// Attaches a profiler; every subsequent simulated launch records one
@@ -238,6 +298,99 @@ impl Engine {
         }
     }
 
+    /// Records a zero-duration fault marker; no-op without a profiler.
+    fn prof_fault(&self, name: &str, phase: Phase) {
+        if let Some(p) = &self.profiler {
+            p.write().expect("profiler lock").record_fault(name, phase);
+        }
+    }
+
+    /// Records a zero-duration fallback marker; no-op without a profiler.
+    fn prof_fallback(&self, name: &str, phase: Phase) {
+        if let Some(p) = &self.profiler {
+            p.write()
+                .expect("profiler lock")
+                .record_fallback(name, phase);
+        }
+    }
+
+    /// Attaches a fault-injection plan to the simulated device. Ops keep
+    /// their signatures; injected faults surface through the recovery
+    /// machinery (retry, then CUDA-core fallback) instead of as errors.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.launcher.attach_fault_plan(Some(plan));
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.launcher.fault_plan()
+    }
+
+    /// Replaces the recovery policy (defaults are sensible; tests tighten).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Forces (or releases) the CUDA-core fallback path for every op. While
+    /// forced, fault injection is suppressed *without consuming RNG draws*,
+    /// so a rollback replay leaves the fault schedule of subsequent epochs
+    /// untouched — the property the deterministic chaos tests rely on.
+    pub fn set_forced_fallback(&mut self, on: bool) {
+        self.forced_fallback = on;
+        self.launcher.set_fault_suppressed(on);
+    }
+
+    /// Whether ops are currently pinned to the fallback path.
+    pub fn forced_fallback(&self) -> bool {
+        self.forced_fallback
+    }
+
+    /// Fault accounting for this engine: the plan's per-site injection
+    /// counts plus the engine's retry/degradation totals. All zeros when no
+    /// plan is attached and nothing was retried.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut r = self
+            .launcher
+            .fault_plan()
+            .map(FaultReport::from_plan)
+            .unwrap_or_default();
+        r.retried = self.retried;
+        r.degraded = self.degraded;
+        r
+    }
+
+    /// Classifies `err` inside an op's recovery loop: records the fault
+    /// marker and, for a transient fault with retry budget left, charges
+    /// backoff and signals another attempt. `Ok(true)` → retry, `Ok(false)`
+    /// → degrade to fallback, `Err` → not a device fault, propagate.
+    fn absorb_fault(
+        &mut self,
+        err: TcgError,
+        phase: Phase,
+        attempt: &mut u32,
+        extra_ms: &mut f64,
+    ) -> Result<bool, TcgError> {
+        if !err.is_device_fault() {
+            return Err(err);
+        }
+        let label = err.site().map_or("device_fault", |s| s.label());
+        self.prof_fault(label, phase);
+        if err.is_transient() && *attempt < self.recovery.max_retries {
+            *attempt += 1;
+            self.retried += 1;
+            let backoff = self.recovery.backoff_ms * f64::from(*attempt);
+            self.prof_span("retry_backoff", phase, backoff);
+            *extra_ms += backoff;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
     /// The backend this engine models.
     pub fn backend(&self) -> Backend {
         self.backend
@@ -273,17 +426,58 @@ impl Engine {
     }
 
     /// Neighbor aggregation `out = (F ⊙ A)·X` on the backend's kernel.
+    ///
+    /// Device faults injected by an attached [`FaultPlan`] are absorbed
+    /// here: transients retry with backoff, everything else degrades to the
+    /// cuSPARSE-class CUDA-core kernel (injection suppressed). Only setup
+    /// errors — dimension mismatches and the like — reach the caller.
     pub fn spmm(
         &mut self,
         x: &DenseMatrix,
         values: Option<&[f32]>,
-    ) -> Result<(DenseMatrix, f64), KernelError> {
+    ) -> Result<(DenseMatrix, f64), TcgError> {
+        SpmmProblem::new(&self.csr, values, x)?;
+        let mut extra_ms = 0.0;
+        if !self.forced_fallback {
+            let mut attempt = 0u32;
+            loop {
+                let prob = SpmmProblem::new(&self.csr, values, x)?;
+                match self.spmm.execute(&mut self.launcher, &prob) {
+                    Ok((out, report)) => {
+                        if self.recovery.ecc_scan && report.stats.ecc_faults > 0 {
+                            // Poisoned accumulator: discard the output (its
+                            // time was still spent) and degrade.
+                            self.prof_fault("ecc_bit_flip", Phase::Aggregation);
+                            let wasted = report.time_ms + self.sparse_dispatch_ms(1);
+                            self.prof_span("spmm_discarded", Phase::Aggregation, wasted);
+                            extra_ms += wasted;
+                            break;
+                        }
+                        let ms = report.time_ms + self.sparse_dispatch_ms(1);
+                        self.prof_kernel("spmm", Phase::Aggregation, ms, &report);
+                        self.last_spmm_report = Some(report);
+                        return Ok((out, extra_ms + ms));
+                    }
+                    Err(e) => {
+                        if !self.absorb_fault(e, Phase::Aggregation, &mut attempt, &mut extra_ms)? {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.degraded += 1;
+            self.prof_fallback("spmm_fallback", Phase::Aggregation);
+        }
+        let was_suppressed = self.launcher.fault_suppressed();
+        self.launcher.set_fault_suppressed(true);
         let prob = SpmmProblem::new(&self.csr, values, x)?;
-        let (out, report) = self.spmm.execute(&mut self.launcher, &prob)?;
+        let result = CusparseCsrSpmm.execute(&mut self.launcher, &prob);
+        self.launcher.set_fault_suppressed(was_suppressed);
+        let (out, report) = result?;
         let ms = report.time_ms + self.sparse_dispatch_ms(1);
         self.prof_kernel("spmm", Phase::Aggregation, ms, &report);
         self.last_spmm_report = Some(report);
-        Ok((out, ms))
+        Ok((out, extra_ms + ms))
     }
 
     /// Transposed aggregation `out = (Fᵀ ⊙ Aᵀ)·X` (backward passes).
@@ -295,12 +489,12 @@ impl Engine {
         &mut self,
         x: &DenseMatrix,
         values: Option<&[f32]>,
-    ) -> Result<(DenseMatrix, f64), KernelError> {
+    ) -> Result<(DenseMatrix, f64), TcgError> {
         match values {
             None => self.spmm(x, None),
             Some(v) => {
                 if v.len() != self.csr.num_edges() {
-                    return Err(KernelError::DimMismatch {
+                    return Err(TcgError::DimMismatch {
                         what: "edge value count vs edges",
                         expected: self.csr.num_edges(),
                         actual: v.len(),
@@ -325,10 +519,47 @@ impl Engine {
         &mut self,
         xa: &DenseMatrix,
         xb: &DenseMatrix,
-    ) -> Result<(Vec<f32>, f64), KernelError> {
-        let (vals, report) = self.sddmm.execute(&mut self.launcher, &self.csr, xa, xb)?;
-        let mut ms = report.time_ms + self.sparse_dispatch_ms(1);
-        self.prof_kernel("sddmm", Phase::Aggregation, ms, &report);
+    ) -> Result<(Vec<f32>, f64), TcgError> {
+        let mut extra_ms = 0.0;
+        let (vals, report) = 'run: {
+            if !self.forced_fallback {
+                let mut attempt = 0u32;
+                loop {
+                    match self.sddmm.execute(&mut self.launcher, &self.csr, xa, xb) {
+                        Ok((vals, report)) => {
+                            if self.recovery.ecc_scan && report.stats.ecc_faults > 0 {
+                                self.prof_fault("ecc_bit_flip", Phase::Aggregation);
+                                let wasted = report.time_ms + self.sparse_dispatch_ms(1);
+                                self.prof_span("sddmm_discarded", Phase::Aggregation, wasted);
+                                extra_ms += wasted;
+                                break;
+                            }
+                            break 'run (vals, report);
+                        }
+                        Err(e) => {
+                            if !self.absorb_fault(
+                                e,
+                                Phase::Aggregation,
+                                &mut attempt,
+                                &mut extra_ms,
+                            )? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                self.degraded += 1;
+                self.prof_fallback("sddmm_fallback", Phase::Aggregation);
+            }
+            let was_suppressed = self.launcher.fault_suppressed();
+            self.launcher.set_fault_suppressed(true);
+            let result = CudaCoreSddmm.execute(&mut self.launcher, &self.csr, xa, xb);
+            self.launcher.set_fault_suppressed(was_suppressed);
+            result?
+        };
+        let kernel_ms = report.time_ms + self.sparse_dispatch_ms(1);
+        let mut ms = extra_ms + kernel_ms;
+        self.prof_kernel("sddmm", Phase::Aggregation, kernel_ms, &report);
         self.last_sddmm_report = Some(report);
         if self.backend == Backend::PygLike {
             let ed_bytes = (self.csr.num_edges() * xa.cols() * 4) as u64;
@@ -347,10 +578,40 @@ impl Engine {
     /// DGL's `edge_softmax` launches three kernels (segment max, exp + segment
     /// sum, divide); PyG's scatter softmax behaves the same; TC-GNN fuses the
     /// passes into the single kernel implemented in `tcg-kernels`.
-    pub fn edge_softmax(&mut self, values: &[f32]) -> Result<(Vec<f32>, f64), KernelError> {
-        let (out, report) = sparse_row_softmax(&mut self.launcher, &self.csr, values)?;
-        let mut ms = report.time_ms + self.sparse_dispatch_ms(1);
-        self.prof_kernel("edge_softmax", Phase::Aggregation, ms, &report);
+    pub fn edge_softmax(&mut self, values: &[f32]) -> Result<(Vec<f32>, f64), TcgError> {
+        let mut extra_ms = 0.0;
+        let (out, report) = 'run: {
+            if !self.forced_fallback {
+                let mut attempt = 0u32;
+                loop {
+                    // The softmax kernel runs no MMA, so an armed ECC flip
+                    // cannot poison it; transients are the only concern.
+                    match sparse_row_softmax(&mut self.launcher, &self.csr, values) {
+                        Ok(ok) => break 'run ok,
+                        Err(e) => {
+                            if !self.absorb_fault(
+                                e,
+                                Phase::Aggregation,
+                                &mut attempt,
+                                &mut extra_ms,
+                            )? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                self.degraded += 1;
+                self.prof_fallback("edge_softmax_fallback", Phase::Aggregation);
+            }
+            let was_suppressed = self.launcher.fault_suppressed();
+            self.launcher.set_fault_suppressed(true);
+            let result = sparse_row_softmax(&mut self.launcher, &self.csr, values);
+            self.launcher.set_fault_suppressed(was_suppressed);
+            result?
+        };
+        let kernel_ms = report.time_ms + self.sparse_dispatch_ms(1);
+        let mut ms = extra_ms + kernel_ms;
+        self.prof_kernel("edge_softmax", Phase::Aggregation, kernel_ms, &report);
         if self.backend != Backend::TcGnn {
             // Two extra kernel round-trips over the edge array, each its own
             // framework op (DGL's segment max / exp-sum / divide pipeline).
@@ -400,17 +661,70 @@ impl Engine {
         xa: &DenseMatrix,
         xv: &DenseMatrix,
         beta: f32,
-    ) -> Result<(DenseMatrix, Vec<f32>, Vec<f32>, f64), KernelError> {
+    ) -> Result<(DenseMatrix, Vec<f32>, Vec<f32>, f64), TcgError> {
         let t = self
             .translated
             .clone()
             .expect("fused attention requires the TC-GNN backend");
-        let out =
-            tcg_kernels::fused::fused_attention(&mut self.launcher, &self.csr, &t, xa, xv, beta)?;
-        let ms = out.report.time_ms + self.sparse_dispatch_ms(1);
-        self.prof_kernel("fused_attention", Phase::Aggregation, ms, &out.report);
-        self.last_fused_report = Some(out.report);
-        Ok((out.y, out.cos, out.p, ms))
+        let mut extra_ms = 0.0;
+        if !self.forced_fallback {
+            let mut attempt = 0u32;
+            loop {
+                match tcg_kernels::fused::fused_attention(
+                    &mut self.launcher,
+                    &self.csr,
+                    &t,
+                    xa,
+                    xv,
+                    beta,
+                ) {
+                    Ok(out) => {
+                        if self.recovery.ecc_scan && out.report.stats.ecc_faults > 0 {
+                            self.prof_fault("ecc_bit_flip", Phase::Aggregation);
+                            let wasted = out.report.time_ms + self.sparse_dispatch_ms(1);
+                            self.prof_span("fused_attention_discarded", Phase::Aggregation, wasted);
+                            extra_ms += wasted;
+                            break;
+                        }
+                        let ms = out.report.time_ms + self.sparse_dispatch_ms(1);
+                        self.prof_kernel("fused_attention", Phase::Aggregation, ms, &out.report);
+                        self.last_fused_report = Some(out.report);
+                        return Ok((out.y, out.cos, out.p, extra_ms + ms));
+                    }
+                    Err(e) => {
+                        if !self.absorb_fault(e, Phase::Aggregation, &mut attempt, &mut extra_ms)? {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.degraded += 1;
+            self.prof_fallback("fused_attention_fallback", Phase::Aggregation);
+        }
+        // Unfused CUDA-core pipeline: SDDMM logits, β scaling, row softmax,
+        // weighted cuSPARSE SpMM — the pre-TCU formulation of the same math.
+        let was_suppressed = self.launcher.fault_suppressed();
+        self.launcher.set_fault_suppressed(true);
+        let result = (|| -> Result<(DenseMatrix, Vec<f32>, Vec<f32>, f64), TcgError> {
+            let (cos, r1) = CudaCoreSddmm.execute(&mut self.launcher, &self.csr, xa, xa)?;
+            let ms1 = r1.time_ms + self.sparse_dispatch_ms(1);
+            self.prof_kernel("sddmm", Phase::Aggregation, ms1, &r1);
+            let scaled: Vec<f32> = cos.iter().map(|&c| beta * c).collect();
+            let e_bytes = (self.csr.num_edges() * 4) as u64;
+            let scale_ms = self.pass_ms(e_bytes, e_bytes) + self.sparse_dispatch_ms(1);
+            self.prof_span("beta_scale", Phase::Aggregation, scale_ms);
+            let (p, r2) = sparse_row_softmax(&mut self.launcher, &self.csr, &scaled)?;
+            let ms2 = r2.time_ms + self.sparse_dispatch_ms(1);
+            self.prof_kernel("edge_softmax", Phase::Aggregation, ms2, &r2);
+            let prob = SpmmProblem::new(&self.csr, Some(&p), xv)?;
+            let (y, r3) = CusparseCsrSpmm.execute(&mut self.launcher, &prob)?;
+            let ms3 = r3.time_ms + self.sparse_dispatch_ms(1);
+            self.prof_kernel("spmm", Phase::Aggregation, ms3, &r3);
+            Ok((y, cos, p, ms1 + scale_ms + ms2 + ms3))
+        })();
+        self.launcher.set_fault_suppressed(was_suppressed);
+        let (y, cos, p, ms) = result?;
+        Ok((y, cos, p, extra_ms + ms))
     }
 
     /// GCN-normalized aggregation `D^{-1/2} A D^{-1/2} · X`.
@@ -419,7 +733,7 @@ impl Engine {
     /// (two extra kernels per call, as `dgl.GraphConv(norm="both")` does);
     /// TC-GNN folds the normalization into the translated kernel's edge
     /// values.
-    pub fn gcn_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+    pub fn gcn_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), TcgError> {
         match self.backend {
             Backend::TcGnn => {
                 let norm = self.gcn_norm.clone();
@@ -463,7 +777,7 @@ impl Engine {
     /// Mean-normalized aggregation `D^{-1} A · X` (GraphSAGE's mean
     /// aggregator). DGL/PyG run the unweighted SpMM plus a per-node scaling
     /// kernel; TC-GNN folds `1/d` into the translated kernel's edge values.
-    pub fn mean_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+    pub fn mean_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), TcgError> {
         match self.backend {
             Backend::TcGnn => {
                 let norm = self.mean_norm.clone();
@@ -486,7 +800,7 @@ impl Engine {
     }
 
     /// Transposed mean aggregation `(D^{-1} A)ᵀ · X` (GraphSAGE backward).
-    pub fn mean_aggregate_t(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+    pub fn mean_aggregate_t(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), TcgError> {
         // `Aᵀ = A` topologically; the transposed normalization values are
         // precomputed, so no runtime permutation pass is needed.
         let norm_t = self.mean_norm_t.clone();
@@ -494,7 +808,7 @@ impl Engine {
     }
 
     /// Unweighted sum aggregation `A · X` (GIN's aggregator).
-    pub fn sum_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), KernelError> {
+    pub fn sum_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), TcgError> {
         self.spmm(x, None)
     }
 
@@ -761,5 +1075,132 @@ mod tests {
     fn rejects_asymmetric_graph() {
         let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
         let _ = Engine::new(Backend::DglLike, g, DeviceSpec::rtx3090());
+    }
+
+    #[test]
+    fn try_new_reports_asymmetry_as_invalid_input() {
+        let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
+        let err = match Engine::try_new(Backend::TcGnn, g, DeviceSpec::rtx3090()) {
+            Err(e) => e,
+            Ok(_) => panic!("asymmetric graph must be rejected"),
+        };
+        assert!(matches!(err, TcgError::InvalidInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn spmm_degrades_to_fallback_under_persistent_launch_faults() {
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let x = init::uniform(400, 16, -1.0, 1.0, 21);
+        let mut e = engine(Backend::TcGnn);
+        let reference = {
+            let prob = SpmmProblem::new(e.graph(), None, &x).unwrap();
+            reference_spmm(&prob)
+        };
+        e.attach_fault_plan(FaultPlan::new(
+            7,
+            FaultConfig {
+                launch_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        ));
+        let (out, ms) = e.spmm(&x, None).unwrap();
+        assert!(ms > 0.0);
+        // Every launch attempt fails: the retry budget (2) is exhausted and
+        // the op lands on the suppressed cuSPARSE fallback.
+        let report = e.fault_report();
+        assert_eq!(report.retried, 2);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.launch_failures, 3);
+        assert!(out.max_abs_diff(&reference).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn recovery_is_deterministic_across_runs() {
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let x = init::uniform(400, 16, -1.0, 1.0, 22);
+        let run = || {
+            let mut e = engine(Backend::TcGnn);
+            e.attach_fault_plan(FaultPlan::new(11, FaultConfig::uniform(0.3)));
+            let mut outs = Vec::new();
+            for _ in 0..6 {
+                let (out, _) = e.spmm(&x, None).unwrap();
+                outs.push(out);
+            }
+            let (vals, _) = e.sddmm(&x, &x).unwrap();
+            (
+                outs,
+                vals,
+                e.fault_report(),
+                e.fault_plan().unwrap().draws(),
+            )
+        };
+        let (o1, v1, r1, d1) = run();
+        let (o2, v2, r2, d2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(d1, d2);
+        assert_eq!(v1, v2);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert_eq!(a.max_abs_diff(b).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn forced_fallback_consumes_no_rng_draws() {
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let x = init::uniform(400, 8, -1.0, 1.0, 23);
+        let mut e = engine(Backend::TcGnn);
+        e.attach_fault_plan(FaultPlan::new(3, FaultConfig::uniform(0.5)));
+        e.set_forced_fallback(true);
+        let (out, _) = e.spmm(&x, None).unwrap();
+        assert_eq!(e.fault_plan().unwrap().draws(), 0);
+        assert_eq!(e.fault_report().degraded, 0);
+        e.set_forced_fallback(false);
+        let prob = SpmmProblem::new(e.graph(), None, &x).unwrap();
+        assert!(out.max_abs_diff(&reference_spmm(&prob)).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn ecc_scan_discards_poisoned_output() {
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let x = init::uniform(400, 16, -1.0, 1.0, 24);
+        let mut e = engine(Backend::TcGnn);
+        // Every launch arms an ECC flip; the TCU kernel consumes it, the
+        // scan catches it, and the op reruns on the CUDA-core fallback —
+        // so the caller never sees a NaN.
+        e.attach_fault_plan(FaultPlan::new(
+            5,
+            FaultConfig {
+                ecc_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        ));
+        let (out, _) = e.spmm(&x, None).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        let report = e.fault_report();
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.ecc_flips, 1);
+    }
+
+    #[test]
+    fn ecc_without_scan_propagates_nan() {
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let x = init::uniform(400, 16, -1.0, 1.0, 25);
+        let mut e = engine(Backend::TcGnn);
+        e.attach_fault_plan(FaultPlan::new(
+            5,
+            FaultConfig {
+                ecc_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        ));
+        e.set_recovery_policy(RecoveryPolicy {
+            ecc_scan: false,
+            ..RecoveryPolicy::default()
+        });
+        let (out, _) = e.spmm(&x, None).unwrap();
+        assert!(
+            out.as_slice().iter().any(|v| !v.is_finite()),
+            "bit flip should surface as NaN when the scan is off"
+        );
     }
 }

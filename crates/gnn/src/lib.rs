@@ -28,6 +28,9 @@ pub mod model;
 pub mod optim;
 pub mod trainer;
 
-pub use engine::{Backend, Cost, Engine};
+pub use engine::{Backend, Cost, Engine, RecoveryPolicy};
 pub use model::{AgnnModel, GcnModel, GinModel, SageModel};
-pub use trainer::{train_agnn, train_gcn, train_gin, train_sage, TrainConfig, TrainResult};
+pub use trainer::{
+    train_agnn, train_gcn, train_gin, train_model, train_sage, TrainConfig, TrainResult,
+    TrainableModel,
+};

@@ -21,6 +21,16 @@ fn prof_set_layer(eng: &Engine, layer: Option<u32>) {
     }
 }
 
+/// Whether every value of a weight matrix is finite.
+fn mat_finite(m: &DenseMatrix) -> bool {
+    m.as_slice().iter().all(|v| v.is_finite())
+}
+
+/// Whether every value of a bias vector is finite.
+fn vec_finite(v: &[f32]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
 /// Graph Convolutional Network: `GCN(in→hidden) → ReLU → GCN(hidden→out)`.
 #[derive(Debug, Clone)]
 pub struct GcnModel {
@@ -109,6 +119,14 @@ impl GcnModel {
             (self.l2.b.as_mut_slice(), &grads.g2.db),
         ]);
         Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
+    }
+
+    /// Whether no parameter has been contaminated by NaN/Inf.
+    pub fn params_finite(&self) -> bool {
+        mat_finite(&self.l1.w)
+            && vec_finite(&self.l1.b)
+            && mat_finite(&self.l2.w)
+            && vec_finite(&self.l2.b)
     }
 }
 
@@ -237,6 +255,15 @@ impl AgnnModel {
         }
         Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
     }
+
+    /// Whether no parameter has been contaminated by NaN/Inf.
+    pub fn params_finite(&self) -> bool {
+        mat_finite(&self.lin_in.w)
+            && vec_finite(&self.lin_in.b)
+            && mat_finite(&self.lin_out.w)
+            && vec_finite(&self.lin_out.b)
+            && self.props.iter().all(|p| p.beta.is_finite())
+    }
 }
 
 /// GraphSAGE: `SAGE(in→hidden) → ReLU → SAGE(hidden→out)`.
@@ -330,6 +357,13 @@ impl SageModel {
         ]);
         Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
     }
+
+    /// Whether no parameter has been contaminated by NaN/Inf.
+    pub fn params_finite(&self) -> bool {
+        [&self.l1, &self.l2]
+            .iter()
+            .all(|l| mat_finite(&l.w_self) && mat_finite(&l.w_neigh) && vec_finite(&l.b))
+    }
 }
 
 /// GIN: `GIN(in→hidden) → GIN(hidden→out)` (each layer carries its own MLP
@@ -421,6 +455,17 @@ impl GinModel {
         self.l1.eps = eps[0];
         self.l2.eps = eps[1];
         Cost::other(eng.elementwise_tagged_ms("optimizer_step", Phase::Other, n_params, 3, 3))
+    }
+
+    /// Whether no parameter has been contaminated by NaN/Inf.
+    pub fn params_finite(&self) -> bool {
+        [&self.l1, &self.l2].iter().all(|l| {
+            l.eps.is_finite()
+                && mat_finite(&l.w1)
+                && vec_finite(&l.b1)
+                && mat_finite(&l.w2)
+                && vec_finite(&l.b2)
+        })
     }
 }
 

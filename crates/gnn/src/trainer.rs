@@ -1,8 +1,10 @@
 //! End-to-end training loops with per-phase simulated timing — the
 //! measurement harness behind the paper's Table 1 and Figure 6.
 
+use tcg_fault::FaultReport;
 use tcg_graph::Dataset;
 use tcg_profile::Phase;
+use tcg_tensor::DenseMatrix;
 
 use crate::engine::{Cost, Engine};
 use crate::loss::masked_cross_entropy;
@@ -90,6 +92,12 @@ pub struct TrainResult {
     pub epochs: Vec<EpochStats>,
     /// One-time preprocessing (SGT) in modeled ms.
     pub preprocessing_ms: f64,
+    /// Fault accounting: injections, retries, degradations. All zeros for a
+    /// fault-free run.
+    pub fault_report: FaultReport,
+    /// Epochs whose state was rolled back to the last checkpoint and
+    /// replayed on the fallback path after a poisoned loss/gradient.
+    pub epochs_rolled_back: u32,
 }
 
 impl TrainResult {
@@ -142,114 +150,223 @@ impl TrainResult {
     }
 }
 
-/// Trains the paper's 2-layer GCN on `ds` using `eng`'s backend.
-pub fn train_gcn(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResult {
-    let mut model = GcnModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+/// A model the generic training loop can drive: forward to logits,
+/// backward from the logits gradient, and one optimizer step.
+///
+/// `Clone` is the checkpoint mechanism — under an attached fault plan the
+/// loop snapshots `(model, optimizer)` at each epoch boundary and restores
+/// the pair if the epoch's loss or gradients come back poisoned.
+pub trait TrainableModel: Clone {
+    /// Intermediate activations the backward pass needs.
+    type Cache;
+    /// Parameter gradients produced by the backward pass.
+    type Grads;
+
+    /// Forward pass to logits.
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Self::Cache, Cost);
+
+    /// Backward pass from the logits gradient.
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &Self::Cache,
+        dlogits: &DenseMatrix,
+    ) -> (Self::Grads, Cost);
+
+    /// Applies one Adam step; returns the optimizer's simulated cost.
+    fn apply_grads(&mut self, eng: &mut Engine, adam: &mut Adam, grads: &Self::Grads) -> Cost;
+
+    /// Whether no parameter has been contaminated by NaN/Inf — consulted
+    /// after the optimizer step when a fault plan is active, because an ECC
+    /// flip in a *backward* aggregation poisons gradients rather than
+    /// logits.
+    fn params_finite(&self) -> bool;
+}
+
+macro_rules! impl_trainable {
+    ($model:ty, $cache:ty, $grads:ty) => {
+        impl TrainableModel for $model {
+            type Cache = $cache;
+            type Grads = $grads;
+            fn forward(
+                &self,
+                eng: &mut Engine,
+                x: &DenseMatrix,
+            ) -> (DenseMatrix, Self::Cache, Cost) {
+                <$model>::forward(self, eng, x)
+            }
+            fn backward(
+                &self,
+                eng: &mut Engine,
+                cache: &Self::Cache,
+                dlogits: &DenseMatrix,
+            ) -> (Self::Grads, Cost) {
+                <$model>::backward(self, eng, cache, dlogits)
+            }
+            fn apply_grads(
+                &mut self,
+                eng: &mut Engine,
+                adam: &mut Adam,
+                grads: &Self::Grads,
+            ) -> Cost {
+                <$model>::apply_grads(self, eng, adam, grads)
+            }
+            fn params_finite(&self) -> bool {
+                <$model>::params_finite(self)
+            }
+        }
+    };
+}
+
+impl_trainable!(
+    GcnModel,
+    crate::model::GcnModelCache,
+    crate::model::GcnModelGrads
+);
+impl_trainable!(
+    AgnnModel,
+    crate::model::AgnnModelCache,
+    crate::model::AgnnModelGrads
+);
+impl_trainable!(
+    SageModel,
+    crate::model::SageModelCache,
+    crate::model::SageModelGrads
+);
+impl_trainable!(
+    GinModel,
+    crate::model::GinModelCache,
+    crate::model::GinModelGrads
+);
+
+/// Outcome of one epoch attempt.
+struct EpochAttempt {
+    loss: f64,
+    accuracy: f64,
+    cost: Cost,
+    /// Loss or gradients contained NaN/Inf — an unrecovered ECC flip.
+    poisoned: bool,
+}
+
+/// Runs one training epoch. When the loss or the logits gradient carries
+/// NaN/Inf (an ECC flip that slipped past the engine's scan), the epoch
+/// aborts *before* the optimizer step so parameters are never contaminated.
+fn run_epoch<M: TrainableModel>(
+    eng: &mut Engine,
+    ds: &Dataset,
+    model: &mut M,
+    adam: &mut Adam,
+) -> EpochAttempt {
+    let (logits, cache, fwd) = model.forward(eng, &ds.features);
+    let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
+    let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
+    let poisoned = !lo.loss.is_finite()
+        || logits.as_slice().iter().any(|v| !v.is_finite())
+        || lo.dlogits.as_slice().iter().any(|v| !v.is_finite());
+    if poisoned {
+        return EpochAttempt {
+            loss: lo.loss,
+            accuracy: lo.accuracy,
+            cost: fwd + Cost::other(loss_ms),
+            poisoned: true,
+        };
+    }
+    let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
+    let opt = model.apply_grads(eng, adam, &grads);
+    // A flip in a backward aggregation contaminates parameters, not this
+    // epoch's logits; catch it here so the *next* epoch never runs on NaN
+    // weights. Checked only under a fault plan — fault-free runs skip the
+    // scan entirely.
+    let poisoned = eng.fault_plan().is_some() && !model.params_finite();
+    EpochAttempt {
+        loss: lo.loss,
+        accuracy: lo.accuracy,
+        cost: fwd + bwd + opt + Cost::other(loss_ms),
+        poisoned,
+    }
+}
+
+/// The generic training loop: per-epoch checkpointing and poisoned-epoch
+/// rollback activate only when the engine carries a fault plan, so a
+/// fault-free run does no extra cloning and records no extra events.
+pub fn train_model<M: TrainableModel>(
+    eng: &mut Engine,
+    ds: &Dataset,
+    cfg: TrainConfig,
+    mut model: M,
+) -> TrainResult {
     let mut adam = Adam::new(cfg.lr);
     let mut epochs = Vec::with_capacity(cfg.epochs as usize);
+    let mut epochs_rolled_back = 0u32;
+    let resilient = eng.fault_plan().is_some();
     for epoch in 0..cfg.epochs {
+        let checkpoint = if resilient {
+            Some((model.clone(), adam.clone()))
+        } else {
+            None
+        };
         prof_begin_epoch(eng, epoch);
-        let (logits, cache, fwd) = model.forward(eng, &ds.features);
-        let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
-        let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
-        let opt = model.apply_grads(eng, &mut adam, &grads);
+        let mut attempt = run_epoch(eng, ds, &mut model, &mut adam);
+        if attempt.poisoned {
+            if let Some((m0, a0)) = checkpoint {
+                // Discard the contaminated epoch's state and replay it on
+                // the CUDA-core fallback path with injection suppressed;
+                // RNG draws are untouched, so later epochs see the exact
+                // fault schedule they would have seen anyway.
+                model = m0;
+                adam = a0;
+                epochs_rolled_back += 1;
+                let wasted = attempt.cost;
+                eng.set_forced_fallback(true);
+                attempt = run_epoch(eng, ds, &mut model, &mut adam);
+                eng.set_forced_fallback(false);
+                attempt.cost += wasted;
+            }
+        }
         prof_finish_epoch(eng);
         epochs.push(EpochStats {
-            loss: lo.loss,
-            train_accuracy: lo.accuracy,
-            cost: fwd + bwd + opt + Cost::other(loss_ms),
+            loss: attempt.loss,
+            train_accuracy: attempt.accuracy,
+            cost: attempt.cost,
         });
     }
     TrainResult {
         backend: eng.backend().name(),
         epochs,
         preprocessing_ms: eng.preprocessing_ms(),
+        fault_report: eng.fault_report(),
+        epochs_rolled_back,
     }
+}
+
+/// Trains the paper's 2-layer GCN on `ds` using `eng`'s backend.
+pub fn train_gcn(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResult {
+    let model = GcnModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+    train_model(eng, ds, cfg, model)
 }
 
 /// Trains the paper's 4-layer AGNN on `ds` using `eng`'s backend.
 pub fn train_agnn(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResult {
-    let mut model = AgnnModel::new(
+    let model = AgnnModel::new(
         ds.spec.feat_dim,
         cfg.hidden,
         ds.spec.num_classes,
         cfg.layers,
         cfg.seed,
     );
-    let mut adam = Adam::new(cfg.lr);
-    let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for epoch in 0..cfg.epochs {
-        prof_begin_epoch(eng, epoch);
-        let (logits, cache, fwd) = model.forward(eng, &ds.features);
-        let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
-        let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
-        let opt = model.apply_grads(eng, &mut adam, &grads);
-        prof_finish_epoch(eng);
-        epochs.push(EpochStats {
-            loss: lo.loss,
-            train_accuracy: lo.accuracy,
-            cost: fwd + bwd + opt + Cost::other(loss_ms),
-        });
-    }
-    TrainResult {
-        backend: eng.backend().name(),
-        epochs,
-        preprocessing_ms: eng.preprocessing_ms(),
-    }
+    train_model(eng, ds, cfg, model)
 }
 
 /// Trains a 2-layer GraphSAGE (mean aggregator) on `ds`.
 pub fn train_sage(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResult {
-    let mut model = SageModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
-    let mut adam = Adam::new(cfg.lr);
-    let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for epoch in 0..cfg.epochs {
-        prof_begin_epoch(eng, epoch);
-        let (logits, cache, fwd) = model.forward(eng, &ds.features);
-        let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
-        let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
-        let opt = model.apply_grads(eng, &mut adam, &grads);
-        prof_finish_epoch(eng);
-        epochs.push(EpochStats {
-            loss: lo.loss,
-            train_accuracy: lo.accuracy,
-            cost: fwd + bwd + opt + Cost::other(loss_ms),
-        });
-    }
-    TrainResult {
-        backend: eng.backend().name(),
-        epochs,
-        preprocessing_ms: eng.preprocessing_ms(),
-    }
+    let model = SageModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+    train_model(eng, ds, cfg, model)
 }
 
 /// Trains a 2-layer GIN on `ds`.
 pub fn train_gin(eng: &mut Engine, ds: &Dataset, cfg: TrainConfig) -> TrainResult {
-    let mut model = GinModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
-    let mut adam = Adam::new(cfg.lr);
-    let mut epochs = Vec::with_capacity(cfg.epochs as usize);
-    for epoch in 0..cfg.epochs {
-        prof_begin_epoch(eng, epoch);
-        let (logits, cache, fwd) = model.forward(eng, &ds.features);
-        let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
-        let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
-        let (grads, bwd) = model.backward(eng, &cache, &lo.dlogits);
-        let opt = model.apply_grads(eng, &mut adam, &grads);
-        prof_finish_epoch(eng);
-        epochs.push(EpochStats {
-            loss: lo.loss,
-            train_accuracy: lo.accuracy,
-            cost: fwd + bwd + opt + Cost::other(loss_ms),
-        });
-    }
-    TrainResult {
-        backend: eng.backend().name(),
-        epochs,
-        preprocessing_ms: eng.preprocessing_ms(),
-    }
+    let model = GinModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+    train_model(eng, ds, cfg, model)
 }
 
 #[cfg(test)]
@@ -383,6 +500,65 @@ mod tests {
         let gin = train_gin(&mut eng, &ds, cfg);
         assert!(gin.loss_drop() > 0.1, "gin loss drop {}", gin.loss_drop());
         assert!(gin.final_accuracy() > 1.5 / 4.0);
+    }
+
+    #[test]
+    fn resilient_training_rolls_back_poisoned_epochs() {
+        use crate::engine::RecoveryPolicy;
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let ds = tiny_dataset();
+        let cfg = TrainConfig {
+            hidden: 16,
+            layers: 2,
+            epochs: 8,
+            lr: 0.02,
+            seed: 4,
+        };
+        let run = || {
+            let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+            eng.attach_fault_plan(FaultPlan::new(
+                13,
+                FaultConfig {
+                    ecc_rate: 0.4,
+                    ..FaultConfig::none()
+                },
+            ));
+            // Scan off: flips reach the trainer as NaN, exercising the
+            // checkpoint/rollback path rather than the engine's fallback.
+            eng.set_recovery_policy(RecoveryPolicy {
+                ecc_scan: false,
+                ..RecoveryPolicy::default()
+            });
+            train_gcn(&mut eng, &ds, cfg)
+        };
+        let r1 = run();
+        assert!(
+            r1.epochs_rolled_back > 0,
+            "expected poisoned epochs at ecc_rate 0.4: {:?}",
+            r1.fault_report
+        );
+        // Replayed epochs land on the fallback path, so every recorded
+        // loss is finite and parameters were never contaminated.
+        assert!(r1.epochs.iter().all(|e| e.loss.is_finite()));
+        assert!(r1.loss_drop() > 0.0, "training still learns under faults");
+        // The whole fault trajectory is deterministic.
+        let r2 = run();
+        assert_eq!(r1.epochs_rolled_back, r2.epochs_rolled_back);
+        assert_eq!(r1.fault_report, r2.fault_report);
+        for (a, b) in r1.epochs.iter().zip(&r2.epochs) {
+            assert_eq!(a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_faults() {
+        let ds = tiny_dataset();
+        let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+        let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
+        assert_eq!(r.fault_report.total_injected(), 0);
+        assert_eq!(r.fault_report.retried, 0);
+        assert_eq!(r.fault_report.degraded, 0);
+        assert_eq!(r.epochs_rolled_back, 0);
     }
 
     #[test]

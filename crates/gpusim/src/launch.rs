@@ -12,6 +12,8 @@
 //! assigns them *synthetic device addresses* via [`AddressSpace`] so the
 //! cache simulation sees a realistic address stream.
 
+use tcg_fault::{FaultPlan, FaultSite, TcgError};
+
 use crate::cache::{Cache, Probe, SECTOR_BYTES};
 use crate::coalesce;
 use crate::cost;
@@ -117,10 +119,28 @@ pub struct BlockCtx<'a> {
     stats: &'a mut KernelStats,
     l1: &'a mut Cache,
     l2: &'a mut Cache,
+    ecc_armed: &'a mut bool,
     scratch: Vec<u64>,
 }
 
 impl<'a> BlockCtx<'a> {
+    /// Consumes a pending ECC bit flip armed by the launcher's fault plan.
+    ///
+    /// Returns `true` at most once per launch: the first tensor-core op to
+    /// call this after an [`FaultSite::EccBitFlip`] roll hit takes the
+    /// corruption (and the flip is recorded in [`KernelStats::ecc_faults`]);
+    /// every other call — and every call in a fault-free launch — is a
+    /// single branch on a cold flag.
+    pub fn consume_ecc(&mut self) -> bool {
+        if *self.ecc_armed {
+            *self.ecc_armed = false;
+            self.stats.ecc_faults += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     fn probe(&mut self, sector: u64) {
         match self.l1.access(sector) {
             Probe::Hit => self.stats.l1_hits += 1,
@@ -343,10 +363,12 @@ pub struct Launcher {
     l2: Cache,
     l1: Cache,
     address_space: AddressSpace,
+    fault_plan: Option<FaultPlan>,
+    ecc_armed: bool,
 }
 
 impl Launcher {
-    /// Creates a launcher for `device` with cold caches.
+    /// Creates a launcher for `device` with cold caches and no fault plan.
     pub fn new(device: DeviceSpec) -> Self {
         let l2 = Cache::l2(device.l2_bytes);
         let l1 = Cache::l1(device.l1_bytes_per_sm);
@@ -355,12 +377,45 @@ impl Launcher {
             l2,
             l1,
             address_space: AddressSpace::new(),
+            fault_plan: None,
+            ecc_armed: false,
         }
     }
 
     /// The simulated device.
     pub fn device(&self) -> &DeviceSpec {
         &self.device
+    }
+
+    /// Attaches (or detaches) a fault plan consulted by
+    /// [`Launcher::preflight`] and [`Launcher::try_alloc`].
+    pub fn attach_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+        self.ecc_armed = false;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Mutable access to the attached fault plan, if any.
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault_plan.as_mut()
+    }
+
+    /// Suppresses (or re-enables) injection on the attached plan. No-op
+    /// without a plan.
+    pub fn set_fault_suppressed(&mut self, on: bool) {
+        if let Some(plan) = self.fault_plan.as_mut() {
+            plan.set_suppressed(on);
+        }
+    }
+
+    /// Whether the attached plan is currently suppressed (`false` without
+    /// a plan).
+    pub fn fault_suppressed(&self) -> bool {
+        self.fault_plan.as_ref().is_some_and(|p| p.is_suppressed())
     }
 
     /// Allocates a synthetic device buffer of `bytes`.
@@ -371,6 +426,57 @@ impl Launcher {
     /// Allocates a synthetic device buffer of `n` f32 values.
     pub fn alloc_f32(&mut self, n: usize) -> Buffer {
         self.address_space.alloc_f32(n)
+    }
+
+    /// Fallible allocation: consults the fault plan's
+    /// [`FaultSite::DeviceOom`] site before delegating to
+    /// [`Launcher::alloc`]. Without a plan this is just `alloc`.
+    pub fn try_alloc(&mut self, bytes: usize) -> Result<Buffer, TcgError> {
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.roll(FaultSite::DeviceOom) {
+                return Err(TcgError::DeviceOom {
+                    requested_bytes: bytes,
+                });
+            }
+        }
+        Ok(self.address_space.alloc(bytes))
+    }
+
+    /// Fallible allocation of `n` f32 values.
+    pub fn try_alloc_f32(&mut self, n: usize) -> Result<Buffer, TcgError> {
+        self.try_alloc(n * 4)
+    }
+
+    /// Validates a launch and consults the fault plan, to be called by
+    /// fallible kernels immediately before [`Launcher::launch`].
+    ///
+    /// Always rejects configurations whose per-block shared memory exceeds
+    /// the SM carve-out (a genuine [`TcgError::SmemOvercommit`]); with a
+    /// plan attached it additionally rolls the launch-failure and
+    /// overcommit sites, and may arm an ECC bit flip for the next launch's
+    /// tensor-core pipeline to consume via [`BlockCtx::consume_ecc`].
+    pub fn preflight(&mut self, kernel: &'static str, cfg: &GridConfig) -> Result<(), TcgError> {
+        if cfg.shared_mem_bytes > self.device.shared_mem_per_sm {
+            return Err(TcgError::SmemOvercommit {
+                requested_bytes: cfg.shared_mem_bytes,
+                limit_bytes: self.device.shared_mem_per_sm,
+            });
+        }
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.roll(FaultSite::KernelLaunch) {
+                return Err(TcgError::LaunchFailed { kernel });
+            }
+            if plan.roll(FaultSite::SmemOvercommit) {
+                return Err(TcgError::SmemOvercommit {
+                    requested_bytes: cfg.shared_mem_bytes,
+                    limit_bytes: self.device.shared_mem_per_sm,
+                });
+            }
+            if plan.roll(FaultSite::EccBitFlip) {
+                self.ecc_armed = true;
+            }
+        }
+        Ok(())
     }
 
     /// Runs `body` once per block and returns the accumulated counters.
@@ -398,10 +504,19 @@ impl Launcher {
                 stats: &mut stats,
                 l1: &mut self.l1,
                 l2: &mut self.l2,
+                ecc_armed: &mut self.ecc_armed,
                 scratch: Vec::with_capacity(64),
             };
             body(&mut ctx);
         }
+        if stats.ecc_faults > 0 {
+            if let Some(plan) = self.fault_plan.as_mut() {
+                plan.note_ecc_consumed(stats.ecc_faults);
+            }
+        }
+        // An armed flip no tensor-core op consumed (e.g. a CUDA-core
+        // kernel) must not leak into the next launch.
+        self.ecc_armed = false;
         stats
     }
 
@@ -591,6 +706,90 @@ mod tests {
         assert_eq!(s.gl_load_transactions, 2);
         assert_eq!(s.l1_hits, 1);
         assert_eq!(s.l1_misses, 1);
+    }
+
+    #[test]
+    fn preflight_rejects_genuine_smem_overcommit() {
+        let mut l = launcher();
+        let cfg = GridConfig {
+            block_size: 128,
+            shared_mem_bytes: l.device().shared_mem_per_sm + 1,
+            regs_per_thread: 32,
+        };
+        let err = l.preflight("big", &cfg).unwrap_err();
+        assert!(matches!(err, TcgError::SmemOvercommit { .. }));
+        // Fault-free launcher accepts a sane config.
+        assert!(l.preflight("ok", &GridConfig::with_block_size(128)).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_injects_deterministically() {
+        use tcg_fault::FaultConfig;
+        let run = || {
+            let mut l = launcher();
+            l.attach_fault_plan(Some(FaultPlan::new(9, FaultConfig::uniform(0.2))));
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                outcomes.push(l.preflight("k", &GridConfig::with_block_size(32)).is_ok());
+                outcomes.push(l.try_alloc_f32(64).is_ok());
+            }
+            (outcomes, l.fault_plan().unwrap().total_injected())
+        };
+        let (a, na) = run();
+        let (b, nb) = run();
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na > 0);
+        assert!(a.iter().any(|ok| !ok));
+    }
+
+    #[test]
+    fn armed_ecc_flip_is_consumed_by_mma_and_counted() {
+        use crate::wmma::{mma_sync, FragmentA, FragmentAcc, FragmentB};
+        use tcg_fault::{FaultConfig, FaultSite};
+        let mut l = launcher();
+        // ecc_rate = 1.0: the first preflight arms a flip.
+        let mut cfg = FaultConfig::none();
+        cfg.ecc_rate = 1.0;
+        l.attach_fault_plan(Some(FaultPlan::new(1, cfg)));
+        l.preflight("wmma", &GridConfig::with_block_size(32))
+            .unwrap();
+        let stats = l.launch(GridConfig::with_block_size(32), 2, |ctx| {
+            let fa = FragmentA::default();
+            let fb = FragmentB::default();
+            let mut acc = FragmentAcc::default();
+            mma_sync(&mut acc, &fa, &fb, ctx);
+            if ctx.block_id == 0 {
+                assert!(acc.get(0, 0).is_nan(), "first mma takes the flip");
+            } else {
+                assert!(!acc.get(0, 0).is_nan(), "flip is consumed exactly once");
+            }
+        });
+        assert_eq!(stats.ecc_faults, 1);
+        assert_eq!(l.fault_plan().unwrap().injected(FaultSite::EccBitFlip), 1);
+        // Without a fresh preflight the next launch is clean.
+        let stats2 = l.launch(GridConfig::with_block_size(32), 1, |ctx| {
+            let fa = FragmentA::default();
+            let fb = FragmentB::default();
+            let mut acc = FragmentAcc::default();
+            mma_sync(&mut acc, &fa, &fb, ctx);
+            assert!(!acc.get(0, 0).is_nan());
+        });
+        assert_eq!(stats2.ecc_faults, 0);
+    }
+
+    #[test]
+    fn suppressed_plan_injects_nothing() {
+        use tcg_fault::FaultConfig;
+        let mut l = launcher();
+        l.attach_fault_plan(Some(FaultPlan::new(3, FaultConfig::uniform(1.0))));
+        l.set_fault_suppressed(true);
+        for _ in 0..10 {
+            assert!(l.preflight("k", &GridConfig::with_block_size(32)).is_ok());
+            assert!(l.try_alloc(256).is_ok());
+        }
+        assert_eq!(l.fault_plan().unwrap().total_injected(), 0);
+        assert_eq!(l.fault_plan().unwrap().draws(), 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! [`crate::launch::BlockCtx::shared_access`]; this type only provides
 //! storage, bounds checking and the byte size used for occupancy.
 
+use tcg_fault::TcgError;
+
 /// A per-block shared-memory region of `f32` plus a `u32` index region.
 #[derive(Debug, Clone)]
 pub struct SharedMem {
@@ -21,6 +23,54 @@ impl SharedMem {
             f32_data: vec![0.0; f32_len],
             u32_data: vec![0; u32_len],
         }
+    }
+
+    /// Allocates a region, rejecting footprints beyond the SM carve-out
+    /// `limit_bytes` with [`TcgError::SmemOvercommit`] instead of letting
+    /// an oversized request reach the launch.
+    pub fn try_new(f32_len: usize, u32_len: usize, limit_bytes: usize) -> Result<Self, TcgError> {
+        let requested_bytes = f32_len * 4 + u32_len * 4;
+        if requested_bytes > limit_bytes {
+            return Err(TcgError::SmemOvercommit {
+                requested_bytes,
+                limit_bytes,
+            });
+        }
+        Ok(SharedMem::new(f32_len, u32_len))
+    }
+
+    /// A bounds-checked window of the float region, where an out-of-range
+    /// request is a typed error rather than a slice-index panic.
+    pub fn f32_window(&self, start: usize, len: usize) -> Result<&[f32], TcgError> {
+        let end = start.saturating_add(len);
+        self.f32_data.get(start..end).ok_or(TcgError::DimMismatch {
+            what: "shared-memory f32 window",
+            expected: self.f32_data.len(),
+            actual: end,
+        })
+    }
+
+    /// Mutable counterpart of [`SharedMem::f32_window`].
+    pub fn f32_window_mut(&mut self, start: usize, len: usize) -> Result<&mut [f32], TcgError> {
+        let total = self.f32_data.len();
+        let end = start.saturating_add(len);
+        self.f32_data
+            .get_mut(start..end)
+            .ok_or(TcgError::DimMismatch {
+                what: "shared-memory f32 window",
+                expected: total,
+                actual: end,
+            })
+    }
+
+    /// A bounds-checked window of the index region.
+    pub fn u32_window(&self, start: usize, len: usize) -> Result<&[u32], TcgError> {
+        let end = start.saturating_add(len);
+        self.u32_data.get(start..end).ok_or(TcgError::DimMismatch {
+            what: "shared-memory u32 window",
+            expected: self.u32_data.len(),
+            actual: end,
+        })
     }
 
     /// Total byte footprint (what occupancy sees).
@@ -72,6 +122,29 @@ mod tests {
         s.u32s_mut()[3] = 7;
         assert_eq!(s.f32s()[5], 2.5);
         assert_eq!(s.u32s()[3], 7);
+    }
+
+    #[test]
+    fn try_new_enforces_carveout() {
+        assert!(SharedMem::try_new(128, 16, 1024).is_ok());
+        let err = SharedMem::try_new(1024, 0, 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            TcgError::SmemOvercommit {
+                requested_bytes: 4096,
+                limit_bytes: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn windows_are_bounds_checked() {
+        let mut s = SharedMem::new(8, 4);
+        assert_eq!(s.f32_window(2, 4).unwrap().len(), 4);
+        assert!(s.f32_window(6, 4).is_err());
+        assert!(s.u32_window(0, 5).is_err());
+        s.f32_window_mut(0, 8).unwrap()[7] = 1.0;
+        assert!(s.f32_window_mut(8, 1).is_err());
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub struct KernelStats {
     pub dram_write_bytes: u64,
     /// Shared-memory transactions (warp-wide accesses).
     pub shared_transactions: u64,
+    /// ECC-uncorrectable bit flips consumed by tensor-core ops during the
+    /// launch (fault injection; zero on a healthy device).
+    pub ecc_faults: u64,
 }
 
 impl KernelStats {
@@ -88,6 +91,7 @@ impl KernelStats {
         self.dram_read_bytes += other.dram_read_bytes;
         self.dram_write_bytes += other.dram_write_bytes;
         self.shared_transactions += other.shared_transactions;
+        self.ecc_faults += other.ecc_faults;
     }
 
     /// L1 hit rate over load transactions, in `[0, 1]`.

@@ -7,9 +7,36 @@
 //! multiply-accumulate of the rounded operands and charges one tensor-core
 //! instruction to the block context.
 
+use tcg_fault::TcgError;
 use tcg_tensor::tf32::round_to_tf32;
 
 use crate::launch::BlockCtx;
+
+/// Bounds-checks a `rows×cols` tile read/write at leading dimension `ld`.
+fn check_tile(
+    what: &'static str,
+    len: usize,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+) -> Result<(), TcgError> {
+    if ld < cols {
+        return Err(TcgError::DimMismatch {
+            what,
+            expected: cols,
+            actual: ld,
+        });
+    }
+    let needed = (rows - 1) * ld + cols;
+    if len < needed {
+        return Err(TcgError::DimMismatch {
+            what,
+            expected: needed,
+            actual: len,
+        });
+    }
+    Ok(())
+}
 
 /// Rows of the accumulator (`M` in `m16n16k8`).
 pub const WMMA_M: usize = 16;
@@ -71,11 +98,19 @@ impl FragmentA {
     ///
     /// Panics if `src` is too short for the addressed tile.
     pub fn load(&mut self, src: &[f32], ld: usize) {
+        self.try_load(src, ld).expect("A-tile within source bounds");
+    }
+
+    /// Fallible [`FragmentA::load`]: returns [`TcgError::DimMismatch`]
+    /// instead of panicking when `src` is too short for the addressed tile.
+    pub fn try_load(&mut self, src: &[f32], ld: usize) -> Result<(), TcgError> {
+        check_tile("wmma A-fragment source", src.len(), WMMA_M, WMMA_K, ld)?;
         for r in 0..WMMA_M {
             for c in 0..WMMA_K {
                 self.data[r * WMMA_K + c] = round_to_tf32(src[r * ld + c]);
             }
         }
+        Ok(())
     }
 
     /// Raw fragment contents (row-major).
@@ -92,21 +127,37 @@ impl FragmentB {
     ///
     /// Panics if `src` is too short for the addressed tile.
     pub fn load(&mut self, src: &[f32], ld: usize) {
+        self.try_load(src, ld).expect("B-tile within source bounds");
+    }
+
+    /// Fallible [`FragmentB::load`]: returns [`TcgError::DimMismatch`]
+    /// instead of panicking when `src` is too short for the addressed tile.
+    pub fn try_load(&mut self, src: &[f32], ld: usize) -> Result<(), TcgError> {
+        check_tile("wmma B-fragment source", src.len(), WMMA_K, WMMA_N, ld)?;
         for r in 0..WMMA_K {
             for c in 0..WMMA_N {
                 self.data[r * WMMA_N + c] = round_to_tf32(src[r * ld + c]);
             }
         }
+        Ok(())
     }
 
     /// Loads B from a column-major source (`ld` = column stride), the
     /// layout Listing 2 stages `dense_X` in.
     pub fn load_col_major(&mut self, src: &[f32], ld: usize) {
+        self.try_load_col_major(src, ld)
+            .expect("B-tile within source bounds");
+    }
+
+    /// Fallible [`FragmentB::load_col_major`].
+    pub fn try_load_col_major(&mut self, src: &[f32], ld: usize) -> Result<(), TcgError> {
+        check_tile("wmma B-fragment source", src.len(), WMMA_N, WMMA_K, ld)?;
         for r in 0..WMMA_K {
             for c in 0..WMMA_N {
                 self.data[r * WMMA_N + c] = round_to_tf32(src[c * ld + r]);
             }
         }
+        Ok(())
     }
 
     /// Raw fragment contents (row-major).
@@ -128,9 +179,24 @@ impl FragmentAcc {
     ///
     /// Panics if `dst` is too short for the addressed tile.
     pub fn store(&self, dst: &mut [f32], ld: usize) {
+        self.try_store(dst, ld)
+            .expect("acc tile within destination bounds");
+    }
+
+    /// Fallible [`FragmentAcc::store`]: returns [`TcgError::DimMismatch`]
+    /// instead of panicking when `dst` is too short for the addressed tile.
+    pub fn try_store(&self, dst: &mut [f32], ld: usize) -> Result<(), TcgError> {
+        check_tile(
+            "wmma accumulator destination",
+            dst.len(),
+            WMMA_M,
+            WMMA_N,
+            ld,
+        )?;
         for r in 0..WMMA_M {
             dst[r * ld..r * ld + WMMA_N].copy_from_slice(&self.data[r * WMMA_N..(r + 1) * WMMA_N]);
         }
+        Ok(())
     }
 
     /// Element `(r, c)` of the accumulator.
@@ -152,9 +218,17 @@ impl FragmentAcc {
 
 /// `wmma::mma_sync(acc, a, b, acc)`: `acc += A·B` with FP32 accumulation,
 /// charging one tensor-core instruction.
+///
+/// If the launcher's fault plan armed an ECC bit flip for this launch, the
+/// first `mma_sync` consumes it and the corruption surfaces as NaN in the
+/// accumulator — the way an uncorrectable flip in an FP32 exponent field
+/// would poison everything downstream of the fragment.
 pub fn mma_sync(acc: &mut FragmentAcc, a: &FragmentA, b: &FragmentB, ctx: &mut BlockCtx<'_>) {
     ctx.tcu_mma(MMA_FLOPS);
     mma_functional(acc, a, b);
+    if ctx.consume_ecc() {
+        acc.data[0] = f32::NAN;
+    }
 }
 
 /// The arithmetic of [`mma_sync`] without cost charging — used by CPU-side

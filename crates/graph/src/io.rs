@@ -15,6 +15,12 @@ use std::path::Path;
 
 use crate::{CooGraph, CsrGraph, GraphError, NodeId, Result};
 
+/// Ceiling on the node count a text loader will materialize. A single
+/// corrupted id (one flipped high bit in `src dst`) would otherwise make
+/// `max id + 1` allocate hundreds of gigabytes before any structural
+/// validation runs; past this bound the file is treated as malformed.
+const MAX_TEXT_NODES: usize = 1 << 28;
+
 /// Saves a CSR graph as JSON.
 pub fn save_csr(graph: &CsrGraph, path: &Path) -> Result<()> {
     let file = File::create(path)?;
@@ -76,6 +82,11 @@ pub fn load_edge_list(path: &Path, symmetrize: bool) -> Result<CsrGraph> {
     } else {
         max_id as usize + 1
     };
+    if n > MAX_TEXT_NODES {
+        return Err(GraphError::Io {
+            message: format!("node id {max_id} exceeds the loader bound of {MAX_TEXT_NODES} nodes"),
+        });
+    }
     let mut coo = CooGraph::new(n);
     for (a, b) in pairs {
         coo.push_edge(a, b);
@@ -145,8 +156,17 @@ pub fn load_matrix_market(path: &Path) -> Result<CsrGraph> {
         });
     }
     let n = dims[0].max(dims[1]);
+    if n > MAX_TEXT_NODES {
+        return Err(GraphError::Io {
+            message: format!(
+                "size line declares {n} nodes, above the loader bound of {MAX_TEXT_NODES}"
+            ),
+        });
+    }
+    let declared_nnz = dims[2];
 
     let mut coo = CooGraph::new(n);
+    let mut entries = 0usize;
     for line in lines {
         let line = line?;
         let t = line.trim();
@@ -165,12 +185,20 @@ pub fn load_matrix_market(path: &Path) -> Result<CsrGraph> {
                 })
             }
         };
+        entries += 1;
         if a != b {
             coo.push_edge(a as NodeId, b as NodeId);
             if symmetric {
                 coo.push_edge(b as NodeId, a as NodeId);
             }
         }
+    }
+    // A truncated download silently drops trailing entry lines; the size
+    // line is the ground truth, so any disagreement means a damaged file.
+    if entries != declared_nnz {
+        return Err(GraphError::Io {
+            message: format!("size line declares {declared_nnz} entries, file has {entries}"),
+        });
     }
     coo.into_csr()
 }
@@ -282,6 +310,48 @@ mod tests {
         std::fs::write(
             &path,
             "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n9 9\n",
+        )
+        .unwrap();
+        assert!(load_matrix_market(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_rejects_absurd_node_id() {
+        // One flipped high bit in an id must not trigger a multi-gigabyte
+        // allocation; the loader reports the file as malformed instead.
+        let path = tmp("bigid.txt");
+        std::fs::write(&path, "0 1\n2 1099511627776\n").unwrap();
+        let err = load_edge_list(&path, false).unwrap_err();
+        assert!(matches!(err, GraphError::Io { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_market_rejects_truncated_file() {
+        // Size line promises 4 entries, the file was cut off after 2.
+        let path = tmp("trunc.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern general\n5 5 4\n1 2\n2 3\n",
+        )
+        .unwrap();
+        let err = load_matrix_market(&path).unwrap_err();
+        match err {
+            GraphError::Io { message } => {
+                assert!(message.contains("declares 4"), "{message}")
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_market_rejects_absurd_dims() {
+        let path = tmp("bigdims.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern general\n999999999999 3 1\n1 2\n",
         )
         .unwrap();
         assert!(load_matrix_market(&path).is_err());

@@ -6,6 +6,8 @@ use tcg_gpusim::{KernelReport, Launcher};
 use tcg_graph::CsrGraph;
 use tcg_tensor::DenseMatrix;
 
+pub use tcg_fault::TcgError;
+
 /// One neighbor-aggregation problem instance: `X̂ = (F ⊙ A) · X`.
 ///
 /// `edge_values` (the paper's **F**, aligned with `csr.edge_list()` order)
@@ -109,18 +111,45 @@ impl fmt::Display for KernelError {
 
 impl std::error::Error for KernelError {}
 
+/// Kernel setup errors fold into the unified taxonomy, so `?` composes
+/// `SpmmProblem::new` with the fault-aware launcher calls.
+impl From<KernelError> for TcgError {
+    fn from(e: KernelError) -> Self {
+        match e {
+            KernelError::DimMismatch {
+                what,
+                expected,
+                actual,
+            } => TcgError::DimMismatch {
+                what,
+                expected,
+                actual,
+            },
+            KernelError::MemoryExceeded {
+                required_bytes,
+                capacity_bytes,
+            } => TcgError::MemoryExceeded {
+                required_bytes,
+                capacity_bytes,
+            },
+        }
+    }
+}
+
 /// A neighbor-aggregation kernel: takes the problem, returns the aggregated
 /// matrix and the simulated performance report.
 pub trait SpmmKernel {
     /// Kernel name for report tables.
     fn name(&self) -> &'static str;
 
-    /// Executes the kernel on the simulated device.
+    /// Executes the kernel on the simulated device. Besides the setup
+    /// errors, any device fault injected by the launcher's
+    /// [`tcg_fault::FaultPlan`] surfaces here as its [`TcgError`] variant.
     fn execute(
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError>;
+    ) -> Result<(DenseMatrix, KernelReport), TcgError>;
 }
 
 /// CPU reference SpMM: `out[v] = Σ_{u ∈ N(v)} w(v,u) · x[u]`, f64-accumulated.

@@ -20,7 +20,7 @@ use tcg_graph::CsrGraph;
 use tcg_sgt::{TranslatedGraph, TC_BLK_H, TC_BLK_W};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::KernelError;
+use crate::common::TcgError;
 
 /// Output of the fused attention kernel.
 pub struct FusedAttentionOutput {
@@ -46,16 +46,16 @@ pub fn fused_attention(
     xa: &DenseMatrix,
     xv: &DenseMatrix,
     beta: f32,
-) -> Result<FusedAttentionOutput, KernelError> {
+) -> Result<FusedAttentionOutput, TcgError> {
     if t.edge_to_col.len() != csr.num_edges() {
-        return Err(KernelError::DimMismatch {
+        return Err(TcgError::DimMismatch {
             what: "translation edge count vs graph",
             expected: csr.num_edges(),
             actual: t.edge_to_col.len(),
         });
     }
     if xa.rows() != csr.num_nodes() || xv.rows() != csr.num_nodes() {
-        return Err(KernelError::DimMismatch {
+        return Err(TcgError::DimMismatch {
             what: "feature rows vs graph nodes",
             expected: csr.num_nodes(),
             actual: xa.rows().min(xv.rows()),
@@ -70,15 +70,15 @@ pub fn fused_attention(
     let mut cos = vec![0.0f32; csr.num_edges()];
     let mut p = vec![0.0f32; csr.num_edges()];
 
-    let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
-    let buf_pack = launcher.alloc(csr.num_edges());
-    let buf_atox = launcher.alloc(t.block_atox.len() * 4 + 4);
-    let buf_porig = launcher.alloc(csr.num_edges() * 4);
-    let buf_xa = launcher.alloc_f32(xa.len());
-    let buf_xv = launcher.alloc_f32(xv.len());
-    let buf_out = launcher.alloc_f32(y.len());
-    let buf_cos = launcher.alloc_f32(csr.num_edges());
-    let buf_p = launcher.alloc_f32(csr.num_edges());
+    let buf_ptr = launcher.try_alloc(csr.node_pointer().len() * 8)?;
+    let buf_pack = launcher.try_alloc(csr.num_edges())?;
+    let buf_atox = launcher.try_alloc(t.block_atox.len() * 4 + 4)?;
+    let buf_porig = launcher.try_alloc(csr.num_edges() * 4)?;
+    let buf_xa = launcher.try_alloc_f32(xa.len())?;
+    let buf_xv = launcher.try_alloc_f32(xv.len())?;
+    let buf_out = launcher.try_alloc_f32(y.len())?;
+    let buf_cos = launcher.try_alloc_f32(csr.num_edges())?;
+    let buf_p = launcher.try_alloc_f32(csr.num_edges())?;
 
     // Shared memory: the SDDMM staging of Listing 3 plus a window-local
     // edge-value buffer (the fusion's working set) and the SpMM dense_X.
@@ -105,6 +105,7 @@ pub fn fused_attention(
     let mut spmm_a = vec![0.0f32; TC_BLK_H * TC_BLK_W];
     let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
 
+    launcher.preflight("fused-attention", &cfg)?;
     let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
         let w = ctx.block_id as usize;
         let num_spmm_blocks = t.win_partition[w] as usize;

@@ -27,4 +27,4 @@ pub mod sddmm;
 pub mod softmax;
 pub mod spmm;
 
-pub use common::{reference_sddmm, reference_spmm, KernelError, SpmmProblem};
+pub use common::{reference_sddmm, reference_spmm, KernelError, SpmmProblem, TcgError};

@@ -10,7 +10,7 @@ use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
 use tcg_tensor::DenseMatrix;
 
-use crate::common::KernelError;
+use crate::common::TcgError;
 use crate::sddmm::SddmmKernel;
 
 /// CUDA-core per-edge SDDMM.
@@ -31,16 +31,16 @@ impl SddmmKernel for CudaCoreSddmm {
         csr: &CsrGraph,
         xa: &DenseMatrix,
         xb: &DenseMatrix,
-    ) -> Result<(Vec<f32>, KernelReport), KernelError> {
+    ) -> Result<(Vec<f32>, KernelReport), TcgError> {
         if xa.rows() != csr.num_nodes() || xb.rows() != csr.num_nodes() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "feature rows vs graph nodes",
                 expected: csr.num_nodes(),
                 actual: xa.rows().min(xb.rows()),
             });
         }
         if xa.cols() != xb.cols() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "xa cols vs xb cols",
                 expected: xa.cols(),
                 actual: xb.cols(),
@@ -50,11 +50,11 @@ impl SddmmKernel for CudaCoreSddmm {
         let d = xa.cols();
         let mut out = vec![0.0f32; csr.num_edges()];
 
-        let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
-        let buf_edges = launcher.alloc(csr.num_edges() * 4);
-        let buf_xa = launcher.alloc_f32(xa.len());
-        let buf_xb = launcher.alloc_f32(xb.len());
-        let buf_out = launcher.alloc_f32(csr.num_edges());
+        let buf_ptr = launcher.try_alloc(csr.node_pointer().len() * 8)?;
+        let buf_edges = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_xa = launcher.try_alloc_f32(xa.len())?;
+        let buf_xb = launcher.try_alloc_f32(xb.len())?;
+        let buf_out = launcher.try_alloc_f32(csr.num_edges())?;
 
         let num_blocks = n.div_ceil(ROWS_PER_BLOCK) as u64;
         let cfg = GridConfig {
@@ -64,6 +64,7 @@ impl SddmmKernel for CudaCoreSddmm {
         };
 
         let mut bases: Vec<u64> = Vec::with_capacity(64);
+        launcher.preflight("cuda-core-sddmm", &cfg)?;
         let stats = launcher.launch(cfg, num_blocks, |ctx| {
             let row0 = ctx.block_id as usize * ROWS_PER_BLOCK;
             let row1 = (row0 + ROWS_PER_BLOCK).min(n);

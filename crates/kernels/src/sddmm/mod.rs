@@ -10,7 +10,7 @@ use tcg_gpusim::{KernelReport, Launcher};
 use tcg_graph::CsrGraph;
 use tcg_tensor::DenseMatrix;
 
-use crate::common::KernelError;
+use crate::common::TcgError;
 
 /// An SDDMM kernel: computes `f[e] = xa[src(e)] · xb[dst(e)]` for every
 /// edge (the paper's Equation 3 without the optional post-scaling; with
@@ -28,5 +28,5 @@ pub trait SddmmKernel {
         csr: &CsrGraph,
         xa: &DenseMatrix,
         xb: &DenseMatrix,
-    ) -> Result<(Vec<f32>, KernelReport), KernelError>;
+    ) -> Result<(Vec<f32>, KernelReport), TcgError>;
 }

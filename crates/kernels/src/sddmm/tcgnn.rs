@@ -17,7 +17,7 @@ use tcg_graph::CsrGraph;
 use tcg_sgt::{translate, TranslatedGraph, TC_BLK_H};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::KernelError;
+use crate::common::TcgError;
 use crate::sddmm::SddmmKernel;
 
 /// The TC-GNN SDDMM kernel, bound to a translated graph.
@@ -57,24 +57,24 @@ impl SddmmKernel for TcgnnSddmm {
         csr: &CsrGraph,
         xa: &DenseMatrix,
         xb: &DenseMatrix,
-    ) -> Result<(Vec<f32>, KernelReport), KernelError> {
+    ) -> Result<(Vec<f32>, KernelReport), TcgError> {
         let t = &self.translated;
         if t.edge_to_col.len() != csr.num_edges() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "translation edge count vs graph",
                 expected: csr.num_edges(),
                 actual: t.edge_to_col.len(),
             });
         }
         if xa.rows() != csr.num_nodes() || xb.rows() != csr.num_nodes() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "feature rows vs graph nodes",
                 expected: csr.num_nodes(),
                 actual: xa.rows().min(xb.rows()),
             });
         }
         if xa.cols() != xb.cols() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "xa cols vs xb cols",
                 expected: xa.cols(),
                 actual: xb.cols(),
@@ -85,13 +85,13 @@ impl SddmmKernel for TcgnnSddmm {
         let dim_iterations = d.div_ceil(WMMA_K);
         let mut out = vec![0.0f32; csr.num_edges()];
 
-        let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
-        let buf_pack = launcher.alloc(csr.num_edges());
-        let buf_atox = launcher.alloc(t.block_atox.len() * 4);
-        let buf_porig = launcher.alloc(csr.num_edges() * 4);
-        let buf_xa = launcher.alloc_f32(xa.len());
-        let buf_xb = launcher.alloc_f32(xb.len());
-        let buf_out = launcher.alloc_f32(csr.num_edges());
+        let buf_ptr = launcher.try_alloc(csr.node_pointer().len() * 8)?;
+        let buf_pack = launcher.try_alloc(csr.num_edges())?;
+        let buf_atox = launcher.try_alloc(t.block_atox.len() * 4)?;
+        let buf_porig = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_xa = launcher.try_alloc_f32(xa.len())?;
+        let buf_xb = launcher.try_alloc_f32(xb.len())?;
+        let buf_out = launcher.try_alloc_f32(csr.num_edges())?;
 
         // Listing 3 shared layout: sparse_A 16×16 (edge ids), AToX 16,
         // dense_X 16×8, dense_Y 8×16.
@@ -110,6 +110,7 @@ impl SddmmKernel for TcgnnSddmm {
         let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
         let mut store_addrs: Vec<u64> = Vec::with_capacity(64);
 
+        launcher.preflight("tc-gnn-sddmm", &cfg)?;
         let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
             let w = ctx.block_id as usize;
             // Listing 3 line 9: SDDMM block count from the SpMM partition.

@@ -9,7 +9,7 @@
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
 
-use crate::common::KernelError;
+use crate::common::TcgError;
 
 /// Applies row-wise softmax to `values` (aligned with `csr.edge_list()`),
 /// returning the normalized values and the simulated report.
@@ -17,9 +17,9 @@ pub fn sparse_row_softmax(
     launcher: &mut Launcher,
     csr: &CsrGraph,
     values: &[f32],
-) -> Result<(Vec<f32>, KernelReport), KernelError> {
+) -> Result<(Vec<f32>, KernelReport), TcgError> {
     if values.len() != csr.num_edges() {
-        return Err(KernelError::DimMismatch {
+        return Err(TcgError::DimMismatch {
             what: "edge values vs edges",
             expected: csr.num_edges(),
             actual: values.len(),
@@ -28,8 +28,8 @@ pub fn sparse_row_softmax(
     let n = csr.num_nodes();
     let mut out = values.to_vec();
 
-    let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
-    let buf_vals = launcher.alloc(csr.num_edges() * 4);
+    let buf_ptr = launcher.try_alloc(csr.node_pointer().len() * 8)?;
+    let buf_vals = launcher.try_alloc(csr.num_edges() * 4)?;
 
     const ROWS_PER_BLOCK: usize = 4;
     let cfg = GridConfig {
@@ -37,6 +37,7 @@ pub fn sparse_row_softmax(
         shared_mem_bytes: 0,
         regs_per_thread: 28,
     };
+    launcher.preflight("edge-softmax", &cfg)?;
     let stats = launcher.launch(cfg, n.div_ceil(ROWS_PER_BLOCK) as u64, |ctx| {
         let row0 = ctx.block_id as usize * ROWS_PER_BLOCK;
         let row1 = (row0 + ROWS_PER_BLOCK).min(n);

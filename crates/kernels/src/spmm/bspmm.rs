@@ -13,7 +13,7 @@ use tcg_gpusim::wmma::MMA_FLOPS;
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 use crate::spmm::tiling::{block_row_tiles, num_block_rows};
 
 /// Blocked-ELL block edge (cuSPARSE supports powers of two; the paper's TCU
@@ -63,13 +63,13 @@ impl SpmmKernel for BlockedEllSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let n = csr.num_nodes();
         let d = prob.dim();
         let required = Self::memory_bytes(csr);
         if required > self.memory_capacity_bytes {
-            return Err(KernelError::MemoryExceeded {
+            return Err(TcgError::MemoryExceeded {
                 required_bytes: required,
                 capacity_bytes: self.memory_capacity_bytes,
             });
@@ -84,11 +84,11 @@ impl SpmmKernel for BlockedEllSpmm {
         const FAST_PATH_SLOTS: usize = 1_000_000;
         let fast_padding = slots > FAST_PATH_SLOTS;
 
-        let buf_colind = launcher.alloc(num_block_rows(csr, ELL_BLK) * ell_cols * 4);
+        let buf_colind = launcher.try_alloc(num_block_rows(csr, ELL_BLK) * ell_cols * 4)?;
         let buf_values =
-            launcher.alloc(num_block_rows(csr, ELL_BLK) * ell_cols * ELL_BLK * ELL_BLK * 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+            launcher.try_alloc(num_block_rows(csr, ELL_BLK) * ell_cols * ELL_BLK * ELL_BLK * 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         let slabs = d.div_ceil(16);
         let brs = num_block_rows(csr, ELL_BLK);
@@ -101,6 +101,7 @@ impl SpmmKernel for BlockedEllSpmm {
         let mut acc = vec![0.0f32; ELL_BLK * 16];
         let mut padding_slots_skipped: u64 = 0;
         let stats_ref = &mut padding_slots_skipped;
+        launcher.preflight("blocked-ell", &cfg)?;
         let stats = launcher.launch(cfg, brs as u64, |ctx| {
             let br = ctx.block_id as usize;
             let tiles = block_row_tiles(csr, br, ELL_BLK);
@@ -244,11 +245,11 @@ impl SpmmKernel for CondensedEllSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let t = &self.translated;
         if t.edge_to_col.len() != csr.num_edges() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "translation edge count vs graph",
                 expected: csr.num_edges(),
                 actual: t.edge_to_col.len(),
@@ -261,11 +262,11 @@ impl SpmmKernel for CondensedEllSpmm {
         let blk_elems = tcg_sgt::TC_BLK_H * tcg_sgt::TC_BLK_W; // dense 16×8 values
         let mut out = DenseMatrix::zeros(n, d);
 
-        let buf_colind = launcher.alloc(t.num_row_windows * ell_cols * 4 + 4);
-        let buf_values = launcher.alloc(t.num_row_windows * ell_cols * blk_elems * 4 + 4);
-        let buf_atox = launcher.alloc(t.block_atox.len() * 4 + 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_colind = launcher.try_alloc(t.num_row_windows * ell_cols * 4 + 4)?;
+        let buf_values = launcher.try_alloc(t.num_row_windows * ell_cols * blk_elems * 4 + 4)?;
+        let buf_atox = launcher.try_alloc(t.block_atox.len() * 4 + 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         let cfg = GridConfig {
             block_size: 128,
@@ -276,6 +277,7 @@ impl SpmmKernel for CondensedEllSpmm {
         let mut acc = vec![0.0f32; tcg_sgt::TC_BLK_H * 16];
         let mut padding_slots: u64 = 0;
         let pad_ref = &mut padding_slots;
+        launcher.preflight("blocked-ell-condensed", &cfg)?;
         let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
             let w = ctx.block_id as usize;
             let real = t.win_partition[w] as usize;
@@ -474,7 +476,7 @@ mod tests {
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         assert!(matches!(
             kernel.execute(&mut l, &prob),
-            Err(KernelError::MemoryExceeded { .. })
+            Err(TcgError::MemoryExceeded { .. })
         ));
     }
 

@@ -4,13 +4,13 @@
 //! Works only when `N²` floats fit on the device — the paper's Table 2
 //! shows this failing by orders of magnitude on medium graphs (OVCAR-8H
 //! would need 14.3 TB), with effective compute below 0.4%. The kernel
-//! reproduces both failure modes: [`KernelError::MemoryExceeded`] on large
+//! reproduces both failure modes: [`TcgError::MemoryExceeded`] on large
 //! graphs, and wasted work (FLOPs on zeros) accounted on feasible ones.
 
 use tcg_gpusim::{cost, KernelReport, Launcher};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{reference_spmm, KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{reference_spmm, SpmmKernel, SpmmProblem, TcgError};
 
 /// Dense-GEMM aggregation baseline.
 #[derive(Debug, Clone)]
@@ -65,12 +65,12 @@ impl SpmmKernel for DenseGemmSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let n = prob.csr.num_nodes();
         let d = prob.dim();
         let required = Self::dense_memory_bytes(n) + (n * d * 8) as u128;
         if required > self.memory_capacity_bytes {
-            return Err(KernelError::MemoryExceeded {
+            return Err(TcgError::MemoryExceeded {
                 required_bytes: required,
                 capacity_bytes: self.memory_capacity_bytes,
             });
@@ -140,7 +140,7 @@ mod tests {
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         let err = DenseGemmSpmm::default().execute(&mut l, &prob).unwrap_err();
         match err {
-            KernelError::MemoryExceeded { required_bytes, .. } => {
+            TcgError::MemoryExceeded { required_bytes, .. } => {
                 // 448.70 GB in the paper.
                 let gb = required_bytes as f64 / 1e9;
                 assert!((400.0..500.0).contains(&gb), "{gb} GB");

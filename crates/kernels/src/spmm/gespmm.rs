@@ -12,7 +12,7 @@
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 
 /// GE-SpMM-style kernel: row caching + warp merging.
 #[derive(Debug, Clone, Default)]
@@ -34,17 +34,17 @@ impl SpmmKernel for GeSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let n = csr.num_nodes();
         let d = prob.dim();
         let mut out = DenseMatrix::zeros(n, d);
 
-        let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
-        let buf_edges = launcher.alloc(csr.num_edges() * 4);
-        let buf_vals = launcher.alloc(csr.num_edges() * 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_ptr = launcher.try_alloc(csr.node_pointer().len() * 8)?;
+        let buf_edges = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_vals = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         let num_blocks = n.div_ceil(ROWS_PER_BLOCK) as u64;
         let cfg = GridConfig {
@@ -55,6 +55,7 @@ impl SpmmKernel for GeSpmm {
         };
 
         let mut row_bases: Vec<u64> = Vec::with_capacity(64);
+        launcher.preflight("ge-spmm", &cfg)?;
         let stats = launcher.launch(cfg, num_blocks, |ctx| {
             let row0 = ctx.block_id as usize * ROWS_PER_BLOCK;
             let row1 = (row0 + ROWS_PER_BLOCK).min(n);

@@ -10,7 +10,7 @@
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 
 /// PyG-style edge-parallel scatter-gather aggregation.
 #[derive(Debug, Clone, Default)]
@@ -28,18 +28,18 @@ impl SpmmKernel for ScatterGatherSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let n = csr.num_nodes();
         let d = prob.dim();
         let nnz = csr.num_edges();
         let mut out = DenseMatrix::zeros(n, d);
 
-        let buf_src = launcher.alloc(nnz * 4); // COO source array
-        let buf_dst = launcher.alloc(nnz * 4); // COO destination array
-        let buf_vals = launcher.alloc(nnz * 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_src = launcher.try_alloc(nnz * 4)?; // COO source array
+        let buf_dst = launcher.try_alloc(nnz * 4)?; // COO destination array
+        let buf_vals = launcher.try_alloc(nnz * 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         // Flatten CSR to COO once (what PyG stores anyway).
         let mut src: Vec<u32> = Vec::with_capacity(nnz);
@@ -58,6 +58,7 @@ impl SpmmKernel for ScatterGatherSpmm {
 
         let mut gather_bases: Vec<u64> = Vec::with_capacity(EDGES_PER_BLOCK);
         let mut atomic_addrs: Vec<u64> = Vec::with_capacity(32);
+        launcher.preflight("scatter-gather", &cfg)?;
         let stats = launcher.launch(cfg, num_blocks, |ctx| {
             let e0 = ctx.block_id as usize * EDGES_PER_BLOCK;
             let e1 = (e0 + EDGES_PER_BLOCK).min(nnz);

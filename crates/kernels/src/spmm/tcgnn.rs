@@ -20,7 +20,7 @@ use tcg_graph::CsrGraph;
 use tcg_sgt::{translate, TranslatedGraph, TC_BLK_H, TC_BLK_W};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 
 /// The TC-GNN SpMM kernel, bound to a translated graph.
 #[derive(Debug, Clone)]
@@ -77,11 +77,11 @@ impl SpmmKernel for TcgnnSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let t = &self.translated;
         if t.edge_to_col.len() != csr.num_edges() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "translation edge count vs graph",
                 expected: csr.num_edges(),
                 actual: t.edge_to_col.len(),
@@ -93,13 +93,13 @@ impl SpmmKernel for TcgnnSpmm {
         let warps = self.resolve_warps(slabs);
         let mut out = DenseMatrix::zeros(n, d);
 
-        let buf_ptr = launcher.alloc(csr.node_pointer().len() * 8);
-        let buf_pack = launcher.alloc(csr.num_edges());
-        let buf_atox = launcher.alloc(t.block_atox.len() * 4);
-        let buf_porig = launcher.alloc(csr.num_edges() * 4);
-        let buf_vals = launcher.alloc(csr.num_edges() * 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_ptr = launcher.try_alloc(csr.node_pointer().len() * 8)?;
+        let buf_pack = launcher.try_alloc(csr.num_edges())?;
+        let buf_atox = launcher.try_alloc(t.block_atox.len() * 4)?;
+        let buf_porig = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_vals = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         // Shared memory mirrors Listing 2: sparse_A (16×8 f32),
         // sparse_AToX_index (8 u32), dense_X (warps × 8×16 f32).
@@ -120,6 +120,7 @@ impl SpmmKernel for TcgnnSpmm {
         let mut row_bases: Vec<u64> = Vec::with_capacity(TC_BLK_W);
         let mut addr_scratch: Vec<u64> = Vec::with_capacity(64);
 
+        launcher.preflight("tc-gnn", &cfg)?;
         let stats = launcher.launch(cfg, num_windows, |ctx| {
             let w = ctx.block_id as usize;
             let num_tc_blocks = t.win_partition[w] as usize;

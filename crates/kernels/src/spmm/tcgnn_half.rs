@@ -14,7 +14,7 @@ use tcg_graph::CsrGraph;
 use tcg_sgt::{translate_with, TranslatedGraph, TC_BLK_H};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 
 /// Half-precision TC-GNN SpMM over a 16×16 translation.
 #[derive(Debug, Clone)]
@@ -45,11 +45,11 @@ impl SpmmKernel for TcgnnSpmmHalf {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let t = &self.translated;
         if t.edge_to_col.len() != csr.num_edges() {
-            return Err(KernelError::DimMismatch {
+            return Err(TcgError::DimMismatch {
                 what: "translation edge count vs graph",
                 expected: csr.num_edges(),
                 actual: t.edge_to_col.len(),
@@ -60,12 +60,12 @@ impl SpmmKernel for TcgnnSpmmHalf {
         let slabs = d.div_ceil(HALF_N);
         let mut out = DenseMatrix::zeros(n, d);
 
-        let buf_pack = launcher.alloc(csr.num_edges());
-        let buf_atox = launcher.alloc(t.block_atox.len() * 4 + 4);
-        let buf_porig = launcher.alloc(csr.num_edges() * 4);
-        let buf_vals = launcher.alloc(csr.num_edges() * 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_pack = launcher.try_alloc(csr.num_edges())?;
+        let buf_atox = launcher.try_alloc(t.block_atox.len() * 4 + 4)?;
+        let buf_porig = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_vals = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         let warps = slabs.clamp(4, 8);
         // FP16 tiles are stored as 2-byte values in shared memory: half the
@@ -82,6 +82,7 @@ impl SpmmKernel for TcgnnSpmmHalf {
         let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
         let mut addr_scratch: Vec<u64> = Vec::with_capacity(64);
 
+        launcher.preflight("tc-gnn-fp16", &cfg)?;
         let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
             let w = ctx.block_id as usize;
             let num_blocks = t.win_partition[w] as usize;

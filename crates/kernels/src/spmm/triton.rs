@@ -13,7 +13,7 @@ use tcg_gpusim::wmma::MMA_FLOPS;
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 use crate::spmm::tiling::{block_row_tiles, num_block_rows};
 
 /// Block edge length of the block-sparse layout.
@@ -32,17 +32,17 @@ impl SpmmKernel for TritonBlockSparseSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let n = csr.num_nodes();
         let d = prob.dim();
         let mut out = DenseMatrix::zeros(n, d);
 
         // Block-sparse storage: dense values per non-empty block + LUT.
-        let buf_lut = launcher.alloc(csr.num_edges() * 16);
-        let buf_blocks = launcher.alloc(csr.num_edges() * BLK * BLK * 4); // upper bound
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_lut = launcher.try_alloc(csr.num_edges() * 16)?;
+        let buf_blocks = launcher.try_alloc(csr.num_edges() * BLK * BLK * 4)?; // upper bound
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         let slabs = d.div_ceil(16);
         let brs = num_block_rows(csr, BLK);
@@ -54,6 +54,7 @@ impl SpmmKernel for TritonBlockSparseSpmm {
 
         let mut acc = vec![0.0f32; BLK * 16];
         let mut block_counter = 0usize;
+        launcher.preflight("triton-blocksparse", &cfg)?;
         let stats = launcher.launch(cfg, (brs * slabs) as u64, |ctx| {
             // Triton launches one program per (block-row, output slab).
             let pid = ctx.block_id as usize;

@@ -12,7 +12,7 @@ use tcg_gpusim::wmma::MMA_FLOPS;
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_tensor::DenseMatrix;
 
-use crate::common::{KernelError, SpmmKernel, SpmmProblem};
+use crate::common::{SpmmKernel, SpmmProblem, TcgError};
 use crate::spmm::tiling::{block_row_tiles, num_block_rows};
 
 /// Tile edge length.
@@ -40,16 +40,16 @@ impl SpmmKernel for TsparseLikeSpmm {
         &self,
         launcher: &mut Launcher,
         prob: &SpmmProblem<'_>,
-    ) -> Result<(DenseMatrix, KernelReport), KernelError> {
+    ) -> Result<(DenseMatrix, KernelReport), TcgError> {
         let csr = prob.csr;
         let n = csr.num_nodes();
         let d = prob.dim();
         let mut out = DenseMatrix::zeros(n, d);
 
-        let buf_meta = launcher.alloc(csr.num_edges() * 8);
-        let buf_vals = launcher.alloc(csr.num_edges() * 4);
-        let buf_x = launcher.alloc_f32(prob.x.len());
-        let buf_out = launcher.alloc_f32(out.len());
+        let buf_meta = launcher.try_alloc(csr.num_edges() * 8)?;
+        let buf_vals = launcher.try_alloc(csr.num_edges() * 4)?;
+        let buf_x = launcher.try_alloc_f32(prob.x.len())?;
+        let buf_out = launcher.try_alloc_f32(out.len())?;
 
         let slabs = d.div_ceil(16);
         let brs = num_block_rows(csr, BLK);
@@ -60,6 +60,7 @@ impl SpmmKernel for TsparseLikeSpmm {
         };
 
         let mut acc = vec![0.0f32; BLK * 16];
+        launcher.preflight("tsparse-like", &cfg)?;
         let stats = launcher.launch(cfg, brs as u64, |ctx| {
             let br = ctx.block_id as usize;
             let tiles = block_row_tiles(csr, br, BLK);

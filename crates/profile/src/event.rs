@@ -54,12 +54,47 @@ impl std::fmt::Display for Phase {
     }
 }
 
-/// One recorded cost contribution: a kernel launch, a framework pass, or a
-/// host-side span.
+/// What an event records: real GPU/host time, or a zero-duration fault
+/// marker from the recovery machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A simulated kernel launch with resource counters.
+    Kernel,
+    /// A framework pass or host-side span (no kernel counters).
+    Span,
+    /// An injected (or detected) device fault. Zero duration: rendered as
+    /// an instant marker on the timeline.
+    Fault,
+    /// A graceful degradation to the CUDA-core fallback path. Zero
+    /// duration; the fallback kernel's own event carries the time.
+    Fallback,
+}
+
+impl EventKind {
+    /// Stable lowercase label for export args.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Kernel => "kernel",
+            EventKind::Span => "span",
+            EventKind::Fault => "fault",
+            EventKind::Fallback => "fallback",
+        }
+    }
+
+    /// Whether the event is a zero-duration marker rather than a span.
+    pub fn is_instant(&self) -> bool {
+        matches!(self, EventKind::Fault | EventKind::Fallback)
+    }
+}
+
+/// One recorded cost contribution: a kernel launch, a framework pass, a
+/// host-side span, or a fault/fallback marker.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelEvent {
     /// Kernel or span name (`"spmm"`, `"edge_softmax_passes"`, ...).
     pub name: String,
+    /// What the event records.
+    pub kind: EventKind,
     /// Pipeline phase the duration is charged to.
     pub phase: Phase,
     /// Model layer index active when the event was recorded, if any.
@@ -97,9 +132,18 @@ mod tests {
     }
 
     #[test]
+    fn kind_labels_and_instants() {
+        assert!(EventKind::Fault.is_instant());
+        assert!(EventKind::Fallback.is_instant());
+        assert!(!EventKind::Kernel.is_instant());
+        assert_eq!(EventKind::Fallback.label(), "fallback");
+    }
+
+    #[test]
     fn event_key_is_phase_scoped() {
         let e = KernelEvent {
             name: "spmm".into(),
+            kind: EventKind::Kernel,
             phase: Phase::Aggregation,
             layer: None,
             epoch: None,

@@ -55,6 +55,25 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
     let mut cursor_us = 0.0f64;
     for e in profiler.events() {
         let dur_us = e.time_ms * 1000.0;
+        if e.kind.is_instant() {
+            // Fault/fallback markers: zero-duration instants pinned to the
+            // current point of the serial clock.
+            let mut args = vec![("backend", s(&e.backend)), ("kind", s(e.kind.label()))];
+            if let Some(epoch) = e.epoch {
+                args.push(("epoch", Value::UInt(epoch as u128)));
+            }
+            trace_events.push(obj(vec![
+                ("name", s(&e.name)),
+                ("cat", s(e.phase.label())),
+                ("ph", s("i")),
+                ("s", s("t")),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(e.phase.track() as u128)),
+                ("ts", Value::Float(cursor_us)),
+                ("args", obj(args)),
+            ]));
+            continue;
+        }
         let mut args = vec![("backend", s(&e.backend))];
         if let Some(epoch) = e.epoch {
             args.push(("epoch", Value::UInt(epoch as u128)));
@@ -350,6 +369,51 @@ mod tests {
             xs[0].get("args").unwrap().get("dram_bytes").unwrap(),
             &Value::UInt(5120)
         );
+    }
+
+    #[test]
+    fn fault_markers_export_as_instants() {
+        let mut p = sample_profiler();
+        p.begin_epoch(1);
+        p.record_fault("fault:launch_fail", Phase::Aggregation);
+        p.record_fallback("fallback:spmm", Phase::Aggregation);
+        p.record_span("spmm_fallback", Phase::Aggregation, 0.7);
+        p.finish_epoch();
+        let v: Value = serde_json::from_str(&chrome_trace_json(&p)).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let instants: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].get("s").and_then(Value::as_str), Some("t"));
+        assert_eq!(
+            instants[0]
+                .get("args")
+                .unwrap()
+                .get("kind")
+                .and_then(Value::as_str),
+            Some("fault")
+        );
+        assert_eq!(
+            instants[1]
+                .get("args")
+                .unwrap()
+                .get("kind")
+                .and_then(Value::as_str),
+            Some("fallback")
+        );
+        assert!(instants[0].get("dur").is_none());
+        // The serial clock is unaffected by instants: the fallback span
+        // starts where the pre-fault timeline ended.
+        let ts = |e: &Value| e.get("ts").unwrap().as_f64().unwrap();
+        assert_eq!(ts(instants[0]), ts(instants[1]));
+        // Zero-duration markers contribute nothing to phase totals.
+        assert_eq!(p.phase_total_ms(Phase::Aggregation), 0.5 + 0.7);
+        // And events_of_kind filters them out of / into view.
+        use crate::event::EventKind;
+        assert_eq!(p.events_of_kind(EventKind::Fault).count(), 1);
+        assert_eq!(p.events_of_kind(EventKind::Fallback).count(), 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod histogram;
 mod profiler;
 mod registry;
 
-pub use event::{KernelEvent, Phase};
+pub use event::{EventKind, KernelEvent, Phase};
 pub use export::{chrome_trace_json, metrics_json, nsight_table, write_artifacts, Artifacts};
 pub use histogram::StreamingHistogram;
 pub use profiler::{shared, EpochRollup, Profiler, SharedProfiler};

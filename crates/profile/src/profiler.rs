@@ -5,7 +5,7 @@ use std::sync::{Arc, RwLock};
 
 use tcg_gpusim::{KernelReport, KernelStats};
 
-use crate::event::{KernelEvent, Phase};
+use crate::event::{EventKind, KernelEvent, Phase};
 use crate::registry::MetricsRegistry;
 
 /// Per-epoch rollup of recorded GPU events, cross-checkable against the
@@ -115,6 +115,7 @@ impl Profiler {
     pub fn record_kernel(&mut self, name: &str, phase: Phase, time_ms: f64, report: &KernelReport) {
         self.push(KernelEvent {
             name: name.to_string(),
+            kind: EventKind::Kernel,
             phase,
             layer: self.layer,
             epoch: self.epoch,
@@ -126,8 +127,31 @@ impl Profiler {
 
     /// Records a framework pass or other span with no kernel counters.
     pub fn record_span(&mut self, name: &str, phase: Phase, time_ms: f64) {
+        self.push_marker(name, EventKind::Span, phase, time_ms);
+    }
+
+    /// Records host-side work (outside the simulated GPU stream).
+    pub fn record_host(&mut self, name: &str, time_ms: f64) {
+        self.record_span(name, Phase::Host, time_ms);
+    }
+
+    /// Records an injected (or detected) device fault as a zero-duration
+    /// marker — rendered as an instant on the phase's timeline track.
+    pub fn record_fault(&mut self, name: &str, phase: Phase) {
+        self.push_marker(name, EventKind::Fault, phase, 0.0);
+    }
+
+    /// Records a graceful degradation to the fallback path as a
+    /// zero-duration marker; the fallback kernel's own event carries the
+    /// time it cost.
+    pub fn record_fallback(&mut self, name: &str, phase: Phase) {
+        self.push_marker(name, EventKind::Fallback, phase, 0.0);
+    }
+
+    fn push_marker(&mut self, name: &str, kind: EventKind, phase: Phase, time_ms: f64) {
         self.push(KernelEvent {
             name: name.to_string(),
+            kind,
             phase,
             layer: self.layer,
             epoch: self.epoch,
@@ -137,9 +161,9 @@ impl Profiler {
         });
     }
 
-    /// Records host-side work (outside the simulated GPU stream).
-    pub fn record_host(&mut self, name: &str, time_ms: f64) {
-        self.record_span(name, Phase::Host, time_ms);
+    /// Events of one kind, in record order.
+    pub fn events_of_kind(&self, kind: EventKind) -> impl Iterator<Item = &KernelEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
     }
 
     fn push(&mut self, event: KernelEvent) {

@@ -121,12 +121,13 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::Phase;
+    use crate::event::{EventKind, Phase};
     use tcg_gpusim::KernelStats;
 
     fn event(name: &str, ms: f64, dram: u64) -> KernelEvent {
         KernelEvent {
             name: name.into(),
+            kind: EventKind::Kernel,
             phase: Phase::Aggregation,
             layer: None,
             epoch: None,

@@ -25,7 +25,9 @@ pub mod overhead;
 pub mod translate;
 
 pub use census::{census, BlockCensus};
-pub use translate::{translate, translate_parallel, translate_with, TranslatedGraph};
+pub use translate::{
+    translate, translate_parallel, translate_with, try_translate_with, TranslatedGraph,
+};
 
 /// Row-window height — `M` of the TF-32 MMA shape (paper: `TC_BLK_H = 16`).
 pub const TC_BLK_H: usize = 16;

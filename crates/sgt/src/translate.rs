@@ -1,9 +1,15 @@
 //! The translation itself: Algorithm 1, sequential and parallel.
 
 use serde::{Deserialize, Serialize};
+use tcg_fault::TcgError;
 use tcg_graph::{CsrGraph, NodeId};
 
 use crate::{TC_BLK_H, TC_BLK_W};
+
+/// Shorthand for building a [`TcgError::CorruptMeta`].
+fn corrupt(what: &'static str, detail: String) -> TcgError {
+    TcgError::CorruptMeta { what, detail }
+}
 
 /// The output of Sparse Graph Translation over a CSR graph.
 ///
@@ -96,6 +102,232 @@ impl TranslatedGraph {
     #[inline]
     pub fn unpack(&self, pack: u8) -> (usize, usize) {
         (pack as usize / self.blk_w, pack as usize % self.blk_w)
+    }
+
+    /// Validates the translation against its source graph, returning
+    /// [`TcgError::CorruptMeta`] on the first violated invariant.
+    ///
+    /// Checked invariants (the ones the TCU kernels silently rely on):
+    ///
+    /// - array extents: per-edge arrays match `csr.num_edges()`, per-window
+    ///   arrays match `num_row_windows`, offset arrays are one longer than
+    ///   what they index;
+    /// - window partitioning: `win_partition[w] = ceil(win_unique[w] /
+    ///   blk_w)` and `win_block_start` is its prefix sum;
+    /// - chunking: `block_ptr` is monotone, tiles each window's CSR edge
+    ///   range exactly, and ends at `num_edges`;
+    /// - edge→condensed-column bounds: every `edge_to_col[e]` is below its
+    ///   window's unique count, every `edge_to_row[e]` is inside its window;
+    /// - dedup consistency: decoding each chunk position reproduces
+    ///   `edge_to_row`/`edge_to_col`, `perm_orig` is a permutation of the
+    ///   edge ids, and each block's `AToX` slot maps its condensed column
+    ///   back to the edge's original neighbor id.
+    ///
+    /// Cost is `O(E)` — intended to run once per translation, before the
+    /// first kernel launch, not per launch.
+    pub fn validate(&self, csr: &CsrGraph) -> Result<(), TcgError> {
+        let num_edges = csr.num_edges();
+        let n = csr.num_nodes();
+        if self.win_size == 0 || self.blk_w == 0 {
+            return Err(corrupt(
+                "geometry",
+                format!("win_size {} x blk_w {}", self.win_size, self.blk_w),
+            ));
+        }
+        if self.num_row_windows != n.div_ceil(self.win_size) {
+            return Err(corrupt(
+                "num_row_windows",
+                format!(
+                    "{} windows for {} nodes at win_size {}",
+                    self.num_row_windows, n, self.win_size
+                ),
+            ));
+        }
+        for (what, len, expect) in [
+            (
+                "win_partition",
+                self.win_partition.len(),
+                self.num_row_windows,
+            ),
+            ("win_unique", self.win_unique.len(), self.num_row_windows),
+            (
+                "win_block_start",
+                self.win_block_start.len(),
+                self.num_row_windows + 1,
+            ),
+            ("edge_to_col", self.edge_to_col.len(), num_edges),
+            ("edge_to_row", self.edge_to_row.len(), num_edges),
+            ("perm_orig", self.perm_orig.len(), num_edges),
+            ("perm_pack", self.perm_pack.len(), num_edges),
+        ] {
+            if len != expect {
+                return Err(corrupt(what, format!("length {len}, expected {expect}")));
+            }
+        }
+        if self.win_block_start.first() != Some(&0) {
+            return Err(corrupt("win_block_start", "does not start at 0".into()));
+        }
+        for w in 0..self.num_row_windows {
+            let blocks = (self.win_unique[w] as usize).div_ceil(self.blk_w);
+            if self.win_partition[w] as usize != blocks {
+                return Err(corrupt(
+                    "win_partition",
+                    format!(
+                        "window {w}: {} blocks for {} unique neighbors (blk_w {})",
+                        self.win_partition[w], self.win_unique[w], self.blk_w
+                    ),
+                ));
+            }
+            if self.win_block_start[w + 1] != self.win_block_start[w] + blocks {
+                return Err(corrupt(
+                    "win_block_start",
+                    format!("window {w}: prefix sum breaks"),
+                ));
+            }
+        }
+        let total_blocks = *self.win_block_start.last().unwrap();
+        if self.block_ptr.len() != total_blocks + 1 {
+            return Err(corrupt(
+                "block_ptr",
+                format!(
+                    "length {}, expected {}",
+                    self.block_ptr.len(),
+                    total_blocks + 1
+                ),
+            ));
+        }
+        if self.block_atox_ptr.len() != total_blocks + 1 {
+            return Err(corrupt(
+                "block_atox_ptr",
+                format!(
+                    "length {}, expected {}",
+                    self.block_atox_ptr.len(),
+                    total_blocks + 1
+                ),
+            ));
+        }
+        if self.block_ptr.first() != Some(&0) || *self.block_ptr.last().unwrap() != num_edges {
+            return Err(corrupt(
+                "block_ptr",
+                format!(
+                    "chunks cover {:?}, expected 0..{num_edges}",
+                    (self.block_ptr.first(), self.block_ptr.last())
+                ),
+            ));
+        }
+        if self.block_atox_ptr.first() != Some(&0)
+            || *self.block_atox_ptr.last().unwrap() != self.block_atox.len()
+        {
+            return Err(corrupt(
+                "block_atox_ptr",
+                "offsets do not cover block_atox".into(),
+            ));
+        }
+        for b in 0..total_blocks {
+            if self.block_ptr[b] > self.block_ptr[b + 1] {
+                return Err(corrupt("block_ptr", format!("block {b}: not monotone")));
+            }
+            if self.block_atox_ptr[b] > self.block_atox_ptr[b + 1] {
+                return Err(corrupt(
+                    "block_atox_ptr",
+                    format!("block {b}: not monotone"),
+                ));
+            }
+        }
+        let edge_list = csr.edge_list();
+        let mut seen = vec![false; num_edges];
+        for w in 0..self.num_row_windows {
+            let (e_lo, e_hi) = self.window_edge_range(csr, w);
+            let (b_lo, b_hi) = (self.win_block_start[w], self.win_block_start[w + 1]);
+            if b_lo < b_hi && (self.block_ptr[b_lo] != e_lo || self.block_ptr[b_hi] != e_hi) {
+                return Err(corrupt(
+                    "block_ptr",
+                    format!("window {w}: chunks do not tile CSR edge range {e_lo}..{e_hi}"),
+                ));
+            }
+            if b_lo == b_hi && e_lo != e_hi {
+                return Err(corrupt(
+                    "win_partition",
+                    format!("window {w}: {} edges but zero blocks", e_hi - e_lo),
+                ));
+            }
+            let unique = self.win_unique[w] as usize;
+            for e in e_lo..e_hi {
+                if self.edge_to_col[e] as usize >= unique {
+                    return Err(corrupt(
+                        "edge_to_col",
+                        format!(
+                            "edge {e} maps to condensed column {} of {unique} in window {w}",
+                            self.edge_to_col[e]
+                        ),
+                    ));
+                }
+                let row = self.edge_to_row[e] as usize;
+                if row < w * self.win_size || row >= ((w + 1) * self.win_size).min(n) {
+                    return Err(corrupt(
+                        "edge_to_row",
+                        format!("edge {e}: row {row} outside window {w}"),
+                    ));
+                }
+            }
+            for b in b_lo..b_hi {
+                let local_b = b - b_lo;
+                let atox_len = self.block_atox_ptr[b + 1] - self.block_atox_ptr[b];
+                let expect_slots = unique.saturating_sub(local_b * self.blk_w).min(self.blk_w);
+                if atox_len != expect_slots {
+                    return Err(corrupt(
+                        "block_atox",
+                        format!("block {b}: {atox_len} AToX slots, expected {expect_slots}"),
+                    ));
+                }
+                let atox = &self.block_atox[self.block_atox_ptr[b]..self.block_atox_ptr[b + 1]];
+                let (lo, hi) = (self.block_ptr[b], self.block_ptr[b + 1]);
+                for pos in lo..hi {
+                    let e = self.perm_orig[pos] as usize;
+                    if e >= num_edges {
+                        return Err(corrupt(
+                            "perm_orig",
+                            format!("position {pos}: edge id {e} out of range"),
+                        ));
+                    }
+                    if seen[e] {
+                        return Err(corrupt(
+                            "perm_orig",
+                            format!("edge {e} appears twice (not a permutation)"),
+                        ));
+                    }
+                    seen[e] = true;
+                    let (r, c) = self.unpack(self.perm_pack[pos]);
+                    if w * self.win_size + r != self.edge_to_row[e] as usize {
+                        return Err(corrupt(
+                            "perm_pack",
+                            format!("position {pos}: packed row disagrees with edge_to_row"),
+                        ));
+                    }
+                    if local_b * self.blk_w + c != self.edge_to_col[e] as usize {
+                        return Err(corrupt(
+                            "perm_pack",
+                            format!("position {pos}: packed column disagrees with edge_to_col"),
+                        ));
+                    }
+                    if c >= atox.len() || atox[c] != edge_list[e] {
+                        return Err(corrupt(
+                            "block_atox",
+                            format!(
+                                "block {b}: column {c} does not map back to edge {e}'s neighbor"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(e) = seen.iter().position(|&s| !s) {
+            return Err(corrupt(
+                "perm_orig",
+                format!("edge {e} never appears in any chunk"),
+            ));
+        }
+        Ok(())
     }
 
     /// Memory footprint of the translation metadata in bytes.
@@ -254,11 +486,30 @@ fn assemble(
 /// Panics if `win_size * blk_w > 256` (the packed-coordinate byte would
 /// overflow).
 pub fn translate_with(csr: &CsrGraph, win_size: usize, blk_w: usize) -> TranslatedGraph {
-    assert!(win_size > 0 && blk_w > 0);
-    assert!(
-        win_size * blk_w <= 256,
-        "packed coordinate must fit one byte"
-    );
+    try_translate_with(csr, win_size, blk_w).expect("valid SGT window geometry")
+}
+
+/// Fallible [`translate_with`]: rejects bad window geometry with
+/// [`TcgError::InvalidInput`] instead of panicking.
+pub fn try_translate_with(
+    csr: &CsrGraph,
+    win_size: usize,
+    blk_w: usize,
+) -> Result<TranslatedGraph, TcgError> {
+    if win_size == 0 || blk_w == 0 {
+        return Err(TcgError::InvalidInput {
+            what: "sgt window geometry",
+            detail: format!("win_size {win_size} x blk_w {blk_w} must be positive"),
+        });
+    }
+    if win_size * blk_w > 256 {
+        return Err(TcgError::InvalidInput {
+            what: "sgt window geometry",
+            detail: format!(
+                "win_size {win_size} x blk_w {blk_w} > 256: packed coordinate must fit one byte"
+            ),
+        });
+    }
     let n = csr.num_nodes();
     let num_row_windows = n.div_ceil(win_size);
     let mut edge_to_col = vec![0u32; csr.num_edges()];
@@ -276,7 +527,14 @@ pub fn translate_with(csr: &CsrGraph, win_size: usize, blk_w: usize) -> Translat
             )
         })
         .collect();
-    assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row)
+    Ok(assemble(
+        csr,
+        win_size,
+        blk_w,
+        outs,
+        edge_to_col,
+        edge_to_row,
+    ))
 }
 
 /// Runs SGT with the paper's TF-32 geometry (`16 × 8`).
@@ -563,6 +821,78 @@ mod tests {
         assert_eq!(t.num_row_windows, 3);
         assert!(t.win_partition.iter().all(|&b| b == 0));
         assert!(t.perm_orig.is_empty());
+    }
+
+    #[test]
+    fn try_translate_rejects_bad_geometry() {
+        let g = figure4_like();
+        assert!(matches!(
+            try_translate_with(&g, 0, 8),
+            Err(TcgError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            try_translate_with(&g, 64, 8),
+            Err(TcgError::InvalidInput { .. })
+        ));
+        assert!(try_translate_with(&g, 16, 8).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_genuine_translations() {
+        for (g, label) in [
+            (figure4_like(), "figure4"),
+            (gen::rmat_default(2048, 20_000, 2).unwrap(), "rmat"),
+            (gen::citation(1000, 8000, 3).unwrap(), "citation"),
+            (CsrGraph::from_raw(0, vec![0], vec![]).unwrap(), "empty"),
+            (
+                CsrGraph::from_raw(40, vec![0; 41], vec![]).unwrap(),
+                "isolated",
+            ),
+        ] {
+            let t = translate(&g);
+            assert!(t.validate(&g).is_ok(), "{label}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_targeted_corruptions() {
+        let g = gen::citation(600, 5000, 9).unwrap();
+        let base = translate(&g);
+        assert!(base.validate(&g).is_ok());
+
+        // Out-of-bounds condensed column.
+        let mut t = base.clone();
+        t.edge_to_col[0] = u32::MAX;
+        assert!(matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })));
+
+        // Partition inconsistent with unique count.
+        let mut t = base.clone();
+        t.win_partition[0] += 1;
+        assert!(matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })));
+
+        // Broken chunk prefix.
+        let mut t = base.clone();
+        *t.block_ptr.last_mut().unwrap() += 1;
+        assert!(matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })));
+
+        // Duplicate edge in the permutation.
+        let mut t = base.clone();
+        if t.perm_orig.len() >= 2 {
+            t.perm_orig[1] = t.perm_orig[0];
+        }
+        assert!(matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })));
+
+        // AToX pointing at the wrong neighbor id.
+        let mut t = base.clone();
+        if let Some(v) = t.block_atox.first_mut() {
+            *v = v.wrapping_add(1);
+        }
+        assert!(matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })));
+
+        // Truncated per-edge array.
+        let mut t = base.clone();
+        t.perm_pack.pop();
+        assert!(matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })));
     }
 
     #[test]

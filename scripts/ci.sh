@@ -22,6 +22,16 @@ if [[ $quick -eq 0 ]]; then
     cargo test --workspace -q
 fi
 
+step "chaos smoke: fixed-seed fault schedules through the CLI"
+# Two deterministic schedules; training must complete (exit 0) and report
+# the injected-fault accounting under both.
+TCG_FAULT_RATE=0.05 TCG_FAULT_SEED=2023 \
+    ./target/release/tcgnn train Pubmed/0.05 --epochs 3 | grep -q 'faults: '
+TCG_FAULT_RATE=0.2 TCG_FAULT_SEED=4099 \
+    ./target/release/tcgnn train Pubmed/0.05 --epochs 3 --backend dgl | grep -q 'faults: '
+step "chaos integration tests"
+cargo test --release -q --test chaos
+
 step "cargo fmt --check"
 cargo fmt --check
 

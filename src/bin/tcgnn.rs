@@ -15,6 +15,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use tc_gnn::fault::FaultPlan;
 use tc_gnn::gnn::{train_agnn, train_gcn, train_gin, train_sage, Backend, Engine, TrainConfig};
 use tc_gnn::gpusim::{DeviceSpec, Launcher};
 use tc_gnn::graph::datasets::{spec_by_name, TABLE4};
@@ -205,6 +206,17 @@ fn cmd_train(args: &[String]) -> ExitCode {
     .with_epochs(epochs);
 
     let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    // Chaos mode: TCG_FAULT_RATE (and optionally TCG_FAULT_SEED) attach a
+    // deterministic fault-injection schedule to the run.
+    let chaos = FaultPlan::from_env();
+    if let Some(plan) = chaos.clone() {
+        eprintln!(
+            "fault injection enabled: seed {} rate {}",
+            plan.seed(),
+            plan.config().launch_rate
+        );
+        eng.attach_fault_plan(plan);
+    }
     let result = match model.as_str() {
         "gcn" => train_gcn(&mut eng, &ds, cfg),
         "sage" => train_sage(&mut eng, &ds, cfg),
@@ -237,6 +249,21 @@ fn cmd_train(args: &[String]) -> ExitCode {
         c.other_ms,
         result.preprocessing_ms
     );
+    if chaos.is_some() {
+        let r = &result.fault_report;
+        println!(
+            "faults: {} injected (launch {}, smem {}, oom {}, ecc {}); \
+             {} retried, {} ops degraded, {} epochs rolled back",
+            r.total_injected(),
+            r.launch_failures,
+            r.smem_overcommits,
+            r.device_ooms,
+            r.ecc_flips,
+            r.retried,
+            r.degraded,
+            result.epochs_rolled_back
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -88,4 +88,49 @@ proptest! {
         let b = translate_parallel(&g, 3);
         prop_assert_eq!(a, b);
     }
+
+    #[test]
+    fn validate_rejects_any_single_field_mutation(
+        g in graph_strategy(),
+        mutation in 0usize..7,
+        raw_pick in 0usize..1_000_000,
+    ) {
+        use tc_gnn::fault::TcgError;
+        if g.num_edges() < 2 {
+            return;
+        }
+        let base = translate(&g);
+        prop_assert!(base.validate(&g).is_ok());
+        let pick = |len: usize| raw_pick % len;
+        let mut t = base.clone();
+        match mutation {
+            // Condensed column outside any block.
+            0 => { let i = pick(t.edge_to_col.len()); t.edge_to_col[i] = u32::MAX; }
+            // Source row outside the graph.
+            1 => {
+                let i = pick(t.edge_to_row.len());
+                t.edge_to_row[i] = t.edge_to_row[i].wrapping_add(g.num_nodes() as u32 + 1);
+            }
+            // Partition out of step with the unique-neighbor census.
+            2 => { let w = pick(t.win_partition.len()); t.win_partition[w] += 1; }
+            // Chunk prefix no longer sums to the edge count.
+            3 => { let b = pick(t.block_ptr.len()); t.block_ptr[b] += 1; }
+            // Duplicate edge id breaks the permutation.
+            4 => {
+                let i = pick(t.perm_orig.len() - 1);
+                t.perm_orig[i + 1] = t.perm_orig[i];
+            }
+            // AToX slot no longer names the edge's original neighbor.
+            5 => {
+                let k = pick(t.block_atox.len());
+                t.block_atox[k] = t.block_atox[k].wrapping_add(1);
+            }
+            // Truncated per-edge array.
+            _ => { t.perm_pack.pop(); }
+        }
+        prop_assert!(
+            matches!(t.validate(&g), Err(TcgError::CorruptMeta { .. })),
+            "mutation {} went undetected", mutation
+        );
+    }
 }
