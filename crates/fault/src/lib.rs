@@ -78,7 +78,9 @@ impl FaultSite {
 /// - **device faults** (injected or genuine; candidates for retry and
 ///   TCU→CUDA-core degradation): [`TcgError::LaunchFailed`],
 ///   [`TcgError::SmemOvercommit`], [`TcgError::DeviceOom`],
-///   [`TcgError::EccCorruption`].
+///   [`TcgError::EccCorruption`];
+/// - **admission outcomes** (request-level, raised by the serving layer, not
+///   device faults): [`TcgError::QueueFull`], [`TcgError::DeadlineExceeded`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum TcgError {
     /// A graph-layer error (I/O, malformed CSR, unknown dataset).
@@ -137,6 +139,18 @@ pub enum TcgError {
         kernel: &'static str,
         /// Number of corrupted accumulator fragments.
         faults: u64,
+    },
+    /// An admission queue is at capacity; the request was shed (backpressure).
+    QueueFull {
+        /// The queue's bounded capacity.
+        capacity: usize,
+    },
+    /// A request finished after its deadline and its result was discarded.
+    DeadlineExceeded {
+        /// The per-request deadline, in simulated milliseconds.
+        deadline_ms: f64,
+        /// The latency actually observed, in simulated milliseconds.
+        observed_ms: f64,
     },
 }
 
@@ -212,6 +226,16 @@ impl std::fmt::Display for TcgError {
                     "ECC corruption in {kernel} output ({faults} fragment(s))"
                 )
             }
+            TcgError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            TcgError::DeadlineExceeded {
+                deadline_ms,
+                observed_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {observed_ms:.3} ms observed against a {deadline_ms:.3} ms budget"
+            ),
         }
     }
 }

@@ -201,6 +201,33 @@ impl Engine {
     /// consume it (corruption surfaces as [`TcgError::CorruptMeta`] here
     /// rather than as garbage aggregation output later).
     pub fn try_new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
+        Self::build(backend, csr, device, None)
+    }
+
+    /// [`Engine::try_new`] seeded with an already-computed SGT translation —
+    /// the cache-hit path of a serving layer.
+    ///
+    /// The translation is still validated against the CSR (a stale cache
+    /// entry for a different graph surfaces as [`TcgError::CorruptMeta`]
+    /// here), but Algorithm 1 itself is skipped, so
+    /// [`Engine::preprocessing_ms`] reports zero: the one-time translation
+    /// cost was paid by whoever populated the cache. Only meaningful for
+    /// [`Backend::TcGnn`]; other backends ignore the translation.
+    pub fn with_translation(
+        backend: Backend,
+        csr: CsrGraph,
+        device: DeviceSpec,
+        translation: tcg_sgt::TranslatedGraph,
+    ) -> Result<Self, TcgError> {
+        Self::build(backend, csr, device, Some(translation))
+    }
+
+    fn build(
+        backend: Backend,
+        csr: CsrGraph,
+        device: DeviceSpec,
+        cached: Option<tcg_sgt::TranslatedGraph>,
+    ) -> Result<Self, TcgError> {
         if !csr.is_symmetric() {
             return Err(TcgError::InvalidInput {
                 what: "engine graph",
@@ -225,9 +252,11 @@ impl Engine {
                 Backend::DglLike => (Box::new(CusparseCsrSpmm), Box::new(CudaCoreSddmm), 0.0),
                 Backend::PygLike => (Box::new(ScatterGatherSpmm), Box::new(CudaCoreSddmm), 0.0),
                 Backend::TcGnn => {
-                    let t = tcg_sgt::translate(&csr);
+                    let (t, sgt_ms) = match cached {
+                        Some(t) => (t, 0.0),
+                        None => (tcg_sgt::translate(&csr), tcg_sgt::overhead::model_ms(&csr)),
+                    };
                     t.validate(&csr)?;
-                    let sgt_ms = tcg_sgt::overhead::model_ms(&csr);
                     translated = Some(t.clone());
                     (
                         Box::new(TcgnnSpmm::from_translated(t.clone())),
@@ -645,6 +674,13 @@ impl Engine {
     /// Whether this backend can run the fused attention pipeline.
     pub fn supports_fused_attention(&self) -> bool {
         self.translated.is_some()
+    }
+
+    /// The SGT translation backing the TC-GNN kernels, if this backend has
+    /// one. A serving layer reads this after a cache miss to populate its
+    /// translation cache.
+    pub fn translation(&self) -> Option<&tcg_sgt::TranslatedGraph> {
+        self.translated.as_ref()
     }
 
     /// Fused attention pipeline (TC-GNN backend only): SDDMM logits from

@@ -90,6 +90,40 @@ impl AgnnLayer {
         )
     }
 
+    /// Inference-only forward: same attention pipeline and kernel costs as
+    /// [`AgnnLayer::forward`], discarding the cosine/softmax edge buffers
+    /// instead of caching them (and never cloning `x`).
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        let mut cost = Cost::default();
+        let mut x_hat = x.clone();
+        ops::l2_normalize_rows(&mut x_hat);
+        cost += Cost::other(eng.elementwise_ms(x.len(), 1, 1));
+        let y = if eng.supports_fused_attention() {
+            let (y, _, _, ms) = eng
+                .fused_attention(&x_hat, x, self.beta)
+                .expect("dims agree");
+            cost += Cost::agg(ms);
+            y
+        } else {
+            let (cos, sddmm_ms) = eng.sddmm(&x_hat, &x_hat).expect("dims agree");
+            cost += Cost::agg(sddmm_ms);
+            let s: Vec<f32> = cos.iter().map(|c| self.beta * c).collect();
+            cost += Cost::agg(eng.elementwise_tagged_ms(
+                "attn_beta_scale",
+                Phase::Aggregation,
+                s.len(),
+                1,
+                1,
+            ));
+            let (p, softmax_ms) = eng.edge_softmax(&s).expect("value count matches edges");
+            cost += Cost::agg(softmax_ms);
+            let (y, spmm_ms) = eng.spmm(x, Some(&p)).expect("dims agree");
+            cost += Cost::agg(spmm_ms);
+            y
+        };
+        (y, cost)
+    }
+
     /// Backward pass: given `dY` returns `(dX, grads, cost)`.
     pub fn backward(
         &self,

@@ -96,6 +96,35 @@ impl GcnLayer {
         }
     }
 
+    /// Inference-only forward: identical math and kernel costs to
+    /// [`GcnLayer::forward`], but no backward state is built — the
+    /// aggregate-first path hands its intermediate straight to the GEMM and
+    /// the update-first path never clones `x`.
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        match self.order() {
+            Order::AggregateFirst => {
+                let (h_agg, agg_ms) = eng.gcn_aggregate(x).expect("graph and x dims agree");
+                let (mut y, gemm_ms) = eng.linear(&h_agg, &self.w);
+                ops::add_bias_inplace(&mut y, &self.b).expect("bias length matches out_dim");
+                let bias_ms = eng.elementwise_ms(y.len(), 1, 1);
+                (
+                    y,
+                    Cost::agg(agg_ms) + Cost::update(gemm_ms) + Cost::other(bias_ms),
+                )
+            }
+            Order::UpdateFirst => {
+                let (mut h, gemm_ms) = eng.linear(x, &self.w);
+                ops::add_bias_inplace(&mut h, &self.b).expect("bias length matches out_dim");
+                let bias_ms = eng.elementwise_ms(h.len(), 1, 1);
+                let (y, agg_ms) = eng.gcn_aggregate(&h).expect("dims agree");
+                (
+                    y,
+                    Cost::update(gemm_ms) + Cost::other(bias_ms) + Cost::agg(agg_ms),
+                )
+            }
+        }
+    }
+
     /// Backward pass: given `dY` returns `(dX, grads, cost)`.
     ///
     /// Input layers pass `needs_dx = false` to skip the input-gradient

@@ -93,6 +93,28 @@ impl GinLayer {
         )
     }
 
+    /// Inference-only forward: same kernels and cost as
+    /// [`GinLayer::forward`] with no backward state retained.
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        let (mut h, agg_ms) = eng.sum_aggregate(x).expect("dims agree");
+        for (hv, xv) in h.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *hv += (1.0 + self.eps) * xv;
+        }
+        let mut cost = Cost::agg(agg_ms) + Cost::other(eng.elementwise_ms(h.len(), 2, 1));
+        let (mut z1, ms1) = eng.linear(&h, &self.w1);
+        ops::add_bias_inplace(&mut z1, &self.b1).expect("bias length");
+        let a1 = ops::relu(&z1);
+        cost += Cost::update(ms1)
+            + Cost::other(
+                eng.elementwise_tagged_ms("bias_add", Phase::Other, z1.len(), 1, 1)
+                    + eng.elementwise_tagged_ms("relu", Phase::Other, z1.len(), 1, 1),
+            );
+        let (mut y, ms2) = eng.linear(&a1, &self.w2);
+        ops::add_bias_inplace(&mut y, &self.b2).expect("bias length");
+        cost += Cost::update(ms2) + Cost::other(eng.elementwise_ms(y.len(), 1, 1));
+        (y, cost)
+    }
+
     /// Backward pass.
     pub fn backward(
         &self,

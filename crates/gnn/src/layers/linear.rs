@@ -49,6 +49,15 @@ impl Linear {
         )
     }
 
+    /// Inference-only forward: same math and cost as [`Linear::forward`]
+    /// with no activation cloned for backward.
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        let (mut y, gemm_ms) = eng.linear(x, &self.w);
+        ops::add_bias_inplace(&mut y, &self.b).expect("bias length matches out_dim");
+        let bias_ms = eng.elementwise_ms(y.len(), 1, 1);
+        (y, Cost::update(gemm_ms) + Cost::other(bias_ms))
+    }
+
     /// Backward: given `dy`, returns `(dx, grads, cost)`. Input layers pass
     /// `needs_dx = false` to skip the `dY·Wᵀ` GEMM entirely.
     pub fn backward(

@@ -64,6 +64,21 @@ impl SageLayer {
         )
     }
 
+    /// Inference-only forward: same kernels and cost as
+    /// [`SageLayer::forward`] with no backward state retained.
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        let (mean, agg_ms) = eng.mean_aggregate(x).expect("dims agree");
+        let (mut y, ms1) = eng.linear(x, &self.w_self);
+        let (y2, ms2) = eng.linear(&mean, &self.w_neigh);
+        y.add_assign(&y2).expect("same shape");
+        ops::add_bias_inplace(&mut y, &self.b).expect("bias length");
+        let ew_ms = eng.elementwise_ms(y.len(), 2, 1);
+        (
+            y,
+            Cost::agg(agg_ms) + Cost::update(ms1 + ms2) + Cost::other(ew_ms),
+        )
+    }
+
     /// Backward pass.
     pub fn backward(
         &self,

@@ -31,6 +31,6 @@ pub mod trainer;
 pub use engine::{Backend, Cost, Engine, RecoveryPolicy};
 pub use model::{AgnnModel, GcnModel, GinModel, SageModel};
 pub use trainer::{
-    train_agnn, train_gcn, train_gin, train_model, train_sage, TrainConfig, TrainResult,
-    TrainableModel,
+    train_agnn, train_gcn, train_gin, train_model, train_model_returning, train_sage, TrainConfig,
+    TrainResult, TrainableModel,
 };

@@ -82,6 +82,20 @@ impl GcnModel {
         )
     }
 
+    /// Inference-only forward to logits: same kernels and simulated cost as
+    /// [`GcnModel::forward`], but no gradient buffers are allocated — the
+    /// frozen-model path an inference server runs per batch.
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        prof_set_layer(eng, Some(0));
+        let (z1, cost1) = self.l1.infer(eng, x);
+        let h1 = ops::relu(&z1);
+        let relu_ms = eng.elementwise_tagged_ms("relu", Phase::Other, h1.len(), 1, 1);
+        prof_set_layer(eng, Some(1));
+        let (logits, cost2) = self.l2.infer(eng, &h1);
+        prof_set_layer(eng, None);
+        (logits, cost1 + cost2 + Cost::other(relu_ms))
+    }
+
     /// Backward pass from logits gradient.
     pub fn backward(
         &self,
@@ -198,6 +212,25 @@ impl AgnnModel {
             },
             cost,
         )
+    }
+
+    /// Inference-only forward to logits (no gradient buffers).
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        prof_set_layer(eng, Some(0));
+        let (z0, mut cost) = self.lin_in.infer(eng, x);
+        let mut h = ops::relu(&z0);
+        cost += Cost::other(eng.elementwise_tagged_ms("relu", Phase::Other, h.len(), 1, 1));
+        for (i, prop) in self.props.iter().enumerate() {
+            prof_set_layer(eng, Some(i as u32 + 1));
+            let (h_next, c) = prop.infer(eng, &h);
+            cost += c;
+            h = h_next;
+        }
+        prof_set_layer(eng, Some(self.props.len() as u32 + 1));
+        let (logits, c) = self.lin_out.infer(eng, &h);
+        prof_set_layer(eng, None);
+        cost += c;
+        (logits, cost)
     }
 
     /// Backward pass from logits gradient.
@@ -317,6 +350,18 @@ impl SageModel {
         )
     }
 
+    /// Inference-only forward to logits (no gradient buffers).
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        prof_set_layer(eng, Some(0));
+        let (z1, cost1) = self.l1.infer(eng, x);
+        let h1 = ops::relu(&z1);
+        let relu_ms = eng.elementwise_tagged_ms("relu", Phase::Other, h1.len(), 1, 1);
+        prof_set_layer(eng, Some(1));
+        let (logits, cost2) = self.l2.infer(eng, &h1);
+        prof_set_layer(eng, None);
+        (logits, cost1 + cost2 + Cost::other(relu_ms))
+    }
+
     /// Backward pass from logits gradient.
     pub fn backward(
         &self,
@@ -405,6 +450,16 @@ impl GinModel {
         let (logits, c2, cost2) = self.l2.forward(eng, &h1);
         prof_set_layer(eng, None);
         (logits, GinModelCache { c1, c2 }, cost1 + cost2)
+    }
+
+    /// Inference-only forward to logits (no gradient buffers).
+    pub fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        prof_set_layer(eng, Some(0));
+        let (h1, cost1) = self.l1.infer(eng, x);
+        prof_set_layer(eng, Some(1));
+        let (logits, cost2) = self.l2.infer(eng, &h1);
+        prof_set_layer(eng, None);
+        (logits, cost1 + cost2)
     }
 
     /// Backward pass from logits gradient.
@@ -536,6 +591,46 @@ mod tests {
         let (grads, _) = model.backward(&mut eng, &cache, &logits);
         assert_eq!(grads.g1.dw1.shape(), (7, 10));
         assert_eq!(grads.g2.dw2.shape(), (10, 4));
+    }
+
+    #[test]
+    fn infer_matches_forward_logits_and_cost() {
+        // Same kernels run in the same order, so inference must agree with
+        // the training forward bit-for-bit and millisecond-for-millisecond.
+        // Fresh engines per pass: the launcher's L2 simulator persists
+        // across launches, so reusing one engine would make the second
+        // pass's cost reflect a warm cache rather than a code difference.
+        let fresh = |backend| {
+            let g = gen::erdos_renyi(60, 400, 1).unwrap();
+            Engine::new(backend, g, DeviceSpec::rtx3090())
+        };
+        let x8 = init::uniform(60, 8, -1.0, 1.0, 2);
+        let x10 = init::uniform(60, 10, -1.0, 1.0, 2);
+        for backend in Backend::all() {
+            let gcn = GcnModel::new(10, 16, 4, 1);
+            let (fwd, _, fcost) = gcn.forward(&mut fresh(backend), &x10);
+            let (inf, icost) = gcn.infer(&mut fresh(backend), &x10);
+            assert_eq!(fwd.as_slice(), inf.as_slice());
+            assert_eq!(fcost.total_ms(), icost.total_ms());
+
+            let agnn = AgnnModel::new(8, 32, 5, 2, 1);
+            let (fwd, _, fcost) = agnn.forward(&mut fresh(backend), &x8);
+            let (inf, icost) = agnn.infer(&mut fresh(backend), &x8);
+            assert_eq!(fwd.as_slice(), inf.as_slice());
+            assert_eq!(fcost.total_ms(), icost.total_ms());
+
+            let sage = SageModel::new(8, 12, 5, 1);
+            let (fwd, _, fcost) = sage.forward(&mut fresh(backend), &x8);
+            let (inf, icost) = sage.infer(&mut fresh(backend), &x8);
+            assert_eq!(fwd.as_slice(), inf.as_slice());
+            assert_eq!(fcost.total_ms(), icost.total_ms());
+
+            let gin = GinModel::new(8, 10, 4, 1);
+            let (fwd, _, fcost) = gin.forward(&mut fresh(backend), &x8);
+            let (inf, icost) = gin.infer(&mut fresh(backend), &x8);
+            assert_eq!(fwd.as_slice(), inf.as_slice());
+            assert_eq!(fcost.total_ms(), icost.total_ms());
+        }
     }
 
     #[test]

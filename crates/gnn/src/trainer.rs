@@ -293,8 +293,20 @@ pub fn train_model<M: TrainableModel>(
     eng: &mut Engine,
     ds: &Dataset,
     cfg: TrainConfig,
-    mut model: M,
+    model: M,
 ) -> TrainResult {
+    train_model_returning(eng, ds, cfg, model).1
+}
+
+/// [`train_model`] that also hands back the trained parameters — the entry
+/// point for callers that freeze the model afterwards (e.g. a serving
+/// session).
+pub fn train_model_returning<M: TrainableModel>(
+    eng: &mut Engine,
+    ds: &Dataset,
+    cfg: TrainConfig,
+    mut model: M,
+) -> (M, TrainResult) {
     let mut adam = Adam::new(cfg.lr);
     let mut epochs = Vec::with_capacity(cfg.epochs as usize);
     let mut epochs_rolled_back = 0u32;
@@ -330,13 +342,14 @@ pub fn train_model<M: TrainableModel>(
             cost: attempt.cost,
         });
     }
-    TrainResult {
+    let result = TrainResult {
         backend: eng.backend().name(),
         epochs,
         preprocessing_ms: eng.preprocessing_ms(),
         fault_report: eng.fault_report(),
         epochs_rolled_back,
-    }
+    };
+    (model, result)
 }
 
 /// Trains the paper's 2-layer GCN on `ds` using `eng`'s backend.

@@ -33,9 +33,11 @@ pub mod launch;
 pub mod occupancy;
 pub mod smem;
 pub mod stats;
+pub mod stream;
 pub mod wmma;
 pub mod wmma_half;
 
 pub use device::DeviceSpec;
 pub use launch::{AddressSpace, BlockCtx, GridConfig, Launcher};
 pub use stats::{KernelReport, KernelStats};
+pub use stream::{Stream, StreamSet, StreamSpan};

@@ -27,6 +27,10 @@ fn s(v: &str) -> Value {
     Value::Str(v.to_string())
 }
 
+/// `tid` offset for per-stream tracks; phase tracks occupy `tid` 1–4, so
+/// stream `N` renders at `tid` `10 + N`.
+const STREAM_TRACK_BASE: u128 = 10;
+
 /// Renders the run as Chrome-trace JSON (the format
 /// <https://ui.perfetto.dev> and `chrome://tracing` open directly).
 ///
@@ -107,6 +111,34 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
             ("args", obj(args)),
         ]));
         cursor_us += dur_us;
+    }
+    // Stream tracks: spans scheduled onto per-stream virtual timelines keep
+    // their absolute timestamps (they were placed by a scheduler, not laid
+    // out serially) and render as separate `stream-N` threads above the
+    // phase tracks.
+    for id in profiler.stream_ids() {
+        trace_events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(STREAM_TRACK_BASE + id as u128)),
+            ("args", obj(vec![("name", s(&format!("stream-{id}")))])),
+        ]));
+    }
+    for span in profiler.stream_spans() {
+        trace_events.push(obj(vec![
+            ("name", s(&span.name)),
+            ("cat", s("stream")),
+            ("ph", s("X")),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(STREAM_TRACK_BASE + span.stream as u128)),
+            ("ts", Value::Float(span.start_ms * 1000.0)),
+            ("dur", Value::Float(span.dur_ms * 1000.0)),
+            (
+                "args",
+                obj(vec![("stream", Value::UInt(span.stream as u128))]),
+            ),
+        ]));
     }
     let root = obj(vec![
         ("displayTimeUnit", s("ms")),
@@ -196,13 +228,28 @@ pub fn metrics_json(profiler: &Profiler) -> String {
             )
         })
         .collect();
-    let root = obj(vec![
+    let streams: Vec<(String, Value)> = profiler
+        .stream_ids()
+        .into_iter()
+        .map(|id| {
+            (
+                format!("stream-{id}"),
+                Value::Float(profiler.stream_total_ms(id)),
+            )
+        })
+        .collect();
+    let mut fields = vec![
         ("backend", s(profiler.backend())),
         ("events", Value::UInt(profiler.events().len() as u128)),
         ("phase_total_ms", Value::Object(phases)),
         ("epochs", Value::Array(epochs)),
         ("metrics", registry_value(profiler.registry())),
-    ]);
+    ];
+    let stream_obj = Value::Object(streams);
+    if !profiler.stream_spans().is_empty() {
+        fields.push(("stream_busy_ms", stream_obj));
+    }
+    let root = obj(fields);
     serde_json::to_string_pretty(&root).expect("value tree serializes")
 }
 
@@ -369,6 +416,39 @@ mod tests {
             xs[0].get("args").unwrap().get("dram_bytes").unwrap(),
             &Value::UInt(5120)
         );
+    }
+
+    #[test]
+    fn stream_spans_export_as_separate_tracks_with_absolute_timestamps() {
+        let mut p = sample_profiler();
+        p.record_stream_span(0, "batch-0", 0.0, 2.0);
+        p.record_stream_span(1, "batch-1", 0.5, 1.5);
+        p.record_stream_span(0, "batch-2", 2.0, 1.0);
+        let v: Value = serde_json::from_str(&chrome_trace_json(&p)).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // Thread metadata for stream-0 and stream-1 appears.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args").unwrap().get("name").and_then(Value::as_str))
+            .collect();
+        assert!(names.contains(&"stream-0"));
+        assert!(names.contains(&"stream-1"));
+        // Stream spans keep their scheduler-assigned timestamps (µs) on
+        // tids offset from the phase tracks.
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("stream"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].get("ts").unwrap(), &Value::Float(500.0));
+        assert_eq!(spans[1].get("dur").unwrap(), &Value::Float(1500.0));
+        assert_eq!(spans[1].get("tid").unwrap(), &Value::UInt(11));
+        // Per-stream busy totals land in the metrics export.
+        let m: Value = serde_json::from_str(&metrics_json(&p)).expect("valid JSON");
+        let busy = m.get("stream_busy_ms").unwrap();
+        assert_eq!(busy.get("stream-0").unwrap().as_f64().unwrap(), 3.0);
+        assert_eq!(busy.get("stream-1").unwrap().as_f64().unwrap(), 1.5);
     }
 
     #[test]

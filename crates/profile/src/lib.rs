@@ -39,7 +39,7 @@ mod registry;
 pub use event::{EventKind, KernelEvent, Phase};
 pub use export::{chrome_trace_json, metrics_json, nsight_table, write_artifacts, Artifacts};
 pub use histogram::StreamingHistogram;
-pub use profiler::{shared, EpochRollup, Profiler, SharedProfiler};
+pub use profiler::{shared, EpochRollup, Profiler, SharedProfiler, StreamSpanEvent};
 pub use registry::MetricsRegistry;
 
 /// Name of the environment variable the experiment binaries consult to

@@ -44,6 +44,24 @@ pub fn shared(backend: &str) -> SharedProfiler {
     Arc::new(RwLock::new(Profiler::new(backend)))
 }
 
+/// A span pinned to a stream's virtual timeline, with an absolute start.
+///
+/// Unlike [`KernelEvent`]s — which carry only durations and are laid out
+/// back-to-back by the exporter — stream spans come from a scheduler that
+/// already placed them on a simulated clock, so they keep their timestamps
+/// and render as separate per-stream tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpanEvent {
+    /// The stream (track) the span ran on.
+    pub stream: u32,
+    /// Label shown on the track (batch or kernel name).
+    pub name: String,
+    /// Absolute start on the simulated clock, in milliseconds.
+    pub start_ms: f64,
+    /// Duration in milliseconds.
+    pub dur_ms: f64,
+}
+
 /// Event recorder + metrics registry for one simulated run.
 #[derive(Debug, Default)]
 pub struct Profiler {
@@ -51,6 +69,7 @@ pub struct Profiler {
     epoch: Option<u32>,
     layer: Option<u32>,
     events: Vec<KernelEvent>,
+    stream_spans: Vec<StreamSpanEvent>,
     registry: MetricsRegistry,
     rollups: Vec<EpochRollup>,
     /// Index into `events` where the current epoch began.
@@ -148,6 +167,44 @@ impl Profiler {
         self.push_marker(name, EventKind::Fallback, phase, 0.0);
     }
 
+    /// Records a span on a stream's virtual timeline.
+    ///
+    /// Stream spans are stored apart from the phase events: phase events
+    /// reconcile one-to-one against the engine's `Cost` milliseconds, and
+    /// mixing in scheduler-level spans (which aggregate many kernels) would
+    /// double-count. The exporter renders them as `stream-N` tracks with
+    /// their absolute timestamps preserved.
+    pub fn record_stream_span(&mut self, stream: u32, name: &str, start_ms: f64, dur_ms: f64) {
+        self.stream_spans.push(StreamSpanEvent {
+            stream,
+            name: name.to_string(),
+            start_ms,
+            dur_ms,
+        });
+    }
+
+    /// All recorded stream spans, in record order.
+    pub fn stream_spans(&self) -> &[StreamSpanEvent] {
+        &self.stream_spans
+    }
+
+    /// Stream ids with at least one span, ascending and deduplicated.
+    pub fn stream_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.stream_spans.iter().map(|s| s.stream).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Summed span durations on one stream.
+    pub fn stream_total_ms(&self, stream: u32) -> f64 {
+        self.stream_spans
+            .iter()
+            .filter(|s| s.stream == stream)
+            .map(|s| s.dur_ms)
+            .fold(0.0, |a, b| a + b)
+    }
+
     fn push_marker(&mut self, name: &str, kind: EventKind, phase: Phase, time_ms: f64) {
         self.push(KernelEvent {
             name: name.to_string(),
@@ -215,6 +272,24 @@ mod tests {
                 ..Default::default()
             },
         }
+    }
+
+    #[test]
+    fn stream_spans_are_kept_apart_from_phase_events() {
+        let mut p = Profiler::new("TC-GNN");
+        p.record_span("spmm", Phase::Aggregation, 1.0);
+        p.record_stream_span(2, "batch-0", 0.0, 3.0);
+        p.record_stream_span(0, "batch-1", 3.0, 2.0);
+        p.record_stream_span(2, "batch-2", 3.0, 1.0);
+        // Phase accounting is untouched by stream spans.
+        assert_eq!(p.events().len(), 1);
+        assert_eq!(p.phase_total_ms(Phase::Aggregation), 1.0);
+        // Stream bookkeeping sees all three.
+        assert_eq!(p.stream_spans().len(), 3);
+        assert_eq!(p.stream_ids(), vec![0, 2]);
+        assert_eq!(p.stream_total_ms(2), 4.0);
+        assert_eq!(p.stream_total_ms(0), 2.0);
+        assert_eq!(p.stream_total_ms(1), 0.0);
     }
 
     #[test]

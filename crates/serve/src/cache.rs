@@ -1,0 +1,181 @@
+//! Fingerprint-keyed LRU cache of SGT translations.
+//!
+//! The paper's Fig. 7(b) amortization argument — Algorithm 1 runs once per
+//! graph and its cost is spread over every later kernel invocation — is the
+//! economics this cache implements for a serving session: the first batch
+//! against a graph pays the translation, every later batch skips it. The key
+//! is [`CsrGraph::fingerprint`](tcg_graph::CsrGraph::fingerprint), a stable
+//! content hash, so structurally identical graphs share one entry and a
+//! mutated graph can never alias a stale translation.
+
+use std::sync::Arc;
+
+use tcg_sgt::TranslatedGraph;
+
+/// One cached translation plus the modeled cost of having produced it.
+#[derive(Debug, Clone)]
+pub struct CachedTranslation {
+    /// The SGT output, shared with every batch dispatched against it.
+    pub translation: Arc<TranslatedGraph>,
+    /// Modeled Algorithm 1 cost in milliseconds (what a hit saves).
+    pub sgt_ms: f64,
+}
+
+/// Amortization accounting mirroring Fig. 7(b), exported in serve reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that found a resident translation.
+    pub hits: u64,
+    /// Lookups that ran Algorithm 1.
+    pub misses: u64,
+    /// Entries pushed out by capacity pressure.
+    pub evictions: u64,
+    /// Translation milliseconds actually paid (on misses).
+    pub translation_ms_paid: f64,
+    /// Translation milliseconds avoided (on hits).
+    pub translation_ms_saved: f64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU of translations keyed by graph fingerprint.
+///
+/// Backed by a `Vec` ordered least- to most-recently used; sessions hold a
+/// handful of graphs, so linear scans beat hash-map overhead and keep
+/// iteration order (and therefore eviction order) trivially deterministic.
+#[derive(Debug, Default)]
+pub struct TranslationCache {
+    capacity: usize,
+    entries: Vec<(u64, CachedTranslation)>,
+    stats: CacheStats,
+}
+
+impl TranslationCache {
+    /// A cache holding at most `capacity` translations. Zero capacity
+    /// disables caching entirely: every lookup misses and nothing is
+    /// retained — the uncached baseline configuration.
+    pub fn new(capacity: usize) -> Self {
+        TranslationCache {
+            capacity,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Amortization counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident fingerprints, least- to most-recently used.
+    pub fn resident(&self) -> Vec<u64> {
+        self.entries.iter().map(|(fp, _)| *fp).collect()
+    }
+
+    /// Looks up `fingerprint`, counting a hit (and refreshing recency) or a
+    /// miss. On a hit the saved translation milliseconds accrue to
+    /// [`CacheStats::translation_ms_saved`].
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<CachedTranslation> {
+        match self.entries.iter().position(|(fp, _)| *fp == fingerprint) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                let cached = entry.1.clone();
+                self.entries.push(entry);
+                self.stats.hits += 1;
+                self.stats.translation_ms_saved += cached.sgt_ms;
+                Some(cached)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the translation a miss just paid for and inserts it as the
+    /// most-recently-used entry, evicting the least-recently-used one on
+    /// overflow. With zero capacity the cost is still accounted but nothing
+    /// is retained.
+    pub fn insert(&mut self, fingerprint: u64, cached: CachedTranslation) {
+        self.stats.translation_ms_paid += cached.sgt_ms;
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(fp, _)| *fp == fingerprint) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((fingerprint, cached));
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ms: f64) -> CachedTranslation {
+        let g = tcg_graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).unwrap();
+        CachedTranslation {
+            translation: Arc::new(tcg_sgt::translate(&g)),
+            sgt_ms: ms,
+        }
+    }
+
+    #[test]
+    fn hit_refreshes_recency_and_accrues_savings() {
+        let mut c = TranslationCache::new(2);
+        assert!(c.lookup(1).is_none());
+        c.insert(1, entry(5.0));
+        assert!(c.lookup(2).is_none());
+        c.insert(2, entry(7.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(1).is_some());
+        c.insert(3, entry(1.0));
+        assert_eq!(c.resident(), vec![1, 3]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 2, 1));
+        assert_eq!(s.translation_ms_paid, 13.0);
+        assert_eq!(s.translation_ms_saved, 5.0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention_but_counts_costs() {
+        let mut c = TranslationCache::new(0);
+        assert!(c.lookup(9).is_none());
+        c.insert(9, entry(4.0));
+        assert!(c.lookup(9).is_none());
+        assert!(c.is_empty());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert_eq!(s.translation_ms_paid, 4.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! `tcg-serve`: request-driven inference serving over the simulated GPU.
+//!
+//! The paper's Fig. 7(b) shows SGT translation as a one-time cost amortized
+//! across many kernel invocations on the same graph — exactly the economics
+//! of an inference server. This crate builds that server out of the
+//! existing layers:
+//!
+//! - [`Session`]: a frozen trained model ([`ServableModel`]) over a set of
+//!   graphs, with a fingerprint-keyed LRU [`cache`] of SGT translations —
+//!   a cache hit skips Algorithm 1 entirely and records the saved
+//!   milliseconds.
+//! - [`batcher`]: a dynamic micro-batcher coalescing queued
+//!   node-classification requests into full-graph forward passes under a
+//!   max-batch / max-delay policy.
+//! - [`server`]: admission control (bounded queue → `QueueFull` shedding,
+//!   per-request deadlines) and a multi-stream executor — one worker thread
+//!   per [`tcg_gpusim::Stream`], each with its own virtual timeline that
+//!   lands as a separate Perfetto track. Injected device faults are
+//!   absorbed by the engine's retry + TCU→CUDA-core degradation, so chaos
+//!   slows batches down instead of failing requests.
+//! - [`loadgen`]: seeded Poisson arrival traces for closed-loop
+//!   benchmarking.
+//!
+//! Everything runs in *virtual* (simulated) time and is deterministic: the
+//! same session, config, and trace produce byte-identical per-stream
+//! timelines and reports, worker threads notwithstanding (see
+//! [`server`]'s module docs for why).
+
+pub mod batcher;
+pub mod cache;
+pub mod loadgen;
+pub mod model;
+pub mod report;
+pub mod request;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Batcher, ClosedBatch};
+pub use cache::{CacheStats, CachedTranslation, TranslationCache};
+pub use loadgen::{poisson_trace, LoadgenConfig};
+pub use model::ServableModel;
+pub use request::{Outcome, Request, Response};
+pub use server::{serve, ServeConfig, ServeReport, ServedGraph, Session, StreamSummary};

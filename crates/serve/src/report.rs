@@ -1,0 +1,116 @@
+//! JSON rendering of [`ServeReport`] — the shape `results/BENCH_serve.json`
+//! and the `tcgnn serve` CLI both emit.
+
+use serde::Value;
+
+use crate::server::ServeReport;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+impl ServeReport {
+    /// The report as a JSON value tree (deterministic field order;
+    /// per-request responses are summarized, not listed).
+    pub fn to_value(&self) -> Value {
+        let latency = obj(vec![
+            ("count", Value::UInt(self.latency.count() as u128)),
+            ("mean_ms", Value::Float(self.latency.mean())),
+            ("min_ms", Value::Float(self.latency.min())),
+            ("p50_ms", Value::Float(self.latency.p50())),
+            ("p95_ms", Value::Float(self.latency.p95())),
+            ("p99_ms", Value::Float(self.latency.p99())),
+            ("max_ms", Value::Float(self.latency.max())),
+        ]);
+        let cache = obj(vec![
+            ("hits", Value::UInt(self.cache.hits as u128)),
+            ("misses", Value::UInt(self.cache.misses as u128)),
+            ("evictions", Value::UInt(self.cache.evictions as u128)),
+            ("hit_rate", Value::Float(self.cache.hit_rate())),
+            (
+                "translation_ms_paid",
+                Value::Float(self.cache.translation_ms_paid),
+            ),
+            (
+                "translation_ms_saved",
+                Value::Float(self.cache.translation_ms_saved),
+            ),
+        ]);
+        let faults = obj(vec![
+            (
+                "injected",
+                Value::UInt(self.faults.total_injected() as u128),
+            ),
+            ("retried", Value::UInt(self.faults.retried as u128)),
+            ("degraded", Value::UInt(self.faults.degraded as u128)),
+        ]);
+        let streams: Vec<Value> = self
+            .per_stream
+            .iter()
+            .map(|st| {
+                obj(vec![
+                    ("stream", Value::UInt(st.stream as u128)),
+                    ("launches", Value::UInt(st.launches as u128)),
+                    ("busy_ms", Value::Float(st.busy_ms)),
+                    ("end_ms", Value::Float(st.end_ms)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("backend", s(self.backend)),
+            ("model", s(self.model)),
+            ("streams", Value::UInt(self.streams as u128)),
+            ("total_requests", Value::UInt(self.total_requests as u128)),
+            ("answered", Value::UInt(self.answered as u128)),
+            ("on_time", Value::UInt(self.on_time as u128)),
+            ("late", Value::UInt(self.late as u128)),
+            ("shed", Value::UInt(self.shed as u128)),
+            ("failed", Value::UInt(self.failed as u128)),
+            ("batches", Value::UInt(self.batches as u128)),
+            ("mean_batch_size", Value::Float(self.mean_batch_size)),
+            ("makespan_ms", Value::Float(self.makespan_ms)),
+            ("throughput_rps", Value::Float(self.throughput_rps)),
+            ("latency_ms", latency),
+            ("sgt_cache", cache),
+            ("faults", faults),
+            ("per_stream", Value::Array(streams)),
+        ])
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("value tree serializes")
+    }
+
+    /// One human line for CLI/CI logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} {} | {} req → {} answered ({} late, {} shed, {} failed) in {} batches | \
+             p50 {:.3} ms p99 {:.3} ms | {:.1} req/s | cache {}h/{}m | faults {} (degraded {})",
+            self.backend,
+            self.model,
+            self.total_requests,
+            self.answered,
+            self.late,
+            self.shed,
+            self.failed,
+            self.batches,
+            self.latency.p50(),
+            self.latency.p99(),
+            self.throughput_rps,
+            self.cache.hits,
+            self.cache.misses,
+            self.faults.total_injected(),
+            self.faults.degraded,
+        )
+    }
+}

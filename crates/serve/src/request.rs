@@ -1,0 +1,88 @@
+//! Request and response types of the serving layer.
+
+/// One node-classification request against a session graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-assigned identifier, echoed in the response.
+    pub id: u64,
+    /// Arrival on the simulated clock, in milliseconds.
+    pub arrival_ms: f64,
+    /// Index of the target graph in the session's graph list.
+    pub graph: usize,
+    /// Node whose class is requested.
+    pub node: usize,
+    /// Optional latency budget; exceeding it marks the response late (the
+    /// answer is still produced — late, not lost).
+    pub deadline_ms: Option<f64>,
+}
+
+/// How a request left the system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Answered within its deadline (or with none set).
+    Served {
+        /// Predicted class (argmax over the logits row).
+        class: usize,
+        /// Completion minus arrival, in simulated milliseconds.
+        latency_ms: f64,
+    },
+    /// Answered, but after the request's deadline.
+    Late {
+        /// Predicted class.
+        class: usize,
+        /// Completion minus arrival, in simulated milliseconds.
+        latency_ms: f64,
+        /// The budget that was exceeded.
+        deadline_ms: f64,
+    },
+    /// Shed at admission: the bounded queue was full
+    /// ([`tcg_fault::TcgError::QueueFull`]).
+    Shed {
+        /// The queue capacity that was exhausted.
+        queue_capacity: usize,
+    },
+}
+
+impl Outcome {
+    /// Whether an answer was produced (served or late).
+    pub fn answered(&self) -> bool {
+        !matches!(self, Outcome::Shed { .. })
+    }
+
+    /// The observed latency, when an answer was produced.
+    pub fn latency_ms(&self) -> Option<f64> {
+        match self {
+            Outcome::Served { latency_ms, .. } | Outcome::Late { latency_ms, .. } => {
+                Some(*latency_ms)
+            }
+            Outcome::Shed { .. } => None,
+        }
+    }
+
+    /// The admission error this outcome corresponds to, if any.
+    pub fn error(&self) -> Option<tcg_fault::TcgError> {
+        match self {
+            Outcome::Shed { queue_capacity } => Some(tcg_fault::TcgError::QueueFull {
+                capacity: *queue_capacity,
+            }),
+            Outcome::Late {
+                latency_ms,
+                deadline_ms,
+                ..
+            } => Some(tcg_fault::TcgError::DeadlineExceeded {
+                deadline_ms: *deadline_ms,
+                observed_ms: *latency_ms,
+            }),
+            Outcome::Served { .. } => None,
+        }
+    }
+}
+
+/// A request's final record, id-ordered in the serve report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The originating request's id.
+    pub id: u64,
+    /// What happened to it.
+    pub outcome: Outcome,
+}

@@ -1,0 +1,455 @@
+//! The serving core: session state, the virtual-time dispatcher with
+//! admission control, and the multi-stream worker executor.
+//!
+//! # Determinism
+//!
+//! The server runs real worker threads, yet every run over the same session
+//! and request trace produces byte-identical timelines and reports. Three
+//! decisions make that hold:
+//!
+//! 1. **Batch formation is trace-pure.** The dispatcher seals batches from
+//!    arrival times alone ([`crate::batcher`]); execution timing never
+//!    feeds back into formation.
+//! 2. **Stream assignment is round-robin** over the batch index — a pure
+//!    function of dispatch order, never of which stream happens to drain
+//!    first in wall-clock terms.
+//! 3. **Each stream owns its virtual clock.** A worker thread walks its
+//!    stream's batches in dispatch order, placing each at
+//!    `max(ready, previous end)` on the stream's
+//!    [`tcg_gpusim::Stream`]; no cross-thread state is read. Per-engine
+//!    fault plans are seeded from `(stream, graph)`, so chaos runs are as
+//!    reproducible as clean ones.
+//!
+//! Admission control is likewise virtual-time: the bounded queue's
+//! occupancy is the number of requests sitting in open batches at the
+//! moment an arrival is processed, so [`tcg_fault::TcgError::QueueFull`]
+//! shedding is a deterministic function of the trace.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tcg_fault::{FaultConfig, FaultPlan, FaultReport};
+use tcg_gnn::{Backend, Engine};
+use tcg_gpusim::{DeviceSpec, Stream};
+use tcg_graph::CsrGraph;
+use tcg_profile::{SharedProfiler, StreamingHistogram};
+use tcg_sgt::TranslatedGraph;
+use tcg_tensor::{ops, DenseMatrix};
+
+use crate::batcher::{BatchPolicy, Batcher, ClosedBatch};
+use crate::cache::{CacheStats, CachedTranslation, TranslationCache};
+use crate::model::ServableModel;
+use crate::request::{Outcome, Request, Response};
+
+/// One graph a session serves requests against.
+#[derive(Debug, Clone)]
+pub struct ServedGraph {
+    /// Label used in stream-span names and reports.
+    pub name: String,
+    /// The (symmetric) adjacency.
+    pub csr: CsrGraph,
+    /// Node features inference runs over.
+    pub features: DenseMatrix,
+}
+
+/// A frozen model plus the graphs it serves and the translation cache that
+/// amortizes Algorithm 1 across their batches.
+#[derive(Debug)]
+pub struct Session {
+    model: ServableModel,
+    graphs: Vec<ServedGraph>,
+    cache: TranslationCache,
+}
+
+impl Session {
+    /// A session serving `model` over `graphs`, caching at most
+    /// `cache_capacity` SGT translations.
+    pub fn new(model: ServableModel, graphs: Vec<ServedGraph>, cache_capacity: usize) -> Self {
+        Session {
+            model,
+            graphs,
+            cache: TranslationCache::new(cache_capacity),
+        }
+    }
+
+    /// The frozen model.
+    pub fn model(&self) -> &ServableModel {
+        &self.model
+    }
+
+    /// The served graphs, indexed by [`Request::graph`].
+    pub fn graphs(&self) -> &[ServedGraph] {
+        &self.graphs
+    }
+
+    /// The translation cache's amortization counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Kernel backend batches execute on.
+    pub backend: Backend,
+    /// Number of simulated streams (and worker threads).
+    pub streams: usize,
+    /// Micro-batching policy.
+    pub policy: BatchPolicy,
+    /// Bounded admission queue: arrivals beyond this many waiting requests
+    /// are shed with [`tcg_fault::TcgError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Fault injection for chaos serving; `None` runs clean.
+    pub fault: Option<FaultConfig>,
+    /// Base seed for the per-`(stream, graph)` fault plans.
+    pub fault_seed: u64,
+    /// Simulated device.
+    pub device: DeviceSpec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            backend: Backend::TcGnn,
+            streams: 2,
+            policy: BatchPolicy::default(),
+            queue_capacity: 64,
+            fault: None,
+            fault_seed: 0,
+            device: DeviceSpec::rtx3090(),
+        }
+    }
+}
+
+/// A sealed batch bound to a stream, with its translation resolved.
+#[derive(Debug, Clone)]
+struct DispatchedBatch {
+    index: usize,
+    graph: usize,
+    stream: u32,
+    /// Close time plus any translation milliseconds paid on a cache miss.
+    ready_ms: f64,
+    requests: Vec<Request>,
+    translation: Arc<TranslatedGraph>,
+}
+
+/// Per-stream utilization in the final report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Stream id.
+    pub stream: u32,
+    /// Batches executed.
+    pub launches: usize,
+    /// Summed execution milliseconds.
+    pub busy_ms: f64,
+    /// When the stream drained.
+    pub end_ms: f64,
+}
+
+/// Everything a serve run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Backend label.
+    pub backend: &'static str,
+    /// Model architecture label.
+    pub model: &'static str,
+    /// Streams configured.
+    pub streams: usize,
+    /// Requests in the trace.
+    pub total_requests: usize,
+    /// Requests answered (on time or late).
+    pub answered: usize,
+    /// Answered within deadline (or with none set).
+    pub on_time: usize,
+    /// Answered after their deadline.
+    pub late: usize,
+    /// Shed at admission (queue full).
+    pub shed: usize,
+    /// Requests that errored. Structurally zero: injected device faults are
+    /// absorbed by the engine's retry + TCU→CUDA-core degradation, so they
+    /// slow a batch down instead of failing it.
+    pub failed: usize,
+    /// Batched forward passes executed.
+    pub batches: usize,
+    /// Mean requests per batch.
+    pub mean_batch_size: f64,
+    /// When the last stream drained, in simulated milliseconds.
+    pub makespan_ms: f64,
+    /// Answered requests per simulated second.
+    pub throughput_rps: f64,
+    /// Latency distribution over answered requests.
+    pub latency: StreamingHistogram,
+    /// Translation-cache amortization counters.
+    pub cache: CacheStats,
+    /// Fault accounting summed over every worker engine.
+    pub faults: FaultReport,
+    /// Per-stream utilization.
+    pub per_stream: Vec<StreamSummary>,
+    /// Per-request records, id-ordered.
+    pub responses: Vec<Response>,
+}
+
+/// What one worker thread hands back: its stream (with the recorded
+/// timeline), the responses it resolved, and its engines' fault accounting.
+struct WorkerResult {
+    stream: Stream,
+    responses: Vec<Response>,
+    faults: FaultReport,
+}
+
+fn merge_fault_reports(into: &mut FaultReport, other: &FaultReport) {
+    into.launch_failures += other.launch_failures;
+    into.smem_overcommits += other.smem_overcommits;
+    into.device_ooms += other.device_ooms;
+    into.ecc_flips += other.ecc_flips;
+    into.retried += other.retried;
+    into.degraded += other.degraded;
+}
+
+/// Serves `trace` (sorted by arrival time) against the session, returning
+/// the full report. When a profiler is supplied, each translation lands as
+/// a host span (dispatch order) and each stream's timeline as `stream-N`
+/// trace tracks.
+pub fn serve(
+    session: &mut Session,
+    cfg: &ServeConfig,
+    trace: &[Request],
+    profiler: Option<&SharedProfiler>,
+) -> ServeReport {
+    assert!(
+        trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
+        "request trace must be sorted by arrival time"
+    );
+    let streams = cfg.streams.max(1);
+
+    // ---- Dispatch: admission, batching, cache accounting (serial). ----
+    let mut batcher = Batcher::new(cfg.policy);
+    let mut dispatched: Vec<DispatchedBatch> = Vec::new();
+    let mut shed_responses: Vec<Response> = Vec::new();
+    let mut translations: Vec<(String, f64)> = Vec::new();
+    let dispatch = |closed: ClosedBatch,
+                    session: &mut Session,
+                    dispatched: &mut Vec<DispatchedBatch>,
+                    translations: &mut Vec<(String, f64)>| {
+        let g = &session.graphs[closed.graph];
+        let fp = g.csr.fingerprint();
+        let (translation, paid_ms) = match session.cache.lookup(fp) {
+            Some(hit) => (hit.translation, 0.0),
+            None => {
+                let t = Arc::new(tcg_sgt::translate(&g.csr));
+                let sgt_ms = tcg_sgt::overhead::model_ms(&g.csr);
+                session.cache.insert(
+                    fp,
+                    CachedTranslation {
+                        translation: Arc::clone(&t),
+                        sgt_ms,
+                    },
+                );
+                translations.push((format!("sgt_translate:{}", g.name), sgt_ms));
+                (t, sgt_ms)
+            }
+        };
+        let index = dispatched.len();
+        dispatched.push(DispatchedBatch {
+            index,
+            graph: closed.graph,
+            stream: (index % streams) as u32,
+            ready_ms: closed.close_ms + paid_ms,
+            requests: closed.requests,
+            translation,
+        });
+    };
+    for req in trace {
+        for closed in batcher.flush_due(req.arrival_ms) {
+            dispatch(closed, session, &mut dispatched, &mut translations);
+        }
+        if batcher.pending() >= cfg.queue_capacity.max(1) {
+            shed_responses.push(Response {
+                id: req.id,
+                outcome: Outcome::Shed {
+                    queue_capacity: cfg.queue_capacity.max(1),
+                },
+            });
+            continue;
+        }
+        if let Some(closed) = batcher.offer(req.clone()) {
+            dispatch(closed, session, &mut dispatched, &mut translations);
+        }
+    }
+    for closed in batcher.flush_all() {
+        dispatch(closed, session, &mut dispatched, &mut translations);
+    }
+
+    // ---- Execute: one worker thread per stream, virtual clocks. ----
+    let mut per_stream: Vec<Vec<DispatchedBatch>> = vec![Vec::new(); streams];
+    for b in dispatched {
+        per_stream[b.stream as usize].push(b);
+    }
+    let graphs = &session.graphs;
+    let model = &session.model;
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_stream
+            .iter()
+            .enumerate()
+            .map(|(sid, batches)| {
+                let cfg = cfg.clone();
+                scope.spawn(move || run_stream(sid as u32, batches, graphs, model, &cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream worker panicked"))
+            .collect()
+    });
+
+    // ---- Merge (deterministic: stream order, then id order). ----
+    let mut responses = shed_responses;
+    let mut faults = FaultReport::default();
+    let mut per_stream_summary = Vec::with_capacity(streams);
+    let mut batches = 0usize;
+    if let Some(p) = profiler {
+        let mut p = p.write().expect("profiler lock");
+        for (name, ms) in &translations {
+            p.record_host(name, *ms);
+        }
+    }
+    for wr in &worker_results {
+        merge_fault_reports(&mut faults, &wr.faults);
+        batches += wr.stream.launches();
+        per_stream_summary.push(StreamSummary {
+            stream: wr.stream.id(),
+            launches: wr.stream.launches(),
+            busy_ms: wr.stream.busy_ms(),
+            end_ms: wr.stream.now_ms(),
+        });
+        responses.extend(wr.responses.iter().cloned());
+        if let Some(p) = profiler {
+            let mut p = p.write().expect("profiler lock");
+            for span in wr.stream.spans() {
+                p.record_stream_span(wr.stream.id(), &span.name, span.start_ms, span.dur_ms);
+            }
+        }
+    }
+    responses.sort_by_key(|r| r.id);
+
+    let mut latency = StreamingHistogram::new();
+    let (mut on_time, mut late, mut shed) = (0usize, 0usize, 0usize);
+    for r in &responses {
+        match &r.outcome {
+            Outcome::Served { latency_ms, .. } => {
+                on_time += 1;
+                latency.record(*latency_ms);
+            }
+            Outcome::Late { latency_ms, .. } => {
+                late += 1;
+                latency.record(*latency_ms);
+            }
+            Outcome::Shed { .. } => shed += 1,
+        }
+    }
+    let answered = on_time + late;
+    let makespan_ms =
+        per_stream_summary
+            .iter()
+            .fold(0.0f64, |acc, s| if s.end_ms > acc { s.end_ms } else { acc });
+    let throughput_rps = if makespan_ms > 0.0 {
+        answered as f64 / makespan_ms * 1000.0
+    } else {
+        0.0
+    };
+    ServeReport {
+        backend: cfg.backend.name(),
+        model: session.model.kind(),
+        streams,
+        total_requests: trace.len(),
+        answered,
+        on_time,
+        late,
+        shed,
+        failed: 0,
+        batches,
+        mean_batch_size: if batches > 0 {
+            answered as f64 / batches as f64
+        } else {
+            0.0
+        },
+        makespan_ms,
+        throughput_rps,
+        latency,
+        cache: session.cache.stats(),
+        faults,
+        per_stream: per_stream_summary,
+        responses,
+    }
+}
+
+/// Executes one stream's batches in dispatch order on its virtual clock.
+///
+/// Runs on a worker thread; the engine (which holds non-`Send` kernel
+/// objects) is constructed *inside* the thread, one per graph, seeded with
+/// the dispatcher-resolved translation so Algorithm 1 never reruns here.
+fn run_stream(
+    stream_id: u32,
+    batches: &[DispatchedBatch],
+    graphs: &[ServedGraph],
+    model: &ServableModel,
+    cfg: &ServeConfig,
+) -> WorkerResult {
+    let mut stream = Stream::new(stream_id);
+    let mut engines: HashMap<usize, Engine> = HashMap::new();
+    let mut responses = Vec::new();
+    let mut faults = FaultReport::default();
+    for b in batches {
+        let g = &graphs[b.graph];
+        let eng = engines.entry(b.graph).or_insert_with(|| {
+            let mut eng = Engine::with_translation(
+                cfg.backend,
+                g.csr.clone(),
+                cfg.device.clone(),
+                (*b.translation).clone(),
+            )
+            .expect("session graphs are validated at admission");
+            if let Some(fault_cfg) = cfg.fault {
+                // One plan per (stream, graph): the draw sequence depends
+                // only on this stream's batch order, never on scheduling.
+                let seed = cfg
+                    .fault_seed
+                    .wrapping_add((u64::from(stream_id) + 1) << 32)
+                    .wrapping_add(b.graph as u64);
+                eng.attach_fault_plan(FaultPlan::new(seed, fault_cfg));
+            }
+            eng
+        });
+        let (logits, cost) = model.infer(eng, &g.features);
+        let name = format!("{}:batch-{}", g.name, b.index);
+        let (_, end_ms) = stream.launch_at(&name, b.ready_ms, cost.total_ms());
+        let classes = ops::argmax_rows(&logits);
+        for req in &b.requests {
+            let latency_ms = end_ms - req.arrival_ms;
+            let class = classes[req.node];
+            let outcome = match req.deadline_ms {
+                Some(d) if latency_ms > d => Outcome::Late {
+                    class,
+                    latency_ms,
+                    deadline_ms: d,
+                },
+                _ => Outcome::Served { class, latency_ms },
+            };
+            responses.push(Response {
+                id: req.id,
+                outcome,
+            });
+        }
+    }
+    // Engine order in the map is arbitrary; summing counters is
+    // order-insensitive, so the merged report stays deterministic.
+    for eng in engines.values() {
+        merge_fault_reports(&mut faults, &eng.fault_report());
+    }
+    WorkerResult {
+        stream,
+        responses,
+        faults,
+    }
+}

@@ -32,6 +32,29 @@ TCG_FAULT_RATE=0.2 TCG_FAULT_SEED=4099 \
 step "chaos integration tests"
 cargo test --release -q --test chaos
 
+step "serve smoke: dynamic batching + SGT translation cache through the CLI"
+serve_out=$(./target/release/tcgnn serve Cora,Cora/2 --requests 48 --rate 2000 --epochs 2)
+# The latency histogram must be populated...
+lat_count=$(sed -n 's/.*"count": \([0-9]*\).*/\1/p' <<<"$serve_out" | head -1)
+[[ -n "$lat_count" && "$lat_count" -ge 1 ]] || {
+    echo "serve smoke: empty latency histogram" >&2
+    exit 1
+}
+# ...and repeat dispatches must have hit the SGT cache at least once.
+cache_hits=$(sed -n 's/.*"hits": \([0-9]*\).*/\1/p' <<<"$serve_out" | head -1)
+[[ -n "$cache_hits" && "$cache_hits" -ge 1 ]] || {
+    echo "serve smoke: no SGT cache hits" >&2
+    exit 1
+}
+
+step "chaos serve: injected faults must degrade batches, never fail requests"
+chaos_out=$(TCG_FAULT_RATE=0.2 TCG_FAULT_SEED=7 \
+    ./target/release/tcgnn serve Cora --requests 32 --rate 1000 --epochs 2)
+grep -q '"failed": 0,' <<<"$chaos_out" || {
+    echo "chaos serve: requests failed under fault injection" >&2
+    exit 1
+}
+
 step "cargo fmt --check"
 cargo fmt --check
 

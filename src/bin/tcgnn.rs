@@ -6,6 +6,11 @@
 //! tcgnn translate <GRAPH>                 run SGT, print translation stats
 //! tcgnn spmm      <GRAPH> [--dim D]       compare all SpMM kernels
 //! tcgnn train     <DATASET> [--model M] [--backend B] [--epochs N]
+//! tcgnn eval      <DATASET> [--model M] [--backend B] [--epochs N]
+//! tcgnn serve     <DATASET>[,<DATASET>...] [--model M] [--backend B]
+//!                 [--requests N] [--rate RPS] [--streams S] [--max-batch B]
+//!                 [--max-delay MS] [--cache-cap C] [--queue-cap Q]
+//!                 [--deadline MS] [--seed S]
 //! ```
 //!
 //! `<GRAPH>` is a dataset name from the registry (optionally with
@@ -16,9 +21,12 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use tc_gnn::fault::FaultPlan;
-use tc_gnn::gnn::{train_agnn, train_gcn, train_gin, train_sage, Backend, Engine, TrainConfig};
+use tc_gnn::gnn::{
+    train_agnn, train_gcn, train_gin, train_model_returning, train_sage, AgnnModel, Backend,
+    Engine, GcnModel, GinModel, SageModel, TrainConfig,
+};
 use tc_gnn::gpusim::{DeviceSpec, Launcher};
-use tc_gnn::graph::datasets::{spec_by_name, TABLE4};
+use tc_gnn::graph::datasets::{spec_by_name, Dataset, TABLE4};
 use tc_gnn::graph::{io, CsrGraph};
 use tc_gnn::kernels::common::{SpmmKernel, SpmmProblem};
 use tc_gnn::kernels::spmm::{
@@ -36,6 +44,12 @@ fn usage() -> ExitCode {
            spmm      <GRAPH> [--dim D]      run every SpMM kernel on the graph\n\
            train     <DATASET> [--model gcn|sage|gin|agnn]\n\
                      [--backend dgl|pyg|tcgnn] [--epochs N]\n\
+           eval      <DATASET> [--model M] [--backend B] [--epochs N]\n\
+                     train briefly, then run the inference-only forward\n\
+           serve     <DATASET>[,<DATASET>...] [--model M] [--backend B]\n\
+                     [--requests N] [--rate RPS] [--streams S] [--max-batch B]\n\
+                     [--max-delay MS] [--cache-cap C] [--queue-cap Q]\n\
+                     [--deadline MS] [--seed S]\n\
          GRAPH: registry name (optionally name/scale), .json, .mtx, or edge-list path"
     );
     ExitCode::FAILURE
@@ -267,6 +281,256 @@ fn cmd_train(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses `--backend` (defaulting to the paper's TC-GNN backend).
+fn parse_backend(args: &[String]) -> Result<Backend, ExitCode> {
+    match flag_value(args, "--backend").as_deref() {
+        None | Some("tcgnn") => Ok(Backend::TcGnn),
+        Some("dgl") => Ok(Backend::DglLike),
+        Some("pyg") => Ok(Backend::PygLike),
+        Some(other) => {
+            eprintln!("unknown backend: {other}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Materializes a registry dataset argument (`name` or `name/scale`).
+fn load_dataset_arg(arg: &str) -> Result<Dataset, String> {
+    let (name, scale) = match arg.split_once('/') {
+        Some((n, s)) => (
+            n,
+            s.parse::<usize>().map_err(|_| format!("bad scale: {s}"))?,
+        ),
+        None => (arg, 1),
+    };
+    let spec = spec_by_name(name).map_err(|e| e.to_string())?;
+    spec.scaled(scale)
+        .materialize(42)
+        .map_err(|e| e.to_string())
+}
+
+/// Trains the requested architecture on `ds` and freezes it for serving.
+fn train_frozen(
+    model: &str,
+    backend: Backend,
+    ds: &Dataset,
+    epochs: u32,
+) -> Result<tc_gnn::serve::ServableModel, String> {
+    let cfg = if model == "agnn" {
+        TrainConfig::agnn_paper()
+    } else {
+        TrainConfig::gcn_paper()
+    }
+    .with_epochs(epochs);
+    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let frozen = match model {
+        "gcn" => {
+            let m = GcnModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+            tc_gnn::serve::ServableModel::Gcn(train_model_returning(&mut eng, ds, cfg, m).0)
+        }
+        "sage" => {
+            let m = SageModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+            tc_gnn::serve::ServableModel::Sage(train_model_returning(&mut eng, ds, cfg, m).0)
+        }
+        "gin" => {
+            let m = GinModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
+            tc_gnn::serve::ServableModel::Gin(train_model_returning(&mut eng, ds, cfg, m).0)
+        }
+        "agnn" => {
+            let m = AgnnModel::new(
+                ds.spec.feat_dim,
+                cfg.hidden,
+                ds.spec.num_classes,
+                cfg.layers,
+                cfg.seed,
+            );
+            tc_gnn::serve::ServableModel::Agnn(train_model_returning(&mut eng, ds, cfg, m).0)
+        }
+        other => return Err(format!("unknown model: {other}")),
+    };
+    Ok(frozen)
+}
+
+fn cmd_eval(args: &[String]) -> ExitCode {
+    let Some(name_arg) = args.first() else {
+        return usage();
+    };
+    let ds = match load_dataset_arg(name_arg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e} (eval needs a registry dataset for features/labels)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = flag_value(args, "--model").unwrap_or_else(|| "gcn".into());
+    let backend = match parse_backend(args) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    let epochs: u32 = flag_value(args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let frozen = match train_frozen(&model, backend, &ds, epochs) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Fresh engine so the inference cost reflects a cold serving instance,
+    // not the warmed caches left behind by training.
+    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let (logits, cost) = frozen.infer(&mut eng, &ds.features);
+    let pred = tc_gnn::tensor::ops::argmax_rows(&logits);
+    let correct = pred
+        .iter()
+        .zip(ds.labels.iter())
+        .filter(|(p, l)| **p == **l as usize)
+        .count();
+    println!(
+        "{} on {} ({} backend): inference over {} nodes",
+        frozen.kind(),
+        ds.spec.name,
+        eng.backend().name(),
+        ds.graph.num_nodes()
+    );
+    println!(
+        "accuracy {:.1}%  ({} / {} nodes)",
+        100.0 * correct as f64 / pred.len().max(1) as f64,
+        correct,
+        pred.len()
+    );
+    println!(
+        "inference {:.3} ms (aggregation {:.3}, update {:.3}, other {:.3}); SGT {:.3} ms one-time",
+        cost.total_ms(),
+        cost.aggregation_ms,
+        cost.update_ms,
+        cost.other_ms,
+        eng.preprocessing_ms()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use tc_gnn::serve::{poisson_trace, serve, LoadgenConfig, ServeConfig, ServedGraph, Session};
+
+    let Some(names_arg) = args.first() else {
+        return usage();
+    };
+    let mut datasets = Vec::new();
+    for name in names_arg.split(',') {
+        match load_dataset_arg(name) {
+            Ok(d) => datasets.push(d),
+            Err(e) => {
+                eprintln!("error loading {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // One frozen model serves every graph, so the feature/label shapes must
+    // agree across the set.
+    let (feat_dim, num_classes) = (datasets[0].spec.feat_dim, datasets[0].spec.num_classes);
+    if let Some(bad) = datasets
+        .iter()
+        .find(|d| d.spec.feat_dim != feat_dim || d.spec.num_classes != num_classes)
+    {
+        eprintln!(
+            "error: {} has feat_dim/classes {}x{}, expected {}x{} (all served graphs must match)",
+            bad.spec.name, bad.spec.feat_dim, bad.spec.num_classes, feat_dim, num_classes
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let model = flag_value(args, "--model").unwrap_or_else(|| "gcn".into());
+    let backend = match parse_backend(args) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    let epochs: u32 = flag_value(args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let parse_usize = |flag: &str, default: usize| {
+        flag_value(args, flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let parse_f64 = |flag: &str, default: f64| {
+        flag_value(args, flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+
+    eprintln!(
+        "training frozen {model} model on {}...",
+        datasets[0].spec.name
+    );
+    let frozen = match train_frozen(&model, backend, &datasets[0], epochs) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let graph_sizes: Vec<usize> = datasets.iter().map(|d| d.graph.num_nodes()).collect();
+    let graphs: Vec<ServedGraph> = datasets
+        .into_iter()
+        .map(|d| ServedGraph {
+            name: d.spec.name.to_string(),
+            csr: d.graph,
+            features: d.features,
+        })
+        .collect();
+
+    let mut session = Session::new(frozen, graphs, parse_usize("--cache-cap", 4));
+    let mut cfg = ServeConfig {
+        backend,
+        streams: parse_usize("--streams", 2),
+        queue_capacity: parse_usize("--queue-cap", 64),
+        ..ServeConfig::default()
+    };
+    cfg.policy.max_batch = parse_usize("--max-batch", 8);
+    cfg.policy.max_delay_ms = parse_f64("--max-delay", 2.0);
+    let lg = LoadgenConfig {
+        rate_rps: parse_f64("--rate", 200.0),
+        requests: parse_usize("--requests", 64),
+        deadline_ms: flag_value(args, "--deadline").and_then(|v| v.parse().ok()),
+        seed: flag_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7),
+    };
+    // Chaos mode rides the same TCG_FAULT_RATE/TCG_FAULT_SEED switch as
+    // training; faults degrade batches to the CUDA-core path, never fail them.
+    if let Some(plan) = FaultPlan::from_env() {
+        eprintln!(
+            "fault injection enabled: seed {} rate {}",
+            plan.seed(),
+            plan.config().launch_rate
+        );
+        cfg.fault = Some(*plan.config());
+        cfg.fault_seed = plan.seed();
+    }
+
+    let trace = poisson_trace(&graph_sizes, &lg);
+    let profiler = std::env::var("TCG_PROFILE")
+        .ok()
+        .filter(|v| !v.is_empty() && v != "0")
+        .map(|_| tc_gnn::profile::shared(cfg.backend.name()));
+    let report = serve(&mut session, &cfg, &trace, profiler.as_ref());
+    println!("{}", report.summary_line());
+    println!("{}", report.to_json());
+    if let Some(p) = profiler {
+        let guard = p.read().expect("profiler lock");
+        let trace_path = "results/serve-cli.trace.json";
+        let _ = std::fs::create_dir_all("results");
+        match std::fs::write(trace_path, tc_gnn::profile::chrome_trace_json(&guard)) {
+            Ok(()) => eprintln!("wrote {trace_path} (Perfetto: ui.perfetto.dev)"),
+            Err(e) => eprintln!("could not write {trace_path}: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -297,6 +561,8 @@ fn main() -> ExitCode {
             }
         }
         "train" => cmd_train(&args[1..]),
+        "eval" => cmd_eval(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,0 +1,195 @@
+//! Integration tests of the serving subsystem: LRU cache laws under
+//! arbitrary access sequences, end-to-end determinism of a multi-stream
+//! serve run (timelines and reports must be byte-identical across runs),
+//! and chaos serving absorbing every injected fault.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tc_gnn::fault::FaultConfig;
+use tc_gnn::gnn::{Backend, GcnModel};
+use tc_gnn::graph::datasets::{DatasetSpec, GraphClass};
+use tc_gnn::profile::{chrome_trace_json, shared};
+use tc_gnn::serve::{
+    poisson_trace, serve, CachedTranslation, LoadgenConfig, ServableModel, ServeConfig,
+    ServedGraph, Session, TranslationCache,
+};
+
+// ---------------------------------------------------------------------------
+// LRU cache laws
+// ---------------------------------------------------------------------------
+
+fn dummy_entry(ms: f64) -> CachedTranslation {
+    let g = tc_gnn::graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).expect("tiny graph");
+    CachedTranslation {
+        translation: Arc::new(tc_gnn::sgt::translate(&g)),
+        sgt_ms: ms,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replays an arbitrary access sequence against the cache and a naive
+    /// reference LRU; residency, order, and counters must agree, and the
+    /// size bound must hold at every step.
+    #[test]
+    fn cache_matches_reference_lru(
+        capacity in 0usize..5,
+        accesses in proptest::collection::vec(0u64..8, 0..60),
+    ) {
+        let mut cache = TranslationCache::new(capacity);
+        // Reference model: Vec ordered least- to most-recently used.
+        let mut reference: Vec<u64> = Vec::new();
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for &fp in &accesses {
+            let sgt_ms = 1.0 + fp as f64;
+            if let Some(pos) = reference.iter().position(|&r| r == fp) {
+                let v = reference.remove(pos);
+                reference.push(v);
+                hits += 1;
+                prop_assert!(cache.lookup(fp).is_some());
+            } else {
+                misses += 1;
+                prop_assert!(cache.lookup(fp).is_none());
+                cache.insert(fp, dummy_entry(sgt_ms));
+                if capacity > 0 {
+                    reference.push(fp);
+                    if reference.len() > capacity {
+                        reference.remove(0);
+                        evictions += 1;
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.resident(), reference.clone());
+        }
+        let s = cache.stats();
+        prop_assert_eq!((s.hits, s.misses, s.evictions), (hits, misses, evictions));
+        prop_assert_eq!(s.hits + s.misses, accesses.len() as u64);
+    }
+
+    /// A hit must return the exact translation inserted under that
+    /// fingerprint, not some other resident entry.
+    #[test]
+    fn cache_returns_the_entry_inserted(fps in proptest::collection::vec(0u64..6, 1..20)) {
+        let mut cache = TranslationCache::new(4);
+        for &fp in &fps {
+            if let Some(got) = cache.lookup(fp) {
+                prop_assert_eq!(got.sgt_ms, fp as f64);
+            } else {
+                cache.insert(fp, dummy_entry(fp as f64));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serve determinism
+// ---------------------------------------------------------------------------
+
+fn serving_fixture() -> (ServableModel, Vec<ServedGraph>) {
+    let mk = |name: &'static str, nodes: usize, edges: usize, seed: u64| {
+        let ds = DatasetSpec {
+            name,
+            class: GraphClass::TypeI,
+            num_nodes: nodes,
+            num_edges: edges,
+            feat_dim: 16,
+            num_classes: 4,
+        }
+        .materialize(seed)
+        .expect("synthetic dataset");
+        ServedGraph {
+            name: name.to_string(),
+            csr: ds.graph,
+            features: ds.features,
+        }
+    };
+    // Untrained (seeded) weights: serving determinism does not depend on
+    // training having happened first.
+    let model = ServableModel::Gcn(GcnModel::new(16, 8, 4, 11));
+    (
+        model,
+        vec![mk("srv-a", 200, 1600, 3), mk("srv-b", 150, 900, 4)],
+    )
+}
+
+fn serve_once(cfg: &ServeConfig, trace: &[tc_gnn::serve::Request]) -> (String, String) {
+    let (model, graphs) = serving_fixture();
+    let mut session = Session::new(model, graphs, 4);
+    let profiler = shared("serve-test");
+    let report = serve(&mut session, cfg, trace, Some(&profiler));
+    let timeline = chrome_trace_json(&profiler.read().expect("profiler lock"));
+    (timeline, report.to_json())
+}
+
+/// Same session inputs + same trace ⇒ byte-identical per-stream timelines
+/// and reports, worker threads notwithstanding.
+#[test]
+fn serve_runs_are_byte_identical() {
+    let cfg = ServeConfig {
+        backend: Backend::TcGnn,
+        streams: 3,
+        ..ServeConfig::default()
+    };
+    let trace = poisson_trace(
+        &[200, 150],
+        &LoadgenConfig {
+            rate_rps: 2_000.0,
+            requests: 48,
+            deadline_ms: Some(25.0),
+            seed: 99,
+        },
+    );
+    let (timeline_a, report_a) = serve_once(&cfg, &trace);
+    let (timeline_b, report_b) = serve_once(&cfg, &trace);
+    assert_eq!(timeline_a, timeline_b, "per-stream timelines diverged");
+    assert_eq!(report_a, report_b, "serve reports diverged");
+    // The timelines really are multi-stream: every configured stream left
+    // its own named track.
+    for stream in 0..3 {
+        assert!(
+            timeline_a.contains(&format!("stream-{stream}")),
+            "stream {stream} track missing from timeline"
+        );
+    }
+}
+
+/// Determinism also holds under fault injection: the chaos schedule is part
+/// of the seeded state, not a source of nondeterminism.
+#[test]
+fn chaos_serve_is_deterministic_and_never_fails_requests() {
+    let cfg = ServeConfig {
+        backend: Backend::TcGnn,
+        streams: 2,
+        fault: Some(FaultConfig::uniform(0.2)),
+        fault_seed: 42,
+        ..ServeConfig::default()
+    };
+    let trace = poisson_trace(
+        &[200, 150],
+        &LoadgenConfig {
+            rate_rps: 1_000.0,
+            requests: 32,
+            deadline_ms: None,
+            seed: 5,
+        },
+    );
+    let (model, graphs) = serving_fixture();
+    let mut session = Session::new(model, graphs, 4);
+    let report = serve(&mut session, &cfg, &trace, None);
+    assert_eq!(report.answered, 32, "every request must be answered");
+    assert_eq!(
+        report.failed, 0,
+        "injected faults must degrade batches, not fail requests"
+    );
+    assert!(
+        report.faults.total_injected() > 0,
+        "a 20% fault rate over 32 requests should inject something"
+    );
+    let (timeline_a, json_a) = serve_once(&cfg, &trace);
+    let (timeline_b, json_b) = serve_once(&cfg, &trace);
+    assert_eq!(timeline_a, timeline_b);
+    assert_eq!(json_a, json_b);
+}
