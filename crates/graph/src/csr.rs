@@ -314,6 +314,49 @@ impl CsrGraph {
         h
     }
 
+    /// The subgraph induced by the nodes with `keep[v] == true`: kept nodes
+    /// are renumbered densely in their original order, and an edge survives
+    /// iff both endpoints are kept. Rows stay sorted and duplicate-free, so
+    /// the result is always a valid CSR graph; symmetry is preserved.
+    ///
+    /// This is the primitive the oracle's input shrinker uses to minimize a
+    /// failing graph while keeping it well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.num_nodes()`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> CsrGraph {
+        assert_eq!(keep.len(), self.num_nodes, "keep mask length mismatch");
+        let mut new_id = vec![NodeId::MAX; self.num_nodes];
+        let mut n = 0 as NodeId;
+        for v in 0..self.num_nodes {
+            if keep[v] {
+                new_id[v] = n;
+                n += 1;
+            }
+        }
+        let mut node_pointer = Vec::with_capacity(n as usize + 1);
+        node_pointer.push(0usize);
+        let mut edge_list = Vec::new();
+        for v in 0..self.num_nodes {
+            if !keep[v] {
+                continue;
+            }
+            for &u in self.neighbors(v) {
+                if keep[u as usize] {
+                    edge_list.push(new_id[u as usize]);
+                }
+            }
+            node_pointer.push(edge_list.len());
+        }
+        // Remapping is monotone on kept ids, so each row stays sorted.
+        CsrGraph {
+            num_nodes: n as usize,
+            node_pointer,
+            edge_list,
+        }
+    }
+
     /// The paper's "effective computation" metric: `nnz / N²` (Table 2).
     pub fn effective_compute_ratio(&self) -> f64 {
         if self.num_nodes == 0 {
@@ -432,6 +475,31 @@ mod tests {
         assert_eq!(g.dense_adjacency_bytes(), 4 * 4 * 4);
         assert!((g.effective_compute_ratio() - 4.0 / 16.0).abs() < 1e-12);
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_and_filters() {
+        let g = small(); // edges (0,1) (0,2) (1,2) (3,0)
+                         // Drop node 1: survivors 0,2,3 → new ids 0,1,2. Surviving edges:
+                         // (0,2)→(0,1) and (3,0)→(2,0).
+        let sub = g.induced_subgraph(&[true, false, true, true]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.iter_edges().collect::<Vec<_>>(), vec![(0, 1), (2, 0)]);
+        // Keeping everything is the identity.
+        assert_eq!(g.induced_subgraph(&[true; 4]), g);
+        // Keeping nothing is the empty graph.
+        let empty = g.induced_subgraph(&[false; 4]);
+        assert_eq!(empty.num_nodes(), 0);
+        assert_eq!(empty.num_edges(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_symmetry() {
+        let sym = CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        assert!(sym.is_symmetric());
+        let sub = sym.induced_subgraph(&[true, true, false]);
+        assert!(sub.is_symmetric());
+        assert_eq!(sub.iter_edges().collect::<Vec<_>>(), vec![(0, 1), (1, 0)]);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Seeded adversarial graph generators.
+//!
+//! Each family targets a specific failure mode of SGT or the kernels:
+//! skewed windows (power-law hubs), zero-block windows (empty rows), block
+//! boundary arithmetic (window straddlers, wide rows), dedup paths
+//! (duplicate edges), dense staging (near-dense), and the degenerate sizes
+//! (one node, zero edges) that off-by-one bugs love. Every graph is
+//! symmetric, duplicate-free, and fully determined by `(family, seed)`.
+
+use rand::prelude::*;
+use tcg_graph::{CooGraph, CsrGraph, NodeId};
+
+/// One adversarial graph family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// R-MAT power-law: a few hub rows with huge neighbor sets, many near
+    /// empty — maximal window skew.
+    PowerLaw,
+    /// Disjoint dense communities: block-diagonal adjacency, so condensed
+    /// columns cluster and whole windows share one neighbor set.
+    BlockDiagonal,
+    /// Active nodes exist only in even row windows, and only every third
+    /// row there: interleaved empty rows plus entire windows with zero
+    /// TC blocks.
+    EmptyRows,
+    /// A star: node 0 neighbors everyone. One row wider than any TC block,
+    /// every other row of degree 1.
+    SingleHub,
+    /// Edges sampled with heavy repetition before symmetrize+dedup —
+    /// exercises the dedup path that feeds CSR construction.
+    DuplicateEdges,
+    /// Small and ~2/3 dense: condensation buys nothing, every window is
+    /// nearly full.
+    NearDense,
+    /// A single node with a self-loop — the smallest non-empty graph.
+    OneNode,
+    /// Node count `16k + j` with neighbors clustered at multiples of the
+    /// TC block width, so tiles straddle window and block boundaries.
+    WindowStraddle,
+    /// Nodes but no edges at all: every window has zero blocks.
+    ZeroEdge,
+    /// A handful of rows with degree well beyond one TC-block width (8),
+    /// forcing multi-block windows and shared-memory staging splits.
+    WideRow,
+}
+
+impl Family {
+    /// Every family, in a stable order.
+    pub const ALL: [Family; 10] = [
+        Family::PowerLaw,
+        Family::BlockDiagonal,
+        Family::EmptyRows,
+        Family::SingleHub,
+        Family::DuplicateEdges,
+        Family::NearDense,
+        Family::OneNode,
+        Family::WindowStraddle,
+        Family::ZeroEdge,
+        Family::WideRow,
+    ];
+
+    /// Stable CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::PowerLaw => "power-law",
+            Family::BlockDiagonal => "block-diagonal",
+            Family::EmptyRows => "empty-rows",
+            Family::SingleHub => "single-hub",
+            Family::DuplicateEdges => "duplicate-edges",
+            Family::NearDense => "near-dense",
+            Family::OneNode => "one-node",
+            Family::WindowStraddle => "window-straddle",
+            Family::ZeroEdge => "zero-edge",
+            Family::WideRow => "wide-row",
+        }
+    }
+
+    /// Inverse of [`Family::name`].
+    pub fn from_name(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// Generates this family's graph for `seed`. Sizes are drawn from the
+    /// seed too, but stay small enough (≤ ~300 nodes) for the `O(N²)` dense
+    /// golden references.
+    pub fn generate(self, seed: u64) -> CsrGraph {
+        // Decorrelate families sharing a seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9 + self as u64));
+        match self {
+            Family::PowerLaw => {
+                let n = rng.random_range(64usize..256);
+                let e = n * rng.random_range(4usize..10);
+                tcg_graph::gen::rmat_default(n, e, seed).expect("rmat")
+            }
+            Family::BlockDiagonal => {
+                let n = rng.random_range(60usize..220);
+                let e = n * rng.random_range(3usize..8);
+                tcg_graph::gen::community(n, e, 4, 24, seed).expect("community")
+            }
+            Family::EmptyRows => {
+                let n = rng.random_range(48usize..200);
+                let mut coo = CooGraph::new(n);
+                // Odd row windows carry no active node at all (whole windows
+                // with zero TC blocks); even windows keep only every third
+                // row (interleaved empty rows).
+                let active: Vec<NodeId> = (0..n)
+                    .filter(|v| (v / 16) % 2 == 0 && v % 3 == 0)
+                    .map(|v| v as NodeId)
+                    .collect();
+                if active.len() >= 2 {
+                    for _ in 0..(n * 4) {
+                        let a = active[rng.random_range(0..active.len())];
+                        let b = active[rng.random_range(0..active.len())];
+                        if a != b {
+                            coo.push_edge(a, b);
+                        }
+                    }
+                }
+                finish(coo)
+            }
+            Family::SingleHub => {
+                let n = rng.random_range(40usize..200);
+                let mut coo = CooGraph::new(n);
+                for v in 1..n {
+                    coo.push_edge(0, v as NodeId);
+                }
+                finish(coo)
+            }
+            Family::DuplicateEdges => {
+                let n = rng.random_range(32usize..128);
+                let mut coo = CooGraph::new(n);
+                for _ in 0..(n * 3) {
+                    let a = rng.random_range(0..n) as NodeId;
+                    let b = rng.random_range(0..n) as NodeId;
+                    if a != b {
+                        // Push each sampled pair several times, both ways:
+                        // the CSR build must collapse them all.
+                        for _ in 0..3 {
+                            coo.push_edge(a, b);
+                            coo.push_edge(b, a);
+                        }
+                    }
+                }
+                finish(coo)
+            }
+            Family::NearDense => {
+                let n = rng.random_range(24usize..56);
+                let mut coo = CooGraph::new(n);
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        if rng.random_bool(2.0 / 3.0) {
+                            coo.push_edge(a as NodeId, b as NodeId);
+                        }
+                    }
+                }
+                finish(coo)
+            }
+            Family::OneNode => {
+                CsrGraph::from_raw(1, vec![0, 1], vec![0]).expect("self-loop singleton")
+            }
+            Family::WindowStraddle => {
+                // 16k + j nodes with 1 ≤ j ≤ 15: the last window is ragged.
+                let k = rng.random_range(2usize..12);
+                let j = rng.random_range(1usize..16);
+                let n = 16 * k + j;
+                let mut coo = CooGraph::new(n);
+                for v in 0..n {
+                    // Neighbors clustered at multiples of 8, ±1: condensed
+                    // columns pile up exactly at TC-block boundaries.
+                    for m in (0..n).step_by(8) {
+                        for cand in [m.wrapping_sub(1), m, m + 1] {
+                            if cand < n && cand != v && rng.random_bool(0.25) {
+                                coo.push_edge(v as NodeId, cand as NodeId);
+                            }
+                        }
+                    }
+                }
+                finish(coo)
+            }
+            Family::ZeroEdge => {
+                let n = rng.random_range(17usize..80);
+                CsrGraph::from_raw(n, vec![0; n + 1], vec![]).expect("edgeless graph")
+            }
+            Family::WideRow => {
+                let n = rng.random_range(64usize..160);
+                let mut coo = CooGraph::new(n);
+                // A few rows of degree 24..40 — multiple TC blocks each.
+                for hub in 0..4 {
+                    let h = (hub * n / 4) as NodeId;
+                    let deg = rng.random_range(24usize..40);
+                    for _ in 0..deg {
+                        let b = rng.random_range(0..n) as NodeId;
+                        if b != h {
+                            coo.push_edge(h, b);
+                        }
+                    }
+                }
+                // Sparse background so most rows are narrow.
+                for _ in 0..n {
+                    let a = rng.random_range(0..n) as NodeId;
+                    let b = rng.random_range(0..n) as NodeId;
+                    if a != b {
+                        coo.push_edge(a, b);
+                    }
+                }
+                finish(coo)
+            }
+        }
+    }
+}
+
+/// Symmetrize, dedup, and build the CSR — the common tail of the COO-based
+/// families.
+fn finish(mut coo: CooGraph) -> CsrGraph {
+    coo.symmetrize();
+    coo.dedup();
+    coo.into_csr().expect("generator produced a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates_valid_deterministic_graphs() {
+        for fam in Family::ALL {
+            for seed in [1u64, 42, 2023] {
+                let a = fam.generate(seed);
+                let b = fam.generate(seed);
+                assert_eq!(a, b, "{} must be seed-deterministic", fam.name());
+                assert!(a.num_nodes() >= 1, "{}", fam.name());
+                assert!(
+                    a.num_nodes() <= 300,
+                    "{} too big for dense golden",
+                    fam.name()
+                );
+            }
+            // Different seeds give different graphs (except fixed families).
+            if fam != Family::OneNode {
+                assert_ne!(fam.generate(1), fam.generate(2), "{}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn family_shapes_hit_their_target_cases() {
+        let hub = Family::SingleHub.generate(7);
+        assert!(hub.degree(0) > 8, "hub row must exceed one TC block");
+        assert!((1..hub.num_nodes()).all(|v| hub.degree(v) == 1));
+
+        let zero = Family::ZeroEdge.generate(7);
+        assert_eq!(zero.num_edges(), 0);
+        assert!(zero.num_nodes() > 16, "must span more than one row window");
+
+        let one = Family::OneNode.generate(7);
+        assert_eq!((one.num_nodes(), one.num_edges()), (1, 1));
+
+        let straddle = Family::WindowStraddle.generate(7);
+        assert_ne!(straddle.num_nodes() % 16, 0, "last window must be ragged");
+
+        let wide = Family::WideRow.generate(7);
+        let max_deg = (0..wide.num_nodes()).map(|v| wide.degree(v)).max().unwrap();
+        assert!(max_deg > 8, "needs a row wider than one TC block");
+
+        let sparse = Family::EmptyRows.generate(7);
+        assert!((0..sparse.num_nodes()).any(|v| sparse.degree(v) == 0));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for fam in Family::ALL {
+            assert_eq!(Family::from_name(fam.name()), Some(fam));
+        }
+        assert_eq!(Family::from_name("nope"), None);
+    }
+}

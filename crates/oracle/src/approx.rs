@@ -1,0 +1,145 @@
+//! ULP-aware float comparison and the repo-wide tolerance constants.
+//!
+//! Two regimes cover every comparison the test suite makes:
+//!
+//! - **Near-exact** (same algorithm, different execution order is not
+//!   allowed to change the result): a small ULP budget catches genuine
+//!   divergence that an absolute epsilon would wave through near zero.
+//! - **Simulated-TCU vs `f64` golden** (TF-32 rounding plus reassociated
+//!   accumulation): an absolute tolerance, [`KERNEL_ABS_TOL`], matching
+//!   what the cross-validation suite has always used.
+//!
+//! [`approx_eq`] passes when *either* bound holds, so one comparison covers
+//! tiny magnitudes (ULP) and long reductions (absolute) at once.
+
+/// Absolute tolerance for comparing kernel outputs against `f64` golden
+/// references, for unit-magnitude inputs. Single source of truth for the
+/// integration suites (`tests/kernel_cross_validation.rs` historically
+/// hard-coded `0.05` in each assertion).
+pub const KERNEL_ABS_TOL: f32 = 0.05;
+
+/// Absolute tolerance for comparing end-to-end training losses (`f64`
+/// accumulated over a whole epoch) across backends.
+pub const LOSS_ABS_TOL: f64 = 0.05;
+
+/// ULP budget for comparisons that should be exact up to instruction
+/// scheduling (e.g. the same kernel run through two dispatch paths).
+pub const DEFAULT_MAX_ULPS: u64 = 4;
+
+/// Maps a float onto a monotone integer line: adjacent representable floats
+/// are adjacent integers, negatives mirror below zero.
+fn ordered(x: f32) -> i64 {
+    let b = x.to_bits() as i64;
+    if b & 0x8000_0000 != 0 {
+        0x8000_0000 - b
+    } else {
+        b
+    }
+}
+
+/// Distance between `a` and `b` in units of last place.
+///
+/// `0` when the values are equal (`+0.0` and `-0.0` included); `u64::MAX`
+/// when either is NaN and the other is not (NaN equals only NaN here, so a
+/// backend that NaNs where the golden reference NaNs is conforming).
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    (ordered(a) - ordered(b)).unsigned_abs()
+}
+
+/// True when `got` matches `want` within `abs_tol` *or* within `max_ulps`
+/// units of last place.
+pub fn approx_eq(got: f32, want: f32, abs_tol: f32, max_ulps: u64) -> bool {
+    if got.is_nan() && want.is_nan() {
+        return true;
+    }
+    (got - want).abs() <= abs_tol || ulp_distance(got, want) <= max_ulps
+}
+
+/// The first failing comparison in a pair of equal-length slices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mismatch {
+    /// Flat index of the first element that fails both bounds.
+    pub index: usize,
+    /// Value produced by the backend under test.
+    pub got: f32,
+    /// Golden-reference value.
+    pub want: f32,
+    /// Absolute difference.
+    pub abs: f32,
+    /// ULP distance.
+    pub ulps: u64,
+}
+
+/// Scans two slices in parallel and returns the first element failing
+/// [`approx_eq`], or `None` when every element conforms.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length — a length mismatch is a shape
+/// bug the caller must report as such, not a numeric divergence.
+pub fn first_mismatch(got: &[f32], want: &[f32], abs_tol: f32, max_ulps: u64) -> Option<Mismatch> {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "compared outputs must have equal length"
+    );
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        if !approx_eq(g, w, abs_tol, max_ulps) {
+            return Some(Mismatch {
+                index: i,
+                got: g,
+                want: w,
+                abs: (g - w).abs(),
+                ulps: ulp_distance(g, w),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(f32::NAN, f32::NAN), 0);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+        // Crossing zero counts every representable value in between.
+        assert!(ulp_distance(f32::MIN_POSITIVE, -f32::MIN_POSITIVE) > 2);
+        // Symmetry.
+        assert_eq!(ulp_distance(-2.5, 3.75), ulp_distance(3.75, -2.5));
+    }
+
+    #[test]
+    fn approx_eq_two_regimes() {
+        // Absolute regime: far in ULPs, close in magnitude.
+        assert!(approx_eq(100.0, 100.04, KERNEL_ABS_TOL, 0));
+        assert!(!approx_eq(100.0, 100.2, KERNEL_ABS_TOL, 0));
+        // ULP regime: tiny values whose absolute difference is meaningless.
+        let a = 1.0e-30f32;
+        let b = f32::from_bits(a.to_bits() + 3);
+        assert!(approx_eq(a, b, 0.0, 4));
+        assert!(!approx_eq(a, -a, 0.0, 4));
+    }
+
+    #[test]
+    fn first_mismatch_locates_first_failure() {
+        let want = [1.0, 2.0, 3.0, 4.0];
+        let got = [1.0, 2.0, 3.5, 9.0];
+        let m = first_mismatch(&got, &want, 0.1, 0).unwrap();
+        assert_eq!(m.index, 2);
+        assert_eq!(m.want, 3.0);
+        assert!((m.abs - 0.5).abs() < 1e-6);
+        assert!(first_mismatch(&got[..2], &want[..2], 0.1, 0).is_none());
+    }
+}

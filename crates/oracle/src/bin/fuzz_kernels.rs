@@ -1,0 +1,132 @@
+//! Differential fuzzer: loops seeded random graphs from every adversarial
+//! family through the full kernel × backend differential matrix, shrinking
+//! and reporting the first failure.
+//!
+//! Every case is fully determined by its case seed, so the printed repro
+//! command (`--seed <case_seed> --cases 1`) replays exactly the failing
+//! case. Exit status: 0 when the budget or case count runs out cleanly,
+//! 1 on divergence, 2 on bad usage.
+//!
+//! ```text
+//! fuzz_kernels [--seed N] [--cases N] [--budget-ms MS] [--dim D]
+//! ```
+
+use std::time::Instant;
+
+use tcg_oracle::{run_case, shrink, BackendKind, Family, KernelKind};
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    budget_ms: u64,
+    dim: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2023,
+        cases: u64::MAX,
+        budget_ms: 30_000,
+        dim: 16,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--cases" => args.cases = value.parse().map_err(|e| format!("--cases: {e}"))?,
+            "--budget-ms" => {
+                args.budget_ms = value.parse().map_err(|e| format!("--budget-ms: {e}"))?
+            }
+            "--dim" => args.dim = value.parse().map_err(|e| format!("--dim: {e}"))?,
+            _ => return Err(format!("unknown flag {flag}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz_kernels: {e}");
+            eprintln!("usage: fuzz_kernels [--seed N] [--cases N] [--budget-ms MS] [--dim D]");
+            std::process::exit(2);
+        }
+    };
+
+    let start = Instant::now();
+    let mut ran = 0u64;
+    let mut cells = 0u64;
+    for i in 0..args.cases {
+        if start.elapsed().as_millis() as u64 >= args.budget_ms {
+            break;
+        }
+        // The case seed alone determines the family, the graph, and every
+        // input tensor — that is what makes the repro command sufficient.
+        let case_seed = args.seed.wrapping_add(i);
+        let family = Family::ALL[(case_seed % Family::ALL.len() as u64) as usize];
+        let graph = family.generate(case_seed);
+        for kernel in KernelKind::ALL {
+            for backend in BackendKind::ALL {
+                cells += 1;
+                match run_case(kernel, backend, &graph, args.dim, case_seed) {
+                    Ok(None) => {}
+                    Ok(Some(divergence)) => {
+                        eprintln!(
+                            "case seed {case_seed} ({}, {} nodes / {} edges): {divergence}",
+                            family.name(),
+                            graph.num_nodes(),
+                            graph.num_edges()
+                        );
+                        let still_fails = |g: &tcg_graph::CsrGraph| {
+                            matches!(
+                                run_case(kernel, backend, g, args.dim, case_seed),
+                                Ok(Some(_))
+                            )
+                        };
+                        let small = shrink(&graph, still_fails, 120);
+                        if let Ok(Some(d)) = run_case(kernel, backend, &small, args.dim, case_seed)
+                        {
+                            eprintln!(
+                                "minimized to {} nodes / {} edges: {d}",
+                                small.num_nodes(),
+                                small.num_edges()
+                            );
+                        }
+                        eprintln!(
+                            "repro: cargo run --release -p tcg-oracle --bin fuzz_kernels -- \
+                             --seed {case_seed} --cases 1 --dim {}",
+                            args.dim
+                        );
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "case seed {case_seed} ({}): backend error: {e}",
+                            family.name()
+                        );
+                        eprintln!(
+                            "repro: cargo run --release -p tcg-oracle --bin fuzz_kernels -- \
+                             --seed {case_seed} --cases 1 --dim {}",
+                            args.dim
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        ran += 1;
+    }
+    println!(
+        "fuzz_kernels: {ran} cases ({cells} cells) conformed in {:.1}s (seed {}, dim {})",
+        start.elapsed().as_secs_f64(),
+        args.seed,
+        args.dim
+    );
+}

@@ -1,0 +1,261 @@
+//! The conformance matrix: every backend × every kernel × every adversarial
+//! family, plus the metamorphic suite — the engine behind `tcgnn verify`.
+
+use std::fmt::Write as _;
+
+use crate::advgen::Family;
+use crate::diff::{run_case, BackendKind, Divergence, KernelKind};
+use crate::metamorphic;
+use crate::shrink::shrink;
+
+/// Configuration of one conformance run.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Seed deriving every graph and every input tensor.
+    pub seed: u64,
+    /// Embedding dimension for the dense operands.
+    pub dim: usize,
+    /// Graph families to cover (defaults to all of them).
+    pub families: Vec<Family>,
+    /// Kernels to cover (defaults to all of them).
+    pub kernels: Vec<KernelKind>,
+    /// Backends to cover (defaults to all of them).
+    pub backends: Vec<BackendKind>,
+    /// Whether to also run the metamorphic suite.
+    pub metamorphic: bool,
+    /// Predicate-evaluation budget for shrinking a failing graph.
+    pub shrink_evals: usize,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig {
+            seed: 2023,
+            dim: 16,
+            families: Family::ALL.to_vec(),
+            kernels: KernelKind::ALL.to_vec(),
+            backends: BackendKind::ALL.to_vec(),
+            metamorphic: true,
+            shrink_evals: 120,
+        }
+    }
+}
+
+/// Outcome of one (family, kernel, backend) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Graph family the cell ran on.
+    pub family: Family,
+    /// Kernel under test.
+    pub kernel: KernelKind,
+    /// Backend under test.
+    pub backend: BackendKind,
+    /// `None` = conforming; `Some` = the failure description.
+    pub failure: Option<CellFailure>,
+}
+
+/// How a cell failed.
+#[derive(Debug, Clone)]
+pub enum CellFailure {
+    /// Numeric divergence from the golden reference, with the minimized
+    /// repro attached.
+    Diverged {
+        /// The first divergence on the *original* generated graph.
+        divergence: Divergence,
+        /// Node/edge count of the original graph.
+        original: (usize, usize),
+        /// Node/edge count after shrinking (equal to `original` when
+        /// shrinking could not reduce it).
+        minimized: (usize, usize),
+        /// First divergence on the minimized graph.
+        minimized_divergence: Divergence,
+    },
+    /// The backend failed to execute (typed error, not wrong numbers).
+    Errored(String),
+}
+
+/// Result of a full conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Seed the run used (repro key).
+    pub seed: u64,
+    /// Every cell, in execution order.
+    pub cells: Vec<Cell>,
+    /// Metamorphic outcomes (empty when disabled).
+    pub metamorphic: Vec<(&'static str, Result<(), String>)>,
+}
+
+impl ConformanceReport {
+    /// True when every cell and every metamorphic property passed.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| c.failure.is_none())
+            && self.metamorphic.iter().all(|(_, r)| r.is_ok())
+    }
+
+    /// The first failing cell, if any.
+    pub fn first_failure(&self) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.failure.is_some())
+    }
+
+    /// Renders the matrix as a fixed-width table plus failure details and
+    /// the minimized repro command for the first divergence.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "conformance matrix (seed {}): {} backends x {} kernels x {} families",
+            self.seed,
+            BackendKind::ALL.len(),
+            KernelKind::ALL.len(),
+            self.cells
+                .iter()
+                .map(|c| c.family)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:<16} {:<20} result",
+            "family", "kernel", "backend"
+        );
+        for c in &self.cells {
+            let result = match &c.failure {
+                None => "ok".to_string(),
+                Some(CellFailure::Diverged { divergence, .. }) => {
+                    format!("DIVERGED ({:e} abs)", divergence.abs)
+                }
+                Some(CellFailure::Errored(e)) => format!("ERROR ({e})"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<18} {:<16} {:<20} {result}",
+                c.family.name(),
+                c.kernel.name(),
+                c.backend.name()
+            );
+        }
+        for (name, r) in &self.metamorphic {
+            let _ = writeln!(
+                out,
+                "metamorphic {:<40} {}",
+                name,
+                match r {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("FAILED: {e}"),
+                }
+            );
+        }
+        if let Some(cell) = self.first_failure() {
+            match cell.failure.as_ref().unwrap() {
+                CellFailure::Diverged {
+                    divergence,
+                    original,
+                    minimized,
+                    minimized_divergence,
+                } => {
+                    let _ = writeln!(out, "\nfirst divergence: {divergence}");
+                    let _ = writeln!(
+                        out,
+                        "minimized repro: {} nodes / {} edges (from {} / {}): \
+                         {minimized_divergence}",
+                        minimized.0, minimized.1, original.0, original.1
+                    );
+                    let _ = writeln!(
+                        out,
+                        "repro: tcgnn verify --seed {} --families {}",
+                        self.seed,
+                        cell.family.name()
+                    );
+                }
+                CellFailure::Errored(e) => {
+                    let _ = writeln!(out, "\nfirst failure: {e}");
+                    let _ = writeln!(
+                        out,
+                        "repro: tcgnn verify --seed {} --families {}",
+                        self.seed,
+                        cell.family.name()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the conformance matrix described by `cfg`. On a numeric divergence
+/// the failing graph is shrunk (budgeted by `cfg.shrink_evals`) so the
+/// report carries a minimal repro.
+pub fn run_matrix(cfg: &MatrixConfig) -> ConformanceReport {
+    let mut cells = Vec::new();
+    for &family in &cfg.families {
+        let graph = family.generate(cfg.seed);
+        for &kernel in &cfg.kernels {
+            for &backend in &cfg.backends {
+                let failure = match run_case(kernel, backend, &graph, cfg.dim, cfg.seed) {
+                    Ok(None) => None,
+                    Ok(Some(divergence)) => {
+                        // Preserve *this cell's* failure while minimizing.
+                        let still_fails = |g: &tcg_graph::CsrGraph| {
+                            matches!(run_case(kernel, backend, g, cfg.dim, cfg.seed), Ok(Some(_)))
+                        };
+                        let small = shrink(&graph, still_fails, cfg.shrink_evals);
+                        let minimized_divergence =
+                            match run_case(kernel, backend, &small, cfg.dim, cfg.seed) {
+                                Ok(Some(d)) => d,
+                                _ => divergence.clone(),
+                            };
+                        Some(CellFailure::Diverged {
+                            divergence,
+                            original: (graph.num_nodes(), graph.num_edges()),
+                            minimized: (small.num_nodes(), small.num_edges()),
+                            minimized_divergence,
+                        })
+                    }
+                    Err(e) => Some(CellFailure::Errored(e)),
+                };
+                cells.push(Cell {
+                    family,
+                    kernel,
+                    backend,
+                    failure,
+                });
+            }
+        }
+    }
+    let metamorphic = if cfg.metamorphic {
+        metamorphic::run_all(cfg.seed, cfg.dim)
+    } else {
+        Vec::new()
+    };
+    ConformanceReport {
+        seed: cfg.seed,
+        cells,
+        metamorphic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced matrix (2 families, to keep the unit test quick; the full
+    /// matrix runs in `tests/oracle_conformance.rs` and in `tcgnn verify`)
+    /// passes and renders.
+    #[test]
+    fn reduced_matrix_passes_and_renders() {
+        let cfg = MatrixConfig {
+            families: vec![Family::SingleHub, Family::WindowStraddle],
+            metamorphic: false,
+            ..MatrixConfig::default()
+        };
+        let report = run_matrix(&cfg);
+        assert!(report.passed(), "\n{}", report.render());
+        assert_eq!(
+            report.cells.len(),
+            2 * KernelKind::ALL.len() * BackendKind::ALL.len()
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("single-hub"));
+        assert!(rendered.contains("cached-translation"));
+    }
+}

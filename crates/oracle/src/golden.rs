@@ -1,0 +1,229 @@
+//! Golden references: two independent CPU implementations per operation.
+//!
+//! The kernels crate already carries CPU references (`reference_spmm`,
+//! `reference_sddmm`), but those share row-major CSR traversal with the
+//! kernels themselves — a systematic indexing bug could agree on both
+//! sides. The oracle therefore computes each operation twice, by
+//! *structurally different* algorithms, all in `f64`:
+//!
+//! - **dense**: materialize the dense operand (adjacency matrix or full
+//!   Gram matrix) and run the textbook dense computation, sampling sparse
+//!   positions at the end. Quadratic in nodes — only usable on the oracle's
+//!   small adversarial graphs, which is exactly where it runs.
+//! - **scalar**: edge-major scalar loops over the CSR arrays, no dense
+//!   intermediate, no tiling.
+//!
+//! A conformance run first cross-checks dense vs scalar (they must agree to
+//! ~1 ULP after the final `f32` rounding); the scalar result then serves as
+//! the comparison baseline for every backend.
+
+use tcg_graph::CsrGraph;
+use tcg_tensor::DenseMatrix;
+
+/// Edge weight accessor shared by the SpMM goldens: `None` means the plain
+/// adjacency (weight 1).
+fn weight(values: Option<&[f32]>, e: usize) -> f64 {
+    values.map_or(1.0, |v| v[e] as f64)
+}
+
+/// Dense golden SpMM: builds the `N×N` dense adjacency in `f64` and
+/// multiplies. `O(N²·D)` — small graphs only.
+pub fn dense_spmm(csr: &CsrGraph, values: Option<&[f32]>, x: &DenseMatrix) -> DenseMatrix {
+    let n = csr.num_nodes();
+    let d = x.cols();
+    let mut a = vec![0.0f64; n * n];
+    for (e, (s, t)) in csr.iter_edges().enumerate() {
+        a[s as usize * n + t as usize] = weight(values, e);
+    }
+    let mut out = DenseMatrix::zeros(n, d);
+    for v in 0..n {
+        for c in 0..d {
+            let mut acc = 0.0f64;
+            for u in 0..n {
+                acc += a[v * n + u] * x.get(u, c) as f64;
+            }
+            out.row_mut(v)[c] = acc as f32;
+        }
+    }
+    out
+}
+
+/// Scalar golden SpMM: one edge-major pass scattering `w·x[dst]` into
+/// `f64` accumulators. No dense intermediate, no per-row loop structure.
+pub fn scalar_spmm(csr: &CsrGraph, values: Option<&[f32]>, x: &DenseMatrix) -> DenseMatrix {
+    let n = csr.num_nodes();
+    let d = x.cols();
+    let mut acc = vec![0.0f64; n * d];
+    for (e, (s, t)) in csr.iter_edges().enumerate() {
+        let w = weight(values, e);
+        let row = x.row(t as usize);
+        for (c, &xv) in row.iter().enumerate() {
+            acc[s as usize * d + c] += w * xv as f64;
+        }
+    }
+    let mut out = DenseMatrix::zeros(n, d);
+    for v in 0..n {
+        for c in 0..d {
+            out.row_mut(v)[c] = acc[v * d + c] as f32;
+        }
+    }
+    out
+}
+
+/// Dense golden SDDMM: full `f64` Gram matrix `xa·xbᵀ`, sampled at the
+/// sparse positions. `O(N²·D)` — small graphs only.
+pub fn dense_sddmm(csr: &CsrGraph, xa: &DenseMatrix, xb: &DenseMatrix) -> Vec<f32> {
+    let n = csr.num_nodes();
+    let d = xa.cols();
+    let mut gram = vec![0.0f64; n * n];
+    for v in 0..n {
+        for u in 0..n {
+            let mut acc = 0.0f64;
+            for k in 0..d {
+                acc += xa.get(v, k) as f64 * xb.get(u, k) as f64;
+            }
+            gram[v * n + u] = acc;
+        }
+    }
+    csr.iter_edges()
+        .map(|(s, t)| gram[s as usize * n + t as usize] as f32)
+        .collect()
+}
+
+/// Scalar golden SDDMM: per-edge `f64` dot products.
+pub fn scalar_sddmm(csr: &CsrGraph, xa: &DenseMatrix, xb: &DenseMatrix) -> Vec<f32> {
+    csr.iter_edges()
+        .map(|(s, t)| {
+            xa.row(s as usize)
+                .iter()
+                .zip(xb.row(t as usize))
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum::<f64>() as f32
+        })
+        .collect()
+}
+
+/// Scalar golden row softmax over edge values, `f64` throughout, with the
+/// standard max-shift for stability. Empty rows pass through untouched
+/// (there is nothing to normalize).
+pub fn scalar_softmax(csr: &CsrGraph, values: &[f32]) -> Vec<f32> {
+    assert_eq!(values.len(), csr.num_edges());
+    let mut out = values.to_vec();
+    for v in 0..csr.num_nodes() {
+        let lo = csr.node_pointer()[v];
+        let hi = csr.node_pointer()[v + 1];
+        if hi == lo {
+            continue;
+        }
+        let m = values[lo..hi]
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &x| m.max(x as f64));
+        let exps: Vec<f64> = values[lo..hi]
+            .iter()
+            .map(|&x| (x as f64 - m).exp())
+            .collect();
+        let sum: f64 = exps.iter().sum();
+        for (o, e) in out[lo..hi].iter_mut().zip(&exps) {
+            *o = if sum > 0.0 { (e / sum) as f32 } else { *o };
+        }
+    }
+    out
+}
+
+/// Golden fused attention: composes the scalar goldens exactly as the fused
+/// kernel's contract states — `cos = (xa·xaᵀ)⊙A`, `p = rowsoftmax(β·cos)`,
+/// `y = P·xv` — returning `(y, cos, p)`.
+pub fn scalar_fused_attention(
+    csr: &CsrGraph,
+    xa: &DenseMatrix,
+    xv: &DenseMatrix,
+    beta: f32,
+) -> (DenseMatrix, Vec<f32>, Vec<f32>) {
+    let cos = scalar_sddmm(csr, xa, xa);
+    let scaled: Vec<f32> = cos.iter().map(|&c| beta * c).collect();
+    let p = scalar_softmax(csr, &scaled);
+    let y = scalar_spmm(csr, Some(&p), xv);
+    (y, cos, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::first_mismatch;
+    use tcg_graph::gen;
+    use tcg_kernels::{reference_sddmm, reference_spmm, SpmmProblem};
+    use tcg_tensor::init;
+
+    /// Dense and scalar goldens must agree to the final-rounding ULP; both
+    /// accumulate in f64, only the summation order differs.
+    #[test]
+    fn dense_and_scalar_spmm_agree() {
+        let g = gen::rmat_default(120, 900, 7).unwrap();
+        let x = init::uniform(120, 12, -1.0, 1.0, 3);
+        let vals: Vec<f32> = (0..g.num_edges())
+            .map(|e| ((e % 9) as f32) * 0.25)
+            .collect();
+        for values in [None, Some(vals.as_slice())] {
+            let a = dense_spmm(&g, values, &x);
+            let b = scalar_spmm(&g, values, &x);
+            assert!(first_mismatch(a.as_slice(), b.as_slice(), 0.0, 2).is_none());
+        }
+    }
+
+    #[test]
+    fn dense_and_scalar_sddmm_agree() {
+        let g = gen::erdos_renyi(90, 700, 5).unwrap();
+        let xa = init::uniform(90, 10, -1.0, 1.0, 11);
+        let xb = init::uniform(90, 10, -1.0, 1.0, 12);
+        let a = dense_sddmm(&g, &xa, &xb);
+        let b = scalar_sddmm(&g, &xa, &xb);
+        assert!(first_mismatch(&a, &b, 0.0, 2).is_none());
+    }
+
+    /// The goldens must also agree with the kernels crate's own CPU
+    /// references — three independent implementations, one answer.
+    #[test]
+    fn goldens_agree_with_kernel_references() {
+        let g = gen::citation(150, 1100, 9).unwrap();
+        let x = init::uniform(150, 16, -1.0, 1.0, 21);
+        let prob = SpmmProblem::new(&g, None, &x).unwrap();
+        let a = reference_spmm(&prob);
+        let b = scalar_spmm(&g, None, &x);
+        assert!(first_mismatch(a.as_slice(), b.as_slice(), 0.0, 2).is_none());
+        let fa = reference_sddmm(&g, &x, &x);
+        let fb = scalar_sddmm(&g, &x, &x);
+        assert!(first_mismatch(&fa, &fb, 0.0, 2).is_none());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_empty_rows_pass_through() {
+        let g = gen::rmat_default(64, 400, 2).unwrap();
+        let vals: Vec<f32> = (0..g.num_edges()).map(|e| (e as f32).sin() * 3.0).collect();
+        let p = scalar_softmax(&g, &vals);
+        for v in 0..g.num_nodes() {
+            let lo = g.node_pointer()[v];
+            let hi = g.node_pointer()[v + 1];
+            if hi > lo {
+                let s: f32 = p[lo..hi].iter().sum();
+                assert!((s - 1.0).abs() < 1e-5, "row {v} sums to {s}");
+            }
+        }
+        // Zero-edge graph: nothing to do, nothing returned.
+        let empty = tcg_graph::CsrGraph::from_raw(5, vec![0; 6], vec![]).unwrap();
+        assert!(scalar_softmax(&empty, &[]).is_empty());
+    }
+
+    #[test]
+    fn fused_attention_composition_is_consistent() {
+        let g = gen::erdos_renyi(80, 600, 4).unwrap();
+        let xa = init::uniform(80, 8, -1.0, 1.0, 31);
+        let xv = init::uniform(80, 8, -1.0, 1.0, 32);
+        let (y, cos, p) = scalar_fused_attention(&g, &xa, &xv, 0.7);
+        assert_eq!(y.rows(), 80);
+        assert_eq!(cos.len(), g.num_edges());
+        // p is the softmax of beta*cos.
+        let scaled: Vec<f32> = cos.iter().map(|&c| 0.7 * c).collect();
+        let p2 = scalar_softmax(&g, &scaled);
+        assert!(first_mismatch(&p, &p2, 0.0, 0).is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Metamorphic properties: checks that need no golden output, only a
+//! relation between two runs of the system itself.
+//!
+//! - **Row-permutation equivariance**: relabeling nodes and permuting the
+//!   feature rows must permute the SpMM output the same way, even though
+//!   SGT produces a completely different window/block layout for the
+//!   relabeled graph.
+//! - **Feature-dim split invariance**: aggregating `D` columns at once must
+//!   equal aggregating two halves separately and concatenating — columns
+//!   are independent, and the kernel's dimension-split warp mapping (§5.2)
+//!   must not leak across slabs.
+//! - **Cost-model monotonicity**: on the same hardware spec, modeled SpMM
+//!   time must not decrease when nnz grows (nested edge sets, same node
+//!   count) or when the embedding dim grows; the SGT overhead model must be
+//!   monotone in edges.
+
+use rand::prelude::*;
+use tcg_gpusim::{DeviceSpec, Launcher};
+use tcg_graph::{CooGraph, CsrGraph, NodeId};
+use tcg_kernels::common::SpmmKernel;
+use tcg_kernels::spmm::TcgnnSpmm;
+use tcg_kernels::SpmmProblem;
+use tcg_tensor::{init, DenseMatrix};
+
+use crate::approx::{approx_eq, KERNEL_ABS_TOL};
+
+/// Relative slack for the monotonicity checks: the cost model is piecewise
+/// (occupancy, cache-hit plateaus), so tiny non-monotonic wiggles are
+/// tolerated; real regressions are far larger.
+const COST_SLACK: f64 = 0.02;
+
+fn tcu_spmm(csr: &CsrGraph, x: &DenseMatrix) -> Result<(DenseMatrix, f64), String> {
+    let mut launcher = Launcher::new(DeviceSpec::rtx3090());
+    let prob = SpmmProblem::new(csr, None, x).map_err(|e| e.to_string())?;
+    let (y, report) = TcgnnSpmm::new(csr)
+        .execute(&mut launcher, &prob)
+        .map_err(|e| e.to_string())?;
+    Ok((y, report.time_ms))
+}
+
+/// SGT row-permutation equivariance of the TCU SpMM path.
+///
+/// Draws a seeded random permutation `π`, relabels the graph, permutes the
+/// feature rows, and demands `y'[π(v)] ≈ y[v]` within [`KERNEL_ABS_TOL`]
+/// (the two layouts reduce in different orders, so bitwise equality is not
+/// the contract — semantic equality is).
+pub fn permutation_equivariance(csr: &CsrGraph, dim: usize, seed: u64) -> Result<(), String> {
+    let n = csr.num_nodes();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3a);
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut coo = CooGraph::new(n);
+    for (s, t) in csr.iter_edges() {
+        coo.push_edge(perm[s as usize] as NodeId, perm[t as usize] as NodeId);
+    }
+    coo.dedup();
+    let permuted = coo
+        .into_csr()
+        .map_err(|e| format!("permuted graph: {e:?}"))?;
+    if permuted.num_edges() != csr.num_edges() {
+        return Err("permutation changed the edge count".into());
+    }
+
+    let x = init::uniform(n, dim, -1.0, 1.0, seed ^ 0x11);
+    let mut xp = DenseMatrix::zeros(n, dim);
+    for (v, &pv) in perm.iter().enumerate() {
+        xp.row_mut(pv).copy_from_slice(x.row(v));
+    }
+    let (y, _) = tcu_spmm(csr, &x)?;
+    let (yp, _) = tcu_spmm(&permuted, &xp)?;
+    for (v, &pv) in perm.iter().enumerate() {
+        for c in 0..dim {
+            let a = y.get(v, c);
+            let b = yp.get(pv, c);
+            if !approx_eq(b, a, KERNEL_ABS_TOL, 16) {
+                return Err(format!(
+                    "permutation equivariance broken at y[{v}][{c}]: original {a:e}, \
+                     relabeled {b:e}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Feature-dim split invariance of the TCU SpMM path: full-width output
+/// equals the concatenation of two half-width runs. Columns never interact
+/// in SpMM and the per-column reduction order is the window's block order
+/// in every case, so this holds *bitwise*.
+pub fn dim_split_invariance(csr: &CsrGraph, dim: usize, seed: u64) -> Result<(), String> {
+    let n = csr.num_nodes();
+    let dim = dim.max(2) & !1; // even
+    let x = init::uniform(n, dim, -1.0, 1.0, seed ^ 0x22);
+    let half = dim / 2;
+    let mut xl = DenseMatrix::zeros(n, half);
+    let mut xr = DenseMatrix::zeros(n, half);
+    for v in 0..n {
+        xl.row_mut(v).copy_from_slice(&x.row(v)[..half]);
+        xr.row_mut(v).copy_from_slice(&x.row(v)[half..]);
+    }
+    let (y, _) = tcu_spmm(csr, &x)?;
+    let (yl, _) = tcu_spmm(csr, &xl)?;
+    let (yr, _) = tcu_spmm(csr, &xr)?;
+    for v in 0..n {
+        for c in 0..dim {
+            let split = if c < half {
+                yl.get(v, c)
+            } else {
+                yr.get(v, c - half)
+            };
+            let full = y.get(v, c);
+            if full.to_bits() != split.to_bits() {
+                return Err(format!(
+                    "dim-split invariance broken at y[{v}][{c}]: full-width {full:e} \
+                     (bits {:#010x}), split {split:e} (bits {:#010x})",
+                    full.to_bits(),
+                    split.to_bits()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Modeled TCU SpMM time is non-decreasing in nnz over *nested* edge sets
+/// (prefixes of one shuffled pair list on a fixed node count).
+pub fn cost_monotonic_in_nnz(seed: u64) -> Result<(), String> {
+    let n = 256usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x33);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    while pairs.len() < 2000 {
+        let a = rng.random_range(0..n) as NodeId;
+        let b = rng.random_range(0..n) as NodeId;
+        if a != b {
+            pairs.push((a, b));
+        }
+    }
+    let x = init::uniform(n, 32, -1.0, 1.0, seed ^ 0x44);
+    let mut prev_ms = 0.0f64;
+    let mut prev_nnz = 0usize;
+    for take in [250usize, 500, 1000, 2000] {
+        let mut coo = CooGraph::new(n);
+        for &(a, b) in &pairs[..take] {
+            coo.push_edge(a, b);
+        }
+        coo.symmetrize();
+        coo.dedup();
+        let g = coo.into_csr().map_err(|e| format!("nested graph: {e:?}"))?;
+        let (_, ms) = tcu_spmm(&g, &x)?;
+        if ms < prev_ms * (1.0 - COST_SLACK) {
+            return Err(format!(
+                "cost model not monotone in nnz: {prev_nnz} edges → {prev_ms:.4} ms but \
+                 {} edges → {ms:.4} ms",
+                g.num_edges()
+            ));
+        }
+        prev_ms = ms;
+        prev_nnz = g.num_edges();
+    }
+    // The SGT overhead model must be monotone in edges too.
+    let small = tcg_graph::gen::erdos_renyi(n, 1000, seed).map_err(|e| format!("{e:?}"))?;
+    let large = tcg_graph::gen::erdos_renyi(n, 3000, seed).map_err(|e| format!("{e:?}"))?;
+    let (a, b) = (
+        tcg_sgt::overhead::model_ms(&small),
+        tcg_sgt::overhead::model_ms(&large),
+    );
+    if b < a {
+        return Err(format!(
+            "SGT overhead model not monotone in edges: {} edges → {a:.4} ms, {} edges → {b:.4} ms",
+            small.num_edges(),
+            large.num_edges()
+        ));
+    }
+    Ok(())
+}
+
+/// Modeled TCU SpMM time is non-decreasing in the embedding dimension on a
+/// fixed graph.
+pub fn cost_monotonic_in_dim(seed: u64) -> Result<(), String> {
+    let g = tcg_graph::gen::rmat_default(256, 2500, seed).map_err(|e| format!("{e:?}"))?;
+    let mut prev_ms = 0.0f64;
+    let mut prev_dim = 0usize;
+    for dim in [8usize, 16, 32, 64, 128] {
+        let x = init::uniform(g.num_nodes(), dim, -1.0, 1.0, seed ^ dim as u64);
+        let (_, ms) = tcu_spmm(&g, &x)?;
+        if ms < prev_ms * (1.0 - COST_SLACK) {
+            return Err(format!(
+                "cost model not monotone in dim: dim {prev_dim} → {prev_ms:.4} ms but \
+                 dim {dim} → {ms:.4} ms"
+            ));
+        }
+        prev_ms = ms;
+        prev_dim = dim;
+    }
+    Ok(())
+}
+
+/// Runs the whole metamorphic suite on a representative graph, returning
+/// named outcomes for the conformance report.
+pub fn run_all(seed: u64, dim: usize) -> Vec<(&'static str, Result<(), String>)> {
+    let g = tcg_graph::gen::rmat_default(200, 1600, seed).expect("metamorphic fixture graph");
+    vec![
+        (
+            "sgt-permutation-equivariance",
+            permutation_equivariance(&g, dim, seed),
+        ),
+        (
+            "feature-dim-split-invariance",
+            dim_split_invariance(&g, dim, seed),
+        ),
+        ("cost-monotone-in-nnz", cost_monotonic_in_nnz(seed)),
+        ("cost-monotone-in-dim", cost_monotonic_in_dim(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advgen::Family;
+
+    #[test]
+    fn metamorphic_suite_passes() {
+        for (name, outcome) in run_all(2023, 16) {
+            assert!(outcome.is_ok(), "{name}: {}", outcome.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance_on_adversarial_families() {
+        for fam in [Family::PowerLaw, Family::WindowStraddle, Family::EmptyRows] {
+            let g = fam.generate(9);
+            permutation_equivariance(&g, 16, 9).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+        }
+    }
+}

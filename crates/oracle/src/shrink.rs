@@ -1,0 +1,169 @@
+//! Greedy input shrinker: minimizes a failing graph while preserving the
+//! failure, so repro reports point at tens of nodes instead of hundreds.
+//!
+//! The `proptest` shim deliberately has no shrinking, so this is the one
+//! minimizer in the workspace. The strategy is classic delta debugging over
+//! two structures:
+//!
+//! 1. **node chunks** — drop halves, then quarters, of the node set via
+//!    [`CsrGraph::induced_subgraph`] (which renumbers densely and keeps the
+//!    CSR valid);
+//! 2. **edge parity** — drop every other canonical edge pair, rebuilding
+//!    through `CooGraph` symmetrize+dedup so symmetry survives;
+//! 3. **single nodes** — once the graph is small, try removing nodes one
+//!    at a time.
+//!
+//! Every candidate is accepted only if the caller's predicate still fails
+//! on it; evaluation count is capped so a slow predicate cannot stall a
+//! fuzzing run.
+
+use tcg_graph::{CooGraph, CsrGraph};
+
+/// Shrinks `g` with respect to `fails` (returns `true` while the failure
+/// reproduces), evaluating the predicate at most `max_evals` times. The
+/// returned graph always still fails.
+///
+/// `fails(g)` must be true on entry; otherwise `g` is returned unchanged.
+pub fn shrink<F: FnMut(&CsrGraph) -> bool>(
+    g: &CsrGraph,
+    mut fails: F,
+    max_evals: usize,
+) -> CsrGraph {
+    if !fails(g) {
+        return g.clone();
+    }
+    let mut best = g.clone();
+    let mut evals = 0usize;
+    let mut progress = true;
+    while progress && evals < max_evals {
+        progress = false;
+
+        // Phase 1: drop contiguous node chunks (halves, then quarters).
+        for denom in [2usize, 4] {
+            let n = best.num_nodes();
+            if n < denom {
+                continue;
+            }
+            let chunk = n.div_ceil(denom);
+            let mut start = 0usize;
+            while start < n && evals < max_evals {
+                let mut keep = vec![true; n];
+                for k in keep.iter_mut().skip(start).take(chunk) {
+                    *k = false;
+                }
+                let candidate = best.induced_subgraph(&keep);
+                evals += 1;
+                if candidate.num_nodes() < best.num_nodes() && fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                    break; // restart over the smaller graph
+                }
+                start += chunk;
+            }
+            if progress {
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+
+        // Phase 2: halve the edge set by canonical-pair parity.
+        if best.num_edges() > 0 && evals < max_evals {
+            for parity in [0usize, 1] {
+                let mut coo = CooGraph::new(best.num_nodes());
+                let mut idx = 0usize;
+                for (s, t) in best.iter_edges() {
+                    if s <= t {
+                        if idx % 2 == parity {
+                            coo.push_edge(s, t);
+                        }
+                        idx += 1;
+                    }
+                }
+                coo.symmetrize();
+                if let Ok(candidate) = coo.into_csr() {
+                    if candidate.num_edges() < best.num_edges() {
+                        evals += 1;
+                        if fails(&candidate) {
+                            best = candidate;
+                            progress = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if progress {
+            continue;
+        }
+
+        // Phase 3: individual node removal once small enough.
+        if best.num_nodes() <= 48 {
+            for v in 0..best.num_nodes() {
+                if evals >= max_evals {
+                    break;
+                }
+                let mut keep = vec![true; best.num_nodes()];
+                keep[v] = false;
+                let candidate = best.induced_subgraph(&keep);
+                evals += 1;
+                if fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+
+    /// Failure: "graph contains an edge touching a node id ≥ 100 whose
+    /// degree is ≥ 3" — shrinking must keep some such node while discarding
+    /// almost everything else. (Predicates are structural on purpose: the
+    /// shrinker renumbers nodes, so position-dependent predicates would be
+    /// meaningless.)
+    #[test]
+    fn shrinks_while_preserving_structural_predicate() {
+        let g = gen::erdos_renyi(300, 4000, 3).unwrap();
+        let fails = |g: &CsrGraph| (0..g.num_nodes()).any(|v| g.degree(v) >= 3);
+        assert!(fails(&g));
+        let small = shrink(&g, fails, 200);
+        assert!(fails(&small), "shrunk graph must still fail");
+        assert!(
+            small.num_nodes() < g.num_nodes() / 2,
+            "expected substantial shrinkage, got {} of {} nodes",
+            small.num_nodes(),
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn returns_input_when_predicate_passes() {
+        let g = gen::erdos_renyi(60, 300, 1).unwrap();
+        let shrunk = shrink(&g, |_| false, 100);
+        assert_eq!(shrunk, g);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let g = gen::erdos_renyi(200, 2000, 2).unwrap();
+        let mut calls = 0usize;
+        let _ = shrink(
+            &g,
+            |_| {
+                calls += 1;
+                true
+            },
+            25,
+        );
+        // One call on entry plus at most max_evals candidate checks.
+        assert!(calls <= 26, "predicate called {calls} times");
+    }
+}

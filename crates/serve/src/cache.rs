@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use tcg_graph::CsrGraph;
 use tcg_sgt::TranslatedGraph;
 
 /// One cached translation plus the modeled cost of having produced it.
@@ -134,6 +135,32 @@ impl TranslationCache {
             self.entries.remove(0);
             self.stats.evictions += 1;
         }
+    }
+
+    /// Resolves `csr`'s translation through the cache: a hit returns the
+    /// resident translation with zero paid milliseconds; a miss runs
+    /// Algorithm 1, accounts and caches the result, and returns the modeled
+    /// translation cost. The boolean reports whether this was a hit, so
+    /// callers can attribute latency and trace spans.
+    ///
+    /// This is the single chokepoint through which serving resolves
+    /// translations — the differential oracle exercises exactly this path as
+    /// its "cached-translation" backend.
+    pub fn get_or_translate(&mut self, csr: &CsrGraph) -> (Arc<TranslatedGraph>, f64, bool) {
+        let fp = csr.fingerprint();
+        if let Some(hit) = self.lookup(fp) {
+            return (hit.translation, 0.0, true);
+        }
+        let translation = Arc::new(tcg_sgt::translate(csr));
+        let sgt_ms = tcg_sgt::overhead::model_ms(csr);
+        self.insert(
+            fp,
+            CachedTranslation {
+                translation: Arc::clone(&translation),
+                sgt_ms,
+            },
+        );
+        (translation, sgt_ms, false)
     }
 }
 

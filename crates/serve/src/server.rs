@@ -37,7 +37,7 @@ use tcg_sgt::TranslatedGraph;
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::batcher::{BatchPolicy, Batcher, ClosedBatch};
-use crate::cache::{CacheStats, CachedTranslation, TranslationCache};
+use crate::cache::{CacheStats, TranslationCache};
 use crate::model::ServableModel;
 use crate::request::{Outcome, Request, Response};
 
@@ -233,23 +233,10 @@ pub fn serve(
                     dispatched: &mut Vec<DispatchedBatch>,
                     translations: &mut Vec<(String, f64)>| {
         let g = &session.graphs[closed.graph];
-        let fp = g.csr.fingerprint();
-        let (translation, paid_ms) = match session.cache.lookup(fp) {
-            Some(hit) => (hit.translation, 0.0),
-            None => {
-                let t = Arc::new(tcg_sgt::translate(&g.csr));
-                let sgt_ms = tcg_sgt::overhead::model_ms(&g.csr);
-                session.cache.insert(
-                    fp,
-                    CachedTranslation {
-                        translation: Arc::clone(&t),
-                        sgt_ms,
-                    },
-                );
-                translations.push((format!("sgt_translate:{}", g.name), sgt_ms));
-                (t, sgt_ms)
-            }
-        };
+        let (translation, paid_ms, hit) = session.cache.get_or_translate(&g.csr);
+        if !hit {
+            translations.push((format!("sgt_translate:{}", g.name), paid_ms));
+        }
         let index = dispatched.len();
         dispatched.push(DispatchedBatch {
             index,

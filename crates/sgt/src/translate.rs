@@ -479,6 +479,32 @@ fn assemble(
     }
 }
 
+/// Whether `TCG_VERIFY=1` is set: every translation is then hard-validated
+/// against its source graph before being returned.
+fn verify_requested() -> bool {
+    std::env::var("TCG_VERIFY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Post-translation self-check run at the end of every translation path.
+///
+/// Under `TCG_VERIFY=1` the full [`TranslatedGraph::validate`] pass runs and
+/// corruption surfaces as a typed [`TcgError::CorruptMeta`]. Otherwise the
+/// check runs only in debug builds (like a `debug_assert!`), where a failure
+/// means the translator itself is buggy and panicking is the right response.
+/// Cost is `O(E)`, the same order as translation.
+fn post_validate(t: &TranslatedGraph, csr: &CsrGraph) -> Result<(), TcgError> {
+    if verify_requested() {
+        return t.validate(csr);
+    }
+    #[cfg(debug_assertions)]
+    if let Err(e) = t.validate(csr) {
+        panic!("SGT produced a corrupt translation: {e}");
+    }
+    Ok(())
+}
+
 /// Runs SGT with custom window geometry.
 ///
 /// # Panics
@@ -527,14 +553,9 @@ pub fn try_translate_with(
             )
         })
         .collect();
-    Ok(assemble(
-        csr,
-        win_size,
-        blk_w,
-        outs,
-        edge_to_col,
-        edge_to_row,
-    ))
+    let t = assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row);
+    post_validate(&t, csr)?;
+    Ok(t)
 }
 
 /// Runs SGT with the paper's TF-32 geometry (`16 × 8`).
@@ -598,7 +619,9 @@ pub fn translate_parallel(csr: &CsrGraph, threads: usize) -> TranslatedGraph {
 
     chunk_outs.sort_by_key(|(w_lo, _)| *w_lo);
     let outs: Vec<WindowOut> = chunk_outs.into_iter().flat_map(|(_, o)| o).collect();
-    assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row)
+    let t = assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row);
+    post_validate(&t, csr).expect("parallel SGT produced a corrupt translation");
+    t
 }
 
 #[cfg(test)]

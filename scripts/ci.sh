@@ -55,6 +55,14 @@ grep -q '"failed": 0,' <<<"$chaos_out" || {
     exit 1
 }
 
+step "verify: oracle conformance matrix (every backend x kernel x family)"
+# Full differential matrix against the golden oracle, plus the metamorphic
+# suite; nonzero exit (with a minimized repro) on any divergence.
+./target/release/tcgnn verify --seed 2023
+
+step "verify: 30s differential fuzz smoke (fixed seed)"
+cargo run --release -q -p tcg-oracle --bin fuzz_kernels -- --seed 2023 --budget-ms 30000
+
 step "cargo fmt --check"
 cargo fmt --check
 

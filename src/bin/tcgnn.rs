@@ -11,6 +11,8 @@
 //!                 [--requests N] [--rate RPS] [--streams S] [--max-batch B]
 //!                 [--max-delay MS] [--cache-cap C] [--queue-cap Q]
 //!                 [--deadline MS] [--seed S]
+//! tcgnn verify    [--seed N] [--dim D] [--families f1,f2,...]
+//!                 [--no-metamorphic]
 //! ```
 //!
 //! `<GRAPH>` is a dataset name from the registry (optionally with
@@ -50,6 +52,10 @@ fn usage() -> ExitCode {
                      [--requests N] [--rate RPS] [--streams S] [--max-batch B]\n\
                      [--max-delay MS] [--cache-cap C] [--queue-cap Q]\n\
                      [--deadline MS] [--seed S]\n\
+           verify    [--seed N] [--dim D] [--families f1,f2,...]\n\
+                     [--no-metamorphic]\n\
+                     run the kernel/backend conformance matrix against the\n\
+                     golden oracle; nonzero exit on any divergence\n\
          GRAPH: registry name (optionally name/scale), .json, .mtx, or edge-list path"
     );
     ExitCode::FAILURE
@@ -531,6 +537,71 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_verify(args: &[String]) -> ExitCode {
+    use tc_gnn::oracle::{run_matrix, Family, MatrixConfig};
+
+    let mut cfg = MatrixConfig::default();
+    if let Some(seed) = flag_value(args, "--seed") {
+        match seed.parse() {
+            Ok(s) => cfg.seed = s,
+            Err(e) => {
+                eprintln!("bad --seed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dim) = flag_value(args, "--dim") {
+        match dim.parse() {
+            Ok(d) => cfg.dim = d,
+            Err(e) => {
+                eprintln!("bad --dim: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(families) = flag_value(args, "--families") {
+        let mut picked = Vec::new();
+        for name in families.split(',') {
+            match Family::from_name(name) {
+                Some(f) => picked.push(f),
+                None => {
+                    eprintln!(
+                        "unknown family: {name} (known: {})",
+                        Family::ALL
+                            .iter()
+                            .map(|f| f.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        cfg.families = picked;
+    }
+    if args.iter().any(|a| a == "--no-metamorphic") {
+        cfg.metamorphic = false;
+    }
+
+    let report = run_matrix(&cfg);
+    print!("{}", report.render());
+    if report.passed() {
+        println!(
+            "verify: all {} cells conform{}",
+            report.cells.len(),
+            if cfg.metamorphic {
+                format!(", {} metamorphic properties hold", report.metamorphic.len())
+            } else {
+                String::new()
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -563,6 +634,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args[1..]),
         "eval" => cmd_eval(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
         _ => usage(),
     }
 }

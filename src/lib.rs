@@ -4,6 +4,7 @@ pub use tcg_gnn as gnn;
 pub use tcg_gpusim as gpusim;
 pub use tcg_graph as graph;
 pub use tcg_kernels as kernels;
+pub use tcg_oracle as oracle;
 pub use tcg_profile as profile;
 pub use tcg_serve as serve;
 pub use tcg_sgt as sgt;

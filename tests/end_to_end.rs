@@ -3,6 +3,7 @@
 use tc_gnn::gnn::{train_agnn, train_gcn, Backend, Engine, TrainConfig};
 use tc_gnn::gpusim::DeviceSpec;
 use tc_gnn::graph::datasets::spec_by_name;
+use tc_gnn::oracle::approx::LOSS_ABS_TOL;
 
 fn cora_small() -> tc_gnn::graph::Dataset {
     spec_by_name("Cora")
@@ -75,7 +76,7 @@ fn backends_train_to_equivalent_losses() {
         .collect();
     for l in &losses[1..] {
         assert!(
-            (l - losses[0]).abs() < 0.05,
+            (l - losses[0]).abs() < LOSS_ABS_TOL,
             "backend losses diverged: {losses:?}"
         );
     }

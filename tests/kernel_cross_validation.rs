@@ -9,6 +9,7 @@ use tc_gnn::kernels::spmm::{
     BlockedEllSpmm, CusparseCsrSpmm, GeSpmm, ScatterGatherSpmm, TcgnnSpmm, TritonBlockSparseSpmm,
     TsparseLikeSpmm,
 };
+use tc_gnn::oracle::approx::KERNEL_ABS_TOL;
 use tc_gnn::tensor::DenseMatrix;
 
 /// Random-graph strategy: structure family × size × density × dim.
@@ -52,7 +53,7 @@ proptest! {
             let mut l = Launcher::new(DeviceSpec::rtx3090());
             let (out, report) = kernel.execute(&mut l, &prob).expect("feasible at this size");
             let diff = out.max_abs_diff(&reference).expect("same shape");
-            prop_assert!(diff < 0.05, "{name}: max diff {diff}");
+            prop_assert!(diff < KERNEL_ABS_TOL, "{name}: max diff {diff}");
             prop_assert!(report.time_ms > 0.0, "{name}: zero time");
         }
     }
@@ -67,7 +68,7 @@ proptest! {
             let mut l = Launcher::new(DeviceSpec::rtx3090());
             let (out, _) = kernel.execute(&mut l, &prob).expect("feasible at this size");
             let diff = out.max_abs_diff(&reference).expect("same shape");
-            prop_assert!(diff < 0.05, "{name} weighted: max diff {diff}");
+            prop_assert!(diff < KERNEL_ABS_TOL, "{name} weighted: max diff {diff}");
         }
     }
 
@@ -84,7 +85,7 @@ proptest! {
             let mut l = Launcher::new(DeviceSpec::rtx3090());
             let (vals, _) = kernel.execute(&mut l, &g, &xa, &xb).expect("dims ok");
             for (i, (a, r)) in vals.iter().zip(&reference).enumerate() {
-                prop_assert!((a - r).abs() < 0.05, "{name} edge {i}: {a} vs {r}");
+                prop_assert!((a - r).abs() < KERNEL_ABS_TOL, "{name} edge {i}: {a} vs {r}");
             }
         }
     }
@@ -100,7 +101,7 @@ proptest! {
         let mut l = Launcher::new(DeviceSpec::rtx3090());
         let (out, _) = kernel.execute(&mut l, &prob).expect("runs");
         let diff = out.max_abs_diff(&reference_spmm(&prob)).expect("same shape");
-        prop_assert!(diff < 0.05);
+        prop_assert!(diff < KERNEL_ABS_TOL);
     }
 }
 
@@ -121,7 +122,7 @@ fn kernels_handle_star_graph() {
         let mut l = Launcher::new(DeviceSpec::rtx3090());
         let (out, _) = kernel.execute(&mut l, &prob).expect("feasible");
         assert!(
-            out.max_abs_diff(&reference).expect("shape") < 0.05,
+            out.max_abs_diff(&reference).expect("shape") < KERNEL_ABS_TOL,
             "{name} fails on star graph"
         );
     }

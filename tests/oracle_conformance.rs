@@ -1,0 +1,75 @@
+//! Oracle conformance: degenerate graphs across every kernel × backend,
+//! plus the full adversarial matrix that `tcgnn verify` runs in CI.
+
+use tc_gnn::graph::{CooGraph, CsrGraph};
+use tc_gnn::oracle::{run_case, run_matrix, BackendKind, KernelKind, MatrixConfig};
+
+/// Runs every kernel × backend cell on `g` and asserts conformance.
+fn assert_all_cells_conform(name: &str, g: &CsrGraph) {
+    for kernel in KernelKind::ALL {
+        for backend in BackendKind::ALL {
+            match run_case(kernel, backend, g, 16, 77) {
+                Ok(None) => {}
+                Ok(Some(d)) => panic!(
+                    "{name}: {} on {} diverged: {d}",
+                    kernel.name(),
+                    backend.name()
+                ),
+                Err(e) => panic!(
+                    "{name}: {} on {} errored: {e}",
+                    kernel.name(),
+                    backend.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_edge_graph_conforms_on_every_kernel() {
+    // 40 isolated nodes: every kernel must produce all-zero aggregation and
+    // the softmax path must survive rows with no logits at all.
+    let g = CsrGraph::from_raw(40, vec![0; 41], Vec::new()).expect("valid empty CSR");
+    assert_eq!(g.num_edges(), 0);
+    assert_all_cells_conform("zero-edge", &g);
+}
+
+#[test]
+fn single_row_window_graph_conforms_on_every_kernel() {
+    // 10 nodes < TC_BLK_H = 16: the whole graph is one row window, so the
+    // window loop and the tail-window handling are the same code path.
+    let g = tc_gnn::graph::gen::erdos_renyi(10, 30, 5).expect("generator");
+    assert!(g.num_nodes() <= 16);
+    assert_all_cells_conform("one-row-window", &g);
+}
+
+#[test]
+fn exact_window_multiple_graph_conforms_on_every_kernel() {
+    // Exactly 16·k rows: no ragged tail window; off-by-one bugs in the
+    // window partition show up only here.
+    let g = tc_gnn::graph::gen::erdos_renyi(64, 400, 6).expect("generator");
+    assert_eq!(g.num_nodes() % 16, 0);
+    assert_all_cells_conform("exact-window-multiple", &g);
+}
+
+#[test]
+fn row_wider_than_one_tc_block_conforms_on_every_kernel() {
+    // One hub row with far more neighbors than TC_BLK_W = 8 forces a single
+    // row window to span many condensed column blocks.
+    let mut coo = CooGraph::new(40);
+    for v in 1..40 {
+        coo.push_edge(0, v);
+    }
+    coo.symmetrize();
+    let g = coo.into_csr().expect("valid");
+    assert!(g.degree(0) > 8, "hub must exceed one TC-block width");
+    assert_all_cells_conform("wide-row", &g);
+}
+
+#[test]
+fn full_conformance_matrix_passes() {
+    // The same matrix `tcgnn verify` runs: every adversarial family ×
+    // kernel × backend, plus the metamorphic suite.
+    let report = run_matrix(&MatrixConfig::default());
+    assert!(report.passed(), "\n{}", report.render());
+}

@@ -85,6 +85,74 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Cache-hit answers are bitwise-identical to cold-translation answers
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A response computed from a cache-hit translation must be *bitwise*
+    /// identical to one computed by a cold engine that runs SGT itself —
+    /// the cache may only save time, never perturb a single logit bit.
+    #[test]
+    fn cache_hit_answers_bitwise_equal_cold_answers(
+        nodes in 60usize..160,
+        avg_deg in 3usize..9,
+        seed in 0u64..500,
+    ) {
+        let ds = DatasetSpec {
+            name: "cache-vs-cold",
+            class: GraphClass::TypeI,
+            num_nodes: nodes,
+            num_edges: nodes * avg_deg,
+            feat_dim: 16,
+            num_classes: 4,
+        }
+        .materialize(seed)
+        .expect("synthetic dataset");
+        let model = ServableModel::Gcn(GcnModel::new(16, 8, 4, 11));
+        let device = tc_gnn::gpusim::DeviceSpec::rtx3090();
+
+        // Cold path: the engine runs Algorithm 1 itself.
+        let mut cold = tc_gnn::gnn::Engine::new(Backend::TcGnn, ds.graph.clone(), device.clone());
+        let (cold_logits, _) = model.infer(&mut cold, &ds.features);
+
+        // Cached path: translate through the serving cache, then *hit* it —
+        // the engine consumes the shared cached translation.
+        let mut cache = TranslationCache::new(2);
+        let (_, _, first_hit) = cache.get_or_translate(&ds.graph);
+        prop_assert!(!first_hit, "first access must miss");
+        let (translation, paid_ms, hit) = cache.get_or_translate(&ds.graph);
+        prop_assert!(hit, "second access must hit");
+        prop_assert_eq!(paid_ms, 0.0, "a hit must pay no SGT time");
+        let mut warm = tc_gnn::gnn::Engine::with_translation(
+            Backend::TcGnn,
+            ds.graph.clone(),
+            device,
+            (*translation).clone(),
+        )
+        .expect("translation matches the graph");
+        let (warm_logits, _) = model.infer(&mut warm, &ds.features);
+
+        prop_assert_eq!(cold_logits.rows(), warm_logits.rows());
+        prop_assert_eq!(cold_logits.cols(), warm_logits.cols());
+        for (i, (c, w)) in cold_logits
+            .as_slice()
+            .iter()
+            .zip(warm_logits.as_slice())
+            .enumerate()
+        {
+            prop_assert_eq!(
+                c.to_bits(),
+                w.to_bits(),
+                "logit {} differs: cold {:e} vs cache-hit {:e}",
+                i, c, w
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end serve determinism
 // ---------------------------------------------------------------------------
 
