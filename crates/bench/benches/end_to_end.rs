@@ -24,7 +24,11 @@ fn bench_e2e(c: &mut Criterion) {
     for backend in Backend::all() {
         group.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
             b.iter(|| {
-                let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+                let mut eng = Engine::builder(ds.graph.clone())
+                    .backend(backend)
+                    .device(DeviceSpec::rtx3090())
+                    .build()
+                    .expect("graph is symmetric");
                 black_box(train_gcn(&mut eng, &ds, cfg))
             })
         });

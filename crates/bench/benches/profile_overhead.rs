@@ -31,8 +31,11 @@ fn bench_profile_overhead(c: &mut Criterion) {
             &profiled,
             |b, &profiled| {
                 b.iter(|| {
-                    let mut eng =
-                        Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+                    let mut eng = Engine::builder(ds.graph.clone())
+                        .backend(Backend::TcGnn)
+                        .device(DeviceSpec::rtx3090())
+                        .build()
+                        .expect("graph is symmetric");
                     if profiled {
                         eng.attach_profiler(tcg_profile::shared("TC-GNN"));
                     }

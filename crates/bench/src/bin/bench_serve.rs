@@ -68,7 +68,11 @@ fn main() {
     // Freeze a briefly-trained GCN; serving quality is not under test here,
     // the dispatch economics are.
     let cfg = TrainConfig::gcn_paper().with_epochs(TRAIN_EPOCHS);
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), tcg_bench::device());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(tcg_bench::device())
+        .build()
+        .expect("graph is symmetric");
     let gcn = GcnModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
     let (gcn, _) = train_model_returning(&mut eng, &ds, cfg, gcn);
     let frozen = ServableModel::Gcn(gcn);

@@ -40,7 +40,11 @@ fn main() {
             .with_epochs(E2E_EPOCHS);
             let mut ms = [0.0f64; 3];
             for (i, b) in Backend::all().iter().enumerate() {
-                let mut eng = Engine::new(*b, ds.graph.clone(), device());
+                let mut eng = Engine::builder(ds.graph.clone())
+                    .backend(*b)
+                    .device(device())
+                    .build()
+                    .expect("graph is symmetric");
                 ms[i] = runner(&mut eng, &ds, cfg).avg_epoch_ms();
             }
             rows.push(Row {

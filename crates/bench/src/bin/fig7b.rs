@@ -32,7 +32,11 @@ fn main() {
         // cost on the reference platform (the one comparable against
         // simulated GPU milliseconds — see DESIGN.md §2).
         let (_t, wall_ms) = measure_ms(&ds.graph);
-        let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), device());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(device())
+            .build()
+            .expect("graph is symmetric");
         let profiler = maybe_profiler(Backend::TcGnn);
         if let Some(p) = &profiler {
             eng.attach_profiler(p.clone());

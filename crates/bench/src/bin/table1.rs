@@ -25,7 +25,11 @@ fn main() {
     let mut rows = Vec::new();
     for spec in table1_specs() {
         let ds = load_dataset(spec);
-        let mut eng = Engine::new(Backend::DglLike, ds.graph.clone(), device());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::DglLike)
+            .device(device())
+            .build()
+            .expect("graph is symmetric");
         let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
         let c = r.avg_epoch_cost();
         // Paper's two columns are % of aggregation + update.

@@ -113,14 +113,14 @@ pub fn run_fig6(quick: bool) -> Vec<Fig6Row> {
         let mut gcn = [0.0; 3];
         let mut agnn = [0.0; 3];
         for (i, b) in Backend::all().iter().enumerate() {
-            let mut eng = Engine::new(*b, ds.graph.clone(), device());
+            let mut eng = engine(*b, &ds);
             let r = train_gcn(
                 &mut eng,
                 &ds,
                 TrainConfig::gcn_paper().with_epochs(E2E_EPOCHS),
             );
             gcn[i] = r.avg_epoch_ms();
-            let mut eng = Engine::new(*b, ds.graph.clone(), device());
+            let mut eng = engine(*b, &ds);
             let r = train_agnn(
                 &mut eng,
                 &ds,
@@ -255,15 +255,26 @@ pub fn artifact_slug(name: &str) -> String {
         .collect()
 }
 
+/// Builds an engine for a benchmark dataset; thread count follows
+/// `TCG_THREADS` via the builder default. Benchmark graphs are symmetric
+/// by construction, so failure here is a programming error.
+pub fn engine(backend: Backend, ds: &Dataset) -> Engine {
+    Engine::builder(ds.graph.clone())
+        .backend(backend)
+        .device(device())
+        .build()
+        .expect("benchmark graphs are symmetric")
+}
+
 /// Convenience: a GCN training run on one backend.
 pub fn gcn_run(backend: Backend, ds: &Dataset, epochs: u32) -> TrainResult {
-    let mut eng = Engine::new(backend, ds.graph.clone(), device());
+    let mut eng = engine(backend, ds);
     train_gcn(&mut eng, ds, TrainConfig::gcn_paper().with_epochs(epochs))
 }
 
 /// Convenience: an AGNN training run on one backend.
 pub fn agnn_run(backend: Backend, ds: &Dataset, epochs: u32) -> TrainResult {
-    let mut eng = Engine::new(backend, ds.graph.clone(), device());
+    let mut eng = engine(backend, ds);
     train_agnn(&mut eng, ds, TrainConfig::agnn_paper().with_epochs(epochs))
 }
 

@@ -183,58 +183,86 @@ pub struct Engine {
     degraded: u64,
 }
 
-impl Engine {
-    /// Binds `csr` (must be symmetric — GNN graphs are) to a backend.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the graph is not symmetric; undirected GNN datasets always
-    /// are, and backward passes rely on `Aᵀ = A` topologically. Fallible
-    /// callers use [`Engine::try_new`].
-    pub fn new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Self {
-        Self::try_new(backend, csr, device).expect("engine requires a symmetric graph")
+/// Step-by-step construction of an [`Engine`] — the one entry point that
+/// every constructor routes through, so graph validation always surfaces
+/// as a [`Result`] (no public constructor panics).
+///
+/// ```ignore
+/// let engine = Engine::builder(csr)
+///     .backend(Backend::TcGnn)
+///     .device(DeviceSpec::rtx3090())
+///     .threads(4)
+///     .build()?;
+/// ```
+#[must_use = "call .build() to construct the engine"]
+pub struct EngineBuilder {
+    backend: Backend,
+    csr: CsrGraph,
+    device: DeviceSpec,
+    translation: Option<tcg_sgt::TranslatedGraph>,
+    threads: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Selects the backend (default: [`Backend::TcGnn`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
-    /// [`Engine::new`] with errors instead of panics: a non-symmetric graph
-    /// is [`TcgError::InvalidInput`], and for the TC-GNN backend the SGT
-    /// translation is validated against the CSR before any kernel can
-    /// consume it (corruption surfaces as [`TcgError::CorruptMeta`] here
-    /// rather than as garbage aggregation output later).
-    pub fn try_new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
-        Self::build(backend, csr, device, None)
+    /// Selects the simulated device (default: [`DeviceSpec::rtx3090`]).
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
     }
 
-    /// [`Engine::try_new`] seeded with an already-computed SGT translation —
-    /// the cache-hit path of a serving layer.
+    /// Seeds the builder with an already-computed SGT translation — the
+    /// cache-hit path of a serving layer.
     ///
     /// The translation is still validated against the CSR (a stale cache
     /// entry for a different graph surfaces as [`TcgError::CorruptMeta`]
-    /// here), but Algorithm 1 itself is skipped, so
-    /// [`Engine::preprocessing_ms`] reports zero: the one-time translation
-    /// cost was paid by whoever populated the cache. Only meaningful for
-    /// [`Backend::TcGnn`]; other backends ignore the translation.
-    pub fn with_translation(
-        backend: Backend,
-        csr: CsrGraph,
-        device: DeviceSpec,
-        translation: tcg_sgt::TranslatedGraph,
-    ) -> Result<Self, TcgError> {
-        Self::build(backend, csr, device, Some(translation))
+    /// from [`EngineBuilder::build`]), but Algorithm 1 itself is skipped,
+    /// so [`Engine::preprocessing_ms`] reports zero: the one-time
+    /// translation cost was paid by whoever populated the cache. Only
+    /// meaningful for [`Backend::TcGnn`]; other backends ignore it.
+    pub fn translation(mut self, translation: tcg_sgt::TranslatedGraph) -> Self {
+        self.translation = Some(translation);
+        self
     }
 
-    fn build(
-        backend: Backend,
-        csr: CsrGraph,
-        device: DeviceSpec,
-        cached: Option<tcg_sgt::TranslatedGraph>,
-    ) -> Result<Self, TcgError> {
+    /// Worker-thread count for host-side parallel execution: block bodies
+    /// fan out over this many threads (`1` = fully sequential, `0` = all
+    /// available cores), and a cache-miss SGT translation runs
+    /// multi-threaded. Results are bitwise identical at any thread count.
+    /// Default: the `TCG_THREADS` environment variable (unset → 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Validates the graph (and any seeded translation) and constructs the
+    /// engine. A non-symmetric graph is [`TcgError::InvalidInput`]; for the
+    /// TC-GNN backend the SGT translation is validated against the CSR
+    /// before any kernel can consume it (corruption surfaces as
+    /// [`TcgError::CorruptMeta`] here rather than as garbage aggregation
+    /// output later).
+    pub fn build(self) -> Result<Engine, TcgError> {
+        let EngineBuilder {
+            backend,
+            csr,
+            device,
+            translation: cached,
+            threads,
+        } = self;
         if !csr.is_symmetric() {
             return Err(TcgError::InvalidInput {
                 what: "engine graph",
                 detail: "adjacency must be symmetric (undirected)".into(),
             });
         }
-        let launcher = Launcher::new(device);
+        let threads = tcg_gpusim::resolve_threads(threads).max(1);
+        let mut launcher = Launcher::new(device);
+        launcher.set_threads(threads);
         let t_perm = csr.transpose_permutation();
         let gcn_norm = csr.gcn_norm_edge_values();
         let mut mean_norm = Vec::with_capacity(csr.num_edges());
@@ -254,7 +282,10 @@ impl Engine {
                 Backend::TcGnn => {
                     let (t, sgt_ms) = match cached {
                         Some(t) => (t, 0.0),
-                        None => (tcg_sgt::translate(&csr), tcg_sgt::overhead::model_ms(&csr)),
+                        None => (
+                            tcg_sgt::translate_parallel(&csr, threads),
+                            tcg_sgt::overhead::model_ms(&csr),
+                        ),
                     };
                     t.validate(&csr)?;
                     translated = Some(t.clone());
@@ -288,11 +319,71 @@ impl Engine {
             degraded: 0,
         })
     }
+}
+
+impl Engine {
+    /// Starts building an engine bound to `csr`. Defaults: TC-GNN backend,
+    /// RTX 3090 device, no cached translation, thread count from
+    /// `TCG_THREADS` (unset → 1).
+    pub fn builder(csr: CsrGraph) -> EngineBuilder {
+        EngineBuilder {
+            backend: Backend::TcGnn,
+            csr,
+            device: DeviceSpec::rtx3090(),
+            translation: None,
+            threads: None,
+        }
+    }
+
+    /// Binds `csr` (must be symmetric — GNN graphs are) to a backend.
+    ///
+    /// A non-symmetric graph is reported as [`TcgError::InvalidInput`];
+    /// earlier revisions panicked here, which made the only infallible
+    /// constructor a liability for anything ingesting untrusted graphs.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Engine::builder(csr).backend(..).build()`"
+    )]
+    pub fn new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
+        Engine::builder(csr).backend(backend).device(device).build()
+    }
+
+    /// See [`Engine::builder`]; kept as a one-PR migration shim.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Engine::builder(csr).backend(..).build()`"
+    )]
+    pub fn try_new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
+        Engine::builder(csr).backend(backend).device(device).build()
+    }
+
+    /// See [`EngineBuilder::translation`]; kept as a one-PR migration shim.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Engine::builder(csr).backend(..).translation(..).build()`"
+    )]
+    pub fn with_translation(
+        backend: Backend,
+        csr: CsrGraph,
+        device: DeviceSpec,
+        translation: tcg_sgt::TranslatedGraph,
+    ) -> Result<Self, TcgError> {
+        Engine::builder(csr)
+            .backend(backend)
+            .device(device)
+            .translation(translation)
+            .build()
+    }
+
+    /// Worker threads the launcher fans block bodies over (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.launcher.threads()
+    }
 
     /// Attaches a profiler; every subsequent simulated launch records one
     /// event whose duration is exactly the milliseconds charged to the
-    /// caller's [`Cost`]. The one-time preprocessing already paid by
-    /// [`Engine::new`] is recorded immediately as a host span.
+    /// caller's [`Cost`]. The one-time preprocessing already paid at
+    /// construction is recorded immediately as a host span.
     pub fn attach_profiler(&mut self, profiler: SharedProfiler) {
         if self.preprocessing_ms > 0.0 {
             profiler
@@ -920,7 +1011,7 @@ mod tests {
 
     fn engine(backend: Backend) -> Engine {
         let g = gen::community(400, 3000, 16, 24, 1).unwrap();
-        Engine::new(backend, g, DeviceSpec::rtx3090())
+        Engine::builder(g).backend(backend).build().unwrap()
     }
 
     #[test]
@@ -1107,20 +1198,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "symmetric")]
     fn rejects_asymmetric_graph() {
+        // No panicking constructor remains: every entry point surfaces the
+        // asymmetric graph as an error.
         let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
-        let _ = Engine::new(Backend::DglLike, g, DeviceSpec::rtx3090());
-    }
-
-    #[test]
-    fn try_new_reports_asymmetry_as_invalid_input() {
-        let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
-        let err = match Engine::try_new(Backend::TcGnn, g, DeviceSpec::rtx3090()) {
+        let err = match Engine::builder(g).backend(Backend::DglLike).build() {
             Err(e) => e,
             Ok(_) => panic!("asymmetric graph must be rejected"),
         };
         assert!(matches!(err, TcgError::InvalidInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_return_errors_not_panics() {
+        let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
+        for res in [
+            Engine::new(Backend::DglLike, g.clone(), DeviceSpec::rtx3090()),
+            Engine::try_new(Backend::TcGnn, g.clone(), DeviceSpec::rtx3090()),
+        ] {
+            let err = res.err().expect("asymmetric graph must be rejected");
+            assert!(matches!(err, TcgError::InvalidInput { .. }), "{err:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! The common forward-pass vocabulary: every layer and model forward
+//! returns a [`Forward`] value instead of an ad-hoc 3-tuple, and every
+//! layer exposes the same surface through the [`Layer`] trait.
+
+use tcg_tensor::DenseMatrix;
+
+use crate::engine::{Cost, Engine};
+
+/// Result of a forward pass: the output activations, the state the
+/// backward pass needs, and the simulated cost of the kernels launched.
+///
+/// Named fields replace the old `(DenseMatrix, Cache, Cost)` tuples so
+/// call sites can't transpose cache and cost (both were frequently
+/// ignored with `_`, which hid such bugs), and so adding a field later is
+/// not a breaking change at every destructuring site.
+#[derive(Debug, Clone)]
+pub struct Forward<C> {
+    /// Output activations (`num_nodes × out_dim`).
+    pub out: DenseMatrix,
+    /// Saved forward state consumed by the backward pass.
+    pub cache: C,
+    /// Simulated GPU cost of the pass, split by phase.
+    pub cost: Cost,
+}
+
+impl<C> Forward<C> {
+    /// Bundles the three results of a forward pass.
+    pub fn new(out: DenseMatrix, cache: C, cost: Cost) -> Self {
+        Forward { out, cache, cost }
+    }
+
+    /// Splits back into `(out, cache, cost)` for callers that want to
+    /// destructure all three in one `let`.
+    pub fn into_parts(self) -> (DenseMatrix, C, Cost) {
+        (self.out, self.cache, self.cost)
+    }
+
+    /// Drops the cache — the inference view of a training forward.
+    pub fn discard_cache(self) -> (DenseMatrix, Cost) {
+        (self.out, self.cost)
+    }
+}
+
+/// The surface every GNN layer exposes: forward to a [`Forward`] bundle,
+/// a cache-free inference pass with identical math and cost, and a
+/// backward pass from the output gradient.
+///
+/// `needs_dx = false` lets input layers skip the input-gradient
+/// GEMM/aggregation, as real frameworks do; implementations whose math
+/// always produces `dX` anyway (e.g. AGNN's propagation layer) may ignore
+/// the flag and still return `Some`.
+pub trait Layer {
+    /// Intermediate activations the backward pass needs.
+    type Cache;
+    /// Parameter gradients produced by the backward pass.
+    type Grads;
+
+    /// Forward pass.
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<Self::Cache>;
+
+    /// Inference-only forward: identical kernels and simulated cost to
+    /// [`Layer::forward`], but no backward state is built.
+    fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost);
+
+    /// Backward pass: given `dY` returns `(dX, grads, cost)`.
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &Self::Cache,
+        dy: &DenseMatrix,
+        needs_dx: bool,
+    ) -> (Option<DenseMatrix>, Self::Grads, Cost);
+}

@@ -9,6 +9,7 @@ use tcg_profile::Phase;
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
+use crate::forward::{Forward, Layer};
 
 /// One AGNN propagation layer; the only parameter is the scalar `β`.
 #[derive(Debug, Clone)]
@@ -40,8 +41,8 @@ impl AgnnLayer {
         AgnnLayer { beta: 1.0 }
     }
 
-    /// Forward pass: returns `(Y, cache, cost)`.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, AgnnCache, Cost) {
+    /// Forward pass.
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<AgnnCache> {
         let mut cost = Cost::default();
         // Row-normalize for cosine similarity (one elementwise kernel).
         let mut x_hat = x.clone();
@@ -77,7 +78,7 @@ impl AgnnLayer {
             (y, cos, p)
         };
 
-        (
+        Forward::new(
             y,
             AgnnCache {
                 x: x.clone(),
@@ -191,6 +192,32 @@ impl Default for AgnnLayer {
     }
 }
 
+impl Layer for AgnnLayer {
+    type Cache = AgnnCache;
+    type Grads = AgnnGrads;
+
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<AgnnCache> {
+        AgnnLayer::forward(self, eng, x)
+    }
+
+    fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        AgnnLayer::infer(self, eng, x)
+    }
+
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &AgnnCache,
+        dy: &DenseMatrix,
+        _needs_dx: bool,
+    ) -> (Option<DenseMatrix>, AgnnGrads, Cost) {
+        // The attention backward produces dX as a byproduct of the dβ
+        // pipeline, so `needs_dx = false` saves nothing here.
+        let (dx, grads, cost) = AgnnLayer::backward(self, eng, cache, dy);
+        (Some(dx), grads, cost)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +228,11 @@ mod tests {
 
     fn engine(backend: Backend) -> Engine {
         let g = gen::erdos_renyi(40, 260, 1).unwrap();
-        Engine::new(backend, g, DeviceSpec::rtx3090())
+        Engine::builder(g)
+            .backend(backend)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric")
     }
 
     #[test]
@@ -210,7 +241,7 @@ mod tests {
         let mut eng = engine(Backend::DglLike);
         let layer = AgnnLayer { beta: 0.0 };
         let x = init::uniform(40, 6, -1.0, 1.0, 2);
-        let (y, _, _) = layer.forward(&mut eng, &x);
+        let (y, _, _) = layer.forward(&mut eng, &x).into_parts();
         let g = eng.graph().clone();
         for v in 0..g.num_nodes() {
             let ns = g.neighbors(v);
@@ -232,7 +263,7 @@ mod tests {
         let mut outs = Vec::new();
         for b in Backend::all() {
             let mut eng = engine(b);
-            let (y, _, cost) = layer.forward(&mut eng, &x);
+            let (y, _, cost) = layer.forward(&mut eng, &x).into_parts();
             assert!(cost.aggregation_ms > 0.0);
             outs.push(y);
         }
@@ -246,12 +277,12 @@ mod tests {
         let mut eng = engine(Backend::DglLike);
         let layer = AgnnLayer { beta: 0.8 };
         let x = init::uniform(40, 5, -1.0, 1.0, 4);
-        let (y, cache, _) = layer.forward(&mut eng, &x);
+        let (y, cache, _) = layer.forward(&mut eng, &x).into_parts();
         // Loss = Σ y²/2 ⇒ dy = y.
         let (dx, grads, _) = layer.backward(&mut eng, &cache, &y);
 
         let loss = |l: &AgnnLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
-            let (yy, _, _) = l.forward(e, xx);
+            let (yy, _, _) = l.forward(e, xx).into_parts();
             yy.as_slice()
                 .iter()
                 .map(|v| (*v as f64).powi(2))
@@ -295,7 +326,7 @@ mod tests {
         let mut eng = engine(Backend::TcGnn);
         let layer = AgnnLayer { beta: 2.0 };
         let x = init::uniform(40, 6, -1.0, 1.0, 5);
-        let (_, cache, _) = layer.forward(&mut eng, &x);
+        let (_, cache, _) = layer.forward(&mut eng, &x).into_parts();
         let g = eng.graph();
         for v in 0..g.num_nodes() {
             let (lo, hi) = (g.node_pointer()[v], g.node_pointer()[v + 1]);

@@ -9,6 +9,7 @@
 use tcg_tensor::{init, ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
+use crate::forward::{Forward, Layer};
 
 /// One GCN layer.
 #[derive(Debug, Clone)]
@@ -63,14 +64,14 @@ impl GcnLayer {
     }
 
     /// Forward pass.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GcnCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<GcnCache> {
         match self.order() {
             Order::AggregateFirst => {
                 let (h_agg, agg_ms) = eng.gcn_aggregate(x).expect("graph and x dims agree");
                 let (mut y, gemm_ms) = eng.linear(&h_agg, &self.w);
                 ops::add_bias_inplace(&mut y, &self.b).expect("bias length matches out_dim");
                 let bias_ms = eng.elementwise_ms(y.len(), 1, 1);
-                (
+                Forward::new(
                     y,
                     GcnCache {
                         order: Order::AggregateFirst,
@@ -84,7 +85,7 @@ impl GcnLayer {
                 ops::add_bias_inplace(&mut h, &self.b).expect("bias length matches out_dim");
                 let bias_ms = eng.elementwise_ms(h.len(), 1, 1);
                 let (y, agg_ms) = eng.gcn_aggregate(&h).expect("dims agree");
-                (
+                Forward::new(
                     y,
                     GcnCache {
                         order: Order::UpdateFirst,
@@ -175,6 +176,29 @@ impl GcnLayer {
     }
 }
 
+impl Layer for GcnLayer {
+    type Cache = GcnCache;
+    type Grads = GcnGrads;
+
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<GcnCache> {
+        GcnLayer::forward(self, eng, x)
+    }
+
+    fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        GcnLayer::infer(self, eng, x)
+    }
+
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &GcnCache,
+        dy: &DenseMatrix,
+        needs_dx: bool,
+    ) -> (Option<DenseMatrix>, GcnGrads, Cost) {
+        GcnLayer::backward(self, eng, cache, dy, needs_dx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,7 +208,11 @@ mod tests {
 
     fn engine(backend: Backend) -> Engine {
         let g = gen::erdos_renyi(48, 300, 1).unwrap();
-        Engine::new(backend, g, DeviceSpec::rtx3090())
+        Engine::builder(g)
+            .backend(backend)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric")
     }
 
     #[test]
@@ -203,7 +231,7 @@ mod tests {
         // in < out: aggregate-first.
         let wide = GcnLayer::new(6, 9, 3);
         // in > out with the numerically identical weight: build by hand.
-        let (y_wide, _, _) = wide.forward(&mut eng, &x);
+        let (y_wide, _, _) = wide.forward(&mut eng, &x).into_parts();
         // Manually compute Â(X·W) and compare.
         let (h, _) = eng.linear(&x, &wide.w);
         let (y_manual, _) = eng.gcn_aggregate(&h).unwrap();
@@ -215,7 +243,7 @@ mod tests {
         let mut eng = engine(Backend::TcGnn);
         let layer = GcnLayer::new(6, 4, 1);
         let x = init::uniform(48, 6, -1.0, 1.0, 2);
-        let (y, _, cost) = layer.forward(&mut eng, &x);
+        let (y, _, cost) = layer.forward(&mut eng, &x).into_parts();
         assert_eq!(y.shape(), (48, 4));
         assert!(cost.aggregation_ms > 0.0);
         assert!(cost.update_ms > 0.0);
@@ -228,7 +256,7 @@ mod tests {
         let mut outs = Vec::new();
         for b in Backend::all() {
             let mut eng = engine(b);
-            let (y, _, _) = layer.forward(&mut eng, &x);
+            let (y, _, _) = layer.forward(&mut eng, &x).into_parts();
             outs.push(y);
         }
         for y in &outs[1..] {
@@ -241,7 +269,7 @@ mod tests {
         let mut eng = engine(Backend::DglLike);
         let layer = GcnLayer::new(4, 3, 5);
         let x = init::uniform(48, 4, -1.0, 1.0, 6);
-        let (y, cache, _) = layer.forward(&mut eng, &x);
+        let (y, cache, _) = layer.forward(&mut eng, &x).into_parts();
         let (dx_some, _, cost_full) = layer.backward(&mut eng, &cache, &y, true);
         let (dx_none, _, cost_skip) = layer.backward(&mut eng, &cache, &y, false);
         assert!(dx_some.is_some());
@@ -251,12 +279,12 @@ mod tests {
 
     fn check_gradients(layer: &GcnLayer, eng: &mut Engine) {
         let x = init::uniform(48, layer.w.rows(), -1.0, 1.0, 6);
-        let (y, cache, _) = layer.forward(eng, &x);
+        let (y, cache, _) = layer.forward(eng, &x).into_parts();
         // Loss = Σ y² / 2 ⇒ dy = y.
         let (dx, grads, _) = layer.backward(eng, &cache, &y, true);
         let dx = dx.unwrap();
         let loss = |l: &GcnLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
-            let (yy, _, _) = l.forward(e, xx);
+            let (yy, _, _) = l.forward(e, xx).into_parts();
             yy.as_slice()
                 .iter()
                 .map(|v| (*v as f64).powi(2))

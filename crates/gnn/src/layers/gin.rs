@@ -9,6 +9,7 @@ use tcg_profile::Phase;
 use tcg_tensor::{init, ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
+use crate::forward::{Forward, Layer};
 
 /// One GIN layer.
 #[derive(Debug, Clone)]
@@ -62,7 +63,7 @@ impl GinLayer {
     }
 
     /// Forward pass.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GinCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<GinCache> {
         let (mut h, agg_ms) = eng.sum_aggregate(x).expect("dims agree");
         for (hv, xv) in h.as_mut_slice().iter_mut().zip(x.as_slice()) {
             *hv += (1.0 + self.eps) * xv;
@@ -81,7 +82,7 @@ impl GinLayer {
         let (mut y, ms2) = eng.linear(&a1, &self.w2);
         ops::add_bias_inplace(&mut y, &self.b2).expect("bias length");
         cost += Cost::update(ms2) + Cost::other(eng.elementwise_ms(y.len(), 1, 1));
-        (
+        Forward::new(
             y,
             GinCache {
                 x: x.clone(),
@@ -172,6 +173,29 @@ impl GinLayer {
     }
 }
 
+impl Layer for GinLayer {
+    type Cache = GinCache;
+    type Grads = GinGrads;
+
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<GinCache> {
+        GinLayer::forward(self, eng, x)
+    }
+
+    fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        GinLayer::infer(self, eng, x)
+    }
+
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &GinCache,
+        dy: &DenseMatrix,
+        needs_dx: bool,
+    ) -> (Option<DenseMatrix>, GinGrads, Cost) {
+        GinLayer::backward(self, eng, cache, dy, needs_dx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,7 +205,11 @@ mod tests {
 
     fn engine(backend: Backend) -> Engine {
         let g = gen::erdos_renyi(40, 240, 1).unwrap();
-        Engine::new(backend, g, DeviceSpec::rtx3090())
+        Engine::builder(g)
+            .backend(backend)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric")
     }
 
     #[test]
@@ -191,7 +219,7 @@ mod tests {
         let mut outs = Vec::new();
         for b in Backend::all() {
             let mut eng = engine(b);
-            let (y, _, cost) = layer.forward(&mut eng, &x);
+            let (y, _, cost) = layer.forward(&mut eng, &x).into_parts();
             assert_eq!(y.shape(), (40, 4));
             assert!(cost.aggregation_ms > 0.0 && cost.update_ms > 0.0);
             outs.push(y);
@@ -205,11 +233,15 @@ mod tests {
     fn epsilon_scales_self_contribution() {
         // With no edges, h = (1+ε)x exactly.
         let g = tcg_graph::CsrGraph::from_raw(4, vec![0; 5], vec![]).unwrap();
-        let mut eng = Engine::new(Backend::TcGnn, g, DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(g)
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let mut layer = GinLayer::new(3, 4, 2, 5);
         layer.eps = 1.0;
         let x = init::uniform(4, 3, -1.0, 1.0, 6);
-        let (_, cache, _) = layer.forward(&mut eng, &x);
+        let (_, cache, _) = layer.forward(&mut eng, &x).into_parts();
         for (h, xv) in cache.h.as_slice().iter().zip(x.as_slice()) {
             assert!((h - 2.0 * xv).abs() < 1e-5);
         }
@@ -220,11 +252,11 @@ mod tests {
         let mut eng = engine(Backend::DglLike);
         let layer = GinLayer::new(4, 6, 3, 7);
         let x = init::uniform(40, 4, -1.0, 1.0, 8);
-        let (y, cache, _) = layer.forward(&mut eng, &x);
+        let (y, cache, _) = layer.forward(&mut eng, &x).into_parts();
         let (dx, grads, _) = layer.backward(&mut eng, &cache, &y, true);
         let dx = dx.unwrap();
         let loss = |l: &GinLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
-            let (yy, _, _) = l.forward(e, xx);
+            let (yy, _, _) = l.forward(e, xx).into_parts();
             yy.as_slice()
                 .iter()
                 .map(|v| (*v as f64).powi(2))

@@ -3,6 +3,7 @@
 use tcg_tensor::{init, ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
+use crate::forward::{Forward, Layer};
 
 /// A dense layer `y = x·W + b`.
 #[derive(Debug, Clone)]
@@ -38,11 +39,11 @@ impl Linear {
     }
 
     /// Forward: `y = x·W + b`.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, LinearCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<LinearCache> {
         let (mut y, gemm_ms) = eng.linear(x, &self.w);
         ops::add_bias_inplace(&mut y, &self.b).expect("bias length matches out_dim");
         let bias_ms = eng.elementwise_ms(y.len(), 1, 1);
-        (
+        Forward::new(
             y,
             LinearCache { x: x.clone() },
             Cost::update(gemm_ms) + Cost::other(bias_ms),
@@ -87,6 +88,29 @@ impl Linear {
     }
 }
 
+impl Layer for Linear {
+    type Cache = LinearCache;
+    type Grads = LinearGrads;
+
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<LinearCache> {
+        Linear::forward(self, eng, x)
+    }
+
+    fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        Linear::infer(self, eng, x)
+    }
+
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &LinearCache,
+        dy: &DenseMatrix,
+        needs_dx: bool,
+    ) -> (Option<DenseMatrix>, LinearGrads, Cost) {
+        Linear::backward(self, eng, cache, dy, needs_dx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,7 +120,11 @@ mod tests {
 
     fn engine() -> Engine {
         let g = gen::erdos_renyi(64, 400, 1).unwrap();
-        Engine::new(Backend::DglLike, g, DeviceSpec::rtx3090())
+        Engine::builder(g)
+            .backend(Backend::DglLike)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric")
     }
 
     #[test]
@@ -105,7 +133,7 @@ mod tests {
         let mut layer = Linear::new(4, 3, 1);
         layer.b = vec![1.0, 2.0, 3.0];
         let x = DenseMatrix::zeros(64, 4);
-        let (y, _, cost) = layer.forward(&mut eng, &x);
+        let (y, _, cost) = layer.forward(&mut eng, &x).into_parts();
         assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
         assert!(cost.update_ms > 0.0 && cost.other_ms > 0.0);
     }
@@ -116,12 +144,12 @@ mod tests {
         let layer = Linear::new(3, 2, 2);
         let x = init::uniform(64, 3, -1.0, 1.0, 3);
         // Loss = sum(y^2)/2 so dy = y.
-        let (y, cache, _) = layer.forward(&mut eng, &x);
+        let (y, cache, _) = layer.forward(&mut eng, &x).into_parts();
         let (dx, grads, _) = layer.backward(&mut eng, &cache, &y, true);
         let dx = dx.unwrap();
 
         let loss = |l: &Linear, xx: &DenseMatrix, e: &mut Engine| -> f64 {
-            let (yy, _, _) = l.forward(e, xx);
+            let (yy, _, _) = l.forward(e, xx).into_parts();
             yy.as_slice()
                 .iter()
                 .map(|v| (*v as f64).powi(2))

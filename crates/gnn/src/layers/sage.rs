@@ -9,6 +9,7 @@
 use tcg_tensor::{init, ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
+use crate::forward::{Forward, Layer};
 
 /// One GraphSAGE (mean) layer.
 #[derive(Debug, Clone)]
@@ -50,14 +51,14 @@ impl SageLayer {
     }
 
     /// Forward pass.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, SageCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<SageCache> {
         let (mean, agg_ms) = eng.mean_aggregate(x).expect("dims agree");
         let (mut y, ms1) = eng.linear(x, &self.w_self);
         let (y2, ms2) = eng.linear(&mean, &self.w_neigh);
         y.add_assign(&y2).expect("same shape");
         ops::add_bias_inplace(&mut y, &self.b).expect("bias length");
         let ew_ms = eng.elementwise_ms(y.len(), 2, 1);
-        (
+        Forward::new(
             y,
             SageCache { x: x.clone(), mean },
             Cost::agg(agg_ms) + Cost::update(ms1 + ms2) + Cost::other(ew_ms),
@@ -116,6 +117,29 @@ impl SageLayer {
     }
 }
 
+impl Layer for SageLayer {
+    type Cache = SageCache;
+    type Grads = SageGrads;
+
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<SageCache> {
+        SageLayer::forward(self, eng, x)
+    }
+
+    fn infer(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Cost) {
+        SageLayer::infer(self, eng, x)
+    }
+
+    fn backward(
+        &self,
+        eng: &mut Engine,
+        cache: &SageCache,
+        dy: &DenseMatrix,
+        needs_dx: bool,
+    ) -> (Option<DenseMatrix>, SageGrads, Cost) {
+        SageLayer::backward(self, eng, cache, dy, needs_dx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,7 +149,11 @@ mod tests {
 
     fn engine(backend: Backend) -> Engine {
         let g = gen::erdos_renyi(44, 280, 1).unwrap();
-        Engine::new(backend, g, DeviceSpec::rtx3090())
+        Engine::builder(g)
+            .backend(backend)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric")
     }
 
     #[test]
@@ -135,7 +163,7 @@ mod tests {
         let mut outs = Vec::new();
         for b in Backend::all() {
             let mut eng = engine(b);
-            let (y, _, cost) = layer.forward(&mut eng, &x);
+            let (y, _, cost) = layer.forward(&mut eng, &x).into_parts();
             assert_eq!(y.shape(), (44, 4));
             assert!(cost.aggregation_ms > 0.0 && cost.update_ms > 0.0);
             outs.push(y);
@@ -149,10 +177,14 @@ mod tests {
     fn isolated_node_uses_only_self_path() {
         // A node with no neighbors: mean term is zero.
         let g = tcg_graph::CsrGraph::from_raw(3, vec![0, 1, 2, 2], vec![1, 0]).unwrap();
-        let mut eng = Engine::new(Backend::DglLike, g, DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(g)
+            .backend(Backend::DglLike)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let layer = SageLayer::new(2, 2, 4);
         let x = init::uniform(3, 2, -1.0, 1.0, 5);
-        let (y, _, _) = layer.forward(&mut eng, &x);
+        let (y, _, _) = layer.forward(&mut eng, &x).into_parts();
         let expect = tcg_tensor::gemm::gemm(&x, &layer.w_self).unwrap();
         for j in 0..2 {
             assert!((y.get(2, j) - expect.get(2, j)).abs() < 1e-4);
@@ -164,11 +196,11 @@ mod tests {
         let mut eng = engine(Backend::DglLike);
         let layer = SageLayer::new(4, 3, 6);
         let x = init::uniform(44, 4, -1.0, 1.0, 7);
-        let (y, cache, _) = layer.forward(&mut eng, &x);
+        let (y, cache, _) = layer.forward(&mut eng, &x).into_parts();
         let (dx, grads, _) = layer.backward(&mut eng, &cache, &y, true);
         let dx = dx.unwrap();
         let loss = |l: &SageLayer, xx: &DenseMatrix, e: &mut Engine| -> f64 {
-            let (yy, _, _) = l.forward(e, xx);
+            let (yy, _, _) = l.forward(e, xx).into_parts();
             yy.as_slice()
                 .iter()
                 .map(|v| (*v as f64).powi(2))

@@ -22,13 +22,15 @@
 //! end-to-end numbers behind Figure 6.
 
 pub mod engine;
+pub mod forward;
 pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optim;
 pub mod trainer;
 
-pub use engine::{Backend, Cost, Engine, RecoveryPolicy};
+pub use engine::{Backend, Cost, Engine, EngineBuilder, RecoveryPolicy};
+pub use forward::{Forward, Layer};
 pub use model::{AgnnModel, GcnModel, GinModel, SageModel};
 pub use trainer::{
     train_agnn, train_gcn, train_gin, train_model, train_model_returning, train_sage, TrainConfig,

@@ -6,6 +6,7 @@ use tcg_profile::Phase;
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::engine::{Cost, Engine};
+use crate::forward::Forward;
 use crate::layers::agnn::{AgnnCache, AgnnGrads, AgnnLayer};
 use crate::layers::gcn::{GcnCache, GcnGrads, GcnLayer};
 use crate::layers::gin::{GinCache, GinGrads, GinLayer};
@@ -63,15 +64,15 @@ impl GcnModel {
     }
 
     /// Forward pass to logits.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GcnModelCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<GcnModelCache> {
         prof_set_layer(eng, Some(0));
-        let (z1, c1, cost1) = self.l1.forward(eng, x);
+        let (z1, c1, cost1) = self.l1.forward(eng, x).into_parts();
         let h1 = ops::relu(&z1);
         let relu_ms = eng.elementwise_tagged_ms("relu", Phase::Other, h1.len(), 1, 1);
         prof_set_layer(eng, Some(1));
-        let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        let (logits, c2, cost2) = self.l2.forward(eng, &h1).into_parts();
         prof_set_layer(eng, None);
-        (
+        Forward::new(
             logits,
             GcnModelCache {
                 c1,
@@ -181,28 +182,24 @@ impl AgnnModel {
     }
 
     /// Forward pass to logits.
-    pub fn forward(
-        &self,
-        eng: &mut Engine,
-        x: &DenseMatrix,
-    ) -> (DenseMatrix, AgnnModelCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<AgnnModelCache> {
         prof_set_layer(eng, Some(0));
-        let (z0, cin, mut cost) = self.lin_in.forward(eng, x);
+        let (z0, cin, mut cost) = self.lin_in.forward(eng, x).into_parts();
         let mut h = ops::relu(&z0);
         cost += Cost::other(eng.elementwise_tagged_ms("relu", Phase::Other, h.len(), 1, 1));
         let mut prop_caches = Vec::with_capacity(self.props.len());
         for (i, prop) in self.props.iter().enumerate() {
             prof_set_layer(eng, Some(i as u32 + 1));
-            let (h_next, cache, c) = prop.forward(eng, &h);
+            let (h_next, cache, c) = prop.forward(eng, &h).into_parts();
             prop_caches.push(cache);
             cost += c;
             h = h_next;
         }
         prof_set_layer(eng, Some(self.props.len() as u32 + 1));
-        let (logits, cout, c) = self.lin_out.forward(eng, &h);
+        let (logits, cout, c) = self.lin_out.forward(eng, &h).into_parts();
         prof_set_layer(eng, None);
         cost += c;
-        (
+        Forward::new(
             logits,
             AgnnModelCache {
                 cin,
@@ -331,19 +328,15 @@ impl SageModel {
     }
 
     /// Forward pass to logits.
-    pub fn forward(
-        &self,
-        eng: &mut Engine,
-        x: &DenseMatrix,
-    ) -> (DenseMatrix, SageModelCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<SageModelCache> {
         prof_set_layer(eng, Some(0));
-        let (z1, c1, cost1) = self.l1.forward(eng, x);
+        let (z1, c1, cost1) = self.l1.forward(eng, x).into_parts();
         let h1 = ops::relu(&z1);
         let relu_ms = eng.elementwise_tagged_ms("relu", Phase::Other, h1.len(), 1, 1);
         prof_set_layer(eng, Some(1));
-        let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        let (logits, c2, cost2) = self.l2.forward(eng, &h1).into_parts();
         prof_set_layer(eng, None);
-        (
+        Forward::new(
             logits,
             SageModelCache { c1, z1, c2 },
             cost1 + cost2 + Cost::other(relu_ms),
@@ -443,13 +436,13 @@ impl GinModel {
     }
 
     /// Forward pass to logits.
-    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, GinModelCache, Cost) {
+    pub fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<GinModelCache> {
         prof_set_layer(eng, Some(0));
-        let (h1, c1, cost1) = self.l1.forward(eng, x);
+        let (h1, c1, cost1) = self.l1.forward(eng, x).into_parts();
         prof_set_layer(eng, Some(1));
-        let (logits, c2, cost2) = self.l2.forward(eng, &h1);
+        let (logits, c2, cost2) = self.l2.forward(eng, &h1).into_parts();
         prof_set_layer(eng, None);
-        (logits, GinModelCache { c1, c2 }, cost1 + cost2)
+        Forward::new(logits, GinModelCache { c1, c2 }, cost1 + cost2)
     }
 
     /// Inference-only forward to logits (no gradient buffers).
@@ -534,7 +527,11 @@ mod tests {
 
     fn engine() -> Engine {
         let g = gen::erdos_renyi(60, 400, 1).unwrap();
-        Engine::new(Backend::TcGnn, g, DeviceSpec::rtx3090())
+        Engine::builder(g)
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric")
     }
 
     #[test]
@@ -542,7 +539,7 @@ mod tests {
         let mut eng = engine();
         let model = GcnModel::new(10, 16, 4, 1);
         let x = init::uniform(60, 10, -1.0, 1.0, 2);
-        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        let (logits, cache, cost) = model.forward(&mut eng, &x).into_parts();
         assert_eq!(logits.shape(), (60, 4));
         assert!(cost.aggregation_ms > 0.0 && cost.update_ms > 0.0);
         let dl = init::uniform(60, 4, -0.1, 0.1, 3);
@@ -557,7 +554,7 @@ mod tests {
         let mut eng = engine();
         let model = AgnnModel::new(8, 32, 5, 4, 1);
         let x = init::uniform(60, 8, -1.0, 1.0, 2);
-        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        let (logits, cache, cost) = model.forward(&mut eng, &x).into_parts();
         assert_eq!(logits.shape(), (60, 5));
         assert!(cost.aggregation_ms > 0.0);
         let dl = init::uniform(60, 5, -0.1, 0.1, 3);
@@ -572,7 +569,7 @@ mod tests {
         let mut eng = engine();
         let model = SageModel::new(9, 12, 5, 1);
         let x = init::uniform(60, 9, -1.0, 1.0, 2);
-        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        let (logits, cache, cost) = model.forward(&mut eng, &x).into_parts();
         assert_eq!(logits.shape(), (60, 5));
         assert!(cost.aggregation_ms > 0.0);
         let (grads, _) = model.backward(&mut eng, &cache, &logits);
@@ -585,7 +582,7 @@ mod tests {
         let mut eng = engine();
         let model = GinModel::new(7, 10, 4, 1);
         let x = init::uniform(60, 7, -1.0, 1.0, 2);
-        let (logits, cache, cost) = model.forward(&mut eng, &x);
+        let (logits, cache, cost) = model.forward(&mut eng, &x).into_parts();
         assert_eq!(logits.shape(), (60, 4));
         assert!(cost.aggregation_ms > 0.0);
         let (grads, _) = model.backward(&mut eng, &cache, &logits);
@@ -602,31 +599,35 @@ mod tests {
         // pass's cost reflect a warm cache rather than a code difference.
         let fresh = |backend| {
             let g = gen::erdos_renyi(60, 400, 1).unwrap();
-            Engine::new(backend, g, DeviceSpec::rtx3090())
+            Engine::builder(g)
+                .backend(backend)
+                .device(DeviceSpec::rtx3090())
+                .build()
+                .expect("graph is symmetric")
         };
         let x8 = init::uniform(60, 8, -1.0, 1.0, 2);
         let x10 = init::uniform(60, 10, -1.0, 1.0, 2);
         for backend in Backend::all() {
             let gcn = GcnModel::new(10, 16, 4, 1);
-            let (fwd, _, fcost) = gcn.forward(&mut fresh(backend), &x10);
+            let (fwd, _, fcost) = gcn.forward(&mut fresh(backend), &x10).into_parts();
             let (inf, icost) = gcn.infer(&mut fresh(backend), &x10);
             assert_eq!(fwd.as_slice(), inf.as_slice());
             assert_eq!(fcost.total_ms(), icost.total_ms());
 
             let agnn = AgnnModel::new(8, 32, 5, 2, 1);
-            let (fwd, _, fcost) = agnn.forward(&mut fresh(backend), &x8);
+            let (fwd, _, fcost) = agnn.forward(&mut fresh(backend), &x8).into_parts();
             let (inf, icost) = agnn.infer(&mut fresh(backend), &x8);
             assert_eq!(fwd.as_slice(), inf.as_slice());
             assert_eq!(fcost.total_ms(), icost.total_ms());
 
             let sage = SageModel::new(8, 12, 5, 1);
-            let (fwd, _, fcost) = sage.forward(&mut fresh(backend), &x8);
+            let (fwd, _, fcost) = sage.forward(&mut fresh(backend), &x8).into_parts();
             let (inf, icost) = sage.infer(&mut fresh(backend), &x8);
             assert_eq!(fwd.as_slice(), inf.as_slice());
             assert_eq!(fcost.total_ms(), icost.total_ms());
 
             let gin = GinModel::new(8, 10, 4, 1);
-            let (fwd, _, fcost) = gin.forward(&mut fresh(backend), &x8);
+            let (fwd, _, fcost) = gin.forward(&mut fresh(backend), &x8).into_parts();
             let (inf, icost) = gin.infer(&mut fresh(backend), &x8);
             assert_eq!(fwd.as_slice(), inf.as_slice());
             assert_eq!(fcost.total_ms(), icost.total_ms());
@@ -638,7 +639,7 @@ mod tests {
         let mut eng = engine();
         let mut model = GcnModel::new(6, 8, 3, 4);
         let x = init::uniform(60, 6, -1.0, 1.0, 5);
-        let (logits, cache, _) = model.forward(&mut eng, &x);
+        let (logits, cache, _) = model.forward(&mut eng, &x).into_parts();
         let (grads, _) = model.backward(&mut eng, &cache, &logits);
         let before = model.l1.w.clone();
         let mut adam = Adam::new(0.01);

@@ -7,6 +7,7 @@ use tcg_profile::Phase;
 use tcg_tensor::DenseMatrix;
 
 use crate::engine::{Cost, Engine};
+use crate::forward::Forward;
 use crate::loss::masked_cross_entropy;
 use crate::model::{AgnnModel, GcnModel, GinModel, SageModel};
 use crate::optim::Adam;
@@ -163,7 +164,7 @@ pub trait TrainableModel: Clone {
     type Grads;
 
     /// Forward pass to logits.
-    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> (DenseMatrix, Self::Cache, Cost);
+    fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<Self::Cache>;
 
     /// Backward pass from the logits gradient.
     fn backward(
@@ -188,11 +189,7 @@ macro_rules! impl_trainable {
         impl TrainableModel for $model {
             type Cache = $cache;
             type Grads = $grads;
-            fn forward(
-                &self,
-                eng: &mut Engine,
-                x: &DenseMatrix,
-            ) -> (DenseMatrix, Self::Cache, Cost) {
+            fn forward(&self, eng: &mut Engine, x: &DenseMatrix) -> Forward<Self::Cache> {
                 <$model>::forward(self, eng, x)
             }
             fn backward(
@@ -257,7 +254,7 @@ fn run_epoch<M: TrainableModel>(
     model: &mut M,
     adam: &mut Adam,
 ) -> EpochAttempt {
-    let (logits, cache, fwd) = model.forward(eng, &ds.features);
+    let (logits, cache, fwd) = model.forward(eng, &ds.features).into_parts();
     let lo = masked_cross_entropy(&logits, &ds.labels, &ds.train_mask);
     let loss_ms = eng.elementwise_tagged_ms("loss", Phase::Other, logits.len(), 2, 1);
     let poisoned = !lo.loss.is_finite()
@@ -405,7 +402,11 @@ mod tests {
     #[test]
     fn gcn_training_learns() {
         let ds = tiny_dataset();
-        let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let cfg = TrainConfig {
             hidden: 16,
             layers: 2,
@@ -431,7 +432,11 @@ mod tests {
     #[test]
     fn agnn_training_learns() {
         let ds = tiny_dataset();
-        let mut eng = Engine::new(Backend::DglLike, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::DglLike)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let cfg = TrainConfig {
             hidden: 16,
             layers: 2,
@@ -460,7 +465,11 @@ mod tests {
         };
         let mut losses = Vec::new();
         for b in Backend::all() {
-            let mut eng = Engine::new(b, ds.graph.clone(), DeviceSpec::rtx3090());
+            let mut eng = Engine::builder(ds.graph.clone())
+                .backend(b)
+                .device(DeviceSpec::rtx3090())
+                .build()
+                .expect("graph is symmetric");
             let r = train_gcn(&mut eng, &ds, cfg);
             losses.push(r.epochs.last().unwrap().loss);
         }
@@ -482,7 +491,11 @@ mod tests {
             .scaled(2)
             .materialize(11)
             .unwrap();
-        let mut eng = Engine::new(Backend::DglLike, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::DglLike)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
         assert!(
             r.aggregation_fraction() > 0.4,
@@ -501,7 +514,11 @@ mod tests {
             lr: 0.02,
             seed: 9,
         };
-        let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let sage = train_sage(&mut eng, &ds, cfg);
         assert!(
             sage.loss_drop() > 0.1,
@@ -509,7 +526,11 @@ mod tests {
             sage.loss_drop()
         );
         assert!(sage.final_accuracy() > 1.5 / 4.0);
-        let mut eng = Engine::new(Backend::DglLike, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::DglLike)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let gin = train_gin(&mut eng, &ds, cfg);
         assert!(gin.loss_drop() > 0.1, "gin loss drop {}", gin.loss_drop());
         assert!(gin.final_accuracy() > 1.5 / 4.0);
@@ -528,7 +549,11 @@ mod tests {
             seed: 4,
         };
         let run = || {
-            let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+            let mut eng = Engine::builder(ds.graph.clone())
+                .backend(Backend::TcGnn)
+                .device(DeviceSpec::rtx3090())
+                .build()
+                .expect("graph is symmetric");
             eng.attach_fault_plan(FaultPlan::new(
                 13,
                 FaultConfig {
@@ -566,7 +591,11 @@ mod tests {
     #[test]
     fn fault_free_run_reports_zero_faults() {
         let ds = tiny_dataset();
-        let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
         assert_eq!(r.fault_report.total_injected(), 0);
         assert_eq!(r.fault_report.retried, 0);
@@ -578,9 +607,17 @@ mod tests {
     fn tcgnn_not_slower_than_dgl_per_epoch() {
         let ds = tiny_dataset();
         let cfg = TrainConfig::gcn_paper().with_epochs(2);
-        let mut e1 = Engine::new(Backend::DglLike, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut e1 = Engine::builder(ds.graph.clone())
+            .backend(Backend::DglLike)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let dgl = train_gcn(&mut e1, &ds, cfg);
-        let mut e2 = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut e2 = Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let tc = train_gcn(&mut e2, &ds, cfg);
         assert!(
             tc.avg_epoch_ms() < dgl.avg_epoch_ms(),

@@ -108,6 +108,28 @@ impl AddressSpace {
     }
 }
 
+/// How a [`BlockCtx`] drives the memory-hierarchy simulation.
+///
+/// The sequential path probes the launcher's shared L1/L2 inline. The
+/// parallel path gives every block a private L1 (semantically identical:
+/// the harness flushes the L1 at block boundaries anyway, so L1 behavior
+/// is a pure function of the block's own probe sequence) and *defers* the
+/// shared-L2 probes by logging each L1-miss sector; the launcher replays
+/// the logs through the real L2 in block-id order afterwards, reproducing
+/// the sequential path's L2 state and counters bit for bit.
+enum MemSim<'a> {
+    /// Probe the launcher's shared caches inline.
+    Live {
+        l1: &'a mut Cache,
+        l2: &'a mut Cache,
+    },
+    /// Probe a block-private L1; log L1-miss sectors for ordered L2 replay.
+    Deferred {
+        l1: &'a mut Cache,
+        l2_log: &'a mut Vec<u64>,
+    },
+}
+
 /// Per-block execution context handed to kernel closures.
 pub struct BlockCtx<'a> {
     /// The device being simulated.
@@ -117,8 +139,7 @@ pub struct BlockCtx<'a> {
     /// Launch configuration.
     pub config: GridConfig,
     stats: &'a mut KernelStats,
-    l1: &'a mut Cache,
-    l2: &'a mut Cache,
+    mem: MemSim<'a>,
     ecc_armed: &'a mut bool,
     scratch: Vec<u64>,
 }
@@ -142,18 +163,27 @@ impl<'a> BlockCtx<'a> {
     }
 
     fn probe(&mut self, sector: u64) {
-        match self.l1.access(sector) {
-            Probe::Hit => self.stats.l1_hits += 1,
-            Probe::Miss => {
-                self.stats.l1_misses += 1;
-                match self.l2.access(sector) {
-                    Probe::Hit => self.stats.l2_hits += 1,
-                    Probe::Miss => {
-                        self.stats.l2_misses += 1;
-                        self.stats.dram_read_bytes += SECTOR_BYTES;
+        match &mut self.mem {
+            MemSim::Live { l1, l2 } => match l1.access(sector) {
+                Probe::Hit => self.stats.l1_hits += 1,
+                Probe::Miss => {
+                    self.stats.l1_misses += 1;
+                    match l2.access(sector) {
+                        Probe::Hit => self.stats.l2_hits += 1,
+                        Probe::Miss => {
+                            self.stats.l2_misses += 1;
+                            self.stats.dram_read_bytes += SECTOR_BYTES;
+                        }
                     }
                 }
-            }
+            },
+            MemSim::Deferred { l1, l2_log } => match l1.access(sector) {
+                Probe::Hit => self.stats.l1_hits += 1,
+                Probe::Miss => {
+                    self.stats.l1_misses += 1;
+                    l2_log.push(sector);
+                }
+            },
         }
     }
 
@@ -365,10 +395,13 @@ pub struct Launcher {
     address_space: AddressSpace,
     fault_plan: Option<FaultPlan>,
     ecc_armed: bool,
+    threads: usize,
 }
 
 impl Launcher {
     /// Creates a launcher for `device` with cold caches and no fault plan.
+    /// The worker-thread count for [`Launcher::launch_par`] comes from
+    /// `TCG_THREADS` (unset → 1, the fully sequential behavior).
     pub fn new(device: DeviceSpec) -> Self {
         let l2 = Cache::l2(device.l2_bytes);
         let l1 = Cache::l1(device.l1_bytes_per_sm);
@@ -379,7 +412,19 @@ impl Launcher {
             address_space: AddressSpace::new(),
             fault_plan: None,
             ecc_armed: false,
+            threads: crate::par::threads_from_env(),
         }
+    }
+
+    /// Sets the worker-thread count used by [`Launcher::launch_par`]
+    /// (`0` → all available cores; clamped to at least 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = crate::par::resolve_threads(Some(threads)).max(1);
+    }
+
+    /// The worker-thread count [`Launcher::launch_par`] fans out over.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The simulated device.
@@ -502,8 +547,10 @@ impl Launcher {
                 block_id,
                 config: cfg,
                 stats: &mut stats,
-                l1: &mut self.l1,
-                l2: &mut self.l2,
+                mem: MemSim::Live {
+                    l1: &mut self.l1,
+                    l2: &mut self.l2,
+                },
                 ecc_armed: &mut self.ecc_armed,
                 scratch: Vec::with_capacity(64),
             };
@@ -526,6 +573,130 @@ impl Launcher {
         F: FnMut(&mut BlockCtx<'_>),
     {
         let stats = self.launch(cfg, num_blocks, body);
+        cost::analyze(&self.device, &stats)
+    }
+
+    /// Like [`Launcher::launch`], but fans block bodies out over the
+    /// launcher's worker-thread pool when the body is re-entrant.
+    ///
+    /// Stats, cost-model output, and (for kernels whose blocks write
+    /// disjoint output ranges — the SGT row-window contract) result bytes
+    /// are identical to the sequential path:
+    ///
+    /// - Each block runs against a **worker-private L1**. The harness
+    ///   flushes the L1 at every block boundary anyway, so a block's L1
+    ///   hits/misses are a pure function of its own probe sequence — the
+    ///   private cache reproduces them exactly.
+    /// - Sectors that miss the private L1 are **logged, not probed**:
+    ///   after all blocks complete, the logs replay through the shared L2
+    ///   in block-id order, which is byte-for-byte the probe order of the
+    ///   sequential loop (the L2 persists across blocks and launches, so
+    ///   order matters and is preserved).
+    /// - Per-block [`KernelStats`] are folded into the total in block-id
+    ///   order (a deterministic ordered fold; the counters are also
+    ///   order-independent sums, so no precision caveats apply).
+    ///
+    /// Falls back to the sequential loop when the resolved thread count is
+    /// 1, the grid is tiny, or an ECC fault is armed (the armed flip is
+    /// consumed by the *first* tensor-core op in sequential block order —
+    /// data-affecting semantics the parallel path must not reorder).
+    pub fn launch_par<F>(&mut self, cfg: GridConfig, num_blocks: u64, body: F) -> KernelStats
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        let threads = self.threads.min(num_blocks as usize);
+        if threads <= 1 || num_blocks < 2 || self.ecc_armed {
+            return self.launch(cfg, num_blocks, body);
+        }
+
+        // Phase 1: execute bodies in parallel. Workers claim chunks of
+        // block ids from a shared cursor; results land in per-block slots,
+        // so the claim order has no effect on the outcome.
+        let mut blocks: Vec<Option<(KernelStats, Vec<u64>)>> = Vec::new();
+        blocks.resize_with(num_blocks as usize, || None);
+        {
+            let slots = crate::par::DisjointSlices::new(&mut blocks);
+            let next = std::sync::atomic::AtomicU64::new(0);
+            let chunk = (num_blocks / (threads as u64 * 8)).clamp(1, 256);
+            let device = &self.device;
+            let body = &body;
+            let slots = &slots;
+            let next = &next;
+            rayon::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(move |_| {
+                        let mut l1 = Cache::l1(device.l1_bytes_per_sm);
+                        loop {
+                            let b0 = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            if b0 >= num_blocks {
+                                break;
+                            }
+                            for block_id in b0..(b0 + chunk).min(num_blocks) {
+                                l1.reset();
+                                let mut stats = KernelStats::default();
+                                let mut l2_log = Vec::new();
+                                let mut ecc = false;
+                                let mut ctx = BlockCtx {
+                                    device,
+                                    block_id,
+                                    config: cfg,
+                                    stats: &mut stats,
+                                    mem: MemSim::Deferred {
+                                        l1: &mut l1,
+                                        l2_log: &mut l2_log,
+                                    },
+                                    ecc_armed: &mut ecc,
+                                    scratch: Vec::with_capacity(64),
+                                };
+                                body(&mut ctx);
+                                // SAFETY: each block id is claimed by
+                                // exactly one worker (fetch_add), so the
+                                // ranges are disjoint.
+                                let slot = unsafe { slots.range_mut(block_id as usize, 1) };
+                                slot[0] = Some((stats, l2_log));
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 2: ordered L2 replay + ordered stats fold, in block order.
+        let mut total = KernelStats {
+            num_blocks,
+            block_size: cfg.block_size,
+            shared_mem_per_block: cfg.shared_mem_bytes,
+            regs_per_thread: cfg.regs_per_thread,
+            ..Default::default()
+        };
+        for slot in &mut blocks {
+            let (mut stats, l2_log) = slot.take().expect("every block id was executed");
+            for sector in l2_log {
+                match self.l2.access(sector) {
+                    Probe::Hit => stats.l2_hits += 1,
+                    Probe::Miss => {
+                        stats.l2_misses += 1;
+                        stats.dram_read_bytes += SECTOR_BYTES;
+                    }
+                }
+            }
+            total.merge(&stats);
+        }
+        self.ecc_armed = false;
+        total
+    }
+
+    /// Convenience: [`Launcher::launch_par`] then analyze.
+    pub fn launch_par_analyzed<F>(
+        &mut self,
+        cfg: GridConfig,
+        num_blocks: u64,
+        body: F,
+    ) -> KernelReport
+    where
+        F: Fn(&mut BlockCtx<'_>) + Sync,
+    {
+        let stats = self.launch_par(cfg, num_blocks, body);
         cost::analyze(&self.device, &stats)
     }
 
@@ -790,6 +961,73 @@ mod tests {
         }
         assert_eq!(l.fault_plan().unwrap().total_injected(), 0);
         assert_eq!(l.fault_plan().unwrap().draws(), 0);
+    }
+
+    #[test]
+    fn launch_par_is_bitwise_identical_to_sequential() {
+        let cfg = GridConfig::with_block_size(128);
+        let run = |threads: usize| {
+            let mut l = launcher();
+            l.set_threads(threads);
+            let buf = l.alloc_f32(1 << 16);
+            let body = |ctx: &mut BlockCtx<'_>| {
+                let b = ctx.block_id as usize;
+                // Scattered per-block loads (L1 locality within the block),
+                // a shared region every block touches (L2 reuse across
+                // blocks — order-sensitive), and block-dependent ALU work.
+                let addrs: Vec<u64> = (0..32)
+                    .map(|i| buf.f32_addr((b * 173 + i * 7) % (1 << 16)))
+                    .collect();
+                ctx.ld_global_warp(&addrs);
+                ctx.ld_global_warp(&addrs);
+                ctx.ld_global_contiguous(buf.f32_addr(0), 256, 4);
+                ctx.st_global_warp(&addrs);
+                ctx.fma_warps(b as u64 % 5 + 1);
+                ctx.syncthreads();
+            };
+            let first = l.launch_par(cfg, 64, body);
+            // Second launch observes the L2 state the first left behind.
+            let second = l.launch_par(cfg, 64, body);
+            // And the sequential entry point sees the same L2 afterwards.
+            let third = l.launch(cfg, 8, body);
+            (first, second, third)
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq, par);
+        // Sanity: the workload actually exercises both cache levels.
+        assert!(seq.0.l1_hits > 0 && seq.0.l2_hits > 0 && seq.1.l2_hits > 0);
+    }
+
+    #[test]
+    fn launch_par_with_armed_ecc_falls_back_to_sequential_semantics() {
+        use crate::wmma::{mma_sync, FragmentA, FragmentAcc, FragmentB};
+        use tcg_fault::FaultConfig;
+        let mut l = launcher();
+        l.set_threads(8);
+        let mut cfg = FaultConfig::none();
+        cfg.ecc_rate = 1.0;
+        l.attach_fault_plan(Some(FaultPlan::new(1, cfg)));
+        l.preflight("wmma", &GridConfig::with_block_size(32))
+            .unwrap();
+        let stats = l.launch_par(GridConfig::with_block_size(32), 4, |ctx| {
+            let fa = FragmentA::default();
+            let fb = FragmentB::default();
+            let mut acc = FragmentAcc::default();
+            mma_sync(&mut acc, &fa, &fb, ctx);
+            // Sequential fallback: block 0's first MMA takes the flip.
+            assert_eq!(acc.get(0, 0).is_nan(), ctx.block_id == 0);
+        });
+        assert_eq!(stats.ecc_faults, 1);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        let mut l = launcher();
+        l.set_threads(4);
+        assert_eq!(l.threads(), 4);
+        l.set_threads(0); // 0 = all cores
+        assert!(l.threads() >= 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod cyclesim;
 pub mod device;
 pub mod launch;
 pub mod occupancy;
+pub mod par;
 pub mod smem;
 pub mod stats;
 pub mod stream;
@@ -39,5 +40,6 @@ pub mod wmma_half;
 
 pub use device::DeviceSpec;
 pub use launch::{AddressSpace, BlockCtx, GridConfig, Launcher};
+pub use par::{resolve_threads, threads_from_env, DisjointSlices, THREADS_ENV};
 pub use stats::{KernelReport, KernelStats};
 pub use stream::{Stream, StreamSet, StreamSpan};

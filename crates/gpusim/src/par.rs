@@ -1,0 +1,137 @@
+//! Host-side parallel execution support.
+//!
+//! Thread-count resolution (`TCG_THREADS`) and [`DisjointSlices`], the
+//! handout that lets kernel bodies running on different worker threads
+//! write their block's row-window slab of a shared output buffer without
+//! locks. Safety rests on the SGT contract the paper's Algorithm 2/3 also
+//! relies on: each thread block owns *all* edges (and output rows) of its
+//! 16-row row window, so concurrently executing blocks touch disjoint
+//! ranges.
+
+use std::marker::PhantomData;
+
+/// Environment variable selecting the worker-thread count for parallel
+/// block execution; `1` (the default) is the fully sequential behavior,
+/// `0` means "all available cores".
+pub const THREADS_ENV: &str = "TCG_THREADS";
+
+/// Resolves a requested thread count: `Some(0)` → available parallelism,
+/// `None` → the `TCG_THREADS` environment variable (unset/invalid → 1).
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    let raw = match requested {
+        Some(n) => n,
+        None => std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1),
+    };
+    if raw == 0 {
+        rayon::current_num_threads()
+    } else {
+        raw
+    }
+}
+
+/// Thread count from the environment alone (what a fresh launcher uses).
+pub fn threads_from_env() -> usize {
+    resolve_threads(None)
+}
+
+/// A `Sync` view over a mutable slice that hands out non-overlapping
+/// subslices to concurrently running thread blocks.
+///
+/// The launch harness guarantees each block id is executed exactly once;
+/// kernels are responsible for requesting ranges that are disjoint across
+/// blocks (their row window's rows / edge span), which is what makes the
+/// aliasing-free contract of [`DisjointSlices::range_mut`] hold.
+pub struct DisjointSlices<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for DisjointSlices<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlices<'_, T> {}
+
+impl<'a, T> DisjointSlices<'a, T> {
+    /// Wraps `slice`; the wrapper borrows it mutably for `'a`.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlices {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to `[start, start + len)`. Bounds are checked.
+    ///
+    /// # Safety
+    ///
+    /// Ranges requested by concurrently running callers must not overlap,
+    /// and no range may be requested twice while a previous handout to it
+    /// is still alive. In kernel bodies this holds by construction when
+    /// each block writes only its own row window's range.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "disjoint range [{start}, {start}+{len}) out of bounds (len {})",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_explicit_counts() {
+        assert_eq!(resolve_threads(Some(1)), 1);
+        assert_eq!(resolve_threads(Some(7)), 7);
+        assert!(resolve_threads(Some(0)) >= 1, "0 = all cores");
+    }
+
+    #[test]
+    fn disjoint_ranges_write_concurrently() {
+        let mut data = vec![0u64; 64];
+        {
+            let slices = DisjointSlices::new(&mut data);
+            rayon::scope(|s| {
+                for w in 0..4 {
+                    let slices = &slices;
+                    s.spawn(move |_| {
+                        // SAFETY: each worker owns a distinct 16-wide range.
+                        let chunk = unsafe { slices.range_mut(w * 16, 16) };
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = (w * 16 + i) as u64;
+                        }
+                    });
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_beyond_end_panics() {
+        let mut data = vec![0u8; 8];
+        let slices = DisjointSlices::new(&mut data);
+        // SAFETY: sole caller; the bounds check fires before any deref.
+        let _ = unsafe { slices.range_mut(4, 8) };
+    }
+}

@@ -100,13 +100,15 @@ pub fn fused_attention(
         regs_per_thread: 96,
     };
 
-    let mut a_tile = vec![0.0f32; TC_BLK_H * WMMA_K];
-    let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
-    let mut spmm_a = vec![0.0f32; TC_BLK_H * TC_BLK_W];
-    let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
+    // Each block owns all edges and output rows of its row window, so the
+    // three output buffers split into disjoint per-block slices and the
+    // body runs on the parallel path.
+    let y_slices = tcg_gpusim::DisjointSlices::new(y.as_mut_slice());
+    let cos_slices = tcg_gpusim::DisjointSlices::new(&mut cos);
+    let p_slices = tcg_gpusim::DisjointSlices::new(&mut p);
 
     launcher.preflight("fused-attention", &cfg)?;
-    let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
+    let stats = launcher.launch_par(cfg, t.num_row_windows as u64, |ctx| {
         let w = ctx.block_id as usize;
         let num_spmm_blocks = t.win_partition[w] as usize;
         if num_spmm_blocks == 0 {
@@ -118,6 +120,19 @@ pub fn fused_attention(
         ctx.ld_global_scalar(buf_ptr.addr(row_hi, 8));
         let b_lo = t.win_block_start[w];
         let b_hi = t.win_block_start[w + 1];
+
+        // Per-block scratch (bodies run concurrently on the parallel path,
+        // so nothing mutable is captured from the outer scope).
+        let mut a_tile = vec![0.0f32; TC_BLK_H * WMMA_K];
+        let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
+        let mut spmm_a = vec![0.0f32; TC_BLK_H * TC_BLK_W];
+        let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
+        let (e_lo, e_hi) = t.window_edge_range(csr, w);
+        // SAFETY: window `w` exclusively owns rows [row_lo, row_hi) and the
+        // edge range [e_lo, e_hi).
+        let y_win = unsafe { y_slices.range_mut(row_lo * dv, (row_hi - row_lo) * dv) };
+        let cos_win = unsafe { cos_slices.range_mut(e_lo, e_hi - e_lo) };
+        let p_win = unsafe { p_slices.range_mut(e_lo, e_hi - e_lo) };
 
         // --- Stage 1: SDDMM over the window's edges (16-wide frames). ----
         let num_sddmm_blocks = (num_spmm_blocks * t.blk_w).div_ceil(TC_BLK_H);
@@ -178,7 +193,7 @@ pub fn fused_attention(
                 for pos in h_lo..h_hi {
                     let (r, c8) = t.unpack(t.perm_pack[pos]);
                     let c = c8 + half * t.blk_w;
-                    cos[t.perm_orig[pos] as usize] = acc.get(r, c);
+                    cos_win[t.perm_orig[pos] as usize - e_lo] = acc.get(r, c);
                 }
             }
             ctx.shared_access(((c_hi - c_lo) as u64).div_ceil(32).max(1));
@@ -186,26 +201,25 @@ pub fn fused_attention(
 
         // --- Stage 2: row softmax, entirely in shared memory. ------------
         for r in row_lo..row_hi {
-            let lo = csr.node_pointer()[r];
-            let hi = csr.node_pointer()[r + 1];
+            let lo = csr.node_pointer()[r] - e_lo;
+            let hi = csr.node_pointer()[r + 1] - e_lo;
             if hi == lo {
                 continue;
             }
-            let m = cos[lo..hi]
+            let m = cos_win[lo..hi]
                 .iter()
                 .map(|c| beta * c)
                 .fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
             for e in lo..hi {
-                p[e] = (beta * cos[e] - m).exp();
-                sum += p[e];
+                p_win[e] = (beta * cos_win[e] - m).exp();
+                sum += p_win[e];
             }
-            for pe in &mut p[lo..hi] {
+            for pe in &mut p_win[lo..hi] {
                 *pe /= sum;
             }
         }
         // max/exp-sum/divide passes over the window's edges.
-        let (e_lo, e_hi) = t.window_edge_range(csr, w);
         ctx.shared_access((((e_hi - e_lo) as u64) * 3).div_ceil(32).max(1));
         ctx.fp32_warps((((e_hi - e_lo) * 3) as u64).div_ceil(32).max(1));
         // The attention values are also persisted for the backward pass.
@@ -225,7 +239,7 @@ pub fn fused_attention(
             spmm_a.iter_mut().for_each(|v| *v = 0.0);
             for pos in c_lo..c_hi {
                 let (r, c) = t.unpack(t.perm_pack[pos]);
-                spmm_a[r * TC_BLK_W + c] = p[t.perm_orig[pos] as usize];
+                spmm_a[r * TC_BLK_W + c] = p_win[t.perm_orig[pos] as usize - e_lo];
             }
             ctx.shared_access(((TC_BLK_H * TC_BLK_W) as u64).div_ceil(32) + 1);
             for (s, acc) in accs.iter_mut().enumerate() {
@@ -264,8 +278,8 @@ pub fn fused_attention(
                 .map(|r| buf_out.f32_addr(r * dv + dim0))
                 .collect();
             ctx.st_global_gather_rows(&bases, width, 4);
-            for (ri, r) in (row_lo..row_hi).enumerate() {
-                let orow = y.row_mut(r);
+            for ri in 0..(row_hi - row_lo) {
+                let orow = &mut y_win[ri * dv..(ri + 1) * dv];
                 for c in 0..width {
                     orow[dim0 + c] = acc.get(ri, c);
                 }

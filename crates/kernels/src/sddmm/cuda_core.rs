@@ -63,9 +63,12 @@ impl SddmmKernel for CudaCoreSddmm {
             regs_per_thread: 40,
         };
 
-        let mut bases: Vec<u64> = Vec::with_capacity(64);
+        // Each block's rows own the contiguous edge range
+        // [ptr[row0], ptr[row1]): disjoint output slices across blocks.
+        let out_slices = tcg_gpusim::DisjointSlices::new(&mut out);
         launcher.preflight("cuda-core-sddmm", &cfg)?;
-        let stats = launcher.launch(cfg, num_blocks, |ctx| {
+        let stats = launcher.launch_par(cfg, num_blocks, |ctx| {
+            let mut bases: Vec<u64> = Vec::with_capacity(64);
             let row0 = ctx.block_id as usize * ROWS_PER_BLOCK;
             let row1 = (row0 + ROWS_PER_BLOCK).min(n);
             for v in row0..row1 {
@@ -98,13 +101,15 @@ impl SddmmKernel for CudaCoreSddmm {
                 ctx.st_global_contiguous(buf_out.f32_addr(lo), deg, 4);
 
                 let xrow = xa.row(v);
+                // SAFETY: row `v`'s edge slice belongs to this block alone.
+                let orow = unsafe { out_slices.range_mut(lo, hi - lo) };
                 for (i, &u) in csr.neighbors(v).iter().enumerate() {
                     let urow = xb.row(u as usize);
                     let mut s = 0.0f32;
                     for (a, b) in xrow.iter().zip(urow) {
                         s += a * b;
                     }
-                    out[lo + i] = s;
+                    orow[i] = s;
                 }
             }
         });

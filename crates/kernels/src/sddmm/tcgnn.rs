@@ -104,14 +104,13 @@ impl SddmmKernel for TcgnnSddmm {
 
         const SDDMM_W: usize = TC_BLK_H; // 16 condensed columns per block
 
-        let mut edge_map = vec![usize::MAX; TC_BLK_H * SDDMM_W];
-        let mut atox = [u32::MAX; SDDMM_W];
-        let mut a_tile = vec![0.0f32; TC_BLK_H * WMMA_K];
-        let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
-        let mut store_addrs: Vec<u64> = Vec::with_capacity(64);
+        // A window's edges are exactly its rows' CSR edges — the contiguous
+        // range [ptr[row_lo], ptr[row_hi]) — so blocks write disjoint output
+        // slices and the body runs on the parallel path.
+        let out_slices = tcg_gpusim::DisjointSlices::new(&mut out);
 
         launcher.preflight("tc-gnn-sddmm", &cfg)?;
-        let stats = launcher.launch(cfg, t.num_row_windows as u64, |ctx| {
+        let stats = launcher.launch_par(cfg, t.num_row_windows as u64, |ctx| {
             let w = ctx.block_id as usize;
             // Listing 3 line 9: SDDMM block count from the SpMM partition.
             let num_tc_blocks = (t.win_partition[w] as usize * t.blk_w).div_ceil(SDDMM_W);
@@ -124,6 +123,18 @@ impl SddmmKernel for TcgnnSddmm {
             ctx.ld_global_scalar(buf_ptr.addr(row_hi, 8));
             let b_lo = t.win_block_start[w];
             let b_hi = t.win_block_start[w + 1];
+
+            // Per-block scratch (bodies run concurrently on the parallel
+            // path, so nothing mutable is captured from the outer scope).
+            let mut edge_map = vec![usize::MAX; TC_BLK_H * SDDMM_W];
+            let mut atox = [u32::MAX; SDDMM_W];
+            let mut a_tile = vec![0.0f32; TC_BLK_H * WMMA_K];
+            let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
+            let mut store_addrs: Vec<u64> = Vec::with_capacity(64);
+            let e_lo = csr.node_pointer()[row_lo];
+            let e_hi = csr.node_pointer()[row_hi];
+            // SAFETY: window `w` owns the edge range [e_lo, e_hi) exclusively.
+            let out_win = unsafe { out_slices.range_mut(e_lo, e_hi - e_lo) };
 
             for i in 0..num_tc_blocks {
                 // Stage sparse_A (edge-index map) + AToX for this 16-wide
@@ -216,7 +227,7 @@ impl SddmmKernel for TcgnnSddmm {
                     for c in 0..SDDMM_W {
                         let e = edge_map[r * SDDMM_W + c];
                         if e != usize::MAX {
-                            out[e] = acc.get(r, c);
+                            out_win[e - e_lo] = acc.get(r, c);
                             store_addrs.push(buf_out.f32_addr(e));
                         }
                     }

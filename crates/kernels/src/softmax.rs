@@ -37,8 +37,11 @@ pub fn sparse_row_softmax(
         shared_mem_bytes: 0,
         regs_per_thread: 28,
     };
+    // A block's rows cover the contiguous edge range
+    // [ptr[row0], ptr[row1]): disjoint output slices across blocks.
+    let out_slices = tcg_gpusim::DisjointSlices::new(&mut out);
     launcher.preflight("edge-softmax", &cfg)?;
-    let stats = launcher.launch(cfg, n.div_ceil(ROWS_PER_BLOCK) as u64, |ctx| {
+    let stats = launcher.launch_par(cfg, n.div_ceil(ROWS_PER_BLOCK) as u64, |ctx| {
         let row0 = ctx.block_id as usize * ROWS_PER_BLOCK;
         let row1 = (row0 + ROWS_PER_BLOCK).min(n);
         for v in row0..row1 {
@@ -59,7 +62,9 @@ pub fn sparse_row_softmax(
             ctx.st_global_contiguous(buf_vals.addr(lo, 4), deg, 4);
 
             // Functional, numerically stable softmax.
-            let row = &mut out[lo..hi];
+            // SAFETY: row `v` belongs to this block alone; its edge slice
+            // does not overlap any other block's.
+            let row = unsafe { out_slices.range_mut(lo, hi - lo) };
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
             for x in row.iter_mut() {

@@ -57,11 +57,16 @@ impl SpmmKernel for CusparseCsrSpmm {
         };
 
         let dim_tiles = d.div_ceil(COLS_PER_TILE);
-        let mut addrs: Vec<u64> = Vec::with_capacity(32);
+        // Each block owns rows [block*256, block*256+256): disjoint output
+        // slabs, so the body runs on the parallel path.
+        let out_slices = tcg_gpusim::DisjointSlices::new(out.as_mut_slice());
         launcher.preflight("cusparse-csr", &cfg)?;
-        let stats = launcher.launch(cfg, num_blocks, |ctx| {
+        let stats = launcher.launch_par(cfg, num_blocks, |ctx| {
+            let mut addrs: Vec<u64> = Vec::with_capacity(32);
             let row0 = ctx.block_id as usize * ROWS_PER_BLOCK;
             let row1 = (row0 + ROWS_PER_BLOCK).min(n);
+            // SAFETY: block owns rows [row0, row1) exclusively.
+            let out_rows = unsafe { out_slices.range_mut(row0 * d, (row1 - row0) * d) };
             // Row pointers: coalesced across the block's threads.
             ctx.ld_global_contiguous(buf_ptr.addr(row0, 8), row1 - row0 + 1, 8);
 
@@ -116,7 +121,7 @@ impl SpmmKernel for CusparseCsrSpmm {
             // Functional accumulation.
             for v in row0..row1 {
                 let lo = csr.node_pointer()[v];
-                let orow = out.row_mut(v);
+                let orow = &mut out_rows[(v - row0) * d..(v - row0 + 1) * d];
                 for (i, &u) in csr.neighbors(v).iter().enumerate() {
                     let wgt = prob.value(lo + i);
                     let xrow = prob.x.row(u as usize);

@@ -112,16 +112,12 @@ impl SpmmKernel for TcgnnSpmm {
 
         let num_windows = t.num_row_windows as u64;
 
-        // Scratch reused across blocks.
-        let mut a_tile = vec![0.0f32; TC_BLK_H * TC_BLK_W];
-        let mut atox: Vec<u32> = vec![u32::MAX; TC_BLK_W];
-        let mut b_tile = vec![0.0f32; TC_BLK_W * WMMA_N];
-        let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
-        let mut row_bases: Vec<u64> = Vec::with_capacity(TC_BLK_W);
-        let mut addr_scratch: Vec<u64> = Vec::with_capacity(64);
+        // Blocks write disjoint row-window slabs of `out`, so the body can
+        // run on the parallel path without locks.
+        let out_slices = tcg_gpusim::DisjointSlices::new(out.as_mut_slice());
 
         launcher.preflight("tc-gnn", &cfg)?;
-        let stats = launcher.launch(cfg, num_windows, |ctx| {
+        let stats = launcher.launch_par(cfg, num_windows, |ctx| {
             let w = ctx.block_id as usize;
             let num_tc_blocks = t.win_partition[w] as usize;
             if num_tc_blocks == 0 {
@@ -134,9 +130,16 @@ impl SpmmKernel for TcgnnSpmm {
             ctx.ld_global_scalar(buf_ptr.addr(row_lo, 8));
             ctx.ld_global_scalar(buf_ptr.addr(row_hi, 8));
 
-            for acc in accs.iter_mut() {
-                acc.zero();
-            }
+            // Per-block scratch (the parallel path runs bodies concurrently,
+            // so nothing mutable is captured from the enclosing scope).
+            let mut a_tile = vec![0.0f32; TC_BLK_H * TC_BLK_W];
+            let mut atox: Vec<u32> = vec![u32::MAX; TC_BLK_W];
+            let mut b_tile = vec![0.0f32; TC_BLK_W * WMMA_N];
+            let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
+            let mut row_bases: Vec<u64> = Vec::with_capacity(TC_BLK_W);
+            let mut addr_scratch: Vec<u64> = Vec::with_capacity(64);
+            // SAFETY: window `w` owns rows [row_lo, row_hi) exclusively.
+            let out_win = unsafe { out_slices.range_mut(row_lo * d, (row_hi - row_lo) * d) };
 
             for i in 0..num_tc_blocks {
                 // --- CUDA-core staging phase (Alg. 2's GetChunk + the
@@ -232,8 +235,8 @@ impl SpmmKernel for TcgnnSpmm {
                     .collect();
                 ctx.st_global_gather_rows(&bases, width, 4);
                 ctx.shared_access(FRAG_ACC_TRANSACTIONS);
-                for (ri, r) in (row_lo..row_hi).enumerate() {
-                    let orow = out.row_mut(r);
+                for ri in 0..(row_hi - row_lo) {
+                    let orow = &mut out_win[ri * d..(ri + 1) * d];
                     for c in 0..width {
                         orow[dim0 + c] = acc.get(ri, c);
                     }

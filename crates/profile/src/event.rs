@@ -105,6 +105,11 @@ pub struct KernelEvent {
     pub backend: String,
     /// Simulated duration in milliseconds.
     pub time_ms: f64,
+    /// Logical worker-thread id the event was recorded from; `0` is the
+    /// main thread. Ids are *deterministic* (assigned by the harness, e.g.
+    /// a serve worker uses its stream index), never OS thread ids, so
+    /// exports stay byte-identical run to run.
+    pub tid: u64,
     /// Resource counters, when the event came from a simulated kernel
     /// launch; framework passes and host spans carry default (zero) stats.
     pub stats: KernelStats,
@@ -149,6 +154,7 @@ mod tests {
             epoch: None,
             backend: "TC-GNN".into(),
             time_ms: 0.5,
+            tid: 0,
             stats: KernelStats::default(),
         };
         assert_eq!(e.key(), "aggregation/spmm");

@@ -66,6 +66,9 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
             if let Some(epoch) = e.epoch {
                 args.push(("epoch", Value::UInt(epoch as u128)));
             }
+            if e.tid != 0 {
+                args.push(("thread", Value::UInt(e.tid as u128)));
+            }
             trace_events.push(obj(vec![
                 ("name", s(&e.name)),
                 ("cat", s(e.phase.label())),
@@ -100,6 +103,9 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
                 Value::UInt(e.stats.tcu_mma_instructions as u128),
             ));
         }
+        if e.tid != 0 {
+            args.push(("thread", Value::UInt(e.tid as u128)));
+        }
         trace_events.push(obj(vec![
             ("name", s(&e.name)),
             ("cat", s(e.phase.label())),
@@ -126,6 +132,10 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
         ]));
     }
     for span in profiler.stream_spans() {
+        let mut args = vec![("stream", Value::UInt(span.stream as u128))];
+        if span.tid != 0 {
+            args.push(("thread", Value::UInt(span.tid as u128)));
+        }
         trace_events.push(obj(vec![
             ("name", s(&span.name)),
             ("cat", s("stream")),
@@ -134,10 +144,7 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
             ("tid", Value::UInt(STREAM_TRACK_BASE + span.stream as u128)),
             ("ts", Value::Float(span.start_ms * 1000.0)),
             ("dur", Value::Float(span.dur_ms * 1000.0)),
-            (
-                "args",
-                obj(vec![("stream", Value::UInt(span.stream as u128))]),
-            ),
+            ("args", obj(args)),
         ]));
     }
     let root = obj(vec![
@@ -494,6 +501,40 @@ mod tests {
         use crate::event::EventKind;
         assert_eq!(p.events_of_kind(EventKind::Fault).count(), 1);
         assert_eq!(p.events_of_kind(EventKind::Fallback).count(), 1);
+    }
+
+    #[test]
+    fn worker_thread_ids_surface_in_trace_args() {
+        let mut p = sample_profiler();
+        p.set_thread(3);
+        p.record_span("spmm_worker", Phase::Aggregation, 0.2);
+        p.set_thread(0);
+        p.record_stream_span_on(1, "batch-7", 0.0, 1.0, 2);
+        let v: Value = serde_json::from_str(&chrome_trace_json(&p)).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let worker = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("spmm_worker"))
+            .unwrap();
+        assert_eq!(
+            worker.get("args").unwrap().get("thread").unwrap(),
+            &Value::UInt(3)
+        );
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("batch-7"))
+            .unwrap();
+        assert_eq!(
+            span.get("args").unwrap().get("thread").unwrap(),
+            &Value::UInt(2)
+        );
+        // Main-thread events carry no `thread` arg: the single-threaded
+        // export stays byte-identical to the pre-parallel format.
+        let main_ev = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("spmm"))
+            .unwrap();
+        assert!(main_ev.get("args").unwrap().get("thread").is_none());
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub struct StreamSpanEvent {
     pub start_ms: f64,
     /// Duration in milliseconds.
     pub dur_ms: f64,
+    /// Logical worker-thread id that executed the span (`0` = main
+    /// thread). Deterministic harness-assigned ids, never OS thread ids.
+    pub tid: u64,
 }
 
 /// Event recorder + metrics registry for one simulated run.
@@ -68,6 +71,7 @@ pub struct Profiler {
     backend: String,
     epoch: Option<u32>,
     layer: Option<u32>,
+    thread: u64,
     events: Vec<KernelEvent>,
     stream_spans: Vec<StreamSpanEvent>,
     registry: MetricsRegistry,
@@ -128,6 +132,19 @@ impl Profiler {
         self.layer = layer;
     }
 
+    /// Sets the logical worker-thread id tagged onto subsequent events
+    /// (`0` = main thread). Callers must pass *deterministic* ids — a
+    /// serve worker uses its stream index, never an OS thread id — so
+    /// that exports stay byte-identical across runs.
+    pub fn set_thread(&mut self, tid: u64) {
+        self.thread = tid;
+    }
+
+    /// The logical worker-thread id currently tagged onto events.
+    pub fn thread(&self) -> u64 {
+        self.thread
+    }
+
     /// Records a simulated kernel launch. `time_ms` is the full cost
     /// charged for the launch (kernel time plus dispatch overhead), which
     /// can exceed `report.time_ms`.
@@ -140,6 +157,7 @@ impl Profiler {
             epoch: self.epoch,
             backend: self.backend.clone(),
             time_ms,
+            tid: self.thread,
             stats: report.stats.clone(),
         });
     }
@@ -175,11 +193,26 @@ impl Profiler {
     /// double-count. The exporter renders them as `stream-N` tracks with
     /// their absolute timestamps preserved.
     pub fn record_stream_span(&mut self, stream: u32, name: &str, start_ms: f64, dur_ms: f64) {
+        self.record_stream_span_on(stream, name, start_ms, dur_ms, 0);
+    }
+
+    /// Like [`Profiler::record_stream_span`], tagging the span with the
+    /// logical worker thread that executed it (so multi-threaded
+    /// dispatchers show their fan-out on the timeline).
+    pub fn record_stream_span_on(
+        &mut self,
+        stream: u32,
+        name: &str,
+        start_ms: f64,
+        dur_ms: f64,
+        tid: u64,
+    ) {
         self.stream_spans.push(StreamSpanEvent {
             stream,
             name: name.to_string(),
             start_ms,
             dur_ms,
+            tid,
         });
     }
 
@@ -214,6 +247,7 @@ impl Profiler {
             epoch: self.epoch,
             backend: self.backend.clone(),
             time_ms,
+            tid: self.thread,
             stats: KernelStats::default(),
         });
     }

@@ -133,6 +133,7 @@ mod tests {
             epoch: None,
             backend: "TC-GNN".into(),
             time_ms: ms,
+            tid: 0,
             stats: KernelStats {
                 dram_read_bytes: dram,
                 ..Default::default()

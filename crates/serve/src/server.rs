@@ -106,6 +106,11 @@ pub struct ServeConfig {
     pub fault_seed: u64,
     /// Simulated device.
     pub device: DeviceSpec,
+    /// Worker threads *inside* each engine: block bodies of a batch's
+    /// kernels fan out over this many threads (`1` = sequential). This is
+    /// orthogonal to [`ServeConfig::streams`], which parallelizes across
+    /// batches. Defaults to the `TCG_THREADS` environment variable.
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +123,7 @@ impl Default for ServeConfig {
             fault: None,
             fault_seed: 0,
             device: DeviceSpec::rtx3090(),
+            threads: tcg_gpusim::threads_from_env(),
         }
     }
 }
@@ -314,7 +320,16 @@ pub fn serve(
         if let Some(p) = profiler {
             let mut p = p.write().expect("profiler lock");
             for span in wr.stream.spans() {
-                p.record_stream_span(wr.stream.id(), &span.name, span.start_ms, span.dur_ms);
+                // Worker tid = stream index + 1 (0 is the main thread):
+                // deterministic by construction, so traces stay
+                // byte-identical however the OS schedules the workers.
+                p.record_stream_span_on(
+                    wr.stream.id(),
+                    &span.name,
+                    span.start_ms,
+                    span.dur_ms,
+                    u64::from(wr.stream.id()) + 1,
+                );
             }
         }
     }
@@ -390,13 +405,13 @@ fn run_stream(
     for b in batches {
         let g = &graphs[b.graph];
         let eng = engines.entry(b.graph).or_insert_with(|| {
-            let mut eng = Engine::with_translation(
-                cfg.backend,
-                g.csr.clone(),
-                cfg.device.clone(),
-                (*b.translation).clone(),
-            )
-            .expect("session graphs are validated at admission");
+            let mut eng = Engine::builder(g.csr.clone())
+                .backend(cfg.backend)
+                .device(cfg.device.clone())
+                .translation((*b.translation).clone())
+                .threads(cfg.threads)
+                .build()
+                .expect("session graphs are validated at admission");
             if let Some(fault_cfg) = cfg.fault {
                 // One plan per (stream, graph): the draw sequence depends
                 // only on this stream's batch order, never on scheduling.

@@ -29,7 +29,11 @@ fn main() {
 
     let cfg = TrainConfig::agnn_paper().with_epochs(10);
     for backend in Backend::all() {
-        let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(backend)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let r = train_agnn(&mut eng, &ds, cfg);
         let c = r.avg_epoch_cost();
         println!(

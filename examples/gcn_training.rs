@@ -23,7 +23,11 @@ fn main() {
     let cfg = TrainConfig::gcn_paper().with_epochs(20);
     let mut baseline_ms = 0.0;
     for backend in Backend::all() {
-        let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(backend)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         let r = train_gcn(&mut eng, &ds, cfg);
         if backend == Backend::DglLike {
             baseline_ms = r.avg_epoch_ms();

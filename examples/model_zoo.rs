@@ -37,7 +37,11 @@ fn main() {
     for (name, runner) in models {
         let mut ms = [0.0f64; 3];
         for (i, b) in Backend::all().iter().enumerate() {
-            let mut eng = Engine::new(*b, ds.graph.clone(), DeviceSpec::rtx3090());
+            let mut eng = Engine::builder(ds.graph.clone())
+                .backend(*b)
+                .device(DeviceSpec::rtx3090())
+                .build()
+                .expect("graph is symmetric");
             let r = runner(&mut eng, &ds, cfg);
             ms[i] = r.avg_epoch_ms();
             assert!(r.loss_drop() > 0.0, "{name} on {b:?} must learn");

@@ -60,6 +60,16 @@ step "verify: oracle conformance matrix (every backend x kernel x family)"
 # suite; nonzero exit (with a minimized repro) on any divergence.
 ./target/release/tcgnn verify --seed 2023
 
+step "parallel execution: determinism suite + conformance matrix at TCG_THREADS=4"
+# The parallel launcher must be invisible: the same conformance matrix and
+# a chaos schedule must pass with block bodies fanned over 4 workers, and
+# 8-vs-1-thread runs must be bitwise identical (logits, kernel reports,
+# cost totals).
+cargo test --release -q --test parallel_determinism
+TCG_THREADS=4 ./target/release/tcgnn verify --seed 2023
+TCG_THREADS=4 TCG_FAULT_RATE=0.05 TCG_FAULT_SEED=2023 \
+    ./target/release/tcgnn train Pubmed/0.05 --epochs 3 | grep -q 'faults: '
+
 step "verify: 30s differential fuzz smoke (fixed seed)"
 cargo run --release -q -p tcg-oracle --bin fuzz_kernels -- --seed 2023 --budget-ms 30000
 

@@ -225,7 +225,11 @@ fn cmd_train(args: &[String]) -> ExitCode {
     }
     .with_epochs(epochs);
 
-    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(backend)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     // Chaos mode: TCG_FAULT_RATE (and optionally TCG_FAULT_SEED) attach a
     // deterministic fault-injection schedule to the run.
     let chaos = FaultPlan::from_env();
@@ -328,7 +332,11 @@ fn train_frozen(
         TrainConfig::gcn_paper()
     }
     .with_epochs(epochs);
-    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(backend)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let frozen = match model {
         "gcn" => {
             let m = GcnModel::new(ds.spec.feat_dim, cfg.hidden, ds.spec.num_classes, cfg.seed);
@@ -385,7 +393,11 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     };
     // Fresh engine so the inference cost reflects a cold serving instance,
     // not the warmed caches left behind by training.
-    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(backend)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let (logits, cost) = frozen.infer(&mut eng, &ds.features);
     let pred = tc_gnn::tensor::ops::argmax_rows(&logits);
     let correct = pred

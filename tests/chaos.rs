@@ -30,7 +30,11 @@ const EPOCHS: u32 = 6;
 /// and, optionally, a fault schedule.
 fn chaos_gcn(plan: Option<(u64, FaultConfig)>, ecc_scan: bool) -> (SharedProfiler, TrainResult) {
     let ds = tiny_dataset();
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let profiler = shared("chaos");
     eng.attach_profiler(profiler.clone());
     if let Some((seed, config)) = plan {

@@ -16,7 +16,11 @@ fn cora_small() -> tc_gnn::graph::Dataset {
 #[test]
 fn gcn_converges_on_synthetic_cora() {
     let ds = cora_small();
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let cfg = TrainConfig {
         hidden: 16,
         layers: 2,
@@ -38,7 +42,11 @@ fn gcn_converges_on_synthetic_cora() {
 #[test]
 fn agnn_converges_on_synthetic_cora() {
     let ds = cora_small();
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let cfg = TrainConfig {
         hidden: 16,
         layers: 2,
@@ -66,7 +74,11 @@ fn backends_train_to_equivalent_losses() {
     let losses: Vec<f64> = Backend::all()
         .iter()
         .map(|&b| {
-            let mut eng = Engine::new(b, ds.graph.clone(), DeviceSpec::rtx3090());
+            let mut eng = Engine::builder(ds.graph.clone())
+                .backend(b)
+                .device(DeviceSpec::rtx3090())
+                .build()
+                .expect("graph is symmetric");
             train_gcn(&mut eng, &ds, cfg)
                 .epochs
                 .last()
@@ -88,7 +100,11 @@ fn tcgnn_outperforms_both_frameworks_end_to_end() {
     let ds = cora_small();
     let cfg = TrainConfig::gcn_paper().with_epochs(2);
     let run = |b| {
-        let mut eng = Engine::new(b, ds.graph.clone(), DeviceSpec::rtx3090());
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(b)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
         train_gcn(&mut eng, &ds, cfg).avg_epoch_ms()
     };
     let dgl = run(Backend::DglLike);
@@ -102,7 +118,11 @@ fn tcgnn_outperforms_both_frameworks_end_to_end() {
 fn sgt_overhead_amortizes_over_training() {
     // Figure 7(b): one-time SGT is a small fraction of a long run.
     let ds = cora_small();
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
     let epoch_ms = r.avg_epoch_ms();
     let pct = tc_gnn::sgt::overhead::overhead_pct(r.preprocessing_ms, epoch_ms, 200);

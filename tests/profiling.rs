@@ -28,7 +28,11 @@ fn tiny_dataset() -> Dataset {
 /// the train result.
 fn profiled_gcn(backend: Backend) -> (SharedProfiler, tc_gnn::gnn::TrainResult) {
     let ds = tiny_dataset();
-    let mut eng = Engine::new(backend, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(backend)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     let profiler = shared(backend.name());
     eng.attach_profiler(profiler.clone());
     let result = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(2));
@@ -215,7 +219,11 @@ fn nsight_table_reports_hardware_counters_for_both_kernel_families() {
 #[test]
 fn detached_engine_records_nothing() {
     let ds = tiny_dataset();
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     assert!(eng.profiler().is_none());
     let r = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(1));
     assert!(r.avg_epoch_ms() > 0.0);
@@ -227,7 +235,11 @@ fn engine_retains_reports_for_spmm_and_sddmm() {
     // Satellite regression: the engine must keep the most recent report
     // for SDDMM (and fused attention), not only SpMM.
     let ds = tiny_dataset();
-    let mut eng = Engine::new(Backend::TcGnn, ds.graph.clone(), DeviceSpec::rtx3090());
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
     assert!(eng.last_spmm_report.is_none());
     assert!(eng.last_sddmm_report.is_none());
     assert!(eng.last_fused_report.is_none());

@@ -114,7 +114,11 @@ proptest! {
         let device = tc_gnn::gpusim::DeviceSpec::rtx3090();
 
         // Cold path: the engine runs Algorithm 1 itself.
-        let mut cold = tc_gnn::gnn::Engine::new(Backend::TcGnn, ds.graph.clone(), device.clone());
+        let mut cold = tc_gnn::gnn::Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(device.clone())
+        .build()
+        .expect("graph is symmetric");
         let (cold_logits, _) = model.infer(&mut cold, &ds.features);
 
         // Cached path: translate through the serving cache, then *hit* it —
@@ -125,13 +129,12 @@ proptest! {
         let (translation, paid_ms, hit) = cache.get_or_translate(&ds.graph);
         prop_assert!(hit, "second access must hit");
         prop_assert_eq!(paid_ms, 0.0, "a hit must pay no SGT time");
-        let mut warm = tc_gnn::gnn::Engine::with_translation(
-            Backend::TcGnn,
-            ds.graph.clone(),
-            device,
-            (*translation).clone(),
-        )
-        .expect("translation matches the graph");
+        let mut warm = tc_gnn::gnn::Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(device)
+            .translation((*translation).clone())
+            .build()
+            .expect("translation matches the graph");
         let (warm_logits, _) = model.infer(&mut warm, &ds.features);
 
         prop_assert_eq!(cold_logits.rows(), warm_logits.rows());
