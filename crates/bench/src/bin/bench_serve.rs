@@ -132,6 +132,7 @@ fn main() {
     println!("throughput speedup: {speedup:.2}x  (p50 latency ratio: {p50_ratio:.2}x)");
 
     let value = Value::Object(vec![
+        ("_meta".into(), tcg_bench::run_meta()),
         ("dataset".into(), Value::Str(spec.name.to_string())),
         (
             "num_nodes".into(),

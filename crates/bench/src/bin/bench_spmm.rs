@@ -168,6 +168,7 @@ fn main() {
     );
 
     let value = Value::Object(vec![
+        ("_meta".into(), tcg_bench::run_meta()),
         ("host_cores".into(), Value::UInt(cores as u128)),
         ("threads".into(), Value::UInt(THREADS as u128)),
         ("speedup_enforced".into(), Value::Bool(enforce)),

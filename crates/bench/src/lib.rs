@@ -19,12 +19,14 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use tcg_gnn::{train_agnn, train_gcn, Backend, Engine, TrainConfig, TrainResult};
 use tcg_gpusim::DeviceSpec;
 use tcg_graph::datasets::{DatasetSpec, GraphClass, TABLE4};
 use tcg_graph::Dataset;
-use tcg_profile::SharedProfiler;
+use tcg_profile::{ProfileLevel, SharedProfiler};
+
+pub mod sentinel;
 
 /// Default divisor applied to Type II / Type III dataset sizes.
 pub const DEFAULT_SCALE: usize = 8;
@@ -144,7 +146,7 @@ pub fn run_fig6(quick: bool) -> Vec<Fig6Row> {
 /// binary), so `fig6b` does not redo the multi-minute computation. Returns
 /// `None` when no result file exists.
 pub fn try_load_fig6() -> Option<Vec<Fig6Row>> {
-    let bytes = std::fs::read("results/fig6a.json").ok()?;
+    let bytes = std::fs::read(results_path("fig6a")).ok()?;
     serde_json::from_slice(&bytes).ok()
 }
 
@@ -201,11 +203,54 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Writes a JSON result file under `results/`.
+/// The directory result files land in: `TCG_RESULTS_DIR` when set, else
+/// `results/` relative to the working directory. Every bench binary and
+/// the sentinel resolve paths through here, so redirecting one env var
+/// redirects the whole suite (the CI sentinel uses this for its synthetic
+/// regression check).
+pub fn results_dir() -> PathBuf {
+    match std::env::var("TCG_RESULTS_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("results"),
+    }
+}
+
+/// Path of the JSON result file `name` (no extension) under
+/// [`results_dir`].
+pub fn results_path(name: &str) -> PathBuf {
+    results_dir().join(format!("{name}.json"))
+}
+
+/// Provenance stamp for benchmark result files: the git revision the
+/// numbers were produced at, the effective worker-thread count, and the
+/// host's core count — the three facts needed to judge whether a baseline
+/// comparison is apples-to-apples.
+pub fn run_meta() -> Value {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Value::Object(vec![
+        ("git_rev".to_string(), Value::Str(git_rev)),
+        (
+            "threads".to_string(),
+            Value::UInt(tcg_gpusim::threads_from_env() as u128),
+        ),
+        ("host_cores".to_string(), Value::UInt(host_cores as u128)),
+    ])
+}
+
+/// Writes a JSON result file under [`results_dir`].
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).ok();
-    let path = dir.join(format!("{name}.json"));
+    let path = results_path(name);
     match std::fs::File::create(&path) {
         Ok(mut f) => {
             let s = serde_json::to_string_pretty(value).expect("serializable");
@@ -216,29 +261,49 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
-/// A fresh [`SharedProfiler`] labeled for `backend` when the user asked
-/// for profiling via `TCG_PROFILE` (any value except `""`/`"0"`/`"false"`);
-/// `None` otherwise, in which case nothing is recorded anywhere.
+/// A fresh [`SharedProfiler`] labeled for `backend` at the level requested
+/// via `TCG_PROFILE` (`Off` → `None`; `metrics` → aggregates only;
+/// `hotspot` additionally arms the gpusim host-side wall-clock timers).
 pub fn maybe_profiler(backend: Backend) -> Option<SharedProfiler> {
-    if tcg_profile::profiling_requested() {
-        Some(tcg_profile::shared(backend.name()))
-    } else {
-        None
+    let level = ProfileLevel::from_env();
+    if level.hotspots() {
+        tcg_gpusim::hotspot::set_enabled(true);
     }
+    level
+        .profiler(backend.name())
+        .map(|p| std::sync::Arc::new(std::sync::RwLock::new(p)))
 }
 
 /// Writes the profiler's trace/metrics/kernel-table artifacts under
-/// `results/` as `<prefix>.trace.json`, `<prefix>.metrics.json`,
+/// [`results_dir`] as `<prefix>.trace.json`, `<prefix>.metrics.json`,
 /// `<prefix>.kernels.txt`.
 pub fn save_profile_artifacts(profiler: &SharedProfiler, prefix: &str) {
     let p = profiler.read().expect("profiler lock");
-    match tcg_profile::write_artifacts(&p, std::path::Path::new("results"), prefix) {
+    match tcg_profile::write_artifacts(&p, &results_dir(), prefix) {
         Ok(a) => eprintln!(
             "  [profile: {} + metrics + kernel table]",
             a.trace_path.display()
         ),
         Err(e) => eprintln!("  [warn: could not write profile artifacts for {prefix}: {e}]"),
     }
+}
+
+/// When `TCG_PROFILE=hotspot`, drains the gpusim host-time accumulator and
+/// writes `<prefix>.folded`, `<prefix>.hotspots.txt`, and
+/// `<prefix>.windows.csv` under [`results_dir`]. No-op at other levels.
+pub fn save_hotspot_artifacts(prefix: &str) -> Option<tcg_gpusim::HotspotReport> {
+    if !ProfileLevel::from_env().hotspots() {
+        return None;
+    }
+    let report = tcg_gpusim::hotspot::take_report();
+    match tcg_profile::write_hotspot_artifacts(&report, &results_dir(), prefix) {
+        Ok(a) => eprintln!(
+            "  [hotspots: {} + table + windows]",
+            a.folded_path.display()
+        ),
+        Err(e) => eprintln!("  [warn: could not write hotspot artifacts for {prefix}: {e}]"),
+    }
+    Some(report)
 }
 
 /// Lowercase alphanumeric-and-dash version of a dataset name, for use in

@@ -1,0 +1,333 @@
+//! Perf-regression sentinel: compares fresh benchmark result files against
+//! committed baselines with per-metric thresholds.
+//!
+//! `tcgnn bench --check` (and the CI observability stage) resolve fresh
+//! results through [`crate::results_dir`] and baselines from
+//! `results/baselines/`, evaluate each [`MetricSpec`], and render a delta
+//! table. Two tiers: a **warn** threshold that flags drift without failing
+//! the build, and a **fail** threshold that exits nonzero — so slow decay
+//! is visible long before it trips the gate.
+//!
+//! Only *simulated* metrics make good gates on shared hardware; the
+//! default specs therefore lean on virtual-time throughput/latency and
+//! keep generous thresholds on the two wall-clock speedup metrics.
+
+use std::path::Path;
+
+use serde::Value;
+
+/// Whether a bigger number is an improvement or a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (throughput, speedup).
+    HigherIsBetter,
+    /// Smaller values are better (latency).
+    LowerIsBetter,
+}
+
+/// One gated metric: where it lives and how far it may drift.
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// Result file stem (e.g. `"BENCH_serve"`; `.json` is appended).
+    pub file: &'static str,
+    /// Dotted JSON path inside the file (e.g. `"served.throughput_rps"`).
+    pub path: &'static str,
+    /// Which way regressions point.
+    pub direction: Direction,
+    /// Drift (percent, adverse direction) that flags a warning.
+    pub warn_pct: f64,
+    /// Drift (percent, adverse direction) that fails the gate.
+    pub fail_pct: f64,
+}
+
+/// Gate verdict for one metric (ordered by badness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Within the warn threshold (or an improvement).
+    Ok,
+    /// Baseline or fresh value could not be read — reported, warn tier.
+    Missing,
+    /// Adverse drift past the warn threshold.
+    Warn,
+    /// Adverse drift past the fail threshold.
+    Fail,
+}
+
+impl Severity {
+    /// Stable label for the delta table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Missing => "missing",
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        }
+    }
+}
+
+/// One evaluated metric row.
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    /// The spec that produced this row.
+    pub spec: MetricSpec,
+    /// Baseline value, when readable.
+    pub baseline: Option<f64>,
+    /// Fresh value, when readable.
+    pub current: Option<f64>,
+    /// Signed percent change vs baseline (positive = value went up).
+    pub delta_pct: Option<f64>,
+    /// The verdict.
+    pub severity: Severity,
+}
+
+/// The default gate: the metrics `results/baselines/` commits to.
+///
+/// Simulated (virtual-time) metrics carry tight thresholds; the two
+/// wall-clock speedups are gated loosely because the CI host is shared.
+pub fn default_specs() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec {
+            file: "BENCH_serve",
+            path: "served.throughput_rps",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_serve",
+            path: "served.latency_ms.p99_ms",
+            direction: Direction::LowerIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_serve",
+            path: "baseline.throughput_rps",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_parallel",
+            path: "spmm.speedup",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 15.0,
+            fail_pct: 50.0,
+        },
+        MetricSpec {
+            file: "BENCH_parallel",
+            path: "serve.speedup",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 15.0,
+            fail_pct: 50.0,
+        },
+    ]
+}
+
+/// Looks up a dotted path (`"served.latency_ms.p99_ms"`) in a JSON value.
+pub fn lookup(value: &Value, path: &str) -> Option<f64> {
+    let mut cur = value;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+fn load_metric(dir: &Path, file: &str, path: &str) -> Option<f64> {
+    let bytes = std::fs::read(dir.join(format!("{file}.json"))).ok()?;
+    let value: Value = serde_json::from_slice(&bytes).ok()?;
+    lookup(&value, path)
+}
+
+/// Evaluates `specs`: baselines from `baseline_dir`, fresh results from
+/// `fresh_dir`. Rows come back in spec order.
+pub fn check(baseline_dir: &Path, fresh_dir: &Path, specs: &[MetricSpec]) -> Vec<CheckRow> {
+    specs
+        .iter()
+        .map(|spec| {
+            let baseline = load_metric(baseline_dir, spec.file, spec.path);
+            let current = load_metric(fresh_dir, spec.file, spec.path);
+            let (delta_pct, severity) = match (baseline, current) {
+                (Some(b), Some(c)) if b != 0.0 => {
+                    let delta = (c - b) / b * 100.0;
+                    // Adverse drift is the regression direction only.
+                    let adverse = match spec.direction {
+                        Direction::HigherIsBetter => -delta,
+                        Direction::LowerIsBetter => delta,
+                    };
+                    let sev = if adverse > spec.fail_pct {
+                        Severity::Fail
+                    } else if adverse > spec.warn_pct {
+                        Severity::Warn
+                    } else {
+                        Severity::Ok
+                    };
+                    (Some(delta), sev)
+                }
+                _ => (None, Severity::Missing),
+            };
+            CheckRow {
+                spec: spec.clone(),
+                baseline,
+                current,
+                delta_pct,
+                severity,
+            }
+        })
+        .collect()
+}
+
+/// The worst severity across the rows ([`Severity::Ok`] when empty).
+pub fn worst(rows: &[CheckRow]) -> Severity {
+    rows.iter()
+        .map(|r| r.severity)
+        .max()
+        .unwrap_or(Severity::Ok)
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the delta table plus a one-line verdict.
+pub fn render_table(rows: &[CheckRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<28} {:>12} {:>12} {:>9} {:>6}/{:<6} {:>8}\n",
+        "file", "metric", "baseline", "current", "delta%", "warn%", "fail%", "verdict"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<28} {:>12} {:>12} {:>9} {:>6}/{:<6} {:>8}\n",
+            r.spec.file,
+            r.spec.path,
+            fmt_opt(r.baseline),
+            fmt_opt(r.current),
+            match r.delta_pct {
+                Some(d) => format!("{d:+.2}"),
+                None => "-".to_string(),
+            },
+            r.spec.warn_pct,
+            r.spec.fail_pct,
+            r.severity.label(),
+        ));
+    }
+    let verdict = worst(rows);
+    out.push_str(&format!(
+        "sentinel: {} ({} metric(s): {} ok, {} warn, {} fail, {} missing)\n",
+        verdict.label(),
+        rows.len(),
+        rows.iter().filter(|r| r.severity == Severity::Ok).count(),
+        rows.iter().filter(|r| r.severity == Severity::Warn).count(),
+        rows.iter().filter(|r| r.severity == Severity::Fail).count(),
+        rows.iter()
+            .filter(|r| r.severity == Severity::Missing)
+            .count(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, file: &str, json: &str) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join(format!("{file}.json")), json).unwrap();
+    }
+
+    fn spec(direction: Direction) -> MetricSpec {
+        MetricSpec {
+            file: "BENCH_t",
+            path: "a.b",
+            direction,
+            warn_pct: 5.0,
+            fail_pct: 20.0,
+        }
+    }
+
+    #[test]
+    fn thresholds_tier_into_ok_warn_fail() {
+        let base = std::env::temp_dir().join("tcg-sentinel-base");
+        let fresh = std::env::temp_dir().join("tcg-sentinel-fresh");
+        write(&base, "BENCH_t", r#"{"a": {"b": 100.0}}"#);
+
+        // 3% down on higher-is-better: ok.
+        write(&fresh, "BENCH_t", r#"{"a": {"b": 97.0}}"#);
+        let rows = check(&base, &fresh, &[spec(Direction::HigherIsBetter)]);
+        assert_eq!(rows[0].severity, Severity::Ok);
+        assert!((rows[0].delta_pct.unwrap() + 3.0).abs() < 1e-9);
+
+        // 10% down: warn. 30% down: fail.
+        write(&fresh, "BENCH_t", r#"{"a": {"b": 90.0}}"#);
+        assert_eq!(
+            check(&base, &fresh, &[spec(Direction::HigherIsBetter)])[0].severity,
+            Severity::Warn
+        );
+        write(&fresh, "BENCH_t", r#"{"a": {"b": 70.0}}"#);
+        assert_eq!(
+            check(&base, &fresh, &[spec(Direction::HigherIsBetter)])[0].severity,
+            Severity::Fail
+        );
+
+        // Same 30% *up* on higher-is-better is an improvement: ok.
+        write(&fresh, "BENCH_t", r#"{"a": {"b": 130.0}}"#);
+        assert_eq!(
+            check(&base, &fresh, &[spec(Direction::HigherIsBetter)])[0].severity,
+            Severity::Ok
+        );
+        // But on lower-is-better (latency), +30% fails.
+        assert_eq!(
+            check(&base, &fresh, &[spec(Direction::LowerIsBetter)])[0].severity,
+            Severity::Fail
+        );
+
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&fresh).ok();
+    }
+
+    #[test]
+    fn missing_files_report_without_failing_the_gate() {
+        let base = std::env::temp_dir().join("tcg-sentinel-missing-base");
+        let fresh = std::env::temp_dir().join("tcg-sentinel-missing-fresh");
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&fresh).ok();
+        let rows = check(&base, &fresh, &[spec(Direction::HigherIsBetter)]);
+        assert_eq!(rows[0].severity, Severity::Missing);
+        assert!(worst(&rows) < Severity::Warn);
+        let table = render_table(&rows);
+        assert!(table.contains("missing"));
+    }
+
+    #[test]
+    fn default_specs_resolve_against_committed_baselines() {
+        // The committed baselines are copies of the committed results, so
+        // the gate over them must be all-ok (delta zero) when both exist.
+        let repo_results = Path::new("../../results");
+        let baselines = repo_results.join("baselines");
+        if !baselines.exists() {
+            return; // fresh checkout without baselines: nothing to assert
+        }
+        let rows = check(&baselines, repo_results, &default_specs());
+        for r in &rows {
+            assert_ne!(
+                r.severity,
+                Severity::Fail,
+                "{}:{} regressed in committed results",
+                r.spec.file,
+                r.spec.path
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_walks_dotted_paths() {
+        let v: Value = serde_json::from_str(r#"{"x": {"y": {"z": 4.5}}, "n": 2}"#).unwrap();
+        assert_eq!(lookup(&v, "x.y.z"), Some(4.5));
+        assert_eq!(lookup(&v, "n"), Some(2.0));
+        assert_eq!(lookup(&v, "x.missing"), None);
+    }
+}

@@ -18,6 +18,7 @@ use crate::cache::{Cache, Probe, SECTOR_BYTES};
 use crate::coalesce;
 use crate::cost;
 use crate::device::DeviceSpec;
+use crate::hotspot::{self, HotPhase};
 use crate::stats::{KernelReport, KernelStats};
 
 /// Launch configuration of a kernel.
@@ -191,12 +192,16 @@ impl<'a> BlockCtx<'a> {
     pub fn ld_global_warp(&mut self, addrs: &[u64]) {
         self.stats.warp_instructions += 1;
         self.stats.int_ops += addrs.len() as u64; // address arithmetic
-        self.scratch.clear();
-        self.scratch
-            .extend(addrs.iter().map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES));
-        self.scratch.sort_unstable();
-        self.scratch.dedup();
+        {
+            let _t = hotspot::scope(HotPhase::Coalesce);
+            self.scratch.clear();
+            self.scratch
+                .extend(addrs.iter().map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES));
+            self.scratch.sort_unstable();
+            self.scratch.dedup();
+        }
         self.stats.gl_load_transactions += self.scratch.len() as u64;
+        let _t = hotspot::scope(HotPhase::CacheProbe);
         let n = self.scratch.len();
         for i in 0..n {
             let s = self.scratch[i];
@@ -215,6 +220,7 @@ impl<'a> BlockCtx<'a> {
         let warps = (count * elem_bytes).div_ceil(lanes * 4).max(1);
         self.stats.warp_instructions += warps as u64;
         self.stats.int_ops += count as u64;
+        let _t = hotspot::scope(HotPhase::CacheProbe);
         for sector in coalesce::coalesce_contiguous(base, count, elem_bytes) {
             self.stats.gl_load_transactions += 1;
             self.probe(sector);
@@ -241,6 +247,7 @@ impl<'a> BlockCtx<'a> {
         let total = bases.len() * elems_per_row;
         self.stats.warp_instructions += (total as u64).div_ceil(32);
         self.stats.int_ops += total as u64;
+        let _t = hotspot::scope(HotPhase::CacheProbe);
         for &base in bases {
             for sector in coalesce::coalesce_contiguous(base, elems_per_row, elem_bytes) {
                 self.stats.gl_load_transactions += 1;
@@ -276,6 +283,7 @@ impl<'a> BlockCtx<'a> {
         self.stats.int_ops += 1;
         self.stats.gl_load_transactions += 1;
         let sector = (addr / SECTOR_BYTES) * SECTOR_BYTES;
+        let _t = hotspot::scope(HotPhase::CacheProbe);
         self.probe(sector);
     }
 
@@ -283,11 +291,14 @@ impl<'a> BlockCtx<'a> {
     pub fn st_global_warp(&mut self, addrs: &[u64]) {
         self.stats.warp_instructions += 1;
         self.stats.int_ops += addrs.len() as u64;
-        self.scratch.clear();
-        self.scratch
-            .extend(addrs.iter().map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES));
-        self.scratch.sort_unstable();
-        self.scratch.dedup();
+        {
+            let _t = hotspot::scope(HotPhase::Coalesce);
+            self.scratch.clear();
+            self.scratch
+                .extend(addrs.iter().map(|a| (a / SECTOR_BYTES) * SECTOR_BYTES));
+            self.scratch.sort_unstable();
+            self.scratch.dedup();
+        }
         let n = self.scratch.len() as u64;
         self.stats.gl_store_transactions += n;
         self.stats.dram_write_bytes += n * SECTOR_BYTES;
@@ -311,6 +322,7 @@ impl<'a> BlockCtx<'a> {
     pub fn atomic_add_global(&mut self, addrs: &[u64]) {
         self.stats.int_ops += addrs.len() as u64;
         self.stats.atomic_ops += addrs.len() as u64;
+        let _t = hotspot::scope(HotPhase::Coalesce);
         // Lanes hitting the same address replay serially.
         self.scratch.clear();
         self.scratch.extend_from_slice(addrs);
@@ -540,21 +552,58 @@ impl Launcher {
             regs_per_thread: cfg.regs_per_thread,
             ..Default::default()
         };
-        for block_id in 0..num_blocks {
-            self.l1.flush();
-            let mut ctx = BlockCtx {
-                device: &self.device,
-                block_id,
-                config: cfg,
-                stats: &mut stats,
-                mem: MemSim::Live {
-                    l1: &mut self.l1,
-                    l2: &mut self.l2,
-                },
-                ecc_armed: &mut self.ecc_armed,
-                scratch: Vec::with_capacity(64),
-            };
-            body(&mut ctx);
+        if hotspot::enabled() {
+            // Hotspot variant: execute each block against its own stats so
+            // the cost model's per-block (= per row window in the SGT
+            // kernels) simulated time can be attributed alongside the host
+            // nanoseconds the scoped timers collect. Counters are u64 sums,
+            // so folding per-block stats reproduces the inline totals
+            // exactly (`KernelStats::merge` keeps the outer shape fields).
+            for block_id in 0..num_blocks {
+                self.l1.flush();
+                hotspot::begin_window(block_id);
+                let mut block_stats = KernelStats {
+                    num_blocks: 1,
+                    block_size: cfg.block_size,
+                    shared_mem_per_block: cfg.shared_mem_bytes,
+                    regs_per_thread: cfg.regs_per_thread,
+                    ..Default::default()
+                };
+                let mut ctx = BlockCtx {
+                    device: &self.device,
+                    block_id,
+                    config: cfg,
+                    stats: &mut block_stats,
+                    mem: MemSim::Live {
+                        l1: &mut self.l1,
+                        l2: &mut self.l2,
+                    },
+                    ecc_armed: &mut self.ecc_armed,
+                    scratch: Vec::with_capacity(64),
+                };
+                body(&mut ctx);
+                let report = cost::analyze(&self.device, &block_stats);
+                hotspot::add_window_sim_ns(report.time_ms * 1e6);
+                hotspot::end_window();
+                stats.merge(&block_stats);
+            }
+        } else {
+            for block_id in 0..num_blocks {
+                self.l1.flush();
+                let mut ctx = BlockCtx {
+                    device: &self.device,
+                    block_id,
+                    config: cfg,
+                    stats: &mut stats,
+                    mem: MemSim::Live {
+                        l1: &mut self.l1,
+                        l2: &mut self.l2,
+                    },
+                    ecc_armed: &mut self.ecc_armed,
+                    scratch: Vec::with_capacity(64),
+                };
+                body(&mut ctx);
+            }
         }
         if stats.ecc_faults > 0 {
             if let Some(plan) = self.fault_plan.as_mut() {
@@ -623,8 +672,9 @@ impl Launcher {
             let slots = &slots;
             let next = &next;
             rayon::scope(|s| {
-                for _ in 0..threads {
+                for wi in 0..threads {
                     s.spawn(move |_| {
+                        hotspot::set_worker(wi as u64 + 1);
                         let mut l1 = Cache::l1(device.l1_bytes_per_sm);
                         loop {
                             let b0 = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
@@ -633,6 +683,7 @@ impl Launcher {
                             }
                             for block_id in b0..(b0 + chunk).min(num_blocks) {
                                 l1.reset();
+                                hotspot::begin_window(block_id);
                                 let mut stats = KernelStats::default();
                                 let mut l2_log = Vec::new();
                                 let mut ecc = false;
@@ -649,6 +700,7 @@ impl Launcher {
                                     scratch: Vec::with_capacity(64),
                                 };
                                 body(&mut ctx);
+                                hotspot::end_window();
                                 // SAFETY: each block id is claimed by
                                 // exactly one worker (fetch_add), so the
                                 // ranges are disjoint.
@@ -669,16 +721,35 @@ impl Launcher {
             regs_per_thread: cfg.regs_per_thread,
             ..Default::default()
         };
-        for slot in &mut blocks {
+        let hot = hotspot::enabled();
+        for (block_id, slot) in blocks.iter_mut().enumerate() {
             let (mut stats, l2_log) = slot.take().expect("every block id was executed");
-            for sector in l2_log {
-                match self.l2.access(sector) {
-                    Probe::Hit => stats.l2_hits += 1,
-                    Probe::Miss => {
-                        stats.l2_misses += 1;
-                        stats.dram_read_bytes += SECTOR_BYTES;
+            if hot {
+                hotspot::begin_window(block_id as u64);
+            }
+            {
+                let _t = hotspot::scope(HotPhase::L2Replay);
+                for sector in l2_log {
+                    match self.l2.access(sector) {
+                        Probe::Hit => stats.l2_hits += 1,
+                        Probe::Miss => {
+                            stats.l2_misses += 1;
+                            stats.dram_read_bytes += SECTOR_BYTES;
+                        }
                     }
                 }
+            }
+            if hot {
+                // The block's counters are only complete once its L2 probes
+                // have replayed, so simulated time attributes here.
+                let mut shaped = stats.clone();
+                shaped.num_blocks = 1;
+                shaped.block_size = cfg.block_size;
+                shaped.shared_mem_per_block = cfg.shared_mem_bytes;
+                shaped.regs_per_thread = cfg.regs_per_thread;
+                let report = cost::analyze(&self.device, &shaped);
+                hotspot::add_window_sim_ns(report.time_ms * 1e6);
+                hotspot::end_window();
             }
             total.merge(&stats);
         }

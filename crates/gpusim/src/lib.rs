@@ -29,6 +29,7 @@ pub mod coalesce;
 pub mod cost;
 pub mod cyclesim;
 pub mod device;
+pub mod hotspot;
 pub mod launch;
 pub mod occupancy;
 pub mod par;
@@ -39,6 +40,7 @@ pub mod wmma;
 pub mod wmma_half;
 
 pub use device::DeviceSpec;
+pub use hotspot::{HotPhase, HotspotReport, WindowAcc, WorkerPhases};
 pub use launch::{AddressSpace, BlockCtx, GridConfig, Launcher};
 pub use par::{resolve_threads, threads_from_env, DisjointSlices, THREADS_ENV};
 pub use stats::{KernelReport, KernelStats};

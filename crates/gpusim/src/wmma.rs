@@ -10,6 +10,7 @@
 use tcg_fault::TcgError;
 use tcg_tensor::tf32::round_to_tf32;
 
+use crate::hotspot::{self, HotPhase};
 use crate::launch::BlockCtx;
 
 /// Bounds-checks a `rows×cols` tile read/write at leading dimension `ld`.
@@ -105,6 +106,7 @@ impl FragmentA {
     /// instead of panicking when `src` is too short for the addressed tile.
     pub fn try_load(&mut self, src: &[f32], ld: usize) -> Result<(), TcgError> {
         check_tile("wmma A-fragment source", src.len(), WMMA_M, WMMA_K, ld)?;
+        let _t = hotspot::scope(HotPhase::FragmentStage);
         for r in 0..WMMA_M {
             for c in 0..WMMA_K {
                 self.data[r * WMMA_K + c] = round_to_tf32(src[r * ld + c]);
@@ -134,6 +136,7 @@ impl FragmentB {
     /// instead of panicking when `src` is too short for the addressed tile.
     pub fn try_load(&mut self, src: &[f32], ld: usize) -> Result<(), TcgError> {
         check_tile("wmma B-fragment source", src.len(), WMMA_K, WMMA_N, ld)?;
+        let _t = hotspot::scope(HotPhase::FragmentStage);
         for r in 0..WMMA_K {
             for c in 0..WMMA_N {
                 self.data[r * WMMA_N + c] = round_to_tf32(src[r * ld + c]);
@@ -152,6 +155,7 @@ impl FragmentB {
     /// Fallible [`FragmentB::load_col_major`].
     pub fn try_load_col_major(&mut self, src: &[f32], ld: usize) -> Result<(), TcgError> {
         check_tile("wmma B-fragment source", src.len(), WMMA_N, WMMA_K, ld)?;
+        let _t = hotspot::scope(HotPhase::FragmentStage);
         for r in 0..WMMA_K {
             for c in 0..WMMA_N {
                 self.data[r * WMMA_N + c] = round_to_tf32(src[c * ld + r]);
@@ -224,6 +228,7 @@ impl FragmentAcc {
 /// accumulator — the way an uncorrectable flip in an FP32 exponent field
 /// would poison everything downstream of the fragment.
 pub fn mma_sync(acc: &mut FragmentAcc, a: &FragmentA, b: &FragmentB, ctx: &mut BlockCtx<'_>) {
+    let _t = hotspot::scope(HotPhase::MmaInner);
     ctx.tcu_mma(MMA_FLOPS);
     mma_functional(acc, a, b);
     if ctx.consume_ecc() {

@@ -11,6 +11,7 @@
 //! dimension-split strategy), so every warp reuses the same shared sparse
 //! tile — the data-reuse benefit of the two-level workload mapping.
 
+use tcg_gpusim::hotspot::{self, HotPhase};
 use tcg_gpusim::wmma::{
     mma_sync, FragmentA, FragmentAcc, FragmentB, FRAG_ACC_TRANSACTIONS, FRAG_A_SMEM_TRANSACTIONS,
     FRAG_B_SMEM_TRANSACTIONS, WMMA_K, WMMA_M, WMMA_N,
@@ -138,6 +139,10 @@ impl SpmmKernel for TcgnnSpmm {
             let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
             let mut row_bases: Vec<u64> = Vec::with_capacity(TC_BLK_W);
             let mut addr_scratch: Vec<u64> = Vec::with_capacity(64);
+            // Per-row-window telemetry for the hotspot profiler (free when
+            // disabled: two integer adds per TC block, one gated call).
+            let mut win_nnz = 0u64;
+            let mut win_cols = 0u64;
             // SAFETY: window `w` owns rows [row_lo, row_hi) exclusively.
             let out_win = unsafe { out_slices.range_mut(row_lo * d, (row_hi - row_lo) * d) };
 
@@ -168,18 +173,22 @@ impl SpmmKernel for TcgnnSpmm {
                     }
                 }
 
-                a_tile.iter_mut().for_each(|v| *v = 0.0);
-                atox.iter_mut().for_each(|v| *v = u32::MAX);
-                let nnz_blk = chunk as u64;
-                for pos in c_lo..c_hi {
-                    let (r, c) = t.unpack(t.perm_pack[pos]);
-                    a_tile[r * TC_BLK_W + c] = prob.value(t.perm_orig[pos] as usize);
-                }
-                for (c, &nid) in atox_ids.iter().enumerate() {
-                    if nid != u32::MAX {
-                        atox[c] = nid;
+                {
+                    let _t = hotspot::scope(HotPhase::Staging);
+                    a_tile.iter_mut().for_each(|v| *v = 0.0);
+                    atox.iter_mut().for_each(|v| *v = u32::MAX);
+                    for pos in c_lo..c_hi {
+                        let (r, c) = t.unpack(t.perm_pack[pos]);
+                        a_tile[r * TC_BLK_W + c] = prob.value(t.perm_orig[pos] as usize);
+                    }
+                    for (c, &nid) in atox_ids.iter().enumerate() {
+                        if nid != u32::MAX {
+                            atox[c] = nid;
+                        }
                     }
                 }
+                let nnz_blk = chunk as u64;
+                win_nnz += nnz_blk;
                 // Shared-memory writes: zero-init + nnz scatter + index row.
                 ctx.shared_access(((TC_BLK_H * TC_BLK_W) as u64).div_ceil(32));
                 ctx.shared_access(nnz_blk.div_ceil(32).max(1));
@@ -192,6 +201,7 @@ impl SpmmKernel for TcgnnSpmm {
                         .filter(|&&u| u != u32::MAX)
                         .map(|&u| buf_x.f32_addr(u as usize * d)),
                 );
+                win_cols += row_bases.len() as u64;
 
                 for (s, acc) in accs.iter_mut().enumerate() {
                     let dim0 = s * WMMA_N;
@@ -204,14 +214,17 @@ impl SpmmKernel for TcgnnSpmm {
                     ctx.shared_access(((TC_BLK_W * WMMA_N) as u64).div_ceil(32));
 
                     // Build the B tile functionally.
-                    b_tile.iter_mut().for_each(|v| *v = 0.0);
-                    for (k, &u) in atox.iter().enumerate() {
-                        if u == u32::MAX {
-                            continue;
-                        }
-                        let xrow = prob.x.row(u as usize);
-                        for c in 0..width {
-                            b_tile[k * WMMA_N + c] = xrow[dim0 + c];
+                    {
+                        let _t = hotspot::scope(HotPhase::Staging);
+                        b_tile.iter_mut().for_each(|v| *v = 0.0);
+                        for (k, &u) in atox.iter().enumerate() {
+                            if u == u32::MAX {
+                                continue;
+                            }
+                            let xrow = prob.x.row(u as usize);
+                            for c in 0..width {
+                                b_tile[k * WMMA_N + c] = xrow[dim0 + c];
+                            }
                         }
                     }
 
@@ -242,6 +255,7 @@ impl SpmmKernel for TcgnnSpmm {
                     }
                 }
             }
+            hotspot::annotate_window(win_nnz, win_cols);
         });
         debug_assert_eq!(WMMA_M, TC_BLK_H);
         debug_assert_eq!(WMMA_K, TC_BLK_W);

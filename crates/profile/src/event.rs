@@ -110,6 +110,9 @@ pub struct KernelEvent {
     /// a serve worker uses its stream index), never OS thread ids, so
     /// exports stay byte-identical run to run.
     pub tid: u64,
+    /// Trace ids of the serve requests this event did work for (the whole
+    /// batch when batched). Empty outside of request-scoped serving.
+    pub trace: Vec<u64>,
     /// Resource counters, when the event came from a simulated kernel
     /// launch; framework passes and host spans carry default (zero) stats.
     pub stats: KernelStats,
@@ -155,6 +158,7 @@ mod tests {
             backend: "TC-GNN".into(),
             time_ms: 0.5,
             tid: 0,
+            trace: Vec::new(),
             stats: KernelStats::default(),
         };
         assert_eq!(e.key(), "aggregation/spmm");

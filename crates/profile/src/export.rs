@@ -31,6 +31,46 @@ fn s(v: &str) -> Value {
 /// stream `N` renders at `tid` `10 + N`.
 const STREAM_TRACK_BASE: u128 = 10;
 
+/// `tid` of the request-span track (async events group by `cat`+`id`, but
+/// a named track keeps Perfetto's flat view tidy). Below the stream base
+/// and above the phase tracks.
+const REQUEST_TRACK: u128 = 9;
+
+fn trace_arg(ids: &[u64]) -> Value {
+    s(&ids
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(","))
+}
+
+/// Emits a request span and its children as Perfetto async `b`/`e` pairs
+/// keyed by the request's trace id.
+fn push_request_span(events: &mut Vec<Value>, span: &crate::profiler::RequestSpan) {
+    events.push(obj(vec![
+        ("name", s(&span.name)),
+        ("cat", s("request")),
+        ("ph", s("b")),
+        ("id", Value::UInt(span.trace_id as u128)),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(REQUEST_TRACK)),
+        ("ts", Value::Float(span.start_ms * 1000.0)),
+        ("args", obj(vec![("trace", trace_arg(&[span.trace_id]))])),
+    ]));
+    for child in &span.children {
+        push_request_span(events, child);
+    }
+    events.push(obj(vec![
+        ("name", s(&span.name)),
+        ("cat", s("request")),
+        ("ph", s("e")),
+        ("id", Value::UInt(span.trace_id as u128)),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(REQUEST_TRACK)),
+        ("ts", Value::Float((span.start_ms + span.dur_ms) * 1000.0)),
+    ]));
+}
+
 /// Renders the run as Chrome-trace JSON (the format
 /// <https://ui.perfetto.dev> and `chrome://tracing` open directly).
 ///
@@ -69,6 +109,9 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
             if e.tid != 0 {
                 args.push(("thread", Value::UInt(e.tid as u128)));
             }
+            if !e.trace.is_empty() {
+                args.push(("trace", trace_arg(&e.trace)));
+            }
             trace_events.push(obj(vec![
                 ("name", s(&e.name)),
                 ("cat", s(e.phase.label())),
@@ -106,6 +149,9 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
         if e.tid != 0 {
             args.push(("thread", Value::UInt(e.tid as u128)));
         }
+        if !e.trace.is_empty() {
+            args.push(("trace", trace_arg(&e.trace)));
+        }
         trace_events.push(obj(vec![
             ("name", s(&e.name)),
             ("cat", s(e.phase.label())),
@@ -130,6 +176,21 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
             ("tid", Value::UInt(STREAM_TRACK_BASE + id as u128)),
             ("args", obj(vec![("name", s(&format!("stream-{id}")))])),
         ]));
+    }
+    // Request-scoped span trees (serve tracing): async `b`/`e` pairs keyed
+    // by trace id, on virtual-clock timestamps. Strictly conditional on
+    // data presence so training-profile exports are unchanged.
+    if !profiler.request_trees().is_empty() {
+        trace_events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(REQUEST_TRACK)),
+            ("args", obj(vec![("name", s("requests"))])),
+        ]));
+        for tree in profiler.request_trees() {
+            push_request_span(&mut trace_events, tree);
+        }
     }
     for span in profiler.stream_spans() {
         let mut args = vec![("stream", Value::UInt(span.stream as u128))];
@@ -535,6 +596,71 @@ mod tests {
             .find(|e| e.get("name").and_then(Value::as_str) == Some("spmm"))
             .unwrap();
         assert!(main_ev.get("args").unwrap().get("thread").is_none());
+    }
+
+    #[test]
+    fn request_trees_export_as_async_spans_with_trace_ids() {
+        use crate::profiler::RequestSpan;
+        let mut p = sample_profiler();
+        p.set_trace(&[41, 42]);
+        p.record_span("spmm_batch", Phase::Aggregation, 0.3);
+        p.clear_trace();
+        p.record_request_tree(RequestSpan {
+            trace_id: 41,
+            name: "req-41".into(),
+            start_ms: 1.0,
+            dur_ms: 4.0,
+            children: vec![RequestSpan {
+                trace_id: 41,
+                name: "execute".into(),
+                start_ms: 2.0,
+                dur_ms: 3.0,
+                children: Vec::new(),
+            }],
+        });
+        let v: Value = serde_json::from_str(&chrome_trace_json(&p)).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // The batched kernel event carries both requests' trace ids.
+        let batch = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("spmm_batch"))
+            .unwrap();
+        assert_eq!(
+            batch
+                .get("args")
+                .unwrap()
+                .get("trace")
+                .and_then(Value::as_str),
+            Some("41,42")
+        );
+        // Async begin/end pairs: 2 spans in the tree -> 2 b + 2 e events,
+        // keyed by the request's trace id, plus the requests-track metadata.
+        let asyncs: Vec<&Value> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(Value::as_str), Some("b") | Some("e")))
+            .collect();
+        assert_eq!(asyncs.len(), 4);
+        for a in &asyncs {
+            assert_eq!(a.get("cat").and_then(Value::as_str), Some("request"));
+            assert_eq!(a.get("id").unwrap(), &Value::UInt(41));
+        }
+        // Root opens before its child and closes after it.
+        let ts = |e: &Value| e.get("ts").unwrap().as_f64().unwrap();
+        assert_eq!(ts(asyncs[0]), 1000.0);
+        assert_eq!(ts(asyncs[1]), 2000.0);
+        assert_eq!(ts(asyncs[2]), 5000.0);
+        assert_eq!(ts(asyncs[3]), 5000.0);
+        // Without trees the export carries no async events at all (the
+        // training-profile schema tests rely on this).
+        let plain: Value =
+            serde_json::from_str(&chrome_trace_json(&sample_profiler())).expect("valid JSON");
+        assert!(plain
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|e| { !matches!(e.get("ph").and_then(Value::as_str), Some("b") | Some("e")) }));
     }
 
     #[test]

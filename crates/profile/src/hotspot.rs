@@ -1,0 +1,305 @@
+//! Exporters for the host-side hotspot profiler in
+//! [`tcg_gpusim::hotspot`].
+//!
+//! The gpusim layer measures where *host* wall-clock time goes while the
+//! simulator runs — cache probes, coalescing analysis, fragment staging,
+//! MMA inner loops — attributed both per phase and per SGT row window.
+//! This module renders a [`HotspotReport`] as
+//!
+//! - a flamegraph-ready collapsed-stack file (`inferno` / `flamegraph.pl`
+//!   folded format: `frame;frame;frame count`, count in nanoseconds),
+//! - a ranked per-phase hotspot table with a reconciliation line proving
+//!   that per-phase totals equal per-window totals, and
+//! - a per-row-window attribution CSV (window id, nnz, distinct columns,
+//!   host ns, simulated ns) for offline correlation of host cost against
+//!   simulated kernel cost.
+//!
+//! Reconciliation holds *by construction*: every timed scope adds its
+//! elapsed nanoseconds to its phase total and to the current window's
+//! accumulator in the same thread-local sheet, so the two sums are equal
+//! exactly (integer nanoseconds, no float drift). Time measured outside
+//! any row window lands in the `outside-windows` bucket.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tcg_gpusim::hotspot::{HotPhase, HotspotReport, OUTSIDE_WINDOW};
+
+/// Renders the report in the collapsed-stack ("folded") format consumed
+/// by `flamegraph.pl` and <https://www.speedscope.app>: one line per
+/// stack, `tcgnn;worker-N;phase count`, where the count is nanoseconds.
+///
+/// Worker 0 is the main thread (sequential launches); workers 1..N are
+/// the `TCG_THREADS` pool. Zero-time frames are omitted.
+pub fn collapsed_stacks(report: &HotspotReport) -> String {
+    let mut out = String::new();
+    for (worker, phases) in &report.workers {
+        let frame = if *worker == 0 {
+            "main".to_string()
+        } else {
+            format!("worker-{worker}")
+        };
+        for phase in HotPhase::all() {
+            let ns = phases.phase_ns[phase.idx()];
+            if ns > 0 {
+                out.push_str(&format!("tcgnn;{frame};{} {ns}\n", phase.label()));
+            }
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the ranked hotspot table: per-phase host time (descending, with
+/// share and hit counts), the hottest row windows by host time, and the
+/// reconciliation line asserting `sum(phases) == sum(windows)`.
+pub fn hotspot_table(report: &HotspotReport) -> String {
+    let mut out = String::new();
+    if report.is_empty() {
+        out.push_str("Host hotspots — no samples (was TCG_PROFILE=hotspot set?)\n");
+        return out;
+    }
+    let phase_total = report.total_phase_ns();
+    let window_total = report.total_window_ns();
+    out.push_str(&format!(
+        "Host hotspots — {} across {} worker(s), {} row window(s)\n",
+        fmt_ns(phase_total),
+        report.workers.len(),
+        report
+            .windows
+            .keys()
+            .filter(|w| **w != OUTSIDE_WINDOW)
+            .count(),
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>12}{:>8}{:>12}{:>14}\n",
+        "phase", "host", "share", "hits", "ns/hit"
+    ));
+    for (phase, ns, hits) in report.ranked_phases() {
+        if ns == 0 && hits == 0 {
+            continue;
+        }
+        let share = if phase_total > 0 {
+            100.0 * ns as f64 / phase_total as f64
+        } else {
+            0.0
+        };
+        let per_hit = ns.checked_div(hits).unwrap_or(0);
+        out.push_str(&format!(
+            "{:<16}{:>12}{:>7.1}%{:>12}{:>14}\n",
+            phase.label(),
+            fmt_ns(ns),
+            share,
+            hits,
+            fmt_ns(per_hit),
+        ));
+    }
+    // Hottest row windows: where the host actually spent its time, next to
+    // what the cost model says the GPU would have spent there.
+    let mut hot: Vec<(&u64, &tcg_gpusim::WindowAcc)> = report
+        .windows
+        .iter()
+        .filter(|(id, _)| **id != OUTSIDE_WINDOW)
+        .collect();
+    hot.sort_by(|a, b| b.1.host_ns.cmp(&a.1.host_ns).then(a.0.cmp(b.0)));
+    if !hot.is_empty() {
+        out.push_str(&format!(
+            "\ntop row windows by host time (of {}):\n",
+            hot.len()
+        ));
+        out.push_str(&format!(
+            "{:<10}{:>12}{:>12}{:>10}{:>14}\n",
+            "window", "host", "sim", "nnz", "distinct_cols"
+        ));
+        for (id, acc) in hot.iter().take(10) {
+            out.push_str(&format!(
+                "{:<10}{:>12}{:>12}{:>10}{:>14}\n",
+                id,
+                fmt_ns(acc.host_ns),
+                fmt_ns(acc.sim_ns as u64),
+                acc.nnz,
+                acc.distinct_cols,
+            ));
+        }
+    }
+    if let Some(outside) = report.windows.get(&OUTSIDE_WINDOW) {
+        if outside.host_ns > 0 {
+            out.push_str(&format!("outside-windows: {}\n", fmt_ns(outside.host_ns)));
+        }
+    }
+    let verdict = if phase_total == window_total {
+        "OK"
+    } else {
+        "MISMATCH"
+    };
+    out.push_str(&format!(
+        "\nreconciliation: phases {phase_total} ns == windows {window_total} ns ({verdict})\n"
+    ));
+    out
+}
+
+/// Renders the per-row-window attribution as CSV:
+/// `window,nnz,distinct_cols,host_ns,sim_ns` (the `outside` row collects
+/// time not attributable to any window).
+pub fn windows_csv(report: &HotspotReport) -> String {
+    let mut out = String::from("window,nnz,distinct_cols,host_ns,sim_ns\n");
+    for (id, acc) in &report.windows {
+        let label = if *id == OUTSIDE_WINDOW {
+            "outside".to_string()
+        } else {
+            id.to_string()
+        };
+        out.push_str(&format!(
+            "{label},{},{},{},{:.0}\n",
+            acc.nnz, acc.distinct_cols, acc.host_ns, acc.sim_ns
+        ));
+    }
+    out
+}
+
+/// Paths written by [`write_hotspot_artifacts`].
+#[derive(Debug, Clone)]
+pub struct HotspotArtifacts {
+    /// The collapsed-stack flamegraph input (`<prefix>.folded`).
+    pub folded_path: PathBuf,
+    /// The ranked hotspot table (`<prefix>.hotspots.txt`).
+    pub table_path: PathBuf,
+    /// The per-window attribution CSV (`<prefix>.windows.csv`).
+    pub windows_path: PathBuf,
+}
+
+/// Writes all three hotspot artifacts under `dir`, creating it if needed.
+pub fn write_hotspot_artifacts(
+    report: &HotspotReport,
+    dir: &Path,
+    prefix: &str,
+) -> io::Result<HotspotArtifacts> {
+    std::fs::create_dir_all(dir)?;
+    let artifacts = HotspotArtifacts {
+        folded_path: dir.join(format!("{prefix}.folded")),
+        table_path: dir.join(format!("{prefix}.hotspots.txt")),
+        windows_path: dir.join(format!("{prefix}.windows.csv")),
+    };
+    std::fs::write(&artifacts.folded_path, collapsed_stacks(report))?;
+    std::fs::write(&artifacts.table_path, hotspot_table(report))?;
+    std::fs::write(&artifacts.windows_path, windows_csv(report))?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_gpusim::hotspot::HotPhase;
+    use tcg_gpusim::{WindowAcc, WorkerPhases};
+
+    fn sample_report() -> HotspotReport {
+        let mut report = HotspotReport::default();
+        let mut main = WorkerPhases::default();
+        main.phase_ns[HotPhase::CacheProbe.idx()] = 60_000;
+        main.phase_hits[HotPhase::CacheProbe.idx()] = 30;
+        main.phase_ns[HotPhase::MmaInner.idx()] = 1_500_000;
+        main.phase_hits[HotPhase::MmaInner.idx()] = 50;
+        report.workers.insert(0, main);
+        let mut w1 = WorkerPhases::default();
+        w1.phase_ns[HotPhase::Staging.idx()] = 440_000;
+        w1.phase_hits[HotPhase::Staging.idx()] = 11;
+        report.workers.insert(1, w1);
+        report.windows.insert(
+            3,
+            WindowAcc {
+                host_ns: 1_700_000,
+                sim_ns: 2_000_000.0,
+                nnz: 128,
+                distinct_cols: 17,
+            },
+        );
+        report.windows.insert(
+            5,
+            WindowAcc {
+                host_ns: 250_000,
+                sim_ns: 90_000.0,
+                nnz: 12,
+                distinct_cols: 4,
+            },
+        );
+        report.windows.insert(
+            OUTSIDE_WINDOW,
+            WindowAcc {
+                host_ns: 50_000,
+                sim_ns: 0.0,
+                nnz: 0,
+                distinct_cols: 0,
+            },
+        );
+        report
+    }
+
+    #[test]
+    fn collapsed_stacks_are_folded_format_with_ns_counts() {
+        let folded = collapsed_stacks(&sample_report());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.contains(&"tcgnn;main;mma_inner 1500000"));
+        assert!(lines.contains(&"tcgnn;main;cache_probe 60000"));
+        assert!(lines.contains(&"tcgnn;worker-1;staging 440000"));
+        for line in lines {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 3);
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn table_ranks_phases_and_reconciles() {
+        let report = sample_report();
+        let table = hotspot_table(&report);
+        // Descending by host ns: mma_inner first.
+        let mma = table.find("mma_inner").unwrap();
+        let staging = table.find("staging").unwrap();
+        let probe = table.find("cache_probe").unwrap();
+        assert!(mma < staging && staging < probe);
+        assert!(table.contains("top row windows"));
+        assert!(table.contains("outside-windows"));
+        // 60k + 1.5M + 440k phases == 1.7M + 250k + 50k windows == 2M.
+        assert!(table.contains("reconciliation: phases 2000000 ns == windows 2000000 ns (OK)"));
+    }
+
+    #[test]
+    fn empty_report_renders_a_hint_not_a_panic() {
+        let table = hotspot_table(&HotspotReport::default());
+        assert!(table.contains("no samples"));
+        assert!(collapsed_stacks(&HotspotReport::default()).is_empty());
+    }
+
+    #[test]
+    fn windows_csv_lists_every_window_and_the_outside_bucket() {
+        let csv = windows_csv(&sample_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "window,nnz,distinct_cols,host_ns,sim_ns");
+        assert!(lines.contains(&"3,128,17,1700000,2000000"));
+        assert!(lines.contains(&"outside,0,0,50000,0"));
+    }
+
+    #[test]
+    fn write_hotspot_artifacts_creates_all_three_files() {
+        let dir = std::env::temp_dir().join("tcg-profile-test-hotspots");
+        let arts =
+            write_hotspot_artifacts(&sample_report(), &dir, "unit").expect("writable temp dir");
+        for path in [&arts.folded_path, &arts.table_path, &arts.windows_path] {
+            assert!(path.exists(), "{} missing", path.display());
+            assert!(std::fs::metadata(path).unwrap().len() > 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,19 +65,67 @@ pub struct StreamSpanEvent {
     pub tid: u64,
 }
 
+/// One node in a request-scoped span tree: a serve request's lifecycle
+/// (root) and its stages (children: queueing, SGT translation, execution).
+///
+/// Times are on the serve scheduler's *virtual* clock, so trees are
+/// byte-identical across reruns at a fixed seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpan {
+    /// The request's trace id (its request id), correlating the tree with
+    /// the `trace` tags on kernel events.
+    pub trace_id: u64,
+    /// Span label (`"req-7"`, `"queued"`, `"execute"`, ...).
+    pub name: String,
+    /// Absolute start on the virtual clock, in milliseconds.
+    pub start_ms: f64,
+    /// Duration in milliseconds.
+    pub dur_ms: f64,
+    /// Nested child stages, in chronological order.
+    pub children: Vec<RequestSpan>,
+}
+
+impl RequestSpan {
+    /// Total spans in the tree (this node plus all descendants).
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(RequestSpan::len).sum::<usize>()
+    }
+
+    /// Always false: a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
 /// Event recorder + metrics registry for one simulated run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Profiler {
     backend: String,
     epoch: Option<u32>,
     layer: Option<u32>,
     thread: u64,
+    trace: Vec<u64>,
+    /// When false (`TCG_PROFILE=metrics`), events update the registry and
+    /// phase totals but are not stored — O(1) memory for long runs.
+    retain_events: bool,
     events: Vec<KernelEvent>,
     stream_spans: Vec<StreamSpanEvent>,
+    request_trees: Vec<RequestSpan>,
     registry: MetricsRegistry,
     rollups: Vec<EpochRollup>,
-    /// Index into `events` where the current epoch began.
-    epoch_start: usize,
+    /// Run-wide per-phase totals, accumulated in record order (indexed by
+    /// `Phase::track() - 1`).
+    phase_ms: [f64; 4],
+    /// Events recorded since `begin_epoch`.
+    epoch_events: usize,
+    /// Per-phase totals since `begin_epoch` (aggregation/update/other).
+    epoch_phase_ms: [f64; 3],
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new("")
+    }
 }
 
 impl Profiler {
@@ -85,8 +133,33 @@ impl Profiler {
     pub fn new(backend: &str) -> Self {
         Profiler {
             backend: backend.to_string(),
-            ..Default::default()
+            epoch: None,
+            layer: None,
+            thread: 0,
+            trace: Vec::new(),
+            retain_events: true,
+            events: Vec::new(),
+            stream_spans: Vec::new(),
+            request_trees: Vec::new(),
+            registry: MetricsRegistry::default(),
+            rollups: Vec::new(),
+            phase_ms: [0.0; 4],
+            epoch_events: 0,
+            epoch_phase_ms: [0.0; 3],
         }
+    }
+
+    /// A profiler that aggregates (registry, phase totals, rollups) but
+    /// drops individual events: constant memory regardless of run length.
+    pub fn new_metrics_only(backend: &str) -> Self {
+        let mut p = Profiler::new(backend);
+        p.retain_events = false;
+        p
+    }
+
+    /// Whether individual events are stored (false for metrics-only).
+    pub fn retains_events(&self) -> bool {
+        self.retain_events
     }
 
     /// The backend label events are tagged with.
@@ -98,31 +171,24 @@ impl Profiler {
     pub fn begin_epoch(&mut self, epoch: u32) {
         self.epoch = Some(epoch);
         self.layer = None;
-        self.epoch_start = self.events.len();
+        self.epoch_events = 0;
+        self.epoch_phase_ms = [0.0; 3];
     }
 
     /// Ends the current epoch, producing (and retaining) its rollup.
     /// No-op returning `None` when no epoch is open.
     pub fn finish_epoch(&mut self) -> Option<EpochRollup> {
         let epoch = self.epoch.take()?;
-        let mut rollup = EpochRollup {
+        let rollup = EpochRollup {
             epoch,
-            events: 0,
-            aggregation_ms: 0.0,
-            update_ms: 0.0,
-            other_ms: 0.0,
+            events: self.epoch_events,
+            aggregation_ms: self.epoch_phase_ms[0],
+            update_ms: self.epoch_phase_ms[1],
+            other_ms: self.epoch_phase_ms[2],
         };
-        for e in &self.events[self.epoch_start..] {
-            rollup.events += 1;
-            match e.phase {
-                Phase::Aggregation => rollup.aggregation_ms += e.time_ms,
-                Phase::Update => rollup.update_ms += e.time_ms,
-                Phase::Other => rollup.other_ms += e.time_ms,
-                Phase::Host => {}
-            }
-        }
         self.layer = None;
-        self.epoch_start = self.events.len();
+        self.epoch_events = 0;
+        self.epoch_phase_ms = [0.0; 3];
         self.rollups.push(rollup);
         Some(rollup)
     }
@@ -145,6 +211,33 @@ impl Profiler {
         self.thread
     }
 
+    /// Sets the trace-id context: subsequent events carry these serve
+    /// request ids until [`Profiler::clear_trace`]. Pass the whole batch's
+    /// ids when a kernel serves a batch.
+    pub fn set_trace(&mut self, ids: &[u64]) {
+        self.trace = ids.to_vec();
+    }
+
+    /// Clears the trace-id context.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// The trace ids currently tagged onto events.
+    pub fn trace(&self) -> &[u64] {
+        &self.trace
+    }
+
+    /// Records a completed request-scoped span tree.
+    pub fn record_request_tree(&mut self, tree: RequestSpan) {
+        self.request_trees.push(tree);
+    }
+
+    /// All recorded request span trees, in record order.
+    pub fn request_trees(&self) -> &[RequestSpan] {
+        &self.request_trees
+    }
+
     /// Records a simulated kernel launch. `time_ms` is the full cost
     /// charged for the launch (kernel time plus dispatch overhead), which
     /// can exceed `report.time_ms`.
@@ -158,6 +251,7 @@ impl Profiler {
             backend: self.backend.clone(),
             time_ms,
             tid: self.thread,
+            trace: self.trace.clone(),
             stats: report.stats.clone(),
         });
     }
@@ -248,6 +342,7 @@ impl Profiler {
             backend: self.backend.clone(),
             time_ms,
             tid: self.thread,
+            trace: self.trace.clone(),
             stats: KernelStats::default(),
         });
     }
@@ -259,7 +354,21 @@ impl Profiler {
 
     fn push(&mut self, event: KernelEvent) {
         self.registry.absorb(&event);
-        self.events.push(event);
+        // Incremental accumulation in record order replicates the old
+        // fold-over-stored-events bit-exactly (same f64 addition sequence).
+        self.phase_ms[event.phase.track() as usize - 1] += event.time_ms;
+        if self.epoch.is_some() {
+            self.epoch_events += 1;
+            match event.phase {
+                Phase::Aggregation => self.epoch_phase_ms[0] += event.time_ms,
+                Phase::Update => self.epoch_phase_ms[1] += event.time_ms,
+                Phase::Other => self.epoch_phase_ms[2] += event.time_ms,
+                Phase::Host => {}
+            }
+        }
+        if self.retain_events {
+            self.events.push(event);
+        }
     }
 
     /// All recorded events, in record order.
@@ -278,14 +387,35 @@ impl Profiler {
     }
 
     /// Sum of event durations in one phase, across the whole run.
+    ///
+    /// Accumulated incrementally (never via `Iterator::sum`, whose f64
+    /// identity is -0.0 and would leak "-0.0" into JSON for empty phases).
     pub fn phase_total_ms(&self, phase: Phase) -> f64 {
-        self.events
-            .iter()
-            .filter(|e| e.phase == phase)
-            .map(|e| e.time_ms)
-            // `fold`, not `sum`: f64's `Sum` identity is -0.0, which would
-            // leak a "-0.0" into the JSON export for empty phases.
-            .fold(0.0, |a, b| a + b)
+        self.phase_ms[phase.track() as usize - 1]
+    }
+
+    /// Folds another profiler into this one, by value.
+    ///
+    /// Serve workers record into private profilers (no locks on the hot
+    /// path) that the dispatcher absorbs in deterministic stream order.
+    /// Event-retaining donors are replayed through `push` so registry,
+    /// phase totals, and stored events all update; metrics-only donors
+    /// contribute their aggregates directly. Stream spans, rollups, and
+    /// request trees are appended in donor order either way.
+    pub fn absorb(&mut self, other: Profiler) {
+        if other.retain_events {
+            for e in other.events {
+                self.push(e);
+            }
+        } else {
+            self.registry.merge(&other.registry);
+            for (mine, theirs) in self.phase_ms.iter_mut().zip(other.phase_ms) {
+                *mine += theirs;
+            }
+        }
+        self.stream_spans.extend(other.stream_spans);
+        self.rollups.extend(other.rollups);
+        self.request_trees.extend(other.request_trees);
     }
 }
 
@@ -372,5 +502,79 @@ mod tests {
     fn finish_without_begin_is_a_noop() {
         let mut p = Profiler::new("PyG");
         assert!(p.finish_epoch().is_none());
+    }
+
+    #[test]
+    fn trace_context_tags_events_until_cleared() {
+        let mut p = Profiler::new("TC-GNN");
+        p.set_trace(&[7, 11]);
+        p.record_kernel("spmm", Phase::Aggregation, 0.5, &report(0.4));
+        p.clear_trace();
+        p.record_span("loss", Phase::Other, 0.1);
+        assert_eq!(p.events()[0].trace, vec![7, 11]);
+        assert!(p.events()[1].trace.is_empty());
+    }
+
+    #[test]
+    fn metrics_only_profiler_aggregates_without_storing_events() {
+        let mut p = Profiler::new_metrics_only("TC-GNN");
+        assert!(!p.retains_events());
+        p.begin_epoch(0);
+        p.record_kernel("spmm", Phase::Aggregation, 1.5, &report(1.0));
+        p.record_span("gemm_xw", Phase::Update, 2.0);
+        let r = p.finish_epoch().unwrap();
+        assert!(p.events().is_empty());
+        assert_eq!(r.events, 2);
+        assert_eq!(r.aggregation_ms, 1.5);
+        assert_eq!(p.phase_total_ms(Phase::Aggregation), 1.5);
+        assert_eq!(p.phase_total_ms(Phase::Update), 2.0);
+        assert_eq!(
+            p.registry()
+                .counter("aggregation/spmm", crate::registry::COUNTER_LAUNCHES),
+            1
+        );
+    }
+
+    #[test]
+    fn absorb_replays_events_and_merges_metrics_only_donors() {
+        let mut main = Profiler::new("TC-GNN");
+        main.record_span("spmm", Phase::Aggregation, 1.0);
+
+        let mut worker = Profiler::new("TC-GNN");
+        worker.set_thread(2);
+        worker.record_kernel("spmm", Phase::Aggregation, 0.5, &report(0.4));
+        worker.record_stream_span_on(1, "batch-0", 0.0, 3.0, 2);
+        worker.record_request_tree(RequestSpan {
+            trace_id: 9,
+            name: "req-9".into(),
+            start_ms: 0.0,
+            dur_ms: 3.0,
+            children: vec![RequestSpan {
+                trace_id: 9,
+                name: "execute".into(),
+                start_ms: 1.0,
+                dur_ms: 2.0,
+                children: Vec::new(),
+            }],
+        });
+        main.absorb(worker);
+        assert_eq!(main.events().len(), 2);
+        assert_eq!(main.events()[1].tid, 2);
+        assert_eq!(main.phase_total_ms(Phase::Aggregation), 1.5);
+        assert_eq!(main.stream_spans().len(), 1);
+        assert_eq!(main.request_trees().len(), 1);
+        assert_eq!(main.request_trees()[0].len(), 2);
+
+        let mut counts = Profiler::new_metrics_only("TC-GNN");
+        counts.record_span("spmm", Phase::Aggregation, 2.5);
+        main.absorb(counts);
+        // No event stored, but totals and registry advance.
+        assert_eq!(main.events().len(), 2);
+        assert_eq!(main.phase_total_ms(Phase::Aggregation), 4.0);
+        assert_eq!(
+            main.registry()
+                .counter("aggregation/spmm", crate::registry::COUNTER_LAUNCHES),
+            3
+        );
     }
 }

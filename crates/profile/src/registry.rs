@@ -134,6 +134,7 @@ mod tests {
             backend: "TC-GNN".into(),
             time_ms: ms,
             tid: 0,
+            trace: Vec::new(),
             stats: KernelStats {
                 dram_read_bytes: dram,
                 ..Default::default()

@@ -29,6 +29,7 @@
 pub mod batcher;
 pub mod cache;
 pub mod loadgen;
+pub mod metrics;
 pub mod model;
 pub mod report;
 pub mod request;
@@ -37,6 +38,9 @@ pub mod server;
 pub use batcher::{BatchPolicy, Batcher, ClosedBatch};
 pub use cache::{CacheStats, CachedTranslation, TranslationCache};
 pub use loadgen::{poisson_trace, LoadgenConfig};
+pub use metrics::{parse_prometheus, prometheus_text, render_top, RedMetrics};
 pub use model::ServableModel;
 pub use request::{Outcome, Request, Response};
-pub use server::{serve, ServeConfig, ServeReport, ServedGraph, Session, StreamSummary};
+pub use server::{
+    serve, QueueDepth, ServeConfig, ServeReport, ServedGraph, Session, StreamSummary,
+};

@@ -1,0 +1,532 @@
+//! RED/SLO metrics for the serving layer: Rate, Errors, Duration — plus
+//! saturation (queue depth) and cache efficiency — rendered as Prometheus
+//! text exposition (`tcgnn serve --metrics <path>`) and as the `tcgnn top`
+//! ASCII dashboard.
+//!
+//! Everything derives from a [`ServeReport`] (or, for the rolling window,
+//! from the id-ordered response list), so the output is as deterministic
+//! as the serve run itself: no wall-clock values, no sampling jitter.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use tcg_profile::StreamingHistogram;
+
+use crate::request::{Outcome, Response};
+use crate::server::ServeReport;
+
+/// A RED registry folded over responses in id order: cumulative counters
+/// and a cumulative latency histogram, plus a bounded rolling window for
+/// recent-quantile queries (p50/p95/p99 over the last `window` answers).
+#[derive(Debug, Clone)]
+pub struct RedMetrics {
+    /// Rolling-window capacity (answered requests).
+    window: usize,
+    recent: VecDeque<f64>,
+    /// Requests observed.
+    pub requests: u64,
+    /// Answered within deadline (or with none set).
+    pub on_time: u64,
+    /// Answered after their deadline.
+    pub late: u64,
+    /// Shed at admission.
+    pub shed: u64,
+    /// Cumulative latency distribution over answered requests.
+    pub latency: StreamingHistogram,
+}
+
+impl RedMetrics {
+    /// An empty registry with a rolling window of `window` answers.
+    pub fn new(window: usize) -> Self {
+        RedMetrics {
+            window: window.max(1),
+            recent: VecDeque::new(),
+            requests: 0,
+            on_time: 0,
+            late: 0,
+            shed: 0,
+            latency: StreamingHistogram::new(),
+        }
+    }
+
+    /// Folds one response in.
+    pub fn observe(&mut self, response: &Response) {
+        self.requests += 1;
+        match &response.outcome {
+            Outcome::Served { .. } => self.on_time += 1,
+            Outcome::Late { .. } => self.late += 1,
+            Outcome::Shed { .. } => self.shed += 1,
+        }
+        if let Some(ms) = response.outcome.latency_ms() {
+            self.latency.record(ms);
+            if self.recent.len() == self.window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(ms);
+        }
+    }
+
+    /// Requests that produced an answer.
+    pub fn answered(&self) -> u64 {
+        self.on_time + self.late
+    }
+
+    /// Error counts by taxonomy label, alphabetical.
+    pub fn errors(&self) -> Vec<(&'static str, u64)> {
+        vec![("deadline_exceeded", self.late), ("queue_full", self.shed)]
+    }
+
+    /// Quantile over the rolling window (the last `window` answers), via
+    /// nearest-rank on a sorted copy. 0 when nothing was answered yet.
+    pub fn rolling_quantile(&self, q: f64) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.recent.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    /// Builds the registry from a finished report's id-ordered responses.
+    pub fn from_report(report: &ServeReport, window: usize) -> Self {
+        let mut red = RedMetrics::new(window);
+        for r in &report.responses {
+            red.observe(r);
+        }
+        red
+    }
+}
+
+fn metric(out: &mut String, name: &str, kind: &str, help: &str, samples: &[(String, f64)]) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for (labels, value) in samples {
+        out.push_str(&format!("{name}{labels} {value}\n"));
+    }
+}
+
+fn plain(value: f64) -> Vec<(String, f64)> {
+    vec![(String::new(), value)]
+}
+
+/// Renders the report as Prometheus text exposition (format 0.0.4): the
+/// RED counters, the error taxonomy, latency quantiles as a summary,
+/// queue saturation, cache efficiency, fault accounting, and per-stream
+/// utilization.
+pub fn prometheus_text(report: &ServeReport) -> String {
+    let red = RedMetrics::from_report(report, report.responses.len().max(1));
+    let mut out = String::new();
+    metric(
+        &mut out,
+        "tcg_serve_requests_total",
+        "counter",
+        "Requests in the trace.",
+        &plain(report.total_requests as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_answered_total",
+        "counter",
+        "Requests answered (on time or late).",
+        &plain(report.answered as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_failed_total",
+        "counter",
+        "Requests that errored terminally.",
+        &plain(report.failed as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_errors_total",
+        "counter",
+        "Requests by error taxonomy (TcgError variant).",
+        &red.errors()
+            .iter()
+            .map(|(label, count)| (format!("{{error=\"{label}\"}}"), *count as f64))
+            .collect::<Vec<_>>(),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_throughput_rps",
+        "gauge",
+        "Answered requests per simulated second.",
+        &plain(report.throughput_rps),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_makespan_ms",
+        "gauge",
+        "Simulated milliseconds until the last stream drained.",
+        &plain(report.makespan_ms),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_latency_ms",
+        "summary",
+        "Request latency over answered requests, simulated ms.",
+        &[
+            ("{quantile=\"0.5\"}".to_string(), report.latency.p50()),
+            ("{quantile=\"0.95\"}".to_string(), report.latency.p95()),
+            ("{quantile=\"0.99\"}".to_string(), report.latency.p99()),
+        ],
+    );
+    out.push_str(&format!(
+        "tcg_serve_latency_ms_sum {}\ntcg_serve_latency_ms_count {}\n",
+        report.latency.sum(),
+        report.latency.count()
+    ));
+    metric(
+        &mut out,
+        "tcg_serve_batches_total",
+        "counter",
+        "Batched forward passes executed.",
+        &plain(report.batches as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_mean_batch_size",
+        "gauge",
+        "Mean requests per batch.",
+        &plain(report.mean_batch_size),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_queue_depth_max",
+        "gauge",
+        "Deepest admission-queue occupancy observed.",
+        &plain(report.queue.max as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_queue_depth_mean",
+        "gauge",
+        "Mean admission-queue occupancy over arrivals.",
+        &plain(report.queue.mean()),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_cache_hit_ratio",
+        "gauge",
+        "SGT translation-cache hit ratio.",
+        &plain(report.cache.hit_rate()),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_cache_events_total",
+        "counter",
+        "SGT translation-cache events.",
+        &[
+            ("{event=\"hit\"}".to_string(), report.cache.hits as f64),
+            ("{event=\"miss\"}".to_string(), report.cache.misses as f64),
+            (
+                "{event=\"eviction\"}".to_string(),
+                report.cache.evictions as f64,
+            ),
+        ],
+    );
+    metric(
+        &mut out,
+        "tcg_serve_faults_total",
+        "counter",
+        "Injected device faults by kind.",
+        &[
+            (
+                "{kind=\"launch_failure\"}".to_string(),
+                report.faults.launch_failures as f64,
+            ),
+            (
+                "{kind=\"smem_overcommit\"}".to_string(),
+                report.faults.smem_overcommits as f64,
+            ),
+            (
+                "{kind=\"device_oom\"}".to_string(),
+                report.faults.device_ooms as f64,
+            ),
+            (
+                "{kind=\"ecc_flip\"}".to_string(),
+                report.faults.ecc_flips as f64,
+            ),
+        ],
+    );
+    metric(
+        &mut out,
+        "tcg_serve_stream_busy_ms",
+        "gauge",
+        "Summed execution milliseconds per stream.",
+        &report
+            .per_stream
+            .iter()
+            .map(|st| (format!("{{stream=\"{}\"}}", st.stream), st.busy_ms))
+            .collect::<Vec<_>>(),
+    );
+    out
+}
+
+/// Parses Prometheus text exposition back into `name{labels} -> value`.
+///
+/// Strict enough for CI schema checks: every non-comment line must be
+/// `<name>[{labels}] <float>`, names must match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, and values must parse as finite floats.
+pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        let name = series.split('{').next().unwrap_or("");
+        let mut chars = name.chars();
+        let head_ok = chars
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            .unwrap_or(false);
+        if !head_ok || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!(
+                "line {}: unterminated labels: {series:?}",
+                lineno + 1
+            ));
+        }
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        if !value.is_finite() {
+            return Err(format!("line {}: non-finite value", lineno + 1));
+        }
+        out.insert(series.to_string(), value);
+    }
+    if out.is_empty() {
+        return Err("no samples".into());
+    }
+    Ok(out)
+}
+
+/// Renders the `tcgnn top` ASCII dashboard: RED at a glance.
+pub fn render_top(report: &ServeReport) -> String {
+    let red = RedMetrics::from_report(report, report.responses.len().max(1));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "tcgnn top — {} {} | {} stream(s)\n",
+        report.backend, report.model, report.streams
+    ));
+    out.push_str(&format!(
+        "  requests  {:>6} total | {} answered | {} on-time | {} late | {} shed | {} failed\n",
+        report.total_requests,
+        report.answered,
+        report.on_time,
+        report.late,
+        report.shed,
+        report.failed
+    ));
+    out.push_str(&format!(
+        "  rate      {:>9.1} req/s over {:.1} ms makespan, {} batches (mean size {:.2})\n",
+        report.throughput_rps, report.makespan_ms, report.batches, report.mean_batch_size
+    ));
+    out.push_str(&format!(
+        "  latency   p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | max {:.3} ms\n",
+        report.latency.p50(),
+        report.latency.p95(),
+        report.latency.p99(),
+        report.latency.max()
+    ));
+    let errs: Vec<String> = red
+        .errors()
+        .iter()
+        .map(|(label, count)| format!("{label} {count}"))
+        .collect();
+    out.push_str(&format!("  errors    {}\n", errs.join(" | ")));
+    out.push_str(&format!(
+        "  queue     depth max {} | mean {:.2} ({} samples)\n",
+        report.queue.max,
+        report.queue.mean(),
+        report.queue.samples
+    ));
+    out.push_str(&format!(
+        "  sgt cache {}h/{}m ({:.1}% hit) | {:.2} ms paid | {:.2} ms saved\n",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0,
+        report.cache.translation_ms_paid,
+        report.cache.translation_ms_saved
+    ));
+    out.push_str(&format!(
+        "  faults    {} injected | {} retried | {} degraded\n",
+        report.faults.total_injected(),
+        report.faults.retried,
+        report.faults.degraded
+    ));
+    for st in &report.per_stream {
+        out.push_str(&format!(
+            "  stream {}  {:>4} launches | {:>10.2} ms busy | drained at {:.2} ms\n",
+            st.stream, st.launches, st.busy_ms, st.end_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::QueueDepth;
+    use tcg_fault::FaultReport;
+
+    fn sample_report() -> ServeReport {
+        let responses = vec![
+            Response {
+                id: 0,
+                outcome: Outcome::Served {
+                    class: 1,
+                    latency_ms: 2.0,
+                },
+            },
+            Response {
+                id: 1,
+                outcome: Outcome::Late {
+                    class: 0,
+                    latency_ms: 9.0,
+                    deadline_ms: 5.0,
+                },
+            },
+            Response {
+                id: 2,
+                outcome: Outcome::Shed { queue_capacity: 4 },
+            },
+            Response {
+                id: 3,
+                outcome: Outcome::Served {
+                    class: 2,
+                    latency_ms: 4.0,
+                },
+            },
+        ];
+        let mut latency = StreamingHistogram::new();
+        for ms in [2.0, 9.0, 4.0] {
+            latency.record(ms);
+        }
+        let mut queue = QueueDepth::default();
+        for d in [1, 3, 4, 2] {
+            queue.sample(d);
+        }
+        ServeReport {
+            backend: "TC-GNN",
+            model: "gcn",
+            streams: 2,
+            total_requests: 4,
+            answered: 3,
+            on_time: 2,
+            late: 1,
+            shed: 1,
+            failed: 0,
+            batches: 2,
+            mean_batch_size: 1.5,
+            makespan_ms: 20.0,
+            throughput_rps: 150.0,
+            latency,
+            cache: crate::cache::CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                translation_ms_paid: 3.0,
+                translation_ms_saved: 3.0,
+            },
+            faults: FaultReport::default(),
+            queue,
+            per_stream: vec![
+                crate::server::StreamSummary {
+                    stream: 0,
+                    launches: 1,
+                    busy_ms: 6.0,
+                    end_ms: 18.0,
+                },
+                crate::server::StreamSummary {
+                    stream: 1,
+                    launches: 1,
+                    busy_ms: 5.0,
+                    end_ms: 20.0,
+                },
+            ],
+            responses,
+        }
+    }
+
+    #[test]
+    fn red_metrics_fold_the_error_taxonomy_and_rolling_quantiles() {
+        let red = RedMetrics::from_report(&sample_report(), 2);
+        assert_eq!(red.requests, 4);
+        assert_eq!(red.answered(), 3);
+        assert_eq!(
+            red.errors(),
+            vec![("deadline_exceeded", 1), ("queue_full", 1)]
+        );
+        // Window of 2 holds [9.0, 4.0]: p50 = 4.0, p99 = 9.0.
+        assert_eq!(red.rolling_quantile(0.5), 4.0);
+        assert_eq!(red.rolling_quantile(0.99), 9.0);
+        // Cumulative histogram still sees all three answers.
+        assert_eq!(red.latency.count(), 3);
+    }
+
+    #[test]
+    fn prometheus_text_is_schema_valid_and_carries_the_red_series() {
+        let text = prometheus_text(&sample_report());
+        let samples = parse_prometheus(&text).expect("schema-valid exposition");
+        assert_eq!(samples["tcg_serve_requests_total"], 4.0);
+        assert_eq!(samples["tcg_serve_answered_total"], 3.0);
+        assert_eq!(samples["tcg_serve_errors_total{error=\"queue_full\"}"], 1.0);
+        assert_eq!(
+            samples["tcg_serve_errors_total{error=\"deadline_exceeded\"}"],
+            1.0
+        );
+        assert_eq!(samples["tcg_serve_latency_ms_count"], 3.0);
+        assert_eq!(samples["tcg_serve_queue_depth_max"], 4.0);
+        assert_eq!(samples["tcg_serve_cache_hit_ratio"], 0.5);
+        assert_eq!(samples["tcg_serve_stream_busy_ms{stream=\"1\"}"], 5.0);
+        // HELP/TYPE precede every family.
+        for family in [
+            "tcg_serve_requests_total",
+            "tcg_serve_errors_total",
+            "tcg_serve_latency_ms",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")));
+            assert!(text.contains(&format!("# TYPE {family} ")));
+        }
+        // Deterministic.
+        assert_eq!(text, prometheus_text(&sample_report()));
+    }
+
+    #[test]
+    fn parse_prometheus_rejects_malformed_input() {
+        assert!(parse_prometheus("").is_err());
+        assert!(parse_prometheus("novalue\n").is_err());
+        assert!(parse_prometheus("9bad_name 1\n").is_err());
+        assert!(parse_prometheus("m{unterminated 1\n").is_err());
+        assert!(parse_prometheus("m NaN\n").is_err());
+        assert!(parse_prometheus("ok_metric 1.5\n").is_ok());
+    }
+
+    #[test]
+    fn top_dashboard_mentions_every_red_row() {
+        let top = render_top(&sample_report());
+        for needle in [
+            "requests",
+            "rate",
+            "latency",
+            "errors",
+            "queue",
+            "sgt cache",
+            "faults",
+            "stream 0",
+            "stream 1",
+            "deadline_exceeded 1",
+            "queue_full 1",
+        ] {
+            assert!(top.contains(needle), "missing {needle:?} in:\n{top}");
+        }
+    }
+}

@@ -82,6 +82,14 @@ impl ServeReport {
             ("latency_ms", latency),
             ("sgt_cache", cache),
             ("faults", faults),
+            (
+                "queue_depth",
+                obj(vec![
+                    ("samples", Value::UInt(self.queue.samples as u128)),
+                    ("max", Value::UInt(self.queue.max as u128)),
+                    ("mean", Value::Float(self.queue.mean())),
+                ]),
+            ),
             ("per_stream", Value::Array(streams)),
         ])
     }

@@ -134,10 +134,45 @@ struct DispatchedBatch {
     index: usize,
     graph: usize,
     stream: u32,
+    /// When the batcher sealed the batch.
+    close_ms: f64,
+    /// Translation milliseconds paid at dispatch (0 on a cache hit).
+    translate_ms: f64,
     /// Close time plus any translation milliseconds paid on a cache miss.
     ready_ms: f64,
     requests: Vec<Request>,
     translation: Arc<TranslatedGraph>,
+}
+
+/// Admission-queue depth statistics, sampled once per processed arrival
+/// (after the arrival was offered or shed). Virtual-time, so exact and
+/// deterministic for a given trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueDepth {
+    /// Depth samples taken (one per trace arrival).
+    pub samples: usize,
+    /// Deepest observed occupancy.
+    pub max: usize,
+    /// Summed occupancy over all samples.
+    pub sum: usize,
+}
+
+impl QueueDepth {
+    /// Records one occupancy sample.
+    pub fn sample(&mut self, depth: usize) {
+        self.samples += 1;
+        self.max = self.max.max(depth);
+        self.sum += depth;
+    }
+
+    /// Mean observed occupancy (0 when never sampled).
+    pub fn mean(&self) -> f64 {
+        if self.samples > 0 {
+            self.sum as f64 / self.samples as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Per-stream utilization in the final report.
@@ -190,6 +225,8 @@ pub struct ServeReport {
     pub cache: CacheStats,
     /// Fault accounting summed over every worker engine.
     pub faults: FaultReport,
+    /// Admission-queue depth statistics over the trace.
+    pub queue: QueueDepth,
     /// Per-stream utilization.
     pub per_stream: Vec<StreamSummary>,
     /// Per-request records, id-ordered.
@@ -202,6 +239,9 @@ struct WorkerResult {
     stream: Stream,
     responses: Vec<Response>,
     faults: FaultReport,
+    /// The worker's private profiler (request-scoped tracing), recovered
+    /// once its engines are dropped; `None` when the run is unprofiled.
+    profiler: Option<tcg_profile::Profiler>,
 }
 
 fn merge_fault_reports(into: &mut FaultReport, other: &FaultReport) {
@@ -233,26 +273,32 @@ pub fn serve(
     let mut batcher = Batcher::new(cfg.policy);
     let mut dispatched: Vec<DispatchedBatch> = Vec::new();
     let mut shed_responses: Vec<Response> = Vec::new();
-    let mut translations: Vec<(String, f64)> = Vec::new();
+    let mut translations: Vec<(String, f64, Vec<u64>)> = Vec::new();
     let dispatch = |closed: ClosedBatch,
                     session: &mut Session,
                     dispatched: &mut Vec<DispatchedBatch>,
-                    translations: &mut Vec<(String, f64)>| {
+                    translations: &mut Vec<(String, f64, Vec<u64>)>| {
         let g = &session.graphs[closed.graph];
         let (translation, paid_ms, hit) = session.cache.get_or_translate(&g.csr);
         if !hit {
-            translations.push((format!("sgt_translate:{}", g.name), paid_ms));
+            // Attribute the translation to the batch that paid it — its
+            // host event carries the same trace ids as the batch's kernels.
+            let ids: Vec<u64> = closed.requests.iter().map(|r| r.id).collect();
+            translations.push((format!("sgt_translate:{}", g.name), paid_ms, ids));
         }
         let index = dispatched.len();
         dispatched.push(DispatchedBatch {
             index,
             graph: closed.graph,
             stream: (index % streams) as u32,
+            close_ms: closed.close_ms,
+            translate_ms: paid_ms,
             ready_ms: closed.close_ms + paid_ms,
             requests: closed.requests,
             translation,
         });
     };
+    let mut queue = QueueDepth::default();
     for req in trace {
         for closed in batcher.flush_due(req.arrival_ms) {
             dispatch(closed, session, &mut dispatched, &mut translations);
@@ -264,11 +310,13 @@ pub fn serve(
                     queue_capacity: cfg.queue_capacity.max(1),
                 },
             });
+            queue.sample(batcher.pending());
             continue;
         }
         if let Some(closed) = batcher.offer(req.clone()) {
             dispatch(closed, session, &mut dispatched, &mut translations);
         }
+        queue.sample(batcher.pending());
     }
     for closed in batcher.flush_all() {
         dispatch(closed, session, &mut dispatched, &mut translations);
@@ -281,13 +329,14 @@ pub fn serve(
     }
     let graphs = &session.graphs;
     let model = &session.model;
+    let profiled = profiler.is_some();
     let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = per_stream
             .iter()
             .enumerate()
             .map(|(sid, batches)| {
                 let cfg = cfg.clone();
-                scope.spawn(move || run_stream(sid as u32, batches, graphs, model, &cfg))
+                scope.spawn(move || run_stream(sid as u32, batches, graphs, model, &cfg, profiled))
             })
             .collect();
         handles
@@ -303,11 +352,13 @@ pub fn serve(
     let mut batches = 0usize;
     if let Some(p) = profiler {
         let mut p = p.write().expect("profiler lock");
-        for (name, ms) in &translations {
+        for (name, ms, ids) in &translations {
+            p.set_trace(ids);
             p.record_host(name, *ms);
         }
+        p.clear_trace();
     }
-    for wr in &worker_results {
+    for wr in worker_results {
         merge_fault_reports(&mut faults, &wr.faults);
         batches += wr.stream.launches();
         per_stream_summary.push(StreamSummary {
@@ -316,7 +367,6 @@ pub fn serve(
             busy_ms: wr.stream.busy_ms(),
             end_ms: wr.stream.now_ms(),
         });
-        responses.extend(wr.responses.iter().cloned());
         if let Some(p) = profiler {
             let mut p = p.write().expect("profiler lock");
             for span in wr.stream.spans() {
@@ -331,7 +381,14 @@ pub fn serve(
                     u64::from(wr.stream.id()) + 1,
                 );
             }
+            // Fold the worker's private recorder in (stream order, so the
+            // merged event list is deterministic): kernel events tagged
+            // with their batch's trace ids, plus per-request span trees.
+            if let Some(wp) = wr.profiler {
+                p.absorb(wp);
+            }
         }
+        responses.extend(wr.responses);
     }
     responses.sort_by_key(|r| r.id);
 
@@ -381,6 +438,7 @@ pub fn serve(
         latency,
         cache: session.cache.stats(),
         faults,
+        queue,
         per_stream: per_stream_summary,
         responses,
     }
@@ -397,11 +455,25 @@ fn run_stream(
     graphs: &[ServedGraph],
     model: &ServableModel,
     cfg: &ServeConfig,
+    profiled: bool,
 ) -> WorkerResult {
     let mut stream = Stream::new(stream_id);
     let mut engines: HashMap<usize, Engine> = HashMap::new();
     let mut responses = Vec::new();
     let mut faults = FaultReport::default();
+    // Private per-worker recorder: no locks are contended on the hot path
+    // (each engine clone of the handle lives on this thread only), and the
+    // dispatcher absorbs it in stream order after the join.
+    let worker_profiler: Option<SharedProfiler> = if profiled {
+        let p = tcg_profile::shared(cfg.backend.name());
+        // Deterministic tid: stream index + 1 (0 is the main thread).
+        p.write()
+            .expect("profiler lock")
+            .set_thread(u64::from(stream_id) + 1);
+        Some(p)
+    } else {
+        None
+    };
     for b in batches {
         let g = &graphs[b.graph];
         let eng = engines.entry(b.graph).or_insert_with(|| {
@@ -421,11 +493,60 @@ fn run_stream(
                     .wrapping_add(b.graph as u64);
                 eng.attach_fault_plan(FaultPlan::new(seed, fault_cfg));
             }
+            if let Some(p) = &worker_profiler {
+                eng.attach_profiler(Arc::clone(p));
+            }
             eng
         });
+        if let Some(p) = &worker_profiler {
+            // Propagate the batch's trace ids: every kernel event the
+            // engine records during this inference carries the ids of the
+            // requests it does work for.
+            let ids: Vec<u64> = b.requests.iter().map(|r| r.id).collect();
+            p.write().expect("profiler lock").set_trace(&ids);
+        }
         let (logits, cost) = model.infer(eng, &g.features);
         let name = format!("{}:batch-{}", g.name, b.index);
-        let (_, end_ms) = stream.launch_at(&name, b.ready_ms, cost.total_ms());
+        let (start_ms, end_ms) = stream.launch_at(&name, b.ready_ms, cost.total_ms());
+        if let Some(p) = &worker_profiler {
+            let mut p = p.write().expect("profiler lock");
+            p.clear_trace();
+            // One span tree per request, entirely on the virtual clock:
+            // arrival → batcher queue → (translation, if this batch paid
+            // one) → stream execution. Byte-identical across reruns.
+            for req in &b.requests {
+                let mut children = vec![tcg_profile::RequestSpan {
+                    trace_id: req.id,
+                    name: "queued".into(),
+                    start_ms: req.arrival_ms,
+                    dur_ms: b.close_ms - req.arrival_ms,
+                    children: Vec::new(),
+                }];
+                if b.translate_ms > 0.0 {
+                    children.push(tcg_profile::RequestSpan {
+                        trace_id: req.id,
+                        name: "sgt_translate".into(),
+                        start_ms: b.close_ms,
+                        dur_ms: b.translate_ms,
+                        children: Vec::new(),
+                    });
+                }
+                children.push(tcg_profile::RequestSpan {
+                    trace_id: req.id,
+                    name: "execute".into(),
+                    start_ms,
+                    dur_ms: end_ms - start_ms,
+                    children: Vec::new(),
+                });
+                p.record_request_tree(tcg_profile::RequestSpan {
+                    trace_id: req.id,
+                    name: format!("req-{}", req.id),
+                    start_ms: req.arrival_ms,
+                    dur_ms: end_ms - req.arrival_ms,
+                    children,
+                });
+            }
+        }
         let classes = ops::argmax_rows(&logits);
         for req in &b.requests {
             let latency_ms = end_ms - req.arrival_ms;
@@ -449,9 +570,19 @@ fn run_stream(
     for eng in engines.values() {
         merge_fault_reports(&mut faults, &eng.fault_report());
     }
+    // Engines hold the only other handles to the worker profiler; dropping
+    // them lets us recover it by value for the absorb step.
+    drop(engines);
+    let profiler = worker_profiler.map(|p| {
+        Arc::try_unwrap(p)
+            .expect("worker profiler handles released")
+            .into_inner()
+            .expect("profiler lock")
+    });
     WorkerResult {
         stream,
         responses,
         faults,
+        profiler,
     }
 }

@@ -73,6 +73,53 @@ TCG_THREADS=4 TCG_FAULT_RATE=0.05 TCG_FAULT_SEED=2023 \
 step "verify: 30s differential fuzz smoke (fixed seed)"
 cargo run --release -q -p tcg-oracle --bin fuzz_kernels -- --seed 2023 --budget-ms 30000
 
+step "observability: metrics export, hotspot profile, perf sentinel"
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+# Profiled serve smoke: Prometheus metrics file plus Perfetto trace with
+# per-request span trees. The metrics file must schema-check (tested via
+# the library parser below) and the trace must be valid JSON with the
+# request track present.
+TCG_PROFILE=1 TCG_RESULTS_DIR="$obs_dir" \
+    ./target/release/tcgnn serve Cora --requests 32 --rate 2000 --epochs 2 \
+    --metrics "$obs_dir/serve.prom" >/dev/null
+grep -q '^tcg_serve_requests_total 32$' "$obs_dir/serve.prom" || {
+    echo "observability: metrics file missing/miscounting requests" >&2
+    exit 1
+}
+grep -q '^# TYPE tcg_serve_latency_ms summary$' "$obs_dir/serve.prom" || {
+    echo "observability: latency summary family missing" >&2
+    exit 1
+}
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert any(e.get('ph')=='b' for e in d['traceEvents']), 'no request spans'" \
+    "$obs_dir/serve-cli.trace.json" || {
+    echo "observability: Perfetto trace malformed or missing request spans" >&2
+    exit 1
+}
+# Metrics schema check through the shared parser (exercised by unit tests).
+cargo test --release -q -p tcg-serve metrics
+# tcgnn top renders the dashboard.
+./target/release/tcgnn top Cora --requests 16 --rate 2000 --epochs 2 \
+    | grep -q 'tcgnn top' || {
+    echo "observability: top dashboard did not render" >&2
+    exit 1
+}
+# Hotspot profile on a registry subset: ranked table + reconciliation +
+# well-formed collapsed-stack artifact (frames 'tcgnn;<worker>;<phase> ns').
+TCG_RESULTS_DIR="$obs_dir" \
+    ./target/release/tcgnn profile --hotspots --datasets Cora --epochs 1 \
+    | grep -q 'reconciliation: .* (OK)' || {
+    echo "observability: hotspot reconciliation failed" >&2
+    exit 1
+}
+grep -Eq '^tcgnn;(main|worker-[0-9]+);[a-z_]+ [0-9]+$' "$obs_dir/profile-hotspots.folded" || {
+    echo "observability: malformed collapsed-stack artifact" >&2
+    exit 1
+}
+# Perf sentinel, warn tier: fresh results vs committed baselines. A FAIL
+# verdict exits nonzero and gates CI; warnings are reported but pass.
+./target/release/tcgnn bench --check
+
 step "cargo fmt --check"
 cargo fmt --check
 

@@ -10,7 +10,10 @@
 //! tcgnn serve     <DATASET>[,<DATASET>...] [--model M] [--backend B]
 //!                 [--requests N] [--rate RPS] [--streams S] [--max-batch B]
 //!                 [--max-delay MS] [--cache-cap C] [--queue-cap Q]
-//!                 [--deadline MS] [--seed S]
+//!                 [--deadline MS] [--seed S] [--metrics PATH]
+//! tcgnn top       <DATASET>[,<DATASET>...] [same flags as serve]
+//! tcgnn profile   --hotspots [--datasets a,b,...] [--epochs N]
+//! tcgnn bench     --check [--baselines DIR]
 //! tcgnn verify    [--seed N] [--dim D] [--families f1,f2,...]
 //!                 [--no-metamorphic]
 //! ```
@@ -51,7 +54,16 @@ fn usage() -> ExitCode {
            serve     <DATASET>[,<DATASET>...] [--model M] [--backend B]\n\
                      [--requests N] [--rate RPS] [--streams S] [--max-batch B]\n\
                      [--max-delay MS] [--cache-cap C] [--queue-cap Q]\n\
-                     [--deadline MS] [--seed S]\n\
+                     [--deadline MS] [--seed S] [--metrics PATH]\n\
+                     --metrics writes Prometheus text-format RED metrics\n\
+           top       <DATASET>[,<DATASET>...] [same flags as serve]\n\
+                     run the serve workload, render an ASCII dashboard\n\
+           profile   --hotspots [--datasets a,b,...] [--epochs N]\n\
+                     host-side hotspot profile of the fig7b training suite:\n\
+                     ranked per-phase table + flamegraph-ready .folded file\n\
+           bench     --check [--baselines DIR]\n\
+                     compare results/ against committed baselines; nonzero\n\
+                     exit on a regression past the fail threshold\n\
            verify    [--seed N] [--dim D] [--families f1,f2,...]\n\
                      [--no-metamorphic]\n\
                      run the kernel/backend conformance matrix against the\n\
@@ -429,7 +441,9 @@ fn cmd_eval(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_serve(args: &[String]) -> ExitCode {
+/// `tcgnn serve` prints the JSON report; `tcgnn top` renders the ASCII
+/// dashboard instead. Both honor `--metrics PATH` and `TCG_PROFILE`.
+fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
     use tc_gnn::serve::{poisson_trace, serve, LoadgenConfig, ServeConfig, ServedGraph, Session};
 
     let Some(names_arg) = args.first() else {
@@ -530,23 +544,146 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 
     let trace = poisson_trace(&graph_sizes, &lg);
-    let profiler = std::env::var("TCG_PROFILE")
-        .ok()
-        .filter(|v| !v.is_empty() && v != "0")
-        .map(|_| tc_gnn::profile::shared(cfg.backend.name()));
+    // One shared TCG_PROFILE parser across the whole repo: off/trace/
+    // metrics/hotspot (see tcg_profile::ProfileLevel).
+    let level = tc_gnn::profile::ProfileLevel::from_env();
+    if level.hotspots() {
+        tc_gnn::gpusim::hotspot::set_enabled(true);
+    }
+    let profiler = level
+        .profiler(cfg.backend.name())
+        .map(|p| std::sync::Arc::new(std::sync::RwLock::new(p)));
     let report = serve(&mut session, &cfg, &trace, profiler.as_ref());
-    println!("{}", report.summary_line());
-    println!("{}", report.to_json());
+    if dashboard {
+        print!("{}", tc_gnn::serve::render_top(&report));
+    } else {
+        println!("{}", report.summary_line());
+        println!("{}", report.to_json());
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        match std::fs::write(&path, tc_gnn::serve::prometheus_text(&report)) {
+            Ok(()) => eprintln!("wrote {path} (Prometheus text format)"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(p) = profiler {
         let guard = p.read().expect("profiler lock");
-        let trace_path = "results/serve-cli.trace.json";
-        let _ = std::fs::create_dir_all("results");
-        match std::fs::write(trace_path, tc_gnn::profile::chrome_trace_json(&guard)) {
-            Ok(()) => eprintln!("wrote {trace_path} (Perfetto: ui.perfetto.dev)"),
-            Err(e) => eprintln!("could not write {trace_path}: {e}"),
+        let dir = tc_gnn::bench::results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let trace_path = dir.join("serve-cli.trace.json");
+        match std::fs::write(&trace_path, tc_gnn::profile::chrome_trace_json(&guard)) {
+            Ok(()) => eprintln!("wrote {} (Perfetto: ui.perfetto.dev)", trace_path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+        }
+    }
+    if level.hotspots() {
+        tc_gnn::gpusim::hotspot::set_enabled(false);
+        let hs = tc_gnn::gpusim::hotspot::take_report();
+        let dir = tc_gnn::bench::results_dir();
+        match tc_gnn::profile::write_hotspot_artifacts(&hs, &dir, "serve-cli") {
+            Ok(a) => eprintln!("wrote {} (+ table + windows)", a.folded_path.display()),
+            Err(e) => eprintln!("could not write hotspot artifacts: {e}"),
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `tcgnn profile --hotspots`: runs the fig7b training suite (Table 4
+/// datasets under the scale policy, short GCN runs on the TC-GNN backend)
+/// with the gpusim host-side wall-clock timers armed, then prints the
+/// ranked per-phase hotspot table — whose total host nanoseconds reconcile
+/// exactly with the sum of per-row-window attributions — and writes the
+/// flamegraph-ready artifacts under the results directory.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    if !args.iter().any(|a| a == "--hotspots") {
+        eprintln!("profile: only --hotspots mode exists (launch tracing is TCG_PROFILE=1)");
+        return usage();
+    }
+    let filter: Option<Vec<String>> = flag_value(args, "--datasets")
+        .map(|v| v.split(',').map(|s| s.to_ascii_lowercase()).collect());
+    let epochs: u32 = flag_value(args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    tc_gnn::gpusim::hotspot::set_enabled(true);
+    let _ = tc_gnn::gpusim::hotspot::take_report(); // drain stale state
+    let mut ran = 0usize;
+    for spec in TABLE4.iter() {
+        if let Some(names) = &filter {
+            if !names.iter().any(|n| n == &spec.name.to_ascii_lowercase()) {
+                continue;
+            }
+        }
+        let ds = tc_gnn::bench::load_dataset(spec);
+        let mut eng = Engine::builder(ds.graph.clone())
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::rtx3090())
+            .build()
+            .expect("graph is symmetric");
+        let _ = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(epochs));
+        eprintln!("  [profile] {} done", spec.name);
+        ran += 1;
+    }
+    tc_gnn::gpusim::hotspot::set_enabled(false);
+    if ran == 0 {
+        eprintln!("profile: --datasets matched nothing in the registry");
+        return ExitCode::FAILURE;
+    }
+
+    let report = tc_gnn::gpusim::hotspot::take_report();
+    print!("{}", tc_gnn::profile::hotspot_table(&report));
+    let dir = tc_gnn::bench::results_dir();
+    match tc_gnn::profile::write_hotspot_artifacts(&report, &dir, "profile-hotspots") {
+        Ok(a) => eprintln!(
+            "wrote {} / {} / {}",
+            a.folded_path.display(),
+            a.table_path.display(),
+            a.windows_path.display()
+        ),
+        Err(e) => {
+            eprintln!("could not write hotspot artifacts: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.is_empty() {
+        eprintln!("profile: the suite produced no hotspot samples");
+        return ExitCode::FAILURE;
+    }
+    if report.total_phase_ns() != report.total_window_ns() {
+        eprintln!(
+            "profile: reconciliation MISMATCH (phases {} ns != windows {} ns)",
+            report.total_phase_ns(),
+            report.total_window_ns()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `tcgnn bench --check`: the perf-regression sentinel. Compares the
+/// fresh result files under the results directory (`TCG_RESULTS_DIR`
+/// honored) against the committed baselines and exits nonzero when any
+/// gated metric drifts past its fail threshold.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    use tc_gnn::bench::sentinel;
+
+    if !args.iter().any(|a| a == "--check") {
+        eprintln!("bench: only --check exists here (the workloads are cargo run -p tcg-bench)");
+        return usage();
+    }
+    let baselines = flag_value(args, "--baselines")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| Path::new("results").join("baselines"));
+    let fresh = tc_gnn::bench::results_dir();
+    let rows = sentinel::check(&baselines, &fresh, &sentinel::default_specs());
+    print!("{}", sentinel::render_table(&rows));
+    match sentinel::worst(&rows) {
+        sentinel::Severity::Fail => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
 }
 
 fn cmd_verify(args: &[String]) -> ExitCode {
@@ -645,7 +782,10 @@ fn main() -> ExitCode {
         }
         "train" => cmd_train(&args[1..]),
         "eval" => cmd_eval(&args[1..]),
-        "serve" => cmd_serve(&args[1..]),
+        "serve" => cmd_serve(&args[1..], false),
+        "top" => cmd_serve(&args[1..], true),
+        "profile" => cmd_profile(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         _ => usage(),
     }

@@ -1,4 +1,5 @@
 //! TC-GNN facade crate: re-exports the whole workspace behind one name.
+pub use tcg_bench as bench;
 pub use tcg_fault as fault;
 pub use tcg_gnn as gnn;
 pub use tcg_gpusim as gpusim;

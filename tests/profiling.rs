@@ -217,6 +217,57 @@ fn nsight_table_reports_hardware_counters_for_both_kernel_families() {
 }
 
 #[test]
+fn hotspot_phase_totals_reconcile_with_window_attributions() {
+    // The host-side hotspot profiler adds every scope's elapsed
+    // nanoseconds to its phase total AND to the current row-window
+    // accumulator in the same thread-local sheet, so the two sums must be
+    // *exactly* equal — the host-time mirror of the trace↔cost invariant
+    // above. The accumulator is process-global; the invariant survives
+    // concurrent tests because sheets flush phase and window time
+    // together, never one without the other.
+    use tc_gnn::gpusim::hotspot;
+
+    hotspot::set_enabled(true);
+    let _ = hotspot::take_report(); // drain anything a previous test left
+    let ds = tiny_dataset();
+    let mut eng = Engine::builder(ds.graph.clone())
+        .backend(Backend::TcGnn)
+        .device(DeviceSpec::rtx3090())
+        .build()
+        .expect("graph is symmetric");
+    let _ = train_gcn(&mut eng, &ds, TrainConfig::gcn_paper().with_epochs(1));
+    hotspot::set_enabled(false);
+    let report = hotspot::take_report();
+
+    assert!(!report.is_empty(), "profiled run produced no samples");
+    assert_eq!(
+        report.total_phase_ns(),
+        report.total_window_ns(),
+        "per-phase host ns must reconcile exactly with per-window host ns"
+    );
+    // The ranked table is built from the same totals.
+    let ranked_total: u64 = report.ranked_phases().iter().map(|(_, ns, _)| ns).sum();
+    assert_eq!(ranked_total, report.total_phase_ns());
+    // Row-window attribution carries the SGT telemetry the hybrid
+    // dispatcher needs: nnz and distinct columns on real windows.
+    let real_windows: Vec<_> = report
+        .windows
+        .iter()
+        .filter(|(id, _)| **id != hotspot::OUTSIDE_WINDOW)
+        .collect();
+    assert!(!real_windows.is_empty(), "no per-window attributions");
+    assert!(
+        real_windows.iter().any(|(_, w)| w.nnz > 0),
+        "windows carry no nnz annotations"
+    );
+    let table = tc_gnn::profile::hotspot_table(&report);
+    assert!(
+        table.contains("(OK)"),
+        "table must report reconciliation:\n{table}"
+    );
+}
+
+#[test]
 fn detached_engine_records_nothing() {
     let ds = tiny_dataset();
     let mut eng = Engine::builder(ds.graph.clone())

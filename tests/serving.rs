@@ -227,6 +227,63 @@ fn serve_runs_are_byte_identical() {
     }
 }
 
+/// Request-scoped tracing: every kernel event recorded during a profiled
+/// serve run carries the trace ids of the requests its batch did work for,
+/// the ids cover the whole trace, and the per-request span trees (and the
+/// Perfetto export embedding them) are byte-identical across reruns.
+#[test]
+fn profiled_serve_propagates_request_trace_ids() {
+    let cfg = ServeConfig {
+        backend: Backend::TcGnn,
+        streams: 2,
+        ..ServeConfig::default()
+    };
+    let trace = poisson_trace(
+        &[200, 150],
+        &LoadgenConfig {
+            rate_rps: 2_000.0,
+            requests: 24,
+            deadline_ms: None,
+            seed: 21,
+        },
+    );
+    let run = || {
+        let (model, graphs) = serving_fixture();
+        let mut session = Session::new(model, graphs, 4);
+        let profiler = shared("serve-test");
+        let report = serve(&mut session, &cfg, &trace, Some(&profiler));
+        let p = profiler.read().expect("profiler lock");
+        assert!(!p.events().is_empty(), "profiled serve recorded no events");
+        let mut seen = std::collections::BTreeSet::new();
+        for e in p.events() {
+            assert!(
+                !e.trace.is_empty(),
+                "kernel event {:?} carries no request trace ids",
+                e.name
+            );
+            seen.extend(e.trace.iter().copied());
+        }
+        let all: std::collections::BTreeSet<u64> = trace.iter().map(|r| r.id).collect();
+        assert_eq!(seen, all, "kernel-event trace ids must cover every request");
+        assert_eq!(
+            p.request_trees().len(),
+            report.answered as usize,
+            "one span tree per answered request"
+        );
+        (format!("{:?}", p.request_trees()), chrome_trace_json(&p))
+    };
+    let (trees_a, timeline_a) = run();
+    let (trees_b, timeline_b) = run();
+    assert_eq!(
+        trees_a, trees_b,
+        "request span trees diverged across reruns"
+    );
+    assert_eq!(timeline_a, timeline_b, "profiled timelines diverged");
+    // The export embeds the request track and per-request async spans.
+    assert!(timeline_a.contains("requests"), "request track missing");
+    assert!(timeline_a.contains("req-"), "per-request spans missing");
+}
+
 /// Determinism also holds under fault injection: the chaos schedule is part
 /// of the seeded state, not a source of nondeterminism.
 #[test]
