@@ -89,6 +89,7 @@ fn main() {
             requests: REQUESTS,
             deadline_ms: None,
             seed: 7,
+            ..LoadgenConfig::default()
         },
     );
 

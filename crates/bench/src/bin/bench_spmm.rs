@@ -134,6 +134,7 @@ fn main() {
             requests: SERVE_REQUESTS,
             deadline_ms: None,
             seed: 7,
+            ..LoadgenConfig::default()
         },
     );
     let (serve_seq_ms, serve_seq_out) = serve_wall_ms(&frozen, &served_graph, &trace, 1);

@@ -121,6 +121,20 @@ pub fn default_specs() -> Vec<MetricSpec> {
             warn_pct: 15.0,
             fail_pct: 50.0,
         },
+        MetricSpec {
+            file: "BENCH_resilience",
+            path: "goodput_on_rps",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_resilience",
+            path: "goodput_gain",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 5.0,
+            fail_pct: 25.0,
+        },
     ]
 }
 

@@ -80,7 +80,8 @@ impl FaultSite {
 ///   [`TcgError::SmemOvercommit`], [`TcgError::DeviceOom`],
 ///   [`TcgError::EccCorruption`];
 /// - **admission outcomes** (request-level, raised by the serving layer, not
-///   device faults): [`TcgError::QueueFull`], [`TcgError::DeadlineExceeded`].
+///   device faults): [`TcgError::QueueFull`], [`TcgError::DeadlineExceeded`],
+///   [`TcgError::Cancelled`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum TcgError {
     /// A graph-layer error (I/O, malformed CSR, unknown dataset).
@@ -151,6 +152,15 @@ pub enum TcgError {
         deadline_ms: f64,
         /// The latency actually observed, in simulated milliseconds.
         observed_ms: f64,
+    },
+    /// A request was cancelled at a checkpoint boundary because its deadline
+    /// was already dead — no further translation or launch work was paid.
+    Cancelled {
+        /// The checkpoint stage that observed the dead deadline
+        /// (`"pre_translate"`, `"pre_launch"`, `"kernel_boundary"`).
+        stage: &'static str,
+        /// The per-request deadline, in simulated milliseconds.
+        deadline_ms: f64,
     },
 }
 
@@ -235,6 +245,10 @@ impl std::fmt::Display for TcgError {
             } => write!(
                 f,
                 "deadline exceeded: {observed_ms:.3} ms observed against a {deadline_ms:.3} ms budget"
+            ),
+            TcgError::Cancelled { stage, deadline_ms } => write!(
+                f,
+                "cancelled at {stage}: {deadline_ms:.3} ms deadline already dead"
             ),
         }
     }
@@ -469,6 +483,316 @@ impl FaultReport {
     }
 }
 
+/// Seeded exponential-backoff retry policy with optional deterministic
+/// jitter.
+///
+/// The delay for a given `(sequence, attempt)` pair is a *pure function* of
+/// the policy's fields — no hidden RNG state is consumed — so retry timing
+/// is bit-reproducible regardless of thread count or interleaving. The
+/// jitter hash reuses the SplitMix64 mix that drives [`FaultPlan`], keyed by
+/// `(seed, sequence, attempt)`.
+///
+/// With the default `multiplier = 2.0` and `jitter_frac = 0.0`, attempts 1
+/// and 2 produce `base_ms` and `2 * base_ms` — bit-identical to the linear
+/// `backoff_ms * attempt` schedule the engine used before this policy
+/// existed, so default-recovery chaos timings are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay of the first retry, in simulated milliseconds.
+    pub base_ms: f64,
+    /// Growth factor per further attempt (exponential backoff).
+    pub multiplier: f64,
+    /// Jitter amplitude as a fraction of the computed delay, in `[0, 1]`.
+    /// Zero disables jitter entirely.
+    pub jitter_frac: f64,
+    /// Seed for the deterministic jitter hash (conventionally the fault
+    /// seed, so chaos schedules and retry timing share one knob).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 0.05,
+            multiplier: 2.0,
+            jitter_frac: 0.0,
+            seed: DEFAULT_FAULT_SEED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Returns this policy with jitter enabled at `frac` of the delay.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        self.jitter_frac = frac.clamp(0.0, 1.0);
+        self.seed = seed;
+        self
+    }
+
+    /// SplitMix64 finalizer — same mix as [`FaultPlan`]'s counter RNG.
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The backoff delay before retry `attempt` (1-based) of logical retry
+    /// number `sequence`. Pure in all arguments: calling it twice — or from
+    /// eight threads — yields bit-identical results.
+    pub fn delay_ms(&self, sequence: u64, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        let exp = self.base_ms * self.multiplier.powi(attempt as i32 - 1);
+        if self.jitter_frac <= 0.0 {
+            return exp;
+        }
+        let h = Self::mix(
+            self.seed
+                .wrapping_add(sequence.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03)),
+        );
+        // Top 53 bits → uniform in [0, 1); jitter scales the delay into
+        // [1 - frac, 1 + frac) around the exponential schedule.
+        let u = ((h >> 11) as f64) / ((1u64 << 53) as f64);
+        exp * (1.0 - self.jitter_frac + 2.0 * self.jitter_frac * u)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive faulted batches that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Virtual milliseconds an open breaker waits before letting one
+    /// half-open probe through.
+    pub cooldown_ms: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 5.0,
+        }
+    }
+}
+
+/// The breaker's state machine position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: work routes to the primary (TCU) path.
+    Closed {
+        /// Consecutive faulted batches observed so far.
+        consecutive_failures: u32,
+    },
+    /// Tripped: whole batches route to the fallback path until the cooldown
+    /// expires on the virtual clock.
+    Open {
+        /// Virtual time at which a half-open probe is allowed.
+        until_ms: f64,
+    },
+    /// Cooldown expired: the next batch probes the primary path; a fault
+    /// re-opens, a clean batch closes.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for traces and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Where the breaker routed a unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerRoute {
+    /// The primary (TCU) path.
+    Primary,
+    /// The degraded (CUDA-core) fallback path.
+    Fallback,
+}
+
+/// One recorded state transition, timestamped on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerTransition {
+    /// Virtual time of the transition.
+    pub at_ms: f64,
+    /// Label of the state left ("closed" / "open" / "half_open").
+    pub from: &'static str,
+    /// Label of the state entered.
+    pub to: &'static str,
+}
+
+/// Aggregate breaker accounting for reports and metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerStats {
+    /// Closed→open trips.
+    pub opened: u64,
+    /// Half-open probes that faulted and re-opened the breaker.
+    pub reopened: u64,
+    /// Open→half-open probe admissions.
+    pub half_open_probes: u64,
+    /// Transitions back to closed (successful probes).
+    pub closed: u64,
+    /// Whole batches routed to the fallback path while open.
+    pub rerouted_batches: u64,
+}
+
+impl BreakerStats {
+    /// Sums another breaker's counters into this one (per-stream merge).
+    pub fn absorb(&mut self, other: &BreakerStats) {
+        self.opened += other.opened;
+        self.reopened += other.reopened;
+        self.half_open_probes += other.half_open_probes;
+        self.closed += other.closed;
+        self.rerouted_batches += other.rerouted_batches;
+    }
+}
+
+/// A per-(device, backend) circuit breaker over consecutive device faults.
+///
+/// Deterministic by construction: the state after any prefix of
+/// `(now_ms, faulted)` observations is a pure fold of that prefix — there is
+/// no wall-clock or RNG input — so chaos serve runs stay byte-identical.
+///
+/// Protocol per batch: call [`CircuitBreaker::route`] with the batch's
+/// virtual start time to learn where to run it (this is where an expired
+/// cooldown moves open→half-open); run it; then call
+/// [`CircuitBreaker::on_result`] with whether the batch suffered device
+/// faults. Batches routed to [`BreakerRoute::Fallback`] should report
+/// `faulted = false` — the fallback path is fault-suppressed and says
+/// nothing about primary-path health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    stats: BreakerStats,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `config`'s thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+            stats: BreakerStats::default(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &BreakerStats {
+        &self.stats
+    }
+
+    /// Every state transition so far, in virtual-time order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    fn transition(&mut self, at_ms: f64, to: BreakerState) {
+        self.transitions.push(BreakerTransition {
+            at_ms,
+            from: self.state.label(),
+            to: to.label(),
+        });
+        self.state = to;
+    }
+
+    /// Routes a unit of work starting at virtual time `now_ms`. An open
+    /// breaker whose cooldown has expired transitions to half-open here and
+    /// admits the work as a probe; an open breaker still cooling down routes
+    /// to the fallback (counted in
+    /// [`BreakerStats::rerouted_batches`]).
+    pub fn route(&mut self, now_ms: f64) -> BreakerRoute {
+        match self.state {
+            BreakerState::Closed { .. } => BreakerRoute::Primary,
+            BreakerState::Open { until_ms } if now_ms >= until_ms => {
+                self.stats.half_open_probes += 1;
+                self.transition(now_ms, BreakerState::HalfOpen);
+                BreakerRoute::Primary
+            }
+            BreakerState::Open { .. } => {
+                self.stats.rerouted_batches += 1;
+                BreakerRoute::Fallback
+            }
+            BreakerState::HalfOpen => BreakerRoute::Primary,
+        }
+    }
+
+    /// Records the outcome of the unit of work admitted at `now_ms`:
+    /// `faulted` is whether it suffered any device fault on the primary
+    /// path. Only meaningful for work routed to [`BreakerRoute::Primary`];
+    /// fallback batches should report `faulted = false`.
+    pub fn on_result(&mut self, now_ms: f64, faulted: bool) {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                if faulted {
+                    let n = consecutive_failures + 1;
+                    if n >= self.config.failure_threshold {
+                        self.stats.opened += 1;
+                        self.transition(
+                            now_ms,
+                            BreakerState::Open {
+                                until_ms: now_ms + self.config.cooldown_ms,
+                            },
+                        );
+                    } else {
+                        self.state = BreakerState::Closed {
+                            consecutive_failures: n,
+                        };
+                    }
+                } else if consecutive_failures != 0 {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: 0,
+                    };
+                }
+            }
+            BreakerState::HalfOpen => {
+                if faulted {
+                    self.stats.reopened += 1;
+                    self.transition(
+                        now_ms,
+                        BreakerState::Open {
+                            until_ms: now_ms + self.config.cooldown_ms,
+                        },
+                    );
+                } else {
+                    self.stats.closed += 1;
+                    self.transition(
+                        now_ms,
+                        BreakerState::Closed {
+                            consecutive_failures: 0,
+                        },
+                    );
+                }
+            }
+            // A result observed while open can only come from a fallback
+            // batch; it says nothing about primary health.
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +901,111 @@ mod tests {
         };
         let s = format!("{e}");
         assert!(s.contains("edge_to_col") && s.contains("edge 7"));
+    }
+
+    #[test]
+    fn retry_policy_default_matches_legacy_linear_schedule() {
+        // Attempts 1 and 2 must reproduce the old `backoff_ms * attempt`
+        // schedule bit-for-bit so default-recovery chaos timings hold.
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_ms(0, 1).to_bits(), (0.05f64).to_bits());
+        assert_eq!(p.delay_ms(0, 2).to_bits(), (0.10f64).to_bits());
+        assert_eq!(p.delay_ms(7, 1), p.delay_ms(123, 1), "no jitter by default");
+    }
+
+    #[test]
+    fn retry_policy_jitter_is_pure_and_bounded() {
+        let p = RetryPolicy::default().with_jitter(0.5, 42);
+        for seq in 0..50u64 {
+            for attempt in 1..4u32 {
+                let a = p.delay_ms(seq, attempt);
+                let b = p.delay_ms(seq, attempt);
+                assert_eq!(a.to_bits(), b.to_bits(), "delay must be pure");
+                let exp = 0.05 * 2f64.powi(attempt as i32 - 1);
+                assert!(a >= exp * 0.5 - 1e-12 && a < exp * 1.5 + 1e-12);
+            }
+        }
+        // Jitter actually varies across sequences.
+        let d: std::collections::BTreeSet<u64> =
+            (0..50).map(|s| p.delay_ms(s, 1).to_bits()).collect();
+        assert!(d.len() > 1, "jitter should spread delays");
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_probes_and_closes() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 5.0,
+        });
+        assert_eq!(b.route(0.0), BreakerRoute::Primary);
+        b.on_result(0.0, true);
+        assert_eq!(b.route(1.0), BreakerRoute::Primary);
+        b.on_result(1.0, true); // second consecutive fault → open
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        assert_eq!(b.route(2.0), BreakerRoute::Fallback, "cooling down");
+        assert_eq!(b.route(6.1), BreakerRoute::Primary, "half-open probe");
+        assert!(matches!(b.state(), BreakerState::HalfOpen));
+        b.on_result(6.1, false); // probe clean → closed
+        assert!(matches!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_failures: 0
+            }
+        ));
+        let s = b.stats();
+        assert_eq!(
+            (
+                s.opened,
+                s.half_open_probes,
+                s.closed,
+                s.reopened,
+                s.rerouted_batches
+            ),
+            (1, 1, 1, 0, 1)
+        );
+        assert_eq!(b.transitions().len(), 3);
+    }
+
+    #[test]
+    fn breaker_faulted_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ms: 2.0,
+        });
+        b.on_result(0.0, true);
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        assert_eq!(b.route(3.0), BreakerRoute::Primary);
+        b.on_result(3.0, true); // probe faulted → reopen
+        assert!(matches!(b.state(), BreakerState::Open { until_ms } if until_ms == 5.0));
+        assert_eq!(b.stats().reopened, 1);
+    }
+
+    #[test]
+    fn breaker_clean_batches_reset_consecutive_count() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 5.0,
+        });
+        b.on_result(0.0, true);
+        b.on_result(1.0, false); // resets the streak
+        b.on_result(2.0, true);
+        assert!(
+            matches!(b.state(), BreakerState::Closed { .. }),
+            "non-consecutive faults must not trip the breaker"
+        );
+    }
+
+    #[test]
+    fn cancelled_error_classification_and_display() {
+        let c = TcgError::Cancelled {
+            stage: "pre_launch",
+            deadline_ms: 3.5,
+        };
+        assert!(!c.is_transient());
+        assert_eq!(c.site(), None);
+        assert!(!c.is_device_fault());
+        let s = format!("{c}");
+        assert!(s.contains("pre_launch") && s.contains("3.500"));
     }
 
     #[test]

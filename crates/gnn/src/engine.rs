@@ -1,6 +1,6 @@
 //! The aggregation engine: one graph, one backend, simulated costs.
 
-use tcg_fault::{FaultPlan, FaultReport, TcgError};
+use tcg_fault::{FaultPlan, FaultReport, RetryPolicy, TcgError};
 use tcg_gpusim::cost::stream_pass_report;
 use tcg_gpusim::{DeviceSpec, Launcher};
 use tcg_graph::CsrGraph;
@@ -113,16 +113,19 @@ pub const DENSE_DISPATCH_MS: f64 = 0.005;
 /// How the engine responds to injected (or detected) device faults.
 ///
 /// Transient faults — failed launches and staging-buffer OOM — are retried
-/// up to `max_retries` times with linear backoff charged as a `retry_backoff`
-/// span. A fault that survives its retries, plus every persistent fault,
-/// degrades the op: the same computation reruns on the CUDA-core fallback
-/// kernel (`CusparseCsrSpmm` / `CudaCoreSddmm`) with injection suppressed.
+/// up to `max_retries` times with the [`RetryPolicy`]'s seeded exponential
+/// backoff charged as a `retry_backoff` span. A fault that survives its
+/// retries, plus every persistent fault, degrades the op: the same
+/// computation reruns on the CUDA-core fallback kernel (`CusparseCsrSpmm` /
+/// `CudaCoreSddmm`) with injection suppressed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryPolicy {
     /// Retry budget per op for transient faults.
     pub max_retries: u32,
-    /// Simulated backoff before retry `k` is `k * backoff_ms`.
-    pub backoff_ms: f64,
+    /// Backoff schedule. The default (base 0.05 ms, multiplier 2, no
+    /// jitter) reproduces the historical linear `0.05 * attempt`
+    /// milliseconds bit-for-bit within the default retry budget.
+    pub backoff: RetryPolicy,
     /// Whether to scan kernel reports for consumed ECC bit flips and
     /// degrade the op (discarding the poisoned output). With the scan off,
     /// NaN-poisoned results propagate to the caller — the trainer's
@@ -134,7 +137,7 @@ impl Default for RecoveryPolicy {
     fn default() -> Self {
         RecoveryPolicy {
             max_retries: 2,
-            backoff_ms: 0.05,
+            backoff: RetryPolicy::default(),
             ecc_scan: true,
         }
     }
@@ -335,46 +338,6 @@ impl Engine {
         }
     }
 
-    /// Binds `csr` (must be symmetric — GNN graphs are) to a backend.
-    ///
-    /// A non-symmetric graph is reported as [`TcgError::InvalidInput`];
-    /// earlier revisions panicked here, which made the only infallible
-    /// constructor a liability for anything ingesting untrusted graphs.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Engine::builder(csr).backend(..).build()`"
-    )]
-    pub fn new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
-        Engine::builder(csr).backend(backend).device(device).build()
-    }
-
-    /// See [`Engine::builder`]; kept as a one-PR migration shim.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Engine::builder(csr).backend(..).build()`"
-    )]
-    pub fn try_new(backend: Backend, csr: CsrGraph, device: DeviceSpec) -> Result<Self, TcgError> {
-        Engine::builder(csr).backend(backend).device(device).build()
-    }
-
-    /// See [`EngineBuilder::translation`]; kept as a one-PR migration shim.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Engine::builder(csr).backend(..).translation(..).build()`"
-    )]
-    pub fn with_translation(
-        backend: Backend,
-        csr: CsrGraph,
-        device: DeviceSpec,
-        translation: tcg_sgt::TranslatedGraph,
-    ) -> Result<Self, TcgError> {
-        Engine::builder(csr)
-            .backend(backend)
-            .device(device)
-            .translation(translation)
-            .build()
-    }
-
     /// Worker threads the launcher fans block bodies over (1 = sequential).
     pub fn threads(&self) -> usize {
         self.launcher.threads()
@@ -456,6 +419,20 @@ impl Engine {
         self.recovery
     }
 
+    /// Enables (or disables) the simulated device's per-launch virtual-time
+    /// log. While enabled, every completed kernel launch appends its modeled
+    /// milliseconds — the checkpoint granularity at which the serving
+    /// layer's deadline cancellation can charge a partially-executed batch.
+    pub fn set_launch_log(&mut self, on: bool) {
+        self.launcher.set_launch_log(on);
+    }
+
+    /// Drains the accumulated per-launch milliseconds (empty when the log
+    /// is disabled), in launch-completion order.
+    pub fn take_launch_log(&mut self) -> Vec<f64> {
+        self.launcher.take_launch_log()
+    }
+
     /// Forces (or releases) the CUDA-core fallback path for every op. While
     /// forced, fault injection is suppressed *without consuming RNG draws*,
     /// so a rollback replay leaves the fault schedule of subsequent epochs
@@ -503,7 +480,11 @@ impl Engine {
         if err.is_transient() && *attempt < self.recovery.max_retries {
             *attempt += 1;
             self.retried += 1;
-            let backoff = self.recovery.backoff_ms * f64::from(*attempt);
+            // `retried` is the engine-global retry sequence number, so with
+            // jitter enabled each retry event draws a distinct (but pure)
+            // delay; with the default jitter-free policy this reproduces the
+            // historical linear schedule bit-for-bit.
+            let backoff = self.recovery.backoff.delay_ms(self.retried, *attempt);
             self.prof_span("retry_backoff", phase, backoff);
             *extra_ms += backoff;
             return Ok(true);
@@ -1207,19 +1188,6 @@ mod tests {
             Ok(_) => panic!("asymmetric graph must be rejected"),
         };
         assert!(matches!(err, TcgError::InvalidInput { .. }), "{err:?}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_return_errors_not_panics() {
-        let g = CsrGraph::from_raw(3, vec![0, 1, 1, 1], vec![1]).unwrap();
-        for res in [
-            Engine::new(Backend::DglLike, g.clone(), DeviceSpec::rtx3090()),
-            Engine::try_new(Backend::TcGnn, g.clone(), DeviceSpec::rtx3090()),
-        ] {
-            let err = res.err().expect("asymmetric graph must be rejected");
-            assert!(matches!(err, TcgError::InvalidInput { .. }), "{err:?}");
-        }
     }
 
     #[test]

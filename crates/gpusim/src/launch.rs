@@ -408,6 +408,7 @@ pub struct Launcher {
     fault_plan: Option<FaultPlan>,
     ecc_armed: bool,
     threads: usize,
+    launch_log: Option<Vec<f64>>,
 }
 
 impl Launcher {
@@ -425,6 +426,24 @@ impl Launcher {
             fault_plan: None,
             ecc_armed: false,
             threads: crate::par::threads_from_env(),
+            launch_log: None,
+        }
+    }
+
+    /// Enables (or disables) the per-launch virtual-time log. While enabled,
+    /// every completed launch appends its modeled kernel milliseconds to the
+    /// log — the checkpoint granularity deadline cancellation charges partial
+    /// batches at. Disabling clears any accumulated entries.
+    pub fn set_launch_log(&mut self, on: bool) {
+        self.launch_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the accumulated per-launch milliseconds (empty when the log
+    /// is disabled). Entries are in launch-completion order.
+    pub fn take_launch_log(&mut self) -> Vec<f64> {
+        match self.launch_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -613,6 +632,9 @@ impl Launcher {
         // An armed flip no tensor-core op consumed (e.g. a CUDA-core
         // kernel) must not leak into the next launch.
         self.ecc_armed = false;
+        if let Some(log) = self.launch_log.as_mut() {
+            log.push(cost::analyze(&self.device, &stats).time_ms);
+        }
         stats
     }
 
@@ -754,6 +776,11 @@ impl Launcher {
             total.merge(&stats);
         }
         self.ecc_armed = false;
+        // The sequential fallback above logs inside `launch`; this is the
+        // parallel path's single completion point.
+        if let Some(log) = self.launch_log.as_mut() {
+            log.push(cost::analyze(&self.device, &total).time_ms);
+        }
         total
     }
 

@@ -68,6 +68,9 @@ pub enum EventKind {
     /// A graceful degradation to the CUDA-core fallback path. Zero
     /// duration; the fallback kernel's own event carries the time.
     Fallback,
+    /// A circuit-breaker state transition (closed/open/half-open). Zero
+    /// duration: rendered as an instant marker on the timeline.
+    Breaker,
 }
 
 impl EventKind {
@@ -78,12 +81,16 @@ impl EventKind {
             EventKind::Span => "span",
             EventKind::Fault => "fault",
             EventKind::Fallback => "fallback",
+            EventKind::Breaker => "breaker",
         }
     }
 
     /// Whether the event is a zero-duration marker rather than a span.
     pub fn is_instant(&self) -> bool {
-        matches!(self, EventKind::Fault | EventKind::Fallback)
+        matches!(
+            self,
+            EventKind::Fault | EventKind::Fallback | EventKind::Breaker
+        )
     }
 }
 
@@ -143,8 +150,10 @@ mod tests {
     fn kind_labels_and_instants() {
         assert!(EventKind::Fault.is_instant());
         assert!(EventKind::Fallback.is_instant());
+        assert!(EventKind::Breaker.is_instant());
         assert!(!EventKind::Kernel.is_instant());
         assert_eq!(EventKind::Fallback.label(), "fallback");
+        assert_eq!(EventKind::Breaker.label(), "breaker");
     }
 
     #[test]

@@ -279,6 +279,12 @@ impl Profiler {
         self.push_marker(name, EventKind::Fallback, phase, 0.0);
     }
 
+    /// Records a circuit-breaker state transition as a zero-duration
+    /// marker (e.g. `"breaker:closed->open"`).
+    pub fn record_breaker(&mut self, name: &str, phase: Phase) {
+        self.push_marker(name, EventKind::Breaker, phase, 0.0);
+    }
+
     /// Records a span on a stream's virtual timeline.
     ///
     /// Stream spans are stored apart from the phase events: phase events

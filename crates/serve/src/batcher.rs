@@ -77,6 +77,14 @@ impl Batcher {
         self.policy
     }
 
+    /// Re-targets the size trigger (clamped to at least 1) — the brownout
+    /// ladder's first rung shrinks batches to cut queueing delay. Open
+    /// batches are not retroactively sealed; the new bound applies from the
+    /// next [`Batcher::offer`] on.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.policy.max_batch = max_batch.max(1);
+    }
+
     /// Requests currently queued in open batches — the admission queue's
     /// occupancy.
     pub fn pending(&self) -> usize {
@@ -168,7 +176,22 @@ mod tests {
             graph,
             node: id as usize,
             deadline_ms: None,
+            priority: crate::request::Priority::Normal,
         }
+    }
+
+    #[test]
+    fn set_max_batch_applies_to_subsequent_offers() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 100.0,
+        });
+        assert!(b.offer(req(0, 0.0, 0)).is_none());
+        b.set_max_batch(2);
+        let closed = b.offer(req(1, 1.0, 0)).expect("shrunk bound seals at 2");
+        assert_eq!(closed.requests.len(), 2);
+        b.set_max_batch(0);
+        assert_eq!(b.policy().max_batch, 1, "clamped to at least 1");
     }
 
     #[test]

@@ -20,6 +20,21 @@ pub struct CachedTranslation {
     pub translation: Arc<TranslatedGraph>,
     /// Modeled Algorithm 1 cost in milliseconds (what a hit saves).
     pub sgt_ms: f64,
+    /// Content checksum recorded at insertion; a resident translation whose
+    /// recomputed checksum disagrees has been poisoned and is quarantined.
+    pub checksum: u64,
+}
+
+impl CachedTranslation {
+    /// Wraps a translation, recording its integrity checksum.
+    pub fn new(translation: Arc<TranslatedGraph>, sgt_ms: f64) -> Self {
+        let checksum = translation.checksum();
+        CachedTranslation {
+            translation,
+            sgt_ms,
+            checksum,
+        }
+    }
 }
 
 /// Amortization accounting mirroring Fig. 7(b), exported in serve reports.
@@ -35,6 +50,11 @@ pub struct CacheStats {
     pub translation_ms_paid: f64,
     /// Translation milliseconds avoided (on hits).
     pub translation_ms_saved: f64,
+    /// Cache hits whose resident translation failed its integrity check.
+    pub poison_detected: u64,
+    /// Poisoned entries that were quarantined and transparently
+    /// retranslated (the `cache_poison_recovered` metric).
+    pub poison_recovered: u64,
 }
 
 impl CacheStats {
@@ -59,6 +79,14 @@ pub struct TranslationCache {
     capacity: usize,
     entries: Vec<(u64, CachedTranslation)>,
     stats: CacheStats,
+    /// Every `n`th verified hit additionally runs the full `O(E)`
+    /// [`TranslatedGraph::validate`] pass (0 = checksum-only).
+    spot_check_every: u64,
+    /// Hits observed through [`TranslationCache::get_or_translate`], for
+    /// the spot-check sampler.
+    hit_seq: u64,
+    /// Fingerprints whose resident translation was found poisoned.
+    quarantined: Vec<u64>,
 }
 
 impl TranslationCache {
@@ -70,6 +98,41 @@ impl TranslationCache {
             capacity,
             entries: Vec::new(),
             stats: CacheStats::default(),
+            spot_check_every: 0,
+            hit_seq: 0,
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Sets the spot-check sampling knob: every `n`th cache hit resolved
+    /// through [`TranslationCache::get_or_translate`] runs the full
+    /// [`TranslatedGraph::validate`] pass on top of the always-on checksum
+    /// verification. `0` (the default) disables the full pass.
+    pub fn set_spot_check_every(&mut self, n: u64) {
+        self.spot_check_every = n;
+    }
+
+    /// Fingerprints quarantined after failing integrity verification, in
+    /// detection order.
+    pub fn quarantined(&self) -> &[u64] {
+        &self.quarantined
+    }
+
+    /// Chaos hook: mutates the resident translation under `fingerprint` in
+    /// place (the recorded checksum is deliberately left stale, exactly
+    /// like a bit flip landing in cached memory). Returns whether an entry
+    /// was resident to poison.
+    pub fn corrupt_resident(
+        &mut self,
+        fingerprint: u64,
+        f: impl FnOnce(&mut TranslatedGraph),
+    ) -> bool {
+        match self.entries.iter_mut().find(|(fp, _)| *fp == fingerprint) {
+            Some((_, cached)) => {
+                f(Arc::make_mut(&mut cached.translation));
+                true
+            }
+            None => false,
         }
     }
 
@@ -143,23 +206,50 @@ impl TranslationCache {
     /// translation cost. The boolean reports whether this was a hit, so
     /// callers can attribute latency and trace spans.
     ///
+    /// Every hit verifies the resident translation's content checksum (and,
+    /// every `spot_check_every`th hit, the full
+    /// [`TranslatedGraph::validate`] pass). A poisoned entry is quarantined:
+    /// its fingerprint is recorded, the entry is dropped, and the graph is
+    /// transparently retranslated and re-cached — accounted as a miss plus
+    /// a `poison_recovered` event, never served.
+    ///
     /// This is the single chokepoint through which serving resolves
     /// translations — the differential oracle exercises exactly this path as
     /// its "cached-translation" backend.
     pub fn get_or_translate(&mut self, csr: &CsrGraph) -> (Arc<TranslatedGraph>, f64, bool) {
         let fp = csr.fingerprint();
-        if let Some(hit) = self.lookup(fp) {
-            return (hit.translation, 0.0, true);
+        let mut recovered_poison = false;
+        if let Some(pos) = self.entries.iter().position(|(f, _)| *f == fp) {
+            self.hit_seq += 1;
+            let cached = &self.entries[pos].1;
+            let clean = cached.translation.checksum() == cached.checksum
+                && (self.spot_check_every == 0
+                    || !self.hit_seq.is_multiple_of(self.spot_check_every)
+                    || cached.translation.validate(csr).is_ok());
+            if clean {
+                // Identical accounting to `lookup`: refresh recency, count
+                // the hit, accrue the saved translation milliseconds.
+                let entry = self.entries.remove(pos);
+                let translation = Arc::clone(&entry.1.translation);
+                self.stats.hits += 1;
+                self.stats.translation_ms_saved += entry.1.sgt_ms;
+                self.entries.push(entry);
+                return (translation, 0.0, true);
+            }
+            // Poisoned: quarantine the fingerprint and fall through to the
+            // miss path, which retranslates and re-caches a clean entry.
+            self.stats.poison_detected += 1;
+            self.quarantined.push(fp);
+            self.entries.remove(pos);
+            recovered_poison = true;
         }
+        self.stats.misses += 1;
         let translation = Arc::new(tcg_sgt::translate(csr));
         let sgt_ms = tcg_sgt::overhead::model_ms(csr);
-        self.insert(
-            fp,
-            CachedTranslation {
-                translation: Arc::clone(&translation),
-                sgt_ms,
-            },
-        );
+        self.insert(fp, CachedTranslation::new(Arc::clone(&translation), sgt_ms));
+        if recovered_poison {
+            self.stats.poison_recovered += 1;
+        }
         (translation, sgt_ms, false)
     }
 }
@@ -170,10 +260,7 @@ mod tests {
 
     fn entry(ms: f64) -> CachedTranslation {
         let g = tcg_graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).unwrap();
-        CachedTranslation {
-            translation: Arc::new(tcg_sgt::translate(&g)),
-            sgt_ms: ms,
-        }
+        CachedTranslation::new(Arc::new(tcg_sgt::translate(&g)), ms)
     }
 
     #[test]
@@ -192,6 +279,48 @@ mod tests {
         assert_eq!(s.translation_ms_paid, 13.0);
         assert_eq!(s.translation_ms_saved, 5.0);
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_hit_is_quarantined_and_retranslated() {
+        let g = tcg_graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).unwrap();
+        let fp = g.fingerprint();
+        let mut c = TranslationCache::new(2);
+        let (_, _, hit) = c.get_or_translate(&g);
+        assert!(!hit);
+        assert!(c.corrupt_resident(fp, |t| t.edge_to_col[0] ^= 1));
+        // The poisoned hit is detected, quarantined, and recovered as a
+        // transparent retranslation.
+        let (t, paid, hit) = c.get_or_translate(&g);
+        assert!(!hit, "poisoned entry must not be served as a hit");
+        assert!(paid > 0.0, "recovery pays the translation again");
+        assert!(t.validate(&g).is_ok(), "recovered translation is clean");
+        let s = c.stats();
+        assert_eq!((s.poison_detected, s.poison_recovered), (1, 1));
+        assert_eq!(c.quarantined(), &[fp]);
+        // The re-cached entry is clean: the next access is a normal hit.
+        let (_, paid, hit) = c.get_or_translate(&g);
+        assert!(hit);
+        assert_eq!(paid, 0.0);
+    }
+
+    #[test]
+    fn spot_check_catches_semantic_corruption() {
+        // A corruption that keeps the checksum in sync (re-wrapping through
+        // `CachedTranslation::new`) is only caught by the sampled full
+        // validate pass.
+        let g = tcg_graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).unwrap();
+        let fp = g.fingerprint();
+        let mut c = TranslationCache::new(2);
+        c.set_spot_check_every(1);
+        let (_, _, hit) = c.get_or_translate(&g);
+        assert!(!hit);
+        let mut t = tcg_sgt::translate(&g);
+        t.edge_to_col[0] = 7; // out of range → validate() fails
+        c.insert(fp, CachedTranslation::new(Arc::new(t), 1.0));
+        let (_, _, hit) = c.get_or_translate(&g);
+        assert!(!hit, "spot check must catch the bad translation");
+        assert_eq!(c.stats().poison_detected, 1);
     }
 
     #[test]

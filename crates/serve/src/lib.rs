@@ -18,8 +18,12 @@
 //!   lands as a separate Perfetto track. Injected device faults are
 //!   absorbed by the engine's retry + TCU→CUDA-core degradation, so chaos
 //!   slows batches down instead of failing requests.
-//! - [`loadgen`]: seeded Poisson arrival traces for closed-loop
-//!   benchmarking.
+//! - [`resilience`]: the failure-containment layer — deadline propagation
+//!   with checkpoint cancellation, per-stream circuit breakers over the
+//!   TCU→CUDA-core degradation path, a brownout load-shedding ladder with
+//!   priority classes, and poisoned-translation quarantine in the cache.
+//! - [`loadgen`]: seeded Poisson arrival traces (optionally with a
+//!   priority mix) for closed-loop benchmarking.
 //!
 //! Everything runs in *virtual* (simulated) time and is deterministic: the
 //! same session, config, and trace produce byte-identical per-stream
@@ -33,6 +37,7 @@ pub mod metrics;
 pub mod model;
 pub mod report;
 pub mod request;
+pub mod resilience;
 pub mod server;
 
 pub use batcher::{BatchPolicy, Batcher, ClosedBatch};
@@ -40,7 +45,11 @@ pub use cache::{CacheStats, CachedTranslation, TranslationCache};
 pub use loadgen::{poisson_trace, LoadgenConfig};
 pub use metrics::{parse_prometheus, prometheus_text, render_top, RedMetrics};
 pub use model::ServableModel;
-pub use request::{Outcome, Request, Response};
+pub use request::{CancelStage, Outcome, Priority, Request, Response, ShedReason};
+pub use resilience::{BrownoutConfig, BrownoutStats, ResilienceConfig, ResilienceSummary};
+// Re-exported so `ServeConfig { fault, .. }` and breaker knobs can be
+// filled in without a direct `tcg-fault` dependency.
 pub use server::{
     serve, QueueDepth, ServeConfig, ServeReport, ServedGraph, Session, StreamSummary,
 };
+pub use tcg_fault::{BreakerConfig, FaultConfig};

@@ -4,7 +4,7 @@
 
 use rand::{Rng, SeedableRng, StdRng};
 
-use crate::request::Request;
+use crate::request::{Priority, Request};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -17,6 +17,13 @@ pub struct LoadgenConfig {
     pub deadline_ms: Option<f64>,
     /// RNG seed; same seed + same graph shapes → identical trace.
     pub seed: u64,
+    /// Every `n`th request (by id) is [`Priority::Low`]; `0` = never.
+    /// Derived from the id, not the RNG, so enabling a priority mix leaves
+    /// arrival times and node picks bit-identical.
+    pub low_every: u64,
+    /// Every `n`th request (by id) is [`Priority::Critical`]; `0` = never.
+    /// Checked before `low_every` when both fire on the same id.
+    pub critical_every: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -26,6 +33,21 @@ impl Default for LoadgenConfig {
             requests: 64,
             deadline_ms: None,
             seed: 7,
+            low_every: 0,
+            critical_every: 0,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The priority class request `id` gets under this config.
+    fn priority_of(&self, id: u64) -> Priority {
+        if self.critical_every > 0 && id.is_multiple_of(self.critical_every) {
+            Priority::Critical
+        } else if self.low_every > 0 && id.is_multiple_of(self.low_every) {
+            Priority::Low
+        } else {
+            Priority::Normal
         }
     }
 }
@@ -54,6 +76,7 @@ pub fn poisson_trace(graph_sizes: &[usize], cfg: &LoadgenConfig) -> Vec<Request>
             graph,
             node,
             deadline_ms: cfg.deadline_ms,
+            priority: cfg.priority_of(id),
         });
     }
     trace
@@ -70,6 +93,7 @@ mod tests {
             requests: 200,
             deadline_ms: Some(50.0),
             seed: 42,
+            ..LoadgenConfig::default()
         };
         let a = poisson_trace(&[100, 64], &cfg);
         let b = poisson_trace(&[100, 64], &cfg);
@@ -83,6 +107,31 @@ mod tests {
         // req/s); a loose band keeps the test robust to RNG detail.
         let mean_gap = a.last().unwrap().arrival_ms / a.len() as f64;
         assert!((0.5..8.0).contains(&mean_gap), "mean gap {mean_gap} ms");
+    }
+
+    #[test]
+    fn priority_mix_does_not_perturb_arrivals() {
+        let base = LoadgenConfig {
+            requests: 30,
+            ..LoadgenConfig::default()
+        };
+        let plain = poisson_trace(&[50], &base);
+        let mixed = poisson_trace(
+            &[50],
+            &LoadgenConfig {
+                low_every: 3,
+                critical_every: 10,
+                ..base
+            },
+        );
+        for (p, m) in plain.iter().zip(&mixed) {
+            assert_eq!(p.arrival_ms.to_bits(), m.arrival_ms.to_bits());
+            assert_eq!((p.graph, p.node), (m.graph, m.node));
+        }
+        assert_eq!(mixed[0].priority, Priority::Critical, "critical wins ties");
+        assert_eq!(mixed[3].priority, Priority::Low);
+        assert_eq!(mixed[1].priority, Priority::Normal);
+        assert!(plain.iter().all(|r| r.priority == Priority::Normal));
     }
 
     #[test]

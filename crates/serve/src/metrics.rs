@@ -31,6 +31,8 @@ pub struct RedMetrics {
     pub late: u64,
     /// Shed at admission.
     pub shed: u64,
+    /// Cancelled at a checkpoint boundary after their deadline died.
+    pub cancelled: u64,
     /// Cumulative latency distribution over answered requests.
     pub latency: StreamingHistogram,
 }
@@ -45,6 +47,7 @@ impl RedMetrics {
             on_time: 0,
             late: 0,
             shed: 0,
+            cancelled: 0,
             latency: StreamingHistogram::new(),
         }
     }
@@ -56,6 +59,7 @@ impl RedMetrics {
             Outcome::Served { .. } => self.on_time += 1,
             Outcome::Late { .. } => self.late += 1,
             Outcome::Shed { .. } => self.shed += 1,
+            Outcome::Cancelled { .. } => self.cancelled += 1,
         }
         if let Some(ms) = response.outcome.latency_ms() {
             self.latency.record(ms);
@@ -73,7 +77,11 @@ impl RedMetrics {
 
     /// Error counts by taxonomy label, alphabetical.
     pub fn errors(&self) -> Vec<(&'static str, u64)> {
-        vec![("deadline_exceeded", self.late), ("queue_full", self.shed)]
+        vec![
+            ("cancelled", self.cancelled),
+            ("deadline_exceeded", self.late),
+            ("queue_full", self.shed),
+        ]
     }
 
     /// Quantile over the rolling window (the last `window` answers), via
@@ -228,6 +236,97 @@ pub fn prometheus_text(report: &ServeReport) -> String {
     );
     metric(
         &mut out,
+        "tcg_serve_cache_poison_total",
+        "counter",
+        "Poisoned translation-cache entries detected and recovered.",
+        &[
+            (
+                "{event=\"detected\"}".to_string(),
+                report.cache.poison_detected as f64,
+            ),
+            (
+                "{event=\"recovered\"}".to_string(),
+                report.cache.poison_recovered as f64,
+            ),
+        ],
+    );
+    // Resilience families are emitted unconditionally (zeros when the
+    // layer is off) so scrape schemas stay stable across configs.
+    let rs = report.resilience.unwrap_or_default();
+    metric(
+        &mut out,
+        "tcg_serve_cancelled_total",
+        "counter",
+        "Requests cancelled at a checkpoint boundary, by stage.",
+        &[
+            (
+                "{stage=\"pre_translate\"}".to_string(),
+                rs.cancelled_pre_translate as f64,
+            ),
+            (
+                "{stage=\"pre_launch\"}".to_string(),
+                rs.cancelled_pre_launch as f64,
+            ),
+            (
+                "{stage=\"kernel_boundary\"}".to_string(),
+                rs.cancelled_kernel_boundary as f64,
+            ),
+        ],
+    );
+    metric(
+        &mut out,
+        "tcg_serve_breaker_events_total",
+        "counter",
+        "Circuit-breaker events summed over streams.",
+        &[
+            ("{event=\"opened\"}".to_string(), rs.breaker.opened as f64),
+            (
+                "{event=\"reopened\"}".to_string(),
+                rs.breaker.reopened as f64,
+            ),
+            (
+                "{event=\"half_open_probe\"}".to_string(),
+                rs.breaker.half_open_probes as f64,
+            ),
+            ("{event=\"closed\"}".to_string(), rs.breaker.closed as f64),
+            (
+                "{event=\"rerouted_batch\"}".to_string(),
+                rs.breaker.rerouted_batches as f64,
+            ),
+        ],
+    );
+    metric(
+        &mut out,
+        "tcg_serve_breaker_transitions_total",
+        "counter",
+        "Circuit-breaker state transitions summed over streams.",
+        &plain(rs.breaker_transitions as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_brownout_max_level",
+        "gauge",
+        "Highest brownout ladder level reached.",
+        &plain(rs.brownout.max_level as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_brownout_shed_total",
+        "counter",
+        "Requests shed by the brownout ladder, by priority.",
+        &[
+            (
+                "{priority=\"low\"}".to_string(),
+                rs.brownout.shed_low as f64,
+            ),
+            (
+                "{priority=\"normal\"}".to_string(),
+                rs.brownout.shed_normal as f64,
+            ),
+        ],
+    );
+    metric(
+        &mut out,
         "tcg_serve_faults_total",
         "counter",
         "Injected device faults by kind.",
@@ -317,12 +416,13 @@ pub fn render_top(report: &ServeReport) -> String {
         report.backend, report.model, report.streams
     ));
     out.push_str(&format!(
-        "  requests  {:>6} total | {} answered | {} on-time | {} late | {} shed | {} failed\n",
+        "  requests  {:>6} total | {} answered | {} on-time | {} late | {} shed | {} cancelled | {} failed\n",
         report.total_requests,
         report.answered,
         report.on_time,
         report.late,
         report.shed,
+        report.cancelled,
         report.failed
     ));
     out.push_str(&format!(
@@ -362,6 +462,17 @@ pub fn render_top(report: &ServeReport) -> String {
         report.faults.retried,
         report.faults.degraded
     ));
+    if let Some(rs) = &report.resilience {
+        out.push_str(&format!(
+            "  resil.    breaker {} opened / {} rerouted | brownout L{} max ({} low + {} normal shed) | {} poison recovered\n",
+            rs.breaker.opened,
+            rs.breaker.rerouted_batches,
+            rs.brownout.max_level,
+            rs.brownout.shed_low,
+            rs.brownout.shed_normal,
+            report.cache.poison_recovered
+        ));
+    }
     for st in &report.per_stream {
         out.push_str(&format!(
             "  stream {}  {:>4} launches | {:>10.2} ms busy | drained at {:.2} ms\n",
@@ -374,6 +485,7 @@ pub fn render_top(report: &ServeReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::{CancelStage, ShedReason};
     use crate::server::QueueDepth;
     use tcg_fault::FaultReport;
 
@@ -396,13 +508,23 @@ mod tests {
             },
             Response {
                 id: 2,
-                outcome: Outcome::Shed { queue_capacity: 4 },
+                outcome: Outcome::Shed {
+                    reason: ShedReason::QueueFull { capacity: 4 },
+                },
             },
             Response {
                 id: 3,
                 outcome: Outcome::Served {
                     class: 2,
                     latency_ms: 4.0,
+                },
+            },
+            Response {
+                id: 4,
+                outcome: Outcome::Cancelled {
+                    stage: CancelStage::PreLaunch,
+                    deadline_ms: 5.0,
+                    cancelled_at_ms: 6.0,
                 },
             },
         ];
@@ -418,11 +540,12 @@ mod tests {
             backend: "TC-GNN",
             model: "gcn",
             streams: 2,
-            total_requests: 4,
+            total_requests: 5,
             answered: 3,
             on_time: 2,
             late: 1,
             shed: 1,
+            cancelled: 1,
             failed: 0,
             batches: 2,
             mean_batch_size: 1.5,
@@ -435,6 +558,8 @@ mod tests {
                 evictions: 0,
                 translation_ms_paid: 3.0,
                 translation_ms_saved: 3.0,
+                poison_detected: 1,
+                poison_recovered: 1,
             },
             faults: FaultReport::default(),
             queue,
@@ -452,6 +577,10 @@ mod tests {
                     end_ms: 20.0,
                 },
             ],
+            resilience: Some(crate::resilience::ResilienceSummary {
+                cancelled_pre_launch: 1,
+                ..Default::default()
+            }),
             responses,
         }
     }
@@ -459,11 +588,15 @@ mod tests {
     #[test]
     fn red_metrics_fold_the_error_taxonomy_and_rolling_quantiles() {
         let red = RedMetrics::from_report(&sample_report(), 2);
-        assert_eq!(red.requests, 4);
+        assert_eq!(red.requests, 5);
         assert_eq!(red.answered(), 3);
         assert_eq!(
             red.errors(),
-            vec![("deadline_exceeded", 1), ("queue_full", 1)]
+            vec![
+                ("cancelled", 1),
+                ("deadline_exceeded", 1),
+                ("queue_full", 1)
+            ]
         );
         // Window of 2 holds [9.0, 4.0]: p50 = 4.0, p99 = 9.0.
         assert_eq!(red.rolling_quantile(0.5), 4.0);
@@ -476,12 +609,33 @@ mod tests {
     fn prometheus_text_is_schema_valid_and_carries_the_red_series() {
         let text = prometheus_text(&sample_report());
         let samples = parse_prometheus(&text).expect("schema-valid exposition");
-        assert_eq!(samples["tcg_serve_requests_total"], 4.0);
+        assert_eq!(samples["tcg_serve_requests_total"], 5.0);
         assert_eq!(samples["tcg_serve_answered_total"], 3.0);
         assert_eq!(samples["tcg_serve_errors_total{error=\"queue_full\"}"], 1.0);
         assert_eq!(
             samples["tcg_serve_errors_total{error=\"deadline_exceeded\"}"],
             1.0
+        );
+        assert_eq!(samples["tcg_serve_errors_total{error=\"cancelled\"}"], 1.0);
+        assert_eq!(
+            samples["tcg_serve_cancelled_total{stage=\"pre_launch\"}"],
+            1.0
+        );
+        assert_eq!(
+            samples["tcg_serve_cancelled_total{stage=\"kernel_boundary\"}"],
+            0.0
+        );
+        assert_eq!(
+            samples["tcg_serve_cache_poison_total{event=\"recovered\"}"],
+            1.0
+        );
+        assert_eq!(
+            samples["tcg_serve_breaker_events_total{event=\"opened\"}"],
+            0.0
+        );
+        assert_eq!(
+            samples["tcg_serve_brownout_shed_total{priority=\"low\"}"],
+            0.0
         );
         assert_eq!(samples["tcg_serve_latency_ms_count"], 3.0);
         assert_eq!(samples["tcg_serve_queue_depth_max"], 4.0);
@@ -525,6 +679,9 @@ mod tests {
             "stream 1",
             "deadline_exceeded 1",
             "queue_full 1",
+            "cancelled 1",
+            "resil.",
+            "1 poison recovered",
         ] {
             assert!(top.contains(needle), "missing {needle:?} in:\n{top}");
         }

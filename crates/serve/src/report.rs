@@ -44,6 +44,14 @@ impl ServeReport {
                 "translation_ms_saved",
                 Value::Float(self.cache.translation_ms_saved),
             ),
+            (
+                "poison_detected",
+                Value::UInt(self.cache.poison_detected as u128),
+            ),
+            (
+                "poison_recovered",
+                Value::UInt(self.cache.poison_recovered as u128),
+            ),
         ]);
         let faults = obj(vec![
             (
@@ -74,6 +82,7 @@ impl ServeReport {
             ("on_time", Value::UInt(self.on_time as u128)),
             ("late", Value::UInt(self.late as u128)),
             ("shed", Value::UInt(self.shed as u128)),
+            ("cancelled", Value::UInt(self.cancelled as u128)),
             ("failed", Value::UInt(self.failed as u128)),
             ("batches", Value::UInt(self.batches as u128)),
             ("mean_batch_size", Value::Float(self.mean_batch_size)),
@@ -91,6 +100,55 @@ impl ServeReport {
                 ]),
             ),
             ("per_stream", Value::Array(streams)),
+            (
+                "resilience",
+                match &self.resilience {
+                    None => Value::Null,
+                    Some(rs) => obj(vec![
+                        (
+                            "cancelled_pre_translate",
+                            Value::UInt(rs.cancelled_pre_translate as u128),
+                        ),
+                        (
+                            "cancelled_pre_launch",
+                            Value::UInt(rs.cancelled_pre_launch as u128),
+                        ),
+                        (
+                            "cancelled_kernel_boundary",
+                            Value::UInt(rs.cancelled_kernel_boundary as u128),
+                        ),
+                        (
+                            "brownout",
+                            obj(vec![
+                                (
+                                    "level_changes",
+                                    Value::UInt(rs.brownout.level_changes as u128),
+                                ),
+                                ("max_level", Value::UInt(rs.brownout.max_level as u128)),
+                                ("shed_low", Value::UInt(rs.brownout.shed_low as u128)),
+                                ("shed_normal", Value::UInt(rs.brownout.shed_normal as u128)),
+                            ]),
+                        ),
+                        (
+                            "breaker",
+                            obj(vec![
+                                ("opened", Value::UInt(rs.breaker.opened as u128)),
+                                ("reopened", Value::UInt(rs.breaker.reopened as u128)),
+                                (
+                                    "half_open_probes",
+                                    Value::UInt(rs.breaker.half_open_probes as u128),
+                                ),
+                                ("closed", Value::UInt(rs.breaker.closed as u128)),
+                                (
+                                    "rerouted_batches",
+                                    Value::UInt(rs.breaker.rerouted_batches as u128),
+                                ),
+                                ("transitions", Value::UInt(rs.breaker_transitions as u128)),
+                            ]),
+                        ),
+                    ]),
+                },
+            ),
         ])
     }
 
@@ -102,7 +160,7 @@ impl ServeReport {
     /// One human line for CLI/CI logs.
     pub fn summary_line(&self) -> String {
         format!(
-            "{} {} | {} req → {} answered ({} late, {} shed, {} failed) in {} batches | \
+            "{} {} | {} req → {} answered ({} late, {} shed, {} cancelled, {} failed) in {} batches | \
              p50 {:.3} ms p99 {:.3} ms | {:.1} req/s | cache {}h/{}m | faults {} (degraded {})",
             self.backend,
             self.model,
@@ -110,6 +168,7 @@ impl ServeReport {
             self.answered,
             self.late,
             self.shed,
+            self.cancelled,
             self.failed,
             self.batches,
             self.latency.p50(),

@@ -1,5 +1,80 @@
 //! Request and response types of the serving layer.
 
+/// Priority class of a request, driving the brownout shedding ladder.
+///
+/// Ordering matters: `Low < Normal < Critical` (derived from variant
+/// order), so shedding thresholds compare directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Best-effort traffic: first to shed under brownout.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Never shed by brownout (only the hard `QueueFull` backstop applies).
+    Critical,
+}
+
+impl Priority {
+    /// Stable lowercase label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::Critical => "critical",
+        }
+    }
+}
+
+/// The checkpoint boundary at which a dead request was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelStage {
+    /// Cancelled before SGT translation was resolved for its batch.
+    PreTranslate,
+    /// Cancelled after batch formation but before any kernel was launched.
+    PreLaunch,
+    /// Cancelled between row-window kernel launches: the batch's remaining
+    /// launches were not charged to the stream.
+    KernelBoundary,
+}
+
+impl CancelStage {
+    /// Stable lowercase label for traces, reports, and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CancelStage::PreTranslate => "pre_translate",
+            CancelStage::PreLaunch => "pre_launch",
+            CancelStage::KernelBoundary => "kernel_boundary",
+        }
+    }
+
+    /// All stages, in pipeline order (the order metrics enumerate).
+    pub fn all() -> [CancelStage; 3] {
+        [
+            CancelStage::PreTranslate,
+            CancelStage::PreLaunch,
+            CancelStage::KernelBoundary,
+        ]
+    }
+}
+
+/// Why a request was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full (the hard backstop).
+    QueueFull {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The brownout ladder shed this priority class under overload.
+    Brownout {
+        /// Ladder level in force when the request arrived (1..=3).
+        level: u8,
+        /// The request's priority class.
+        priority: Priority,
+    },
+}
+
 /// One node-classification request against a session graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -12,8 +87,19 @@ pub struct Request {
     /// Node whose class is requested.
     pub node: usize,
     /// Optional latency budget; exceeding it marks the response late (the
-    /// answer is still produced — late, not lost).
+    /// answer is still produced — late, not lost — unless deadline
+    /// cancellation reclaims the work first).
     pub deadline_ms: Option<f64>,
+    /// Priority class for brownout shedding.
+    pub priority: Priority,
+}
+
+impl Request {
+    /// The absolute virtual time at which this request's deadline dies,
+    /// when it carries one.
+    pub fn deadline_at_ms(&self) -> Option<f64> {
+        self.deadline_ms.map(|d| self.arrival_ms + d)
+    }
 }
 
 /// How a request left the system.
@@ -35,18 +121,29 @@ pub enum Outcome {
         /// The budget that was exceeded.
         deadline_ms: f64,
     },
-    /// Shed at admission: the bounded queue was full
-    /// ([`tcg_fault::TcgError::QueueFull`]).
+    /// Shed at admission ([`tcg_fault::TcgError::QueueFull`]) or by the
+    /// brownout ladder.
     Shed {
-        /// The queue capacity that was exhausted.
-        queue_capacity: usize,
+        /// Why the request was shed.
+        reason: ShedReason,
+    },
+    /// Cancelled at a checkpoint boundary after its deadline died
+    /// ([`tcg_fault::TcgError::Cancelled`]); no answer was produced and no
+    /// further translation or launch work was paid on its behalf.
+    Cancelled {
+        /// The checkpoint that observed the dead deadline.
+        stage: CancelStage,
+        /// The request's latency budget.
+        deadline_ms: f64,
+        /// Virtual time of the cancellation decision.
+        cancelled_at_ms: f64,
     },
 }
 
 impl Outcome {
     /// Whether an answer was produced (served or late).
     pub fn answered(&self) -> bool {
-        !matches!(self, Outcome::Shed { .. })
+        matches!(self, Outcome::Served { .. } | Outcome::Late { .. })
     }
 
     /// The observed latency, when an answer was produced.
@@ -55,16 +152,21 @@ impl Outcome {
             Outcome::Served { latency_ms, .. } | Outcome::Late { latency_ms, .. } => {
                 Some(*latency_ms)
             }
-            Outcome::Shed { .. } => None,
+            Outcome::Shed { .. } | Outcome::Cancelled { .. } => None,
         }
     }
 
     /// The admission error this outcome corresponds to, if any.
     pub fn error(&self) -> Option<tcg_fault::TcgError> {
         match self {
-            Outcome::Shed { queue_capacity } => Some(tcg_fault::TcgError::QueueFull {
-                capacity: *queue_capacity,
+            Outcome::Shed {
+                reason: ShedReason::QueueFull { capacity },
+            } => Some(tcg_fault::TcgError::QueueFull {
+                capacity: *capacity,
             }),
+            Outcome::Shed {
+                reason: ShedReason::Brownout { .. },
+            } => Some(tcg_fault::TcgError::QueueFull { capacity: 0 }),
             Outcome::Late {
                 latency_ms,
                 deadline_ms,
@@ -72,6 +174,12 @@ impl Outcome {
             } => Some(tcg_fault::TcgError::DeadlineExceeded {
                 deadline_ms: *deadline_ms,
                 observed_ms: *latency_ms,
+            }),
+            Outcome::Cancelled {
+                stage, deadline_ms, ..
+            } => Some(tcg_fault::TcgError::Cancelled {
+                stage: stage.label(),
+                deadline_ms: *deadline_ms,
             }),
             Outcome::Served { .. } => None,
         }

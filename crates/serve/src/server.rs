@@ -28,18 +28,21 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tcg_fault::{FaultConfig, FaultPlan, FaultReport};
-use tcg_gnn::{Backend, Engine};
+use tcg_fault::{
+    BreakerRoute, BreakerStats, CircuitBreaker, FaultConfig, FaultPlan, FaultReport, RetryPolicy,
+};
+use tcg_gnn::{Backend, Engine, RecoveryPolicy};
 use tcg_gpusim::{DeviceSpec, Stream};
 use tcg_graph::CsrGraph;
-use tcg_profile::{SharedProfiler, StreamingHistogram};
+use tcg_profile::{Phase, SharedProfiler, StreamingHistogram};
 use tcg_sgt::TranslatedGraph;
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::batcher::{BatchPolicy, Batcher, ClosedBatch};
 use crate::cache::{CacheStats, TranslationCache};
 use crate::model::ServableModel;
-use crate::request::{Outcome, Request, Response};
+use crate::request::{CancelStage, Outcome, Request, Response, ShedReason};
+use crate::resilience::{BrownoutController, ResilienceConfig, ResilienceSummary};
 
 /// One graph a session serves requests against.
 #[derive(Debug, Clone)]
@@ -86,6 +89,13 @@ impl Session {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    /// Mutable access to the translation cache — the quarantine knobs
+    /// ([`TranslationCache::set_spot_check_every`]) and the chaos hook
+    /// ([`TranslationCache::corrupt_resident`]) live here.
+    pub fn cache_mut(&mut self) -> &mut TranslationCache {
+        &mut self.cache
+    }
 }
 
 /// Server configuration.
@@ -111,6 +121,10 @@ pub struct ServeConfig {
     /// orthogonal to [`ServeConfig::streams`], which parallelizes across
     /// batches. Defaults to the `TCG_THREADS` environment variable.
     pub threads: usize,
+    /// The failure-containment layer (deadline cancellation, circuit
+    /// breaking, brownout, quarantine spot-checks). `None` (the default)
+    /// runs the legacy pipeline byte-identically.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +138,7 @@ impl Default for ServeConfig {
             fault_seed: 0,
             device: DeviceSpec::rtx3090(),
             threads: tcg_gpusim::threads_from_env(),
+            resilience: None,
         }
     }
 }
@@ -205,8 +220,11 @@ pub struct ServeReport {
     pub on_time: usize,
     /// Answered after their deadline.
     pub late: usize,
-    /// Shed at admission (queue full).
+    /// Shed at admission (queue full or brownout).
     pub shed: usize,
+    /// Cancelled at a checkpoint boundary after their deadline died
+    /// (resilience runs only; always 0 without deadline cancellation).
+    pub cancelled: usize,
     /// Requests that errored. Structurally zero: injected device faults are
     /// absorbed by the engine's retry + TCU→CUDA-core degradation, so they
     /// slow a batch down instead of failing it.
@@ -229,6 +247,8 @@ pub struct ServeReport {
     pub queue: QueueDepth,
     /// Per-stream utilization.
     pub per_stream: Vec<StreamSummary>,
+    /// Resilience-layer accounting; `None` when the layer was off.
+    pub resilience: Option<ResilienceSummary>,
     /// Per-request records, id-ordered.
     pub responses: Vec<Response>,
 }
@@ -239,6 +259,10 @@ struct WorkerResult {
     stream: Stream,
     responses: Vec<Response>,
     faults: FaultReport,
+    /// This stream's circuit-breaker counters (zeroed when breaking is off).
+    breaker: BreakerStats,
+    /// Breaker state transitions this stream's breaker went through.
+    breaker_transitions: usize,
     /// The worker's private profiler (request-scoped tracing), recovered
     /// once its engines are dropped; `None` when the run is unprofiled.
     profiler: Option<tcg_profile::Profiler>,
@@ -268,16 +292,59 @@ pub fn serve(
         "request trace must be sorted by arrival time"
     );
     let streams = cfg.streams.max(1);
+    let cancel = cfg
+        .resilience
+        .as_ref()
+        .is_some_and(|r| r.deadline_cancellation);
+    if let Some(r) = &cfg.resilience {
+        session.cache.set_spot_check_every(r.spot_check_every);
+    }
+    let mut brownout: Option<BrownoutController> = cfg
+        .resilience
+        .as_ref()
+        .and_then(|r| r.brownout)
+        .map(|bc| BrownoutController::new(bc, cfg.policy.max_batch, cfg.queue_capacity.max(1)));
 
     // ---- Dispatch: admission, batching, cache accounting (serial). ----
     let mut batcher = Batcher::new(cfg.policy);
     let mut dispatched: Vec<DispatchedBatch> = Vec::new();
     let mut shed_responses: Vec<Response> = Vec::new();
     let mut translations: Vec<(String, f64, Vec<u64>)> = Vec::new();
-    let dispatch = |closed: ClosedBatch,
+    let dispatch = |mut closed: ClosedBatch,
                     session: &mut Session,
                     dispatched: &mut Vec<DispatchedBatch>,
-                    translations: &mut Vec<(String, f64, Vec<u64>)>| {
+                    translations: &mut Vec<(String, f64, Vec<u64>)>,
+                    cancelled: &mut Vec<Response>,
+                    brownout: &mut Option<BrownoutController>| {
+        if let Some(ctl) = brownout.as_mut() {
+            // Dispatch-time queue wait feeds the brownout p99 signal.
+            for r in &closed.requests {
+                ctl.observe_wait(closed.close_ms - r.arrival_ms);
+            }
+        }
+        if cancel {
+            // Pre-translate checkpoint: requests whose deadline already
+            // passed when the batch sealed never pay for translation.
+            let close_ms = closed.close_ms;
+            let (live, dead): (Vec<Request>, Vec<Request>) = closed
+                .requests
+                .into_iter()
+                .partition(|r| r.deadline_at_ms().is_none_or(|d| d > close_ms));
+            for r in dead {
+                cancelled.push(Response {
+                    id: r.id,
+                    outcome: Outcome::Cancelled {
+                        stage: CancelStage::PreTranslate,
+                        deadline_ms: r.deadline_ms.unwrap_or(0.0),
+                        cancelled_at_ms: close_ms,
+                    },
+                });
+            }
+            if live.is_empty() {
+                return;
+            }
+            closed.requests = live;
+        }
         let g = &session.graphs[closed.graph];
         let (translation, paid_ms, hit) = session.cache.get_or_translate(&g.csr);
         if !hit {
@@ -301,25 +368,65 @@ pub fn serve(
     let mut queue = QueueDepth::default();
     for req in trace {
         for closed in batcher.flush_due(req.arrival_ms) {
-            dispatch(closed, session, &mut dispatched, &mut translations);
+            dispatch(
+                closed,
+                session,
+                &mut dispatched,
+                &mut translations,
+                &mut shed_responses,
+                &mut brownout,
+            );
+        }
+        if let Some(ctl) = brownout.as_mut() {
+            let pending = batcher.pending();
+            ctl.update(pending, &mut batcher);
+            if ctl.should_shed(req.priority) {
+                shed_responses.push(Response {
+                    id: req.id,
+                    outcome: Outcome::Shed {
+                        reason: ShedReason::Brownout {
+                            level: ctl.level(),
+                            priority: req.priority,
+                        },
+                    },
+                });
+                queue.sample(batcher.pending());
+                continue;
+            }
         }
         if batcher.pending() >= cfg.queue_capacity.max(1) {
             shed_responses.push(Response {
                 id: req.id,
                 outcome: Outcome::Shed {
-                    queue_capacity: cfg.queue_capacity.max(1),
+                    reason: ShedReason::QueueFull {
+                        capacity: cfg.queue_capacity.max(1),
+                    },
                 },
             });
             queue.sample(batcher.pending());
             continue;
         }
         if let Some(closed) = batcher.offer(req.clone()) {
-            dispatch(closed, session, &mut dispatched, &mut translations);
+            dispatch(
+                closed,
+                session,
+                &mut dispatched,
+                &mut translations,
+                &mut shed_responses,
+                &mut brownout,
+            );
         }
         queue.sample(batcher.pending());
     }
     for closed in batcher.flush_all() {
-        dispatch(closed, session, &mut dispatched, &mut translations);
+        dispatch(
+            closed,
+            session,
+            &mut dispatched,
+            &mut translations,
+            &mut shed_responses,
+            &mut brownout,
+        );
     }
 
     // ---- Execute: one worker thread per stream, virtual clocks. ----
@@ -358,8 +465,12 @@ pub fn serve(
         }
         p.clear_trace();
     }
+    let mut breaker_stats = BreakerStats::default();
+    let mut breaker_transitions = 0usize;
     for wr in worker_results {
         merge_fault_reports(&mut faults, &wr.faults);
+        breaker_stats.absorb(&wr.breaker);
+        breaker_transitions += wr.breaker_transitions;
         batches += wr.stream.launches();
         per_stream_summary.push(StreamSummary {
             stream: wr.stream.id(),
@@ -394,6 +505,7 @@ pub fn serve(
 
     let mut latency = StreamingHistogram::new();
     let (mut on_time, mut late, mut shed) = (0usize, 0usize, 0usize);
+    let (mut c_pre_translate, mut c_pre_launch, mut c_boundary) = (0usize, 0usize, 0usize);
     for r in &responses {
         match &r.outcome {
             Outcome::Served { latency_ms, .. } => {
@@ -405,8 +517,22 @@ pub fn serve(
                 latency.record(*latency_ms);
             }
             Outcome::Shed { .. } => shed += 1,
+            Outcome::Cancelled { stage, .. } => match stage {
+                CancelStage::PreTranslate => c_pre_translate += 1,
+                CancelStage::PreLaunch => c_pre_launch += 1,
+                CancelStage::KernelBoundary => c_boundary += 1,
+            },
         }
     }
+    let cancelled = c_pre_translate + c_pre_launch + c_boundary;
+    let resilience = cfg.resilience.as_ref().map(|_| ResilienceSummary {
+        cancelled_pre_translate: c_pre_translate,
+        cancelled_pre_launch: c_pre_launch,
+        cancelled_kernel_boundary: c_boundary,
+        brownout: brownout.as_ref().map(|b| b.stats()).unwrap_or_default(),
+        breaker: breaker_stats,
+        breaker_transitions,
+    });
     let answered = on_time + late;
     let makespan_ms =
         per_stream_summary
@@ -426,6 +552,7 @@ pub fn serve(
         on_time,
         late,
         shed,
+        cancelled,
         failed: 0,
         batches,
         mean_batch_size: if batches > 0 {
@@ -440,6 +567,7 @@ pub fn serve(
         faults,
         queue,
         per_stream: per_stream_summary,
+        resilience,
         responses,
     }
 }
@@ -461,6 +589,12 @@ fn run_stream(
     let mut engines: HashMap<usize, Engine> = HashMap::new();
     let mut responses = Vec::new();
     let mut faults = FaultReport::default();
+    let res = cfg.resilience.as_ref();
+    let cancel = res.is_some_and(|r| r.deadline_cancellation);
+    // One breaker per stream: it guards this stream's (device, backend)
+    // pair, folding only this stream's batch results, so chaos runs stay
+    // deterministic per stream regardless of scheduling.
+    let mut breaker: Option<CircuitBreaker> = res.and_then(|r| r.breaker).map(CircuitBreaker::new);
     // Private per-worker recorder: no locks are contended on the hot path
     // (each engine clone of the handle lives on this thread only), and the
     // dispatcher absorbs it in stream order after the join.
@@ -476,6 +610,36 @@ fn run_stream(
     };
     for b in batches {
         let g = &graphs[b.graph];
+        // Where this batch would start on the stream's virtual clock —
+        // known before any engine work, so cancellation and breaker
+        // routing decide on it without executing anything.
+        let projected_start = if b.ready_ms > stream.now_ms() {
+            b.ready_ms
+        } else {
+            stream.now_ms()
+        };
+        let mut live: Vec<Request> = b.requests.clone();
+        if cancel {
+            // Pre-launch checkpoint: deadlines already dead at the
+            // projected start never build an engine or launch a kernel.
+            let (still_live, dead): (Vec<Request>, Vec<Request>) = live
+                .into_iter()
+                .partition(|r| r.deadline_at_ms().is_none_or(|d| d > projected_start));
+            for r in dead {
+                responses.push(Response {
+                    id: r.id,
+                    outcome: Outcome::Cancelled {
+                        stage: CancelStage::PreLaunch,
+                        deadline_ms: r.deadline_ms.unwrap_or(0.0),
+                        cancelled_at_ms: projected_start,
+                    },
+                });
+            }
+            if still_live.is_empty() {
+                continue;
+            }
+            live = still_live;
+        }
         let eng = engines.entry(b.graph).or_insert_with(|| {
             let mut eng = Engine::builder(g.csr.clone())
                 .backend(cfg.backend)
@@ -484,14 +648,27 @@ fn run_stream(
                 .threads(cfg.threads)
                 .build()
                 .expect("session graphs are validated at admission");
+            // One plan per (stream, graph): the draw sequence depends
+            // only on this stream's batch order, never on scheduling.
+            let seed = cfg
+                .fault_seed
+                .wrapping_add((u64::from(stream_id) + 1) << 32)
+                .wrapping_add(b.graph as u64);
             if let Some(fault_cfg) = cfg.fault {
-                // One plan per (stream, graph): the draw sequence depends
-                // only on this stream's batch order, never on scheduling.
-                let seed = cfg
-                    .fault_seed
-                    .wrapping_add((u64::from(stream_id) + 1) << 32)
-                    .wrapping_add(b.graph as u64);
                 eng.attach_fault_plan(FaultPlan::new(seed, fault_cfg));
+            }
+            if let Some(r) = res {
+                if r.retry_jitter_frac > 0.0 {
+                    // Jittered exponential backoff, seeded like the fault
+                    // plan so retry schedules are bit-reproducible.
+                    eng.set_recovery_policy(RecoveryPolicy {
+                        backoff: RetryPolicy::default().with_jitter(r.retry_jitter_frac, seed),
+                        ..RecoveryPolicy::default()
+                    });
+                }
+                if r.deadline_cancellation {
+                    eng.set_launch_log(true);
+                }
             }
             if let Some(p) = &worker_profiler {
                 eng.attach_profiler(Arc::clone(p));
@@ -502,67 +679,152 @@ fn run_stream(
             // Propagate the batch's trace ids: every kernel event the
             // engine records during this inference carries the ids of the
             // requests it does work for.
-            let ids: Vec<u64> = b.requests.iter().map(|r| r.id).collect();
+            let ids: Vec<u64> = live.iter().map(|r| r.id).collect();
             p.write().expect("profiler lock").set_trace(&ids);
         }
+        // Breaker routing: an open breaker forces the whole batch onto the
+        // CUDA-core fallback path (suppressed injection, no RNG draws)
+        // instead of paying a retry storm on the primary backend.
+        let mut fallback_routed = false;
+        if let Some(br) = breaker.as_mut() {
+            let seen = br.transitions().len();
+            if br.route(projected_start) == BreakerRoute::Fallback {
+                fallback_routed = true;
+                eng.set_forced_fallback(true);
+            }
+            if let Some(p) = &worker_profiler {
+                let mut p = p.write().expect("profiler lock");
+                for t in &br.transitions()[seen..] {
+                    p.record_breaker(&format!("breaker:{}->{}", t.from, t.to), Phase::Host);
+                }
+            }
+        }
+        let injected_before = eng.fault_report().total_injected();
         let (logits, cost) = model.infer(eng, &g.features);
-        let name = format!("{}:batch-{}", g.name, b.index);
-        let (start_ms, end_ms) = stream.launch_at(&name, b.ready_ms, cost.total_ms());
+        let launch_log = if cancel {
+            eng.take_launch_log()
+        } else {
+            Vec::new()
+        };
+        if fallback_routed {
+            eng.set_forced_fallback(false);
+        }
+        // A fallback-routed batch reports clean: suppressed injection
+        // consumes no draws, and a cooling breaker must see quiet to close.
+        let faulted = !fallback_routed && eng.fault_report().total_injected() > injected_before;
+        // Kernel-boundary checkpoint: if even the latest deadline in the
+        // batch dies mid-execution, stop charging the stream at the first
+        // launch boundary past the budget and discard the answers — a dead
+        // request never returns a logit, and the stream frees up early.
+        let mut exec_ms = cost.total_ms();
+        let mut boundary_prefix: Option<f64> = None;
+        if cancel && live.iter().all(|r| r.deadline_ms.is_some()) {
+            let latest = live
+                .iter()
+                .filter_map(|r| r.deadline_at_ms())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let budget = latest - projected_start;
+            if exec_ms > budget {
+                let mut acc = 0.0;
+                for &ms in &launch_log {
+                    acc += ms;
+                    if acc >= budget {
+                        boundary_prefix = Some(acc);
+                        break;
+                    }
+                }
+                if let Some(prefix) = boundary_prefix {
+                    exec_ms = prefix;
+                }
+            }
+        }
+        let name = if boundary_prefix.is_some() {
+            format!("{}:batch-{}:cancelled", g.name, b.index)
+        } else {
+            format!("{}:batch-{}", g.name, b.index)
+        };
+        let (start_ms, end_ms) = stream.launch_at(&name, b.ready_ms, exec_ms);
+        if let Some(br) = breaker.as_mut() {
+            let seen = br.transitions().len();
+            br.on_result(end_ms, faulted);
+            if let Some(p) = &worker_profiler {
+                let mut p = p.write().expect("profiler lock");
+                for t in &br.transitions()[seen..] {
+                    p.record_breaker(&format!("breaker:{}->{}", t.from, t.to), Phase::Host);
+                }
+            }
+        }
         if let Some(p) = &worker_profiler {
             let mut p = p.write().expect("profiler lock");
             p.clear_trace();
-            // One span tree per request, entirely on the virtual clock:
-            // arrival → batcher queue → (translation, if this batch paid
-            // one) → stream execution. Byte-identical across reruns.
-            for req in &b.requests {
-                let mut children = vec![tcg_profile::RequestSpan {
-                    trace_id: req.id,
-                    name: "queued".into(),
-                    start_ms: req.arrival_ms,
-                    dur_ms: b.close_ms - req.arrival_ms,
-                    children: Vec::new(),
-                }];
-                if b.translate_ms > 0.0 {
+            // One span tree per answered request, entirely on the virtual
+            // clock: arrival → batcher queue → (translation, if this batch
+            // paid one) → stream execution. Byte-identical across reruns.
+            if boundary_prefix.is_none() {
+                for req in &live {
+                    let mut children = vec![tcg_profile::RequestSpan {
+                        trace_id: req.id,
+                        name: "queued".into(),
+                        start_ms: req.arrival_ms,
+                        dur_ms: b.close_ms - req.arrival_ms,
+                        children: Vec::new(),
+                    }];
+                    if b.translate_ms > 0.0 {
+                        children.push(tcg_profile::RequestSpan {
+                            trace_id: req.id,
+                            name: "sgt_translate".into(),
+                            start_ms: b.close_ms,
+                            dur_ms: b.translate_ms,
+                            children: Vec::new(),
+                        });
+                    }
                     children.push(tcg_profile::RequestSpan {
                         trace_id: req.id,
-                        name: "sgt_translate".into(),
-                        start_ms: b.close_ms,
-                        dur_ms: b.translate_ms,
+                        name: "execute".into(),
+                        start_ms,
+                        dur_ms: end_ms - start_ms,
                         children: Vec::new(),
                     });
+                    p.record_request_tree(tcg_profile::RequestSpan {
+                        trace_id: req.id,
+                        name: format!("req-{}", req.id),
+                        start_ms: req.arrival_ms,
+                        dur_ms: end_ms - req.arrival_ms,
+                        children,
+                    });
                 }
-                children.push(tcg_profile::RequestSpan {
-                    trace_id: req.id,
-                    name: "execute".into(),
-                    start_ms,
-                    dur_ms: end_ms - start_ms,
-                    children: Vec::new(),
-                });
-                p.record_request_tree(tcg_profile::RequestSpan {
-                    trace_id: req.id,
-                    name: format!("req-{}", req.id),
-                    start_ms: req.arrival_ms,
-                    dur_ms: end_ms - req.arrival_ms,
-                    children,
-                });
             }
         }
-        let classes = ops::argmax_rows(&logits);
-        for req in &b.requests {
-            let latency_ms = end_ms - req.arrival_ms;
-            let class = classes[req.node];
-            let outcome = match req.deadline_ms {
-                Some(d) if latency_ms > d => Outcome::Late {
-                    class,
-                    latency_ms,
-                    deadline_ms: d,
-                },
-                _ => Outcome::Served { class, latency_ms },
-            };
-            responses.push(Response {
-                id: req.id,
-                outcome,
-            });
+        if let Some(prefix) = boundary_prefix {
+            let cancelled_at_ms = start_ms + prefix;
+            for req in &live {
+                responses.push(Response {
+                    id: req.id,
+                    outcome: Outcome::Cancelled {
+                        stage: CancelStage::KernelBoundary,
+                        deadline_ms: req.deadline_ms.unwrap_or(0.0),
+                        cancelled_at_ms,
+                    },
+                });
+            }
+        } else {
+            let classes = ops::argmax_rows(&logits);
+            for req in &live {
+                let latency_ms = end_ms - req.arrival_ms;
+                let class = classes[req.node];
+                let outcome = match req.deadline_ms {
+                    Some(d) if latency_ms > d => Outcome::Late {
+                        class,
+                        latency_ms,
+                        deadline_ms: d,
+                    },
+                    _ => Outcome::Served { class, latency_ms },
+                };
+                responses.push(Response {
+                    id: req.id,
+                    outcome,
+                });
+            }
         }
     }
     // Engine order in the map is arbitrary; summing counters is
@@ -579,10 +841,15 @@ fn run_stream(
             .into_inner()
             .expect("profiler lock")
     });
+    let (breaker_stats, breaker_transitions) = breaker
+        .map(|br| (*br.stats(), br.transitions().len()))
+        .unwrap_or_default();
     WorkerResult {
         stream,
         responses,
         faults,
+        breaker: breaker_stats,
+        breaker_transitions,
         profiler,
     }
 }

@@ -104,6 +104,57 @@ impl TranslatedGraph {
         (pack as usize / self.blk_w, pack as usize % self.blk_w)
     }
 
+    /// Stable FNV-1a content checksum over every field of the translation.
+    ///
+    /// `O(E)` but branch-free and allocation-free — cheap enough for the
+    /// serving cache to verify on every hit, orders of magnitude cheaper
+    /// than a full [`TranslatedGraph::validate`] pass. Any single-bit
+    /// mutation of any array (a poisoned cache entry) changes the digest.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.win_size as u64);
+        eat(self.blk_w as u64);
+        eat(self.num_row_windows as u64);
+        for &v in &self.win_partition {
+            eat(u64::from(v));
+        }
+        for &v in &self.edge_to_col {
+            eat(u64::from(v));
+        }
+        for &v in &self.edge_to_row {
+            eat(u64::from(v));
+        }
+        for &v in &self.win_unique {
+            eat(u64::from(v));
+        }
+        for &v in &self.win_block_start {
+            eat(v as u64);
+        }
+        for &v in &self.block_ptr {
+            eat(v as u64);
+        }
+        for &v in &self.perm_orig {
+            eat(u64::from(v));
+        }
+        for &v in &self.perm_pack {
+            eat(u64::from(v));
+        }
+        for &v in &self.block_atox {
+            eat(u64::from(v));
+        }
+        for &v in &self.block_atox_ptr {
+            eat(v as u64);
+        }
+        h
+    }
+
     /// Validates the translation against its source graph, returning
     /// [`TcgError::CorruptMeta`] on the first violated invariant.
     ///

@@ -120,6 +120,39 @@ grep -Eq '^tcgnn;(main|worker-[0-9]+);[a-z_]+ [0-9]+$' "$obs_dir/profile-hotspot
 # verdict exits nonzero and gates CI; warnings are reported but pass.
 ./target/release/tcgnn bench --check
 
+step "resilience: chaos-serve with breakers at TCG_THREADS=4"
+# Full containment stack under seeded overload + faults: the property/
+# integration suite (breaker purity, backoff thread-invariance, typed
+# cancellation, brownout ladder, quarantine bitwise-equality) ...
+TCG_THREADS=4 cargo test --release -q --test resilience
+# ...then the CLI path: burst arrivals with a deadline only the head of
+# the queue can meet, 30% fault rate. Every response must be a correct
+# answer or a typed shed/cancel (failed == 0 is the no-wrong-logit gate:
+# wrong logits are impossible by construction — cancelled batches discard
+# their outputs and quarantined translations are rebuilt — so the only
+# failure mode left is a typed error), with nonzero cancellations and
+# breaker openings proving both containment paths actually fired.
+resil_out=$(TCG_THREADS=4 TCG_FAULT_RATE=0.3 TCG_FAULT_SEED=7 \
+    ./target/release/tcgnn serve Cora --requests 128 --rate 100000 \
+    --deadline 0.4 --low-every 3 --epochs 2 --resilience)
+sed -n '/^{/,$p' <<<"$resil_out" | python3 -c "
+import json, sys
+d = json.load(sys.stdin)
+r = d['resilience']
+assert d['failed'] == 0, f'wrong-path responses under chaos: {d[\"failed\"]}'
+assert d['on_time'] + d['late'] + d['shed'] + d['cancelled'] == d['total_requests'], \
+    'untyped outcome leak'
+assert d['cancelled'] > 0, 'deadline cancellation never fired'
+assert r['breaker']['opened'] > 0, 'circuit breaker never opened'
+assert r['breaker']['rerouted_batches'] > 0, 'open breaker never rerouted a batch'
+print(f\"resilience gate: {d['cancelled']} cancelled, \"
+      f\"{r['breaker']['opened']} breaker openings, \"
+      f\"{r['breaker']['rerouted_batches']} rerouted batches, 0 failed\")
+" || {
+    echo "resilience: chaos-serve containment gate failed" >&2
+    exit 1
+}
+
 step "cargo fmt --check"
 cargo fmt --check
 

@@ -51,11 +51,15 @@ fn usage() -> ExitCode {
                      [--backend dgl|pyg|tcgnn] [--epochs N]\n\
            eval      <DATASET> [--model M] [--backend B] [--epochs N]\n\
                      train briefly, then run the inference-only forward\n\
+                     (TCG_FAULT_RATE/TCG_FAULT_SEED inject chaos, as in serve)\n\
            serve     <DATASET>[,<DATASET>...] [--model M] [--backend B]\n\
                      [--requests N] [--rate RPS] [--streams S] [--max-batch B]\n\
                      [--max-delay MS] [--cache-cap C] [--queue-cap Q]\n\
                      [--deadline MS] [--seed S] [--metrics PATH]\n\
-                     --metrics writes Prometheus text-format RED metrics\n\
+                     [--resilience] [--low-every N] [--critical-every N]\n\
+                     --metrics writes Prometheus text-format RED metrics;\n\
+                     --resilience enables deadline cancellation, circuit\n\
+                     breakers, brownout shedding, and cache quarantine\n\
            top       <DATASET>[,<DATASET>...] [same flags as serve]\n\
                      run the serve workload, render an ASCII dashboard\n\
            profile   --hotspots [--datasets a,b,...] [--epochs N]\n\
@@ -410,6 +414,17 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         .device(DeviceSpec::rtx3090())
         .build()
         .expect("graph is symmetric");
+    // Chaos mode rides the same TCG_FAULT_RATE/TCG_FAULT_SEED switch as
+    // serve and train: injected faults degrade the forward to the
+    // CUDA-core path instead of failing it.
+    if let Some(plan) = FaultPlan::from_env() {
+        eprintln!(
+            "fault injection enabled: seed {} rate {}",
+            plan.seed(),
+            plan.config().launch_rate
+        );
+        eng.attach_fault_plan(plan);
+    }
     let (logits, cost) = frozen.infer(&mut eng, &ds.features);
     let pred = tc_gnn::tensor::ops::argmax_rows(&logits);
     let correct = pred
@@ -438,6 +453,15 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         cost.other_ms,
         eng.preprocessing_ms()
     );
+    let fr = eng.fault_report();
+    if fr.total_injected() > 0 {
+        println!(
+            "faults {} injected ({} retried, {} degraded to CUDA-core)",
+            fr.total_injected(),
+            fr.retried,
+            fr.degraded
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -523,6 +547,9 @@ fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
     };
     cfg.policy.max_batch = parse_usize("--max-batch", 8);
     cfg.policy.max_delay_ms = parse_f64("--max-delay", 2.0);
+    if args.iter().any(|a| a == "--resilience") {
+        cfg.resilience = Some(tc_gnn::serve::ResilienceConfig::default());
+    }
     let lg = LoadgenConfig {
         rate_rps: parse_f64("--rate", 200.0),
         requests: parse_usize("--requests", 64),
@@ -530,6 +557,8 @@ fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
         seed: flag_value(args, "--seed")
             .and_then(|v| v.parse().ok())
             .unwrap_or(7),
+        low_every: parse_usize("--low-every", 0) as u64,
+        critical_every: parse_usize("--critical-every", 0) as u64,
     };
     // Chaos mode rides the same TCG_FAULT_RATE/TCG_FAULT_SEED switch as
     // training; faults degrade batches to the CUDA-core path, never fail them.

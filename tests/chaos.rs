@@ -5,11 +5,15 @@
 //! instant marker in the exported Perfetto timeline.
 
 use tc_gnn::fault::{FaultConfig, FaultPlan};
-use tc_gnn::gnn::{train_gcn, Backend, Engine, RecoveryPolicy, TrainConfig, TrainResult};
+use tc_gnn::gnn::{train_gcn, Backend, Engine, GcnModel, RecoveryPolicy, TrainConfig, TrainResult};
 use tc_gnn::gpusim::DeviceSpec;
 use tc_gnn::graph::datasets::{DatasetSpec, GraphClass};
 use tc_gnn::graph::Dataset;
 use tc_gnn::profile::{chrome_trace_json, shared, EventKind, SharedProfiler};
+use tc_gnn::serve::{
+    poisson_trace, serve, LoadgenConfig, ResilienceConfig, ServableModel, ServeConfig, ServedGraph,
+    Session,
+};
 
 fn tiny_dataset() -> Dataset {
     DatasetSpec {
@@ -107,6 +111,82 @@ fn chaos_run_is_byte_identical_across_repeats() {
         assert_eq!(ea.loss.to_bits(), eb.loss.to_bits());
         assert_eq!(ea.train_accuracy.to_bits(), eb.train_accuracy.to_bits());
     }
+}
+
+/// Serving under the same chaos regime, with the full resilience stack on:
+/// every injected fault is absorbed (nothing fails), every breaker
+/// transition leaves an instant marker that survives the Perfetto export,
+/// and the whole run — routing, retries, reroutes — is byte-identical
+/// across repeats.
+#[test]
+fn chaos_serve_leaves_breaker_audit_trail_in_timeline() {
+    let run = || {
+        let ds = tiny_dataset();
+        let graph = ServedGraph {
+            name: "chaos-serve".to_string(),
+            csr: ds.graph,
+            features: ds.features,
+        };
+        let mut session = Session::new(
+            ServableModel::Gcn(GcnModel::new(32, 8, 4, 11)),
+            vec![graph],
+            4,
+        );
+        let cfg = ServeConfig {
+            backend: Backend::TcGnn,
+            streams: 2,
+            fault: Some(FaultConfig::uniform(0.7)),
+            fault_seed: 2023,
+            resilience: Some(ResilienceConfig::default()),
+            ..ServeConfig::default()
+        };
+        let trace = poisson_trace(
+            &[300],
+            &LoadgenConfig {
+                rate_rps: 2_000.0,
+                requests: 40,
+                deadline_ms: None,
+                seed: 9,
+                ..LoadgenConfig::default()
+            },
+        );
+        let profiler = shared("chaos-serve");
+        let report = serve(&mut session, &cfg, &trace, Some(&profiler));
+        (profiler, report)
+    };
+    let (profiler, report) = run();
+
+    assert!(
+        report.faults.total_injected() > 0,
+        "schedule injected nothing: {:?}",
+        report.faults
+    );
+    assert_eq!(report.failed, 0, "resilience must absorb every fault");
+    assert_eq!(report.answered, report.total_requests);
+    let rs = report.resilience.expect("resilience summary present");
+    assert!(rs.breaker.opened > 0, "breaker never tripped: {rs:?}");
+
+    // Every breaker transition is an instant in the timeline, and the
+    // export keeps all of them alongside the fault/fallback markers.
+    let p = profiler.read().unwrap();
+    let breaker_instants = p.events_of_kind(EventKind::Breaker).count();
+    assert_eq!(breaker_instants, rs.breaker_transitions);
+    let v: serde_json::Value =
+        serde_json::from_str(&chrome_trace_json(&p)).expect("trace is valid JSON");
+    let instants = v
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(serde_json::Value::as_str) == Some("i"))
+        .count() as u64;
+    assert_eq!(
+        instants,
+        report.faults.total_injected() + report.faults.degraded + breaker_instants as u64
+    );
+
+    let (_, report_b) = run();
+    assert_eq!(report.to_json(), report_b.to_json());
 }
 
 #[test]

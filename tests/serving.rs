@@ -21,10 +21,7 @@ use tc_gnn::serve::{
 
 fn dummy_entry(ms: f64) -> CachedTranslation {
     let g = tc_gnn::graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).expect("tiny graph");
-    CachedTranslation {
-        translation: Arc::new(tc_gnn::sgt::translate(&g)),
-        sgt_ms: ms,
-    }
+    CachedTranslation::new(Arc::new(tc_gnn::sgt::translate(&g)), ms)
 }
 
 proptest! {
@@ -211,6 +208,7 @@ fn serve_runs_are_byte_identical() {
             requests: 48,
             deadline_ms: Some(25.0),
             seed: 99,
+            ..LoadgenConfig::default()
         },
     );
     let (timeline_a, report_a) = serve_once(&cfg, &trace);
@@ -245,6 +243,7 @@ fn profiled_serve_propagates_request_trace_ids() {
             requests: 24,
             deadline_ms: None,
             seed: 21,
+            ..LoadgenConfig::default()
         },
     );
     let run = || {
@@ -302,6 +301,7 @@ fn chaos_serve_is_deterministic_and_never_fails_requests() {
             requests: 32,
             deadline_ms: None,
             seed: 5,
+            ..LoadgenConfig::default()
         },
     );
     let (model, graphs) = serving_fixture();
