@@ -222,10 +222,18 @@ pub fn results_path(name: &str) -> PathBuf {
 }
 
 /// Provenance stamp for benchmark result files: the git revision the
-/// numbers were produced at, the effective worker-thread count, and the
-/// host's core count — the three facts needed to judge whether a baseline
-/// comparison is apples-to-apples.
+/// numbers were produced at, the effective worker-thread count, the
+/// host's core count, and the execution topology (device count +
+/// partitioner) — the facts needed to judge whether a baseline comparison
+/// is apples-to-apples. Single-device benches stamp `devices: 1`,
+/// `partitioner: "none"`.
 pub fn run_meta() -> Value {
+    run_meta_dist(1, "none")
+}
+
+/// [`run_meta`] for multi-device benches: stamps the sharded topology the
+/// numbers were produced under.
+pub fn run_meta_dist(devices: usize, partitioner: &str) -> Value {
     let git_rev = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -243,6 +251,11 @@ pub fn run_meta() -> Value {
             Value::UInt(tcg_gpusim::threads_from_env() as u128),
         ),
         ("host_cores".to_string(), Value::UInt(host_cores as u128)),
+        ("devices".to_string(), Value::UInt(devices as u128)),
+        (
+            "partitioner".to_string(),
+            Value::Str(partitioner.to_string()),
+        ),
     ])
 }
 

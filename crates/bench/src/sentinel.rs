@@ -135,6 +135,30 @@ pub fn default_specs() -> Vec<MetricSpec> {
             warn_pct: 5.0,
             fail_pct: 25.0,
         },
+        // Multi-device scaling (virtual time, deterministic): drift here
+        // means the partitioner, interconnect model, or overlap scheduling
+        // changed behavior.
+        MetricSpec {
+            file: "BENCH_dist",
+            path: "speedup_4dev",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_dist",
+            path: "speedup_8dev",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 20.0,
+        },
+        MetricSpec {
+            file: "BENCH_dist",
+            path: "halo_gb_4dev",
+            direction: Direction::LowerIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 25.0,
+        },
     ]
 }
 

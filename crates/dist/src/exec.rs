@@ -1,0 +1,456 @@
+//! Multi-device sharded GCN execution.
+//!
+//! [`DistContext`] holds one execution context per simulated device — its
+//! own [`Launcher`] (private L2/L1 state), a pre-translated TC-GNN SpMM
+//! kernel over the shard-local graph, and a two-stream [`StreamSet`]
+//! (compute + halo-exchange) on device-strided trace ids. A forward pass
+//! mirrors [`GcnModel::infer`] op for op:
+//!
+//! - **aggregate** ops synchronize: every device waits for the slowest
+//!   compute stream (the pre-exchange barrier), pulls its halo rows over
+//!   the interconnect on the comm stream (priced by
+//!   [`tcg_gpusim::interconnect::transfer_report`]), then launches the
+//!   shard SpMM on the compute stream once the halo lands;
+//! - **dense** ops (GEMM, bias, ReLU) are embarrassingly row-parallel and
+//!   run on each device's stacked owned rows with no synchronization.
+//!
+//! The functional result is bitwise-identical to the single-device
+//! forward (see `shard.rs` for why); only the simulated timeline changes.
+
+use tcg_fault::TcgError;
+use tcg_gnn::layers::gcn::GcnLayer;
+use tcg_gnn::GcnModel;
+use tcg_gpusim::stream::DEVICE_STREAM_STRIDE;
+use tcg_gpusim::{cost, interconnect, DeviceSpec, Launcher, StreamSet, StreamSpan};
+use tcg_graph::CsrGraph;
+use tcg_kernels::common::SpmmKernel;
+use tcg_kernels::spmm::TcgnnSpmm;
+use tcg_kernels::SpmmProblem;
+use tcg_sgt::translate_parallel;
+use tcg_tensor::{gemm::gemm, ops, DenseMatrix};
+
+use crate::partition::{Partition, Partitioner};
+use crate::shard::Shard;
+
+/// Host-side launch dispatch per kernel, matching the engine's dense and
+/// extension dispatch overheads (ms).
+const DISPATCH_MS: f64 = 0.005;
+
+/// Per-forward metrics of a sharded run.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// Devices in the context (including empty shards).
+    pub devices: usize,
+    /// Partitioner name (`"contiguous"` / `"greedy"`).
+    pub partitioner: &'static str,
+    /// End-to-end simulated time: when the last stream of the last device
+    /// drains.
+    pub makespan_ms: f64,
+    /// Per-device drain time.
+    pub per_device_ms: Vec<f64>,
+    /// Per-device busy time on the compute stream.
+    pub compute_busy_ms: Vec<f64>,
+    /// Per-device busy time on the halo-exchange stream.
+    pub comm_busy_ms: Vec<f64>,
+    /// Rows each device gathers from peers (per aggregation).
+    pub halo_rows: Vec<usize>,
+    /// Bytes each device pulled over the link, summed over the forward's
+    /// aggregations.
+    pub halo_bytes: Vec<u64>,
+    /// Total bytes the interconnect model priced (reconciles with
+    /// `halo_bytes`).
+    pub transfer_bytes_priced: u64,
+    /// Total simulated interconnect time across devices and exchanges.
+    pub transfer_ms: f64,
+    /// Directed edges crossing shard boundaries.
+    pub cut_edges: usize,
+    /// Edges executed per device.
+    pub shard_nnz: Vec<usize>,
+    /// Output rows owned per device.
+    pub owned_rows: Vec<usize>,
+}
+
+impl DistReport {
+    /// Busy compute time summed over devices.
+    pub fn total_compute_busy_ms(&self) -> f64 {
+        self.compute_busy_ms.iter().sum()
+    }
+
+    /// Total halo bytes across devices (must equal
+    /// [`DistReport::transfer_bytes_priced`]).
+    pub fn total_halo_bytes(&self) -> u64 {
+        self.halo_bytes.iter().sum()
+    }
+}
+
+/// One device's execution state.
+struct DeviceState {
+    shard: Shard,
+    kernel: TcgnnSpmm,
+    launcher: Launcher,
+    streams: StreamSet,
+    /// Shard slice of the global GCN edge normalization.
+    norm: Vec<f32>,
+}
+
+/// A multi-device execution context over one graph.
+pub struct DistContext {
+    device: DeviceSpec,
+    partitioner: Partitioner,
+    partition: Partition,
+    states: Vec<DeviceState>,
+    num_nodes: usize,
+    cut_edges: usize,
+}
+
+impl DistContext {
+    /// Shards `csr` across `devices` simulated copies of `device` and
+    /// builds per-shard kernels (SGT runs once per shard, with `threads`
+    /// worker threads).
+    pub fn new(
+        csr: &CsrGraph,
+        devices: usize,
+        partitioner: Partitioner,
+        device: DeviceSpec,
+        threads: usize,
+    ) -> Self {
+        let devices = devices.max(1);
+        let partition = partitioner.partition(csr, devices);
+        debug_assert!(partition.validate(csr).is_ok());
+        let norm_global = csr.gcn_norm_edge_values();
+        let states = (0..devices)
+            .map(|d| {
+                let shard = Shard::build(csr, &partition, d);
+                let kernel = TcgnnSpmm::from_translated(translate_parallel(&shard.local, threads));
+                let mut launcher = Launcher::new(device.clone());
+                launcher.set_threads(threads);
+                let norm = shard.slice_edge_values(&norm_global);
+                DeviceState {
+                    shard,
+                    kernel,
+                    launcher,
+                    streams: StreamSet::for_device(d, 2),
+                    norm,
+                }
+            })
+            .collect();
+        let cut_edges = partition.cut_edges(csr);
+        DistContext {
+            device,
+            partitioner,
+            partition,
+            states,
+            num_nodes: csr.num_nodes(),
+            cut_edges,
+        }
+    }
+
+    /// Devices in the context.
+    pub fn num_devices(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The window → device assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The simulated device profile shared by all shards.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Per-device stream timelines of the most recent forward, as
+    /// `(stream id, spans)` — ready for `Profiler::record_stream_span`.
+    pub fn stream_spans(&self) -> Vec<(u32, &[StreamSpan])> {
+        self.states
+            .iter()
+            .flat_map(|s| s.streams.streams().iter().map(|st| (st.id(), st.spans())))
+            .collect()
+    }
+
+    /// Sharded 2-layer GCN inference, bitwise-identical to
+    /// [`GcnModel::infer`] on the unsharded graph.
+    pub fn gcn_forward(
+        &mut self,
+        model: &GcnModel,
+        x: &DenseMatrix,
+    ) -> Result<(DenseMatrix, DistReport), TcgError> {
+        assert_eq!(x.rows(), self.num_nodes, "feature rows vs graph nodes");
+        // Fresh timelines per forward; launchers stay warm (persistent L2),
+        // which only affects modeled cost, deterministically.
+        for (d, state) in self.states.iter_mut().enumerate() {
+            state.streams = StreamSet::for_device(d, 2);
+        }
+        let mut report = self.blank_report();
+
+        let z1 = self.layer_forward(&model.l1, x, &mut report)?;
+        let h1 = ops::relu(&z1);
+        self.elementwise_everywhere("relu", model.l1.w.cols(), &mut report);
+        let logits = self.layer_forward(&model.l2, &h1, &mut report)?;
+
+        for (d, state) in self.states.iter().enumerate() {
+            report.per_device_ms[d] = state.streams.sync_all_ms();
+            report.compute_busy_ms[d] = state.streams.streams()[0].busy_ms();
+            report.comm_busy_ms[d] = state.streams.streams()[1].busy_ms();
+        }
+        report.makespan_ms = report.per_device_ms.iter().fold(0.0, |a, &b| a.max(b));
+        Ok((logits, report))
+    }
+
+    fn blank_report(&self) -> DistReport {
+        let n = self.states.len();
+        DistReport {
+            devices: n,
+            partitioner: self.partitioner.name(),
+            makespan_ms: 0.0,
+            per_device_ms: vec![0.0; n],
+            compute_busy_ms: vec![0.0; n],
+            comm_busy_ms: vec![0.0; n],
+            halo_rows: self.states.iter().map(|s| s.shard.halo_rows).collect(),
+            halo_bytes: vec![0; n],
+            transfer_bytes_priced: 0,
+            transfer_ms: 0.0,
+            cut_edges: self.cut_edges,
+            shard_nnz: self.states.iter().map(|s| s.shard.nnz()).collect(),
+            owned_rows: self.states.iter().map(|s| s.shard.owned_rows).collect(),
+        }
+    }
+
+    /// One GCN layer in the exact op order of [`GcnLayer::infer`].
+    fn layer_forward(
+        &mut self,
+        layer: &GcnLayer,
+        x_global: &DenseMatrix,
+        report: &mut DistReport,
+    ) -> Result<DenseMatrix, TcgError> {
+        if layer.aggregate_first() {
+            let agg = self.dist_aggregate(x_global, layer.w.rows(), report)?;
+            Ok(self.dist_linear(&agg, layer, report))
+        } else {
+            let h = self.dist_linear(x_global, layer, report);
+            self.dist_aggregate(&h, layer.w.cols(), report)
+        }
+    }
+
+    /// Halo exchange + shard SpMM on every non-empty device; assembles the
+    /// global aggregated matrix.
+    fn dist_aggregate(
+        &mut self,
+        x_global: &DenseMatrix,
+        dim: usize,
+        report: &mut DistReport,
+    ) -> Result<DenseMatrix, TcgError> {
+        let active = self.states.iter().filter(|s| !s.shard.is_empty()).count();
+        // PCIe-style shared fabrics serialize the all-to-all at the root
+        // complex; a switched NVLink mesh keeps full per-device ingress.
+        let contenders = if self.device.link_shared { active } else { 1 };
+        let barrier = self
+            .states
+            .iter()
+            .filter(|s| !s.shard.is_empty())
+            .map(|s| s.streams.streams()[0].now_ms())
+            .fold(0.0f64, f64::max);
+
+        let mut out = DenseMatrix::zeros(self.num_nodes, dim);
+        let device = self.device.clone();
+        for (d, state) in self.states.iter_mut().enumerate() {
+            if state.shard.is_empty() {
+                continue;
+            }
+            let bytes = state.shard.halo_bytes(dim);
+            let transfer = interconnect::transfer_report(&device, bytes, contenders);
+            let comm_id = (d * DEVICE_STREAM_STRIDE + 1) as u32;
+            let (_, comm_end) = state.streams.stream_mut(comm_id).launch_at(
+                "halo_exchange",
+                barrier,
+                transfer.time_ms,
+            );
+
+            let lx = state.shard.gather_x(x_global);
+            let prob = SpmmProblem::new(&state.shard.local, Some(&state.norm), &lx)?;
+            let (local_out, krep) = state.kernel.execute(&mut state.launcher, &prob)?;
+            let compute_id = (d * DEVICE_STREAM_STRIDE) as u32;
+            state.streams.stream_mut(compute_id).launch_at(
+                "tcgnn_spmm",
+                comm_end,
+                krep.time_ms + DISPATCH_MS,
+            );
+            state
+                .shard
+                .scatter_owned(&state.shard.stack_owned_local(&local_out), &mut out);
+
+            report.halo_bytes[d] += bytes;
+            report.transfer_bytes_priced += transfer.stats.dram_write_bytes;
+            report.transfer_ms += transfer.time_ms;
+        }
+        Ok(out)
+    }
+
+    /// Per-shard `X·W + b` over stacked owned rows; assembles the global
+    /// result. Row-independent, so no synchronization and bitwise equality
+    /// with the full-matrix GEMM.
+    fn dist_linear(
+        &mut self,
+        x_global: &DenseMatrix,
+        layer: &GcnLayer,
+        _report: &mut DistReport,
+    ) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.num_nodes, layer.w.cols());
+        let device = self.device.clone();
+        for (d, state) in self.states.iter_mut().enumerate() {
+            if state.shard.is_empty() {
+                continue;
+            }
+            let xs = state.shard.stack_owned_global(x_global);
+            let mut y = gemm(&xs, &layer.w).expect("layer shapes agree");
+            ops::add_bias_inplace(&mut y, &layer.b).expect("bias length matches");
+
+            let gr = cost::dense_gemm_report(&device, xs.rows(), xs.cols(), layer.w.cols(), true);
+            let bias_bytes = (y.len() * 4) as u64;
+            let br = cost::stream_pass_report(&device, bias_bytes, bias_bytes);
+            let compute_id = (d * DEVICE_STREAM_STRIDE) as u32;
+            let compute = state.streams.stream_mut(compute_id);
+            compute.launch_at("gemm_xw", 0.0, gr.time_ms + DISPATCH_MS);
+            compute.launch_at("add_bias", 0.0, br.time_ms + DISPATCH_MS);
+
+            state.shard.scatter_owned(&y, &mut out);
+        }
+        out
+    }
+
+    /// Charges a row-parallel elementwise pass (e.g. ReLU) of `dim`
+    /// columns over each device's owned rows. Functional work happens on
+    /// the globally assembled matrix; per-device cost covers only the
+    /// owned slice.
+    fn elementwise_everywhere(&mut self, name: &str, dim: usize, _report: &mut DistReport) {
+        let device = self.device.clone();
+        for (d, state) in self.states.iter_mut().enumerate() {
+            if state.shard.is_empty() {
+                continue;
+            }
+            let bytes = (state.shard.owned_rows * dim * 4) as u64;
+            let r = cost::stream_pass_report(&device, bytes, bytes);
+            let compute_id = (d * DEVICE_STREAM_STRIDE) as u32;
+            state
+                .streams
+                .stream_mut(compute_id)
+                .launch_at(name, 0.0, r.time_ms + DISPATCH_MS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_gnn::{Backend, Engine};
+    use tcg_graph::gen;
+    use tcg_tensor::init;
+
+    fn single_device_logits(g: &CsrGraph, model: &GcnModel, x: &DenseMatrix) -> DenseMatrix {
+        let mut eng = Engine::builder(g.clone())
+            .backend(Backend::TcGnn)
+            .device(DeviceSpec::a100())
+            .build()
+            .expect("graph is symmetric");
+        let (logits, _) = model.infer(&mut eng, x);
+        logits
+    }
+
+    #[test]
+    fn two_device_forward_is_bitwise_identical() {
+        let g = gen::rmat_default(600, 5000, 11).unwrap();
+        let model = GcnModel::new(12, 16, 5, 3);
+        let x = init::uniform(g.num_nodes(), 12, -1.0, 1.0, 4);
+        let want = single_device_logits(&g, &model, &x);
+        for p in [Partitioner::Contiguous, Partitioner::GreedyEdgeCut] {
+            let mut ctx = DistContext::new(&g, 2, p, DeviceSpec::a100(), 1);
+            let (got, rep) = ctx.gcn_forward(&model, &x).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice(), "partitioner {p:?}");
+            assert_eq!(rep.devices, 2);
+            assert!(rep.makespan_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_reconciles_halo_traffic_with_the_interconnect_model() {
+        let g = gen::rmat_default(512, 4000, 5).unwrap();
+        // l1 (8→16) aggregates first at dim 8; l2 (16→4) updates first and
+        // aggregates at dim 4.
+        let model = GcnModel::new(8, 16, 4, 1);
+        let x = init::uniform(g.num_nodes(), 8, -1.0, 1.0, 2);
+        let mut ctx = DistContext::new(&g, 4, Partitioner::GreedyEdgeCut, DeviceSpec::a100(), 1);
+        let (_, rep) = ctx.gcn_forward(&model, &x).unwrap();
+        assert_eq!(rep.transfer_bytes_priced, rep.total_halo_bytes());
+        // Two aggregations at dims 8 and 4 ⇒ bytes = halo_rows * (8+4) * 4.
+        for d in 0..4 {
+            assert_eq!(rep.halo_bytes[d], rep.halo_rows[d] as u64 * 12 * 4);
+        }
+        assert!(rep.transfer_ms > 0.0);
+        assert!(rep.cut_edges > 0);
+    }
+
+    #[test]
+    fn update_first_layer_shards_identically() {
+        // in > hidden forces l1 into update-first; halo carries the hidden
+        // dim only.
+        let g = gen::community(400, 3200, 12, 40, 9).unwrap();
+        let model = GcnModel::new(32, 8, 4, 7);
+        assert!(!model.l1.aggregate_first());
+        let x = init::uniform(g.num_nodes(), 32, -1.0, 1.0, 5);
+        let want = single_device_logits(&g, &model, &x);
+        let mut ctx = DistContext::new(&g, 4, Partitioner::Contiguous, DeviceSpec::a100(), 1);
+        let (got, rep) = ctx.gcn_forward(&model, &x).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        // Aggregations at dim 8 (l1 post-GEMM) and dim 4 (l2 pre-GEMM).
+        for d in 0..4 {
+            assert_eq!(rep.halo_bytes[d], rep.halo_rows[d] as u64 * 12 * 4);
+        }
+    }
+
+    #[test]
+    fn more_devices_than_windows_skips_empty_shards() {
+        let g = gen::erdos_renyi(20, 100, 3).unwrap(); // 2 windows
+        let model = GcnModel::new(6, 8, 3, 2);
+        let x = init::uniform(g.num_nodes(), 6, -1.0, 1.0, 1);
+        let want = single_device_logits(&g, &model, &x);
+        let mut ctx = DistContext::new(&g, 8, Partitioner::Contiguous, DeviceSpec::a100(), 1);
+        let (got, rep) = ctx.gcn_forward(&model, &x).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        // Only the two devices owning a window ever launch anything.
+        let owners: std::collections::HashSet<u32> =
+            ctx.partition().assignment.iter().copied().collect();
+        assert_eq!(owners.len(), 2);
+        for (d, &t) in rep.per_device_ms.iter().enumerate() {
+            assert_eq!(t > 0.0, owners.contains(&(d as u32)), "device {d}");
+        }
+    }
+
+    #[test]
+    fn single_device_context_matches_and_pays_no_interconnect() {
+        let g = gen::rmat_default(300, 2500, 8).unwrap();
+        let model = GcnModel::new(10, 16, 4, 6);
+        let x = init::uniform(g.num_nodes(), 10, -1.0, 1.0, 9);
+        let want = single_device_logits(&g, &model, &x);
+        let mut ctx = DistContext::new(&g, 1, Partitioner::GreedyEdgeCut, DeviceSpec::a100(), 1);
+        let (got, rep) = ctx.gcn_forward(&model, &x).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        assert_eq!(rep.transfer_bytes_priced, 0);
+        assert_eq!(rep.transfer_ms, 0.0);
+        assert_eq!(rep.cut_edges, 0);
+    }
+
+    #[test]
+    fn stream_spans_land_on_device_strided_tracks() {
+        let g = gen::rmat_default(256, 2000, 4).unwrap();
+        let model = GcnModel::new(8, 8, 4, 2);
+        let x = init::uniform(g.num_nodes(), 8, -1.0, 1.0, 3);
+        let mut ctx = DistContext::new(&g, 2, Partitioner::Contiguous, DeviceSpec::a100(), 1);
+        ctx.gcn_forward(&model, &x).unwrap();
+        let spans = ctx.stream_spans();
+        let ids: Vec<u32> = spans.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 100, 101]);
+        // Both devices ran compute work and a halo exchange.
+        assert!(spans.iter().all(|&(_, s)| !s.is_empty()));
+    }
+}

@@ -56,11 +56,20 @@ impl GcnLayer {
     }
 
     fn order(&self) -> Order {
-        if self.w.rows() > self.w.cols() {
-            Order::UpdateFirst
-        } else {
+        if self.aggregate_first() {
             Order::AggregateFirst
+        } else {
+            Order::UpdateFirst
         }
+    }
+
+    /// Whether the forward pass aggregates before the weight multiply
+    /// (DGL's `GraphConv` heuristic: aggregate first unless `in_dim >
+    /// out_dim`). Public so external orchestrators — the sharded executor
+    /// in `tcg-dist` — can replay the exact same op order and stay
+    /// bitwise-identical to [`GcnLayer::infer`].
+    pub fn aggregate_first(&self) -> bool {
+        self.w.rows() <= self.w.cols()
     }
 
     /// Forward pass.

@@ -54,6 +54,19 @@ pub struct DeviceSpec {
     /// Outstanding memory transactions one SM can sustain toward L2/DRAM
     /// (LSU/MSHR queue depth) — caps device-wide memory parallelism.
     pub max_outstanding_per_sm: u32,
+    /// Interconnect label for reports (`"PCIe 4.0 x16"`, `"NVLink3"`).
+    pub link_name: String,
+    /// Achievable per-direction device-to-device bandwidth in GB/s over
+    /// the interconnect (not the theoretical lane rate).
+    pub link_bandwidth_gbps: f64,
+    /// One-way device-to-device transfer latency in microseconds.
+    pub link_latency_us: f64,
+    /// Whether the interconnect is a shared fabric: simultaneous
+    /// transfers contend for `link_bandwidth_gbps` (PCIe trees bottleneck
+    /// at the host root complex), versus a switched point-to-point mesh
+    /// (NVLink/NVSwitch) where every device keeps its full per-direction
+    /// bandwidth in an all-to-all exchange.
+    pub link_shared: bool,
 }
 
 impl DeviceSpec {
@@ -84,6 +97,14 @@ impl DeviceSpec {
             l1_latency_cycles: 30,
             mlp_per_warp: 8,
             max_outstanding_per_sm: 128,
+            // GeForce parts have no NVLink (GA102 dropped it on the 3090 Ti
+            // and peer access is via the host): PCIe 4.0 x16 is 31.5 GB/s
+            // raw per direction; p2pBandwidthLatencyTest-style achievable
+            // throughput is ~25 GB/s with ~5 µs one-way latency.
+            link_name: "PCIe 4.0 x16".into(),
+            link_bandwidth_gbps: 25.0,
+            link_latency_us: 5.0,
+            link_shared: true,
         }
     }
 
@@ -114,6 +135,13 @@ impl DeviceSpec {
             l1_latency_cycles: 30,
             mlp_per_warp: 8,
             max_outstanding_per_sm: 192,
+            // A100 SXM4: third-generation NVLink, 12 links × 25 GB/s =
+            // 300 GB/s per direction per GPU (A100 whitepaper); measured
+            // one-way peer latency is ~2 µs.
+            link_name: "NVLink3".into(),
+            link_bandwidth_gbps: 300.0,
+            link_latency_us: 2.0,
+            link_shared: false,
         }
     }
 
@@ -180,6 +208,19 @@ mod tests {
         // 936 GB/s at 1.695 GHz ⇒ ~552 B per cycle.
         assert!((d.dram_bytes_per_cycle() - 552.2).abs() < 1.0);
         assert!(d.l2_bytes_per_cycle() > d.dram_bytes_per_cycle());
+    }
+
+    #[test]
+    fn interconnects_match_platform_topology() {
+        // The 3090 is a PCIe part; the A100 SXM4 is the NVLink one. The
+        // dist cost model keys contention and halo pricing off these.
+        let pcie = DeviceSpec::rtx3090();
+        let nvlink = DeviceSpec::a100();
+        assert!(pcie.link_name.starts_with("PCIe"));
+        assert!(nvlink.link_name.starts_with("NVLink"));
+        assert!(nvlink.link_bandwidth_gbps > 10.0 * pcie.link_bandwidth_gbps);
+        assert!(nvlink.link_latency_us < pcie.link_latency_us);
+        assert!(pcie.link_shared && !nvlink.link_shared);
     }
 
     #[test]

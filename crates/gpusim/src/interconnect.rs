@@ -1,0 +1,116 @@
+//! Device-to-device interconnect cost model for multi-GPU execution.
+//!
+//! `crates/dist` gathers halo feature rows from peer shards before each
+//! sharded launch; this module prices those transfers the same way the
+//! kernel cost model prices launches, so the distributed trace stays
+//! reconciled with the per-kernel reports:
+//!
+//! ```text
+//! time_ms = latency + bytes / (per_direction_bandwidth / contenders)
+//! ```
+//!
+//! - **bandwidth** and **latency** come from [`DeviceSpec::link_bandwidth_gbps`]
+//!   / [`DeviceSpec::link_latency_us`] (NVLink3 on the A100, PCIe 4.0 x16 on
+//!   the RTX 3090; sources documented in `device.rs`).
+//! - **contention** models the all-to-all halo exchange: when `contenders`
+//!   devices pull halos simultaneously over a *shared* fabric, each sees
+//!   `1/contenders` of the per-direction bandwidth. Callers derive
+//!   `contenders` from the topology flag
+//!   [`DeviceSpec::link_shared`]: PCIe trees serialize at the host root
+//!   complex (`contenders = devices`), while a switched NVLink/NVSwitch
+//!   mesh keeps full per-device ingress bandwidth in an all-to-all
+//!   (`contenders = 1`). See DESIGN.md §14 for the modeling argument.
+//!
+//! The result is a [`KernelReport`] with `bound_by: "interconnect"`, the
+//! transferred bytes in `stats.dram_write_bytes` (the receiving device
+//! materializes the halo rows in its own DRAM), and the whole duration
+//! attributed to `pipe_cycles.dram_bandwidth` — so existing report
+//! consumers (trace export, cost-reconciliation checks) need no new cases.
+
+use crate::device::DeviceSpec;
+use crate::stats::{KernelReport, KernelStats, PipeCycles};
+
+/// Prices one halo-exchange transfer of `bytes` into a device whose link
+/// is shared with `contenders - 1` other simultaneous transfers.
+///
+/// `contenders` is clamped to at least 1. Zero-byte transfers still pay
+/// the link latency (a real peer copy of an empty halo would too), except
+/// the degenerate `bytes == 0 && contenders <= 1` single-device case which
+/// is free — a one-shard "exchange" never touches the link at all.
+pub fn transfer_report(device: &DeviceSpec, bytes: u64, contenders: usize) -> KernelReport {
+    let contenders = contenders.max(1);
+    let time_ms = if bytes == 0 && contenders <= 1 {
+        0.0
+    } else {
+        let eff_gbps = device.link_bandwidth_gbps / contenders as f64;
+        device.link_latency_us / 1000.0 + bytes as f64 / (eff_gbps * 1e9) * 1e3
+    };
+    let cycles = time_ms * device.clock_ghz * 1e6;
+    KernelReport {
+        time_ms,
+        cycles,
+        occupancy: 0.0,
+        l1_hit_rate: 0.0,
+        bound_by: "interconnect".to_string(),
+        pipe_cycles: PipeCycles {
+            dram_bandwidth: cycles,
+            ..Default::default()
+        },
+        stats: KernelStats {
+            dram_write_bytes: bytes,
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_term_dominates_large_transfers() {
+        let d = DeviceSpec::a100();
+        // 300 MB over 300 GB/s ⇒ 1 ms + 2 µs latency.
+        let r = transfer_report(&d, 300_000_000, 1);
+        assert!((r.time_ms - (1.0 + 0.002)).abs() < 1e-9, "{}", r.time_ms);
+        assert_eq!(r.stats.dram_write_bytes, 300_000_000);
+        assert_eq!(r.bound_by, "interconnect");
+    }
+
+    #[test]
+    fn contention_divides_bandwidth() {
+        let d = DeviceSpec::a100();
+        let solo = transfer_report(&d, 300_000_000, 1);
+        let shared = transfer_report(&d, 300_000_000, 4);
+        // 4 contenders: the bandwidth term quadruples, latency unchanged.
+        let solo_bw = solo.time_ms - d.link_latency_us / 1000.0;
+        let shared_bw = shared.time_ms - d.link_latency_us / 1000.0;
+        assert!((shared_bw - 4.0 * solo_bw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_on_the_same_transfer() {
+        let bytes = 64_000_000;
+        let nv = transfer_report(&DeviceSpec::a100(), bytes, 2);
+        let pcie = transfer_report(&DeviceSpec::rtx3090(), bytes, 2);
+        assert!(nv.time_ms < pcie.time_ms / 5.0);
+    }
+
+    #[test]
+    fn empty_exchange_costs_latency_only_when_contended() {
+        let d = DeviceSpec::rtx3090();
+        // Single device, nothing to move: free.
+        assert_eq!(transfer_report(&d, 0, 1).time_ms, 0.0);
+        // Multi-device sync with an empty halo still pays the hop.
+        let r = transfer_report(&d, 0, 4);
+        assert!((r.time_ms - d.link_latency_us / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_reconcile_with_time() {
+        let d = DeviceSpec::rtx3090();
+        let r = transfer_report(&d, 1_000_000, 2);
+        assert!((d.cycles_to_ms(r.cycles) - r.time_ms).abs() < 1e-12);
+        assert_eq!(r.pipe_cycles.dram_bandwidth, r.cycles);
+    }
+}

@@ -30,6 +30,7 @@ pub mod cost;
 pub mod cyclesim;
 pub mod device;
 pub mod hotspot;
+pub mod interconnect;
 pub mod launch;
 pub mod occupancy;
 pub mod par;

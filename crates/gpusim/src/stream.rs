@@ -101,6 +101,10 @@ impl Stream {
     }
 }
 
+/// Id stride between devices for [`StreamSet::for_device`]: stream id
+/// `d * DEVICE_STREAM_STRIDE + k` is stream `k` of simulated device `d`.
+pub const DEVICE_STREAM_STRIDE: usize = 100;
+
 /// A fixed set of streams on one simulated device.
 #[derive(Debug, Clone)]
 pub struct StreamSet {
@@ -116,6 +120,25 @@ impl StreamSet {
         let count = count.max(1);
         StreamSet {
             streams: (0..count as u32).map(Stream::new).collect(),
+        }
+    }
+
+    /// `count` fresh streams scoped to simulated device `device_id`, with
+    /// globally unique ids `device_id * DEVICE_STREAM_STRIDE + 0..count`.
+    ///
+    /// Multi-device executors give each shard its own `StreamSet`; the
+    /// strided ids keep the per-device timelines on distinct trace tracks
+    /// (the Perfetto exporter renders ids ≥ stride as `devN/stream-K`).
+    pub fn for_device(device_id: usize, count: usize) -> Self {
+        let count = count.max(1);
+        assert!(
+            count <= DEVICE_STREAM_STRIDE,
+            "per-device stream ids would collide with device {}",
+            device_id + 1
+        );
+        let base = (device_id * DEVICE_STREAM_STRIDE) as u32;
+        StreamSet {
+            streams: (base..base + count as u32).map(Stream::new).collect(),
         }
     }
 
@@ -135,8 +158,13 @@ impl StreamSet {
     }
 
     /// Mutable access to stream `id`.
+    ///
+    /// Ids are contiguous from the set's base (0 for [`StreamSet::new`],
+    /// `device_id * DEVICE_STREAM_STRIDE` for [`StreamSet::for_device`]),
+    /// so lookup is base-relative.
     pub fn stream_mut(&mut self, id: u32) -> &mut Stream {
-        &mut self.streams[id as usize]
+        let base = self.streams[0].id;
+        &mut self.streams[(id - base) as usize]
     }
 
     /// The id of the stream that frees up first, lowest id winning ties.
@@ -217,5 +245,21 @@ mod tests {
         let set = StreamSet::new(0);
         assert_eq!(set.len(), 1);
         assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn device_scoped_sets_stride_ids_and_stay_addressable() {
+        let mut set = StreamSet::for_device(3, 2);
+        assert_eq!(set.streams()[0].id(), 300);
+        assert_eq!(set.streams()[1].id(), 301);
+        // earliest_free returns global ids; stream_mut resolves them.
+        assert_eq!(set.earliest_free(), 300);
+        set.stream_mut(300).launch_at("a", 0.0, 5.0);
+        assert_eq!(set.earliest_free(), 301);
+        set.stream_mut(301).launch_at("b", 0.0, 1.0);
+        assert_eq!(set.sync_all_ms(), 5.0);
+        // Device 0 with for_device matches the plain constructor's ids.
+        let plain = StreamSet::for_device(0, 2);
+        assert_eq!(plain.streams()[0].id(), 0);
     }
 }

@@ -19,6 +19,7 @@ pub mod error;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod synth;
 
 pub use coo::CooGraph;
 pub use csr::CsrGraph;

@@ -1,0 +1,150 @@
+//! Large synthetic graphs for the distributed-execution benchmarks.
+//!
+//! [`power_law`] is a deterministic Barabási–Albert-style preferential-
+//! attachment generator: each new node attaches to `m ≈ avg_degree / 2`
+//! existing nodes sampled proportionally to their current degree (via an
+//! endpoint pool), which yields the heavy-tailed degree distribution of
+//! the paper's Type III datasets — a handful of hub rows own a large share
+//! of the non-zeros, which is exactly the imbalance the `tcg-dist`
+//! partitioner must handle (HC-SpMM, arXiv 2412.08902, makes the same
+//! observation for hybrid kernel selection).
+//!
+//! Unlike [`crate::gen::rmat`], which targets an edge *count*, this
+//! generator targets a node count and an average degree so multi-million
+//! node graphs can be sized directly.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{CooGraph, CsrGraph, NodeId, Result};
+
+/// Deterministic Barabási–Albert-style power-law graph.
+///
+/// `avg_degree` is the target mean *directed* degree of the final
+/// symmetric graph (each undirected attachment contributes two directed
+/// edges); the attachment count per node is `m = max(1, avg_degree / 2)`.
+/// The first `m + 1` nodes form a seed clique so early samples have
+/// endpoints to land on. The same `(seed, num_nodes, avg_degree)` triple
+/// always produces a [`CsrGraph`] with the same
+/// [`CsrGraph::fingerprint`].
+pub fn power_law(seed: u64, num_nodes: usize, avg_degree: usize) -> Result<CsrGraph> {
+    let m = (avg_degree / 2).max(1);
+    if num_nodes <= m + 1 {
+        // Degenerate sizes: fall back to a clique over all nodes.
+        let mut pairs = Vec::new();
+        for a in 0..num_nodes {
+            for b in (a + 1)..num_nodes {
+                pairs.push((a as NodeId, b as NodeId));
+            }
+        }
+        return finish(num_nodes, pairs);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Every accepted undirected edge pushes both endpoints, so sampling a
+    // pool slot uniformly samples nodes proportionally to degree.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * m * num_nodes);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(m * num_nodes);
+    let core = m + 1;
+    for a in 0..core {
+        for b in (a + 1)..core {
+            pairs.push((a as NodeId, b as NodeId));
+            pool.push(a as NodeId);
+            pool.push(b as NodeId);
+        }
+    }
+    let mut picked: Vec<NodeId> = Vec::with_capacity(m);
+    for v in core..num_nodes {
+        picked.clear();
+        // Up to 4·m draws to collect m distinct targets; duplicates are
+        // re-rolled, and any shortfall is filled uniformly so the
+        // attachment count stays exact.
+        let mut attempts = 0;
+        while picked.len() < m && attempts < 4 * m {
+            attempts += 1;
+            let t = pool[rng.random_range(0..pool.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        while picked.len() < m {
+            let t = rng.random_range(0..v) as NodeId;
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            pairs.push((v as NodeId, t));
+            pool.push(v as NodeId);
+            pool.push(t);
+        }
+    }
+    finish(num_nodes, pairs)
+}
+
+/// Collects undirected pairs into a symmetric, deduplicated CSR graph
+/// (same contract as the `gen` module's generators).
+fn finish(num_nodes: usize, pairs: Vec<(NodeId, NodeId)>) -> Result<CsrGraph> {
+    let mut coo = CooGraph::new(num_nodes);
+    for (a, b) in pairs {
+        if a != b {
+            coo.push_edge(a, b);
+        }
+    }
+    coo.symmetrize();
+    coo.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_across_runs() {
+        let a = power_law(7, 4000, 8).unwrap();
+        let b = power_law(7, 4000, 8).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different seed moves the fingerprint.
+        let c = power_law(8, 4000, 8).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn degree_distribution_has_a_heavy_tail() {
+        let g = power_law(2023, 20_000, 8).unwrap();
+        let n = g.num_nodes();
+        let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = degs.iter().sum();
+        // Preferential attachment: the top 1% of nodes must own a
+        // disproportionate share of the edges (far above the uniform 1%),
+        // and the hub degree must dwarf the mean.
+        let top = n / 100;
+        let top_share: usize = degs[..top].iter().sum();
+        assert!(
+            top_share * 10 > total,
+            "top 1% owns {top_share} of {total} directed edges"
+        );
+        let mean = total as f64 / n as f64;
+        assert!(
+            degs[0] as f64 > 10.0 * mean,
+            "hub degree {} vs mean {mean:.1}",
+            degs[0]
+        );
+        // The average degree lands near the request.
+        assert!((mean - 8.0).abs() < 2.0, "mean degree {mean:.2}");
+    }
+
+    #[test]
+    fn output_is_symmetric_and_exact_node_count() {
+        let g = power_law(5, 3000, 6).unwrap();
+        assert_eq!(g.num_nodes(), 3000);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn degenerate_sizes_fall_back_to_a_clique() {
+        let g = power_law(1, 3, 16).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 6); // K3, both directions
+    }
+}

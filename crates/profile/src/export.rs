@@ -31,6 +31,19 @@ fn s(v: &str) -> Value {
 /// stream `N` renders at `tid` `10 + N`.
 const STREAM_TRACK_BASE: u128 = 10;
 
+/// Track label for a stream id. Multi-device executors stride stream ids
+/// by `tcg_gpusim::stream::DEVICE_STREAM_STRIDE` (100), so id
+/// `d * 100 + k` labels as `dev{d}/stream-{k}`; single-device ids keep
+/// the plain `stream-{id}` label.
+fn stream_track_name(id: u32) -> String {
+    const STRIDE: u32 = 100;
+    if id >= STRIDE {
+        format!("dev{}/stream-{}", id / STRIDE, id % STRIDE)
+    } else {
+        format!("stream-{id}")
+    }
+}
+
 /// `tid` of the request-span track (async events group by `cat`+`id`, but
 /// a named track keeps Perfetto's flat view tidy). Below the stream base
 /// and above the phase tracks.
@@ -174,7 +187,7 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
             ("ph", s("M")),
             ("pid", Value::UInt(1)),
             ("tid", Value::UInt(STREAM_TRACK_BASE + id as u128)),
-            ("args", obj(vec![("name", s(&format!("stream-{id}")))])),
+            ("args", obj(vec![("name", s(&stream_track_name(id)))])),
         ]));
     }
     // Request-scoped span trees (serve tracing): async `b`/`e` pairs keyed
@@ -456,6 +469,18 @@ mod tests {
         p.finish_epoch();
         p.record_host("sgt_preprocess", 3.0);
         p
+    }
+
+    #[test]
+    fn device_strided_stream_ids_get_device_track_names() {
+        assert_eq!(stream_track_name(0), "stream-0");
+        assert_eq!(stream_track_name(3), "stream-3");
+        assert_eq!(stream_track_name(100), "dev1/stream-0");
+        assert_eq!(stream_track_name(301), "dev3/stream-1");
+        let mut p = Profiler::new("TC-GNN");
+        p.record_stream_span(201, "shard-fwd", 0.0, 1.0);
+        let json = chrome_trace_json(&p);
+        assert!(json.contains("dev2/stream-1"));
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub use metrics::{parse_prometheus, prometheus_text, render_top, RedMetrics};
 pub use model::ServableModel;
 pub use request::{CancelStage, Outcome, Priority, Request, Response, ShedReason};
 pub use resilience::{BrownoutConfig, BrownoutStats, ResilienceConfig, ResilienceSummary};
+// Re-exported so `ServeConfig { partitioner, .. }` can be filled in
+// without a direct `tcg-dist` dependency.
+pub use tcg_dist::Partitioner;
 // Re-exported so `ServeConfig { fault, .. }` and breaker knobs can be
 // filled in without a direct `tcg-fault` dependency.
 pub use server::{

@@ -540,6 +540,10 @@ mod tests {
             backend: "TC-GNN",
             model: "gcn",
             streams: 2,
+            devices: 1,
+            partitioner: "none",
+            halo_bytes: 0,
+            transfer_ms: 0.0,
             total_requests: 5,
             answered: 3,
             on_time: 2,

@@ -77,6 +77,10 @@ impl ServeReport {
             ("backend", s(self.backend)),
             ("model", s(self.model)),
             ("streams", Value::UInt(self.streams as u128)),
+            ("devices", Value::UInt(self.devices as u128)),
+            ("partitioner", s(self.partitioner)),
+            ("halo_bytes", Value::UInt(self.halo_bytes as u128)),
+            ("transfer_ms", Value::Float(self.transfer_ms)),
             ("total_requests", Value::UInt(self.total_requests as u128)),
             ("answered", Value::UInt(self.answered as u128)),
             ("on_time", Value::UInt(self.on_time as u128)),

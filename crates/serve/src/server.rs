@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use tcg_dist::{DistContext, Partitioner};
 use tcg_fault::{
     BreakerRoute, BreakerStats, CircuitBreaker, FaultConfig, FaultPlan, FaultReport, RetryPolicy,
 };
@@ -125,6 +126,14 @@ pub struct ServeConfig {
     /// breaking, brownout, quarantine spot-checks). `None` (the default)
     /// runs the legacy pipeline byte-identically.
     pub resilience: Option<ResilienceConfig>,
+    /// Simulated devices each batch shards across (`1` = single-device,
+    /// the legacy path). Multi-device execution applies only to clean GCN
+    /// serving — fault injection and the resilience layer operate on the
+    /// single-engine pipeline, so either of them (or a non-GCN model)
+    /// falls the run back to one device.
+    pub devices: usize,
+    /// How row windows are assigned to devices when `devices > 1`.
+    pub partitioner: Partitioner,
 }
 
 impl Default for ServeConfig {
@@ -139,8 +148,19 @@ impl Default for ServeConfig {
             device: DeviceSpec::rtx3090(),
             threads: tcg_gpusim::threads_from_env(),
             resilience: None,
+            devices: 1,
+            partitioner: Partitioner::Contiguous,
         }
     }
+}
+
+/// Whether this run actually shards across devices (see
+/// [`ServeConfig::devices`] for the gating rules).
+fn dist_active(cfg: &ServeConfig, model: &ServableModel) -> bool {
+    cfg.devices > 1
+        && matches!(model, ServableModel::Gcn(_))
+        && cfg.fault.is_none()
+        && cfg.resilience.is_none()
 }
 
 /// A sealed batch bound to a stream, with its translation resolved.
@@ -212,6 +232,15 @@ pub struct ServeReport {
     pub model: &'static str,
     /// Streams configured.
     pub streams: usize,
+    /// Devices each batch actually sharded across (1 when multi-device
+    /// execution was configured but gated off — see [`ServeConfig::devices`]).
+    pub devices: usize,
+    /// Partitioner label (`"none"` on single-device runs).
+    pub partitioner: &'static str,
+    /// Halo-exchange bytes summed over every sharded batch.
+    pub halo_bytes: u64,
+    /// Simulated interconnect milliseconds summed over every sharded batch.
+    pub transfer_ms: f64,
     /// Requests in the trace.
     pub total_requests: usize,
     /// Requests answered (on time or late).
@@ -259,6 +288,10 @@ struct WorkerResult {
     stream: Stream,
     responses: Vec<Response>,
     faults: FaultReport,
+    /// Halo bytes this stream's sharded batches exchanged (0 single-device).
+    halo_bytes: u64,
+    /// Interconnect milliseconds this stream's sharded batches paid.
+    transfer_ms: f64,
     /// This stream's circuit-breaker counters (zeroed when breaking is off).
     breaker: BreakerStats,
     /// Breaker state transitions this stream's breaker went through.
@@ -292,6 +325,7 @@ pub fn serve(
         "request trace must be sorted by arrival time"
     );
     let streams = cfg.streams.max(1);
+    let dist_on = dist_active(cfg, session.model());
     let cancel = cfg
         .resilience
         .as_ref()
@@ -467,8 +501,12 @@ pub fn serve(
     }
     let mut breaker_stats = BreakerStats::default();
     let mut breaker_transitions = 0usize;
+    let mut halo_bytes = 0u64;
+    let mut transfer_ms = 0.0f64;
     for wr in worker_results {
         merge_fault_reports(&mut faults, &wr.faults);
+        halo_bytes += wr.halo_bytes;
+        transfer_ms += wr.transfer_ms;
         breaker_stats.absorb(&wr.breaker);
         breaker_transitions += wr.breaker_transitions;
         batches += wr.stream.launches();
@@ -547,6 +585,14 @@ pub fn serve(
         backend: cfg.backend.name(),
         model: session.model.kind(),
         streams,
+        devices: if dist_on { cfg.devices } else { 1 },
+        partitioner: if dist_on {
+            cfg.partitioner.name()
+        } else {
+            "none"
+        },
+        halo_bytes,
+        transfer_ms,
         total_requests: trace.len(),
         answered,
         on_time,
@@ -587,6 +633,13 @@ fn run_stream(
 ) -> WorkerResult {
     let mut stream = Stream::new(stream_id);
     let mut engines: HashMap<usize, Engine> = HashMap::new();
+    // Multi-device path: one sharded context per graph, built lazily like
+    // the engines. Sharding re-runs SGT per shard, so the dispatcher's
+    // whole-graph translation is not reused here.
+    let dist = dist_active(cfg, model);
+    let mut dist_ctxs: HashMap<usize, DistContext> = HashMap::new();
+    let mut halo_bytes = 0u64;
+    let mut transfer_ms = 0.0f64;
     let mut responses = Vec::new();
     let mut faults = FaultReport::default();
     let res = cfg.resilience.as_ref();
@@ -610,6 +663,71 @@ fn run_stream(
     };
     for b in batches {
         let g = &graphs[b.graph];
+        if dist {
+            // Sharded execution: the whole batch's forward fans out over
+            // `cfg.devices` simulated devices; the serve stream is charged
+            // the distributed makespan (compute + halo exchange), so
+            // speedup from sharding shows up directly in serve latency.
+            let ServableModel::Gcn(gcn) = model else {
+                unreachable!("dist_active requires a GCN model");
+            };
+            let ctx = dist_ctxs.entry(b.graph).or_insert_with(|| {
+                DistContext::new(
+                    &g.csr,
+                    cfg.devices,
+                    cfg.partitioner,
+                    cfg.device.clone(),
+                    cfg.threads,
+                )
+            });
+            let (logits, drep) = ctx
+                .gcn_forward(gcn, &g.features)
+                .expect("session graphs are validated at admission");
+            halo_bytes += drep.total_halo_bytes();
+            transfer_ms += drep.transfer_ms;
+            let name = format!("{}:batch-{}:dist{}", g.name, b.index, drep.devices);
+            let (start_ms, end_ms) = stream.launch_at(&name, b.ready_ms, drep.makespan_ms);
+            if let Some(p) = &worker_profiler {
+                let mut p = p.write().expect("profiler lock");
+                let ids: Vec<u64> = b.requests.iter().map(|r| r.id).collect();
+                p.set_trace(&ids);
+                // Per-device timelines, shifted to the batch's slot on the
+                // serve stream. Device tracks are 1-indexed in serve traces
+                // (`dev1`..`devN`) so they can never collide with the serve
+                // `stream-N` tracks, which own ids below the stride.
+                for (gid, spans) in ctx.stream_spans() {
+                    let track = gid + tcg_gpusim::stream::DEVICE_STREAM_STRIDE as u32;
+                    for span in spans {
+                        p.record_stream_span_on(
+                            track,
+                            &span.name,
+                            start_ms + span.start_ms,
+                            span.dur_ms,
+                            u64::from(stream_id) + 1,
+                        );
+                    }
+                }
+                p.clear_trace();
+            }
+            let classes = ops::argmax_rows(&logits);
+            for req in &b.requests {
+                let latency_ms = end_ms - req.arrival_ms;
+                let class = classes[req.node];
+                let outcome = match req.deadline_ms {
+                    Some(d) if latency_ms > d => Outcome::Late {
+                        class,
+                        latency_ms,
+                        deadline_ms: d,
+                    },
+                    _ => Outcome::Served { class, latency_ms },
+                };
+                responses.push(Response {
+                    id: req.id,
+                    outcome,
+                });
+            }
+            continue;
+        }
         // Where this batch would start on the stream's virtual clock —
         // known before any engine work, so cancellation and breaker
         // routing decide on it without executing anything.
@@ -848,6 +966,8 @@ fn run_stream(
         stream,
         responses,
         faults,
+        halo_bytes,
+        transfer_ms,
         breaker: breaker_stats,
         breaker_transitions,
         profiler,

@@ -1,0 +1,91 @@
+//! Multi-device serving: sharded batches must answer with exactly the
+//! classes single-device serving produces, while the report carries the
+//! halo-exchange accounting.
+
+use tcg_gnn::GcnModel;
+use tcg_graph::gen;
+use tcg_serve::{
+    poisson_trace, serve, LoadgenConfig, Outcome, Partitioner, Response, ServableModel,
+    ServeConfig, ServedGraph, Session,
+};
+use tcg_tensor::init;
+
+fn setup() -> (ServableModel, ServedGraph, Vec<tcg_serve::Request>) {
+    let g = gen::rmat_default(512, 4000, 7).unwrap();
+    let features = init::uniform(g.num_nodes(), 12, -1.0, 1.0, 5);
+    let frozen = ServableModel::Gcn(GcnModel::new(12, 16, 5, 3));
+    let graph = ServedGraph {
+        name: "rmat512".into(),
+        csr: g,
+        features,
+    };
+    let trace = poisson_trace(
+        &[512],
+        &LoadgenConfig {
+            rate_rps: 50_000.0,
+            requests: 48,
+            deadline_ms: None,
+            seed: 11,
+            ..LoadgenConfig::default()
+        },
+    );
+    (frozen, graph, trace)
+}
+
+fn classes(responses: &[Response]) -> Vec<(u64, usize)> {
+    responses
+        .iter()
+        .filter_map(|r| match r.outcome {
+            Outcome::Served { class, .. } | Outcome::Late { class, .. } => Some((r.id, class)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_serving_answers_identically_to_single_device() {
+    let (frozen, graph, trace) = setup();
+    let run = |devices: usize, partitioner: Partitioner| {
+        let mut session = Session::new(frozen.clone(), vec![graph.clone()], 4);
+        let cfg = ServeConfig {
+            devices,
+            partitioner,
+            queue_capacity: trace.len(),
+            ..ServeConfig::default()
+        };
+        serve(&mut session, &cfg, &trace, None)
+    };
+    let single = run(1, Partitioner::Contiguous);
+    assert_eq!(single.devices, 1);
+    assert_eq!(single.partitioner, "none");
+    assert_eq!(single.halo_bytes, 0);
+    for p in [Partitioner::Contiguous, Partitioner::GreedyEdgeCut] {
+        let sharded = run(4, p);
+        assert_eq!(sharded.devices, 4);
+        assert_eq!(sharded.partitioner, p.name());
+        assert_eq!(sharded.answered, single.answered);
+        // Bitwise-identical logits ⇒ identical argmax classes per request.
+        assert_eq!(classes(&sharded.responses), classes(&single.responses));
+        // The 4-way shards of a dense-ish R-MAT graph must exchange halos.
+        assert!(sharded.halo_bytes > 0, "no halo traffic recorded");
+        assert!(sharded.transfer_ms > 0.0, "no interconnect time recorded");
+    }
+}
+
+#[test]
+fn fault_injection_gates_multi_device_off() {
+    let (frozen, graph, trace) = setup();
+    let mut session = Session::new(frozen, vec![graph], 4);
+    let cfg = ServeConfig {
+        devices: 4,
+        fault: Some(tcg_serve::FaultConfig::default()),
+        queue_capacity: trace.len(),
+        ..ServeConfig::default()
+    };
+    let report = serve(&mut session, &cfg, &trace, None);
+    // Chaos runs stay on the single-engine pipeline (retry + degradation
+    // live there), and the report says so instead of claiming 4 devices.
+    assert_eq!(report.devices, 1);
+    assert_eq!(report.partitioner, "none");
+    assert_eq!(report.halo_bytes, 0);
+}

@@ -153,6 +153,15 @@ print(f\"resilience gate: {d['cancelled']} cancelled, \"
     exit 1
 }
 
+step "dist: sharded-execution bitwise equality + scaling baselines"
+# Bitwise gate across the 10 adversarial oracle families and the fig7b
+# dataset suite at 2 and 4 devices under both partitioners, with block
+# bodies fanned over 4 workers — sharding must be invisible to the math.
+TCG_THREADS=4 cargo test --release -q -p tcg-dist
+# Scaling-curve sentinel over the committed BENCH_dist baselines (the full
+# 1M-node workload is `cargo run --release -p tcg-bench --bin bench_dist`).
+cargo run --release -q -p tcg-bench --bin bench_dist -- --check
+
 step "cargo fmt --check"
 cargo fmt --check
 

@@ -11,6 +11,7 @@
 //!                 [--requests N] [--rate RPS] [--streams S] [--max-batch B]
 //!                 [--max-delay MS] [--cache-cap C] [--queue-cap Q]
 //!                 [--deadline MS] [--seed S] [--metrics PATH]
+//!                 [--devices N] [--partitioner contiguous|greedy]
 //! tcgnn top       <DATASET>[,<DATASET>...] [same flags as serve]
 //! tcgnn profile   --hotspots [--datasets a,b,...] [--epochs N]
 //! tcgnn bench     --check [--baselines DIR]
@@ -57,9 +58,12 @@ fn usage() -> ExitCode {
                      [--max-delay MS] [--cache-cap C] [--queue-cap Q]\n\
                      [--deadline MS] [--seed S] [--metrics PATH]\n\
                      [--resilience] [--low-every N] [--critical-every N]\n\
+                     [--devices N] [--partitioner contiguous|greedy]\n\
                      --metrics writes Prometheus text-format RED metrics;\n\
                      --resilience enables deadline cancellation, circuit\n\
-                     breakers, brownout shedding, and cache quarantine\n\
+                     breakers, brownout shedding, and cache quarantine;\n\
+                     --devices > 1 shards clean GCN batches across simulated\n\
+                     devices with halo exchange (see DESIGN.md \u{00a7}14)\n\
            top       <DATASET>[,<DATASET>...] [same flags as serve]\n\
                      run the serve workload, render an ASCII dashboard\n\
            profile   --hotspots [--datasets a,b,...] [--epochs N]\n\
@@ -549,6 +553,19 @@ fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
     cfg.policy.max_delay_ms = parse_f64("--max-delay", 2.0);
     if args.iter().any(|a| a == "--resilience") {
         cfg.resilience = Some(tc_gnn::serve::ResilienceConfig::default());
+    }
+    cfg.devices = parse_usize("--devices", 1);
+    if let Some(p) = flag_value(args, "--partitioner") {
+        match tc_gnn::dist::Partitioner::parse(&p) {
+            Some(part) => cfg.partitioner = part,
+            None => {
+                eprintln!("error: unknown partitioner {p} (contiguous|greedy)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.devices > 1 && (model != "gcn" || cfg.resilience.is_some()) {
+        eprintln!("note: --devices applies to clean GCN serving; running single-device");
     }
     let lg = LoadgenConfig {
         rate_rps: parse_f64("--rate", 200.0),

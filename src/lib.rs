@@ -1,5 +1,6 @@
 //! TC-GNN facade crate: re-exports the whole workspace behind one name.
 pub use tcg_bench as bench;
+pub use tcg_dist as dist;
 pub use tcg_fault as fault;
 pub use tcg_gnn as gnn;
 pub use tcg_gpusim as gpusim;
