@@ -159,6 +159,38 @@ pub fn default_specs() -> Vec<MetricSpec> {
             warn_pct: 2.0,
             fail_pct: 25.0,
         },
+        // Hybrid per-window dispatch (virtual cycles, deterministic):
+        // geomean speedup vs the best pure backend must stay >= 1, and the
+        // hybrid cycle totals move only when the cost model or the fitted
+        // thresholds change.
+        MetricSpec {
+            file: "BENCH_hybrid",
+            path: "spmm.geomean_speedup_vs_best",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 1.0,
+            fail_pct: 10.0,
+        },
+        MetricSpec {
+            file: "BENCH_hybrid",
+            path: "sddmm.geomean_speedup_vs_best",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 1.0,
+            fail_pct: 10.0,
+        },
+        MetricSpec {
+            file: "BENCH_hybrid",
+            path: "spmm.hybrid_mcycles",
+            direction: Direction::LowerIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 25.0,
+        },
+        MetricSpec {
+            file: "BENCH_hybrid",
+            path: "sddmm.hybrid_mcycles",
+            direction: Direction::LowerIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 25.0,
+        },
     ]
 }
 

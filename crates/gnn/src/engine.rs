@@ -5,9 +5,10 @@ use tcg_gpusim::cost::stream_pass_report;
 use tcg_gpusim::{DeviceSpec, Launcher};
 use tcg_graph::CsrGraph;
 use tcg_kernels::common::{SpmmKernel, SpmmProblem};
-use tcg_kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
+use tcg_kernels::hybrid::{render_mask, DispatchPolicy, KernelClass, WindowBackend};
+use tcg_kernels::sddmm::{CudaCoreSddmm, HybridSddmm, SddmmKernel, TcgnnSddmm};
 use tcg_kernels::softmax::sparse_row_softmax;
-use tcg_kernels::spmm::{CusparseCsrSpmm, ScatterGatherSpmm, TcgnnSpmm};
+use tcg_kernels::spmm::{CusparseCsrSpmm, HybridSpmm, ScatterGatherSpmm, TcgnnSpmm};
 use tcg_profile::{Phase, SharedProfiler};
 use tcg_tensor::DenseMatrix;
 
@@ -20,6 +21,10 @@ pub enum Backend {
     PygLike,
     /// TC-GNN: SGT-translated tensor-core kernels.
     TcGnn,
+    /// Hybrid: per-row-window dispatch between the TC-GNN tensor-core
+    /// body and the cuSPARSE-class CUDA-core body, decided by the cost
+    /// model's window-geometry score (one mixed launch per op).
+    Hybrid,
 }
 
 impl Backend {
@@ -29,12 +34,30 @@ impl Backend {
             Backend::DglLike => "DGL",
             Backend::PygLike => "PyG",
             Backend::TcGnn => "TC-GNN",
+            Backend::Hybrid => "Hybrid",
         }
     }
 
-    /// All three backends, in the order the figures list them.
+    /// The paper's three backends, in the order the figures list them.
+    /// (The hybrid dispatcher is not a paper baseline; callers that want
+    /// it too use [`Backend::all_with_hybrid`].)
     pub fn all() -> [Backend; 3] {
         [Backend::DglLike, Backend::PygLike, Backend::TcGnn]
+    }
+
+    /// Every backend, hybrid included.
+    pub fn all_with_hybrid() -> [Backend; 4] {
+        [
+            Backend::DglLike,
+            Backend::PygLike,
+            Backend::TcGnn,
+            Backend::Hybrid,
+        ]
+    }
+
+    /// Whether this backend consumes an SGT translation.
+    pub fn uses_translation(&self) -> bool {
+        matches!(self, Backend::TcGnn | Backend::Hybrid)
     }
 }
 
@@ -162,8 +185,10 @@ pub struct Engine {
     inv_sqrt_deg: Vec<f32>,
     spmm: Box<dyn SpmmKernel>,
     sddmm: Box<dyn SddmmKernel>,
-    /// The SGT translation (TC-GNN backend only; enables the fused path).
+    /// The SGT translation (TC-GNN/hybrid backends; enables the fused path).
     translated: Option<tcg_sgt::TranslatedGraph>,
+    /// Per-window dispatch policies, `(spmm, sddmm)` (hybrid backend only).
+    hybrid_policies: Option<(DispatchPolicy, DispatchPolicy)>,
     /// One-time preprocessing cost (SGT for TC-GNN), modeled host ms.
     preprocessing_ms: f64,
     /// Most recent SpMM kernel report (for profiling tables).
@@ -278,6 +303,7 @@ impl EngineBuilder {
             .map(|v| 1.0 / (csr.degree(v).max(1) as f32).sqrt())
             .collect();
         let mut translated = None;
+        let mut hybrid_policies = None;
         let (spmm, sddmm, preprocessing_ms): (Box<dyn SpmmKernel>, Box<dyn SddmmKernel>, f64) =
             match backend {
                 Backend::DglLike => (Box::new(CusparseCsrSpmm), Box::new(CudaCoreSddmm), 0.0),
@@ -298,6 +324,25 @@ impl EngineBuilder {
                         sgt_ms,
                     )
                 }
+                Backend::Hybrid => {
+                    let (t, sgt_ms) = match cached {
+                        Some(t) => (t, 0.0),
+                        None => (
+                            tcg_sgt::translate_parallel(&csr, threads),
+                            tcg_sgt::overhead::model_ms(&csr),
+                        ),
+                    };
+                    t.validate(&csr)?;
+                    translated = Some(t.clone());
+                    let spmm_policy = DispatchPolicy::from_env(KernelClass::Spmm);
+                    let sddmm_policy = DispatchPolicy::from_env(KernelClass::Sddmm);
+                    hybrid_policies = Some((spmm_policy, sddmm_policy));
+                    (
+                        Box::new(HybridSpmm::from_translated(t.clone()).with_policy(spmm_policy)),
+                        Box::new(HybridSddmm::from_translated(t).with_policy(sddmm_policy)),
+                        sgt_ms,
+                    )
+                }
             };
         Ok(Engine {
             backend,
@@ -311,6 +356,7 @@ impl EngineBuilder {
             spmm,
             sddmm,
             translated,
+            hybrid_policies,
             preprocessing_ms,
             last_spmm_report: None,
             last_sddmm_report: None,
@@ -395,6 +441,45 @@ impl Engine {
                 .expect("profiler lock")
                 .record_fallback(name, phase);
         }
+    }
+
+    /// Records one hybrid mixed launch's per-window dispatch decisions: a
+    /// zero-duration trace marker carrying the run-length mask, plus the
+    /// `tcg_hybrid_*` counter family. No-op without a profiler.
+    fn prof_hybrid_dispatch(&self, op: &str, mask: &[WindowBackend]) {
+        if let Some(p) = &self.profiler {
+            let tcu = mask.iter().filter(|b| **b == WindowBackend::Tcu).count() as u64;
+            let cuda = mask.len() as u64 - tcu;
+            let mut p = p.write().expect("profiler lock");
+            p.incr_counter("tcg_hybrid_launches_total", 1);
+            p.incr_counter("tcg_hybrid_windows_tcu_total", tcu);
+            p.incr_counter("tcg_hybrid_windows_cuda_total", cuda);
+            p.record_span(
+                &format!("hybrid_dispatch:{op}[{}]", render_mask(mask)),
+                Phase::Aggregation,
+                0.0,
+            );
+        }
+    }
+
+    /// Recomputes and records the hybrid dispatch mask for one op. The mask
+    /// is a pure function of window geometry, so this reproduces exactly
+    /// what the kernel decided. No-op on non-hybrid backends or without a
+    /// profiler.
+    fn prof_hybrid_mask(&self, op: &str, class: KernelClass, dim: usize) {
+        if self.profiler.is_none() {
+            return;
+        }
+        let (Some(t), Some((spmm_policy, sddmm_policy))) = (&self.translated, self.hybrid_policies)
+        else {
+            return;
+        };
+        let policy = match class {
+            KernelClass::Spmm => spmm_policy,
+            KernelClass::Sddmm => sddmm_policy,
+        };
+        let mask = policy.mask(t, &self.csr, dim);
+        self.prof_hybrid_dispatch(op, &mask);
     }
 
     /// Attaches a fault-injection plan to the simulated device. Ops keep
@@ -520,10 +605,61 @@ impl Engine {
     /// Host dispatch cost of `n` sparse graph operations on this backend.
     fn sparse_dispatch_ms(&self, n: u32) -> f64 {
         let per_op = match self.backend {
-            Backend::TcGnn => EXTENSION_DISPATCH_MS,
+            Backend::TcGnn | Backend::Hybrid => EXTENSION_DISPATCH_MS,
             _ => FRAMEWORK_DISPATCH_MS,
         };
         per_op * f64::from(n)
+    }
+
+    /// Hybrid ECC recovery: identifies the poisoned row windows by
+    /// scanning the discarded output for non-finite values, flips exactly
+    /// those windows to the CUDA-core body, and re-executes the mixed
+    /// launch with injection suppressed — every healthy window keeps its
+    /// original dispatch. Returns `None` when no poisoned TCU window can
+    /// be identified, in which case the caller takes the whole-op degrade.
+    fn hybrid_spmm_window_degrade(
+        &mut self,
+        x: &DenseMatrix,
+        values: Option<&[f32]>,
+        poisoned: &DenseMatrix,
+    ) -> Result<Option<(DenseMatrix, f64)>, TcgError> {
+        let (Some(t), Some((spmm_policy, _))) = (self.translated.clone(), self.hybrid_policies)
+        else {
+            return Ok(None);
+        };
+        let mut mask = spmm_policy.mask(&t, &self.csr, x.cols());
+        let mut flipped = 0u64;
+        for (w, choice) in mask.iter_mut().enumerate() {
+            let row_lo = w * tcg_sgt::TC_BLK_H;
+            let row_hi = ((w + 1) * tcg_sgt::TC_BLK_H).min(poisoned.rows());
+            let dirty = (row_lo..row_hi).any(|r| poisoned.row(r).iter().any(|v| !v.is_finite()));
+            if dirty && *choice == WindowBackend::Tcu {
+                *choice = WindowBackend::CudaCore;
+                flipped += 1;
+            }
+        }
+        if flipped == 0 {
+            return Ok(None);
+        }
+        self.degraded += 1;
+        self.prof_fallback("spmm_window_degrade", Phase::Aggregation);
+        if let Some(p) = &self.profiler {
+            p.write()
+                .expect("profiler lock")
+                .incr_counter("tcg_hybrid_window_degrades_total", flipped);
+        }
+        self.prof_hybrid_dispatch("spmm_degraded", &mask);
+        let kernel = HybridSpmm::from_translated(t).with_mask(mask);
+        let was_suppressed = self.launcher.fault_suppressed();
+        self.launcher.set_fault_suppressed(true);
+        let prob = SpmmProblem::new(&self.csr, values, x)?;
+        let result = kernel.execute(&mut self.launcher, &prob);
+        self.launcher.set_fault_suppressed(was_suppressed);
+        let (out, report) = result?;
+        let ms = report.time_ms + self.sparse_dispatch_ms(1);
+        self.prof_kernel("spmm", Phase::Aggregation, ms, &report);
+        self.last_spmm_report = Some(report);
+        Ok(Some((out, ms)))
     }
 
     /// Neighbor aggregation `out = (F ⊙ A)·X` on the backend's kernel.
@@ -532,6 +668,9 @@ impl Engine {
     /// here: transients retry with backoff, everything else degrades to the
     /// cuSPARSE-class CUDA-core kernel (injection suppressed). Only setup
     /// errors — dimension mismatches and the like — reach the caller.
+    /// The hybrid backend recovers from a detected ECC flip at *window*
+    /// granularity instead: only the poisoned windows are re-dispatched to
+    /// the CUDA-core body (see [`Engine::hybrid_spmm_window_degrade`]).
     pub fn spmm(
         &mut self,
         x: &DenseMatrix,
@@ -552,9 +691,17 @@ impl Engine {
                             let wasted = report.time_ms + self.sparse_dispatch_ms(1);
                             self.prof_span("spmm_discarded", Phase::Aggregation, wasted);
                             extra_ms += wasted;
+                            if self.backend == Backend::Hybrid {
+                                if let Some((out, ms)) =
+                                    self.hybrid_spmm_window_degrade(x, values, &out)?
+                                {
+                                    return Ok((out, extra_ms + ms));
+                                }
+                            }
                             break;
                         }
                         let ms = report.time_ms + self.sparse_dispatch_ms(1);
+                        self.prof_hybrid_mask("spmm", KernelClass::Spmm, x.cols());
                         self.prof_kernel("spmm", Phase::Aggregation, ms, &report);
                         self.last_spmm_report = Some(report);
                         return Ok((out, extra_ms + ms));
@@ -635,6 +782,7 @@ impl Engine {
                                 extra_ms += wasted;
                                 break;
                             }
+                            self.prof_hybrid_mask("sddmm", KernelClass::Sddmm, xa.cols());
                             break 'run (vals, report);
                         }
                         Err(e) => {
@@ -713,7 +861,7 @@ impl Engine {
         let kernel_ms = report.time_ms + self.sparse_dispatch_ms(1);
         let mut ms = extra_ms + kernel_ms;
         self.prof_kernel("edge_softmax", Phase::Aggregation, kernel_ms, &report);
-        if self.backend != Backend::TcGnn {
+        if !self.backend.uses_translation() {
             // Two extra kernel round-trips over the edge array, each its own
             // framework op (DGL's segment max / exp-sum / divide pipeline).
             let e_bytes = (self.csr.num_edges() * 4) as u64;
@@ -843,7 +991,7 @@ impl Engine {
     /// values.
     pub fn gcn_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), TcgError> {
         match self.backend {
-            Backend::TcGnn => {
+            Backend::TcGnn | Backend::Hybrid => {
                 let norm = self.gcn_norm.clone();
                 self.spmm(x, Some(&norm))
             }
@@ -887,7 +1035,7 @@ impl Engine {
     /// kernel; TC-GNN folds `1/d` into the translated kernel's edge values.
     pub fn mean_aggregate(&mut self, x: &DenseMatrix) -> Result<(DenseMatrix, f64), TcgError> {
         match self.backend {
-            Backend::TcGnn => {
+            Backend::TcGnn | Backend::Hybrid => {
                 let norm = self.mean_norm.clone();
                 self.spmm(x, Some(&norm))
             }
@@ -1282,6 +1430,56 @@ mod tests {
         let report = e.fault_report();
         assert_eq!(report.degraded, 1);
         assert_eq!(report.ecc_flips, 1);
+    }
+
+    #[test]
+    fn hybrid_backend_matches_references_and_supports_fused_path() {
+        let x = init::uniform(400, 16, -1.0, 1.0, 31);
+        let mut e = engine(Backend::Hybrid);
+        assert_eq!(e.backend().name(), "Hybrid");
+        assert!(e.supports_fused_attention());
+        assert!(e.preprocessing_ms() > 0.0);
+        let (out, ms) = e.spmm(&x, None).unwrap();
+        assert!(ms > 0.0);
+        let prob = SpmmProblem::new(e.graph(), None, &x).unwrap();
+        assert!(out.max_abs_diff(&reference_spmm(&prob)).unwrap() < 0.05);
+        let (vals, _) = e.sddmm(&x, &x).unwrap();
+        let reference = reference_sddmm(e.graph(), &x, &x);
+        for (a, r) in vals.iter().zip(&reference) {
+            assert!((a - r).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn hybrid_ecc_flip_degrades_only_the_poisoned_window() {
+        use tcg_fault::{FaultConfig, FaultPlan};
+        let x = init::uniform(400, 16, -1.0, 1.0, 24);
+        let mut e = engine(Backend::Hybrid);
+        let profiler = tcg_profile::shared("Hybrid");
+        e.attach_profiler(profiler.clone());
+        e.attach_fault_plan(FaultPlan::new(
+            5,
+            FaultConfig {
+                ecc_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        ));
+        let (out, _) = e.spmm(&x, None).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        let report = e.fault_report();
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.ecc_flips, 1);
+        let prob = SpmmProblem::new(e.graph(), None, &x).unwrap();
+        assert!(out.max_abs_diff(&reference_spmm(&prob)).unwrap() < 0.05);
+        // Exactly one TCU window was re-dispatched to the CUDA-core body;
+        // the degrade re-executed as a mixed launch, not a whole-op swap.
+        let p = profiler.read().unwrap();
+        assert_eq!(p.named_counter("tcg_hybrid_window_degrades_total"), 1);
+        assert!(p.events().iter().any(|ev| ev.name == "spmm_window_degrade"));
+        assert!(p
+            .events()
+            .iter()
+            .any(|ev| ev.name.starts_with("hybrid_dispatch:spmm_degraded[")));
     }
 
     #[test]

@@ -23,8 +23,10 @@
 
 pub mod common;
 pub mod fused;
+pub mod hybrid;
 pub mod sddmm;
 pub mod softmax;
 pub mod spmm;
 
 pub use common::{reference_sddmm, reference_spmm, KernelError, SpmmProblem, TcgError};
+pub use hybrid::{render_mask, DispatchPolicy, KernelClass, WindowBackend, WindowGeometry};

@@ -1,9 +1,11 @@
 //! Edge-feature computation (SDDMM) kernels.
 
 pub mod cuda_core;
+pub mod hybrid;
 pub mod tcgnn;
 
 pub use cuda_core::CudaCoreSddmm;
+pub use hybrid::HybridSddmm;
 pub use tcgnn::TcgnnSddmm;
 
 use tcg_gpusim::{KernelReport, Launcher};

@@ -4,6 +4,7 @@ pub mod bspmm;
 pub mod cusparse;
 pub mod dense;
 pub mod gespmm;
+pub mod hybrid;
 pub mod scatter;
 pub mod tcgnn;
 pub mod tcgnn_half;
@@ -15,6 +16,7 @@ pub use bspmm::{BlockedEllSpmm, CondensedEllSpmm};
 pub use cusparse::CusparseCsrSpmm;
 pub use dense::DenseGemmSpmm;
 pub use gespmm::GeSpmm;
+pub use hybrid::HybridSpmm;
 pub use scatter::ScatterGatherSpmm;
 pub use tcgnn::TcgnnSpmm;
 pub use tcgnn_half::TcgnnSpmmHalf;

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use tcg_oracle::{run_case, shrink, BackendKind, Family, KernelKind};
+use tcg_oracle::{hybrid_dispatch_mask, run_case, shrink, BackendKind, Family, KernelKind};
 
 struct Args {
     seed: u64,
@@ -98,6 +98,12 @@ fn main() {
                                 small.num_nodes(),
                                 small.num_edges()
                             );
+                            if backend == BackendKind::Hybrid {
+                                eprintln!(
+                                    "per-window dispatch: {}",
+                                    hybrid_dispatch_mask(kernel, &small, args.dim)
+                                );
+                            }
                         }
                         eprintln!(
                             "repro: cargo run --release -p tcg-oracle --bin fuzz_kernels -- \

@@ -11,9 +11,9 @@ use tcg_gpusim::{DeviceSpec, Launcher};
 use tcg_graph::CsrGraph;
 use tcg_kernels::common::SpmmKernel;
 use tcg_kernels::fused::fused_attention;
-use tcg_kernels::sddmm::{CudaCoreSddmm, SddmmKernel, TcgnnSddmm};
+use tcg_kernels::sddmm::{CudaCoreSddmm, HybridSddmm, SddmmKernel, TcgnnSddmm};
 use tcg_kernels::softmax::sparse_row_softmax;
-use tcg_kernels::spmm::{CusparseCsrSpmm, TcgnnSpmm};
+use tcg_kernels::spmm::{CusparseCsrSpmm, HybridSpmm, TcgnnSpmm};
 use tcg_kernels::SpmmProblem;
 use tcg_serve::TranslationCache;
 use tcg_sgt::{TranslatedGraph, TC_BLK_H};
@@ -73,14 +73,19 @@ pub enum BackendKind {
     /// The tensor-core path fed by a *cache-hit* translation resolved
     /// through `tcg_serve::TranslationCache`, exactly as serving does.
     CachedTranslation,
+    /// The hybrid per-row-window dispatcher: each window runs the TCU or
+    /// CUDA-core body, chosen by the cost model's geometry score, in one
+    /// mixed launch.
+    Hybrid,
 }
 
 impl BackendKind {
     /// Every backend, in a stable order.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Tcu,
         BackendKind::CudaCore,
         BackendKind::CachedTranslation,
+        BackendKind::Hybrid,
     ];
 
     /// Stable display name.
@@ -89,6 +94,7 @@ impl BackendKind {
             BackendKind::Tcu => "tcu",
             BackendKind::CudaCore => "cuda-core",
             BackendKind::CachedTranslation => "cached-translation",
+            BackendKind::Hybrid => "hybrid",
         }
     }
 }
@@ -223,6 +229,25 @@ fn edge_divergence(
     }
 }
 
+/// Renders the hybrid dispatcher's per-window decisions for a case: the
+/// mask the mixed launch runs with under the default (unfitted) policies,
+/// run-length encoded (`Tx3 cx1` = three TCU windows then one CUDA-core).
+/// The fused-attention pipeline shows both its SDDMM and SpMM masks.
+///
+/// Fuzz repros print this so a minimized hybrid divergence states exactly
+/// which windows took which body.
+pub fn hybrid_dispatch_mask(kernel: KernelKind, csr: &CsrGraph, dim: usize) -> String {
+    use tcg_kernels::hybrid::{render_mask, DispatchPolicy, KernelClass};
+    let t = tcg_sgt::translate(csr);
+    let spmm = || render_mask(&DispatchPolicy::default_for(KernelClass::Spmm).mask(&t, csr, dim));
+    let sddmm = || render_mask(&DispatchPolicy::default_for(KernelClass::Sddmm).mask(&t, csr, dim));
+    match kernel {
+        KernelKind::Spmm | KernelKind::SpmmWeighted => format!("spmm: {}", spmm()),
+        KernelKind::Sddmm | KernelKind::Softmax => format!("sddmm: {}", sddmm()),
+        KernelKind::FusedAttention => format!("sddmm: {} | spmm: {}", sddmm(), spmm()),
+    }
+}
+
 /// Runs one conformance cell: executes `kernel` through `backend` on inputs
 /// derived from `(csr, dim, seed)` and compares against the scalar golden
 /// reference.
@@ -262,6 +287,13 @@ pub fn run_case(
                         .map_err(err)?
                         .0
                 }
+                BackendKind::Hybrid => {
+                    let t = resolve_translation(backend, csr);
+                    HybridSpmm::from_translated(t)
+                        .execute(&mut launcher, &prob)
+                        .map_err(err)?
+                        .0
+                }
                 _ => {
                     let t = resolve_translation(backend, csr);
                     TcgnnSpmm::from_translated(t)
@@ -288,6 +320,14 @@ pub fn run_case(
                         .0,
                     None,
                 ),
+                BackendKind::Hybrid => {
+                    let t = resolve_translation(backend, csr);
+                    let got = HybridSddmm::from_translated(t.clone())
+                        .execute(&mut launcher, csr, &x, &xb)
+                        .map_err(err)?
+                        .0;
+                    (got, Some(t))
+                }
                 _ => {
                     let t = resolve_translation(backend, csr);
                     let got = TcgnnSddmm::from_translated(t.clone())
@@ -314,6 +354,14 @@ pub fn run_case(
                         .0,
                     None,
                 ),
+                BackendKind::Hybrid => {
+                    let t = resolve_translation(backend, csr);
+                    let got = HybridSddmm::from_translated(t.clone())
+                        .execute(&mut launcher, csr, &x, &x)
+                        .map_err(err)?
+                        .0;
+                    (got, Some(t))
+                }
                 _ => {
                     let t = resolve_translation(backend, csr);
                     let got = TcgnnSddmm::from_translated(t.clone())
@@ -348,6 +396,24 @@ pub fn run_case(
                         .map_err(err)?
                         .0;
                     (y, p, None)
+                }
+                BackendKind::Hybrid => {
+                    // The hybrid attention pipeline: per-window-dispatched
+                    // SDDMM, β scale, softmax, per-window-dispatched
+                    // weighted SpMM.
+                    let t = resolve_translation(backend, csr);
+                    let cos = HybridSddmm::from_translated(t.clone())
+                        .execute(&mut launcher, csr, &x, &x)
+                        .map_err(err)?
+                        .0;
+                    let scaled: Vec<f32> = cos.iter().map(|&c| BETA * c).collect();
+                    let (p, _) = sparse_row_softmax(&mut launcher, csr, &scaled).map_err(err)?;
+                    let prob = SpmmProblem::new(csr, Some(&p), &xb).map_err(|e| err(e.into()))?;
+                    let y = HybridSpmm::from_translated(t.clone())
+                        .execute(&mut launcher, &prob)
+                        .map_err(err)?
+                        .0;
+                    (y, p, Some(t))
                 }
                 _ => {
                     let t = resolve_translation(backend, csr);

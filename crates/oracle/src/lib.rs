@@ -38,5 +38,5 @@ pub mod shrink;
 pub use advgen::Family;
 pub use approx::{approx_eq, first_mismatch, ulp_distance, Mismatch};
 pub use conformance::{run_matrix, ConformanceReport, MatrixConfig};
-pub use diff::{run_case, BackendKind, Divergence, KernelKind};
+pub use diff::{hybrid_dispatch_mask, run_case, BackendKind, Divergence, KernelKind};
 pub use shrink::shrink;

@@ -326,6 +326,13 @@ pub fn metrics_json(profiler: &Profiler) -> String {
         ("epochs", Value::Array(epochs)),
         ("metrics", registry_value(profiler.registry())),
     ];
+    let named: Vec<(String, Value)> = profiler
+        .named_counters()
+        .map(|(k, v)| (k.to_string(), Value::UInt(v as u128)))
+        .collect();
+    if !named.is_empty() {
+        fields.push(("counters", Value::Object(named)));
+    }
     let stream_obj = Value::Object(streams);
     if !profiler.stream_spans().is_empty() {
         fields.push(("stream_busy_ms", stream_obj));

@@ -1,6 +1,7 @@
 //! The recorder: collects events, maintains the registry, tracks
 //! epoch/layer context, and rolls epochs up.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 use tcg_gpusim::{KernelReport, KernelStats};
@@ -112,6 +113,10 @@ pub struct Profiler {
     stream_spans: Vec<StreamSpanEvent>,
     request_trees: Vec<RequestSpan>,
     registry: MetricsRegistry,
+    /// Free-form named monotonic counters (e.g. the `tcg_hybrid_*` family
+    /// recording per-window dispatch outcomes). `BTreeMap` keeps exports
+    /// deterministic.
+    named: BTreeMap<String, u64>,
     rollups: Vec<EpochRollup>,
     /// Run-wide per-phase totals, accumulated in record order (indexed by
     /// `Phase::track() - 1`).
@@ -142,6 +147,7 @@ impl Profiler {
             stream_spans: Vec::new(),
             request_trees: Vec::new(),
             registry: MetricsRegistry::default(),
+            named: BTreeMap::new(),
             rollups: Vec::new(),
             phase_ms: [0.0; 4],
             epoch_events: 0,
@@ -226,6 +232,24 @@ impl Profiler {
     /// The trace ids currently tagged onto events.
     pub fn trace(&self) -> &[u64] {
         &self.trace
+    }
+
+    /// Adds `by` to a free-form named monotonic counter. The hybrid
+    /// dispatcher's `tcg_hybrid_*` metrics family lives here; any
+    /// subsystem may register its own names. Zero increments still create
+    /// the counter so a family's gauges all appear once touched.
+    pub fn incr_counter(&mut self, name: &str, by: u64) {
+        *self.named.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// A named counter's value (0 when never incremented).
+    pub fn named_counter(&self, name: &str) -> u64 {
+        self.named.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters, in deterministic (sorted) order.
+    pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.named.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Records a completed request-scoped span tree.
@@ -418,6 +442,9 @@ impl Profiler {
             for (mine, theirs) in self.phase_ms.iter_mut().zip(other.phase_ms) {
                 *mine += theirs;
             }
+        }
+        for (name, value) in other.named {
+            *self.named.entry(name).or_insert(0) += value;
         }
         self.stream_spans.extend(other.stream_spans);
         self.rollups.extend(other.rollups);

@@ -153,6 +153,16 @@ print(f\"resilience gate: {d['cancelled']} cancelled, \"
     exit 1
 }
 
+step "hybrid: per-window dispatch conformance + tune-threshold bench gate"
+# The conformance matrix above already runs the hybrid backend column
+# (BackendKind::ALL); here the dispatch-specific suites: stitching/purity
+# property tests, 8-vs-1-thread mixed launches with the ECC window-degrade
+# chaos case, then the bench sentinel over the committed BENCH_hybrid
+# baselines (whose _meta carries the fitted tune thresholds; the full
+# sweep is `cargo run --release -p tcg-bench --bin bench_hybrid`).
+cargo test --release -q --test hybrid_dispatch
+cargo run --release -q -p tcg-bench --bin bench_hybrid -- --check
+
 step "dist: sharded-execution bitwise equality + scaling baselines"
 # Bitwise gate across the 10 adversarial oracle families and the fig7b
 # dataset suite at 2 and 4 devices under both partitioners, with block

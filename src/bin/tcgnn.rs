@@ -17,6 +17,7 @@
 //! tcgnn bench     --check [--baselines DIR]
 //! tcgnn verify    [--seed N] [--dim D] [--families f1,f2,...]
 //!                 [--no-metamorphic]
+//! tcgnn tune      [--dim D] [--seed N]
 //! ```
 //!
 //! `<GRAPH>` is a dataset name from the registry (optionally with
@@ -49,7 +50,7 @@ fn usage() -> ExitCode {
            translate <GRAPH>                run SGT and print translation stats\n\
            spmm      <GRAPH> [--dim D]      run every SpMM kernel on the graph\n\
            train     <DATASET> [--model gcn|sage|gin|agnn]\n\
-                     [--backend dgl|pyg|tcgnn] [--epochs N]\n\
+                     [--backend dgl|pyg|tcgnn|hybrid] [--epochs N]\n\
            eval      <DATASET> [--model M] [--backend B] [--epochs N]\n\
                      train briefly, then run the inference-only forward\n\
                      (TCG_FAULT_RATE/TCG_FAULT_SEED inject chaos, as in serve)\n\
@@ -76,6 +77,11 @@ fn usage() -> ExitCode {
                      [--no-metamorphic]\n\
                      run the kernel/backend conformance matrix against the\n\
                      golden oracle; nonzero exit on any divergence\n\
+           tune      [--dim D] [--seed N]\n\
+                     regress the hybrid per-window dispatch thresholds from\n\
+                     cost-model sweeps over the adversarial families and the\n\
+                     fig7b datasets; prints the fitted thresholds and the\n\
+                     TCG_HYBRID_THRESHOLD_* exports that apply them\n\
          GRAPH: registry name (optionally name/scale), .json, .mtx, or edge-list path"
     );
     ExitCode::FAILURE
@@ -226,14 +232,9 @@ fn cmd_train(args: &[String]) -> ExitCode {
         .materialize(42)
         .expect("synthetic dataset");
     let model = flag_value(args, "--model").unwrap_or_else(|| "gcn".into());
-    let backend = match flag_value(args, "--backend").as_deref() {
-        None | Some("tcgnn") => Backend::TcGnn,
-        Some("dgl") => Backend::DglLike,
-        Some("pyg") => Backend::PygLike,
-        Some(other) => {
-            eprintln!("unknown backend: {other}");
-            return ExitCode::FAILURE;
-        }
+    let backend = match parse_backend(args) {
+        Ok(b) => b,
+        Err(code) => return code,
     };
     let epochs: u32 = flag_value(args, "--epochs")
         .and_then(|v| v.parse().ok())
@@ -317,6 +318,7 @@ fn parse_backend(args: &[String]) -> Result<Backend, ExitCode> {
         None | Some("tcgnn") => Ok(Backend::TcGnn),
         Some("dgl") => Ok(Backend::DglLike),
         Some("pyg") => Ok(Backend::PygLike),
+        Some("hybrid") => Ok(Backend::Hybrid),
         Some(other) => {
             eprintln!("unknown backend: {other}");
             Err(ExitCode::FAILURE)
@@ -797,6 +799,87 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     }
 }
 
+/// `tcgnn tune`: regresses the hybrid dispatcher's decision thresholds
+/// from cost-model sweeps. Every non-empty row window of the adversarial
+/// families and the fig7b (Table 4) datasets contributes one sample —
+/// its geometry score plus the cost model's cycle prediction for both
+/// the TCU and CUDA-core bodies — and the fit picks the threshold that
+/// minimizes total predicted cycles against the per-window oracle.
+fn cmd_tune(args: &[String]) -> ExitCode {
+    use tc_gnn::bench::device;
+    use tc_gnn::kernels::hybrid::{fit_threshold, tune_samples, KernelClass, TuneSample};
+    use tc_gnn::oracle::Family;
+
+    let dim: usize = flag_value(args, "--dim")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2023);
+    let dev = device();
+
+    let mut graphs: Vec<(String, CsrGraph)> = Vec::new();
+    for fam in Family::ALL {
+        graphs.push((format!("adv/{}", fam.name()), fam.generate(seed)));
+    }
+    for spec in TABLE4.iter() {
+        match spec.materialize(42) {
+            Ok(ds) => graphs.push((format!("fig7b/{}", spec.name), ds.graph)),
+            Err(e) => {
+                eprintln!("tune: skipping {}: {e}", spec.name);
+            }
+        }
+    }
+
+    let mut samples: [Vec<TuneSample>; 2] = [Vec::new(), Vec::new()];
+    for (name, g) in &graphs {
+        let t = tc_gnn::sgt::translate_parallel(g, tc_gnn::gpusim::threads_from_env());
+        let spmm = tune_samples(&dev, &t, g, dim, KernelClass::Spmm);
+        let sddmm = tune_samples(&dev, &t, g, dim, KernelClass::Sddmm);
+        eprintln!(
+            "  [tune] {name}: {} windows swept ({} nodes / {} edges)",
+            spmm.len(),
+            g.num_nodes(),
+            g.num_edges()
+        );
+        samples[0].extend(spmm);
+        samples[1].extend(sddmm);
+    }
+
+    println!(
+        "# tcgnn tune: hybrid dispatch thresholds ({} graphs, dim {dim}, device {})\n",
+        graphs.len(),
+        dev.name
+    );
+    for (class, s) in [
+        (KernelClass::Spmm, &samples[0]),
+        (KernelClass::Sddmm, &samples[1]),
+    ] {
+        let fit = fit_threshold(s);
+        println!(
+            "{:<6} threshold {:+.4}  ({} windows, agreement {:.1}%, regret {:.0} of {:.0} oracle cycles)",
+            class.label(),
+            fit.threshold,
+            s.len(),
+            fit.agreement * 100.0,
+            fit.regret_cycles,
+            fit.oracle_cycles,
+        );
+    }
+    println!("\napply with:");
+    for (class, s) in [
+        (KernelClass::Spmm, &samples[0]),
+        (KernelClass::Sddmm, &samples[1]),
+    ] {
+        println!(
+            "  export TCG_HYBRID_THRESHOLD_{}={:.4}",
+            class.label().to_uppercase(),
+            fit_threshold(s).threshold
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -833,6 +916,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "tune" => cmd_tune(&args[1..]),
         _ => usage(),
     }
 }

@@ -4,7 +4,9 @@
 //! The parallel launcher gives each worker a private L1 (valid because L1
 //! is flushed at every block boundary) and replays L2 probes in block-id
 //! order, so nothing observable may depend on scheduling. This test pins
-//! that across all three backends and the ten adversarial graph families.
+//! that across all backends — including the hybrid per-window dispatcher,
+//! whose mixed launches fan out over the same disjoint row-window slices —
+//! and the ten adversarial graph families.
 
 use tc_gnn::gnn::{Backend, Engine, GcnModel};
 use tc_gnn::gpusim::KernelReport;
@@ -47,7 +49,7 @@ fn run(family: Family, backend: Backend, threads: usize) -> Run {
 #[test]
 fn eight_threads_bitwise_match_one_thread_everywhere() {
     for family in Family::ALL {
-        for backend in Backend::all() {
+        for backend in Backend::all_with_hybrid() {
             let seq = run(family, backend, 1);
             let par = run(family, backend, 8);
             let cell = format!("{}/{}", family.name(), backend.name());
@@ -76,6 +78,62 @@ fn eight_threads_bitwise_match_one_thread_everywhere() {
             );
         }
     }
+}
+
+/// Chaos case: an ECC fault landing in a TCU-dispatched window of a hybrid
+/// launch degrades only that window to the CUDA-core body via the existing
+/// retry path — and the whole recovery (output bits, fault accounting,
+/// per-window degrade counter) is identical at 8 threads and 1.
+#[test]
+fn hybrid_ecc_window_degrade_is_thread_count_invariant() {
+    use tc_gnn::fault::{FaultConfig, FaultPlan};
+
+    let run = |threads: usize| {
+        let g = Family::PowerLaw.generate(7);
+        let n = g.num_nodes();
+        let x = init::uniform(n, FEAT, -1.0, 1.0, 3);
+        let mut eng = Engine::builder(g)
+            .backend(Backend::Hybrid)
+            .threads(threads)
+            .build()
+            .expect("adversarial graphs are symmetric");
+        let profiler = tc_gnn::profile::shared("hybrid-chaos");
+        eng.attach_profiler(profiler.clone());
+        eng.attach_fault_plan(FaultPlan::new(
+            5,
+            FaultConfig {
+                ecc_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        ));
+        let (out, _) = eng.spmm(&x, None).expect("dims agree");
+        let report = eng.fault_report();
+        let window_degrades = profiler
+            .read()
+            .unwrap()
+            .named_counter("tcg_hybrid_window_degrades_total");
+        (out, report.degraded, report.ecc_flips, window_degrades)
+    };
+
+    let (out_seq, degraded_seq, flips_seq, windows_seq) = run(1);
+    let (out_par, degraded_par, flips_par, windows_par) = run(8);
+
+    assert!(flips_seq > 0, "the fault schedule never flipped a bit");
+    assert!(
+        windows_seq > 0,
+        "the ECC flip never degraded a hybrid window"
+    );
+    assert!(out_seq.as_slice().iter().all(|v| v.is_finite()));
+    assert_eq!(
+        out_seq.as_slice(),
+        out_par.as_slice(),
+        "degraded hybrid output diverged across thread counts"
+    );
+    assert_eq!(
+        (degraded_seq, flips_seq, windows_seq),
+        (degraded_par, flips_par, windows_par),
+        "fault accounting diverged across thread counts"
+    );
 }
 
 #[test]
