@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tcg_sgt::{census, translate, translate_parallel};
+use tcg_sgt::{census, Sgt};
 
 fn bench_sgt(c: &mut Criterion) {
     let sizes = [(4096usize, 40_000usize), (16_384, 160_000)];
@@ -12,10 +12,10 @@ fn bench_sgt(c: &mut Criterion) {
     for &(n, e) in &sizes {
         let g = tcg_graph::gen::rmat_default(n, e, 1).expect("generator");
         group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
-            b.iter(|| black_box(translate(g)))
+            b.iter(|| black_box(Sgt::builder().translate(g).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("parallel4", n), &g, |b, g| {
-            b.iter(|| black_box(translate_parallel(g, 4)))
+            b.iter(|| black_box(Sgt::builder().threads(4).translate(g).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("census", n), &g, |b, g| {
             b.iter(|| black_box(census(g)))

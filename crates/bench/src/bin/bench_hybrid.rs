@@ -170,7 +170,10 @@ fn main() {
     let mut spmm_results: Vec<ClassResult> = Vec::new();
     let mut sddmm_results: Vec<ClassResult> = Vec::new();
     for (label, g) in &graphs {
-        let t = tcg_sgt::translate_parallel(g, threads);
+        let t = tcg_sgt::Sgt::builder()
+            .threads(threads)
+            .translate(g)
+            .expect("default SGT geometry is valid");
         let spmm = sweep(&device, &t, g, KernelClass::Spmm, spmm_policy);
         let sddmm = sweep(&device, &t, g, KernelClass::Sddmm, sddmm_policy);
         rows.push(vec![

@@ -38,7 +38,9 @@ fn main() {
         let x = init::uniform(g.num_nodes(), DIM, -1.0, 1.0, 7);
         let prob = SpmmProblem::new(g, None, &x).expect("dims");
 
-        let translated = tcg_sgt::translate(g);
+        let translated = tcg_sgt::Sgt::builder()
+            .translate(g)
+            .expect("default SGT geometry is valid");
         let ell = CondensedEllSpmm::from_translated(translated.clone());
         let padding_ratio = ell.padding_ratio();
         let raw_ell_gb = BlockedEllSpmm::memory_bytes(g) as f64 / 1e9;

@@ -31,7 +31,9 @@ fn main() {
         let g = &ds.graph;
         let x = init::uniform(g.num_nodes(), DIM, -1.0, 1.0, 13);
         let prob = SpmmProblem::new(g, None, &x).expect("dims");
-        let translated = tcg_sgt::translate(g);
+        let translated = tcg_sgt::Sgt::builder()
+            .translate(g)
+            .expect("default SGT geometry is valid");
         for warps in [1usize, 2, 4, 8] {
             let kernel = TcgnnSpmm::from_translated(translated.clone()).with_warps_per_block(warps);
             let mut l = Launcher::new(device());

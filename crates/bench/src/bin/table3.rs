@@ -14,7 +14,7 @@ use tcg_gpusim::Launcher;
 use tcg_kernels::common::{SpmmKernel, SpmmProblem};
 use tcg_kernels::spmm::{BlockedEllSpmm, CusparseCsrSpmm, DenseGemmSpmm, TcgnnSpmm};
 use tcg_profile::Phase;
-use tcg_sgt::translate;
+use tcg_sgt::Sgt;
 
 #[derive(Serialize)]
 struct Row {
@@ -65,7 +65,11 @@ fn main() {
         (
             "TC-GNN".into(),
             Box::new(TcgnnSpmm::new(&g)),
-            (g.memory_bytes() + translate(&g).memory_bytes()) as u128,
+            (g.memory_bytes()
+                + Sgt::builder()
+                    .translate(&g)
+                    .expect("default SGT geometry is valid")
+                    .memory_bytes()) as u128,
         ),
     ];
 

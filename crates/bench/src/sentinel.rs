@@ -191,6 +191,39 @@ pub fn default_specs() -> Vec<MetricSpec> {
             warn_pct: 2.0,
             fail_pct: 25.0,
         },
+        // Dynamic-graph serving (virtual time, deterministic): delta
+        // translation must keep beating full retranslation under churn,
+        // and the delta run's sustained throughput must not decay.
+        MetricSpec {
+            file: "BENCH_churn",
+            path: "throughput_gain",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_churn",
+            path: "delta.throughput_rps",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        MetricSpec {
+            file: "BENCH_churn",
+            path: "delta.latency_ms.p99_ms",
+            direction: Direction::LowerIsBetter,
+            warn_pct: 2.0,
+            fail_pct: 15.0,
+        },
+        // How many fewer SGT milliseconds the delta path pays vs full
+        // retranslation — the window-reuse economics themselves.
+        MetricSpec {
+            file: "BENCH_churn",
+            path: "sgt_ms_paid_ratio",
+            direction: Direction::HigherIsBetter,
+            warn_pct: 5.0,
+            fail_pct: 25.0,
+        },
     ]
 }
 

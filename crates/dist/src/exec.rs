@@ -26,7 +26,7 @@ use tcg_graph::CsrGraph;
 use tcg_kernels::common::SpmmKernel;
 use tcg_kernels::spmm::TcgnnSpmm;
 use tcg_kernels::SpmmProblem;
-use tcg_sgt::translate_parallel;
+use tcg_sgt::Sgt;
 use tcg_tensor::{gemm::gemm, ops, DenseMatrix};
 
 use crate::partition::{Partition, Partitioner};
@@ -121,7 +121,12 @@ impl DistContext {
         let states = (0..devices)
             .map(|d| {
                 let shard = Shard::build(csr, &partition, d);
-                let kernel = TcgnnSpmm::from_translated(translate_parallel(&shard.local, threads));
+                let kernel = TcgnnSpmm::from_translated(
+                    Sgt::builder()
+                        .threads(threads)
+                        .translate(&shard.local)
+                        .expect("default SGT geometry is valid"),
+                );
                 let mut launcher = Launcher::new(device.clone());
                 launcher.set_threads(threads);
                 let norm = shard.slice_edge_values(&norm_global);

@@ -312,7 +312,7 @@ impl EngineBuilder {
                     let (t, sgt_ms) = match cached {
                         Some(t) => (t, 0.0),
                         None => (
-                            tcg_sgt::translate_parallel(&csr, threads),
+                            tcg_sgt::Sgt::builder().threads(threads).translate(&csr)?,
                             tcg_sgt::overhead::model_ms(&csr),
                         ),
                     };
@@ -328,7 +328,7 @@ impl EngineBuilder {
                     let (t, sgt_ms) = match cached {
                         Some(t) => (t, 0.0),
                         None => (
-                            tcg_sgt::translate_parallel(&csr, threads),
+                            tcg_sgt::Sgt::builder().threads(threads).translate(&csr)?,
                             tcg_sgt::overhead::model_ms(&csr),
                         ),
                     };

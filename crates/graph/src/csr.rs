@@ -4,6 +4,38 @@ use serde::{Deserialize, Serialize};
 
 use crate::{GraphError, NodeId, Result};
 
+/// Typed content hash of a [`CsrGraph`] — the value returned by
+/// [`CsrGraph::fingerprint`].
+///
+/// Wrapping the raw FNV-1a word in a newtype keeps translation-cache keys,
+/// serve-report stamps, and trace metadata from being confused with other
+/// `u64`s (edge counts, seeds, checksums). Two graphs share a version iff
+/// their CSR arrays are identical.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct GraphVersion {
+    raw: u64,
+}
+
+impl GraphVersion {
+    /// Wraps a raw hash word (for tests and deserialized reports).
+    pub fn from_u64(raw: u64) -> Self {
+        GraphVersion { raw }
+    }
+
+    /// The raw 64-bit hash, for serialization into reports and traces.
+    pub fn as_u64(self) -> u64 {
+        self.raw
+    }
+}
+
+impl std::fmt::Display for GraphVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.raw)
+    }
+}
+
 /// A graph in CSR format.
 ///
 /// `node_pointer` has `num_nodes + 1` entries; the neighbors of node `v`
@@ -294,7 +326,7 @@ impl CsrGraph {
     /// SGT translations. The hash is a pure function of the arrays — no
     /// pointer identity, no randomized hasher state — so it is stable across
     /// processes and runs.
-    pub fn fingerprint(&self) -> u64 {
+    pub fn fingerprint(&self) -> GraphVersion {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = FNV_OFFSET;
@@ -311,7 +343,116 @@ impl CsrGraph {
         for &u in &self.edge_list {
             eat(u64::from(u));
         }
+        GraphVersion { raw: h }
+    }
+
+    /// Content hash of one `win_size`-row window: the degrees and neighbor
+    /// lists of rows `w * win_size .. min((w + 1) * win_size, num_nodes)`.
+    ///
+    /// The hash depends only on rows inside the window, never on absolute
+    /// edge offsets, so an edit to some other window leaves it unchanged.
+    /// That invariance is what lets the serve-side translation cache reuse
+    /// per-window SGT state across graph versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `win_size == 0` or the window is out of range.
+    pub fn window_fingerprint(&self, win_size: usize, w: usize) -> u64 {
+        assert!(win_size > 0, "window size must be positive");
+        let lo = w * win_size;
+        assert!(
+            lo < self.num_nodes,
+            "window {w} out of range for {} nodes (win_size {win_size})",
+            self.num_nodes
+        );
+        let hi = (lo + win_size).min(self.num_nodes);
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(win_size as u64);
+        eat((hi - lo) as u64);
+        for v in lo..hi {
+            eat(self.degree(v) as u64);
+            for &u in self.neighbors(v) {
+                eat(u64::from(u));
+            }
+        }
         h
+    }
+
+    /// [`Self::window_fingerprint`] for every window, in window order.
+    /// Returns `ceil(num_nodes / win_size)` hashes.
+    pub fn window_fingerprints(&self, win_size: usize) -> Vec<u64> {
+        assert!(win_size > 0, "window size must be positive");
+        let windows = self.num_nodes.div_ceil(win_size);
+        (0..windows)
+            .map(|w| self.window_fingerprint(win_size, w))
+            .collect()
+    }
+
+    /// Inserts directed edge `(src, dst)`, keeping the row sorted and
+    /// duplicate-free. Returns `Ok(true)` if the edge was added, `Ok(false)`
+    /// if it was already present, and an error if either endpoint is out of
+    /// range. `O(E)` worst case (suffix of `edge_list` shifts right).
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool> {
+        let s = src as usize;
+        if s >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: src,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if dst as usize >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: dst,
+                num_nodes: self.num_nodes,
+            });
+        }
+        match self.neighbors(s).binary_search(&dst) {
+            Ok(_) => Ok(false),
+            Err(i) => {
+                self.edge_list.insert(self.node_pointer[s] + i, dst);
+                for p in &mut self.node_pointer[s + 1..] {
+                    *p += 1;
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Removes directed edge `(src, dst)`. Returns `Ok(true)` if the edge
+    /// existed and was removed, `Ok(false)` if it was absent, and an error
+    /// if either endpoint is out of range. `O(E)` worst case.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool> {
+        let s = src as usize;
+        if s >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: src,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if dst as usize >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: dst,
+                num_nodes: self.num_nodes,
+            });
+        }
+        match self.neighbors(s).binary_search(&dst) {
+            Ok(i) => {
+                self.edge_list.remove(self.node_pointer[s] + i);
+                for p in &mut self.node_pointer[s + 1..] {
+                    *p -= 1;
+                }
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
     }
 
     /// The subgraph induced by the nodes with `keep[v] == true`: kept nodes
@@ -527,5 +668,78 @@ mod tests {
         let e1 = CsrGraph::from_raw(1, vec![0, 0], vec![]).unwrap();
         let e2 = CsrGraph::from_raw(2, vec![0, 0, 0], vec![]).unwrap();
         assert_ne!(e1.fingerprint(), e2.fingerprint());
+    }
+
+    #[test]
+    fn graph_version_newtype_round_trips() {
+        let v = small().fingerprint();
+        assert_eq!(GraphVersion::from_u64(v.as_u64()), v);
+        assert_eq!(format!("{v}").len(), 16); // zero-padded hex
+    }
+
+    #[test]
+    fn insert_edge_keeps_rows_sorted_and_deduped() {
+        let mut g = small();
+        // Already present: no-op.
+        assert!(!g.insert_edge(0, 1).unwrap());
+        assert_eq!(g.num_edges(), 4);
+        // New edge lands in sorted position.
+        assert!(g.insert_edge(0, 0).unwrap());
+        assert_eq!(g.neighbors(0), &[0, 1, 2]);
+        // Later rows shifted, content intact.
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(
+            g,
+            CsrGraph::from_raw(4, g.node_pointer().to_vec(), g.edge_list().to_vec()).unwrap()
+        );
+        // Out-of-range endpoints are typed errors.
+        assert!(matches!(
+            g.insert_edge(9, 0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.insert_edge(0, 9),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_edge_inverse_of_insert() {
+        let mut g = small();
+        assert!(g.remove_edge(0, 2).unwrap());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.num_edges(), 3);
+        // Absent edge: no-op.
+        assert!(!g.remove_edge(0, 2).unwrap());
+        // Round-trip back to the original.
+        assert!(g.insert_edge(0, 2).unwrap());
+        assert_eq!(g, small());
+        assert!(matches!(
+            g.remove_edge(9, 0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn window_fingerprint_is_window_local() {
+        // Two windows of 2 rows each.
+        let g = small();
+        let before = g.window_fingerprints(2);
+        assert_eq!(before.len(), 2);
+        // Mutate a row in window 1 only.
+        let mut h = g.clone();
+        h.insert_edge(3, 1).unwrap();
+        let after = h.window_fingerprints(2);
+        assert_eq!(before[0], after[0], "untouched window hash must not move");
+        assert_ne!(before[1], after[1], "touched window hash must move");
+        // Whole-graph versions differ even though window 0 matches.
+        assert_ne!(g.fingerprint(), h.fingerprint());
+        // Ragged last window still hashes.
+        let odd = CsrGraph::from_raw(3, vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        assert_eq!(odd.window_fingerprints(2).len(), 2);
+        // Empty graph has no windows.
+        let empty = CsrGraph::from_raw(0, vec![0], vec![]).unwrap();
+        assert!(empty.window_fingerprints(16).is_empty());
     }
 }

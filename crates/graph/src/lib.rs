@@ -22,7 +22,7 @@ pub mod stats;
 pub mod synth;
 
 pub use coo::CooGraph;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, GraphVersion};
 pub use datasets::{Dataset, DatasetSpec, GraphClass};
 pub use error::GraphError;
 

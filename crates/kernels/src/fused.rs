@@ -85,7 +85,7 @@ pub fn fused_attention(
     let warps = slabs.clamp(4, 8);
     let max_win_edges = (0..t.num_row_windows)
         .map(|w| {
-            let (lo, hi) = t.window_edge_range(csr, w);
+            let (lo, hi) = t.window_edge_range(csr, w).expect("window in range");
             hi - lo
         })
         .max()
@@ -127,7 +127,7 @@ pub fn fused_attention(
         let mut b_tile = vec![0.0f32; WMMA_K * WMMA_N];
         let mut spmm_a = vec![0.0f32; TC_BLK_H * TC_BLK_W];
         let mut accs: Vec<FragmentAcc> = (0..slabs).map(|_| FragmentAcc::default()).collect();
-        let (e_lo, e_hi) = t.window_edge_range(csr, w);
+        let (e_lo, e_hi) = t.window_edge_range(csr, w).expect("window in range");
         // SAFETY: window `w` exclusively owns rows [row_lo, row_hi) and the
         // edge range [e_lo, e_hi).
         let y_win = unsafe { y_slices.range_mut(row_lo * dv, (row_hi - row_lo) * dv) };
@@ -298,7 +298,9 @@ mod tests {
     use tcg_tensor::init;
 
     fn check(g: &CsrGraph, da: usize, dv: usize, beta: f32) -> FusedAttentionOutput {
-        let t = tcg_sgt::translate(g);
+        let t = tcg_sgt::Sgt::builder()
+            .translate(g)
+            .expect("default SGT geometry is valid");
         let xa = init::uniform(g.num_nodes(), da, -1.0, 1.0, 3);
         let xv = init::uniform(g.num_nodes(), dv, -1.0, 1.0, 4);
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
@@ -353,7 +355,7 @@ mod tests {
     #[test]
     fn fused_is_one_launch_and_cheaper_than_three() {
         let g = gen::community(4096, 40_000, 16, 48, 5).unwrap();
-        let t = tcg_sgt::translate(&g);
+        let t = tcg_sgt::Sgt::builder().translate(&g).unwrap();
         let xa = init::uniform(g.num_nodes(), 32, -1.0, 1.0, 6);
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         let fused = fused_attention(&mut l, &g, &t, &xa, &xa, 1.0).unwrap();
@@ -384,7 +386,7 @@ mod tests {
     #[test]
     fn rejects_mismatched_inputs() {
         let g = gen::erdos_renyi(100, 800, 7).unwrap();
-        let t = tcg_sgt::translate(&g);
+        let t = tcg_sgt::Sgt::builder().translate(&g).unwrap();
         let xa = init::uniform(99, 8, -1.0, 1.0, 8);
         let mut l = Launcher::new(tcg_gpusim::DeviceSpec::rtx3090());
         assert!(fused_attention(&mut l, &g, &t, &xa, &xa, 1.0).is_err());

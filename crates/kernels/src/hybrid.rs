@@ -91,7 +91,7 @@ pub struct WindowGeometry {
 impl WindowGeometry {
     /// Reads window `w`'s geometry from a translation.
     pub fn from_translation(t: &TranslatedGraph, csr: &CsrGraph, w: usize) -> WindowGeometry {
-        let (e_lo, e_hi) = t.window_edge_range(csr, w);
+        let (e_lo, e_hi) = t.window_edge_range(csr, w).expect("window in range");
         let row_lo = w * t.win_size;
         let row_hi = ((w + 1) * t.win_size).min(csr.num_nodes());
         WindowGeometry {
@@ -223,6 +223,36 @@ impl DispatchPolicy {
         (0..t.num_row_windows)
             .map(|w| self.decide(&WindowGeometry::from_translation(t, csr, w), dim))
             .collect()
+    }
+
+    /// Delta counterpart of [`DispatchPolicy::mask`]: re-decides only the
+    /// `touched` windows of an existing mask after an incremental
+    /// retranslation. Because [`score`] is a pure function of one window's
+    /// geometry, untouched entries are exactly what a full recompute would
+    /// produce, so the refreshed mask is identical to
+    /// `self.mask(t, csr, dim)` at a cost proportional to the edit.
+    ///
+    /// # Panics
+    ///
+    /// If `mask` does not cover `t.num_row_windows` windows or a touched
+    /// index is out of range — both indicate the caller paired the mask
+    /// with the wrong translation generation.
+    pub fn refresh_mask(
+        &self,
+        mask: &mut [WindowBackend],
+        t: &TranslatedGraph,
+        csr: &CsrGraph,
+        dim: usize,
+        touched: &[usize],
+    ) {
+        assert_eq!(
+            mask.len(),
+            t.num_row_windows,
+            "dispatch mask length must match the translation's window count"
+        );
+        for &w in touched {
+            mask[w] = self.decide(&WindowGeometry::from_translation(t, csr, w), dim);
+        }
     }
 }
 
@@ -553,10 +583,10 @@ pub fn fit_threshold(samples: &[TuneSample]) -> TuneFit {
 mod tests {
     use super::*;
     use tcg_graph::gen;
-    use tcg_sgt::translate;
+    use tcg_sgt::Sgt;
 
     fn geoms(csr: &CsrGraph) -> Vec<WindowGeometry> {
-        let t = translate(csr);
+        let t = Sgt::builder().translate(csr).unwrap();
         (0..t.num_row_windows)
             .map(|w| WindowGeometry::from_translation(&t, csr, w))
             .collect()
@@ -565,7 +595,7 @@ mod tests {
     #[test]
     fn geometry_totals_reconcile_with_translation() {
         let g = gen::rmat_default(512, 5000, 1).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let gs = geoms(&g);
         assert_eq!(gs.iter().map(|g| g.nnz).sum::<usize>(), g.num_edges());
         assert_eq!(
@@ -733,7 +763,7 @@ mod tests {
     #[test]
     fn fitted_threshold_on_real_graphs_is_finite() {
         let g = gen::rmat_default(2048, 20_000, 7).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         for class in [KernelClass::Spmm, KernelClass::Sddmm] {
             let samples = tune_samples(&DeviceSpec::rtx3090(), &t, &g, 32, class);
             assert!(!samples.is_empty());
@@ -742,6 +772,31 @@ mod tests {
             assert!(fit.regret_cycles >= -1e-6);
             assert!(fit.oracle_cycles > 0.0);
         }
+    }
+
+    #[test]
+    fn refresh_mask_matches_full_recompute_after_delta() {
+        let g = gen::rmat_default(512, 5_000, 11).unwrap();
+        let mut t = Sgt::builder().translate(&g).unwrap();
+        let policy = DispatchPolicy::default();
+        let mut mask = policy.mask(&t, &g, 32);
+
+        // Rewire one window heavily so its geometry (and likely its
+        // dispatch decision) changes, then refresh only that window.
+        let mut delta = tcg_sgt::EdgeDelta::new();
+        for src in 32u32..40 {
+            for &d in g.neighbors(src as usize) {
+                delta.push_delete(src, d);
+            }
+        }
+        let g2 = delta.apply_to(&g).unwrap();
+        let report = t.apply_delta(&g2, &delta).unwrap();
+        policy.refresh_mask(&mut mask, &t, &g2, 32, &report.touched_windows);
+        assert_eq!(
+            mask,
+            policy.mask(&t, &g2, 32),
+            "refreshed mask must equal a full recompute"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use tcg_gpusim::wmma::{
 };
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
-use tcg_sgt::{translate, TranslatedGraph, TC_BLK_H};
+use tcg_sgt::{Sgt, TranslatedGraph, TC_BLK_H};
 use tcg_tensor::DenseMatrix;
 
 use crate::common::TcgError;
@@ -41,7 +41,11 @@ pub struct HybridSddmm {
 impl HybridSddmm {
     /// Builds the kernel by running SGT on `csr`.
     pub fn new(csr: &CsrGraph) -> Self {
-        Self::from_translated(translate(csr))
+        Self::from_translated(
+            Sgt::builder()
+                .translate(csr)
+                .expect("default SGT geometry is valid"),
+        )
     }
 
     /// Builds the kernel from a pre-computed translation.
@@ -374,7 +378,7 @@ mod tests {
     fn mixed_mask_stitches_pure_outputs_window_by_window() {
         let g = gen::community(220, 2000, 8, 16, 9).unwrap();
         let x = init::uniform(220, 24, -1.0, 1.0, 10);
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let mask: Vec<WindowBackend> = (0..t.num_row_windows)
             .map(|w| {
                 if w % 3 == 0 {

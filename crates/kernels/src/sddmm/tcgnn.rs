@@ -14,7 +14,7 @@ use tcg_gpusim::wmma::{
 };
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
-use tcg_sgt::{translate, TranslatedGraph, TC_BLK_H};
+use tcg_sgt::{Sgt, TranslatedGraph, TC_BLK_H};
 use tcg_tensor::DenseMatrix;
 
 use crate::common::TcgError;
@@ -30,7 +30,9 @@ impl TcgnnSddmm {
     /// Builds the kernel by running SGT on `csr`.
     pub fn new(csr: &CsrGraph) -> Self {
         TcgnnSddmm {
-            translated: translate(csr),
+            translated: Sgt::builder()
+                .translate(csr)
+                .expect("default SGT geometry is valid"),
         }
     }
 

@@ -210,7 +210,9 @@ impl CondensedEllSpmm {
     /// Builds the condensed Blocked-ELL kernel (runs SGT).
     pub fn new(csr: &tcg_graph::CsrGraph) -> Self {
         CondensedEllSpmm {
-            translated: tcg_sgt::translate(csr),
+            translated: tcg_sgt::Sgt::builder()
+                .translate(csr)
+                .expect("default SGT geometry is valid"),
         }
     }
 

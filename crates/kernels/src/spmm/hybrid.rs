@@ -29,7 +29,7 @@ use tcg_gpusim::wmma::{
 };
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
-use tcg_sgt::{translate, TranslatedGraph, TC_BLK_H, TC_BLK_W};
+use tcg_sgt::{Sgt, TranslatedGraph, TC_BLK_H, TC_BLK_W};
 use tcg_tensor::DenseMatrix;
 
 use crate::common::{SpmmKernel, SpmmProblem, TcgError};
@@ -51,7 +51,11 @@ impl HybridSpmm {
     /// Builds the kernel by running SGT on `csr`, with the fitted default
     /// dispatch policy.
     pub fn new(csr: &CsrGraph) -> Self {
-        Self::from_translated(translate(csr))
+        Self::from_translated(
+            Sgt::builder()
+                .translate(csr)
+                .expect("default SGT geometry is valid"),
+        )
     }
 
     /// Builds the kernel from a pre-computed translation.
@@ -410,7 +414,7 @@ mod tests {
             .map(|e| 0.05 + (e % 11) as f32 * 0.1)
             .collect();
         let prob = SpmmProblem::new(&g, Some(&vals), &x).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let hybrid = HybridSpmm::from_translated(t.clone())
             .with_mask(uniform_mask(&t, WindowBackend::CudaCore));
         let (out_h, _) = hybrid.execute(&mut launcher(), &prob).unwrap();
@@ -423,7 +427,7 @@ mod tests {
         let g = gen::community(200, 1800, 8, 16, 9).unwrap();
         let x = init::uniform(200, 24, -1.0, 1.0, 10);
         let prob = SpmmProblem::new(&g, None, &x).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let mask: Vec<WindowBackend> = (0..t.num_row_windows)
             .map(|w| {
                 if w % 2 == 0 {

@@ -18,7 +18,7 @@ use tcg_gpusim::wmma::{
 };
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
-use tcg_sgt::{translate, TranslatedGraph, TC_BLK_H, TC_BLK_W};
+use tcg_sgt::{Sgt, TranslatedGraph, TC_BLK_H, TC_BLK_W};
 use tcg_tensor::DenseMatrix;
 
 use crate::common::{SpmmKernel, SpmmProblem, TcgError};
@@ -33,7 +33,11 @@ pub struct TcgnnSpmm {
 impl TcgnnSpmm {
     /// Builds the kernel by running SGT on `csr`.
     pub fn new(csr: &CsrGraph) -> Self {
-        Self::from_translated(translate(csr))
+        Self::from_translated(
+            Sgt::builder()
+                .translate(csr)
+                .expect("default SGT geometry is valid"),
+        )
     }
 
     /// Builds the kernel from a pre-computed translation (SGT runs once and

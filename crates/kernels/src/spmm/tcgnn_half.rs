@@ -11,7 +11,7 @@ use tcg_gpusim::wmma::FragmentAcc;
 use tcg_gpusim::wmma_half::{mma_sync_half, HalfFragmentA, HalfFragmentB, HALF_K, HALF_N};
 use tcg_gpusim::{GridConfig, KernelReport, Launcher};
 use tcg_graph::CsrGraph;
-use tcg_sgt::{translate_with, TranslatedGraph, TC_BLK_H};
+use tcg_sgt::{Sgt, TranslatedGraph, TC_BLK_H};
 use tcg_tensor::DenseMatrix;
 
 use crate::common::{SpmmKernel, SpmmProblem, TcgError};
@@ -26,7 +26,11 @@ impl TcgnnSpmmHalf {
     /// Builds the kernel by running SGT with the FP16 block geometry.
     pub fn new(csr: &CsrGraph) -> Self {
         TcgnnSpmmHalf {
-            translated: translate_with(csr, TC_BLK_H, HALF_K),
+            translated: Sgt::builder()
+                .window(TC_BLK_H)
+                .block_width(HALF_K)
+                .translate(csr)
+                .expect("valid half-precision SGT geometry"),
         }
     }
 

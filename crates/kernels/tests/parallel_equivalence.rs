@@ -83,7 +83,7 @@ fn softmax_parallel_matches_sequential() {
 #[test]
 fn fused_attention_parallel_matches_sequential() {
     let g = gen::community(1024, 15_000, 16, 48, 11).unwrap();
-    let t = tcg_sgt::translate(&g);
+    let t = tcg_sgt::Sgt::builder().translate(&g).unwrap();
     let xa = init::uniform(1024, 16, -1.0, 1.0, 12);
     let xv = init::uniform(1024, 32, -1.0, 1.0, 13);
     let seq = fused_attention(&mut launcher(1), &g, &t, &xa, &xv, 0.8).unwrap();

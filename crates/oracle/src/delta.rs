@@ -1,0 +1,314 @@
+//! Metamorphic oracle for incremental SGT: *incremental ≡ from-scratch*.
+//!
+//! [`TranslatedGraph::apply_delta`] promises bitwise identity with a full
+//! re-run of Algorithm 1 + 2 on the post-delta graph. This module turns
+//! that promise into a checkable law over *edit scripts* — sequences of
+//! [`EdgeDelta`] batches applied to an evolving graph:
+//!
+//! - [`random_edit_script`] draws a seeded script of valid undirected edge
+//!   toggles against an evolving graph (strict semantics: every insert is
+//!   of a missing edge, every delete of a present one, checked via
+//!   [`CsrGraph::has_edge`] at generation time);
+//! - [`check_incremental`] replays a script, chaining `apply_delta` on one
+//!   translation while re-translating from scratch at every step, and
+//!   reports the first step where checksum, struct equality, or
+//!   [`TranslatedGraph::validate`] breaks;
+//! - [`shrink_edit_script`] minimizes a failing script — truncate to the
+//!   failing prefix, then greedily drop whole steps and single operations —
+//!   so a repro points at a handful of edges instead of a whole trace.
+
+use rand::prelude::*;
+use tcg_graph::{CsrGraph, NodeId};
+use tcg_sgt::{EdgeDelta, Sgt, TranslatedGraph};
+
+/// Outcome of replaying one edit script through the incremental and the
+/// from-scratch translators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaCheck {
+    /// Every step matched bitwise and validated.
+    Ok,
+    /// The script itself is invalid at `step` (e.g. an insert of an
+    /// existing edge after shrinking removed its delete) — not a
+    /// translation bug; shrinkers must reject such candidates.
+    InvalidScript { step: usize, detail: String },
+    /// The incremental translation diverged from (or failed against) the
+    /// from-scratch translation at `step`.
+    Diverged { step: usize, detail: String },
+}
+
+impl DeltaCheck {
+    /// True only for a genuine incremental-vs-scratch divergence.
+    pub fn diverged(&self) -> bool {
+        matches!(self, DeltaCheck::Diverged { .. })
+    }
+}
+
+/// Draws a seeded script of `steps` batches of up to `batch` undirected
+/// edge toggles each, valid against the evolving graph: an edge absent at
+/// its step is inserted (both directions), a present one deleted. Node
+/// pairs are sampled uniformly; self-loops are toggled as single directed
+/// edges. Graphs with fewer than 1 node yield an empty script.
+///
+/// The same `(graph, seed, steps, batch)` always yields the same script.
+pub fn random_edit_script(csr: &CsrGraph, seed: u64, steps: usize, batch: usize) -> Vec<EdgeDelta> {
+    let n = csr.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd317_a5cf);
+    let mut g = csr.clone();
+    let mut script = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let mut delta = EdgeDelta::new();
+        // Batch ops must stay strict *within* the batch too: track the
+        // pairs already toggled this step and skip re-draws of them.
+        let mut used: Vec<(usize, usize)> = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            let key = (u.min(v), u.max(v));
+            if used.contains(&key) {
+                continue;
+            }
+            used.push(key);
+            let (u32u, u32v) = (u as NodeId, v as NodeId);
+            if g.has_edge(u, u32v) {
+                delta = if u == v {
+                    delta.delete(u32u, u32v)
+                } else {
+                    delta.delete_undirected(u32u, u32v)
+                };
+            } else {
+                delta = if u == v {
+                    delta.insert(u32u, u32v)
+                } else {
+                    delta.insert_undirected(u32u, u32v)
+                };
+            }
+        }
+        g = delta
+            .apply_to(&g)
+            .expect("generated toggles are valid by construction");
+        script.push(delta);
+    }
+    script
+}
+
+/// Replays `script` from `g0`: one translation is updated step-by-step via
+/// [`TranslatedGraph::apply_delta`]; at every step a from-scratch
+/// translation of the evolved graph is built with the same parameters and
+/// the two are compared by [`TranslatedGraph::checksum`] *and* full struct
+/// equality, then validated against the graph. The first violation is
+/// reported with its step index.
+pub fn check_incremental(g0: &CsrGraph, script: &[EdgeDelta]) -> DeltaCheck {
+    let mut g = g0.clone();
+    let mut inc = match Sgt::builder().translate(&g) {
+        Ok(t) => t,
+        Err(e) => {
+            return DeltaCheck::InvalidScript {
+                step: 0,
+                detail: format!("initial translation failed: {e}"),
+            }
+        }
+    };
+    for (step, delta) in script.iter().enumerate() {
+        g = match delta.apply_to(&g) {
+            Ok(next) => next,
+            Err(e) => {
+                return DeltaCheck::InvalidScript {
+                    step,
+                    detail: e.to_string(),
+                }
+            }
+        };
+        if let Err(e) = inc.apply_delta(&g, delta) {
+            return DeltaCheck::Diverged {
+                step,
+                detail: format!("apply_delta rejected a valid edit: {e}"),
+            };
+        }
+        let scratch = match Sgt::builder().translate(&g) {
+            Ok(t) => t,
+            Err(e) => {
+                return DeltaCheck::InvalidScript {
+                    step,
+                    detail: format!("from-scratch translation failed: {e}"),
+                }
+            }
+        };
+        if let Some(detail) = compare(&inc, &scratch) {
+            return DeltaCheck::Diverged { step, detail };
+        }
+        if let Err(e) = inc.validate(&g) {
+            return DeltaCheck::Diverged {
+                step,
+                detail: format!("incremental translation fails validate(): {e}"),
+            };
+        }
+    }
+    DeltaCheck::Ok
+}
+
+/// The first structural difference between two translations, localized to
+/// the array that moved — `None` when bitwise identical.
+fn compare(inc: &TranslatedGraph, scratch: &TranslatedGraph) -> Option<String> {
+    if inc.checksum() != scratch.checksum() {
+        // Checksum differs — find which array to blame for the report.
+        let wfa = inc.window_fingerprints();
+        let wfb = scratch.window_fingerprints();
+        if let Some(w) = (0..wfa.len().min(wfb.len())).find(|&w| wfa[w] != wfb[w]) {
+            return Some(format!(
+                "checksum mismatch: {:#018x} != {:#018x}, first differing window {w}",
+                inc.checksum(),
+                scratch.checksum()
+            ));
+        }
+        return Some(format!(
+            "checksum mismatch: {:#018x} != {:#018x}",
+            inc.checksum(),
+            scratch.checksum()
+        ));
+    }
+    if inc != scratch {
+        return Some(
+            "checksum equal but structs differ (hash collision or non-hashed field)".to_string(),
+        );
+    }
+    None
+}
+
+/// Minimizes a failing edit script while preserving the divergence:
+///
+/// 1. truncate to the failing prefix (steps after the first divergence are
+///    irrelevant);
+/// 2. greedily drop whole steps, earliest first (a dropped step often
+///    invalidates later toggles — such candidates report
+///    [`DeltaCheck::InvalidScript`] and are rejected);
+/// 3. greedily drop single directed operations within the surviving steps.
+///
+/// The predicate is evaluated at most `max_evals` times; the returned
+/// script still diverges (`check_incremental(g0, &out).diverged()`).
+/// Returns the script unchanged when it does not diverge to begin with.
+pub fn shrink_edit_script(g0: &CsrGraph, script: &[EdgeDelta], max_evals: usize) -> Vec<EdgeDelta> {
+    let mut evals = 0usize;
+    let first = match check_incremental(g0, script) {
+        DeltaCheck::Diverged { step, .. } => step,
+        _ => return script.to_vec(),
+    };
+    let mut best: Vec<EdgeDelta> = script[..=first.min(script.len() - 1)].to_vec();
+
+    let mut progress = true;
+    while progress && evals < max_evals {
+        progress = false;
+
+        // Phase 1: drop whole steps.
+        for i in 0..best.len() {
+            if evals >= max_evals {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.remove(i);
+            evals += 1;
+            if check_incremental(g0, &cand).diverged() {
+                best = cand;
+                progress = true;
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+
+        // Phase 2: drop single directed operations inside a step.
+        'steps: for i in 0..best.len() {
+            let step = &best[i];
+            let ins = step.inserts().to_vec();
+            let del = step.deletes().to_vec();
+            for k in 0..(ins.len() + del.len()) {
+                if evals >= max_evals {
+                    break 'steps;
+                }
+                let mut d = EdgeDelta::new();
+                for (j, &(s, t)) in ins.iter().enumerate() {
+                    if j != k {
+                        d.push_insert(s, t);
+                    }
+                }
+                for (j, &(s, t)) in del.iter().enumerate() {
+                    if ins.len() + j != k {
+                        d.push_delete(s, t);
+                    }
+                }
+                let mut cand = best.clone();
+                cand[i] = d;
+                evals += 1;
+                if check_incremental(g0, &cand).diverged() {
+                    best = cand;
+                    progress = true;
+                    break 'steps;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Renders a script as one line per step for failure reports.
+pub fn format_script(script: &[EdgeDelta]) -> String {
+    script
+        .iter()
+        .enumerate()
+        .map(|(i, d)| format!("step {i}: +{:?} -{:?}", d.inserts(), d.deletes()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcg_graph::gen;
+
+    #[test]
+    fn scripts_are_deterministic_and_valid() {
+        let g = gen::rmat_default(200, 1500, 3).unwrap();
+        let a = random_edit_script(&g, 9, 5, 4);
+        let b = random_edit_script(&g, 9, 5, 4);
+        assert_eq!(a, b, "same seed must draw the same script");
+        assert_eq!(a.len(), 5);
+        // Replaying the script through strict apply_to never errors.
+        let mut cur = g.clone();
+        for d in &a {
+            cur = d.apply_to(&cur).expect("script is valid");
+        }
+        assert_ne!(random_edit_script(&g, 10, 5, 4), a, "seeds decorrelate");
+    }
+
+    #[test]
+    fn incremental_law_holds_on_a_random_graph() {
+        let g = gen::citation(240, 1800, 7).unwrap();
+        let script = random_edit_script(&g, 21, 6, 3);
+        assert_eq!(check_incremental(&g, &script), DeltaCheck::Ok);
+    }
+
+    #[test]
+    fn invalid_scripts_are_reported_as_invalid_not_diverged() {
+        let g = gen::erdos_renyi(64, 400, 2).unwrap();
+        let (s, d) = g.iter_edges().next().unwrap();
+        // Inserting an existing edge is a script bug, not a divergence.
+        let script = vec![EdgeDelta::new().insert(s, d)];
+        match check_incremental(&g, &script) {
+            DeltaCheck::InvalidScript { step: 0, .. } => {}
+            other => panic!("expected InvalidScript, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrinker_truncates_to_the_failing_prefix() {
+        // A script with an invalid *second* step never diverges, so the
+        // shrinker must hand it back unchanged.
+        let g = gen::erdos_renyi(64, 400, 4).unwrap();
+        let script = random_edit_script(&g, 5, 5, 2);
+        let kept = shrink_edit_script(&g, &script, 50);
+        assert_eq!(kept, script, "non-diverging scripts are untouched");
+    }
+}

@@ -174,13 +174,18 @@ fn resolve_translation(backend: BackendKind, csr: &CsrGraph) -> TranslatedGraph 
     match backend {
         BackendKind::CachedTranslation => {
             let mut cache = TranslationCache::new(2);
-            let (_cold, _, hit) = cache.get_or_translate(csr);
-            assert!(!hit, "first resolution must be a miss");
-            let (warm, paid_ms, hit) = cache.get_or_translate(csr);
-            assert!(hit && paid_ms == 0.0, "second resolution must be a hit");
-            (*warm).clone()
+            let cold = cache.get_or_translate(csr);
+            assert!(!cold.hit(), "first resolution must be a miss");
+            let warm = cache.get_or_translate(csr);
+            assert!(
+                warm.hit() && warm.paid_ms == 0.0,
+                "second resolution must be a hit"
+            );
+            (*warm.translation).clone()
         }
-        _ => tcg_sgt::translate(csr),
+        _ => tcg_sgt::Sgt::builder()
+            .translate(csr)
+            .expect("default SGT geometry is valid"),
     }
 }
 
@@ -238,7 +243,9 @@ fn edge_divergence(
 /// which windows took which body.
 pub fn hybrid_dispatch_mask(kernel: KernelKind, csr: &CsrGraph, dim: usize) -> String {
     use tcg_kernels::hybrid::{render_mask, DispatchPolicy, KernelClass};
-    let t = tcg_sgt::translate(csr);
+    let t = tcg_sgt::Sgt::builder()
+        .translate(csr)
+        .expect("default SGT geometry is valid");
     let spmm = || render_mask(&DispatchPolicy::default_for(KernelClass::Spmm).mask(&t, csr, dim));
     let sddmm = || render_mask(&DispatchPolicy::default_for(KernelClass::Sddmm).mask(&t, csr, dim));
     match kernel {
@@ -473,7 +480,7 @@ mod tests {
         assert_eq!(edge_row(&g, 0), 0);
         assert_eq!(edge_row(&g, 1), 0);
         assert_eq!(edge_row(&g, 2), 2);
-        let t = tcg_sgt::translate(&g);
+        let t = tcg_sgt::Sgt::builder().translate(&g).unwrap();
         for e in 0..g.num_edges() {
             let b = edge_tc_block(&t, e).unwrap();
             let (lo, hi) = t.block_chunk(b);

@@ -22,6 +22,9 @@
 //! - [`metamorphic`] — properties that need no reference output: SGT
 //!   row-permutation equivariance, feature-dim split invariance, and cost
 //!   model monotonicity in nnz and dim;
+//! - [`delta`] — the dynamic-graph law: incremental delta-translation must
+//!   equal from-scratch translation *bitwise* over random edit scripts,
+//!   with a script shrinker so failures reproduce in a few edges;
 //! - [`shrink`] — a greedy input minimizer that reduces a failing graph
 //!   while preserving the failure, so repro cases stay small;
 //! - [`conformance`] — the full backend × kernel × family matrix behind
@@ -30,6 +33,7 @@
 pub mod advgen;
 pub mod approx;
 pub mod conformance;
+pub mod delta;
 pub mod diff;
 pub mod golden;
 pub mod metamorphic;
@@ -38,5 +42,6 @@ pub mod shrink;
 pub use advgen::Family;
 pub use approx::{approx_eq, first_mismatch, ulp_distance, Mismatch};
 pub use conformance::{run_matrix, ConformanceReport, MatrixConfig};
+pub use delta::{check_incremental, random_edit_script, shrink_edit_script, DeltaCheck};
 pub use diff::{hybrid_dispatch_mask, run_case, BackendKind, Divergence, KernelKind};
 pub use shrink::shrink;

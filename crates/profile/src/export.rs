@@ -100,6 +100,18 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
         ("pid", Value::UInt(1)),
         ("args", obj(vec![("name", s("simulated-gpu"))])),
     ]));
+    // Run labels (e.g. per-graph translation versions) ride along as
+    // Perfetto process metadata so tooling can correlate a timeline with
+    // the exact graph state it was captured against.
+    let labels: Vec<String> = profiler.labels().map(|(k, v)| format!("{k}={v}")).collect();
+    if !labels.is_empty() {
+        trace_events.push(obj(vec![
+            ("name", s("process_labels")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(1)),
+            ("args", obj(vec![("labels", s(&labels.join(",")))])),
+        ]));
+    }
     for phase in Phase::all() {
         trace_events.push(obj(vec![
             ("name", s("thread_name")),
@@ -332,6 +344,13 @@ pub fn metrics_json(profiler: &Profiler) -> String {
         .collect();
     if !named.is_empty() {
         fields.push(("counters", Value::Object(named)));
+    }
+    let labels: Vec<(String, Value)> = profiler
+        .labels()
+        .map(|(k, v)| (k.to_string(), s(v)))
+        .collect();
+    if !labels.is_empty() {
+        fields.push(("labels", Value::Object(labels)));
     }
     let stream_obj = Value::Object(streams);
     if !profiler.stream_spans().is_empty() {

@@ -117,6 +117,10 @@ pub struct Profiler {
     /// recording per-window dispatch outcomes). `BTreeMap` keeps exports
     /// deterministic.
     named: BTreeMap<String, u64>,
+    /// Free-form string labels attached to the run (e.g. the graph
+    /// versions a serve session ended on). Exported as Perfetto process
+    /// metadata, never as timeline events.
+    labels: BTreeMap<String, String>,
     rollups: Vec<EpochRollup>,
     /// Run-wide per-phase totals, accumulated in record order (indexed by
     /// `Phase::track() - 1`).
@@ -148,6 +152,7 @@ impl Profiler {
             request_trees: Vec::new(),
             registry: MetricsRegistry::default(),
             named: BTreeMap::new(),
+            labels: BTreeMap::new(),
             rollups: Vec::new(),
             phase_ms: [0.0; 4],
             epoch_events: 0,
@@ -245,6 +250,23 @@ impl Profiler {
     /// A named counter's value (0 when never incremented).
     pub fn named_counter(&self, name: &str) -> u64 {
         self.named.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets (or overwrites) a run label — free-form metadata exported as
+    /// Perfetto process labels rather than timeline events, so it never
+    /// perturbs event-level invariants (trace-id coverage, phase totals).
+    pub fn set_label(&mut self, key: &str, value: &str) {
+        self.labels.insert(key.to_string(), value.to_string());
+    }
+
+    /// A run label's value, if set.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(String::as_str)
+    }
+
+    /// All run labels, in deterministic (sorted) order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
     /// All named counters, in deterministic (sorted) order.

@@ -41,8 +41,8 @@ pub mod resilience;
 pub mod server;
 
 pub use batcher::{BatchPolicy, Batcher, ClosedBatch};
-pub use cache::{CacheStats, CachedTranslation, TranslationCache};
-pub use loadgen::{poisson_trace, LoadgenConfig};
+pub use cache::{CacheStats, CachedTranslation, Resolution, ResolutionKind, TranslationCache};
+pub use loadgen::{churn_schedule, poisson_trace, ChurnConfig, LoadgenConfig};
 pub use metrics::{parse_prometheus, prometheus_text, render_top, RedMetrics};
 pub use model::ServableModel;
 pub use request::{CancelStage, Outcome, Priority, Request, Response, ShedReason};
@@ -53,6 +53,7 @@ pub use tcg_dist::Partitioner;
 // Re-exported so `ServeConfig { fault, .. }` and breaker knobs can be
 // filled in without a direct `tcg-fault` dependency.
 pub use server::{
-    serve, QueueDepth, ServeConfig, ServeReport, ServedGraph, Session, StreamSummary,
+    serve, serve_with_mutations, GraphMutation, MutationOutcome, MutationSummary, QueueDepth,
+    ServeConfig, ServeReport, ServedGraph, Session, StreamSummary,
 };
 pub use tcg_fault::{BreakerConfig, FaultConfig};

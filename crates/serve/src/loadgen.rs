@@ -1,10 +1,16 @@
 //! Seeded open-loop load generation: Poisson arrivals over a session's
 //! graphs. The generator produces a *trace* — the server consumes it in
 //! virtual time, so the same seed always exercises the same schedule.
+//! [`churn_schedule`] is the companion generator for dynamic-graph runs:
+//! Poisson-spaced batches of valid edge toggles to interleave with the
+//! request trace via [`crate::serve_with_mutations`].
 
 use rand::{Rng, SeedableRng, StdRng};
+use tcg_graph::{CsrGraph, NodeId};
+use tcg_sgt::EdgeDelta;
 
 use crate::request::{Priority, Request};
+use crate::server::GraphMutation;
 
 /// Load-generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +88,89 @@ pub fn poisson_trace(graph_sizes: &[usize], cfg: &LoadgenConfig) -> Vec<Request>
     trace
 }
 
+/// Churn-generation parameters for [`churn_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Mutation events to generate.
+    pub events: usize,
+    /// Mean event rate, mutations per simulated second (Poisson gaps).
+    pub rate_eps: f64,
+    /// Undirected edge toggles per event (upper bound: redraws of a pair
+    /// already toggled in the same event are skipped to keep the batch
+    /// strict).
+    pub batch: usize,
+    /// RNG seed; same seed + same graphs → identical schedule.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            events: 16,
+            rate_eps: 100.0,
+            batch: 4,
+            seed: 13,
+        }
+    }
+}
+
+/// Generates a seeded schedule of graph mutations: Poisson-spaced events,
+/// each picking a graph uniformly and toggling up to `cfg.batch` undirected
+/// edges on it (absent edges are inserted, present ones deleted — strict by
+/// construction against the *evolving* graph, so the whole schedule applies
+/// cleanly through [`crate::serve_with_mutations`]). Sorted by time.
+pub fn churn_schedule(graphs: &[CsrGraph], cfg: &ChurnConfig) -> Vec<GraphMutation> {
+    assert!(!graphs.is_empty(), "need at least one graph");
+    assert!(cfg.rate_eps > 0.0, "churn rate must be positive");
+    // Decorrelate the churn RNG stream from a request trace sharing a seed.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc0ff_ee11);
+    let mut evolved: Vec<CsrGraph> = graphs.to_vec();
+    let mean_gap_ms = 1000.0 / cfg.rate_eps;
+    let mut t = 0.0f64;
+    let mut schedule = Vec::with_capacity(cfg.events);
+    for _ in 0..cfg.events {
+        let u: f64 = rng.random::<f64>().min(1.0 - 1e-12);
+        t += -(1.0 - u).ln() * mean_gap_ms;
+        let gi = rng.random_range(0..evolved.len());
+        let g = &evolved[gi];
+        let n = g.num_nodes();
+        let mut delta = EdgeDelta::new();
+        let mut used: Vec<(usize, usize)> = Vec::with_capacity(cfg.batch);
+        for _ in 0..cfg.batch {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            let key = (a.min(b), a.max(b));
+            if used.contains(&key) {
+                continue;
+            }
+            used.push(key);
+            let (ua, ub) = (a as NodeId, b as NodeId);
+            if g.has_edge(a, ub) {
+                delta = if a == b {
+                    delta.delete(ua, ub)
+                } else {
+                    delta.delete_undirected(ua, ub)
+                };
+            } else {
+                delta = if a == b {
+                    delta.insert(ua, ub)
+                } else {
+                    delta.insert_undirected(ua, ub)
+                };
+            }
+        }
+        evolved[gi] = delta
+            .apply_to(g)
+            .expect("toggles are valid against the evolving graph");
+        schedule.push(GraphMutation {
+            at_ms: t,
+            graph: gi,
+            delta,
+        });
+    }
+    schedule
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +235,32 @@ mod tests {
             },
         );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn churn_schedules_are_deterministic_sorted_and_applicable() {
+        let g0 = tcg_graph::gen::erdos_renyi(120, 800, 3).unwrap();
+        let g1 = tcg_graph::gen::erdos_renyi(80, 500, 4).unwrap();
+        let cfg = ChurnConfig {
+            events: 12,
+            rate_eps: 400.0,
+            batch: 3,
+            seed: 5,
+        };
+        let a = churn_schedule(&[g0.clone(), g1.clone()], &cfg);
+        let b = churn_schedule(&[g0.clone(), g1.clone()], &cfg);
+        assert_eq!(a.len(), 12);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at_ms == y.at_ms && x.graph == y.graph && x.delta == y.delta));
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        // The whole schedule replays strictly against the evolving graphs.
+        let mut cur = [g0, g1];
+        for m in &a {
+            assert!(m.graph < 2);
+            assert!(!m.delta.is_empty());
+            cur[m.graph] = m.delta.apply_to(&cur[m.graph]).expect("strict toggles");
+        }
     }
 }

@@ -327,6 +327,43 @@ pub fn prometheus_text(report: &ServeReport) -> String {
     );
     metric(
         &mut out,
+        "tcg_serve_mutation_total",
+        "counter",
+        "Graph mutations by disposition.",
+        &[
+            (
+                "{disposition=\"applied\"}".to_string(),
+                report.mutations.applied as f64,
+            ),
+            (
+                "{disposition=\"rejected\"}".to_string(),
+                report.mutations.rejected as f64,
+            ),
+        ],
+    );
+    metric(
+        &mut out,
+        "tcg_serve_mutation_windows_retranslated_total",
+        "counter",
+        "Row windows retranslated by delta cache resolutions.",
+        &plain(report.mutations.windows_touched as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_mutation_windows_preserved_total",
+        "counter",
+        "Row windows spliced unchanged by delta cache resolutions.",
+        &plain(report.mutations.windows_preserved as f64),
+    );
+    metric(
+        &mut out,
+        "tcg_serve_mutation_delta_ms_total",
+        "counter",
+        "Modeled milliseconds paid for delta retranslations.",
+        &plain(report.mutations.delta_translate_ms),
+    );
+    metric(
+        &mut out,
         "tcg_serve_faults_total",
         "counter",
         "Injected device faults by kind.",
@@ -556,6 +593,8 @@ mod tests {
             makespan_ms: 20.0,
             throughput_rps: 150.0,
             latency,
+            mutations: crate::server::MutationSummary::default(),
+            graph_versions: Vec::new(),
             cache: crate::cache::CacheStats {
                 hits: 1,
                 misses: 1,
@@ -564,6 +603,7 @@ mod tests {
                 translation_ms_saved: 3.0,
                 poison_detected: 1,
                 poison_recovered: 1,
+                ..Default::default()
             },
             faults: FaultReport::default(),
             queue,

@@ -52,7 +52,55 @@ impl ServeReport {
                 "poison_recovered",
                 Value::UInt(self.cache.poison_recovered as u128),
             ),
+            ("window_hits", Value::UInt(self.cache.window_hits as u128)),
+            (
+                "window_misses",
+                Value::UInt(self.cache.window_misses as u128),
+            ),
+            (
+                "delta_translations",
+                Value::UInt(self.cache.delta_translations as u128),
+            ),
         ]);
+        let mutations = obj(vec![
+            ("requested", Value::UInt(self.mutations.requested as u128)),
+            ("applied", Value::UInt(self.mutations.applied as u128)),
+            ("rejected", Value::UInt(self.mutations.rejected as u128)),
+            (
+                "edges_inserted",
+                Value::UInt(self.mutations.edges_inserted as u128),
+            ),
+            (
+                "edges_deleted",
+                Value::UInt(self.mutations.edges_deleted as u128),
+            ),
+            (
+                "windows_touched",
+                Value::UInt(self.mutations.windows_touched as u128),
+            ),
+            (
+                "windows_preserved",
+                Value::UInt(self.mutations.windows_preserved as u128),
+            ),
+            (
+                "delta_translate_ms",
+                Value::Float(self.mutations.delta_translate_ms),
+            ),
+            (
+                "mask_refreshed_windows",
+                Value::UInt(self.mutations.mask_refreshed_windows as u128),
+            ),
+        ]);
+        let graph_versions: Vec<Value> = self
+            .graph_versions
+            .iter()
+            .map(|(name, v)| {
+                obj(vec![
+                    ("graph", s(name)),
+                    ("version", s(&format!("{v:016x}"))),
+                ])
+            })
+            .collect();
         let faults = obj(vec![
             (
                 "injected",
@@ -94,6 +142,8 @@ impl ServeReport {
             ("throughput_rps", Value::Float(self.throughput_rps)),
             ("latency_ms", latency),
             ("sgt_cache", cache),
+            ("mutations", mutations),
+            ("graph_versions", Value::Array(graph_versions)),
             ("faults", faults),
             (
                 "queue_depth",

@@ -31,16 +31,18 @@ use std::sync::Arc;
 use tcg_dist::{DistContext, Partitioner};
 use tcg_fault::{
     BreakerRoute, BreakerStats, CircuitBreaker, FaultConfig, FaultPlan, FaultReport, RetryPolicy,
+    TcgError,
 };
 use tcg_gnn::{Backend, Engine, RecoveryPolicy};
 use tcg_gpusim::{DeviceSpec, Stream};
-use tcg_graph::CsrGraph;
+use tcg_graph::{CsrGraph, GraphVersion};
+use tcg_kernels::hybrid::{DispatchPolicy, KernelClass, WindowBackend};
 use tcg_profile::{Phase, SharedProfiler, StreamingHistogram};
-use tcg_sgt::TranslatedGraph;
+use tcg_sgt::{EdgeDelta, TranslatedGraph, TC_BLK_H};
 use tcg_tensor::{ops, DenseMatrix};
 
 use crate::batcher::{BatchPolicy, Batcher, ClosedBatch};
-use crate::cache::{CacheStats, TranslationCache};
+use crate::cache::{CacheStats, ResolutionKind, TranslationCache};
 use crate::model::ServableModel;
 use crate::request::{CancelStage, Outcome, Request, Response, ShedReason};
 use crate::resilience::{BrownoutController, ResilienceConfig, ResilienceSummary};
@@ -97,6 +99,88 @@ impl Session {
     pub fn cache_mut(&mut self) -> &mut TranslationCache {
         &mut self.cache
     }
+
+    /// Applies a batched edge edit to graph `graph` in place.
+    ///
+    /// The edit is strict ([`EdgeDelta::apply_to`]): deleting a missing
+    /// edge, inserting a present one, or referencing an out-of-range node
+    /// rejects the whole delta and leaves the graph untouched — a rejected
+    /// mutation is observable, never half-applied. On success the served
+    /// CSR is replaced; the next batch dispatched against this graph
+    /// resolves its translation under the new [`GraphVersion`], which the
+    /// cache typically satisfies by retranslating only the touched windows.
+    pub fn mutate(&mut self, graph: usize, delta: &EdgeDelta) -> Result<MutationOutcome, TcgError> {
+        let count = self.graphs.len();
+        let g = self
+            .graphs
+            .get_mut(graph)
+            .ok_or_else(|| TcgError::InvalidInput {
+                what: "mutation graph index",
+                detail: format!("graph {graph} out of range (session serves {count} graphs)"),
+            })?;
+        g.csr = delta.apply_to(&g.csr)?;
+        Ok(MutationOutcome {
+            touched_windows: delta.touched_windows(TC_BLK_H),
+            inserted: delta.inserts().len(),
+            deleted: delta.deletes().len(),
+            version: g.csr.fingerprint(),
+        })
+    }
+}
+
+/// What one applied [`Session::mutate`] call did to its graph.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// Row windows (at `TC_BLK_H` rows) whose contents changed.
+    pub touched_windows: Vec<usize>,
+    /// Edges inserted.
+    pub inserted: usize,
+    /// Edges deleted.
+    pub deleted: usize,
+    /// The graph's version after the edit.
+    pub version: GraphVersion,
+}
+
+/// A scheduled edge edit interleaved with a request trace.
+///
+/// [`serve_with_mutations`] applies it when the dispatcher's virtual-time
+/// walk reaches `at_ms`. The consistency point is a *batcher barrier*:
+/// every request admitted before the edit is sealed and dispatched first
+/// (running against the pre-edit graph and translation), the edit is
+/// applied, and every later batch resolves under the new graph version.
+#[derive(Debug, Clone)]
+pub struct GraphMutation {
+    /// Virtual time the edit lands, in trace milliseconds.
+    pub at_ms: f64,
+    /// Index into the session's graphs.
+    pub graph: usize,
+    /// The batched edge edit.
+    pub delta: EdgeDelta,
+}
+
+/// Mutation accounting in the final report — always present, all zeros
+/// when the run had no mutations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MutationSummary {
+    /// Mutations scheduled.
+    pub requested: usize,
+    /// Mutations applied.
+    pub applied: usize,
+    /// Mutations rejected by strict delta validation (graph unchanged).
+    pub rejected: usize,
+    /// Edges inserted across applied mutations.
+    pub edges_inserted: usize,
+    /// Edges deleted across applied mutations.
+    pub edges_deleted: usize,
+    /// Row windows retranslated by delta cache resolutions.
+    pub windows_touched: usize,
+    /// Row windows spliced unchanged by delta cache resolutions.
+    pub windows_preserved: usize,
+    /// Modeled milliseconds paid for delta retranslations.
+    pub delta_translate_ms: f64,
+    /// Hybrid dispatch-mask entries re-decided (touched windows only;
+    /// 0 unless the backend is [`Backend::Hybrid`]).
+    pub mask_refreshed_windows: usize,
 }
 
 /// Server configuration.
@@ -177,6 +261,13 @@ struct DispatchedBatch {
     ready_ms: f64,
     requests: Vec<Request>,
     translation: Arc<TranslatedGraph>,
+    /// Snapshot of the graph at dispatch time — under mutations the
+    /// session's CSR moves on, but this batch executes against the
+    /// adjacency it was admitted for.
+    csr: Arc<CsrGraph>,
+    /// Version of that snapshot; workers key engines by `(graph, version)`
+    /// so a mutated graph gets a fresh engine instead of stale kernels.
+    version: GraphVersion,
 }
 
 /// Admission-queue depth statistics, sampled once per processed arrival
@@ -278,6 +369,11 @@ pub struct ServeReport {
     pub per_stream: Vec<StreamSummary>,
     /// Resilience-layer accounting; `None` when the layer was off.
     pub resilience: Option<ResilienceSummary>,
+    /// Mutation accounting (all zeros when the run had no mutations).
+    pub mutations: MutationSummary,
+    /// Final [`GraphVersion`] of every served graph, by name, after all
+    /// mutations applied — the provenance stamp for this report.
+    pub graph_versions: Vec<(String, u64)>,
     /// Per-request records, id-ordered.
     pub responses: Vec<Response>,
 }
@@ -320,12 +416,40 @@ pub fn serve(
     trace: &[Request],
     profiler: Option<&SharedProfiler>,
 ) -> ServeReport {
+    serve_with_mutations(session, cfg, trace, &[], profiler)
+}
+
+/// [`serve`] with a schedule of graph mutations interleaved into the trace.
+///
+/// `mutations` must be sorted by [`GraphMutation::at_ms`]. Each mutation is
+/// a barrier within the dispatcher's virtual-time walk: when the walk
+/// reaches `at_ms`, every open batch is sealed and dispatched against the
+/// pre-edit graph, then the edit is applied via [`Session::mutate`] (a
+/// rejected delta is counted, not fatal), and every later batch resolves
+/// under the new [`GraphVersion`] — which the translation cache typically
+/// satisfies by retranslating only the touched windows. Mutations
+/// scheduled after the last arrival are applied after the trace drains.
+///
+/// Multi-device sharding ([`ServeConfig::devices`]` > 1`) is gated off when
+/// any mutations are scheduled: shard contexts re-run SGT per shard and do
+/// not participate in versioned translation reuse.
+pub fn serve_with_mutations(
+    session: &mut Session,
+    cfg: &ServeConfig,
+    trace: &[Request],
+    mutations: &[GraphMutation],
+    profiler: Option<&SharedProfiler>,
+) -> ServeReport {
     assert!(
         trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
         "request trace must be sorted by arrival time"
     );
+    assert!(
+        mutations.windows(2).all(|w| w[0].at_ms <= w[1].at_ms),
+        "mutation schedule must be sorted by time"
+    );
     let streams = cfg.streams.max(1);
-    let dist_on = dist_active(cfg, session.model());
+    let dist_on = dist_active(cfg, session.model()) && mutations.is_empty();
     let cancel = cfg
         .resilience
         .as_ref()
@@ -344,12 +468,28 @@ pub fn serve(
     let mut dispatched: Vec<DispatchedBatch> = Vec::new();
     let mut shed_responses: Vec<Response> = Vec::new();
     let mut translations: Vec<(String, f64, Vec<u64>)> = Vec::new();
+    // Per-graph CSR snapshots: batches capture the adjacency they were
+    // admitted against, refreshed only at mutation barriers.
+    let mut snapshots: Vec<Arc<CsrGraph>> = session
+        .graphs
+        .iter()
+        .map(|g| Arc::new(g.csr.clone()))
+        .collect();
+    let mut mut_summary = MutationSummary::default();
+    // Hybrid backend: maintain the per-graph window dispatch mask so a
+    // delta resolution re-decides only the touched windows.
+    let hybrid = matches!(cfg.backend, Backend::Hybrid);
+    let hybrid_policy = DispatchPolicy::from_env(KernelClass::Spmm);
+    let mut masks: Vec<Option<Vec<WindowBackend>>> = vec![None; session.graphs.len()];
     let dispatch = |mut closed: ClosedBatch,
                     session: &mut Session,
                     dispatched: &mut Vec<DispatchedBatch>,
                     translations: &mut Vec<(String, f64, Vec<u64>)>,
                     cancelled: &mut Vec<Response>,
-                    brownout: &mut Option<BrownoutController>| {
+                    brownout: &mut Option<BrownoutController>,
+                    snapshots: &[Arc<CsrGraph>],
+                    masks: &mut [Option<Vec<WindowBackend>>],
+                    mut_summary: &mut MutationSummary| {
         if let Some(ctl) = brownout.as_mut() {
             // Dispatch-time queue wait feeds the brownout p99 signal.
             for r in &closed.requests {
@@ -380,12 +520,36 @@ pub fn serve(
             closed.requests = live;
         }
         let g = &session.graphs[closed.graph];
-        let (translation, paid_ms, hit) = session.cache.get_or_translate(&g.csr);
-        if !hit {
-            // Attribute the translation to the batch that paid it — its
-            // host event carries the same trace ids as the batch's kernels.
-            let ids: Vec<u64> = closed.requests.iter().map(|r| r.id).collect();
-            translations.push((format!("sgt_translate:{}", g.name), paid_ms, ids));
+        let r = session.cache.get_or_translate(&g.csr);
+        let dim = g.features.cols();
+        match &r.kind {
+            ResolutionKind::Hit => {}
+            ResolutionKind::Full => {
+                // Attribute the translation to the batch that paid it — its
+                // host event carries the same trace ids as the batch's
+                // kernels.
+                let ids: Vec<u64> = closed.requests.iter().map(|r| r.id).collect();
+                translations.push((format!("sgt_translate:{}", g.name), r.paid_ms, ids));
+                if hybrid {
+                    masks[closed.graph] = Some(hybrid_policy.mask(&r.translation, &g.csr, dim));
+                }
+            }
+            ResolutionKind::Delta { touched, preserved } => {
+                let ids: Vec<u64> = closed.requests.iter().map(|r| r.id).collect();
+                translations.push((format!("sgt_delta:{}", g.name), r.paid_ms, ids));
+                mut_summary.windows_touched += touched.len();
+                mut_summary.windows_preserved += preserved;
+                mut_summary.delta_translate_ms += r.paid_ms;
+                if hybrid {
+                    match &mut masks[closed.graph] {
+                        Some(mask) => {
+                            hybrid_policy.refresh_mask(mask, &r.translation, &g.csr, dim, touched);
+                            mut_summary.mask_refreshed_windows += touched.len();
+                        }
+                        slot => *slot = Some(hybrid_policy.mask(&r.translation, &g.csr, dim)),
+                    }
+                }
+            }
         }
         let index = dispatched.len();
         dispatched.push(DispatchedBatch {
@@ -393,14 +557,51 @@ pub fn serve(
             graph: closed.graph,
             stream: (index % streams) as u32,
             close_ms: closed.close_ms,
-            translate_ms: paid_ms,
-            ready_ms: closed.close_ms + paid_ms,
+            translate_ms: r.paid_ms,
+            ready_ms: closed.close_ms + r.paid_ms,
             requests: closed.requests,
-            translation,
+            translation: r.translation,
+            csr: Arc::clone(&snapshots[closed.graph]),
+            version: g.csr.fingerprint(),
         });
     };
     let mut queue = QueueDepth::default();
+    let mut next_mutation = 0usize;
     for req in trace {
+        // Mutation barrier: every edit due at or before this arrival seals
+        // the batcher first (pre-edit batches run pre-edit state), then
+        // lands, then admission resumes under the new graph version.
+        while next_mutation < mutations.len() && mutations[next_mutation].at_ms <= req.arrival_ms {
+            let gm = &mutations[next_mutation];
+            for closed in batcher
+                .flush_due(gm.at_ms)
+                .into_iter()
+                .chain(batcher.flush_all())
+            {
+                dispatch(
+                    closed,
+                    session,
+                    &mut dispatched,
+                    &mut translations,
+                    &mut shed_responses,
+                    &mut brownout,
+                    &snapshots,
+                    &mut masks,
+                    &mut mut_summary,
+                );
+            }
+            mut_summary.requested += 1;
+            match session.mutate(gm.graph, &gm.delta) {
+                Ok(out) => {
+                    mut_summary.applied += 1;
+                    mut_summary.edges_inserted += out.inserted;
+                    mut_summary.edges_deleted += out.deleted;
+                    snapshots[gm.graph] = Arc::new(session.graphs[gm.graph].csr.clone());
+                }
+                Err(_) => mut_summary.rejected += 1,
+            }
+            next_mutation += 1;
+        }
         for closed in batcher.flush_due(req.arrival_ms) {
             dispatch(
                 closed,
@@ -409,6 +610,9 @@ pub fn serve(
                 &mut translations,
                 &mut shed_responses,
                 &mut brownout,
+                &snapshots,
+                &mut masks,
+                &mut mut_summary,
             );
         }
         if let Some(ctl) = brownout.as_mut() {
@@ -448,6 +652,9 @@ pub fn serve(
                 &mut translations,
                 &mut shed_responses,
                 &mut brownout,
+                &snapshots,
+                &mut masks,
+                &mut mut_summary,
             );
         }
         queue.sample(batcher.pending());
@@ -460,7 +667,24 @@ pub fn serve(
             &mut translations,
             &mut shed_responses,
             &mut brownout,
+            &snapshots,
+            &mut masks,
+            &mut mut_summary,
         );
+    }
+    // Mutations scheduled past the last arrival still land (the trace has
+    // drained, so no barrier is needed) — the session's graphs and the
+    // report's version stamps reflect every scheduled edit.
+    for gm in &mutations[next_mutation..] {
+        mut_summary.requested += 1;
+        match session.mutate(gm.graph, &gm.delta) {
+            Ok(out) => {
+                mut_summary.applied += 1;
+                mut_summary.edges_inserted += out.inserted;
+                mut_summary.edges_deleted += out.deleted;
+            }
+            Err(_) => mut_summary.rejected += 1,
+        }
     }
 
     // ---- Execute: one worker thread per stream, virtual clocks. ----
@@ -477,7 +701,9 @@ pub fn serve(
             .enumerate()
             .map(|(sid, batches)| {
                 let cfg = cfg.clone();
-                scope.spawn(move || run_stream(sid as u32, batches, graphs, model, &cfg, profiled))
+                scope.spawn(move || {
+                    run_stream(sid as u32, batches, graphs, model, &cfg, profiled, dist_on)
+                })
             })
             .collect();
         handles
@@ -491,6 +717,11 @@ pub fn serve(
     let mut faults = FaultReport::default();
     let mut per_stream_summary = Vec::with_capacity(streams);
     let mut batches = 0usize;
+    let graph_versions: Vec<(String, u64)> = session
+        .graphs
+        .iter()
+        .map(|g| (g.name.clone(), g.csr.fingerprint().as_u64()))
+        .collect();
     if let Some(p) = profiler {
         let mut p = p.write().expect("profiler lock");
         for (name, ms, ids) in &translations {
@@ -498,6 +729,11 @@ pub fn serve(
             p.record_host(name, *ms);
         }
         p.clear_trace();
+        // Version provenance: run labels stamping the final graph versions
+        // into the trace's process metadata alongside the serve timeline.
+        for (name, v) in &graph_versions {
+            p.set_label(&format!("graph_version:{name}"), &format!("{v:016x}"));
+        }
     }
     let mut breaker_stats = BreakerStats::default();
     let mut breaker_transitions = 0usize;
@@ -614,6 +850,8 @@ pub fn serve(
         queue,
         per_stream: per_stream_summary,
         resilience,
+        mutations: mut_summary,
+        graph_versions,
         responses,
     }
 }
@@ -630,13 +868,17 @@ fn run_stream(
     model: &ServableModel,
     cfg: &ServeConfig,
     profiled: bool,
+    dist: bool,
 ) -> WorkerResult {
     let mut stream = Stream::new(stream_id);
-    let mut engines: HashMap<usize, Engine> = HashMap::new();
+    // Engines are keyed by `(graph, version)`: a mutated graph's batches
+    // get a fresh engine built from their snapshot CSR, while batches for
+    // any still-resident earlier version keep theirs.
+    let mut engines: HashMap<(usize, u64), Engine> = HashMap::new();
     // Multi-device path: one sharded context per graph, built lazily like
     // the engines. Sharding re-runs SGT per shard, so the dispatcher's
-    // whole-graph translation is not reused here.
-    let dist = dist_active(cfg, model);
+    // whole-graph translation is not reused here (and the caller gates it
+    // off whenever mutations are scheduled).
     let mut dist_ctxs: HashMap<usize, DistContext> = HashMap::new();
     let mut halo_bytes = 0u64;
     let mut transfer_ms = 0.0f64;
@@ -758,41 +1000,43 @@ fn run_stream(
             }
             live = still_live;
         }
-        let eng = engines.entry(b.graph).or_insert_with(|| {
-            let mut eng = Engine::builder(g.csr.clone())
-                .backend(cfg.backend)
-                .device(cfg.device.clone())
-                .translation((*b.translation).clone())
-                .threads(cfg.threads)
-                .build()
-                .expect("session graphs are validated at admission");
-            // One plan per (stream, graph): the draw sequence depends
-            // only on this stream's batch order, never on scheduling.
-            let seed = cfg
-                .fault_seed
-                .wrapping_add((u64::from(stream_id) + 1) << 32)
-                .wrapping_add(b.graph as u64);
-            if let Some(fault_cfg) = cfg.fault {
-                eng.attach_fault_plan(FaultPlan::new(seed, fault_cfg));
-            }
-            if let Some(r) = res {
-                if r.retry_jitter_frac > 0.0 {
-                    // Jittered exponential backoff, seeded like the fault
-                    // plan so retry schedules are bit-reproducible.
-                    eng.set_recovery_policy(RecoveryPolicy {
-                        backoff: RetryPolicy::default().with_jitter(r.retry_jitter_frac, seed),
-                        ..RecoveryPolicy::default()
-                    });
+        let eng = engines
+            .entry((b.graph, b.version.as_u64()))
+            .or_insert_with(|| {
+                let mut eng = Engine::builder((*b.csr).clone())
+                    .backend(cfg.backend)
+                    .device(cfg.device.clone())
+                    .translation((*b.translation).clone())
+                    .threads(cfg.threads)
+                    .build()
+                    .expect("session graphs are validated at admission");
+                // One plan per (stream, graph): the draw sequence depends
+                // only on this stream's batch order, never on scheduling.
+                let seed = cfg
+                    .fault_seed
+                    .wrapping_add((u64::from(stream_id) + 1) << 32)
+                    .wrapping_add(b.graph as u64);
+                if let Some(fault_cfg) = cfg.fault {
+                    eng.attach_fault_plan(FaultPlan::new(seed, fault_cfg));
                 }
-                if r.deadline_cancellation {
-                    eng.set_launch_log(true);
+                if let Some(r) = res {
+                    if r.retry_jitter_frac > 0.0 {
+                        // Jittered exponential backoff, seeded like the fault
+                        // plan so retry schedules are bit-reproducible.
+                        eng.set_recovery_policy(RecoveryPolicy {
+                            backoff: RetryPolicy::default().with_jitter(r.retry_jitter_frac, seed),
+                            ..RecoveryPolicy::default()
+                        });
+                    }
+                    if r.deadline_cancellation {
+                        eng.set_launch_log(true);
+                    }
                 }
-            }
-            if let Some(p) = &worker_profiler {
-                eng.attach_profiler(Arc::clone(p));
-            }
-            eng
-        });
+                if let Some(p) = &worker_profiler {
+                    eng.attach_profiler(Arc::clone(p));
+                }
+                eng
+            });
         if let Some(p) = &worker_profiler {
             // Propagate the batch's trace ids: every kernel event the
             // engine records during this inference carries the ids of the

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use tcg_graph::CsrGraph;
 
-use crate::translate::translate_with;
+use crate::translate::Sgt;
 use crate::{TC_BLK_H, TC_BLK_W};
 
 /// Result of a block census for one geometry.
@@ -51,7 +51,11 @@ pub fn census_with(csr: &CsrGraph, blk_h: usize, blk_w: usize) -> BlockCensus {
         col_blocks.dedup();
         without += col_blocks.len() as u64;
     }
-    let t = translate_with(csr, blk_h, blk_w);
+    let t = Sgt::builder()
+        .window(blk_h)
+        .block_width(blk_w)
+        .translate(csr)
+        .expect("valid census geometry");
     BlockCensus {
         blk_h,
         blk_w,

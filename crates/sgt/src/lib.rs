@@ -21,12 +21,16 @@
 //! the preprocessing-cost accounting for Figure 7(b).
 
 pub mod census;
+pub mod delta;
 pub mod overhead;
 pub mod translate;
 
 pub use census::{census, BlockCensus};
+pub use delta::{DeltaReport, EdgeDelta};
+#[allow(deprecated)]
 pub use translate::{
-    translate, translate_parallel, translate_with, try_translate_with, TranslatedGraph,
+    translate, translate_parallel, translate_with, try_translate_with, Sgt, SgtBuilder,
+    TranslatedGraph,
 };
 
 /// Row-window height — `M` of the TF-32 MMA shape (paper: `TC_BLK_H = 16`).

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use tcg_graph::CsrGraph;
 
-use crate::translate::{translate, TranslatedGraph};
+use crate::translate::{Sgt, TranslatedGraph};
 
 /// Per-edge processing cost of SGT on the modeled host, in nanoseconds.
 ///
@@ -39,10 +39,36 @@ pub fn model_ms(csr: &CsrGraph) -> f64 {
     (e * HOST_NS_PER_EDGE * avg.log2().max(1.0) / 4.0 + w * HOST_NS_PER_WINDOW) / 1e6
 }
 
+/// Per-edge cost of *splicing* an untouched window during delta
+/// translation, nanoseconds: a straight memcpy plus one offset add, far
+/// below the sort-dominated [`HOST_NS_PER_EDGE`].
+pub const HOST_NS_PER_SPLICED_EDGE: f64 = 0.5;
+
+/// Modeled host cost of an incremental delta translation: the touched
+/// windows pay the full sort-dominated per-edge rate of [`model_ms`], the
+/// untouched remainder pays only the splice copy. Same simulated clock as
+/// [`model_ms`], so the two are directly comparable (and
+/// `model_delta_ms <= model_ms` whenever fewer than all windows are
+/// touched).
+pub fn model_delta_ms(csr: &CsrGraph, touched_windows: usize, retranslated_edges: usize) -> f64 {
+    let e = retranslated_edges as f64;
+    let w = touched_windows as f64;
+    let avg = (e / w.max(1.0)).max(2.0);
+    let spliced = (csr.num_edges().saturating_sub(retranslated_edges)) as f64;
+    let total_w = csr.num_nodes().div_ceil(crate::TC_BLK_H) as f64;
+    (e * HOST_NS_PER_EDGE * avg.log2().max(1.0) / 4.0
+        + w * HOST_NS_PER_WINDOW
+        + spliced * HOST_NS_PER_SPLICED_EDGE
+        + (total_w - w).max(0.0) * HOST_NS_PER_WINDOW * 0.25)
+        / 1e6
+}
+
 /// Runs the translation, returning it with measured wall-clock milliseconds.
 pub fn measure_ms(csr: &CsrGraph) -> (TranslatedGraph, f64) {
     let start = Instant::now();
-    let t = translate(csr);
+    let t = Sgt::builder()
+        .translate(csr)
+        .expect("default SGT geometry is valid");
     (t, start.elapsed().as_secs_f64() * 1e3)
 }
 
@@ -75,6 +101,19 @@ mod tests {
         let (t, ms) = measure_ms(&g);
         assert_eq!(t.edge_to_col.len(), g.num_edges());
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn delta_model_cheaper_than_full_when_few_windows_touched() {
+        let g = gen::erdos_renyi(4000, 40_000, 2).unwrap();
+        let full = model_ms(&g);
+        // One touched window holding ~avg edges.
+        let avg_edges = g.num_edges() / g.num_nodes().div_ceil(crate::TC_BLK_H);
+        let delta = model_delta_ms(&g, 1, avg_edges);
+        assert!(delta < full, "delta {delta} ms vs full {full} ms");
+        // Touching everything costs at least the full translation's edge work.
+        let all = model_delta_ms(&g, g.num_nodes().div_ceil(crate::TC_BLK_H), g.num_edges());
+        assert!(all >= full * 0.9);
     }
 
     #[test]

@@ -78,10 +78,62 @@ impl TranslatedGraph {
     }
 
     /// Edge index range `[start, end)` of row window `w` in the CSR arrays.
-    pub fn window_edge_range(&self, csr: &CsrGraph, w: usize) -> (usize, usize) {
+    ///
+    /// Returns [`TcgError::InvalidInput`] if `w` is not a window of this
+    /// translation, and [`TcgError::CorruptMeta`] if the graph does not have
+    /// the node count this translation was built for (a mismatched
+    /// graph/translation pair would otherwise read out of bounds).
+    pub fn window_edge_range(&self, csr: &CsrGraph, w: usize) -> Result<(usize, usize), TcgError> {
+        if w >= self.num_row_windows {
+            return Err(TcgError::InvalidInput {
+                what: "sgt window index",
+                detail: format!(
+                    "window {w} out of range: translation has {} row windows",
+                    self.num_row_windows
+                ),
+            });
+        }
+        if self.num_row_windows != csr.num_nodes().div_ceil(self.win_size) {
+            return Err(corrupt(
+                "window_edge_range",
+                format!(
+                    "translation has {} windows but graph has {} nodes at win_size {}",
+                    self.num_row_windows,
+                    csr.num_nodes(),
+                    self.win_size
+                ),
+            ));
+        }
+        Ok(self.window_edge_range_unchecked(csr, w))
+    }
+
+    /// [`Self::window_edge_range`] without the range checks, for internal
+    /// loops where `w < num_row_windows` holds by construction.
+    #[inline]
+    fn window_edge_range_unchecked(&self, csr: &CsrGraph, w: usize) -> (usize, usize) {
         let lo = w * self.win_size;
         let hi = ((w + 1) * self.win_size).min(csr.num_nodes());
         (csr.node_pointer()[lo], csr.node_pointer()[hi])
+    }
+
+    /// Per-window edge spans recovered from the translation itself (no CSR
+    /// needed): entry `w` is the first global edge id of window `w`, entry
+    /// `num_row_windows` is the edge count. Windows tile edge space
+    /// contiguously and each non-empty window's chunks start/end at its CSR
+    /// edge range (a [`Self::validate`] invariant), so the spans can be read
+    /// back off `block_ptr`.
+    pub(crate) fn window_edge_spans(&self) -> Vec<usize> {
+        let mut spans = Vec::with_capacity(self.num_row_windows + 1);
+        spans.push(0usize);
+        let mut cursor = 0usize;
+        for w in 0..self.num_row_windows {
+            let (b_lo, b_hi) = (self.win_block_start[w], self.win_block_start[w + 1]);
+            if b_lo < b_hi {
+                cursor = self.block_ptr[b_hi];
+            }
+            spans.push(cursor);
+        }
+        spans
     }
 
     /// The sorted-position range of global block `b` (Algorithm 2's
@@ -151,6 +203,71 @@ impl TranslatedGraph {
         }
         for &v in &self.block_atox_ptr {
             eat(v as u64);
+        }
+        h
+    }
+
+    /// Content checksum of row window `w` alone, normalized to be
+    /// *window-local*: edge ids are hashed relative to the window's first
+    /// edge and rows relative to its first row, so the digest depends only
+    /// on the window's own translated structure — never on how many edges
+    /// precede it. An edit elsewhere in the graph leaves it unchanged, which
+    /// is what lets delta-translation verify untouched windows cheaply.
+    ///
+    /// Returns [`TcgError::InvalidInput`] on an out-of-range window.
+    pub fn window_fingerprint(&self, w: usize) -> Result<u64, TcgError> {
+        if w >= self.num_row_windows {
+            return Err(TcgError::InvalidInput {
+                what: "sgt window index",
+                detail: format!(
+                    "window {w} out of range: translation has {} row windows",
+                    self.num_row_windows
+                ),
+            });
+        }
+        let spans = self.window_edge_spans();
+        Ok(self.window_fingerprint_with_span(w, spans[w], spans[w + 1]))
+    }
+
+    /// [`Self::window_fingerprint`] for every window, in one `O(E)` pass.
+    pub fn window_fingerprints(&self) -> Vec<u64> {
+        let spans = self.window_edge_spans();
+        (0..self.num_row_windows)
+            .map(|w| self.window_fingerprint_with_span(w, spans[w], spans[w + 1]))
+            .collect()
+    }
+
+    fn window_fingerprint_with_span(&self, w: usize, e_lo: usize, e_hi: usize) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        let row_lo = (w * self.win_size) as u64;
+        eat(self.win_size as u64);
+        eat(self.blk_w as u64);
+        eat(u64::from(self.win_partition[w]));
+        eat(u64::from(self.win_unique[w]));
+        eat((e_hi - e_lo) as u64);
+        for e in e_lo..e_hi {
+            eat(u64::from(self.edge_to_col[e]));
+            eat(u64::from(self.edge_to_row[e]).wrapping_sub(row_lo));
+        }
+        let (b_lo, b_hi) = (self.win_block_start[w], self.win_block_start[w + 1]);
+        for b in b_lo..b_hi {
+            eat((self.block_ptr[b + 1] - self.block_ptr[b]) as u64);
+            for pos in self.block_ptr[b]..self.block_ptr[b + 1] {
+                eat(u64::from(self.perm_pack[pos]));
+                eat(u64::from(self.perm_orig[pos]).wrapping_sub(e_lo as u64));
+            }
+            let atox = &self.block_atox[self.block_atox_ptr[b]..self.block_atox_ptr[b + 1]];
+            eat(atox.len() as u64);
+            for &nid in atox {
+                eat(u64::from(nid));
+            }
         }
         h
     }
@@ -288,7 +405,7 @@ impl TranslatedGraph {
         let edge_list = csr.edge_list();
         let mut seen = vec![false; num_edges];
         for w in 0..self.num_row_windows {
-            let (e_lo, e_hi) = self.window_edge_range(csr, w);
+            let (e_lo, e_hi) = self.window_edge_range_unchecked(csr, w);
             let (b_lo, b_hi) = (self.win_block_start[w], self.win_block_start[w + 1]);
             if b_lo < b_hi && (self.block_ptr[b_lo] != e_lo || self.block_ptr[b_hi] != e_hi) {
                 return Err(corrupt(
@@ -398,14 +515,14 @@ impl TranslatedGraph {
 
 /// Per-window translation result, assembled into the global arrays after
 /// all windows are processed (keeps the parallel path trivially safe).
-struct WindowOut {
-    unique: u32,
-    blocks: u32,
+pub(crate) struct WindowOut {
+    pub(crate) unique: u32,
+    pub(crate) blocks: u32,
     /// `(col, row, orig_edge, nid)` sorted by `col` (stable in edge order).
-    sorted: Vec<(u32, NodeId, u32, NodeId)>,
+    pub(crate) sorted: Vec<(u32, NodeId, u32, NodeId)>,
 }
 
-fn translate_window(
+pub(crate) fn translate_window(
     csr: &CsrGraph,
     w: usize,
     win_size: usize,
@@ -452,6 +569,78 @@ fn translate_window(
     }
 }
 
+/// The per-block output arrays Algorithm 2 appends to, bundled so window
+/// assembly has a single append target shared by from-scratch translation
+/// and delta-retranslation splicing.
+pub(crate) struct BlockArrays {
+    pub(crate) block_ptr: Vec<usize>,
+    pub(crate) perm_orig: Vec<u32>,
+    pub(crate) perm_pack: Vec<u8>,
+    pub(crate) block_atox: Vec<NodeId>,
+    pub(crate) block_atox_ptr: Vec<usize>,
+}
+
+impl BlockArrays {
+    /// Empty arrays with the leading sentinel 0 in both pointer vectors.
+    pub(crate) fn with_capacity(total_blocks: usize, num_edges: usize, atox: usize) -> Self {
+        let mut block_ptr = Vec::with_capacity(total_blocks + 1);
+        block_ptr.push(0usize);
+        let mut block_atox_ptr = Vec::with_capacity(total_blocks + 1);
+        block_atox_ptr.push(0usize);
+        Self {
+            block_ptr,
+            perm_orig: Vec::with_capacity(num_edges),
+            perm_pack: Vec::with_capacity(num_edges),
+            block_atox: Vec::with_capacity(atox),
+            block_atox_ptr,
+        }
+    }
+}
+
+/// Appends one window's chunked output (Algorithm 2's `GetChunk`) onto the
+/// global arrays. The append is *local*: it only reads the running tails of
+/// the output vectors, so the same code path serves both from-scratch
+/// assembly and delta-retranslation splicing — a touched window re-assembled
+/// here is bitwise-identical to what a full translation would produce.
+pub(crate) fn assemble_window_into(
+    o: &WindowOut,
+    w: usize,
+    win_size: usize,
+    blk_w: usize,
+    out: &mut BlockArrays,
+) {
+    let row_base = (w * win_size) as u32;
+    let mut cursor = 0usize;
+    for b in 0..o.blocks as usize {
+        let col_lo = (b * blk_w) as u32;
+        let col_hi = col_lo + blk_w as u32;
+        while cursor < o.sorted.len() && o.sorted[cursor].0 < col_hi {
+            let (col, row, orig, nid) = o.sorted[cursor];
+            let r_in_win = (row - row_base) as usize;
+            let c_in_blk = (col - col_lo) as usize;
+            out.perm_pack.push((r_in_win * blk_w + c_in_blk) as u8);
+            out.perm_orig.push(orig);
+            // AToX: first occurrence of each condensed column.
+            let local = out.block_atox_ptr.last().unwrap() + c_in_blk;
+            if out.block_atox.len() <= local {
+                out.block_atox.resize(local + 1, NodeId::MAX);
+            }
+            out.block_atox[local] = nid;
+            cursor += 1;
+        }
+        // Columns inside a block are dense (condensation), so the block
+        // owns exactly `min(blk_w, unique - col_lo)` AToX slots.
+        let slots = (o.unique as usize).saturating_sub(b * blk_w).min(blk_w);
+        let base = *out.block_atox_ptr.last().unwrap();
+        if out.block_atox.len() < base + slots {
+            out.block_atox.resize(base + slots, NodeId::MAX);
+        }
+        out.block_atox_ptr.push(base + slots);
+        out.block_ptr.push(out.perm_pack.len());
+    }
+    debug_assert_eq!(cursor, o.sorted.len());
+}
+
 fn assemble(
     csr: &CsrGraph,
     win_size: usize,
@@ -473,44 +662,9 @@ fn assemble(
     }
     let total_blocks = *win_block_start.last().unwrap();
 
-    let mut block_ptr = Vec::with_capacity(total_blocks + 1);
-    block_ptr.push(0usize);
-    let mut perm_orig = Vec::with_capacity(num_edges);
-    let mut perm_pack = Vec::with_capacity(num_edges);
-    let mut block_atox: Vec<NodeId> = Vec::new();
-    let mut block_atox_ptr = Vec::with_capacity(total_blocks + 1);
-    block_atox_ptr.push(0usize);
+    let mut arrays = BlockArrays::with_capacity(total_blocks, num_edges, 0);
     for (w, o) in outs.iter().enumerate() {
-        let row_base = (w * win_size) as u32;
-        let mut cursor = 0usize;
-        for b in 0..o.blocks as usize {
-            let col_lo = (b * blk_w) as u32;
-            let col_hi = col_lo + blk_w as u32;
-            while cursor < o.sorted.len() && o.sorted[cursor].0 < col_hi {
-                let (col, row, orig, nid) = o.sorted[cursor];
-                let r_in_win = (row - row_base) as usize;
-                let c_in_blk = (col - col_lo) as usize;
-                perm_pack.push((r_in_win * blk_w + c_in_blk) as u8);
-                perm_orig.push(orig);
-                // AToX: first occurrence of each condensed column.
-                let local = block_atox_ptr.last().unwrap() + c_in_blk;
-                if block_atox.len() <= local {
-                    block_atox.resize(local + 1, NodeId::MAX);
-                }
-                block_atox[local] = nid;
-                cursor += 1;
-            }
-            // Columns inside a block are dense (condensation), so the block
-            // owns exactly `min(blk_w, unique - col_lo)` AToX slots.
-            let slots = (o.unique as usize).saturating_sub(b * blk_w).min(blk_w);
-            let base = *block_atox_ptr.last().unwrap();
-            if block_atox.len() < base + slots {
-                block_atox.resize(base + slots, NodeId::MAX);
-            }
-            block_atox_ptr.push(base + slots);
-            block_ptr.push(perm_pack.len());
-        }
-        debug_assert_eq!(cursor, o.sorted.len());
+        assemble_window_into(o, w, win_size, blk_w, &mut arrays);
     }
 
     TranslatedGraph {
@@ -522,11 +676,11 @@ fn assemble(
         edge_to_row,
         win_unique,
         win_block_start,
-        block_ptr,
-        perm_orig,
-        perm_pack,
-        block_atox,
-        block_atox_ptr,
+        block_ptr: arrays.block_ptr,
+        perm_orig: arrays.perm_orig,
+        perm_pack: arrays.perm_pack,
+        block_atox: arrays.block_atox,
+        block_atox_ptr: arrays.block_atox_ptr,
     }
 }
 
@@ -545,7 +699,7 @@ fn verify_requested() -> bool {
 /// check runs only in debug builds (like a `debug_assert!`), where a failure
 /// means the translator itself is buggy and panicking is the right response.
 /// Cost is `O(E)`, the same order as translation.
-fn post_validate(t: &TranslatedGraph, csr: &CsrGraph) -> Result<(), TcgError> {
+pub(crate) fn post_validate(t: &TranslatedGraph, csr: &CsrGraph) -> Result<(), TcgError> {
     if verify_requested() {
         return t.validate(csr);
     }
@@ -556,123 +710,205 @@ fn post_validate(t: &TranslatedGraph, csr: &CsrGraph) -> Result<(), TcgError> {
     Ok(())
 }
 
+/// Entry point to the fluent SGT API: [`Sgt::builder`] mirrors
+/// [`Engine::builder`] from `tcg-gnn`.
+///
+/// ```ignore
+/// let t = Sgt::builder().window(16).block_width(8).threads(4).translate(&csr)?;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Sgt;
+
+impl Sgt {
+    /// Starts a translation builder with the paper's TF-32 geometry
+    /// (`16 × 8`) and a single thread.
+    pub fn builder() -> SgtBuilder {
+        SgtBuilder::default()
+    }
+}
+
+/// Fluent configuration for a Sparse Graph Translation run.
+///
+/// Replaces the old free-function trio `translate` / `translate_with` /
+/// `translate_parallel`: geometry and parallelism are named knobs, and the
+/// terminal [`SgtBuilder::translate`] call returns a typed error on invalid
+/// geometry instead of panicking. The builder is `Copy`, so one configured
+/// instance can translate many graphs.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct SgtBuilder {
+    win_size: usize,
+    blk_w: usize,
+    threads: usize,
+}
+
+impl Default for SgtBuilder {
+    fn default() -> Self {
+        SgtBuilder {
+            win_size: TC_BLK_H,
+            blk_w: TC_BLK_W,
+            threads: 1,
+        }
+    }
+}
+
+impl SgtBuilder {
+    /// Row-window height (the paper's `TC_BLK_H`, 16 for TF-32).
+    pub fn window(mut self, win_size: usize) -> Self {
+        self.win_size = win_size;
+        self
+    }
+
+    /// TCU operand tile width (the paper's `TC_BLK_W`, 8 for TF-32).
+    pub fn block_width(mut self, blk_w: usize) -> Self {
+        self.blk_w = blk_w;
+        self
+    }
+
+    /// Host threads for the window loop. Values `<= 1` run sequentially;
+    /// graphs with fewer than `2 * threads` windows fall back to the
+    /// sequential path (the split overhead would dominate).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs Algorithm 1 (+ Algorithm 2's `GetChunk`) over `csr`.
+    ///
+    /// Rejects zero or byte-overflowing window geometry
+    /// (`win_size * blk_w > 256`) with [`TcgError::InvalidInput`]. Row
+    /// windows are independent (the paper notes SGT "can be easily
+    /// parallelized"), so with `threads > 1` windows are split across scoped
+    /// threads and assembly of the global arrays is a cheap serial pass —
+    /// the result is bitwise-identical to the sequential path.
+    pub fn translate(&self, csr: &CsrGraph) -> Result<TranslatedGraph, TcgError> {
+        let (win_size, blk_w) = (self.win_size, self.blk_w);
+        if win_size == 0 || blk_w == 0 {
+            return Err(TcgError::InvalidInput {
+                what: "sgt window geometry",
+                detail: format!("win_size {win_size} x blk_w {blk_w} must be positive"),
+            });
+        }
+        if win_size * blk_w > 256 {
+            return Err(TcgError::InvalidInput {
+                what: "sgt window geometry",
+                detail: format!(
+                    "win_size {win_size} x blk_w {blk_w} > 256: packed coordinate must fit one byte"
+                ),
+            });
+        }
+        let n = csr.num_nodes();
+        let num_row_windows = n.div_ceil(win_size);
+        let mut edge_to_col = vec![0u32; csr.num_edges()];
+        let mut edge_to_row = vec![0 as NodeId; csr.num_edges()];
+
+        let outs: Vec<WindowOut> = if self.threads == 1 || num_row_windows < 2 * self.threads {
+            (0..num_row_windows)
+                .map(|w| {
+                    translate_window(
+                        csr,
+                        w,
+                        win_size,
+                        blk_w,
+                        &mut edge_to_col,
+                        &mut edge_to_row,
+                        0,
+                    )
+                })
+                .collect()
+        } else {
+            let per = num_row_windows.div_ceil(self.threads);
+            let node_pointer = csr.node_pointer();
+
+            // Split the per-edge outputs into disjoint window-aligned slices.
+            let mut ec_rest: &mut [u32] = &mut edge_to_col;
+            let mut er_rest: &mut [NodeId] = &mut edge_to_row;
+            let mut jobs = Vec::new();
+            let mut w0 = 0usize;
+            while w0 < num_row_windows {
+                let w1 = (w0 + per).min(num_row_windows);
+                let e0 = node_pointer[w0 * win_size];
+                let e1 = node_pointer[(w1 * win_size).min(n)];
+                let (ec, rest) = ec_rest.split_at_mut(e1 - e0);
+                ec_rest = rest;
+                let (er, rest) = er_rest.split_at_mut(e1 - e0);
+                er_rest = rest;
+                jobs.push((w0, w1, e0, ec, er));
+                w0 = w1;
+            }
+
+            let mut chunk_outs: Vec<(usize, Vec<WindowOut>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(w_lo, w_hi, e_base, ec, er)| {
+                        scope.spawn(move || {
+                            let outs: Vec<WindowOut> = (w_lo..w_hi)
+                                .map(|w| translate_window(csr, w, win_size, blk_w, ec, er, e_base))
+                                .collect();
+                            (w_lo, outs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sgt worker panicked"))
+                    .collect()
+            });
+
+            chunk_outs.sort_by_key(|(w_lo, _)| *w_lo);
+            chunk_outs.into_iter().flat_map(|(_, o)| o).collect()
+        };
+
+        let t = assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row);
+        post_validate(&t, csr)?;
+        Ok(t)
+    }
+}
+
 /// Runs SGT with custom window geometry.
 ///
 /// # Panics
 ///
 /// Panics if `win_size * blk_w > 256` (the packed-coordinate byte would
 /// overflow).
+#[deprecated(note = "use `Sgt::builder().window(..).block_width(..).translate(&csr)`")]
 pub fn translate_with(csr: &CsrGraph, win_size: usize, blk_w: usize) -> TranslatedGraph {
-    try_translate_with(csr, win_size, blk_w).expect("valid SGT window geometry")
+    Sgt::builder()
+        .window(win_size)
+        .block_width(blk_w)
+        .translate(csr)
+        .expect("valid SGT window geometry")
 }
 
 /// Fallible [`translate_with`]: rejects bad window geometry with
 /// [`TcgError::InvalidInput`] instead of panicking.
+#[deprecated(note = "use `Sgt::builder().window(..).block_width(..).translate(&csr)`")]
 pub fn try_translate_with(
     csr: &CsrGraph,
     win_size: usize,
     blk_w: usize,
 ) -> Result<TranslatedGraph, TcgError> {
-    if win_size == 0 || blk_w == 0 {
-        return Err(TcgError::InvalidInput {
-            what: "sgt window geometry",
-            detail: format!("win_size {win_size} x blk_w {blk_w} must be positive"),
-        });
-    }
-    if win_size * blk_w > 256 {
-        return Err(TcgError::InvalidInput {
-            what: "sgt window geometry",
-            detail: format!(
-                "win_size {win_size} x blk_w {blk_w} > 256: packed coordinate must fit one byte"
-            ),
-        });
-    }
-    let n = csr.num_nodes();
-    let num_row_windows = n.div_ceil(win_size);
-    let mut edge_to_col = vec![0u32; csr.num_edges()];
-    let mut edge_to_row = vec![0 as NodeId; csr.num_edges()];
-    let outs: Vec<WindowOut> = (0..num_row_windows)
-        .map(|w| {
-            translate_window(
-                csr,
-                w,
-                win_size,
-                blk_w,
-                &mut edge_to_col,
-                &mut edge_to_row,
-                0,
-            )
-        })
-        .collect();
-    let t = assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row);
-    post_validate(&t, csr)?;
-    Ok(t)
+    Sgt::builder()
+        .window(win_size)
+        .block_width(blk_w)
+        .translate(csr)
 }
 
 /// Runs SGT with the paper's TF-32 geometry (`16 × 8`).
+#[deprecated(note = "use `Sgt::builder().translate(&csr)`")]
 pub fn translate(csr: &CsrGraph) -> TranslatedGraph {
-    translate_with(csr, TC_BLK_H, TC_BLK_W)
+    Sgt::builder()
+        .translate(csr)
+        .expect("default SGT geometry is valid")
 }
 
-/// Parallel SGT: row windows are independent (the paper notes SGT "can be
-/// easily parallelized"), so windows are split across `threads` scoped
-/// threads, each producing its windows' results; assembly of the global
-/// arrays is a cheap serial pass.
+/// Parallel SGT over the default geometry.
+#[deprecated(note = "use `Sgt::builder().threads(n).translate(&csr)`")]
 pub fn translate_parallel(csr: &CsrGraph, threads: usize) -> TranslatedGraph {
-    let threads = threads.max(1);
-    let n = csr.num_nodes();
-    let win_size = TC_BLK_H;
-    let blk_w = TC_BLK_W;
-    let num_row_windows = n.div_ceil(win_size);
-    if threads == 1 || num_row_windows < 2 * threads {
-        return translate(csr);
-    }
-    let mut edge_to_col = vec![0u32; csr.num_edges()];
-    let mut edge_to_row = vec![0 as NodeId; csr.num_edges()];
-
-    let per = num_row_windows.div_ceil(threads);
-    let node_pointer = csr.node_pointer();
-
-    // Split the per-edge outputs into disjoint window-aligned slices.
-    let mut ec_rest: &mut [u32] = &mut edge_to_col;
-    let mut er_rest: &mut [NodeId] = &mut edge_to_row;
-    let mut jobs = Vec::new();
-    let mut w0 = 0usize;
-    while w0 < num_row_windows {
-        let w1 = (w0 + per).min(num_row_windows);
-        let e0 = node_pointer[w0 * win_size];
-        let e1 = node_pointer[(w1 * win_size).min(n)];
-        let (ec, rest) = ec_rest.split_at_mut(e1 - e0);
-        ec_rest = rest;
-        let (er, rest) = er_rest.split_at_mut(e1 - e0);
-        er_rest = rest;
-        jobs.push((w0, w1, e0, ec, er));
-        w0 = w1;
-    }
-
-    let mut chunk_outs: Vec<(usize, Vec<WindowOut>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(w_lo, w_hi, e_base, ec, er)| {
-                scope.spawn(move || {
-                    let outs: Vec<WindowOut> = (w_lo..w_hi)
-                        .map(|w| translate_window(csr, w, win_size, blk_w, ec, er, e_base))
-                        .collect();
-                    (w_lo, outs)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sgt worker panicked"))
-            .collect()
-    });
-
-    chunk_outs.sort_by_key(|(w_lo, _)| *w_lo);
-    let outs: Vec<WindowOut> = chunk_outs.into_iter().flat_map(|(_, o)| o).collect();
-    let t = assemble(csr, win_size, blk_w, outs, edge_to_col, edge_to_row);
-    post_validate(&t, csr).expect("parallel SGT produced a corrupt translation");
-    t
+    Sgt::builder()
+        .threads(threads)
+        .translate(csr)
+        .expect("default SGT geometry is valid")
 }
 
 #[cfg(test)]
@@ -694,7 +930,11 @@ mod tests {
     #[test]
     fn condenses_columns_by_rank() {
         let g = figure4_like();
-        let t = translate_with(&g, 4, 2);
+        let t = Sgt::builder()
+            .window(4)
+            .block_width(2)
+            .translate(&g)
+            .unwrap();
         // Window 0: distinct neighbors {1, 5, 6} → cols {0, 1, 2}.
         assert_eq!(t.win_unique[0], 3);
         assert_eq!(t.win_partition[0], 2); // ceil(3/2)
@@ -708,7 +948,11 @@ mod tests {
     #[test]
     fn chunks_partition_edges_by_column_frame() {
         let g = figure4_like();
-        let t = translate_with(&g, 4, 2);
+        let t = Sgt::builder()
+            .window(4)
+            .block_width(2)
+            .translate(&g)
+            .unwrap();
         // Block 0 of window 0 owns cols {0, 1}: edges with col 0 or 1.
         let (lo, hi) = t.block_chunk(0);
         assert!(t.perm_pack[lo..hi].iter().all(|&p| t.unpack(p).1 < 2));
@@ -725,7 +969,7 @@ mod tests {
     #[test]
     fn perm_is_a_permutation_consistent_with_maps() {
         let g = gen::rmat_default(2048, 20_000, 2).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let mut seen = vec![false; g.num_edges()];
         for b in 0..t.total_tc_blocks() as usize {
             let w = t
@@ -759,10 +1003,10 @@ mod tests {
     #[test]
     fn block_chunks_tile_the_window_ranges() {
         let g = gen::citation(1000, 8000, 3).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         assert_eq!(*t.block_ptr.last().unwrap(), g.num_edges());
         for w in 0..t.num_row_windows {
-            let (e_lo, e_hi) = t.window_edge_range(&g, w);
+            let (e_lo, e_hi) = t.window_edge_range(&g, w).unwrap();
             let b_lo = t.win_block_start[w];
             let b_hi = t.win_block_start[w + 1];
             if b_lo == b_hi {
@@ -783,11 +1027,45 @@ mod tests {
     }
 
     #[test]
+    fn window_edge_range_checks_bounds_and_shape() {
+        // 40 nodes → 3 windows at win 16; the last window is ragged
+        // (rows 32..40 only).
+        let g = gen::erdos_renyi(40, 200, 5).unwrap();
+        let t = Sgt::builder().translate(&g).unwrap();
+        assert_eq!(t.num_row_windows, 3);
+        let (lo, hi) = t.window_edge_range(&g, 2).unwrap();
+        assert_eq!(lo, g.node_pointer()[32], "ragged window starts at row 32");
+        assert_eq!(hi, g.num_edges(), "ragged window ends at the edge count");
+        // One-past-the-end window is a typed error, not a panic or a
+        // zero-length range.
+        assert!(matches!(
+            t.window_edge_range(&g, t.num_row_windows),
+            Err(TcgError::InvalidInput { .. })
+        ));
+        assert!(t.window_edge_range(&g, usize::MAX).is_err());
+        // A graph with the wrong node count is detected as corrupt metadata.
+        let other = gen::erdos_renyi(80, 200, 5).unwrap();
+        assert!(matches!(
+            t.window_edge_range(&other, 0),
+            Err(TcgError::CorruptMeta { .. })
+        ));
+        // Empty windows: an edgeless graph spans (0, 0) in every window and
+        // still bounds-checks its window index.
+        let z = CsrGraph::from_raw(33, vec![0; 34], vec![]).unwrap();
+        let tz = Sgt::builder().translate(&z).unwrap();
+        assert_eq!(tz.num_row_windows, 3);
+        for w in 0..tz.num_row_windows {
+            assert_eq!(tz.window_edge_range(&z, w).unwrap(), (0, 0));
+        }
+        assert!(tz.window_edge_range(&z, tz.num_row_windows).is_err());
+    }
+
+    #[test]
     fn same_neighbor_same_column_within_window() {
         let g = gen::erdos_renyi(300, 3000, 1).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         for w in 0..t.num_row_windows {
-            let (lo, hi) = t.window_edge_range(&g, w);
+            let (lo, hi) = t.window_edge_range(&g, w).unwrap();
             let mut col_of = std::collections::HashMap::new();
             for e in lo..hi {
                 let nid = g.edge_list()[e];
@@ -810,9 +1088,9 @@ mod tests {
     #[test]
     fn column_order_preserves_neighbor_order() {
         let g = gen::rmat_default(512, 4000, 2).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         for w in 0..t.num_row_windows {
-            let (lo, hi) = t.window_edge_range(&g, w);
+            let (lo, hi) = t.window_edge_range(&g, w).unwrap();
             for e1 in lo..hi {
                 for e2 in lo..hi {
                     let (n1, n2) = (g.edge_list()[e1], g.edge_list()[e2]);
@@ -830,7 +1108,7 @@ mod tests {
     #[test]
     fn partition_matches_unique_count() {
         let g = gen::citation(1000, 8000, 3).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         for w in 0..t.num_row_windows {
             assert_eq!(
                 t.win_partition[w],
@@ -846,7 +1124,7 @@ mod tests {
     #[test]
     fn edge_to_row_matches_csr() {
         let g = gen::erdos_renyi(200, 2000, 4).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let mut e = 0usize;
         for v in 0..g.num_nodes() {
             for _ in g.neighbors(v) {
@@ -859,16 +1137,16 @@ mod tests {
     #[test]
     fn sddmm_block_fusion() {
         let g = figure4_like();
-        let t16 = translate(&g);
+        let t16 = Sgt::builder().translate(&g).unwrap();
         assert!(t16.total_sddmm_blocks() <= t16.total_tc_blocks().max(1));
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let g = gen::rmat_default(4096, 60_000, 5).unwrap();
-        let seq = translate(&g);
+        let seq = Sgt::builder().translate(&g).unwrap();
         for threads in [2, 3, 4, 7] {
-            let par = translate_parallel(&g, threads);
+            let par = Sgt::builder().threads(threads).translate(&g).unwrap();
             assert_eq!(seq, par, "threads = {threads}");
         }
     }
@@ -876,13 +1154,16 @@ mod tests {
     #[test]
     fn parallel_falls_back_on_tiny_graphs() {
         let g = gen::erdos_renyi(40, 200, 6).unwrap();
-        assert_eq!(translate(&g), translate_parallel(&g, 8));
+        assert_eq!(
+            Sgt::builder().translate(&g).unwrap(),
+            Sgt::builder().threads(8).translate(&g).unwrap()
+        );
     }
 
     #[test]
     fn empty_graph() {
         let g = CsrGraph::from_raw(0, vec![0], vec![]).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         assert_eq!(t.num_row_windows, 0);
         assert_eq!(t.total_tc_blocks(), 0);
         assert_eq!(t.block_ptr, vec![0]);
@@ -891,7 +1172,7 @@ mod tests {
     #[test]
     fn isolated_nodes_only() {
         let g = CsrGraph::from_raw(40, vec![0; 41], vec![]).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         assert_eq!(t.num_row_windows, 3);
         assert!(t.win_partition.iter().all(|&b| b == 0));
         assert!(t.perm_orig.is_empty());
@@ -901,14 +1182,14 @@ mod tests {
     fn try_translate_rejects_bad_geometry() {
         let g = figure4_like();
         assert!(matches!(
-            try_translate_with(&g, 0, 8),
+            Sgt::builder().window(0).translate(&g),
             Err(TcgError::InvalidInput { .. })
         ));
         assert!(matches!(
-            try_translate_with(&g, 64, 8),
+            Sgt::builder().window(64).translate(&g),
             Err(TcgError::InvalidInput { .. })
         ));
-        assert!(try_translate_with(&g, 16, 8).is_ok());
+        assert!(Sgt::builder().translate(&g).is_ok());
     }
 
     #[test]
@@ -923,7 +1204,7 @@ mod tests {
                 "isolated",
             ),
         ] {
-            let t = translate(&g);
+            let t = Sgt::builder().translate(&g).unwrap();
             assert!(t.validate(&g).is_ok(), "{label}");
         }
     }
@@ -931,7 +1212,7 @@ mod tests {
     #[test]
     fn validate_catches_targeted_corruptions() {
         let g = gen::citation(600, 5000, 9).unwrap();
-        let base = translate(&g);
+        let base = Sgt::builder().translate(&g).unwrap();
         assert!(base.validate(&g).is_ok());
 
         // Out-of-bounds condensed column.
@@ -972,7 +1253,7 @@ mod tests {
     #[test]
     fn metadata_size_accounts_all_arrays() {
         let g = gen::erdos_renyi(1000, 10_000, 7).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         assert!(t.memory_bytes() > g.num_edges() * 8);
     }
 }

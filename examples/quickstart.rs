@@ -20,7 +20,7 @@ fn main() {
 
     // 2. Sparse Graph Translation (the paper's Algorithm 1): one-time
     //    preprocessing that condenses each 16-row window's columns.
-    let translated = sgt::translate(&graph);
+    let translated = sgt::Sgt::builder().translate(&graph).unwrap();
     let census = sgt::census(&graph);
     println!(
         "SGT: {} row windows, {} TCU blocks ({}% fewer than without SGT)",

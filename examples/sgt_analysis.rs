@@ -6,7 +6,7 @@
 //! ```
 
 use tc_gnn::graph::stats::{graph_stats, neighbor_sharing_ratio};
-use tc_gnn::sgt::{census, overhead, translate};
+use tc_gnn::sgt::{census, overhead, Sgt};
 
 fn main() {
     let n = 16_384;
@@ -52,7 +52,7 @@ fn main() {
 
     println!("\nTranslation detail for the R-MAT graph:");
     let g = &graphs[1].1;
-    let t = translate(g);
+    let t = Sgt::builder().translate(g).unwrap();
     let (_, wall_ms) = overhead::measure_ms(g);
     println!("  row windows:        {}", t.num_row_windows);
     println!("  TCU blocks:         {}", t.total_tc_blocks());

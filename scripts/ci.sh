@@ -163,6 +163,32 @@ step "hybrid: per-window dispatch conformance + tune-threshold bench gate"
 cargo test --release -q --test hybrid_dispatch
 cargo run --release -q -p tcg-bench --bin bench_hybrid -- --check
 
+step "dynamic graphs: metamorphic edit-script suite + churn bench gate"
+# Incremental ≡ from-scratch translation (bitwise) over random edit scripts
+# on all 10 adversarial families, plus the serve-level mutation semantics —
+# with block bodies fanned over 4 workers and every delta hard-validated.
+TCG_VERIFY=1 TCG_THREADS=4 cargo test --release -q --test delta_translation
+# CLI churn smoke: mutations must all apply and resolve through the
+# delta-translation path (touched windows retranslate, the rest reuse).
+churn_out=$(./target/release/tcgnn serve Cora --requests 32 --rate 2000 --epochs 2 --churn 3)
+sed -n '/^{/,$p' <<<"$churn_out" | python3 -c "
+import json, sys
+d = json.load(sys.stdin)
+m = d['mutations']
+assert m['requested'] == 3 and m['applied'] == 3, f'churn events lost: {m}'
+assert d['sgt_cache']['delta_translations'] >= 1, 'mutation never took the delta path'
+assert m['windows_preserved'] > m['windows_touched'], \
+    f'window reuse missing: {m[\"windows_touched\"]} touched vs {m[\"windows_preserved\"]} preserved'
+print(f\"churn gate: {m['applied']} mutations, {m['windows_touched']} windows retranslated, \"
+      f\"{m['windows_preserved']} preserved\")
+" || {
+    echo "dynamic graphs: CLI churn smoke failed" >&2
+    exit 1
+}
+# Churn-bench sentinel over the committed BENCH_churn baselines (the full
+# run is \`cargo run --release -p tcg-bench --bin bench_churn\`).
+cargo run --release -q -p tcg-bench --bin bench_churn -- --check
+
 step "dist: sharded-execution bitwise equality + scaling baselines"
 # Bitwise gate across the 10 adversarial oracle families and the fig7b
 # dataset suite at 2 and 4 devices under both partitioners, with block

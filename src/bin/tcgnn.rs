@@ -12,6 +12,8 @@
 //!                 [--max-delay MS] [--cache-cap C] [--queue-cap Q]
 //!                 [--deadline MS] [--seed S] [--metrics PATH]
 //!                 [--devices N] [--partitioner contiguous|greedy]
+//!                 [--churn N] [--churn-rate EPS] [--churn-batch B]
+//!                 [--churn-seed S]
 //! tcgnn top       <DATASET>[,<DATASET>...] [same flags as serve]
 //! tcgnn profile   --hotspots [--datasets a,b,...] [--epochs N]
 //! tcgnn bench     --check [--baselines DIR]
@@ -60,11 +62,16 @@ fn usage() -> ExitCode {
                      [--deadline MS] [--seed S] [--metrics PATH]\n\
                      [--resilience] [--low-every N] [--critical-every N]\n\
                      [--devices N] [--partitioner contiguous|greedy]\n\
+                     [--churn N] [--churn-rate EPS] [--churn-batch B]\n\
+                     [--churn-seed S]\n\
                      --metrics writes Prometheus text-format RED metrics;\n\
                      --resilience enables deadline cancellation, circuit\n\
                      breakers, brownout shedding, and cache quarantine;\n\
                      --devices > 1 shards clean GCN batches across simulated\n\
-                     devices with halo exchange (see DESIGN.md \u{00a7}14)\n\
+                     devices with halo exchange (see DESIGN.md \u{00a7}14);\n\
+                     --churn N interleaves N seeded edge-mutation events with\n\
+                     the trace; touched 16-row windows retranslate in place,\n\
+                     the rest reuse cached state (see DESIGN.md \u{00a7}16)\n\
            top       <DATASET>[,<DATASET>...] [same flags as serve]\n\
                      run the serve workload, render an ASCII dashboard\n\
            profile   --hotspots [--datasets a,b,...] [--epochs N]\n\
@@ -474,7 +481,10 @@ fn cmd_eval(args: &[String]) -> ExitCode {
 /// `tcgnn serve` prints the JSON report; `tcgnn top` renders the ASCII
 /// dashboard instead. Both honor `--metrics PATH` and `TCG_PROFILE`.
 fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
-    use tc_gnn::serve::{poisson_trace, serve, LoadgenConfig, ServeConfig, ServedGraph, Session};
+    use tc_gnn::serve::{
+        churn_schedule, poisson_trace, serve_with_mutations, ChurnConfig, LoadgenConfig,
+        ServeConfig, ServedGraph, Session,
+    };
 
     let Some(names_arg) = args.first() else {
         return usage();
@@ -592,6 +602,26 @@ fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
     }
 
     let trace = poisson_trace(&graph_sizes, &lg);
+    // Dynamic graphs: `--churn N` interleaves N seeded edge-mutation events
+    // (batched undirected toggles) with the request trace; each lands as a
+    // batcher barrier and resolves through the delta-translation cache path.
+    let churn_events = parse_usize("--churn", 0);
+    let mutations = if churn_events > 0 {
+        let csrs: Vec<_> = session.graphs().iter().map(|g| g.csr.clone()).collect();
+        churn_schedule(
+            &csrs,
+            &ChurnConfig {
+                events: churn_events,
+                rate_eps: parse_f64("--churn-rate", lg.rate_rps / 16.0),
+                batch: parse_usize("--churn-batch", 4),
+                seed: flag_value(args, "--churn-seed")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(13),
+            },
+        )
+    } else {
+        Vec::new()
+    };
     // One shared TCG_PROFILE parser across the whole repo: off/trace/
     // metrics/hotspot (see tcg_profile::ProfileLevel).
     let level = tc_gnn::profile::ProfileLevel::from_env();
@@ -601,7 +631,7 @@ fn cmd_serve(args: &[String], dashboard: bool) -> ExitCode {
     let profiler = level
         .profiler(cfg.backend.name())
         .map(|p| std::sync::Arc::new(std::sync::RwLock::new(p)));
-    let report = serve(&mut session, &cfg, &trace, profiler.as_ref());
+    let report = serve_with_mutations(&mut session, &cfg, &trace, &mutations, profiler.as_ref());
     if dashboard {
         print!("{}", tc_gnn::serve::render_top(&report));
     } else {
@@ -833,7 +863,10 @@ fn cmd_tune(args: &[String]) -> ExitCode {
 
     let mut samples: [Vec<TuneSample>; 2] = [Vec::new(), Vec::new()];
     for (name, g) in &graphs {
-        let t = tc_gnn::sgt::translate_parallel(g, tc_gnn::gpusim::threads_from_env());
+        let t = tc_gnn::sgt::Sgt::builder()
+            .threads(tc_gnn::gpusim::threads_from_env())
+            .translate(g)
+            .expect("default SGT geometry is valid");
         let spmm = tune_samples(&dev, &t, g, dim, KernelClass::Spmm);
         let sddmm = tune_samples(&dev, &t, g, dim, KernelClass::Sddmm);
         eprintln!(

@@ -1,0 +1,308 @@
+//! Dynamic graphs: the incremental-translation metamorphic law over every
+//! adversarial family, and serve-level mutation semantics — window-granular
+//! cache reuse, barrier consistency, and byte-identical reruns.
+
+use tc_gnn::gnn::{Backend, GcnModel};
+use tc_gnn::oracle::delta::format_script;
+use tc_gnn::oracle::Family;
+use tc_gnn::oracle::{check_incremental, random_edit_script, shrink_edit_script, DeltaCheck};
+use tc_gnn::serve::{
+    churn_schedule, poisson_trace, serve_with_mutations, ChurnConfig, GraphMutation, LoadgenConfig,
+    ServableModel, ServeConfig, ServedGraph, Session,
+};
+use tc_gnn::sgt::EdgeDelta;
+
+// ---------------------------------------------------------------------------
+// Metamorphic law: incremental ≡ from-scratch, on every adversarial family
+// ---------------------------------------------------------------------------
+
+/// Random edit scripts on every adversarial family: chaining
+/// `apply_delta` must stay bitwise-identical (checksum + struct equality +
+/// `validate`) to translating each evolved graph from scratch. Failures are
+/// shrunk to a minimal script before reporting.
+#[test]
+fn incremental_translation_matches_scratch_on_all_families() {
+    for fam in Family::ALL {
+        for seed in [1u64, 42] {
+            let g = fam.generate(seed);
+            let script = random_edit_script(&g, seed.wrapping_mul(31), 4, 3);
+            match check_incremental(&g, &script) {
+                DeltaCheck::Ok => {}
+                DeltaCheck::InvalidScript { step, detail } => panic!(
+                    "{} seed {seed}: generator produced an invalid script at step {step}: \
+                     {detail}",
+                    fam.name()
+                ),
+                DeltaCheck::Diverged { step, detail } => {
+                    let min = shrink_edit_script(&g, &script, 200);
+                    panic!(
+                        "{} seed {seed}: incremental diverged from scratch at step {step}: \
+                         {detail}\nminimized script ({} steps):\n{}",
+                        fam.name(),
+                        min.len(),
+                        format_script(&min)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The law also holds for scripts that drain a graph: delete every edge of
+/// a window, then refill it — empty windows must splice correctly in both
+/// directions.
+#[test]
+fn incremental_translation_survives_window_drain_and_refill() {
+    let g = Family::PowerLaw.generate(7);
+    // Drain window 0 completely (both edge directions), then re-insert.
+    let mut drain = EdgeDelta::new();
+    for v in 0..16.min(g.num_nodes()) {
+        for &nb in g.neighbors(v) {
+            drain.push_delete(v as u32, nb);
+            if (nb as usize) < 16 {
+                // The reverse edge will be pushed when its own source row
+                // comes up; skip double-deleting intra-window pairs here.
+                continue;
+            }
+            drain.push_delete(nb, v as u32);
+        }
+    }
+    let mut refill = EdgeDelta::new();
+    for &(s, d) in drain.deletes() {
+        refill.push_insert(s, d);
+    }
+    let script = vec![drain, refill];
+    match check_incremental(&g, &script) {
+        DeltaCheck::Ok => {}
+        other => panic!("drain/refill script failed: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serve-level mutation semantics
+// ---------------------------------------------------------------------------
+
+fn mutating_fixture() -> (ServableModel, Vec<ServedGraph>) {
+    let mk = |name: &'static str, nodes: usize, edges: usize, seed: u64| {
+        let g = tc_gnn::graph::gen::rmat_default(nodes, edges, seed).expect("rmat");
+        let features = tc_gnn::tensor::init::uniform(nodes, 16, -1.0, 1.0, seed ^ 0xfea7);
+        ServedGraph {
+            name: name.to_string(),
+            csr: g,
+            features,
+        }
+    };
+    let model = ServableModel::Gcn(GcnModel::new(16, 8, 4, 11));
+    (
+        model,
+        vec![mk("dyn-a", 200, 1600, 3), mk("dyn-b", 150, 900, 4)],
+    )
+}
+
+/// A mutation mid-trace must resolve through the *delta* cache path: the
+/// touched windows retranslate, every other window's cached state is
+/// preserved (counted as window hits), and the report's version stamp
+/// moves.
+#[test]
+fn serve_mutation_preserves_untouched_window_cache_state() {
+    let cfg = ServeConfig {
+        backend: Backend::TcGnn,
+        streams: 2,
+        ..ServeConfig::default()
+    };
+    let (model, graphs) = mutating_fixture();
+    let before_version = graphs[0].csr.fingerprint().as_u64();
+    let trace = poisson_trace(
+        &[200, 150],
+        &LoadgenConfig {
+            rate_rps: 2_000.0,
+            requests: 48,
+            deadline_ms: None,
+            seed: 17,
+            ..LoadgenConfig::default()
+        },
+    );
+    let mid = trace[trace.len() / 2].arrival_ms;
+    let mutations = vec![GraphMutation {
+        at_ms: mid,
+        graph: 0,
+        delta: churn_schedule(
+            &[graphs[0].csr.clone()],
+            &ChurnConfig {
+                events: 1,
+                rate_eps: 1000.0,
+                batch: 2,
+                seed: 23,
+            },
+        )
+        .remove(0)
+        .delta,
+    }];
+    let mut session = Session::new(model, graphs, 4);
+    let report = serve_with_mutations(&mut session, &cfg, &trace, &mutations, None);
+
+    assert_eq!(report.mutations.requested, 1);
+    assert_eq!(report.mutations.applied, 1);
+    assert_eq!(report.mutations.rejected, 0);
+    assert_eq!(report.answered, report.total_requests, "no request lost");
+    // The post-mutation resolution went through the delta path, not a full
+    // retranslation: touched windows recomputed, the rest preserved.
+    assert!(
+        report.cache.delta_translations >= 1,
+        "mutation must resolve via delta translation, got stats {:?}",
+        report.cache
+    );
+    assert!(report.mutations.windows_touched >= 1);
+    assert!(
+        report.mutations.windows_preserved > report.mutations.windows_touched,
+        "most windows must be preserved: touched {} vs preserved {}",
+        report.mutations.windows_touched,
+        report.mutations.windows_preserved
+    );
+    assert!(report.mutations.delta_translate_ms > 0.0);
+    // Window-granular counters: preserved windows count as window hits.
+    assert!(
+        report.cache.window_hits >= report.mutations.windows_preserved as u64,
+        "preserved windows must surface as window hits"
+    );
+    // The version stamp moved for the mutated graph only.
+    let versions: std::collections::HashMap<_, _> = report.graph_versions.iter().cloned().collect();
+    assert_ne!(versions["dyn-a"], before_version, "version must advance");
+    assert_eq!(
+        versions["dyn-b"],
+        session.graphs()[1].csr.fingerprint().as_u64()
+    );
+}
+
+/// An invalid delta (insert of an existing edge) is rejected and counted;
+/// the serve run itself is unaffected.
+#[test]
+fn serve_rejects_invalid_mutations_without_failing() {
+    let cfg = ServeConfig {
+        backend: Backend::TcGnn,
+        streams: 2,
+        ..ServeConfig::default()
+    };
+    let (model, graphs) = mutating_fixture();
+    let (s, d) = graphs[0].csr.iter_edges().next().unwrap();
+    let trace = poisson_trace(
+        &[200, 150],
+        &LoadgenConfig {
+            rate_rps: 2_000.0,
+            requests: 24,
+            seed: 9,
+            ..LoadgenConfig::default()
+        },
+    );
+    let mutations = vec![GraphMutation {
+        at_ms: trace[trace.len() / 2].arrival_ms,
+        graph: 0,
+        delta: EdgeDelta::new().insert(s, d),
+    }];
+    let mut session = Session::new(model, graphs, 4);
+    let report = serve_with_mutations(&mut session, &cfg, &trace, &mutations, None);
+    assert_eq!(report.mutations.requested, 1);
+    assert_eq!(report.mutations.applied, 0);
+    assert_eq!(report.mutations.rejected, 1);
+    assert_eq!(report.answered, report.total_requests);
+    assert_eq!(report.cache.delta_translations, 0);
+}
+
+/// Mutating serve runs stay deterministic: same trace + same schedule ⇒
+/// byte-identical reports, on both the TCU and the hybrid backend (where
+/// the dispatch mask is refreshed only for touched windows).
+#[test]
+fn mutating_serve_runs_are_byte_identical() {
+    for backend in [Backend::TcGnn, Backend::Hybrid] {
+        let cfg = ServeConfig {
+            backend,
+            streams: 2,
+            ..ServeConfig::default()
+        };
+        let run = || {
+            let (model, graphs) = mutating_fixture();
+            let csrs: Vec<_> = graphs.iter().map(|g| g.csr.clone()).collect();
+            let trace = poisson_trace(
+                &[200, 150],
+                &LoadgenConfig {
+                    rate_rps: 1_500.0,
+                    requests: 40,
+                    seed: 31,
+                    ..LoadgenConfig::default()
+                },
+            );
+            let mutations = churn_schedule(
+                &csrs,
+                &ChurnConfig {
+                    events: 4,
+                    rate_eps: 300.0,
+                    batch: 3,
+                    seed: 8,
+                },
+            );
+            let mut session = Session::new(model, graphs, 4);
+            let report = serve_with_mutations(&mut session, &cfg, &trace, &mutations, None);
+            assert_eq!(report.mutations.requested, 4);
+            assert_eq!(report.mutations.applied, 4);
+            report.to_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{backend:?}: mutating serve reports diverged");
+    }
+}
+
+/// Barrier consistency point: mutations scheduled after every arrival are
+/// applied once the trace drains, so the final session state reflects the
+/// whole schedule even when no request observes it.
+#[test]
+fn mutations_after_last_arrival_still_apply() {
+    let cfg = ServeConfig {
+        backend: Backend::TcGnn,
+        streams: 1,
+        ..ServeConfig::default()
+    };
+    let (model, graphs) = mutating_fixture();
+    let csr0 = graphs[0].csr.clone();
+    let trace = poisson_trace(
+        &[200, 150],
+        &LoadgenConfig {
+            rate_rps: 2_000.0,
+            requests: 8,
+            seed: 2,
+            ..LoadgenConfig::default()
+        },
+    );
+    let last = trace.last().unwrap().arrival_ms;
+    let schedule = churn_schedule(
+        std::slice::from_ref(&csr0),
+        &ChurnConfig {
+            events: 2,
+            rate_eps: 500.0,
+            batch: 2,
+            seed: 77,
+        },
+    );
+    let mutations: Vec<GraphMutation> = schedule
+        .into_iter()
+        .map(|m| GraphMutation {
+            at_ms: last + 10.0 + m.at_ms,
+            ..m
+        })
+        .collect();
+    let mut session = Session::new(model, graphs, 4);
+    let report = serve_with_mutations(&mut session, &cfg, &trace, &mutations, None);
+    assert_eq!(report.mutations.applied, 2);
+    // The session's graph really evolved: replay the schedule offline.
+    let mut expect = csr0;
+    for m in &mutations {
+        expect = m.delta.apply_to(&expect).expect("valid schedule");
+    }
+    assert_eq!(
+        session.graphs()[0].csr.fingerprint(),
+        expect.fingerprint(),
+        "final graph state must equal the offline replay of the schedule"
+    );
+    let versions: std::collections::HashMap<_, _> = report.graph_versions.iter().cloned().collect();
+    assert_eq!(versions["dyn-a"], expect.fingerprint().as_u64());
+}

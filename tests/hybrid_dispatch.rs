@@ -19,7 +19,7 @@ use tc_gnn::kernels::hybrid::{DispatchPolicy, KernelClass, WindowBackend};
 use tc_gnn::kernels::sddmm::{CudaCoreSddmm, HybridSddmm, SddmmKernel, TcgnnSddmm};
 use tc_gnn::kernels::spmm::{CusparseCsrSpmm, HybridSpmm, TcgnnSpmm};
 use tc_gnn::kernels::SpmmProblem;
-use tc_gnn::sgt::{translate, translate_parallel, TC_BLK_H};
+use tc_gnn::sgt::{Sgt, TC_BLK_H};
 use tc_gnn::tensor::init;
 
 fn graph_strategy() -> impl Strategy<Value = tc_gnn::graph::CsrGraph> {
@@ -73,7 +73,7 @@ proptest! {
             .map(|e| 0.05 + (e % 13) as f32 * 0.07)
             .collect();
         let prob = SpmmProblem::new(&g, weighted.then_some(vals.as_slice()), &x).unwrap();
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let mask = mask_from_seed(t.num_row_windows, mask_seed);
 
         let (out_h, _) = HybridSpmm::from_translated(t.clone())
@@ -111,7 +111,7 @@ proptest! {
         let n = g.num_nodes();
         let xa = init::uniform(n, dim, -1.0, 1.0, 31);
         let xb = init::uniform(n, dim, -1.0, 1.0, 32);
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         let mask = mask_from_seed(t.num_row_windows, mask_seed);
 
         let (out_h, _) = HybridSddmm::from_translated(t.clone())
@@ -153,8 +153,8 @@ proptest! {
     ) {
         // Same window → same choice, across repeated evaluations and across
         // sequential vs parallel translation at any thread count.
-        let t_seq = translate(&g);
-        let t_par = translate_parallel(&g, threads);
+        let t_seq = Sgt::builder().translate(&g).unwrap();
+        let t_par = Sgt::builder().threads(threads).translate(&g).unwrap();
         for class in [KernelClass::Spmm, KernelClass::Sddmm] {
             let policy = DispatchPolicy::default_for(class);
             let a = policy.mask(&t_seq, &g, dim);

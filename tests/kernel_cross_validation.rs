@@ -95,7 +95,7 @@ proptest! {
         // The paper's correctness claim: SGT "can always yield the correct
         // results as the original sparse algorithm".
         let x = tc_gnn::tensor::init::uniform(g.num_nodes(), d, -1.0, 1.0, seed);
-        let translated = tc_gnn::sgt::translate(&g);
+        let translated = tc_gnn::sgt::Sgt::builder().translate(&g).unwrap();
         let kernel = TcgnnSpmm::from_translated(translated);
         let prob = SpmmProblem::new(&g, None, &x).expect("dims");
         let mut l = Launcher::new(DeviceSpec::rtx3090());

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use tc_gnn::fault::FaultConfig;
 use tc_gnn::gnn::{Backend, GcnModel};
 use tc_gnn::graph::datasets::{DatasetSpec, GraphClass};
+use tc_gnn::graph::GraphVersion;
 use tc_gnn::profile::{chrome_trace_json, shared};
 use tc_gnn::serve::{
     poisson_trace, serve, CachedTranslation, LoadgenConfig, ServableModel, ServeConfig,
@@ -21,7 +22,10 @@ use tc_gnn::serve::{
 
 fn dummy_entry(ms: f64) -> CachedTranslation {
     let g = tc_gnn::graph::CsrGraph::from_raw(2, vec![0, 1, 2], vec![1, 0]).expect("tiny graph");
-    CachedTranslation::new(Arc::new(tc_gnn::sgt::translate(&g)), ms)
+    let t = tc_gnn::sgt::Sgt::builder()
+        .translate(&g)
+        .expect("tiny graph translates");
+    CachedTranslation::new(Arc::new(t), ms)
 }
 
 proptest! {
@@ -37,10 +41,11 @@ proptest! {
     ) {
         let mut cache = TranslationCache::new(capacity);
         // Reference model: Vec ordered least- to most-recently used.
-        let mut reference: Vec<u64> = Vec::new();
+        let mut reference: Vec<GraphVersion> = Vec::new();
         let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
-        for &fp in &accesses {
-            let sgt_ms = 1.0 + fp as f64;
+        for &raw in &accesses {
+            let fp = GraphVersion::from_u64(raw);
+            let sgt_ms = 1.0 + raw as f64;
             if let Some(pos) = reference.iter().position(|&r| r == fp) {
                 let v = reference.remove(pos);
                 reference.push(v);
@@ -71,11 +76,12 @@ proptest! {
     #[test]
     fn cache_returns_the_entry_inserted(fps in proptest::collection::vec(0u64..6, 1..20)) {
         let mut cache = TranslationCache::new(4);
-        for &fp in &fps {
+        for &raw in &fps {
+            let fp = GraphVersion::from_u64(raw);
             if let Some(got) = cache.lookup(fp) {
-                prop_assert_eq!(got.sgt_ms, fp as f64);
+                prop_assert_eq!(got.sgt_ms, raw as f64);
             } else {
-                cache.insert(fp, dummy_entry(fp as f64));
+                cache.insert(fp, dummy_entry(raw as f64));
             }
         }
     }
@@ -121,11 +127,12 @@ proptest! {
         // Cached path: translate through the serving cache, then *hit* it —
         // the engine consumes the shared cached translation.
         let mut cache = TranslationCache::new(2);
-        let (_, _, first_hit) = cache.get_or_translate(&ds.graph);
-        prop_assert!(!first_hit, "first access must miss");
-        let (translation, paid_ms, hit) = cache.get_or_translate(&ds.graph);
-        prop_assert!(hit, "second access must hit");
-        prop_assert_eq!(paid_ms, 0.0, "a hit must pay no SGT time");
+        let cold_res = cache.get_or_translate(&ds.graph);
+        prop_assert!(!cold_res.hit(), "first access must miss");
+        let warm_res = cache.get_or_translate(&ds.graph);
+        prop_assert!(warm_res.hit(), "second access must hit");
+        prop_assert_eq!(warm_res.paid_ms, 0.0, "a hit must pay no SGT time");
+        let translation = warm_res.translation;
         let mut warm = tc_gnn::gnn::Engine::builder(ds.graph.clone())
             .backend(Backend::TcGnn)
             .device(device)

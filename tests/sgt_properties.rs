@@ -1,7 +1,7 @@
 //! Property tests of the Sparse Graph Translation invariants.
 
 use proptest::prelude::*;
-use tc_gnn::sgt::{census, translate, translate_parallel, TC_BLK_H, TC_BLK_W};
+use tc_gnn::sgt::{census, Sgt, TC_BLK_H, TC_BLK_W};
 
 fn graph_strategy() -> impl Strategy<Value = tc_gnn::graph::CsrGraph> {
     (16usize..400, 1usize..12, 0u64..10_000, 0usize..3).prop_map(|(n, deg, seed, family)| {
@@ -20,7 +20,7 @@ proptest! {
 
     #[test]
     fn translation_is_a_window_local_column_renaming(g in graph_strategy()) {
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         // Every edge appears once in the permutation; coordinates decode
         // back to the original (row, neighbor) pair.
         let mut seen = vec![false; g.num_edges()];
@@ -43,7 +43,7 @@ proptest! {
 
     #[test]
     fn block_count_is_exactly_ceil_unique_over_width(g in graph_strategy()) {
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         for w in 0..t.num_row_windows {
             prop_assert_eq!(
                 t.win_partition[w] as usize,
@@ -56,7 +56,7 @@ proptest! {
     fn all_blocks_but_last_per_window_are_column_full(g in graph_strategy()) {
         // Condensation means every block except a window's last has all 8
         // columns populated — the density improvement of Figure 4.
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         for w in 0..t.num_row_windows {
             let b_lo = t.win_block_start[w];
             let b_hi = t.win_block_start[w + 1];
@@ -78,14 +78,14 @@ proptest! {
         prop_assert!(c.blocks_with_sgt <= c.blocks_without_sgt);
         prop_assert!(c.reduction_pct() >= 0.0);
         // With-SGT block count must equal the translation's.
-        let t = translate(&g);
+        let t = Sgt::builder().translate(&g).unwrap();
         prop_assert_eq!(c.blocks_with_sgt, t.total_tc_blocks());
     }
 
     #[test]
     fn parallel_translation_is_deterministic(g in graph_strategy()) {
-        let a = translate(&g);
-        let b = translate_parallel(&g, 3);
+        let a = Sgt::builder().translate(&g).unwrap();
+        let b = Sgt::builder().threads(3).translate(&g).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -99,7 +99,7 @@ proptest! {
         if g.num_edges() < 2 {
             return;
         }
-        let base = translate(&g);
+        let base = Sgt::builder().translate(&g).unwrap();
         prop_assert!(base.validate(&g).is_ok());
         let pick = |len: usize| raw_pick % len;
         let mut t = base.clone();
